@@ -1,0 +1,27 @@
+# Developer entry points for the reproduction repository.
+
+.PHONY: install test bench reproduce examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# regenerate every paper artefact into benchmarks/reports/
+reproduce: bench
+	@echo "--- regenerated artefacts ---"
+	@ls benchmarks/reports/
+
+examples:
+	@for f in examples/*.py; do \
+		echo "=== $$f"; python $$f || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/reports \
+		src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

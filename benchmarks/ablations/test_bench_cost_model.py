@@ -1,0 +1,49 @@
+"""Ablation: wall-clock tracks the cell-count cost model.
+
+DESIGN.md's hardware-independent cost model claims timing ratios follow
+cell-count ratios for the shared-engine implementations.  This bench
+measures both at several windows and asserts the correlation.
+"""
+
+from repro.core.cdtw import cdtw
+from repro.datasets.random_walk import random_walk
+from repro.timing.cells import cdtw_cell_model
+
+N = 512
+
+
+class TestCostModel:
+    def test_cdtw_cells_scale_like_model(self, benchmark, save_report):
+        import time
+
+        x = random_walk(N, seed=40)
+        y = random_walk(N, seed=41)
+        benchmark.pedantic(lambda: cdtw(x, y, window=0.10),
+                           rounds=1, iterations=1)
+        rows = []
+        measured = []
+        for w in (0.02, 0.05, 0.10, 0.20, 0.40):
+            start = time.perf_counter()
+            result = cdtw(x, y, window=w)
+            elapsed = time.perf_counter() - start
+            model = cdtw_cell_model(N, w)
+            rows.append(
+                f"w={w:.0%}: cells={result.cells} model={model} "
+                f"time={elapsed * 1000:.2f} ms"
+            )
+            measured.append((result.cells, elapsed))
+        save_report("ablation_cost_model", "\n".join(rows))
+
+        # timing must grow monotonically with cells, and the per-cell
+        # rate must stay within a 3x envelope across the sweep
+        times = [t for _c, t in measured]
+        assert times == sorted(times)
+        rates = [t / c for c, t in measured]
+        assert max(rates) / min(rates) < 3.0
+
+    def test_model_matches_measured_cells(self, benchmark):
+        x = random_walk(N, seed=42)
+        y = random_walk(N, seed=43)
+        result = benchmark(lambda: cdtw(x, y, window=0.10))
+        model = cdtw_cell_model(N, 0.10)
+        assert abs(result.cells - model) / model < 0.1

@@ -1,0 +1,57 @@
+"""Ablation: learned (R-K) band vs uniform band at equal coverage.
+
+Both windows contain every training alignment; the learned one does it
+with fewer cells, so exact classification gets cheaper still -- the
+adaptive version of the paper's "a little warping is a good thing".
+"""
+
+from repro.classify.learned_band import learn_band_radii, learned_band_dtw
+from repro.core.cdtw import cdtw
+from repro.datasets.gestures import gesture_dataset
+
+
+def _task():
+    data = gesture_dataset(
+        n_classes=3, per_class=5, length=96,
+        warp_fraction=0.05, noise_sigma=0.1, seed=17, name="rk-bench",
+    )
+    series = [list(s) for s in data.series]
+    labels = list(data.labels)
+    radii = learn_band_radii(series, labels)
+    return series, radii
+
+
+class TestLearnedBandAblation:
+    def test_learned_band_dtw(self, benchmark):
+        series, radii = _task()
+        r = benchmark(
+            lambda: learned_band_dtw(series[0], series[1], radii)
+        )
+        assert r.distance >= 0
+
+    def test_uniform_worstcase_band_dtw(self, benchmark):
+        series, radii = _task()
+        worst = max(radii)
+        r = benchmark(
+            lambda: cdtw(series[0], series[1], band=worst)
+        )
+        assert r.distance >= 0
+
+    def test_cell_savings_report(self, benchmark, save_report):
+        series, radii = _task()
+        benchmark.pedantic(
+            lambda: learned_band_dtw(series[0], series[1], radii),
+            rounds=1, iterations=1,
+        )
+        worst = max(radii)
+        learned = learned_band_dtw(series[0], series[1], radii)
+        uniform = cdtw(series[0], series[1], band=worst)
+        save_report(
+            "ablation_learned_band",
+            f"N={len(series[0])}, worst-case radius {worst}:\n"
+            f"  uniform band cells: {uniform.cells}\n"
+            f"  learned band cells: {learned.cells}\n"
+            f"  saving:             "
+            f"{1 - learned.cells / uniform.cells:.0%}",
+        )
+        assert learned.cells <= uniform.cells

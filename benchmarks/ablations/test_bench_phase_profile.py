@@ -1,0 +1,35 @@
+"""Ablation: FastDTW's time by phase (DP vs structural overhead).
+
+The cell model ``N*(8r+14)`` only accounts for the DP phase; this
+ablation measures how much of the algorithm's wall-clock goes to
+coarsening and window construction, explaining why measured
+crossovers land later than the model predicts.
+"""
+
+from repro.timing.profile_fastdtw import profile_fastdtw
+from repro.datasets.random_walk import random_walk
+
+N = 512
+
+
+class TestPhaseProfile:
+    def test_profiled_run(self, benchmark):
+        x, y = random_walk(N, seed=70), random_walk(N, seed=71)
+        prof = benchmark(lambda: profile_fastdtw(x, y, radius=5))
+        assert prof.distance >= 0
+
+    def test_phase_breakdown_report(self, benchmark, save_report):
+        x, y = random_walk(N, seed=72), random_walk(N, seed=73)
+        prof = benchmark.pedantic(
+            lambda: profile_fastdtw(x, y, radius=10),
+            rounds=3, iterations=1,
+        )
+        save_report(
+            "ablation_phase_profile",
+            f"FastDTW_10 at N={N} ({prof.levels} levels):\n"
+            f"  coarsening: {prof.coarsen_seconds * 1000:7.2f} ms\n"
+            f"  windows:    {prof.window_seconds * 1000:7.2f} ms\n"
+            f"  DP:         {prof.dp_seconds * 1000:7.2f} ms\n"
+            f"  overhead share: {prof.overhead_fraction():.0%}",
+        )
+        assert prof.overhead_fraction() > 0.0

@@ -1,0 +1,71 @@
+"""Ablation: per-row range windows vs explicit cell-list DP.
+
+cDTW's band is two integers per row; the reference FastDTW carries an
+explicit cell list and a hash-map DP.  Running the *same* band through
+both DP styles isolates the data-structure cost from the cell count.
+"""
+
+from repro.core.cost import resolve_cost
+from repro.core.engine import dp_over_window
+from repro.core.fastdtw_reference import _dtw_over_cells
+from repro.core.window import Window
+from repro.datasets.random_walk import random_walk
+
+N = 400
+BAND = 20
+
+
+def _setup():
+    x = random_walk(N, seed=30)
+    y = random_walk(N, seed=31)
+    window = Window.band(N, N, BAND)
+    cells = list(window.cells())
+    return x, y, window, cells
+
+
+class TestWindowRepresentation:
+    def test_range_window_dp(self, benchmark):
+        x, y, window, _ = _setup()
+        result = benchmark(lambda: dp_over_window(x, y, window))
+        assert result.distance >= 0
+
+    def test_cell_list_hashmap_dp(self, benchmark):
+        x, y, _, cells = _setup()
+        dist_fn = resolve_cost("squared")
+        d, _path, _cells = benchmark(
+            lambda: _dtw_over_cells(list(x), list(y), cells, dist_fn)
+        )
+        assert d >= 0
+
+    def test_same_distance_both_ways(self, benchmark, save_report):
+        import time
+
+        x, y, window, cells = _setup()
+        benchmark.pedantic(lambda: dp_over_window(x, y, window),
+                           rounds=1, iterations=1)
+        dist_fn = resolve_cost("squared")
+        ranged = dp_over_window(x, y, window).distance
+        hashed, _p, _c = _dtw_over_cells(list(x), list(y), cells, dist_fn)
+        assert abs(ranged - hashed) < 1e-9
+
+        def clock(fn):
+            best = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        t_range = clock(lambda: dp_over_window(x, y, window))
+        t_hash = clock(
+            lambda: _dtw_over_cells(list(x), list(y), cells, dist_fn)
+        )
+        save_report(
+            "ablation_window_repr",
+            f"same band (N={N}, band={BAND}), same cells "
+            f"({window.cell_count()}):\n"
+            f"  per-row ranges DP: {t_range * 1000:8.2f} ms\n"
+            f"  cell-list hash DP: {t_hash * 1000:8.2f} ms\n"
+            f"  overhead factor:   {t_hash / t_range:8.1f}x",
+        )
+        assert t_range < t_hash

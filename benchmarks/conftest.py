@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures and the report sink.
+
+Every benchmark file regenerates its paper artefact (the table rows or
+figure series) and saves it under ``benchmarks/reports/`` so a bench
+run leaves tangible reproductions behind, not just timings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Write a regenerated paper artefact to benchmarks/reports/."""
+    REPORTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> Path:
+        path = REPORTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def uwave_pair():
+    """One pair of UWave-scale series (N = 945), as in Fig. 1."""
+    from repro.datasets.gestures import uwave_like
+
+    data = uwave_like(per_class=1, seed=0)
+    return list(data.series[0]), list(data.series[1])
+
+
+@pytest.fixture(scope="session")
+def case_c_pair():
+    """One pair of N = 450 random walks, as in Fig. 4."""
+    from repro.datasets.random_walk import random_walk
+
+    return random_walk(450, seed=1), random_walk(450, seed=2)

@@ -1,0 +1,63 @@
+"""Extension benchmarks: cumulative-suffix-bound abandoning.
+
+Quantifies the UCR-suite trick: at a tight threshold the cumulative
+bound abandons after a fraction of the cells plain early abandoning
+touches.
+"""
+
+from repro.core.cdtw import cdtw
+from repro.lowerbounds.envelope import envelope
+from repro.search.cumulative import cdtw_cumulative_abandon
+from repro.datasets.random_walk import random_walk
+
+N = 256
+BAND = 12
+
+
+def _setup():
+    x = random_walk(N, seed=60)
+    y = random_walk(N, seed=61)
+    exact = cdtw(x, y, band=BAND).distance
+    return x, y, exact * 0.3  # a tight best-so-far
+
+
+class TestCumulativeBench:
+    def test_plain_abandoning(self, benchmark):
+        x, y, threshold = _setup()
+        r = benchmark(
+            lambda: cdtw(x, y, band=BAND, abandon_above=threshold)
+        )
+        assert r.abandoned
+
+    def test_cumulative_abandoning(self, benchmark):
+        x, y, threshold = _setup()
+        env = envelope(y, BAND)
+        r = benchmark(
+            lambda: cdtw_cumulative_abandon(
+                x, y, band=BAND, threshold=threshold, y_envelope=env
+            )
+        )
+        assert r.abandoned
+
+    def test_cell_savings_report(self, benchmark, save_report):
+        x, y, threshold = _setup()
+        env = envelope(y, BAND)
+        benchmark.pedantic(
+            lambda: cdtw_cumulative_abandon(
+                x, y, band=BAND, threshold=threshold, y_envelope=env
+            ),
+            rounds=1, iterations=1,
+        )
+        plain = cdtw(x, y, band=BAND, abandon_above=threshold)
+        cumulative = cdtw_cumulative_abandon(
+            x, y, band=BAND, threshold=threshold, y_envelope=env
+        )
+        full = cdtw(x, y, band=BAND)
+        save_report(
+            "ext_cumulative",
+            f"N={N}, band={BAND}, threshold = 0.3 x exact:\n"
+            f"  full DP cells:       {full.cells}\n"
+            f"  plain abandon cells: {plain.cells}\n"
+            f"  cumulative cells:    {cumulative.cells}",
+        )
+        assert cumulative.cells <= plain.cells <= full.cells

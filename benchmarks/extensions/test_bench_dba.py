@@ -1,0 +1,43 @@
+"""Extension benchmarks: DTW barycenter averaging."""
+
+import random
+
+from repro.cluster.dba import dba
+from repro.core.dtw import dtw
+from repro.datasets.warping import warp_series
+
+
+def _family():
+    base = [0.0] * 12 + [1.0, 2.5, 3.0, 2.5, 1.0] + [0.0] * 23
+    rng = random.Random(8)
+    return [warp_series(base, 4.0, rng) for _ in range(6)], base
+
+
+class TestDbaBench:
+    def test_dba_iterations(self, benchmark):
+        family, _ = _family()
+        result = benchmark.pedantic(
+            lambda: dba(family, max_iterations=5, band=6),
+            rounds=2, iterations=1,
+        )
+        assert result.inertia >= 0
+
+    def test_barycenter_quality_report(self, benchmark, save_report):
+        family, base = _family()
+        result = benchmark.pedantic(
+            lambda: dba(family, max_iterations=10),
+            rounds=1, iterations=1,
+        )
+        n = len(family[0])
+        mean = [sum(s[i] for s in family) / len(family)
+                for i in range(n)]
+        mean_inertia = sum(dtw(mean, s).distance for s in family)
+        save_report(
+            "ext_dba",
+            f"{len(family)} warped renditions, N={n}:\n"
+            f"  arithmetic-mean inertia: {mean_inertia:8.3f}\n"
+            f"  DBA inertia:             {result.inertia:8.3f}\n"
+            f"  distance to true shape:  "
+            f"{dtw(list(result.barycenter), base).distance:8.3f}",
+        )
+        assert result.inertia <= mean_inertia

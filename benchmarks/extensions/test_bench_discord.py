@@ -1,0 +1,41 @@
+"""Extension benchmarks: discord discovery under exact cDTW."""
+
+import random
+
+from repro.anomaly.discord import find_discord
+from repro.datasets.ecg import heartbeat
+
+
+def _stream():
+    rng = random.Random(5)
+    stream = []
+    for _ in range(14):
+        stream.extend(heartbeat(36, rng, noise_sigma=0.01))
+    for i in range(250, 268):
+        stream[i] += 1.3
+    return stream
+
+
+class TestDiscordBench:
+    def test_discord_search(self, benchmark):
+        stream = _stream()
+        discord = benchmark.pedantic(
+            lambda: find_discord(stream, window=36, band=3, step=6),
+            rounds=2, iterations=1,
+        )
+        assert discord.score > 0
+
+    def test_pruning_report(self, benchmark, save_report):
+        stream = _stream()
+        discord = benchmark.pedantic(
+            lambda: find_discord(stream, window=36, band=3, step=6),
+            rounds=1, iterations=1,
+        )
+        naive = discord.windows * (discord.windows - 1)
+        save_report(
+            "ext_discord",
+            f"discord at {discord.start} (score {discord.score:.2f})\n"
+            f"distance calls: {discord.distance_calls} of {naive} "
+            f"({discord.distance_calls / naive:.0%})",
+        )
+        assert discord.distance_calls < naive

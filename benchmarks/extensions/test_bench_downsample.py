@@ -1,0 +1,66 @@
+"""Extension benchmark: downsample-then-DTW vs FastDTW.
+
+The paper's Section 3.4 alternative, head to head: when an
+approximation is genuinely wanted, exact DTW over a PAA-reduced series
+is an order of magnitude faster than FastDTW, with an error that is
+*transparent* (everything below the PAA scale is gone, by design)
+rather than structural (wrong-way corridors).  Which error is larger
+is workload-dependent; the report records both.
+"""
+
+from repro.core.downsample_dtw import downsampled_dtw
+from repro.core.dtw import dtw
+from repro.core.error import approximation_error_percent
+from repro.core.fastdtw import fastdtw
+from repro.datasets.gestures import gesture_dataset
+
+N = 512
+
+
+def _pair():
+    data = gesture_dataset(
+        n_classes=2, per_class=1, length=N, noise_sigma=0.02, seed=3,
+    )
+    return list(data.series[0]), list(data.series[1])
+
+
+class TestDownsampleBench:
+    def test_downsample_factor8(self, benchmark):
+        x, y = _pair()
+        r = benchmark(lambda: downsampled_dtw(x, y, factor=8))
+        assert r.distance >= 0
+
+    def test_fastdtw_r10(self, benchmark):
+        x, y = _pair()
+        r = benchmark(lambda: fastdtw(x, y, radius=10))
+        assert r.distance >= 0
+
+    def test_speed_and_error_report(self, benchmark, save_report):
+        import time
+
+        x, y = _pair()
+        benchmark.pedantic(lambda: downsampled_dtw(x, y, factor=8),
+                           rounds=1, iterations=1)
+
+        def clock(fn):
+            best = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        exact = dtw(x, y).distance
+        down = downsampled_dtw(x, y, factor=8)
+        fast = fastdtw(x, y, radius=10)
+        t_down = clock(lambda: downsampled_dtw(x, y, factor=8))
+        t_fast = clock(lambda: fastdtw(x, y, radius=10))
+        save_report(
+            "ext_downsample",
+            f"gesture pair, N={N}:\n"
+            f"  downsample f=8: {t_down * 1000:7.2f} ms, error "
+            f"{approximation_error_percent(down.distance, exact):7.1f}%\n"
+            f"  FastDTW r=10:   {t_fast * 1000:7.2f} ms, error "
+            f"{approximation_error_percent(fast.distance, exact):7.1f}%",
+        )
+        assert t_down < t_fast

@@ -1,0 +1,31 @@
+"""Extension benchmark: the Section 4 approximation-quality grid."""
+
+from repro.core.dtw import dtw
+from repro.core.error import approximation_error_percent
+from repro.core.fastdtw import fastdtw
+from repro.datasets.random_walk import random_walk
+from repro.experiments import approx_quality
+
+
+class TestApproxQualityPerCall:
+    def test_error_measurement_cost(self, benchmark):
+        x, y = random_walk(256, seed=0), random_walk(256, seed=1)
+        exact = dtw(x, y).distance
+
+        def measure():
+            approx = fastdtw(x, y, radius=5).distance
+            return approximation_error_percent(approx, exact)
+
+        assert benchmark(measure) >= 0
+
+
+class TestApproxQualityReport:
+    def test_regenerate_grid(self, benchmark, save_report):
+        result = benchmark.pedantic(
+            lambda: approx_quality.run(), rounds=1, iterations=1
+        )
+        save_report(
+            "approx_quality", approx_quality.format_report(result)
+        )
+        assert result.benign_families_converge(radius=10, tolerance=15.0)
+        assert result.long_range_families_stay_broken(radius=10)

@@ -1,0 +1,55 @@
+"""Case B (Section 3.2) benchmarks: music alignment at long N, tiny w.
+
+The paper's bullet list -- cDTW_0.83 at 45.6 ms vs FastDTW_10 at
+238.2 ms and FastDTW_40 at 350.9 ms for N = 24,000 -- regenerated at a
+laptop-friendly N with the same w.
+"""
+
+import pytest
+
+from repro.core.cdtw import cdtw
+from repro.core.fastdtw_reference import fastdtw_reference
+from repro.datasets.music import studio_and_live
+from repro.experiments import case_b_music
+
+
+@pytest.fixture(scope="module")
+def music_pair():
+    # one minute at 100 Hz: N = 6,000, w = 0.83%
+    return studio_and_live(seconds=60.0, max_drift_seconds=0.5, seed=0)
+
+
+class TestCaseBPerCall:
+    def test_cdtw_at_drift_window(self, benchmark, music_pair):
+        pair = music_pair
+        result = benchmark(
+            lambda: cdtw(pair.studio, pair.live,
+                         window=pair.window_fraction)
+        )
+        assert result.distance >= 0
+
+    def test_fastdtw_r10(self, benchmark, music_pair):
+        pair = music_pair
+        result = benchmark.pedantic(
+            lambda: fastdtw_reference(pair.studio, pair.live, radius=10),
+            rounds=2, iterations=1,
+        )
+        assert result.distance >= 0
+
+    def test_fastdtw_r40(self, benchmark, music_pair):
+        pair = music_pair
+        result = benchmark.pedantic(
+            lambda: fastdtw_reference(pair.studio, pair.live, radius=40),
+            rounds=2, iterations=1,
+        )
+        assert result.distance >= 0
+
+
+class TestCaseBReport:
+    def test_regenerate_bullets(self, benchmark, save_report):
+        result = benchmark.pedantic(
+            lambda: case_b_music.run(), rounds=1, iterations=1
+        )
+        save_report("case_b", case_b_music.format_report(result))
+        assert result.cdtw_wins()
+        assert result.radius_hurts()

@@ -1,0 +1,61 @@
+"""Fig. 1 benchmarks: the head-to-head the paper's title rests on.
+
+Per-pair timings at the paper's N = 945 for cDTW at the archive-optimal
+and liberal windows, against FastDTW (reference layout, as the citing
+literature ran it) at representative radii.  The full sweep report is
+regenerated into ``reports/fig1.txt``.
+"""
+
+import pytest
+
+from repro.core.cdtw import cdtw
+from repro.core.fastdtw import fastdtw
+from repro.core.fastdtw_reference import fastdtw_reference
+from repro.experiments import fig1_uwave
+
+
+class TestFig1PerPair:
+    def test_cdtw_w4(self, benchmark, uwave_pair):
+        x, y = uwave_pair
+        result = benchmark(lambda: cdtw(x, y, window=0.04))
+        assert result.distance >= 0
+
+    def test_cdtw_w20(self, benchmark, uwave_pair):
+        x, y = uwave_pair
+        result = benchmark(lambda: cdtw(x, y, window=0.20))
+        assert result.distance >= 0
+
+    def test_fastdtw_reference_r0(self, benchmark, uwave_pair):
+        x, y = uwave_pair
+        result = benchmark(lambda: fastdtw_reference(x, y, radius=0))
+        assert result.distance >= 0
+
+    def test_fastdtw_reference_r1(self, benchmark, uwave_pair):
+        x, y = uwave_pair
+        result = benchmark(lambda: fastdtw_reference(x, y, radius=1))
+        assert result.distance >= 0
+
+    def test_fastdtw_reference_r10(self, benchmark, uwave_pair):
+        x, y = uwave_pair
+        result = benchmark.pedantic(
+            lambda: fastdtw_reference(x, y, radius=10),
+            rounds=3, iterations=1,
+        )
+        assert result.distance >= 0
+
+    def test_fastdtw_optimized_r10(self, benchmark, uwave_pair):
+        x, y = uwave_pair
+        result = benchmark(lambda: fastdtw(x, y, radius=10))
+        assert result.distance >= 0
+
+
+class TestFig1Report:
+    def test_regenerate_figure(self, benchmark, save_report):
+        result = benchmark.pedantic(
+            lambda: fig1_uwave.run(), rounds=1, iterations=1
+        )
+        report = fig1_uwave.format_report(result)
+        save_report("fig1", report)
+        # the paper-shape claims, re-asserted at bench scale
+        assert result.serviceable_claim_holds()
+        assert result.dominates_from_radius() <= 1

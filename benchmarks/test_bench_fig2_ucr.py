@@ -1,0 +1,22 @@
+"""Fig. 2 benchmark: the UCR archive histograms."""
+
+from repro.datasets.ucr_meta import best_w_histogram, length_histogram
+from repro.experiments import fig2_ucr_histograms
+
+
+class TestFig2:
+    def test_w_histogram_cost(self, benchmark):
+        counts = benchmark(best_w_histogram)
+        assert sum(counts) == 128
+
+    def test_length_histogram_cost(self, benchmark):
+        counts = benchmark(length_histogram)
+        assert sum(counts) == 128
+
+    def test_regenerate_figure(self, benchmark, save_report):
+        result = benchmark.pedantic(
+            lambda: fig2_ucr_histograms.run(), rounds=1, iterations=1
+        )
+        save_report("fig2", fig2_ucr_histograms.format_report(result))
+        assert result.fraction_shorter_than_1000 > 0.75
+        assert result.fraction_w_at_most_10 > 0.80

@@ -1,0 +1,29 @@
+"""Fig. 3 benchmarks: the power-demand pair and the W estimate."""
+
+from repro.core.dtw import dtw
+from repro.datasets.power import estimate_warping, midnight_hour_pair
+from repro.experiments import fig3_power
+
+
+class TestFig3:
+    def test_generation_cost(self, benchmark):
+        pair = benchmark(lambda: midnight_hour_pair(seed=0))
+        assert pair.length == 450
+
+    def test_peak_based_estimate_cost(self, benchmark):
+        pair = midnight_hour_pair(seed=0)
+        w = benchmark(lambda: estimate_warping(pair))
+        assert abs(w - 0.34) < 0.01
+
+    def test_full_alignment_cost(self, benchmark):
+        pair = midnight_hour_pair(seed=0)
+        result = benchmark(lambda: dtw(pair.night_a, pair.night_b))
+        assert result.distance >= 0
+
+    def test_regenerate_figure(self, benchmark, save_report):
+        result = benchmark.pedantic(
+            lambda: fig3_power.run(), rounds=1, iterations=1
+        )
+        save_report("fig3", fig3_power.format_report(result))
+        assert result.peak_offset == 153
+        assert result.case.value == "C"

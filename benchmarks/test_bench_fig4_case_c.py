@@ -1,0 +1,47 @@
+"""Fig. 4 benchmarks: short series, wide windows (Case C).
+
+Per-pair costs at the paper's N = 450 for windows/radii up to 40, plus
+the regenerated sweep.
+"""
+
+from repro.core.cdtw import cdtw
+from repro.core.fastdtw_reference import fastdtw_reference
+from repro.experiments import fig4_case_c
+
+
+class TestFig4PerPair:
+    def test_cdtw_w8(self, benchmark, case_c_pair):
+        x, y = case_c_pair
+        assert benchmark(lambda: cdtw(x, y, window=0.08)).distance >= 0
+
+    def test_cdtw_w40(self, benchmark, case_c_pair):
+        x, y = case_c_pair
+        assert benchmark(lambda: cdtw(x, y, window=0.40)).distance >= 0
+
+    def test_fastdtw_r2(self, benchmark, case_c_pair):
+        x, y = case_c_pair
+        assert benchmark(
+            lambda: fastdtw_reference(x, y, radius=2)
+        ).distance >= 0
+
+    def test_fastdtw_r40(self, benchmark, case_c_pair):
+        x, y = case_c_pair
+        result = benchmark.pedantic(
+            lambda: fastdtw_reference(x, y, radius=40),
+            rounds=3, iterations=1,
+        )
+        assert result.distance >= 0
+
+
+class TestFig4Report:
+    def test_regenerate_figure(self, benchmark, save_report):
+        result = benchmark.pedantic(
+            lambda: fig4_case_c.run(), rounds=1, iterations=1
+        )
+        save_report("fig4", fig4_case_c.format_report(result))
+        # the paper's Case C verdict: even at matched w = r = 40,
+        # exact cDTW undercuts FastDTW
+        assert (
+            result.cdtw_points[-1].per_pair_seconds
+            < result.fastdtw_points[-1].per_pair_seconds
+        )

@@ -1,0 +1,51 @@
+"""Fig. 5-6 benchmarks: the fall workload and the Case D crossover.
+
+The only setting in the paper where FastDTW ever wins: full-warp
+alignments beyond N ~ 400.  Benchmarked at the paper's measured
+break-even (N = 400) and regenerated as a sweep.
+"""
+
+from repro.core.dtw import dtw
+from repro.core.fastdtw import fastdtw
+from repro.datasets.falls import fall_pair
+from repro.experiments import fig6_fall_crossover
+
+
+class TestFig6PerCall:
+    def test_full_dtw_at_paper_breakeven(self, benchmark):
+        pair = fall_pair(4.0, seed=0)
+        result = benchmark(lambda: dtw(pair.early, pair.late))
+        assert result.distance >= 0
+
+    def test_fastdtw40_at_paper_breakeven(self, benchmark):
+        pair = fall_pair(4.0, seed=0)
+        result = benchmark(
+            lambda: fastdtw(pair.early, pair.late, radius=40)
+        )
+        assert result.distance >= 0
+
+    def test_full_dtw_below_breakeven(self, benchmark):
+        pair = fall_pair(1.0, seed=0)
+        result = benchmark(lambda: dtw(pair.early, pair.late))
+        assert result.distance >= 0
+
+    def test_fastdtw40_below_breakeven(self, benchmark):
+        pair = fall_pair(1.0, seed=0)
+        result = benchmark(
+            lambda: fastdtw(pair.early, pair.late, radius=40)
+        )
+        assert result.distance >= 0
+
+
+class TestFig6Report:
+    def test_regenerate_crossover(self, benchmark, save_report):
+        result = benchmark.pedantic(
+            lambda: fig6_fall_crossover.run(), rounds=1, iterations=1
+        )
+        save_report(
+            "fig5_fig6", fig6_fall_crossover.format_report(result)
+        )
+        be = result.breakeven()
+        # paper: N = 400; the cell model predicts ~167-333 depending
+        # on constants; accept the paper's order of magnitude
+        assert 100 <= be.n <= 800

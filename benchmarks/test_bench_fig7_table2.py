@@ -1,0 +1,34 @@
+"""Table 2 / Fig. 7 benchmarks: the adversarial triple.
+
+Regenerates both distance matrices, the 156,100%-class error and the
+dendrogram flip; benchmarks the two distance computations involved.
+"""
+
+from repro.core.dtw import dtw
+from repro.core.fastdtw import fastdtw
+from repro.datasets.adversarial import adversarial_pair
+from repro.experiments import fig7_adversarial
+
+
+class TestTable2PerCall:
+    def test_full_dtw_on_pair(self, benchmark):
+        t = adversarial_pair()
+        result = benchmark(lambda: dtw(t.a, t.b))
+        assert result.distance < 0.1
+
+    def test_fastdtw20_on_pair(self, benchmark):
+        t = adversarial_pair()
+        result = benchmark(lambda: fastdtw(t.a, t.b, radius=20))
+        assert result.distance > 10.0
+
+
+class TestFig7Report:
+    def test_regenerate_table_and_dendrograms(self, benchmark, save_report):
+        result = benchmark.pedantic(
+            lambda: fig7_adversarial.run(), rounds=1, iterations=1
+        )
+        save_report(
+            "table2_fig7", fig7_adversarial.format_report(result)
+        )
+        assert result.ab_error_percent > 100_000
+        assert result.topologies_differ()

@@ -1,0 +1,29 @@
+"""Fig. 8 benchmarks: the wrong-way-warping mechanism."""
+
+from repro.core.dtw import dtw
+from repro.core.paa import paa_factor
+from repro.datasets.adversarial import adversarial_pair
+from repro.experiments import fig8_wrong_way
+
+
+class TestFig8PerCall:
+    def test_paa_8_to_1_cost(self, benchmark):
+        t = adversarial_pair()
+        coarse = benchmark(lambda: paa_factor(t.a, 8))
+        assert len(coarse) == t.length // 8
+
+    def test_coarse_alignment_cost(self, benchmark):
+        t = adversarial_pair()
+        pa, pb = paa_factor(t.a, 8), paa_factor(t.b, 8)
+        result = benchmark(lambda: dtw(pa, pb, return_path=True))
+        assert result.path is not None
+
+
+class TestFig8Report:
+    def test_regenerate_mechanism(self, benchmark, save_report):
+        result = benchmark.pedantic(
+            lambda: fig8_wrong_way.run(), rounds=1, iterations=1
+        )
+        save_report("fig8", fig8_wrong_way.format_report(result))
+        assert result.wrong_way()
+        assert not result.final_window_reaches_feature

@@ -1,0 +1,30 @@
+"""Footnote 2 benchmarks: per-call costs behind the trillion projection."""
+
+from repro.core.cdtw import cdtw
+from repro.core.fastdtw_reference import fastdtw_reference
+from repro.datasets.random_walk import random_walk
+from repro.experiments import footnote2_trillion
+
+
+class TestFootnote2PerCall:
+    def test_fastdtw10_at_n128(self, benchmark):
+        x, y = random_walk(128, seed=0), random_walk(128, seed=1)
+        result = benchmark(lambda: fastdtw_reference(x, y, radius=10))
+        assert result.distance >= 0
+
+    def test_cdtw5_at_n128(self, benchmark):
+        x, y = random_walk(128, seed=0), random_walk(128, seed=1)
+        result = benchmark(lambda: cdtw(x, y, window=0.05))
+        assert result.distance >= 0
+
+
+class TestFootnote2Report:
+    def test_regenerate_projection(self, benchmark, save_report):
+        result = benchmark.pedantic(
+            lambda: footnote2_trillion.run(), rounds=1, iterations=1
+        )
+        save_report(
+            "footnote2", footnote2_trillion.format_report(result)
+        )
+        # the years-vs-days shape: FastDTW at least 10x slower per call
+        assert result.gap_factor() > 10.0

@@ -1,0 +1,56 @@
+"""Section 3.4 benchmarks: repeated-use search under each strategy."""
+
+from repro.datasets.gestures import gesture_dataset
+from repro.experiments import repeated_use
+from repro.search.nn_search import nearest_neighbor
+
+
+def _workload():
+    data = gesture_dataset(
+        n_classes=4, per_class=10, length=128, seed=3, name="bench"
+    )
+    series = [list(s) for s in data.series]
+    return series[0], series[1:]
+
+
+class TestNnStrategies:
+    def test_plain_cdtw_search(self, benchmark):
+        query, candidates = _workload()
+        res = benchmark(
+            lambda: nearest_neighbor(query, candidates, "cdtw",
+                                     window=0.10)
+        )
+        assert res.distance >= 0
+
+    def test_cascaded_cdtw_search(self, benchmark):
+        query, candidates = _workload()
+        res = benchmark(
+            lambda: nearest_neighbor(query, candidates, "cdtw+lb",
+                                     window=0.10)
+        )
+        assert res.distance >= 0
+
+    def test_fastdtw_search(self, benchmark):
+        query, candidates = _workload()
+        res = benchmark(
+            lambda: nearest_neighbor(query, candidates, "fastdtw",
+                                     radius=10)
+        )
+        assert res.distance >= 0
+
+    def test_euclidean_search(self, benchmark):
+        query, candidates = _workload()
+        res = benchmark(
+            lambda: nearest_neighbor(query, candidates, "euclidean")
+        )
+        assert res.distance >= 0
+
+
+class TestRepeatedUseReport:
+    def test_regenerate_comparison(self, benchmark, save_report):
+        result = benchmark.pedantic(
+            lambda: repeated_use.run(), rounds=1, iterations=1
+        )
+        save_report("repeated_use", repeated_use.format_report(result))
+        assert result.exact_strategies_agree()
+        assert result.cascade_cell_fraction() < 1.0

@@ -1,0 +1,23 @@
+"""Table 1 benchmark: the case advisor and the archive census."""
+
+from repro.advisor.cases import analyze
+from repro.datasets.ucr_meta import case_census
+from repro.experiments import table1_cases
+
+
+class TestTable1:
+    def test_advisor_classification_cost(self, benchmark):
+        analysis = benchmark(lambda: analyze(n=945, warping=0.04))
+        assert analysis.case.value == "A"
+
+    def test_archive_census_cost(self, benchmark):
+        census = benchmark(case_census)
+        assert sum(census.values()) == 128
+
+    def test_regenerate_table(self, benchmark, save_report):
+        result = benchmark.pedantic(
+            lambda: table1_cases.run(), rounds=1, iterations=1
+        )
+        save_report("table1", table1_cases.format_report(result))
+        cases = [a.case.value for _, a in result.examples]
+        assert cases == ["A", "B", "C", "D"]

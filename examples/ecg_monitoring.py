@@ -1,0 +1,58 @@
+"""Subsequence search over an ECG stream: the repeated-use machinery.
+
+The paper's footnotes contrast FastDTW with the UCR-suite style of
+exact search: lower bounding plus early abandoning let exact cDTW scan
+enormous streams (a trillion subsequences in 1.4 days on 2012
+hardware).  This example runs that machinery at desk scale: find a
+query heartbeat inside a long synthetic ECG stream, and show how many
+candidate windows the lossless cascade discarded without ever running
+a full DTW.
+
+Run:  python examples/ecg_monitoring.py
+"""
+
+import time
+
+from repro.search import subsequence_search
+from repro.datasets import ecg_stream
+from repro.timing import extrapolate, seconds_to_human
+
+
+def main() -> None:
+    # a few minutes of synthetic ECG at modest rate
+    stream = ecg_stream(120, mean_beat_samples=90, seed=42)
+    print(f"stream: {len(stream)} samples (~{120} beats)")
+
+    # the query: one beat lifted from the middle of the stream
+    start_truth = 5_000
+    query = stream[start_truth:start_truth + 90]
+
+    t0 = time.perf_counter()
+    match = subsequence_search(query, stream, band=4)
+    elapsed = time.perf_counter() - t0
+
+    print(f"\nbest match at offset {match.start} "
+          f"(planted at {start_truth}), distance {match.distance:.4f}")
+    print(f"searched {match.windows} windows in {elapsed:.2f} s")
+
+    s = match.stats
+    print("\nwhere the cascade stopped each candidate:")
+    print(f"  LB_Kim (O(1)):        {s.pruned_kim}")
+    print(f"  LB_Keogh (O(n)):      {s.pruned_keogh}")
+    print(f"  reversed LB_Keogh:    {s.pruned_keogh_reversed}")
+    print(f"  abandoned mid-DTW:    {s.abandoned_dtw}")
+    print(f"  full DTW completed:   {s.full_dtw}")
+    print(f"  -> prune rate {s.prune_rate():.1%}")
+
+    # the footnote-2 style projection: what would a trillion windows cost?
+    per_window = elapsed / match.windows
+    trillion = extrapolate(per_window, 10**12)
+    print(f"\nat this per-window rate, 10^12 windows would take "
+          f"{seconds_to_human(trillion)} -- and this is pure Python "
+          "with no indexing; the compiled UCR suite does it in days.")
+    print("none of this machinery is available to FastDTW: its coarse "
+          "levels provide no lower bound, so nothing can be pruned.")
+
+
+if __name__ == "__main__":
+    main()

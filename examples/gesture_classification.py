@@ -1,0 +1,63 @@
+"""Gesture classification: the paper's Case A, end to end.
+
+Builds a synthetic gesture dataset (the UWave stand-in), finds the
+LOOCV-optimal warping window by brute force (how the UCR archive's
+"best w" values were produced), then classifies a held-out test set
+under Euclidean, cDTW at the optimal window, Full DTW and FastDTW --
+reporting both accuracy and the work done, the two axes of the paper's
+argument.
+
+Run:  python examples/gesture_classification.py
+"""
+
+import time
+
+from repro.classify import DistanceSpec, OneNearestNeighbor, best_window_search
+from repro.datasets import gesture_dataset
+
+
+def main() -> None:
+    data = gesture_dataset(
+        n_classes=5, per_class=8, length=128,
+        warp_fraction=0.06, noise_sigma=0.3, seed=11,
+    )
+    train, test = data.split(train_fraction=0.6, seed=11)
+    print(f"dataset: {len(train)} train / {len(test)} test, "
+          f"N={data.length}, {len(data.classes)} classes")
+
+    # -- step 1: find the best window on the train split ------------------
+    search = best_window_search(
+        [list(s) for s in train.series], list(train.labels),
+        windows=[w / 100 for w in range(0, 21, 2)],
+    )
+    print(f"\nLOOCV-optimal window: {search.best_window:.0%} "
+          f"(error {search.best_error:.2%})")
+    for w, e in search.errors:
+        print(f"  w={w:>4.0%}  loocv error={e:.2%}")
+
+    # -- step 2: head-to-head on the test split ----------------------------
+    specs = (
+        DistanceSpec("euclidean"),
+        DistanceSpec("cdtw", window=search.best_window,
+                     use_lower_bounds=True),
+        DistanceSpec("dtw"),
+        DistanceSpec("fastdtw", radius=10),
+    )
+    print(f"\n{'distance':>14}  {'error':>7}  {'time':>8}")
+    for spec in specs:
+        clf = OneNearestNeighbor(spec).fit(
+            [list(s) for s in train.series], list(train.labels)
+        )
+        start = time.perf_counter()
+        err = clf.error_rate(
+            [list(s) for s in test.series], list(test.labels)
+        )
+        elapsed = time.perf_counter() - start
+        print(f"{spec.describe():>14}  {err:>7.2%}  {elapsed:>7.2f}s")
+
+    print("\nthe paper's Section 3.1: cDTW at the optimal window is both "
+          "the most accurate and faster than any FastDTW.")
+
+
+if __name__ == "__main__":
+    main()

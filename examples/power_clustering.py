@@ -1,0 +1,71 @@
+"""Clustering power-demand nights: the paper's Case C data, put to work.
+
+Generates a week of midnight-hour electricity traces -- some nights the
+dishwasher ran (three heating peaks at shifting times), some nights it
+did not -- measures the natural warping amount the way the paper does
+(Fig. 3), consults the case advisor, and hierarchically clusters the
+nights under cDTW at the advised window.  Dishwasher nights should fuse
+into one subtree.
+
+Run:  python examples/power_clustering.py
+"""
+
+from repro import cdtw
+from repro.advisor import analyze
+from repro.cluster import ClusterNode, linkage, render_ascii
+from repro.datasets import estimate_warping, midnight_hour_pair
+from repro.datasets.random_walk import random_walk
+
+
+def main() -> None:
+    # -- build a week of nights ---------------------------------------------
+    nights = []
+    labels = []
+    for day in range(4):  # dishwasher nights, peaks drifting night-to-night
+        pair = midnight_hour_pair(seed=day)
+        nights.append(pair.night_a if day % 2 else pair.night_b)
+        labels.append(f"dishwshr{day}")
+    for day in range(3):  # no-dishwasher nights: low, wandering base load
+        base = random_walk(450, seed=100 + day, normalize=False)
+        nights.append([0.25 + 0.02 * v for v in base])
+        labels.append(f"quiet{day}")
+
+    # -- measure W the paper's way (Fig. 3) ----------------------------------
+    probe = midnight_hour_pair(seed=0)
+    w_est = estimate_warping(probe)
+    print(f"measured warping between dishwasher nights: W = {w_est:.0%} "
+          "(paper: 34%, rounded to 40%)")
+
+    verdict = analyze(n=450, warping=0.40)
+    print(f"case advisor: Case {verdict.case.value} -> "
+          f"{verdict.recommendation.value}\n")
+
+    # -- distance matrix + clustering ---------------------------------------
+    k = len(nights)
+    matrix = [[0.0] * k for _ in range(k)]
+    for i in range(k):
+        for j in range(i + 1, k):
+            d = cdtw(nights[i], nights[j], window=0.40).distance
+            matrix[i][j] = matrix[j][i] = d
+
+    merges = linkage(matrix, method="average")
+    tree = ClusterNode.from_merges(merges)
+    print("average-linkage dendrogram under cDTW_40:")
+    print(render_ascii(tree, labels=labels))
+
+    # -- verify the dishwasher nights clustered together ---------------------
+    dish = [i for i, l in enumerate(labels) if l.startswith("dish")]
+    heights = [tree.cophenetic(a, b) for a in dish for b in dish if a < b]
+    cross = [
+        tree.cophenetic(a, b)
+        for a in dish for b in range(k) if b not in dish
+    ]
+    print(f"\nmax within-dishwasher merge height: {max(heights):.1f}; "
+          f"min cross-group height: {min(cross):.1f}")
+    if max(heights) < min(cross):
+        print("dishwasher nights form their own subtree -- the conserved "
+              "pattern is recoverable despite 34% warping, using exact cDTW.")
+
+
+if __name__ == "__main__":
+    main()

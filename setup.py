@@ -1,0 +1,7 @@
+"""Legacy entry point so ``pip install -e .`` works without the
+``wheel`` package (this environment is offline); configuration lives in
+``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

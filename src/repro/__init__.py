@@ -1,0 +1,53 @@
+"""repro: reproduction of Wu & Keogh, "FastDTW is Approximate and
+Generally Slower than the Algorithm it Approximates" (ICDE 2021).
+
+The package implements, from scratch, both sides of the paper's
+comparison -- exact constrained DTW and the FastDTW approximation --
+together with the lower-bounding/early-abandoning machinery, 1-NN
+classification, hierarchical clustering, the synthetic workloads behind
+every figure, and a benchmark harness that regenerates each table and
+figure of the paper.
+
+Quickstart
+----------
+>>> from repro import dtw, fastdtw
+>>> x = [0.0, 1.0, 2.0, 1.0, 0.0]
+>>> y = [0.0, 0.0, 1.0, 2.0, 1.0]
+>>> exact = dtw(x, y)
+>>> approx = fastdtw(x, y, radius=1)
+>>> exact.distance <= approx.distance  # FastDTW upper-bounds Full DTW
+True
+"""
+
+from .core import (
+    DtwResult,
+    FastDtwResult,
+    WarpingPath,
+    Window,
+    approximation_error_percent,
+    cdtw,
+    dtw,
+    euclidean,
+    fastdtw,
+    halve,
+    paa,
+    windowed_dtw,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DtwResult",
+    "FastDtwResult",
+    "WarpingPath",
+    "Window",
+    "approximation_error_percent",
+    "cdtw",
+    "dtw",
+    "euclidean",
+    "fastdtw",
+    "halve",
+    "paa",
+    "windowed_dtw",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""The paper's Table 1 as an executable decision procedure."""
+
+from .cases import (
+    Case,
+    CaseAnalysis,
+    Recommendation,
+    analyze,
+    classify_case,
+    estimate_warping_amount,
+)
+
+__all__ = [
+    "Case",
+    "CaseAnalysis",
+    "Recommendation",
+    "analyze",
+    "classify_case",
+    "estimate_warping_amount",
+]

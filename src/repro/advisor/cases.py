@@ -1,0 +1,225 @@
+"""Table 1 of the paper, executable: classify (N, W) and recommend.
+
+The paper partitions similarity-measurement settings by series length
+``N`` (short/long around 1,000) and natural warping amount ``W``
+(narrow/wide around 20% of ``N``):
+
+=========  =========  ==========================================
+Case       (N, W)     Paper's verdict
+=========  =========  ==========================================
+A          short/narrow  cDTW, unambiguously (99% of real uses)
+B          long/narrow   cDTW (music alignment experiment)
+C          short/wide    cDTW (power-demand experiment)
+D          long/wide     no known real application; only here can
+                         FastDTW ever be faster, and it is still
+                         approximate
+=========  =========  ==========================================
+
+:func:`analyze` also *measures* ``W`` from sample data when the user
+does not know it, by aligning example pairs with Full DTW and taking
+the maximal band deviation -- the procedure the paper applies to the
+power-demand pair (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Sequence
+
+from ..core.dtw import dtw
+
+#: The paper's (soft) boundaries between the quadrants.
+LONG_N_THRESHOLD = 1000
+WIDE_W_THRESHOLD = 0.20
+
+
+class Case(str, Enum):
+    """The four quadrants of Table 1."""
+
+    A = "A"  # short N, narrow W
+    B = "B"  # long N, narrow W
+    C = "C"  # short N, wide W
+    D = "D"  # long N, wide W
+
+
+class Recommendation(str, Enum):
+    """Which algorithm the paper's evidence supports."""
+
+    CDTW = "cDTW"
+    CDTW_FULL = "cDTW (unconstrained; consider the tradeoff only at very large N)"
+
+
+_EXAMPLES = {
+    Case.A: (
+        "heartbeats, gestures, signatures, golf swings, gene expressions, "
+        "gait cycles, star-light-curves, sign language, bird song"
+    ),
+    Case.B: "music performance, classical dance performance, seismic data",
+    Case.C: "residential electrical power demand",
+    Case.D: "<no obvious applications>",
+}
+
+_RATIONALE = {
+    Case.A: (
+        "cDTW evaluates ~N*(2wN+1) cells which, for short N and narrow w, "
+        "is far fewer than FastDTW's ~N*(8r+14) plus recursion overhead; "
+        "the original FastDTW authors also recommend cDTW here."
+    ),
+    Case.B: (
+        "narrow W keeps the band tiny even for long N (the paper's music "
+        "experiment: cDTW at 45.6 ms vs FastDTW_10 at 238.2 ms for "
+        "N=24,000, w=0.83%)."
+    ),
+    Case.C: (
+        "short N makes even a wide band cheap; FastDTW's overhead exceeds "
+        "computing DTW directly (Fig. 4 and the smart-glove study [23])."
+    ),
+    Case.D: (
+        "the only quadrant where FastDTW can be faster (beyond N~400 at "
+        "w=100%, Fig. 6) -- but no real application is known, the result "
+        "is approximate, and repeated-use tricks still favour exact cDTW."
+    ),
+}
+
+
+@dataclass(frozen=True)
+class CaseAnalysis:
+    """Outcome of :func:`analyze`.
+
+    Attributes
+    ----------
+    case:
+        The Table 1 quadrant.
+    n:
+        Series length analysed.
+    warping:
+        The ``W`` used (given or measured), as a fraction of ``N``.
+    recommendation:
+        The paper's verdict for this quadrant.
+    examples:
+        The paper's example domains for this quadrant.
+    rationale:
+        One-paragraph justification, citing the paper's experiments.
+    """
+
+    case: Case
+    n: int
+    warping: float
+    recommendation: Recommendation
+    examples: str
+    rationale: str
+
+    def recommended_window(self, margin: float = 0.25) -> float:
+        """A concrete cDTW window for this task: ``W`` plus a margin.
+
+        The window must cover the natural warping (or alignments get
+        truncated) but not much more (or accuracy degrades and work
+        grows -- Ratanamahatana's observation).  ``margin`` is the
+        relative headroom over the measured/declared ``W``; the result
+        is clipped to [0, 1] and floored at one cell's worth.
+
+        >>> analyze(n=450, warping=0.34).recommended_window() < 0.5
+        True
+        """
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        w = min(1.0, self.warping * (1.0 + margin))
+        return max(w, 1.0 / self.n)
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        return (
+            f"Case {self.case.value}: N={self.n} "
+            f"({'long' if self.n >= LONG_N_THRESHOLD else 'short'}), "
+            f"W={self.warping:.1%} "
+            f"({'wide' if self.warping >= WIDE_W_THRESHOLD else 'narrow'})\n"
+            f"Recommendation: {self.recommendation.value} "
+            f"with w ~ {self.recommended_window():.1%}\n"
+            f"Known domains: {self.examples}\n"
+            f"Why: {self.rationale}"
+        )
+
+
+def classify_case(
+    n: int,
+    warping: float,
+    long_threshold: int = LONG_N_THRESHOLD,
+    wide_threshold: float = WIDE_W_THRESHOLD,
+) -> Case:
+    """Map ``(N, W)`` to its Table 1 quadrant.
+
+    >>> classify_case(945, 0.04)
+    <Case.A: 'A'>
+    >>> classify_case(24000, 0.0083)
+    <Case.B: 'B'>
+    >>> classify_case(450, 0.40)
+    <Case.C: 'C'>
+    >>> classify_case(5000, 1.0)
+    <Case.D: 'D'>
+    """
+    if n < 1:
+        raise ValueError("N must be positive")
+    if not 0.0 <= warping <= 1.0:
+        raise ValueError("warping must be a fraction in [0, 1]")
+    long_n = n >= long_threshold
+    wide_w = warping >= wide_threshold
+    if long_n:
+        return Case.D if wide_w else Case.B
+    return Case.C if wide_w else Case.A
+
+
+def estimate_warping_amount(
+    pairs: Sequence[tuple], cost: str = "squared",
+) -> float:
+    """Measure ``W`` from sample pairs the way the paper does.
+
+    Aligns each ``(x, y)`` pair with Full DTW and returns the largest
+    band deviation seen, as a fraction of the longer series.  This is
+    the empirical counterpart of the paper's peak-offset estimate for
+    the power data (34%) and an upper bound on the window any of these
+    pairs needs.
+    """
+    if not pairs:
+        raise ValueError("need at least one sample pair")
+    worst = 0.0
+    for x, y in pairs:
+        path = dtw(x, y, cost=cost, return_path=True).path
+        worst = max(worst, path.warp_fraction())
+    return worst
+
+
+def analyze(
+    n: Optional[int] = None,
+    warping: Optional[float] = None,
+    sample_pairs: Optional[Sequence[tuple]] = None,
+) -> CaseAnalysis:
+    """Classify a task and recommend an algorithm.
+
+    Provide either explicit ``n`` and ``warping``, or ``sample_pairs``
+    of representative series (from which both are measured).
+
+    >>> analyze(n=300, warping=0.05).recommendation
+    <Recommendation.CDTW: 'cDTW'>
+    """
+    if sample_pairs is not None:
+        if warping is None:
+            warping = estimate_warping_amount(sample_pairs)
+        if n is None:
+            n = max(
+                max(len(x), len(y)) for x, y in sample_pairs
+            )
+    if n is None or warping is None:
+        raise ValueError(
+            "provide n= and warping=, or sample_pairs= to measure them"
+        )
+    case = classify_case(n, warping)
+    rec = Recommendation.CDTW_FULL if case is Case.D else Recommendation.CDTW
+    return CaseAnalysis(
+        case=case,
+        n=n,
+        warping=warping,
+        recommendation=rec,
+        examples=_EXAMPLES[case],
+        rationale=_RATIONALE[case],
+    )

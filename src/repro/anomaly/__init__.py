@@ -1,0 +1,15 @@
+"""Anomaly detection: time-series discord discovery under cDTW.
+
+One of the intro's motivating tasks ("similarity search, clustering,
+classification, anomaly detection...").  A *discord* is the
+subsequence whose nearest non-overlapping neighbour is farthest away
+-- the stream's most anomalous window.  Finding it is a nested search
+that multiplies the repeated-use argument of Section 3.4: every inner
+nearest-neighbour scan benefits from the lossless lower-bound cascade,
+and the outer loop adds its own early abandoning.  None of this is
+available to FastDTW.
+"""
+
+from .discord import Discord, find_discord
+
+__all__ = ["Discord", "find_discord"]

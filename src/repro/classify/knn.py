@@ -1,0 +1,257 @@
+"""1-nearest-neighbour classification under a pluggable distance.
+
+:class:`DistanceSpec` names the measures the paper compares --
+Euclidean, banded cDTW (optionally lower-bound accelerated), Full DTW
+and FastDTW -- and :class:`OneNearestNeighbor` runs the standard 1-NN
+rule with any of them, tracking total DP cells so experiments can
+report work as well as accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil, inf
+from typing import List, Optional, Sequence
+
+from ..core.cdtw import cdtw
+from ..core.dtw import dtw
+from ..core.euclidean import euclidean
+from ..core.fastdtw import fastdtw
+from ..search.nn_search import nearest_neighbor
+
+MEASURES = ("euclidean", "cdtw", "dtw", "fastdtw")
+
+
+@dataclass(frozen=True)
+class DistanceSpec:
+    """A named distance configuration for classification.
+
+    Attributes
+    ----------
+    measure:
+        One of :data:`MEASURES`.
+    window:
+        cDTW band as a fraction of length (``measure="cdtw"`` only).
+    radius:
+        FastDTW radius (``measure="fastdtw"`` only).
+    use_lower_bounds:
+        For ``"cdtw"``: route through the lossless LB cascade (exact,
+        faster); meaningless for the other measures.
+    """
+
+    measure: str
+    window: Optional[float] = None
+    radius: Optional[int] = None
+    use_lower_bounds: bool = False
+
+    def __post_init__(self) -> None:
+        if self.measure not in MEASURES:
+            raise ValueError(
+                f"unknown measure {self.measure!r}; pick from {MEASURES}"
+            )
+        if self.measure == "cdtw":
+            if self.window is None or not 0.0 <= self.window <= 1.0:
+                raise ValueError("cdtw needs window= in [0, 1]")
+        elif self.window is not None:
+            raise ValueError("window= only applies to measure='cdtw'")
+        if self.measure == "fastdtw":
+            if self.radius is None or self.radius < 0:
+                raise ValueError("fastdtw needs radius >= 0")
+        elif self.radius is not None:
+            raise ValueError("radius= only applies to measure='fastdtw'")
+
+    def describe(self) -> str:
+        """Paper-style name, e.g. ``cDTW_10`` or ``FastDTW_20``."""
+        if self.measure == "euclidean":
+            return "Euclidean"
+        if self.measure == "dtw":
+            return "Full DTW"
+        if self.measure == "cdtw":
+            return f"cDTW_{round(self.window * 100)}"
+        return f"FastDTW_{self.radius}"
+
+
+class OneNearestNeighbor:
+    """1-NN classifier over labelled series.
+
+    Parameters
+    ----------
+    spec:
+        The distance configuration.
+
+    Notes
+    -----
+    ``fit`` stores the training series; ``predict`` performs a linear
+    scan per query (the setting of all the paper's experiments -- no
+    indexing, both measures get the same scan).
+    """
+
+    def __init__(self, spec: DistanceSpec):
+        self.spec = spec
+        self._train: List[List[float]] = []
+        self._labels: List[object] = []
+        self.cells_evaluated = 0
+
+    def fit(
+        self, series: Sequence[Sequence[float]], labels: Sequence[object]
+    ) -> "OneNearestNeighbor":
+        """Store the training set (series and labels, same length)."""
+        if len(series) != len(labels):
+            raise ValueError("series and labels must have equal length")
+        if not series:
+            raise ValueError("training set is empty")
+        self._train = [list(s) for s in series]
+        self._labels = list(labels)
+        return self
+
+    def predict_one(self, query: Sequence[float], exclude: Optional[int] = None):
+        """Label of the training series nearest to ``query``.
+
+        ``exclude`` skips one training index (leave-one-out CV).
+        """
+        if not self._train:
+            raise ValueError("classifier is not fitted")
+        indices = [
+            i for i in range(len(self._train)) if i != exclude
+        ]
+        if not indices:
+            raise ValueError("no training candidates after exclusion")
+        candidates = [self._train[i] for i in indices]
+        idx, _dist, cells = self._nearest(query, candidates)
+        self.cells_evaluated += cells
+        return self._labels[indices[idx]]
+
+    def predict(self, queries: Sequence[Sequence[float]]) -> List[object]:
+        """Labels for a batch of query series."""
+        return [self.predict_one(q) for q in queries]
+
+    def error_rate(
+        self,
+        queries: Sequence[Sequence[float]],
+        labels: Sequence[object],
+    ) -> float:
+        """Fraction of ``queries`` misclassified against ``labels``."""
+        if len(queries) != len(labels):
+            raise ValueError("queries and labels must have equal length")
+        if not queries:
+            raise ValueError("no queries")
+        wrong = sum(
+            1 for q, lab in zip(queries, labels) if self.predict_one(q) != lab
+        )
+        return wrong / len(queries)
+
+    # -- internal ---------------------------------------------------------
+
+    def _nearest(self, query, candidates):
+        idx, dist, cells = _nearest_impl(self.spec, query, candidates)
+        return idx, dist, cells
+
+
+class KNearestNeighbors:
+    """k-NN majority-vote classifier under a pluggable distance.
+
+    Generalises :class:`OneNearestNeighbor` (``k = 1`` is identical).
+    Vote ties break towards the label of the nearest neighbour among
+    the tied labels, the standard convention.
+
+    Note: with ``k > 1`` every candidate's distance is needed, so the
+    lossless best-so-far pruning of the 1-NN cascade does not apply;
+    ``use_lower_bounds`` is therefore ignored for ``k > 1``.
+    """
+
+    def __init__(self, spec: DistanceSpec, k: int = 3):
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.spec = spec
+        self.k = k
+        self._train: List[List[float]] = []
+        self._labels: List[object] = []
+
+    def fit(
+        self, series: Sequence[Sequence[float]], labels: Sequence[object]
+    ) -> "KNearestNeighbors":
+        """Store the training set."""
+        if len(series) != len(labels):
+            raise ValueError("series and labels must have equal length")
+        if len(series) < self.k:
+            raise ValueError(
+                f"need at least k={self.k} training series, got {len(series)}"
+            )
+        self._train = [list(s) for s in series]
+        self._labels = list(labels)
+        return self
+
+    def predict_one(self, query: Sequence[float]):
+        """Majority label among the ``k`` nearest training series."""
+        if not self._train:
+            raise ValueError("classifier is not fitted")
+        distances = [
+            (_distance(self.spec, query, cand), i)
+            for i, cand in enumerate(self._train)
+        ]
+        distances.sort()
+        top = distances[: self.k]
+        votes: dict = {}
+        for d, i in top:
+            votes.setdefault(self._labels[i], []).append(d)
+        best_count = max(len(ds) for ds in votes.values())
+        tied = [
+            (min(ds), label)
+            for label, ds in votes.items()
+            if len(ds) == best_count
+        ]
+        return min(tied)[1]
+
+    def predict(self, queries: Sequence[Sequence[float]]) -> List[object]:
+        """Labels for a batch of queries."""
+        return [self.predict_one(q) for q in queries]
+
+    def error_rate(
+        self,
+        queries: Sequence[Sequence[float]],
+        labels: Sequence[object],
+    ) -> float:
+        """Fraction of ``queries`` misclassified."""
+        if len(queries) != len(labels):
+            raise ValueError("queries and labels must have equal length")
+        if not queries:
+            raise ValueError("no queries")
+        wrong = sum(
+            1 for q, lab in zip(queries, labels) if self.predict_one(q) != lab
+        )
+        return wrong / len(queries)
+
+
+def _distance(spec: DistanceSpec, x, y) -> float:
+    if spec.measure == "euclidean":
+        return euclidean(x, y)
+    if spec.measure == "dtw":
+        return dtw(x, y).distance
+    if spec.measure == "cdtw":
+        return cdtw(x, y, window=spec.window).distance
+    return fastdtw(x, y, radius=spec.radius).distance
+
+
+def _nearest_impl(spec: DistanceSpec, query, candidates):
+    """Index, distance and DP cells of the nearest candidate."""
+    if spec.measure == "cdtw" and spec.use_lower_bounds:
+        res = nearest_neighbor(
+            query, candidates, strategy="cdtw+lb", window=spec.window
+        )
+        return res.index, res.distance, res.cells
+    best_idx, best, cells = 0, inf, 0
+    for i, cand in enumerate(candidates):
+        if spec.measure == "euclidean":
+            d = euclidean(query, cand, abandon_above=best)
+        elif spec.measure == "dtw":
+            r = dtw(query, cand)
+            d, cells = r.distance, cells + r.cells
+        elif spec.measure == "cdtw":
+            r = cdtw(query, cand, window=spec.window)
+            d, cells = r.distance, cells + r.cells
+        else:  # fastdtw
+            r = fastdtw(query, cand, radius=spec.radius)
+            d, cells = r.distance, cells + r.cells
+        if d < best:
+            best, best_idx = d, i
+    return best_idx, best, cells

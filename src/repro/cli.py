@@ -1,0 +1,127 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro list                      # enumerate experiments
+    python -m repro run fig1                  # laptop-scale defaults
+    python -m repro run fig1 --paper-scale    # the paper's parameters
+    python -m repro run all                   # everything (slow)
+    python -m repro advise --n 945 --warping 0.04   # Table 1 verdict
+
+Each experiment id matches DESIGN.md §3 and the module registry in
+:mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .advisor.cases import analyze
+from .experiments import EXPERIMENTS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'FastDTW is Approximate and Generally "
+            "Slower than the Algorithm it Approximates' (Wu & Keogh, "
+            "ICDE 2021)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        help=f"one of: all, {', '.join(sorted(EXPERIMENTS))}",
+    )
+    run.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's full-scale parameters (hours, not seconds)",
+    )
+
+    sub.add_parser(
+        "verdicts",
+        help="run every experiment and check each paper claim",
+    )
+
+    advise = sub.add_parser(
+        "advise", help="classify a task per the paper's Table 1"
+    )
+    advise.add_argument("--n", type=int, required=True,
+                        help="series length N")
+    advise.add_argument(
+        "--warping", type=float, required=True,
+        help="natural warping amount W as a fraction of N (e.g. 0.04)",
+    )
+    return parser
+
+
+def _describe(module) -> str:
+    doc = (module.__doc__ or "").strip().splitlines()
+    return doc[0] if doc else ""
+
+
+def cmd_list() -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name in sorted(EXPERIMENTS):
+        print(f"{name.ljust(width)}  {_describe(EXPERIMENTS[name])}")
+    return 0
+
+
+def cmd_run(experiment: str, paper_scale: bool) -> int:
+    if experiment == "all":
+        names = sorted(EXPERIMENTS)
+    elif experiment in EXPERIMENTS:
+        names = [experiment]
+    else:
+        print(
+            f"unknown experiment {experiment!r}; run 'repro list'",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        module = EXPERIMENTS[name]
+        config = module.PAPER_SCALE if paper_scale else module.DEFAULT
+        result = module.run(config)
+        print(module.format_report(result))
+        print()
+    return 0
+
+
+def cmd_advise(n: int, warping: float) -> int:
+    try:
+        print(analyze(n=n, warping=warping).describe())
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_verdicts() -> int:
+    from .experiments.verdicts import collect_verdicts, format_verdicts
+
+    verdicts = collect_verdicts()
+    print(format_verdicts(verdicts))
+    return 0 if all(v.holds for v in verdicts) else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args.experiment, args.paper_scale)
+    if args.command == "advise":
+        return cmd_advise(args.n, args.warping)
+    if args.command == "verdicts":
+        return cmd_verdicts()
+    raise AssertionError(f"unhandled command {args.command!r}")

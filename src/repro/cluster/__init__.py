@@ -1,0 +1,26 @@
+"""Agglomerative hierarchical clustering over distance matrices.
+
+Built for the paper's Fig. 7: clustering three series under Full DTW
+versus FastDTW_20 produces different dendrograms, because FastDTW's
+approximation error (156,100% on the adversarial pair) moves A and B
+apart.  The implementation is generic: any symmetric distance matrix,
+single/complete/average linkage, with a tree object and ASCII
+rendering.
+"""
+
+from .dba import DbaResult, dba
+from .dendrogram import ClusterNode, render_ascii
+from .kmeans import KMeansResult, dtw_kmeans
+from .linkage import LINKAGES, Merge, linkage
+
+__all__ = [
+    "ClusterNode",
+    "DbaResult",
+    "KMeansResult",
+    "LINKAGES",
+    "Merge",
+    "dba",
+    "dtw_kmeans",
+    "linkage",
+    "render_ascii",
+]

@@ -1,0 +1,135 @@
+"""Dendrogram trees and terminal rendering.
+
+Turns the merge list of :func:`repro.cluster.linkage.linkage` into a
+navigable tree and renders it as ASCII art -- the closest a terminal
+gets to the paper's Fig. 7 panels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .linkage import Merge
+
+
+@dataclass
+class ClusterNode:
+    """A node of the dendrogram.
+
+    Leaves have ``left is None and right is None`` and carry their item
+    ``id``; internal nodes carry the linkage ``height`` at which their
+    children merged.
+    """
+
+    id: int
+    height: float = 0.0
+    left: Optional["ClusterNode"] = None
+    right: Optional["ClusterNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    def leaves(self) -> List[int]:
+        """Leaf item ids, left-to-right."""
+        if self.is_leaf:
+            return [self.id]
+        return self.left.leaves() + self.right.leaves()
+
+    @classmethod
+    def from_merges(cls, merges: Sequence[Merge]) -> "ClusterNode":
+        """Build the tree for a complete merge list."""
+        if not merges:
+            raise ValueError("no merges")
+        k = len(merges) + 1
+        nodes = {i: cls(i) for i in range(k)}
+        for step, m in enumerate(merges):
+            node = cls(
+                k + step,
+                height=m.distance,
+                left=nodes[m.left],
+                right=nodes[m.right],
+            )
+            nodes[k + step] = node
+        return nodes[k + len(merges) - 1]
+
+    def cophenetic(self, a: int, b: int) -> float:
+        """Height at which leaves ``a`` and ``b`` first share a cluster."""
+        if a == b:
+            return 0.0
+        node = self._lowest_common(a, b)
+        if node is None:
+            raise ValueError(f"leaves {a} and {b} not both in this tree")
+        return node.height
+
+    def _lowest_common(self, a: int, b: int) -> Optional["ClusterNode"]:
+        if self.is_leaf:
+            return None
+        left_leaves = set(self.left.leaves())
+        right_leaves = set(self.right.leaves())
+        if a in left_leaves and b in left_leaves:
+            return self.left._lowest_common(a, b) or self
+        if a in right_leaves and b in right_leaves:
+            return self.right._lowest_common(a, b) or self
+        if {a, b} <= left_leaves | right_leaves:
+            return self
+        return None
+
+
+def render_ascii(
+    root: ClusterNode,
+    labels: Optional[Sequence[str]] = None,
+    width: int = 40,
+) -> str:
+    """Render a dendrogram as ASCII art, one leaf per line.
+
+    Bar length is proportional to merge height (scaled to ``width``
+    columns), so the paper's Fig. 7 contrast -- A and B fusing at
+    ~0.02 under Full DTW but at 31.24 under FastDTW_20 -- is visible
+    at a glance.
+    """
+    leaves = root.leaves()
+    if labels is None:
+        labels = [str(i) for i in range(max(leaves) + 1)]
+    max_h = max(_heights(root)) or 1.0
+
+    def col(height: float) -> int:
+        return 1 + int((width - 1) * height / max_h)
+
+    lines: List[str] = []
+
+    def walk(node: ClusterNode, depth_col: int) -> int:
+        """Render subtree; return the line index of its connector."""
+        if node.is_leaf:
+            lines.append(f"{labels[node.id]:>8} -+")
+            return len(lines) - 1
+        c = col(node.height)
+        top = walk(node.left, c)
+        bot = walk(node.right, c)
+        # extend horizontal bars of the two children to column c
+        for idx in (top, bot):
+            pad = 10 + c - len(lines[idx])
+            lines[idx] = lines[idx] + "-" * max(0, pad)
+        # vertical connector
+        for idx in range(top + 1, bot):
+            base = lines[idx]
+            pos = 10 + c
+            if len(base) < pos + 1:
+                base = base + " " * (pos + 1 - len(base))
+            if base[pos] == " ":
+                base = base[:pos] + "|" + base[pos + 1:]
+            lines[idx] = base
+        mid = (top + bot) // 2
+        for idx in (top, bot):
+            lines[idx] += "+"
+        return mid
+
+    walk(root, 0)
+    return "\n".join(lines)
+
+
+def _heights(node: ClusterNode) -> List[float]:
+    if node.is_leaf:
+        return [0.0]
+    return [node.height] + _heights(node.left) + _heights(node.right)

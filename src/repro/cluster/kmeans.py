@@ -1,0 +1,154 @@
+"""DTW k-means: partitional clustering with DBA centroids.
+
+The intro's "clustering" task in its most common DTW form: Lloyd-style
+iterations where assignment uses banded cDTW and the centroid update
+is DTW Barycenter Averaging.  Every distance evaluated is exact; the
+band both regularises alignments and keeps each iteration
+O(k_clusters * n_series * N * band).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from math import inf
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.cdtw import cdtw
+from ..core.dtw import dtw
+from ..core.validate import validate_series
+from .dba import dba
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Clustering outcome.
+
+    Attributes
+    ----------
+    centroids:
+        One barycenter per cluster.
+    assignments:
+        Cluster index per input series.
+    inertia:
+        Total DTW distance of every series to its centroid.
+    iterations:
+        Lloyd rounds performed.
+    converged:
+        Whether assignments stabilised before the iteration cap.
+    """
+
+    centroids: Tuple[Tuple[float, ...], ...]
+    assignments: Tuple[int, ...]
+    inertia: float
+    iterations: int
+    converged: bool
+
+
+def dtw_kmeans(
+    series: Sequence[Sequence[float]],
+    k: int,
+    band: Optional[int] = None,
+    max_iterations: int = 10,
+    dba_iterations: int = 3,
+    seed: int = 0,
+) -> KMeansResult:
+    """Cluster equal-length series into ``k`` groups under DTW.
+
+    Parameters
+    ----------
+    series:
+        At least ``k`` equal-length series.
+    k:
+        Number of clusters.
+    band:
+        cDTW band for assignments and barycenters (``None`` = Full
+        DTW).
+    max_iterations:
+        Lloyd iteration cap.
+    dba_iterations:
+        DBA rounds per centroid update.
+    seed:
+        Seeds the k-means++-style initial centroid choice.
+
+    Returns
+    -------
+    KMeansResult
+        Deterministic for a given seed.
+    """
+    lists = [list(s) for s in series]
+    for i, s in enumerate(lists):
+        validate_series(s, f"series {i}")
+    if k < 1:
+        raise ValueError("k must be positive")
+    if len(lists) < k:
+        raise ValueError(f"need at least k={k} series, got {len(lists)}")
+    if len({len(s) for s in lists}) != 1:
+        raise ValueError("series must share one length")
+
+    def dist(a, b) -> float:
+        if band is None:
+            return dtw(a, b).distance
+        return cdtw(a, b, band=band).distance
+
+    centroids = _plus_plus_init(lists, k, dist, random.Random(seed))
+
+    assignments: List[int] = [-1] * len(lists)
+    iterations = 0
+    converged = False
+    for _ in range(max_iterations):
+        new_assignments = []
+        for s in lists:
+            best, best_c = inf, 0
+            for c, centre in enumerate(centroids):
+                d = dist(centre, s)
+                if d < best:
+                    best, best_c = d, c
+            new_assignments.append(best_c)
+        iterations += 1
+        if new_assignments == assignments:
+            converged = True
+            break
+        assignments = new_assignments
+        for c in range(k):
+            members = [
+                lists[i] for i, a in enumerate(assignments) if a == c
+            ]
+            if members:
+                centroids[c] = list(
+                    dba(members, max_iterations=dba_iterations,
+                        band=band).barycenter
+                )
+            # empty clusters keep their previous centroid
+
+    inertia = sum(
+        dist(centroids[assignments[i]], s) for i, s in enumerate(lists)
+    )
+    return KMeansResult(
+        centroids=tuple(tuple(c) for c in centroids),
+        assignments=tuple(assignments),
+        inertia=inertia,
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+def _plus_plus_init(lists, k, dist, rng) -> List[List[float]]:
+    """k-means++ seeding: spread initial centroids apart."""
+    centroids = [list(lists[rng.randrange(len(lists))])]
+    while len(centroids) < k:
+        weights = []
+        for s in lists:
+            weights.append(min(dist(c, s) for c in centroids))
+        total = sum(weights)
+        if total <= 0:  # all identical: arbitrary distinct picks
+            centroids.append(list(lists[len(centroids) % len(lists)]))
+            continue
+        r = rng.uniform(0, total)
+        acc = 0.0
+        for s, w in zip(lists, weights):
+            acc += w
+            if acc >= r:
+                centroids.append(list(s))
+                break
+    return centroids

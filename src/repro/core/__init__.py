@@ -1,0 +1,84 @@
+"""DTW core: exact full/constrained DTW and the FastDTW approximation.
+
+This package is the subject of the paper: both contenders --
+exact constrained DTW (:func:`cdtw`) and the approximate
+:func:`fastdtw` -- implemented from scratch over one shared
+dynamic-programming engine, so every timing comparison is
+like-for-like.
+"""
+
+from .cost import BUILTIN_COSTS, absolute_cost, resolve_cost, squared_cost
+from .cdtw import band_cells, cdtw
+from .downsample_dtw import DownsampledDtwResult, downsampled_dtw
+from .dtw import dtw, windowed_dtw
+from .engine import DtwResult, dp_over_window
+from .error import approximation_error, approximation_error_percent
+from .euclidean import euclidean, euclidean_l2
+from .fastdtw import (
+    FastDtwLevel,
+    FastDtwResult,
+    fastdtw,
+    fastdtw_cell_estimate,
+)
+from .fastdtw_reference import fastdtw_reference
+from .matrix import DistanceMatrix, distance_matrix
+from .multivariate import (
+    cdtw_nd,
+    dtw_nd,
+    fastdtw_nd,
+    halve_nd,
+    interleave,
+    magnitude,
+    vector_abs_cost,
+    vector_squared_cost,
+)
+from .numpy_backend import dtw_numpy, pairwise_matrix_numpy
+from .validate import validate_pair, validate_series
+from .paa import halve, paa, paa_factor
+from .path import InvalidPathError, WarpingPath, diagonal_path
+from .window import Window
+
+__all__ = [
+    "BUILTIN_COSTS",
+    "DistanceMatrix",
+    "DownsampledDtwResult",
+    "DtwResult",
+    "FastDtwLevel",
+    "FastDtwResult",
+    "InvalidPathError",
+    "WarpingPath",
+    "Window",
+    "absolute_cost",
+    "approximation_error",
+    "approximation_error_percent",
+    "band_cells",
+    "cdtw",
+    "cdtw_nd",
+    "diagonal_path",
+    "distance_matrix",
+    "downsampled_dtw",
+    "dp_over_window",
+    "dtw",
+    "dtw_nd",
+    "dtw_numpy",
+    "euclidean",
+    "euclidean_l2",
+    "fastdtw",
+    "fastdtw_cell_estimate",
+    "fastdtw_nd",
+    "fastdtw_reference",
+    "halve",
+    "halve_nd",
+    "interleave",
+    "magnitude",
+    "paa",
+    "paa_factor",
+    "pairwise_matrix_numpy",
+    "resolve_cost",
+    "squared_cost",
+    "validate_pair",
+    "validate_series",
+    "vector_abs_cost",
+    "vector_squared_cost",
+    "windowed_dtw",
+]

@@ -1,0 +1,83 @@
+"""Local (per-cell) cost functions for DTW lattices.
+
+A local cost function measures the dissimilarity of a single pair of
+samples ``(x[i], y[j])``.  DTW accumulates local costs along a warping
+path; the choice of local cost changes absolute distances but not who
+wins any of the paper's timing comparisons, because both cDTW and
+FastDTW evaluate the same function per lattice cell.
+
+Two built-in costs are provided:
+
+* ``"squared"`` -- ``(a - b) ** 2``, the cost used in the paper's DTW
+  recurrence (Section 2) and the convention under which
+  ``cdtw(x, y, band=0)`` equals the squared Euclidean distance.
+* ``"abs"`` -- ``|a - b|``, the cost used by the reference ``fastdtw``
+  Python package (radius-based approximation, Appendix B).
+
+Arbitrary callables ``f(a, b) -> float`` are accepted anywhere a cost
+name is accepted, at some speed penalty (the string forms are inlined
+into the dynamic-programming loops).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+CostFunction = Callable[[float, float], float]
+CostLike = Union[str, CostFunction]
+
+#: Names accepted by every DTW entry point in :mod:`repro.core`.
+BUILTIN_COSTS = ("squared", "abs")
+
+
+def squared_cost(a: float, b: float) -> float:
+    """Squared difference ``(a - b) ** 2`` of two samples."""
+    d = a - b
+    return d * d
+
+
+def absolute_cost(a: float, b: float) -> float:
+    """Absolute difference ``|a - b|`` of two samples."""
+    return abs(a - b)
+
+
+_BY_NAME: dict[str, CostFunction] = {
+    "squared": squared_cost,
+    "abs": absolute_cost,
+}
+
+
+def resolve_cost(cost: CostLike) -> CostFunction:
+    """Turn a cost name or callable into a callable.
+
+    Parameters
+    ----------
+    cost:
+        Either one of :data:`BUILTIN_COSTS` or a callable
+        ``f(a, b) -> float``.
+
+    Raises
+    ------
+    ValueError
+        If ``cost`` is a string that is not a built-in cost name.
+    TypeError
+        If ``cost`` is neither a string nor a callable.
+    """
+    if isinstance(cost, str):
+        try:
+            return _BY_NAME[cost]
+        except KeyError:
+            raise ValueError(
+                f"unknown cost {cost!r}; expected one of {BUILTIN_COSTS}"
+            ) from None
+    if callable(cost):
+        return cost
+    raise TypeError(f"cost must be a name or callable, got {type(cost).__name__}")
+
+
+def cost_name(cost: CostLike) -> str:
+    """Human-readable name of a cost, for result reprs and reports."""
+    if isinstance(cost, str):
+        resolve_cost(cost)  # validate
+        return cost
+    return getattr(cost, "__name__", "custom")

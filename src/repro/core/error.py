@@ -1,0 +1,44 @@
+"""The approximation-error metric from the original FastDTW paper.
+
+Salvador & Chan score an approximation against the exact distance as
+
+    error = (approx - exact) / exact
+
+reported as a percentage.  The paper under reproduction uses this
+metric to report the Appendix A adversarial pair's error of 156,100%
+(FastDTW_20 distance 31.24 vs Full DTW distance 0.020).
+"""
+
+from __future__ import annotations
+
+from math import inf, isnan
+
+
+def approximation_error(approx: float, exact: float) -> float:
+    """Relative approximation error ``(approx - exact) / exact``.
+
+    Returns ``0.0`` when both are zero (a perfect approximation of a
+    perfect match) and ``inf`` when only the exact distance is zero.
+
+    Raises
+    ------
+    ValueError
+        If either operand is negative or NaN -- distances cannot be.
+    """
+    for name, v in (("approx", approx), ("exact", exact)):
+        if isnan(v):
+            raise ValueError(f"{name} distance is NaN")
+        if v < 0:
+            raise ValueError(f"{name} distance is negative: {v}")
+    if exact == 0.0:
+        return 0.0 if approx == 0.0 else inf
+    return (approx - exact) / exact
+
+
+def approximation_error_percent(approx: float, exact: float) -> float:
+    """:func:`approximation_error` expressed as a percentage.
+
+    >>> round(approximation_error_percent(31.24, 0.020))
+    156100
+    """
+    return approximation_error(approx, exact) * 100.0

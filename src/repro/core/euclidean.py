@@ -1,0 +1,71 @@
+"""Euclidean distance: the ``w = 0`` degenerate case of cDTW.
+
+The paper's Section 2 notes that ``cDTW_0`` *is* the Euclidean
+distance.  This module provides it directly (O(n), no lattice), with
+optional early abandoning, which :mod:`repro.search` uses as the
+cheapest member of its cascade.
+"""
+
+from __future__ import annotations
+
+from math import inf, sqrt
+from typing import Optional, Sequence
+
+from .cost import CostLike, resolve_cost
+
+
+def euclidean(
+    x: Sequence[float],
+    y: Sequence[float],
+    cost: CostLike = "squared",
+    abandon_above: Optional[float] = None,
+) -> float:
+    """Lock-step distance ``sum(cost(x[i], y[i]))``.
+
+    Parameters
+    ----------
+    x, y:
+        Equal-length, non-empty series.
+    cost:
+        Local cost (default ``"squared"``, giving the squared Euclidean
+        distance; take :func:`math.sqrt` for the L2 norm).
+    abandon_above:
+        If the running sum exceeds this threshold, return ``inf``
+        immediately (early abandoning).
+
+    Raises
+    ------
+    ValueError
+        If the series are empty or of different lengths.
+    """
+    if len(x) != len(y):
+        raise ValueError(
+            f"euclidean distance needs equal lengths, got {len(x)} and {len(y)}"
+        )
+    if not len(x):
+        raise ValueError("cannot compare empty series")
+    if cost == "squared":
+        total = 0.0
+        if abandon_above is None:
+            for a, b in zip(x, y):
+                d = a - b
+                total += d * d
+            return total
+        for a, b in zip(x, y):
+            d = a - b
+            total += d * d
+            if total > abandon_above:
+                return inf
+        return total
+    fn = resolve_cost(cost)
+    total = 0.0
+    for a, b in zip(x, y):
+        total += fn(a, b)
+        if abandon_above is not None and total > abandon_above:
+            return inf
+    return total
+
+
+def euclidean_l2(x: Sequence[float], y: Sequence[float]) -> float:
+    """The familiar L2 norm ``sqrt(sum((x - y) ** 2))``."""
+    return sqrt(euclidean(x, y, cost="squared"))

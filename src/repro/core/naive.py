@@ -1,0 +1,101 @@
+"""Naive reference implementations for cross-checking the engine.
+
+These are the textbook O(n*m)-memory formulations, written for
+obviousness rather than speed.  The test-suite validates every
+optimised routine in :mod:`repro.core` against them on small inputs
+(including via Hypothesis-generated series), so a bug would have to be
+present in two independently written implementations to go unnoticed.
+"""
+
+from __future__ import annotations
+
+from math import inf
+from typing import List, Optional, Sequence, Tuple
+
+from .cost import CostLike, resolve_cost
+
+
+def naive_full_matrix(
+    x: Sequence[float],
+    y: Sequence[float],
+    cost: CostLike = "squared",
+    band: Optional[int] = None,
+) -> List[List[float]]:
+    """The full accumulated-cost matrix ``D`` of the DTW recurrence.
+
+    ``band``, if given, applies the classic (slope-corrected)
+    Sakoe-Chiba constraint by leaving excluded cells at ``inf``.
+    """
+    n, m = len(x), len(y)
+    if n == 0 or m == 0:
+        raise ValueError("cannot warp empty series")
+    fn = resolve_cost(cost)
+    slope = (m - 1) / (n - 1) if n > 1 else 0.0
+
+    def allowed(i: int, j: int) -> bool:
+        if band is None:
+            return True
+        return abs(j - i * slope) <= band + 1e-9
+
+    D = [[inf] * m for _ in range(n)]
+    for i in range(n):
+        for j in range(m):
+            if not allowed(i, j):
+                continue
+            local = fn(x[i], y[j])
+            if i == 0 and j == 0:
+                D[i][j] = local
+            elif i == 0:
+                D[i][j] = local + D[i][j - 1]
+            elif j == 0:
+                D[i][j] = local + D[i - 1][j]
+            else:
+                D[i][j] = local + min(
+                    D[i - 1][j - 1], D[i - 1][j], D[i][j - 1]
+                )
+    return D
+
+
+def naive_dtw(
+    x: Sequence[float],
+    y: Sequence[float],
+    cost: CostLike = "squared",
+    band: Optional[int] = None,
+) -> float:
+    """Naive DTW distance (optionally banded).
+
+    Note the band here follows the *mathematical* constraint
+    ``|j - i * slope| <= band``; the engine's
+    :meth:`~repro.core.window.Window.band` additionally widens
+    infeasible bands, so comparisons in tests use feasible settings.
+    """
+    D = naive_full_matrix(x, y, cost=cost, band=band)
+    return D[-1][-1]
+
+
+def naive_path(
+    x: Sequence[float],
+    y: Sequence[float],
+    cost: CostLike = "squared",
+) -> Tuple[float, List[Tuple[int, int]]]:
+    """Naive full-DTW distance plus an optimal path (diagonal-preferring)."""
+    D = naive_full_matrix(x, y, cost=cost)
+    i, j = len(x) - 1, len(y) - 1
+    cells = [(i, j)]
+    while i > 0 or j > 0:
+        if i == 0:
+            j -= 1
+        elif j == 0:
+            i -= 1
+        else:
+            diag, vert, horz = D[i - 1][j - 1], D[i - 1][j], D[i][j - 1]
+            best = min(diag, vert, horz)
+            if diag == best:
+                i, j = i - 1, j - 1
+            elif vert == best:
+                i -= 1
+            else:
+                j -= 1
+        cells.append((i, j))
+    cells.reverse()
+    return D[-1][-1], cells

@@ -1,0 +1,89 @@
+"""Piecewise Aggregate Approximation (PAA) and halving downsampling.
+
+PAA replaces a series by the means of consecutive blocks.  FastDTW's
+coarsening step is PAA with block size 2 applied recursively; the
+Appendix A experiment uses 8-to-1 PAA to show how coarsening can invert
+the warp direction of a pathological pair.
+
+Two conventions matter and both are provided:
+
+* :func:`halve` -- FastDTW's own reduction: consecutive *pairs* are
+  averaged and a dangling final sample (odd length) is dropped,
+  matching the reference implementation of Salvador & Chan.
+* :func:`paa` -- classic PAA to an arbitrary number of segments, with
+  fractional block boundaries handled by weighted means so that every
+  sample contributes exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def halve(x: Sequence[float]) -> List[float]:
+    """FastDTW's 2-to-1 reduction: mean of consecutive pairs.
+
+    An odd-length series loses its final sample, exactly as in the
+    reference implementation (``range(0, len(x) - len(x) % 2, 2)``).
+
+    >>> halve([0.0, 2.0, 4.0, 6.0])
+    [1.0, 5.0]
+    >>> halve([0.0, 2.0, 7.0])
+    [1.0]
+    """
+    if len(x) < 2:
+        raise ValueError("cannot halve a series of fewer than 2 samples")
+    return [(x[i] + x[i + 1]) / 2.0 for i in range(0, len(x) - len(x) % 2, 2)]
+
+
+def paa(x: Sequence[float], segments: int) -> List[float]:
+    """Classic PAA: reduce ``x`` to ``segments`` block means.
+
+    Block boundaries need not be integers; boundary samples contribute
+    to both neighbouring blocks with fractional weight, so the result
+    is exact for any ``segments <= len(x)``.
+
+    >>> paa([1.0, 1.0, 3.0, 3.0], 2)
+    [1.0, 3.0]
+    >>> paa([1.0, 2.0, 3.0], 3)
+    [1.0, 2.0, 3.0]
+    """
+    n = len(x)
+    if segments < 1:
+        raise ValueError("segments must be positive")
+    if segments > n:
+        raise ValueError(f"cannot expand {n} samples into {segments} segments")
+    if segments == n:
+        return [float(v) for v in x]
+    out: List[float] = []
+    block = n / segments
+    for s in range(segments):
+        start = s * block
+        end = (s + 1) * block
+        total = 0.0
+        i = int(start)
+        pos = start
+        while pos < end - 1e-12:
+            nxt = min(float(i + 1), end)
+            total += x[i] * (nxt - pos)
+            pos = nxt
+            i += 1
+        out.append(total / block)
+    return out
+
+
+def paa_factor(x: Sequence[float], factor: int) -> List[float]:
+    """PAA by an integer downsampling *factor* (e.g. 8-to-1).
+
+    A convenience wrapper over :func:`paa`: the output has
+    ``ceil(len(x) / factor)`` segments, so a trailing partial block is
+    averaged over its actual (shorter) extent.
+    """
+    if factor < 1:
+        raise ValueError("factor must be positive")
+    n = len(x)
+    out: List[float] = []
+    for start in range(0, n, factor):
+        block = x[start:start + factor]
+        out.append(sum(block) / len(block))
+    return out

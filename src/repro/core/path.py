@@ -1,0 +1,235 @@
+"""Warping paths: the alignment objects produced by every DTW variant.
+
+A warping path between series ``x`` (length ``n``) and ``y`` (length
+``m``) is a sequence of lattice cells ``(i, j)`` that
+
+* starts at ``(0, 0)`` and ends at ``(n - 1, m - 1)`` (boundary),
+* is non-decreasing in both coordinates (monotonicity), and
+* advances each coordinate by at most one per step (continuity).
+
+:class:`WarpingPath` is an immutable value type wrapping such a
+sequence.  Besides validation it offers the operations the paper's
+experiments need:
+
+* :meth:`cost` -- re-evaluate the path's accumulated cost on any pair of
+  series (used to verify DP outputs and to score FastDTW's approximate
+  path against the exact optimum);
+* :meth:`max_band_deviation` -- the largest distance of any cell from
+  the lattice diagonal, i.e. the *measured* amount of warping ``W``
+  that Section 2 of the paper defines (used by the case advisor);
+* :meth:`project_up` -- double the resolution of a path, the projection
+  step at the heart of FastDTW;
+* :meth:`warp_direction` -- which side of the diagonal the alignment
+  bulges to, used by the Appendix A "wrong-way warping" experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from .cost import CostLike, resolve_cost
+
+Cell = Tuple[int, int]
+
+
+class InvalidPathError(ValueError):
+    """Raised when a cell sequence violates the warping-path axioms."""
+
+
+@dataclass(frozen=True)
+class WarpingPath:
+    """An immutable, validated warping path.
+
+    Parameters
+    ----------
+    cells:
+        The path cells, first-to-last.  Validated on construction.
+
+    Raises
+    ------
+    InvalidPathError
+        If the cells are empty, do not start at ``(0, 0)``, move
+        backwards, or skip cells.
+    """
+
+    cells: Tuple[Cell, ...]
+
+    def __init__(self, cells: Iterable[Cell]):
+        cells = tuple((int(i), int(j)) for i, j in cells)
+        _validate(cells)
+        object.__setattr__(self, "cells", cells)
+
+    # -- basic container protocol -------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self.cells)
+
+    def __getitem__(self, idx: int) -> Cell:
+        return self.cells[idx]
+
+    # -- shape ---------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Length of the row series this path aligns (``i`` extent)."""
+        return self.cells[-1][0] + 1
+
+    @property
+    def m(self) -> int:
+        """Length of the column series this path aligns (``j`` extent)."""
+        return self.cells[-1][1] + 1
+
+    # -- evaluation ------------------------------------------------------
+
+    def cost(
+        self,
+        x: Sequence[float],
+        y: Sequence[float],
+        cost: CostLike = "squared",
+    ) -> float:
+        """Accumulated local cost of this path over ``(x, y)``.
+
+        The series lengths must match the path's end cell.  The value of
+        ``path.cost(x, y)`` for a DP-optimal path equals the DTW
+        distance, which the test-suite uses as a cross-check on every
+        implementation.
+        """
+        if len(x) != self.n or len(y) != self.m:
+            raise ValueError(
+                f"path aligns series of lengths ({self.n}, {self.m}), "
+                f"got ({len(x)}, {len(y)})"
+            )
+        fn = resolve_cost(cost)
+        return sum(fn(x[i], y[j]) for i, j in self.cells)
+
+    def max_band_deviation(self) -> int:
+        """Largest deviation of the path from the lattice diagonal, in cells.
+
+        For equal-length series this is ``max |i - j|``.  For unequal
+        lengths the diagonal is slope-corrected (the line from
+        ``(0, 0)`` to ``(n-1, m-1)``).  Dividing by ``N`` gives the
+        paper's empirical warping amount ``W``.
+        """
+        n, m = self.n, self.m
+        if n == 1 or m == 1:
+            return max(m - 1, n - 1) if (n > 1 or m > 1) else 0
+        slope = (m - 1) / (n - 1)
+        dev = 0.0
+        for i, j in self.cells:
+            d = abs(j - i * slope)
+            if d > dev:
+                dev = d
+        return int(round(dev))
+
+    def warp_fraction(self) -> float:
+        """:meth:`max_band_deviation` as a fraction of ``max(n, m)``.
+
+        This is the paper's ``W`` measured from an actual alignment,
+        e.g. ``0.34`` for the Fig. 3 power-demand pair.
+        """
+        return self.max_band_deviation() / max(self.n, self.m)
+
+    def warp_direction(self) -> int:
+        """Which side of the diagonal the alignment bulges towards.
+
+        Returns ``+1`` if the path spends more area above the
+        (slope-corrected) diagonal (``j`` runs ahead of ``i``), ``-1``
+        if below, and ``0`` for a balanced or perfectly diagonal path.
+        Appendix A's failure mode is the PAA-coarsened pair warping in
+        the *opposite* direction to the raw pair.
+        """
+        n, m = self.n, self.m
+        slope = (m - 1) / (n - 1) if n > 1 else 1.0
+        area = sum(j - i * slope for i, j in self.cells)
+        if area > 1e-9:
+            return 1
+        if area < -1e-9:
+            return -1
+        return 0
+
+    # -- resolution arithmetic (FastDTW) ----------------------------------
+
+    def project_up(self, n: int, m: int) -> Tuple[Cell, ...]:
+        """Project this path one resolution level up (2x), FastDTW-style.
+
+        Each low-resolution cell ``(i, j)`` covers the four
+        high-resolution cells ``(2i, 2j) .. (2i+1, 2j+1)``.  Cells
+        beyond the bounds of the finer lattice (``n`` rows, ``m``
+        columns) are clipped away, which handles odd lengths whose
+        dangling sample was dropped during coarsening.
+
+        Returns the projected cells in lattice order (not itself a
+        valid :class:`WarpingPath`; it is a *region*, consumed by
+        :meth:`repro.core.window.Window.from_cells`).
+        """
+        out = []
+        for i, j in self.cells:
+            for di in (0, 1):
+                ii = 2 * i + di
+                if ii >= n:
+                    continue
+                for dj in (0, 1):
+                    jj = 2 * j + dj
+                    if jj < m:
+                        out.append((ii, jj))
+        return tuple(out)
+
+    def to_pairs(self) -> Tuple[Cell, ...]:
+        """The raw cell tuple (alias of :attr:`cells`)."""
+        return self.cells
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WarpingPath(len={len(self.cells)}, "
+            f"shape=({self.n}, {self.m}), "
+            f"deviation={self.max_band_deviation()})"
+        )
+
+
+def _validate(cells: Tuple[Cell, ...]) -> None:
+    if not cells:
+        raise InvalidPathError("a warping path must contain at least one cell")
+    if cells[0] != (0, 0):
+        raise InvalidPathError(f"path must start at (0, 0), got {cells[0]}")
+    for (pi, pj), (ci, cj) in zip(cells, cells[1:]):
+        di, dj = ci - pi, cj - pj
+        if di < 0 or dj < 0:
+            raise InvalidPathError(
+                f"path moves backwards from ({pi}, {pj}) to ({ci}, {cj})"
+            )
+        if di > 1 or dj > 1:
+            raise InvalidPathError(
+                f"path skips cells between ({pi}, {pj}) and ({ci}, {cj})"
+            )
+        if di == 0 and dj == 0:
+            raise InvalidPathError(f"path repeats cell ({ci}, {cj})")
+
+
+def diagonal_path(n: int, m: int) -> WarpingPath:
+    """The maximally diagonal path through an ``n x m`` lattice.
+
+    For ``n == m`` this is the identity alignment (what ``band=0``
+    cDTW, i.e. the Euclidean distance, uses).  For unequal lengths the
+    path hugs the slope-corrected diagonal as closely as continuity
+    allows.
+    """
+    if n < 1 or m < 1:
+        raise ValueError("series must be non-empty")
+    cells = [(0, 0)]
+    i = j = 0
+    while (i, j) != (n - 1, m - 1):
+        step_i = i < n - 1
+        step_j = j < m - 1
+        if step_i and step_j:
+            i += 1
+            j += 1
+        elif step_i:
+            i += 1
+        else:
+            j += 1
+        cells.append((i, j))
+    return WarpingPath(cells)

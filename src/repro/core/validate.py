@@ -1,0 +1,47 @@
+"""Input validation shared by the public distance entry points.
+
+Distances over NaN or infinite samples silently poison every downstream
+structure (searches return arbitrary neighbours, dendrograms collapse),
+so the public API rejects non-finite input up front with a pointed
+error instead of propagating NaNs through thousands of DP cells.
+Validation is O(n) against the DP's O(n*w) and is skipped by internal
+recursion (FastDTW validates once at the boundary, not per level).
+"""
+
+from __future__ import annotations
+
+from math import isfinite
+from typing import Sequence
+
+
+def validate_series(x: Sequence[float], name: str = "series") -> None:
+    """Reject empty series and non-finite samples.
+
+    Raises
+    ------
+    ValueError
+        With the offending index, e.g.
+        ``"series y: sample 3 is not finite (nan)"``.
+    """
+    if len(x) == 0:
+        raise ValueError(f"{name} is empty")
+    for i, v in enumerate(x):
+        if isinstance(v, (tuple, list)):  # multivariate sample
+            for k, c in enumerate(v):
+                if not isfinite(c):
+                    raise ValueError(
+                        f"{name}: sample {i} component {k} is not "
+                        f"finite ({c!r})"
+                    )
+        elif not isfinite(v):
+            raise ValueError(
+                f"{name}: sample {i} is not finite ({v!r})"
+            )
+
+
+def validate_pair(
+    x: Sequence[float], y: Sequence[float],
+) -> None:
+    """Validate both operands of a distance computation."""
+    validate_series(x, "series x")
+    validate_series(y, "series y")

@@ -1,0 +1,32 @@
+"""Selecting between the two FastDTW variants by name.
+
+Experiments take a ``fastdtw_variant`` parameter so every benchmark can
+run against either the reference-layout implementation (what the
+paper's timings, and the citing literature, actually used -- the
+default) or our optimised one (FastDTW's best case; see the ablation
+benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .fastdtw import fastdtw
+from .fastdtw_reference import fastdtw_reference
+
+FASTDTW_VARIANTS = ("reference", "optimized")
+
+
+def resolve_fastdtw(variant: str) -> Callable:
+    """Return the FastDTW callable for a variant name.
+
+    >>> resolve_fastdtw("optimized") is fastdtw
+    True
+    """
+    if variant == "reference":
+        return fastdtw_reference
+    if variant == "optimized":
+        return fastdtw
+    raise ValueError(
+        f"unknown FastDTW variant {variant!r}; pick from {FASTDTW_VARIANTS}"
+    )

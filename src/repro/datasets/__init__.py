@@ -1,0 +1,60 @@
+"""Synthetic workload generators for every figure of the paper.
+
+Each generator documents which experiment it feeds and which real
+material it substitutes for (see DESIGN.md §2).  All are deterministic
+given a seed.
+"""
+
+from .adversarial import AdversarialTriple, adversarial_pair, deviation_at_row
+from .base import TimeSeriesDataset, as_dataset
+from .ecg import ecg_stream, heartbeat
+from .falls import FallPair, fall_pair
+from .gestures import gesture_dataset, uwave_like
+from .music import MusicPair, studio_and_live
+from .power import PowerPair, estimate_warping, find_peaks, midnight_hour_pair
+from .random_walk import random_walk, random_walks
+from .ucr_meta import (
+    UCR_2018,
+    UcrDataset,
+    best_w_histogram,
+    by_name,
+    case_census,
+    fraction_best_w_at_most,
+    fraction_shorter_than,
+    length_histogram,
+)
+from .warping import add_noise, gaussian_bump, resample, warp_series
+
+__all__ = [
+    "AdversarialTriple",
+    "FallPair",
+    "MusicPair",
+    "PowerPair",
+    "TimeSeriesDataset",
+    "UCR_2018",
+    "UcrDataset",
+    "add_noise",
+    "adversarial_pair",
+    "as_dataset",
+    "best_w_histogram",
+    "by_name",
+    "case_census",
+    "deviation_at_row",
+    "ecg_stream",
+    "estimate_warping",
+    "fall_pair",
+    "find_peaks",
+    "fraction_best_w_at_most",
+    "fraction_shorter_than",
+    "gaussian_bump",
+    "gesture_dataset",
+    "heartbeat",
+    "length_histogram",
+    "midnight_hour_pair",
+    "random_walk",
+    "random_walks",
+    "resample",
+    "studio_and_live",
+    "uwave_like",
+    "warp_series",
+]

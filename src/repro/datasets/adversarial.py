@@ -1,0 +1,178 @@
+"""The Appendix A adversarial pair that defeats FastDTW.
+
+The paper's Fig. 7/8 example exploits FastDTW's core assumption: that
+the PAA-coarsened series warps the same way as the raw series.  The
+construction here realises the paper's recipe directly:
+
+* Each series carries a **dominant feature** that vanishes under
+  averaging -- a zero-mean *doublet* (one sample up, the next down).
+  Aligned to even sample boundaries, a doublet PAA-averages to exactly
+  zero, so it is invisible at every coarsened resolution.
+* Each series also carries a **tiny but wide bump** that survives
+  averaging.
+* Between series A and B the doublet shifts **right** by more than
+  FastDTW's radius, while the bump shifts **left**: the only feature
+  the coarse levels can see warps in the *opposite direction* to the
+  feature that matters.
+
+Full DTW, free to warp both ways, aligns both features and reports a
+tiny distance.  FastDTW's coarse pass commits to the bump's wrong-way
+corridor; at full resolution the doublets sit outside the radius-``r``
+window, cannot be matched, and the approximate distance explodes --
+the paper reports an error of 156,100% for ``radius = 20``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from .warping import add_noise, gaussian_bump
+
+
+@dataclass(frozen=True)
+class AdversarialTriple:
+    """The three series of the paper's Table 2 / Fig. 7.
+
+    ``a`` and ``b`` are the adversarial pair (nearly identical under
+    Full DTW, far apart under FastDTW); ``c`` is a genuinely different
+    third series whose distances FastDTW approximates well, so the two
+    dendrograms differ only through the A-B edge.
+    """
+
+    a: List[float]
+    b: List[float]
+    c: List[float]
+    doublet_a: int
+    doublet_b: int
+    bump_a: int
+    bump_b: int
+
+    @property
+    def length(self) -> int:
+        return len(self.a)
+
+    @property
+    def doublet_shift(self) -> int:
+        """Rightward shift of the dominant doublet from A to B."""
+        return self.doublet_b - self.doublet_a
+
+    @property
+    def bump_shift(self) -> int:
+        """Leftward (negative) shift of the decoy bump from A to B."""
+        return self.bump_b - self.bump_a
+
+    def series(self) -> List[List[float]]:
+        """``[a, b, c]`` for distance-matrix builders."""
+        return [self.a, self.b, self.c]
+
+
+def _with_doublet(base: List[float], position: int, height: float) -> None:
+    base[position] += height
+    base[position + 1] -= height
+
+
+def adversarial_pair(
+    length: int = 256,
+    doublet_a: int = 64,
+    shift: int = 32,
+    bump_a: int = 176,
+    doublet_height: float = 3.0,
+    bump_height: float = 0.6,
+    bump_width: float = 14.0,
+    noise_sigma: float = 0.005,
+    seed: int = 0,
+) -> AdversarialTriple:
+    """Build the adversarial triple.
+
+    Parameters
+    ----------
+    length:
+        Series length (a power of two keeps halving exact).
+    doublet_a:
+        Even start index of A's doublet; B's sits at
+        ``doublet_a + shift``.
+    shift:
+        Even, positive doublet shift.  FastDTW with
+        ``radius < shift`` cannot recover the alignment
+        (``radius = 20`` against the default ``shift = 32`` reproduces
+        the paper's failure).
+    bump_a:
+        Centre of A's decoy bump; B's sits at ``bump_a - shift``.
+    doublet_height, bump_height, bump_width:
+        Feature scales: the doublet dominates the raw distance, the
+        bump dominates every coarsened distance.
+    noise_sigma:
+        Small measurement noise (makes the Full DTW distance a small
+        non-zero number, as in the paper's 0.020).
+    seed:
+        Determinism.
+
+    Raises
+    ------
+    ValueError
+        If the geometry is inconsistent (odd offsets, features
+        overlapping or out of bounds).
+    """
+    if length < 64:
+        raise ValueError("length must be at least 64")
+    if doublet_a % 2 or shift % 2 or shift <= 0:
+        raise ValueError(
+            "doublet position and shift must be even (so the doublet "
+            "PAA-averages to exactly zero) and shift positive"
+        )
+    doublet_b = doublet_a + shift
+    bump_b = bump_a - shift
+    if not (0 < doublet_a and doublet_b + 1 < length):
+        raise ValueError("doublets out of bounds")
+    if not (0 < bump_b < bump_a < length):
+        raise ValueError("bumps out of bounds")
+    if doublet_b + 2 >= bump_b - 2 * bump_width:
+        raise ValueError("doublet and bump regions overlap")
+
+    rng = random.Random(seed)
+
+    def build(doublet_pos: int, bump_pos: int) -> List[float]:
+        base = [0.0] * length
+        for i, v in enumerate(
+            gaussian_bump(length, bump_pos, bump_width, bump_height)
+        ):
+            base[i] += v
+        _with_doublet(base, doublet_pos, doublet_height)
+        return add_noise(base, noise_sigma, rng)
+
+    a = build(doublet_a, bump_a)
+    b = build(doublet_b, bump_b)
+
+    # C: an honestly different series -- a broad plateau the pair lacks.
+    # Scaled so that dtw(A, C) and dtw(B, C) land *between* the tiny
+    # exact A-B distance and FastDTW's inflated A-B distance, which is
+    # what makes the two dendrograms disagree (Fig. 7).
+    c = [0.0] * length
+    for i, v in enumerate(
+        gaussian_bump(length, length // 2, length * 0.08, 0.7)
+    ):
+        c[i] += v
+    c = add_noise(c, noise_sigma, rng)
+
+    return AdversarialTriple(
+        a=a, b=b, c=c,
+        doublet_a=doublet_a, doublet_b=doublet_b,
+        bump_a=bump_a, bump_b=bump_b,
+    )
+
+
+def deviation_at_row(path, row: int) -> float:
+    """Mean signed deviation ``j - i`` of ``path`` over lattice row ``row``.
+
+    Positive means the path matches ``x[row]`` against *later* samples
+    of ``y``.  The Fig. 8 analysis compares this at the doublet row for
+    the exact path (positive: follows the doublet's rightward shift)
+    and for FastDTW's coarse path projected up (negative: follows the
+    bump's leftward shift) -- the "wrong-way warping".
+    """
+    devs = [j - i for i, j in path if i == row]
+    if not devs:
+        raise ValueError(f"path has no cell on row {row}")
+    return sum(devs) / len(devs)

@@ -1,0 +1,89 @@
+"""Labelled time-series dataset container shared by all generators."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TimeSeriesDataset:
+    """A labelled collection of equal-length series.
+
+    Attributes
+    ----------
+    name:
+        Human-readable dataset name (appears in experiment reports).
+    series:
+        The series, one list of floats each.
+    labels:
+        One label per series.
+    """
+
+    name: str
+    series: Tuple[Tuple[float, ...], ...]
+    labels: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.series) != len(self.labels):
+            raise ValueError("series and labels must have equal length")
+        if not self.series:
+            raise ValueError("dataset is empty")
+        lengths = {len(s) for s in self.series}
+        if len(lengths) != 1:
+            raise ValueError(f"series lengths differ: {sorted(lengths)}")
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    @property
+    def length(self) -> int:
+        """Length ``N`` of every series in the dataset."""
+        return len(self.series[0])
+
+    @property
+    def classes(self) -> Tuple[object, ...]:
+        """Distinct labels, sorted by repr for determinism."""
+        return tuple(sorted(set(self.labels), key=repr))
+
+    def split(
+        self, train_fraction: float, seed: int = 0
+    ) -> Tuple["TimeSeriesDataset", "TimeSeriesDataset"]:
+        """Shuffled train/test split, stratification-free.
+
+        ``train_fraction`` in (0, 1); both splits are non-empty or a
+        ``ValueError`` is raised.
+        """
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        order = list(range(len(self)))
+        random.Random(seed).shuffle(order)
+        cut = round(train_fraction * len(self))
+        if cut == 0 or cut == len(self):
+            raise ValueError("split leaves an empty side")
+        train_idx, test_idx = order[:cut], order[cut:]
+        return (
+            self._subset(train_idx, f"{self.name}[train]"),
+            self._subset(test_idx, f"{self.name}[test]"),
+        )
+
+    def _subset(self, indices: Sequence[int], name: str) -> "TimeSeriesDataset":
+        return TimeSeriesDataset(
+            name,
+            tuple(self.series[i] for i in indices),
+            tuple(self.labels[i] for i in indices),
+        )
+
+
+def as_dataset(
+    name: str,
+    series: Sequence[Sequence[float]],
+    labels: Sequence[object],
+) -> TimeSeriesDataset:
+    """Build a :class:`TimeSeriesDataset` from plain sequences."""
+    return TimeSeriesDataset(
+        name,
+        tuple(tuple(float(v) for v in s) for s in series),
+        tuple(labels),
+    )

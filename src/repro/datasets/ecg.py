@@ -1,0 +1,80 @@
+"""Synthetic electrocardiogram traces.
+
+Supports the paper's Case D discussion ("all uses of DTW for cardiology
+are in Case A"): single heartbeats of 120-200 samples at ~250 Hz, and
+multi-beat streams with rate variability for the subsequence-search
+example.  Beats follow the classic P-QRS-T morphology as a sum of
+Gaussian waves.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .warping import add_noise, gaussian_bump
+
+#: (centre fraction of beat, width fraction of beat, amplitude)
+_WAVES = (
+    (0.18, 0.035, 0.15),   # P
+    (0.38, 0.016, -0.12),  # Q
+    (0.42, 0.018, 1.00),   # R
+    (0.46, 0.016, -0.25),  # S
+    (0.70, 0.060, 0.30),   # T
+)
+
+
+def heartbeat(
+    samples: int = 180,
+    rng: Optional[random.Random] = None,
+    amplitude_jitter: float = 0.08,
+    timing_jitter: float = 0.015,
+    noise_sigma: float = 0.01,
+) -> List[float]:
+    """One synthetic heartbeat of ``samples`` points.
+
+    Morphology parameters get small per-beat jitter so consecutive
+    beats are similar but not identical -- the realistic regime in
+    which "it is never meaningful to compare ninety-eight heartbeats
+    to one-hundred and three heartbeats" (Section 3.4).
+    """
+    if samples < 20:
+        raise ValueError("a heartbeat needs at least 20 samples")
+    rng = rng or random.Random(0)
+    beat = [0.0] * samples
+    for centre_f, width_f, amp in _WAVES:
+        centre = samples * (centre_f + rng.uniform(-timing_jitter, timing_jitter))
+        width = max(1.0, samples * width_f)
+        height = amp * (1.0 + rng.uniform(-amplitude_jitter, amplitude_jitter))
+        for i, v in enumerate(gaussian_bump(samples, centre, width, height)):
+            beat[i] += v
+    return add_noise(beat, noise_sigma, rng)
+
+
+def ecg_stream(
+    n_beats: int,
+    mean_beat_samples: int = 180,
+    rr_variability: float = 0.1,
+    seed: int = 0,
+) -> List[float]:
+    """A stream of ``n_beats`` heartbeats with RR-interval variability.
+
+    Beat lengths vary uniformly by ``+-rr_variability`` around the
+    mean, so equal-duration excerpts contain different beat counts --
+    the paper's argument for why long-ECG DTW comparisons are
+    meaningless, and the workload for the subsequence-search example
+    (find one beat inside a long stream).
+    """
+    if n_beats < 1:
+        raise ValueError("need at least one beat")
+    if not 0.0 <= rr_variability < 1.0:
+        raise ValueError("rr_variability must be in [0, 1)")
+    rng = random.Random(seed)
+    out: List[float] = []
+    for _ in range(n_beats):
+        length = int(round(
+            mean_beat_samples * (1.0 + rng.uniform(-rr_variability,
+                                                   rr_variability))
+        ))
+        out.extend(heartbeat(max(20, length), rng))
+    return out

@@ -1,0 +1,98 @@
+"""The early/late fall generator (the paper's Fig. 5 and Fig. 6).
+
+Section 3.4's Case D probe: actors fall "anytime within two seconds of
+hearing the beep" in an ``L``-second window recorded at 100 Hz, so the
+natural warping amount approaches 100% of ``N``.  One series has an
+immediate fall followed by near-stillness; the other is near-still
+until a fall just before the end.  Aligning the two falls requires
+unconstrained warping (``cDTW_100``), and sweeping ``L`` locates the
+paper's crossover where ``FastDTW_40`` finally becomes faster
+(paper: ``L = 4``, ``N = 400``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List
+
+from .warping import add_noise
+
+
+@dataclass(frozen=True)
+class FallPair:
+    """An early-fall/late-fall pair of accelerometer-style traces."""
+
+    early: List[float]
+    late: List[float]
+    rate_hz: int
+    fall_duration_samples: int
+
+    @property
+    def length(self) -> int:
+        return len(self.early)
+
+    def required_window_fraction(self) -> float:
+        """The cDTW window needed to align the two falls (~1.0)."""
+        return (
+            self.length - self.fall_duration_samples
+        ) / self.length
+
+
+def fall_signature(samples: int, rng: random.Random) -> List[float]:
+    """A fall event: an impact oscillation that ramps up and rings down.
+
+    The burst starts and ends near zero (the actor is still before and
+    after), which is what lets unconstrained DTW align an early fall
+    with a late one at near-zero cost -- the premise of Fig. 5.
+    """
+    if samples < 4:
+        raise ValueError("fall must span at least 4 samples")
+    out = []
+    for i in range(samples):
+        t = i / samples
+        envelope = math.sin(math.pi / 2 * t * 4) if t < 0.25 else (
+            math.exp(-4.0 * (t - 0.25))
+        )
+        out.append(
+            3.0 * envelope * (1 - t) * math.cos(2 * math.pi * 5 * t)
+            + rng.gauss(0.0, 0.03) * envelope
+        )
+    return out
+
+
+def fall_pair(
+    seconds: float,
+    rate_hz: int = 100,
+    fall_seconds: float = 0.5,
+    noise_sigma: float = 0.02,
+    seed: int = 0,
+) -> FallPair:
+    """Generate the Fig. 5 pair for an ``L``-second recording window.
+
+    Parameters
+    ----------
+    seconds:
+        The window length ``L``; ``N = seconds * rate_hz``.
+    rate_hz:
+        Sampling rate (paper: 100 Hz).
+    fall_seconds:
+        Duration of the fall event itself.
+    noise_sigma:
+        Sensor noise on the near-motionless segments.
+    """
+    if seconds <= fall_seconds:
+        raise ValueError("window must be longer than the fall itself")
+    rng = random.Random(seed)
+    n = int(round(seconds * rate_hz))
+    fall_n = int(round(fall_seconds * rate_hz))
+
+    sig_a = fall_signature(fall_n, rng)
+    sig_b = fall_signature(fall_n, rng)
+    still = [0.0] * (n - fall_n)
+
+    early = add_noise(sig_a + still, noise_sigma, rng)
+    late = add_noise(still + sig_b, noise_sigma, rng)
+    return FallPair(early=early, late=late, rate_hz=rate_hz,
+                    fall_duration_samples=fall_n)

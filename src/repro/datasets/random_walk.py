@@ -1,0 +1,48 @@
+"""Random-walk series: the paper's data-independent timing workload.
+
+Fig. 4's caption notes "the timing for both algorithms does not depend
+on the data itself, so we use random walk datasets".  These generators
+produce standard Gaussian random walks, optionally z-normalised.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..preprocess.normalize import znorm
+
+
+def random_walk(
+    n: int, seed: int = 0, step_sigma: float = 1.0, normalize: bool = True,
+) -> List[float]:
+    """One Gaussian random walk of length ``n``.
+
+    >>> len(random_walk(100))
+    100
+    >>> random_walk(10, seed=1) == random_walk(10, seed=1)
+    True
+    """
+    if n < 1:
+        raise ValueError("length must be positive")
+    if step_sigma <= 0:
+        raise ValueError("step_sigma must be positive")
+    rng = random.Random(seed)
+    value = 0.0
+    out = []
+    for _ in range(n):
+        value += rng.gauss(0.0, step_sigma)
+        out.append(value)
+    return znorm(out) if (normalize and n > 1) else out
+
+
+def random_walks(
+    count: int, n: int, seed: int = 0, normalize: bool = True,
+) -> List[List[float]]:
+    """``count`` independent random walks of length ``n``."""
+    if count < 1:
+        raise ValueError("count must be positive")
+    return [
+        random_walk(n, seed=seed * 1_000_003 + i, normalize=normalize)
+        for i in range(count)
+    ]

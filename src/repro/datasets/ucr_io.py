@@ -1,0 +1,149 @@
+"""Reading and writing the UCR archive's on-disk format.
+
+The UCR Time Series Classification Archive distributes each dataset as
+``<Name>_TRAIN.tsv`` / ``<Name>_TEST.tsv``: one series per line, the
+class label in the first tab-separated column, samples in the rest.
+This environment is offline, so the experiments run on synthetic
+stand-ins -- but a downstream user holding the real archive can load it
+through these functions and run every classifier, search and benchmark
+in the package on the genuine data the paper used.
+
+Missing values (variable-length datasets pad with ``NaN``) are trimmed
+from the tail on request, mirroring common archive practice.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+from .base import TimeSeriesDataset, as_dataset
+
+PathLike = Union[str, Path]
+
+
+def parse_ucr_line(
+    line: str, trim_nan_tail: bool = True,
+) -> Tuple[str, List[float]]:
+    """Parse one archive line into ``(label, samples)``.
+
+    The label is kept as a string (archive labels are ints or floats
+    depending on the dataset; string form round-trips exactly).
+
+    >>> parse_ucr_line("2\\t0.5\\t1.5")
+    ('2', [0.5, 1.5])
+    """
+    fields = line.rstrip("\n").split("\t")
+    if len(fields) < 2:
+        raise ValueError(
+            "a UCR line needs a label and at least one sample"
+        )
+    label = fields[0].strip()
+    if not label:
+        raise ValueError("empty class label")
+    try:
+        samples = [float(v) for v in fields[1:]]
+    except ValueError as exc:
+        raise ValueError(f"non-numeric sample in line: {exc}") from None
+    if trim_nan_tail:
+        while samples and math.isnan(samples[-1]):
+            samples.pop()
+        if not samples:
+            raise ValueError("series is all-NaN")
+    if any(math.isnan(v) for v in samples):
+        raise ValueError(
+            "NaN inside the series body (only tail padding is trimmed)"
+        )
+    return label, samples
+
+
+def load_ucr_tsv(
+    path: PathLike,
+    name: str = "",
+    trim_nan_tail: bool = True,
+    pad_to_longest: bool = False,
+) -> TimeSeriesDataset:
+    """Load one ``*_TRAIN.tsv`` / ``*_TEST.tsv`` archive file.
+
+    Parameters
+    ----------
+    path:
+        The TSV file.
+    name:
+        Dataset name for reports (defaults to the file stem).
+    trim_nan_tail:
+        Strip the archive's NaN padding from variable-length series.
+    pad_to_longest:
+        After trimming, re-pad shorter series with their own final
+        value up to the longest length (the container requires equal
+        lengths; last-value padding is DTW-neutral at the boundary).
+        Without this flag a ragged file raises.
+
+    Returns
+    -------
+    TimeSeriesDataset
+    """
+    path = Path(path)
+    labels: List[str] = []
+    series: List[List[float]] = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            if not line.strip():
+                continue
+            try:
+                label, samples = parse_ucr_line(
+                    line, trim_nan_tail=trim_nan_tail
+                )
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+            labels.append(label)
+            series.append(samples)
+    if not series:
+        raise ValueError(f"{path}: no series found")
+
+    lengths = {len(s) for s in series}
+    if len(lengths) > 1:
+        if not pad_to_longest:
+            raise ValueError(
+                f"{path}: variable lengths {sorted(lengths)}; pass "
+                "pad_to_longest=True to load"
+            )
+        longest = max(lengths)
+        series = [s + [s[-1]] * (longest - len(s)) for s in series]
+    return as_dataset(name or path.stem, series, labels)
+
+
+def load_ucr_dataset(
+    directory: PathLike, name: str,
+    trim_nan_tail: bool = True, pad_to_longest: bool = False,
+) -> Tuple[TimeSeriesDataset, TimeSeriesDataset]:
+    """Load a dataset's archive-layout train/test pair.
+
+    Expects ``<directory>/<name>/<name>_TRAIN.tsv`` and ``..._TEST.tsv``
+    (the archive's directory convention).
+    """
+    root = Path(directory) / name
+    train = load_ucr_tsv(
+        root / f"{name}_TRAIN.tsv", name=f"{name}[train]",
+        trim_nan_tail=trim_nan_tail, pad_to_longest=pad_to_longest,
+    )
+    test = load_ucr_tsv(
+        root / f"{name}_TEST.tsv", name=f"{name}[test]",
+        trim_nan_tail=trim_nan_tail, pad_to_longest=pad_to_longest,
+    )
+    return train, test
+
+
+def save_ucr_tsv(dataset: TimeSeriesDataset, path: PathLike) -> None:
+    """Write a dataset in archive format (inverse of :func:`load_ucr_tsv`).
+
+    Lets the synthetic generators be exported for use by other DTW
+    tools, and round-trips exactly (labels as strings, samples as
+    ``repr`` floats).
+    """
+    path = Path(path)
+    with open(path, "w") as f:
+        for label, series in zip(dataset.labels, dataset.series):
+            fields = [str(label)] + [repr(float(v)) for v in series]
+            f.write("\t".join(fields) + "\n")

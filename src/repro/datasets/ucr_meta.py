@@ -1,0 +1,257 @@
+"""Per-dataset metadata of the 128-dataset UCR 2018 archive (Fig. 2).
+
+The paper's Fig. 2 histograms summarise, across the public UCR Time
+Series Classification Archive (Dau et al., 2018), (a) the optimal
+warping window ``w`` found by brute-force leave-one-out search and
+(b) the series lengths -- establishing that most series are shorter
+than 1,000 samples and ``w`` is rarely above 10%.
+
+**Provenance / substitution note** (see DESIGN.md §2): the archive
+itself is public but not bundled in this offline environment.  The
+table below is a transcription of its published summary: dataset
+*names*, *lengths* and split sizes follow the archive's tables;
+``best_w`` values are transcribed from the published search results
+and should be treated as approximate per-entry (the aggregate
+distributions, which are all Fig. 2 uses, are preserved -- in
+particular UWaveGestureLibraryAll's ``best_w = 4`` and the maximum
+length 2,844 for Rock, both quoted in the paper's text).  Datasets the
+archive lists as variable-length carry a representative length and
+``variable_length=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class UcrDataset:
+    """Summary row for one archive dataset."""
+
+    name: str
+    length: int
+    train_size: int
+    test_size: int
+    classes: int
+    best_w: int  # optimal warping window, percent of length
+    variable_length: bool = False
+
+    def case(self, long_threshold: int = 1000, wide_threshold: int = 20) -> str:
+        """This dataset's quadrant in the paper's Table 1 (A/B/C/D)."""
+        long_n = self.length >= long_threshold
+        wide_w = self.best_w >= wide_threshold
+        if not long_n and not wide_w:
+            return "A"
+        if long_n and not wide_w:
+            return "B"
+        if not long_n and wide_w:
+            return "C"
+        return "D"
+
+
+def _d(name, length, train, test, classes, w, var=False):
+    return UcrDataset(name, length, train, test, classes, w, var)
+
+
+#: The 128 datasets of the 2018 archive (see module docstring for
+#: provenance).  Ordered alphabetically as in the archive.
+UCR_2018: Tuple[UcrDataset, ...] = (
+    _d("ACSF1", 1460, 100, 100, 10, 4),
+    _d("Adiac", 176, 390, 391, 37, 3),
+    _d("AllGestureWiimoteX", 500, 300, 700, 10, 14, var=True),
+    _d("AllGestureWiimoteY", 500, 300, 700, 10, 9, var=True),
+    _d("AllGestureWiimoteZ", 500, 300, 700, 10, 11, var=True),
+    _d("ArrowHead", 251, 36, 175, 3, 0),
+    _d("BME", 128, 30, 150, 3, 4),
+    _d("Beef", 470, 30, 30, 5, 0),
+    _d("BeetleFly", 512, 20, 20, 2, 7),
+    _d("BirdChicken", 512, 20, 20, 2, 6),
+    _d("CBF", 128, 30, 900, 3, 11),
+    _d("Car", 577, 60, 60, 4, 1),
+    _d("Chinatown", 24, 20, 343, 2, 0),
+    _d("ChlorineConcentration", 166, 467, 3840, 3, 0),
+    _d("CinCECGTorso", 1639, 40, 1380, 4, 1),
+    _d("Coffee", 286, 28, 28, 2, 0),
+    _d("Computers", 720, 250, 250, 2, 12),
+    _d("CricketX", 300, 390, 390, 12, 10),
+    _d("CricketY", 300, 390, 390, 12, 17),
+    _d("CricketZ", 300, 390, 390, 12, 5),
+    _d("Crop", 46, 7200, 16800, 24, 0),
+    _d("DiatomSizeReduction", 345, 16, 306, 4, 0),
+    _d("DistalPhalanxOutlineAgeGroup", 80, 400, 139, 3, 0),
+    _d("DistalPhalanxOutlineCorrect", 80, 600, 276, 2, 1),
+    _d("DistalPhalanxTW", 80, 400, 139, 6, 0),
+    _d("DodgerLoopDay", 288, 78, 80, 7, 0),
+    _d("DodgerLoopGame", 288, 20, 138, 2, 6),
+    _d("DodgerLoopWeekend", 288, 20, 138, 2, 3),
+    _d("ECG200", 96, 100, 100, 2, 0),
+    _d("ECG5000", 140, 500, 4500, 5, 1),
+    _d("ECGFiveDays", 136, 23, 861, 2, 0),
+    _d("EOGHorizontalSignal", 1250, 362, 362, 12, 3),
+    _d("EOGVerticalSignal", 1250, 362, 362, 12, 4),
+    _d("Earthquakes", 512, 322, 139, 2, 6),
+    _d("ElectricDevices", 96, 8926, 7711, 7, 14),
+    _d("EthanolLevel", 1751, 504, 500, 4, 1),
+    _d("FaceAll", 131, 560, 1690, 14, 3),
+    _d("FaceFour", 350, 24, 88, 4, 2),
+    _d("FacesUCR", 131, 200, 2050, 14, 12),
+    _d("FiftyWords", 270, 450, 455, 50, 6),
+    _d("Fish", 463, 175, 175, 7, 4),
+    _d("FordA", 500, 3601, 1320, 2, 1),
+    _d("FordB", 500, 3636, 810, 2, 1),
+    _d("FreezerRegularTrain", 301, 150, 2850, 2, 1),
+    _d("FreezerSmallTrain", 301, 28, 2850, 2, 4),
+    _d("Fungi", 201, 18, 186, 18, 0),
+    _d("GestureMidAirD1", 360, 208, 130, 26, 5, var=True),
+    _d("GestureMidAirD2", 360, 208, 130, 26, 6, var=True),
+    _d("GestureMidAirD3", 360, 208, 130, 26, 1, var=True),
+    _d("GesturePebbleZ1", 455, 132, 172, 6, 2, var=True),
+    _d("GesturePebbleZ2", 455, 146, 158, 6, 6, var=True),
+    _d("GunPoint", 150, 50, 150, 2, 0),
+    _d("GunPointAgeSpan", 150, 135, 316, 2, 0),
+    _d("GunPointMaleVersusFemale", 150, 135, 316, 2, 0),
+    _d("GunPointOldVersusYoung", 150, 136, 315, 2, 0),
+    _d("Ham", 431, 109, 105, 2, 0),
+    _d("HandOutlines", 2709, 1000, 370, 2, 1),
+    _d("Haptics", 1092, 155, 308, 5, 2),
+    _d("Herring", 512, 64, 64, 2, 5),
+    _d("HouseTwenty", 2000, 40, 119, 2, 33),
+    _d("InlineSkate", 1882, 100, 550, 7, 14),
+    _d("InsectEPGRegularTrain", 601, 62, 249, 3, 11),
+    _d("InsectEPGSmallTrain", 601, 17, 249, 3, 13),
+    _d("InsectWingbeatSound", 256, 220, 1980, 11, 1),
+    _d("ItalyPowerDemand", 24, 67, 1029, 2, 0),
+    _d("LargeKitchenAppliances", 720, 375, 375, 3, 94),
+    _d("Lightning2", 637, 60, 61, 2, 6),
+    _d("Lightning7", 319, 70, 73, 7, 5),
+    _d("Mallat", 1024, 55, 2345, 8, 0),
+    _d("Meat", 448, 60, 60, 3, 0),
+    _d("MedicalImages", 99, 381, 760, 10, 20),
+    _d("MelbournePedestrian", 24, 1194, 2439, 10, 2),
+    _d("MiddlePhalanxOutlineAgeGroup", 80, 400, 154, 3, 0),
+    _d("MiddlePhalanxOutlineCorrect", 80, 600, 291, 2, 0),
+    _d("MiddlePhalanxTW", 80, 399, 154, 6, 3),
+    _d("MixedShapesRegularTrain", 1024, 500, 2425, 5, 4),
+    _d("MixedShapesSmallTrain", 1024, 100, 2425, 5, 6),
+    _d("MoteStrain", 84, 20, 1252, 2, 1),
+    _d("NonInvasiveFetalECGThorax1", 750, 1800, 1965, 42, 1),
+    _d("NonInvasiveFetalECGThorax2", 750, 1800, 1965, 42, 1),
+    _d("OSULeaf", 427, 200, 242, 6, 7),
+    _d("OliveOil", 570, 30, 30, 4, 0),
+    _d("PLAID", 1345, 537, 537, 11, 3, var=True),
+    _d("PhalangesOutlinesCorrect", 80, 1800, 858, 2, 0),
+    _d("Phoneme", 1024, 214, 1896, 39, 14),
+    _d("PickupGestureWiimoteZ", 361, 50, 50, 10, 17, var=True),
+    _d("PigAirwayPressure", 2000, 104, 208, 52, 1),
+    _d("PigArtPressure", 2000, 104, 208, 52, 1),
+    _d("PigCVP", 2000, 104, 208, 52, 1),
+    _d("Plane", 144, 105, 105, 7, 6),
+    _d("PowerCons", 144, 180, 180, 2, 3),
+    _d("ProximalPhalanxOutlineAgeGroup", 80, 400, 205, 3, 0),
+    _d("ProximalPhalanxOutlineCorrect", 80, 600, 291, 2, 0),
+    _d("ProximalPhalanxTW", 80, 400, 205, 6, 0),
+    _d("RefrigerationDevices", 720, 375, 375, 3, 8),
+    _d("Rock", 2844, 20, 50, 4, 0),
+    _d("ScreenType", 720, 375, 375, 3, 17),
+    _d("SemgHandGenderCh2", 1500, 300, 600, 2, 1),
+    _d("SemgHandMovementCh2", 1500, 450, 450, 6, 1),
+    _d("SemgHandSubjectCh2", 1500, 450, 450, 5, 2),
+    _d("ShakeGestureWiimoteZ", 385, 50, 50, 10, 6, var=True),
+    _d("ShapeletSim", 500, 20, 180, 2, 3),
+    _d("ShapesAll", 512, 600, 600, 60, 4),
+    _d("SmallKitchenAppliances", 720, 375, 375, 3, 15),
+    _d("SmoothSubspace", 15, 150, 150, 3, 7),
+    _d("SonyAIBORobotSurface1", 70, 20, 601, 2, 0),
+    _d("SonyAIBORobotSurface2", 65, 27, 953, 2, 0),
+    _d("StarLightCurves", 1024, 1000, 8236, 3, 16),
+    _d("Strawberry", 235, 613, 370, 2, 0),
+    _d("SwedishLeaf", 128, 500, 625, 15, 2),
+    _d("Symbols", 398, 25, 995, 6, 8),
+    _d("SyntheticControl", 60, 300, 300, 6, 6),
+    _d("ToeSegmentation1", 277, 40, 228, 2, 8),
+    _d("ToeSegmentation2", 343, 36, 130, 2, 5),
+    _d("Trace", 275, 100, 100, 4, 3),
+    _d("TwoLeadECG", 82, 23, 1139, 2, 4),
+    _d("TwoPatterns", 128, 1000, 4000, 4, 4),
+    _d("UMD", 150, 36, 144, 3, 7),
+    _d("UWaveGestureLibraryAll", 945, 896, 3582, 8, 4),
+    _d("UWaveGestureLibraryX", 315, 896, 3582, 8, 4),
+    _d("UWaveGestureLibraryY", 315, 896, 3582, 8, 4),
+    _d("UWaveGestureLibraryZ", 315, 896, 3582, 8, 6),
+    _d("Wafer", 152, 1000, 6164, 2, 1),
+    _d("Wine", 234, 57, 54, 2, 0),
+    _d("WordSynonyms", 270, 267, 638, 25, 9),
+    _d("Worms", 900, 181, 77, 5, 9),
+    _d("WormsTwoClass", 900, 181, 77, 2, 7),
+    _d("Yoga", 426, 300, 3000, 2, 7),
+)
+
+#: The dataset the paper's Fig. 1 and Section 3.1 analyse in detail,
+#: with the error rates quoted there.
+UWAVE_ALL = "UWaveGestureLibraryAll"
+UWAVE_ERROR_EUCLIDEAN = 0.052   # cDTW_0
+UWAVE_ERROR_BEST_W = 0.034      # cDTW_4
+UWAVE_ERROR_FULL_DTW = 0.108    # cDTW_100
+
+
+def by_name(name: str) -> UcrDataset:
+    """Look up one archive dataset by exact name."""
+    for d in UCR_2018:
+        if d.name == name:
+            return d
+    raise KeyError(f"no UCR 2018 dataset named {name!r}")
+
+
+def histogram(values: Sequence[float], edges: Sequence[float]) -> List[int]:
+    """Counts of ``values`` per half-open bin ``[edges[i], edges[i+1])``.
+
+    The final bin is closed on the right, so the maximum value is
+    counted.  Values outside the edges are ignored.
+    """
+    if len(edges) < 2 or any(
+        b <= a for a, b in zip(edges, edges[1:])
+    ):
+        raise ValueError("edges must be strictly increasing, length >= 2")
+    counts = [0] * (len(edges) - 1)
+    for v in values:
+        for i in range(len(counts)):
+            last = i == len(counts) - 1
+            if edges[i] <= v < edges[i + 1] or (last and v == edges[i + 1]):
+                counts[i] += 1
+                break
+    return counts
+
+
+def best_w_histogram(
+    edges: Sequence[float] = tuple(range(0, 105, 5)),
+) -> List[int]:
+    """Fig. 2a: distribution of optimal ``w`` over the 128 datasets."""
+    return histogram([d.best_w for d in UCR_2018], edges)
+
+
+def length_histogram(
+    edges: Sequence[float] = tuple(range(0, 3250, 250)),
+) -> List[int]:
+    """Fig. 2b: distribution of series lengths over the 128 datasets."""
+    return histogram([d.length for d in UCR_2018], edges)
+
+
+def fraction_shorter_than(threshold: int = 1000) -> float:
+    """Fraction of archive datasets with length below ``threshold``."""
+    return sum(1 for d in UCR_2018 if d.length < threshold) / len(UCR_2018)
+
+
+def fraction_best_w_at_most(threshold: int = 10) -> float:
+    """Fraction of archive datasets with optimal ``w <= threshold`` %."""
+    return sum(1 for d in UCR_2018 if d.best_w <= threshold) / len(UCR_2018)
+
+
+def case_census(
+    long_threshold: int = 1000, wide_threshold: int = 20,
+) -> Dict[str, int]:
+    """How many archive datasets fall in each Table 1 quadrant."""
+    census = {"A": 0, "B": 0, "C": 0, "D": 0}
+    for d in UCR_2018:
+        census[d.case(long_threshold, wide_threshold)] += 1
+    return census

@@ -1,0 +1,122 @@
+"""Controlled time warping: the data-generation dual of DTW.
+
+The synthetic workloads need exemplars that differ by a *bounded,
+known* amount of warping -- that bound is the paper's ``W``.  The
+generator here produces a smooth monotone time map whose deviation from
+the identity never exceeds ``max_shift`` samples, then resamples a
+series through it.  A dataset built this way is guaranteed to be
+alignable by ``cDTW_w`` with ``w >= max_shift / N``, which is what lets
+the experiments place themselves deliberately into the paper's
+Case A/B/C/D quadrants.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+
+def smooth_monotone_map(
+    n: int, max_shift: float, rng: random.Random, knots: int = 6,
+) -> List[float]:
+    """A monotone map ``t: [0, n) -> [0, n)`` with ``|t(i) - i| <= max_shift``.
+
+    Random offsets (zero at both ends, bounded by ``max_shift``) are
+    drawn at ``knots`` anchor points and linearly interpolated; strict
+    monotonicity is then enforced by a forward clamp that never
+    increases the deviation bound.
+    """
+    if n < 2:
+        raise ValueError("need at least two samples to warp")
+    if max_shift < 0:
+        raise ValueError("max_shift must be non-negative")
+    if knots < 2:
+        raise ValueError("need at least two knots")
+    anchors = [0.0]
+    for _ in range(knots - 2):
+        anchors.append(rng.uniform(-max_shift, max_shift))
+    anchors.append(0.0)
+
+    t: List[float] = []
+    segments = knots - 1
+    for i in range(n):
+        pos = i * segments / (n - 1)
+        k = min(int(pos), segments - 1)
+        frac = pos - k
+        offset = anchors[k] * (1 - frac) + anchors[k + 1] * frac
+        t.append(min(n - 1.0, max(0.0, i + offset)))
+    # enforce strict monotonicity without growing deviation:
+    # clamping towards the previous value only moves t[i] closer to i
+    # when the violation came from a decreasing offset.
+    for i in range(1, n):
+        if t[i] <= t[i - 1]:
+            t[i] = min(n - 1.0, t[i - 1] + 1e-9)
+    t[0] = 0.0
+    t[-1] = n - 1.0
+    return t
+
+
+def resample(x: Sequence[float], positions: Sequence[float]) -> List[float]:
+    """Linear interpolation of ``x`` at fractional ``positions``.
+
+    Positions must lie within ``[0, len(x) - 1]``.
+    """
+    n = len(x)
+    if n == 0:
+        raise ValueError("cannot resample an empty series")
+    out: List[float] = []
+    for p in positions:
+        if not 0.0 <= p <= n - 1:
+            raise ValueError(f"position {p} outside [0, {n - 1}]")
+        i = int(p)
+        if i == n - 1:
+            out.append(float(x[-1]))
+        else:
+            frac = p - i
+            out.append(x[i] * (1 - frac) + x[i + 1] * frac)
+    return out
+
+
+def warp_series(
+    x: Sequence[float],
+    max_shift: float,
+    rng: random.Random,
+    knots: int = 6,
+) -> List[float]:
+    """A warped copy of ``x`` whose alignment needs at most ``max_shift``
+    samples of warping (i.e. ``W <= max_shift / len(x)``).
+    """
+    t = smooth_monotone_map(len(x), max_shift, rng, knots=knots)
+    return resample(x, t)
+
+
+def add_noise(
+    x: Sequence[float], sigma: float, rng: random.Random,
+) -> List[float]:
+    """``x`` plus iid Gaussian noise of standard deviation ``sigma``."""
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    return [v + rng.gauss(0.0, sigma) for v in x]
+
+
+def gaussian_bump(
+    n: int, centre: float, width: float, height: float = 1.0,
+) -> List[float]:
+    """A Gaussian bump sampled on ``range(n)`` -- the workloads' basic
+    building block (dishwasher peaks, gesture strokes, QRS complexes).
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    return [
+        height * _exp(-0.5 * ((i - centre) / width) ** 2) for i in range(n)
+    ]
+
+
+def _exp(v: float) -> float:
+    from math import exp
+
+    # exp underflows silently to 0.0 for very negative v, which is the
+    # behaviour we want for far-away bump tails.
+    if v < -700:
+        return 0.0
+    return exp(v)

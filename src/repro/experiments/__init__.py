@@ -1,0 +1,51 @@
+"""One module per table/figure of the paper (see DESIGN.md §3).
+
+Every experiment module follows the same contract:
+
+* a frozen ``*Config`` dataclass with laptop defaults in ``DEFAULT``
+  and the paper's full-scale parameters in ``PAPER_SCALE``;
+* ``run(config) -> *Result`` performing the measurement;
+* ``format_report(result) -> str`` printing paper-style rows;
+* ``main()`` wiring the two together.
+
+``EXPERIMENTS`` maps experiment ids (table/figure numbers) to modules
+so the benchmark harness and the examples can enumerate them.
+"""
+
+from . import (
+    appendix_b,
+    approx_quality,
+    case_b_music,
+    fig1_uwave,
+    fig2_ucr_histograms,
+    fig3_power,
+    fig4_case_c,
+    fig6_fall_crossover,
+    fig7_adversarial,
+    fig8_wrong_way,
+    footnote2_trillion,
+    repeated_use,
+    table1_cases,
+)
+
+#: Experiment id -> implementing module.
+EXPERIMENTS = {
+    "table1": table1_cases,
+    "fig1": fig1_uwave,
+    "fig2": fig2_ucr_histograms,
+    "case_b": case_b_music,
+    "fig3": fig3_power,
+    "fig4": fig4_case_c,
+    "fig5_fig6": fig6_fall_crossover,
+    "table2_fig7": fig7_adversarial,
+    "fig8": fig8_wrong_way,
+    "appendix_b": appendix_b,
+    "footnote2": footnote2_trillion,
+    "repeated_use": repeated_use,
+    # extension (not a paper artefact): systematic Section 4 study
+    "approx_quality": approx_quality,
+}
+
+__all__ = ["EXPERIMENTS"] + sorted(
+    m.__name__.rsplit(".", 1)[-1] for m in EXPERIMENTS.values()
+)

@@ -1,0 +1,206 @@
+"""Extension of Section 4: when does FastDTW approximate badly?
+
+The paper measures FastDTW's *speed* everywhere but its *accuracy*
+only once (the adversarial pair), noting that a systematic treatment
+"opens a pandora's box" and that no literature characterises when
+FastDTW fails.  This extension experiment takes the obvious first
+step the paper calls for: measure the approximation error
+(Salvador & Chan's own metric) across radii on several workload
+families --
+
+* random walks (benign: smooth, coarsening-friendly),
+* synthetic gestures (structured, moderate warping),
+* fall pairs (extreme warping), and
+* the adversarial family (features that vanish under coarsening),
+
+reporting per-family mean/max error per radius.  Two shapes emerge:
+
+* *benign* families (random walks, moderately-warped gestures)
+  converge within a few percent by small radii;
+* *long-range-warp* families stay catastrophically wrong until the
+  radius covers the full feature shift: the adversarial pair (by
+  construction) -- **and the paper's own Fig. 6 fall workload**, whose
+  errors exceed 10,000% at every radius below the fall offset.  This
+  quantifies the paper's aside that it "did not test to see if
+  FastDTW_40 actually aligns the two falls": at the measured
+  break-even it does not, so even in Case D the speed win buys a
+  wrong answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+#: Families whose approximation error decays quickly with the radius.
+BENIGN_FAMILIES = ("random_walk", "gesture")
+
+#: Families needing the radius to cover a long-range feature shift.
+LONG_RANGE_FAMILIES = ("fall", "adversarial")
+
+from ..core.dtw import dtw
+from ..core.error import approximation_error_percent
+from ..core.fastdtw import fastdtw
+from ..datasets.adversarial import adversarial_pair
+from ..datasets.falls import fall_pair
+from ..datasets.gestures import gesture_dataset
+from ..datasets.random_walk import random_walk
+from .report import format_table
+
+
+@dataclass(frozen=True)
+class ApproxQualityConfig:
+    """Sweep shape."""
+
+    radii: Tuple[int, ...] = (0, 1, 2, 5, 10, 20, 32)
+    pairs_per_family: int = 4
+    length: int = 256
+    seed: int = 0
+
+
+DEFAULT = ApproxQualityConfig()
+PAPER_SCALE = ApproxQualityConfig(pairs_per_family=50)
+
+
+@dataclass(frozen=True)
+class FamilyErrors:
+    """Error statistics for one family at one radius (percent)."""
+
+    family: str
+    radius: int
+    mean: float
+    worst: float
+
+
+@dataclass(frozen=True)
+class ApproxQualityResult:
+    """Full error grid plus the derived safety statements."""
+
+    config: ApproxQualityConfig
+    errors: Tuple[FamilyErrors, ...]
+
+    def at(self, family: str, radius: int) -> FamilyErrors:
+        for e in self.errors:
+            if e.family == family and e.radius == radius:
+                return e
+        raise KeyError((family, radius))
+
+    def families(self) -> List[str]:
+        seen: List[str] = []
+        for e in self.errors:
+            if e.family not in seen:
+                seen.append(e.family)
+        return seen
+
+    def benign_families_converge(self, radius: int = 10,
+                                 tolerance: float = 5.0) -> bool:
+        """Mean error of the :data:`BENIGN_FAMILIES` below
+        ``tolerance`` percent at the given radius."""
+        return all(
+            self.at(f, radius).mean <= tolerance
+            for f in self.families() if f in BENIGN_FAMILIES
+        )
+
+    def long_range_families_stay_broken(self, radius: int = 10,
+                                        floor: float = 1000.0) -> bool:
+        """Worst error of every :data:`LONG_RANGE_FAMILIES` member
+        still above ``floor`` percent at a radius where the benign
+        families have long converged.
+
+        The default probe radius is 10 -- the radius the original
+        FastDTW paper presents as giving good accuracy.  (At larger
+        radii the fall family starts to align for some seeds once the
+        corridor covers the fall offset, which is the mechanism, not a
+        contradiction.)
+        """
+        return all(
+            self.at(f, radius).worst >= floor
+            for f in self.families() if f in LONG_RANGE_FAMILIES
+        )
+
+
+def _family_pairs(
+    config: ApproxQualityConfig,
+) -> Dict[str, List[Tuple[Sequence[float], Sequence[float]]]]:
+    n_pairs = config.pairs_per_family
+    length = config.length
+    seed = config.seed
+
+    walks = [
+        (random_walk(length, seed=seed + 2 * i),
+         random_walk(length, seed=seed + 2 * i + 1))
+        for i in range(n_pairs)
+    ]
+
+    data = gesture_dataset(
+        n_classes=2, per_class=n_pairs, length=length,
+        warp_fraction=0.05, seed=seed, name="aq",
+    )
+    gestures = [
+        (list(data.series[2 * i]), list(data.series[2 * i + 1]))
+        for i in range(n_pairs)
+    ]
+
+    falls = []
+    for i in range(n_pairs):
+        pair = fall_pair(length / 100.0, seed=seed + i)
+        falls.append((pair.early, pair.late))
+
+    adversarial = []
+    for i in range(n_pairs):
+        t = adversarial_pair(length=max(length, 128), seed=seed + i)
+        adversarial.append((t.a, t.b))
+
+    return {
+        "random_walk": walks,
+        "gesture": gestures,
+        "fall": falls,
+        "adversarial": adversarial,
+    }
+
+
+def run(config: ApproxQualityConfig = DEFAULT) -> ApproxQualityResult:
+    """Measure the error grid."""
+    families = _family_pairs(config)
+    rows: List[FamilyErrors] = []
+    for family, pairs in families.items():
+        exacts = [dtw(x, y).distance for x, y in pairs]
+        for radius in config.radii:
+            errs = []
+            for (x, y), exact in zip(pairs, exacts):
+                approx = fastdtw(x, y, radius=radius).distance
+                errs.append(approximation_error_percent(approx, exact))
+            rows.append(FamilyErrors(
+                family=family,
+                radius=radius,
+                mean=sum(errs) / len(errs),
+                worst=max(errs),
+            ))
+    return ApproxQualityResult(config=config, errors=tuple(rows))
+
+
+def format_report(result: ApproxQualityResult) -> str:
+    """The error grid, one row per (family, radius)."""
+    rows = [
+        (e.family, e.radius, f"{e.mean:,.1f}%", f"{e.worst:,.1f}%")
+        for e in result.errors
+    ]
+    table = format_table(
+        ("family", "radius", "mean error", "worst error"), rows
+    )
+    return (
+        "Approximation quality (extension of Section 4)\n" + table + "\n"
+        "benign families (random walk, gesture) converge by r=10: "
+        f"{'YES' if result.benign_families_converge() else 'NO'}; "
+        "long-range-warp families (fall, adversarial) still broken "
+        "at r=10: "
+        f"{'YES' if result.long_range_families_stay_broken() else 'NO'}"
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(format_report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,191 @@
+"""Fig. 1: FastDTW vs cDTW on a UWave-scale gesture dataset (Case A).
+
+The paper computes all 400,960 pairwise distances among the 896
+training exemplars of ``UWaveGestureLibraryAll`` (length 945), sweeping
+FastDTW's radius 0..20 against cDTW's window 0..20%, and finds the
+*coarsest* FastDTW slower than cDTW at the archive-optimal ``w = 4``.
+
+Here the same sweep runs on a synthetic UWave-like dataset (see
+DESIGN.md §2); per-pair times are measured on a sample of pairs and
+extrapolated to the paper's full 400,960 comparisons, which is valid
+because comparisons are independent and identically sized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..core.cdtw import cdtw
+from ..core.variants import resolve_fastdtw
+from ..datasets.gestures import uwave_like
+from ..timing.runner import SweepPoint, sweep
+from .report import format_table, ms
+
+
+@dataclass(frozen=True)
+class Fig1Config:
+    """Parameters of the Fig. 1 experiment."""
+
+    per_class: int = 2           # 8 classes -> 16 exemplars
+    max_pairs: int = 6           # timed comparisons per setting
+    windows: Tuple[float, ...] = tuple(w / 100 for w in range(0, 21, 4))
+    radii: Tuple[int, ...] = (0, 1, 2, 5, 10, 20)
+    full_scale_pairs: int = 400_960  # the paper's (896 * 895) / 2
+    fastdtw_variant: str = "reference"  # what the paper (and users) ran
+    seed: int = 0
+
+
+#: Laptop-sized defaults (minutes, not days).
+DEFAULT = Fig1Config()
+
+#: The paper's exact scale: 896 exemplars, every pair, every setting.
+PAPER_SCALE = Fig1Config(
+    per_class=112,
+    max_pairs=0,
+    windows=tuple(w / 100 for w in range(0, 21)),
+    radii=tuple(range(0, 21)),
+)
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Both sweeps plus the comparisons the paper's text highlights."""
+
+    config: Fig1Config
+    series_length: int
+    cdtw_points: Tuple[SweepPoint, ...]
+    fastdtw_points: Tuple[SweepPoint, ...]
+
+    def cdtw_at(self, window: float) -> SweepPoint:
+        """The sweep point for a given window fraction."""
+        for p in self.cdtw_points:
+            if abs(p.param - window) < 1e-9:
+                return p
+        raise KeyError(f"window {window} not in sweep")
+
+    def fastdtw_at(self, radius: int) -> SweepPoint:
+        """The sweep point for a given radius."""
+        for p in self.fastdtw_points:
+            if p.param == radius:
+                return p
+        raise KeyError(f"radius {radius} not in sweep")
+
+    def headline_holds(self) -> bool:
+        """The paper's literal Fig. 1 claim on this run's measurements:
+
+        cDTW at the archive-optimal ``w = 4%`` is faster than the
+        *coarsest* FastDTW in the sweep (radius 0).  On our hardware
+        this specific point is borderline (within ~1.3x either way);
+        see :meth:`dominates_from_radius` for the robust form.
+        """
+        return (
+            self.cdtw_at(0.04).per_pair_seconds
+            < self.fastdtw_at(min(p.param for p in self.fastdtw_points))
+            .per_pair_seconds
+        )
+
+    def dominates_from_radius(self) -> int:
+        """Smallest swept radius from which cDTW_4 wins every setting.
+
+        The paper's robust shape: FastDTW needs ``r >= 10`` for a
+        serviceable approximation (per its own authors), and cDTW_4
+        beats those decisively.  Returns the smallest radius whose
+        FastDTW -- and every larger one -- is slower than cDTW_4.
+        """
+        cdtw4 = self.cdtw_at(0.04).per_pair_seconds
+        radii = sorted(p.param for p in self.fastdtw_points)
+        for idx, r in enumerate(radii):
+            if all(
+                self.fastdtw_at(rr).per_pair_seconds > cdtw4
+                for rr in radii[idx:]
+            ):
+                return int(r)
+        raise ValueError("cDTW_4 beat no suffix of the radius sweep")
+
+    def serviceable_claim_holds(self) -> bool:
+        """The paper's second claim: exact cDTW_20 is at least as fast
+        as FastDTW_10, the coarsest *serviceable* approximation."""
+        return (
+            self.cdtw_at(0.20).per_pair_seconds
+            <= self.fastdtw_at(10).per_pair_seconds
+        )
+
+
+def run(config: Fig1Config = DEFAULT) -> Fig1Result:
+    """Execute the sweep and return measured points."""
+    dataset = uwave_like(per_class=config.per_class, seed=config.seed)
+    series = [list(s) for s in dataset.series]
+    fastdtw_fn = resolve_fastdtw(config.fastdtw_variant)
+
+    cdtw_points = sweep(
+        series,
+        "cDTW",
+        list(config.windows),
+        lambda w: (lambda x, y: cdtw(x, y, window=w)),
+        max_pairs=config.max_pairs,
+    )
+    fastdtw_points = sweep(
+        series,
+        "FastDTW",
+        [float(r) for r in config.radii],
+        lambda r: (lambda x, y: fastdtw_fn(x, y, radius=int(r))),
+        max_pairs=config.max_pairs,
+    )
+    return Fig1Result(
+        config=config,
+        series_length=dataset.length,
+        cdtw_points=tuple(cdtw_points),
+        fastdtw_points=tuple(fastdtw_points),
+    )
+
+
+def format_report(result: Fig1Result) -> str:
+    """Paper-style rows: per-setting times and full-scale projections."""
+    cfg = result.config
+    rows: List[Sequence[object]] = []
+    for p in result.fastdtw_points:
+        rows.append((
+            f"FastDTW_{int(p.param)}",
+            ms(p.per_pair_seconds),
+            f"{p.per_pair_cells:.0f}",
+            f"{p.total_seconds(cfg.full_scale_pairs) / 3600:.2f} h",
+        ))
+    for p in result.cdtw_points:
+        rows.append((
+            f"cDTW_{round(p.param * 100)}",
+            ms(p.per_pair_seconds),
+            f"{p.per_pair_cells:.0f}",
+            f"{p.total_seconds(cfg.full_scale_pairs) / 3600:.2f} h",
+        ))
+    table = format_table(
+        ("algorithm", "per pair", "cells/pair",
+         f"all {cfg.full_scale_pairs} pairs"),
+        rows,
+    )
+    verdicts = [
+        "cDTW_4 faster than coarsest FastDTW (paper's literal claim): "
+        f"{'YES' if result.headline_holds() else 'NO (borderline point)'}",
+        "cDTW_4 beats every FastDTW from radius "
+        f"{result.dominates_from_radius()} up",
+    ]
+    if 0.20 in [p.param for p in result.cdtw_points] and any(
+        p.param == 10 for p in result.fastdtw_points
+    ):
+        verdicts.append(
+            "exact cDTW_20 at least as fast as FastDTW_10: "
+            f"{'YES (paper agrees)' if result.serviceable_claim_holds() else 'NO'}"
+        )
+    return (
+        f"Fig. 1 -- UWave-like, N={result.series_length}, "
+        f"FastDTW variant: {result.config.fastdtw_variant}\n"
+        + table + "\n" + "\n".join(verdicts)
+    )
+
+
+def main() -> None:  # pragma: no cover - exercised via examples
+    print(format_report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,131 @@
+"""Fig. 4 (Case C): the Fig. 1 sweep at N = 450 with windows up to 40%.
+
+The paper repeats the pairwise-timing experiment on random walks
+("the timing for both algorithms does not depend on the data itself"),
+length 450, 1,000 examples (499,500 comparisons), sweeping ``w`` and
+``r`` from 0 to 40.  Even at a wide 40% window, cDTW remains
+competitive because N is short -- FastDTW's overhead exceeds direct
+computation (the smart-glove study's conclusion, [23]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.cdtw import cdtw
+from ..core.variants import resolve_fastdtw
+from ..datasets.random_walk import random_walks
+from ..timing.runner import SweepPoint, sweep
+from .report import format_table, ms
+
+
+@dataclass(frozen=True)
+class Fig4Config:
+    """Sweep parameters; the paper's scale kept in :data:`PAPER_SCALE`."""
+
+    length: int = 450
+    examples: int = 12
+    max_pairs: int = 10
+    windows: Tuple[float, ...] = tuple(w / 100 for w in range(0, 41, 8))
+    radii: Tuple[int, ...] = (0, 2, 5, 10, 20, 40)
+    full_scale_pairs: int = 499_500  # the paper's (1000 * 999) / 2
+    fastdtw_variant: str = "reference"
+    seed: int = 0
+
+
+DEFAULT = Fig4Config()
+PAPER_SCALE = Fig4Config(
+    examples=1000,
+    max_pairs=0,
+    windows=tuple(w / 100 for w in range(0, 41)),
+    radii=tuple(range(0, 41)),
+)
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Both sweeps at Case C scale."""
+
+    config: Fig4Config
+    cdtw_points: Tuple[SweepPoint, ...]
+    fastdtw_points: Tuple[SweepPoint, ...]
+
+    def max_cdtw_seconds(self) -> float:
+        """Slowest cDTW setting (the widest window)."""
+        return max(p.per_pair_seconds for p in self.cdtw_points)
+
+    def min_fastdtw_seconds(self) -> float:
+        """Fastest FastDTW setting (the smallest radius)."""
+        return min(p.per_pair_seconds for p in self.fastdtw_points)
+
+    def comparable_at_matched_params(self) -> List[Tuple[float, float, float]]:
+        """(param, cdtw_s, fastdtw_s) where the sweeps share a value.
+
+        The paper plots both on a shared 0..40 axis; these are the
+        directly comparable points.
+        """
+        fast_by_param = {p.param: p.per_pair_seconds
+                         for p in self.fastdtw_points}
+        out = []
+        for p in self.cdtw_points:
+            key = round(p.param * 100)
+            if float(key) in fast_by_param:
+                out.append(
+                    (float(key), p.per_pair_seconds, fast_by_param[float(key)])
+                )
+        return out
+
+
+def run(config: Fig4Config = DEFAULT) -> Fig4Result:
+    """Generate random walks and run both sweeps."""
+    series = random_walks(config.examples, config.length, seed=config.seed)
+    fastdtw_fn = resolve_fastdtw(config.fastdtw_variant)
+    cdtw_points = sweep(
+        series, "cDTW", list(config.windows),
+        lambda w: (lambda x, y: cdtw(x, y, window=w)),
+        max_pairs=config.max_pairs,
+    )
+    fastdtw_points = sweep(
+        series, "FastDTW", [float(r) for r in config.radii],
+        lambda r: (lambda x, y: fastdtw_fn(x, y, radius=int(r))),
+        max_pairs=config.max_pairs,
+    )
+    return Fig4Result(
+        config=config,
+        cdtw_points=tuple(cdtw_points),
+        fastdtw_points=tuple(fastdtw_points),
+    )
+
+
+def format_report(result: Fig4Result) -> str:
+    """Per-setting times plus full-scale projections."""
+    cfg = result.config
+    rows: List[Sequence[object]] = []
+    for p in result.fastdtw_points:
+        rows.append((
+            f"FastDTW_{int(p.param)}", ms(p.per_pair_seconds),
+            f"{p.total_seconds(cfg.full_scale_pairs) / 3600:.2f} h",
+        ))
+    for p in result.cdtw_points:
+        rows.append((
+            f"cDTW_{round(p.param * 100)}", ms(p.per_pair_seconds),
+            f"{p.total_seconds(cfg.full_scale_pairs) / 3600:.2f} h",
+        ))
+    table = format_table(
+        ("algorithm", "per pair", f"all {cfg.full_scale_pairs} pairs"), rows
+    )
+    return (
+        f"Fig. 4 -- random walks, N={cfg.length}, w/r up to 40\n{table}\n"
+        "slowest cDTW vs fastest FastDTW: "
+        f"{ms(result.max_cdtw_seconds())} vs "
+        f"{ms(result.min_fastdtw_seconds())}"
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(format_report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,139 @@
+"""Table 2 and Fig. 7: the adversarial triple and the dendrogram flip.
+
+Three series: A and B (nearly identical under Full DTW -- paper
+distance 0.020 -- but far apart under FastDTW_20 -- paper 31.24, an
+error of 156,100% under Salvador & Chan's own metric) and C, a
+genuinely different series both measures agree on (6.822 / 6.848).
+Clustering the two distance matrices yields different dendrograms:
+under Full DTW, {A, B} fuse first; under FastDTW_20 they do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..cluster.dendrogram import ClusterNode, render_ascii
+from ..cluster.linkage import linkage, merge_order_signature
+from ..core.dtw import dtw
+from ..core.error import approximation_error_percent
+from ..core.fastdtw import fastdtw
+from ..datasets.adversarial import AdversarialTriple, adversarial_pair
+from .report import format_table
+
+LABELS = ("A", "B", "C")
+
+
+@dataclass(frozen=True)
+class Fig7Config:
+    """Adversarial-pair generator parameters (paper radius: 20)."""
+
+    radius: int = 20
+    seed: int = 0
+
+
+DEFAULT = Fig7Config()
+PAPER_SCALE = DEFAULT
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Both distance matrices, both dendrograms, and the error."""
+
+    triple: AdversarialTriple
+    full_matrix: Tuple[Tuple[float, ...], ...]
+    fast_matrix: Tuple[Tuple[float, ...], ...]
+    ab_error_percent: float
+    full_first_merge: frozenset
+    fast_first_merge: frozenset
+
+    def topologies_differ(self) -> bool:
+        """The Fig. 7 claim: the two dendrograms disagree."""
+        return self.full_first_merge != self.fast_first_merge
+
+    def full_pairs_ab(self) -> Tuple[float, float]:
+        """(full A-B, fast A-B) distances."""
+        return self.full_matrix[0][1], self.fast_matrix[0][1]
+
+
+def _matrix(series: List[List[float]], fn) -> Tuple[Tuple[float, ...], ...]:
+    k = len(series)
+    out = [[0.0] * k for _ in range(k)]
+    for i in range(k):
+        for j in range(i + 1, k):
+            d = fn(series[i], series[j])
+            out[i][j] = out[j][i] = d
+    return tuple(tuple(row) for row in out)
+
+
+def run(config: Fig7Config = DEFAULT) -> Fig7Result:
+    """Build the triple, both matrices, and both clusterings."""
+    triple = adversarial_pair(seed=config.seed)
+    series = triple.series()
+
+    full = _matrix(series, lambda a, b: dtw(a, b).distance)
+    fast = _matrix(
+        series, lambda a, b: fastdtw(a, b, radius=config.radius).distance
+    )
+    err = approximation_error_percent(fast[0][1], full[0][1])
+
+    full_sig = merge_order_signature(linkage([list(r) for r in full]))
+    fast_sig = merge_order_signature(linkage([list(r) for r in fast]))
+    return Fig7Result(
+        triple=triple,
+        full_matrix=full,
+        fast_matrix=fast,
+        ab_error_percent=err,
+        full_first_merge=full_sig[0],
+        fast_first_merge=fast_sig[0],
+    )
+
+
+def dendrograms(result: Fig7Result) -> Tuple[str, str]:
+    """ASCII dendrograms under Full DTW and FastDTW (Fig. 7a/7b)."""
+    full_tree = ClusterNode.from_merges(
+        linkage([list(r) for r in result.full_matrix])
+    )
+    fast_tree = ClusterNode.from_merges(
+        linkage([list(r) for r in result.fast_matrix])
+    )
+    return (
+        render_ascii(full_tree, labels=LABELS),
+        render_ascii(fast_tree, labels=LABELS),
+    )
+
+
+def format_report(result: Fig7Result) -> str:
+    """Table 2 layout plus the clustering verdict."""
+    def matrix_rows(matrix):
+        rows = []
+        for i, label in enumerate(LABELS):
+            rows.append((label,) + tuple(
+                f"{matrix[i][j]:.3f}" if j > i else ""
+                for j in range(len(LABELS))
+            ))
+        return rows
+
+    full_tbl = format_table(("", *LABELS), matrix_rows(result.full_matrix))
+    fast_tbl = format_table(("", *LABELS), matrix_rows(result.fast_matrix))
+    full_dgm, fast_dgm = dendrograms(result)
+    first = lambda s: "{" + ", ".join(LABELS[i] for i in sorted(s)) + "}"
+    return (
+        "Table 2 -- Full DTW:\n" + full_tbl + "\n"
+        "Table 2 -- FastDTW_20:\n" + fast_tbl + "\n"
+        f"A-B approximation error: {result.ab_error_percent:,.0f}% "
+        "(paper: 156,100%)\n"
+        "Fig. 7a (Full DTW):\n" + full_dgm + "\n"
+        "Fig. 7b (FastDTW_20):\n" + fast_dgm + "\n"
+        f"first merge: {first(result.full_first_merge)} vs "
+        f"{first(result.fast_first_merge)} -- "
+        f"{'DIFFERENT (paper agrees)' if result.topologies_differ() else 'same'}"
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(format_report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,125 @@
+"""Fig. 8 / Appendix A: *why* FastDTW fails -- wrong-way warping.
+
+The paper's mechanism, demonstrated quantitatively:
+
+1. the raw pair's optimal path deviates **rightwards** (positive) at
+   the dominant feature (the doublet), by the full feature shift;
+2. the 8-to-1 PAA coarsening depresses the dominant feature and
+   (relatively) magnifies the decoy bump, so the coarse optimal path
+   deviates **leftwards** (negative) at the same location;
+3. FastDTW's own coarsest level inherits that wrong direction, and the
+   radius-``r`` refinement window can never reach back to the correct
+   alignment, because the needed deviation exceeds ``r``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dtw import dtw
+from ..core.fastdtw import fastdtw
+from ..core.paa import paa_factor
+from ..datasets.adversarial import (
+    AdversarialTriple,
+    adversarial_pair,
+    deviation_at_row,
+)
+
+
+@dataclass(frozen=True)
+class Fig8Config:
+    """Coarsening factor and FastDTW radius (paper: 8-to-1, r = 20)."""
+
+    paa_factor: int = 8
+    radius: int = 20
+    seed: int = 0
+
+
+DEFAULT = Fig8Config()
+PAPER_SCALE = DEFAULT
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Deviations at the dominant-feature row, per resolution."""
+
+    triple: AdversarialTriple
+    raw_deviation: float
+    paa_deviation: float
+    coarsest_level_deviation: float
+    final_window_reaches_feature: bool
+    radius: int
+
+    def wrong_way(self) -> bool:
+        """The Fig. 8 claim: coarse warping opposes raw warping."""
+        return (
+            self.raw_deviation > 0
+            and self.paa_deviation <= 0
+            and self.coarsest_level_deviation <= 0
+        )
+
+
+def run(config: Fig8Config = DEFAULT) -> Fig8Result:
+    """Measure warp directions at raw, PAA and FastDTW-coarse scales."""
+    triple = adversarial_pair(seed=config.seed)
+    row = triple.doublet_a
+
+    raw_path = dtw(triple.a, triple.b, return_path=True).path
+    raw_dev = deviation_at_row(raw_path, row)
+
+    pa = paa_factor(triple.a, config.paa_factor)
+    pb = paa_factor(triple.b, config.paa_factor)
+    paa_path = dtw(pa, pb, return_path=True).path
+    paa_dev = deviation_at_row(paa_path, row // config.paa_factor)
+
+    fast = fastdtw(
+        triple.a, triple.b, radius=config.radius, keep_levels=True
+    )
+    coarsest = fast.levels[0]
+    scale = triple.length // coarsest.n
+    coarse_dev = deviation_at_row(coarsest.path, row // scale)
+
+    # can the final refinement window reach the correct match?  The
+    # correct cell is (doublet_a, doublet_b); FastDTW's final path
+    # stands in for the window's centre line.
+    final_path = fast.path
+    final_dev = deviation_at_row(final_path, row)
+    reaches = abs(final_dev - triple.doublet_shift) <= config.radius
+
+    return Fig8Result(
+        triple=triple,
+        raw_deviation=raw_dev,
+        paa_deviation=paa_dev,
+        coarsest_level_deviation=coarse_dev,
+        final_window_reaches_feature=reaches,
+        radius=config.radius,
+    )
+
+
+def format_report(result: Fig8Result) -> str:
+    """The mechanism, one measured line per step."""
+    t = result.triple
+    return (
+        "Fig. 8 -- wrong-way warping mechanism\n"
+        f"dominant feature shift (A->B): +{t.doublet_shift} samples; "
+        f"decoy bump shift: {t.bump_shift}\n"
+        f"raw optimal path deviation at feature: "
+        f"{result.raw_deviation:+.1f} (follows the feature)\n"
+        f"8-to-1 PAA path deviation there:       "
+        f"{result.paa_deviation:+.1f} (follows the decoy)\n"
+        f"FastDTW coarsest-level deviation:      "
+        f"{result.coarsest_level_deviation:+.1f}\n"
+        f"radius {result.radius} window recovers the feature: "
+        f"{'yes' if result.final_window_reaches_feature else 'NO'} "
+        "(paper: cannot recover)\n"
+        f"wrong-way warping confirmed: "
+        f"{'YES' if result.wrong_way() else 'no'}"
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(format_report(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

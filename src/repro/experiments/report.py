@@ -1,0 +1,70 @@
+"""Plain-text rendering helpers shared by the experiment modules.
+
+Every experiment prints paper-style rows to stdout; these helpers keep
+that output consistent (fixed-width tables, ASCII bar charts for the
+histogram figures, ms formatting that matches the paper's units).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]],
+) -> str:
+    """A fixed-width table with a header rule.
+
+    Cells are stringified; floats are shown with 4 significant digits.
+    """
+    if not headers:
+        raise ValueError("need at least one column")
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    for r in str_rows:
+        if len(r) != len(headers):
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(s.rjust(w) for s, w in zip(row, widths))
+
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    labels: Sequence[str], counts: Sequence[int], width: int = 50,
+) -> str:
+    """Horizontal ASCII bar chart (the Fig. 2 histograms in text)."""
+    if len(labels) != len(counts):
+        raise ValueError("labels and counts must align")
+    if not counts:
+        raise ValueError("nothing to chart")
+    peak = max(counts) or 1
+    label_w = max(len(l) for l in labels)
+    lines: List[str] = []
+    for label, count in zip(labels, counts):
+        bar = "#" * round(width * count / peak)
+        lines.append(f"{label.rjust(label_w)} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def ms(seconds: float) -> str:
+    """Seconds rendered as the paper's milliseconds, e.g. ``45.6 ms``."""
+    return f"{seconds * 1000:.1f} ms"
+
+
+def ratio(slower: float, faster: float) -> str:
+    """A speedup factor like ``5.2x`` (``inf`` guarded)."""
+    if faster <= 0:
+        return "inf"
+    return f"{slower / faster:.1f}x"

@@ -1,0 +1,199 @@
+"""Every paper claim, checked in one sweep.
+
+Each experiment module regenerates numbers; this module distils them
+into the paper's *claims* -- one boolean per headline statement --
+so ``python -m repro verdicts`` (or the final integration test) can
+answer the only question a reader ultimately has: does the
+reproduction agree with the paper?
+
+Claims are evaluated on freshly-run experiments; pass a config
+override map to control scale (the CLI uses each experiment's
+defaults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from . import (
+    appendix_b,
+    approx_quality,
+    case_b_music,
+    fig1_uwave,
+    fig2_ucr_histograms,
+    fig3_power,
+    fig4_case_c,
+    fig6_fall_crossover,
+    fig7_adversarial,
+    fig8_wrong_way,
+    footnote2_trillion,
+    repeated_use,
+    table1_cases,
+)
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One paper claim and whether this run reproduced it."""
+
+    experiment: str
+    claim: str
+    holds: bool
+    note: str = ""
+
+
+def _run(module, overrides: Optional[Dict] = None):
+    config = (overrides or {}).get(module, module.DEFAULT)
+    return module.run(config)
+
+
+def collect_verdicts(
+    overrides: Optional[Dict] = None,
+) -> List[Verdict]:
+    """Run every experiment and evaluate the paper's claims.
+
+    ``overrides`` maps experiment *modules* to config instances
+    (used by tests to shrink the heavy experiments).
+    """
+    verdicts: List[Verdict] = []
+
+    r = _run(table1_cases, overrides)
+    verdicts.append(Verdict(
+        "table1", "canonical examples classify as Cases A/B/C/D",
+        [a.case.value for _l, a in r.examples] == ["A", "B", "C", "D"],
+    ))
+    verdicts.append(Verdict(
+        "table1", "Case A dominates the archive",
+        r.case_a_fraction > 0.75,
+        f"{r.case_a_fraction:.0%}",
+    ))
+
+    r = _run(fig1_uwave, overrides)
+    verdicts.append(Verdict(
+        "fig1", "exact cDTW_20 at least as fast as FastDTW_10",
+        r.serviceable_claim_holds(),
+    ))
+    verdicts.append(Verdict(
+        "fig1", "cDTW_4 beats every FastDTW with r >= 1",
+        r.dominates_from_radius() <= 1,
+    ))
+    verdicts.append(Verdict(
+        "fig1", "cDTW_4 faster than FastDTW_0 (literal; borderline here)",
+        r.headline_holds(),
+        "known borderline point, see EXPERIMENTS.md",
+    ))
+
+    r = _run(fig2_ucr_histograms, overrides)
+    verdicts.append(Verdict(
+        "fig2", "most archive series shorter than 1,000",
+        r.fraction_shorter_than_1000 > 0.75,
+        f"{r.fraction_shorter_than_1000:.0%}",
+    ))
+    verdicts.append(Verdict(
+        "fig2", "optimal w rarely above 10%",
+        r.fraction_w_at_most_10 > 0.80,
+        f"{r.fraction_w_at_most_10:.0%}",
+    ))
+
+    r = _run(case_b_music, overrides)
+    verdicts.append(Verdict(
+        "case_b", "cDTW fastest at N long, w = 0.83%", r.cdtw_wins(),
+    ))
+    verdicts.append(Verdict(
+        "case_b", "larger radius makes FastDTW slower", r.radius_hurts(),
+    ))
+
+    r = _run(fig3_power, overrides)
+    verdicts.append(Verdict(
+        "fig3", "power pair's W estimate is 34% (Case C)",
+        abs(r.warping_estimate - 0.34) < 0.02 and r.case.value == "C",
+        f"{r.warping_estimate:.0%}",
+    ))
+
+    r = _run(fig4_case_c, overrides)
+    verdicts.append(Verdict(
+        "fig4", "at N=450 even cDTW_40 beats FastDTW_40",
+        r.cdtw_points[-1].per_pair_seconds
+        < r.fastdtw_points[-1].per_pair_seconds,
+    ))
+
+    r = _run(fig6_fall_crossover, overrides)
+    try:
+        be = r.breakeven()
+        holds = 100 <= be.n <= 800
+        note = f"N = {be.n} (paper: 400)"
+    except ValueError:
+        holds, note = False, "no crossover in range"
+    verdicts.append(Verdict(
+        "fig5_fig6", "FastDTW_40 first beats Full DTW near N ~ 400",
+        holds, note,
+    ))
+
+    r = _run(fig7_adversarial, overrides)
+    verdicts.append(Verdict(
+        "table2_fig7", "adversarial error exceeds 100,000%",
+        r.ab_error_percent > 100_000,
+        f"{r.ab_error_percent:,.0f}%",
+    ))
+    verdicts.append(Verdict(
+        "table2_fig7", "dendrograms disagree", r.topologies_differ(),
+    ))
+
+    r = _run(fig8_wrong_way, overrides)
+    verdicts.append(Verdict(
+        "fig8", "coarse levels warp the wrong way", r.wrong_way(),
+    ))
+    verdicts.append(Verdict(
+        "fig8", "radius-20 window cannot recover the feature",
+        not r.final_window_reaches_feature,
+    ))
+
+    r = _run(appendix_b, overrides)
+    verdicts.append(Verdict(
+        "appendix_b", "exact cDTW at least as accurate and faster",
+        r.claims_hold(), f"{r.speedup:.1f}x faster",
+    ))
+
+    r = _run(footnote2_trillion, overrides)
+    verdicts.append(Verdict(
+        "footnote2", "FastDTW_10 many times slower per call at N=128",
+        r.gap_factor() > 10.0, f"{r.gap_factor():.0f}x",
+    ))
+
+    r = _run(repeated_use, overrides)
+    verdicts.append(Verdict(
+        "repeated_use", "LB cascade is lossless",
+        r.exact_strategies_agree(),
+    ))
+    verdicts.append(Verdict(
+        "repeated_use", "cascade evaluates a fraction of the cells",
+        r.cascade_cell_fraction() < 0.5,
+        f"{r.cascade_cell_fraction():.0%}",
+    ))
+
+    r = _run(approx_quality, overrides)
+    verdicts.append(Verdict(
+        "approx_quality", "benign families converge by r=10",
+        r.benign_families_converge(radius=10, tolerance=15.0),
+    ))
+    verdicts.append(Verdict(
+        "approx_quality", "long-range families broken at r=10",
+        r.long_range_families_stay_broken(radius=10),
+    ))
+
+    return verdicts
+
+
+def format_verdicts(verdicts: List[Verdict]) -> str:
+    """One line per claim, check-marked."""
+    width = max(len(v.claim) for v in verdicts)
+    lines = []
+    for v in verdicts:
+        mark = "YES" if v.holds else " NO"
+        note = f"  ({v.note})" if v.note else ""
+        lines.append(f"[{mark}] {v.claim.ljust(width)}  "
+                     f"<{v.experiment}>{note}")
+    held = sum(1 for v in verdicts if v.holds)
+    lines.append(f"\n{held}/{len(verdicts)} claims reproduced")
+    return "\n".join(lines)

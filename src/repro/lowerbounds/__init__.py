@@ -1,0 +1,23 @@
+"""Lower bounds for constrained DTW.
+
+These cheap bounds never exceed the true cDTW distance, so a 1-NN
+search can discard most candidates without running the O(n*w) dynamic
+program at all.  The paper's Section 3.4 leans on exactly this: lower
+bounding (plus early abandoning) applies *only* to exact cDTW -- not to
+FastDTW -- and buys "a further two to five orders of magnitude".
+"""
+
+from .cascade import CascadeStats, LowerBoundCascade
+from .envelope import Envelope, envelope
+from .lb_keogh import lb_keogh, lb_keogh_reversed
+from .lb_kim import lb_kim
+
+__all__ = [
+    "CascadeStats",
+    "Envelope",
+    "LowerBoundCascade",
+    "envelope",
+    "lb_keogh",
+    "lb_keogh_reversed",
+    "lb_kim",
+]

@@ -1,0 +1,171 @@
+"""The cascading lower-bound pruner used by 1-NN search.
+
+Bounds are applied cheapest-first against a best-so-far threshold:
+
+1. ``LB_Kim``          -- O(1);
+2. ``LB_Keogh``        -- O(n), query envelope precomputed once;
+3. ``LB_Keogh`` reversed -- O(n) plus an envelope build;
+4. early-abandoning cDTW -- the full DP, only for survivors.
+
+Every stage is provably ``<=`` the true cDTW distance, so pruning is
+lossless: the search returns exactly the nearest neighbour, just
+faster.  :class:`CascadeStats` records where each candidate was pruned,
+which the repeated-use benchmark reports alongside the timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import inf
+from typing import Optional, Sequence
+
+from ..core.cdtw import cdtw
+from .envelope import Envelope, envelope
+from .lb_keogh import lb_keogh, lb_keogh_reversed
+from .lb_kim import lb_kim
+
+
+@dataclass
+class CascadeStats:
+    """Per-stage pruning counters accumulated over a search."""
+
+    candidates: int = 0
+    pruned_kim: int = 0
+    pruned_keogh: int = 0
+    pruned_keogh_reversed: int = 0
+    abandoned_dtw: int = 0
+    full_dtw: int = 0
+    cells: int = 0  # DP lattice cells actually evaluated
+
+    def pruned_total(self) -> int:
+        """Candidates rejected before a complete DTW computation."""
+        return (
+            self.pruned_kim
+            + self.pruned_keogh
+            + self.pruned_keogh_reversed
+            + self.abandoned_dtw
+        )
+
+    def prune_rate(self) -> float:
+        """Fraction of candidates that never finished a full DTW."""
+        if not self.candidates:
+            return 0.0
+        return self.pruned_total() / self.candidates
+
+
+class LowerBoundCascade:
+    """Lossless cDTW pruner for one query against many candidates.
+
+    Parameters
+    ----------
+    query:
+        The (typically z-normalised) query series.
+    band:
+        Sakoe-Chiba half-width in cells; must match the cDTW calls the
+        cascade stands in for.
+    squared:
+        Local cost convention (squared by default, as in the engine).
+    use_reversed:
+        Whether to run the reversed LB_Keogh stage (costs an envelope
+        build per surviving candidate; usually worth it).
+    """
+
+    def __init__(
+        self,
+        query: Sequence[float],
+        band: int,
+        squared: bool = True,
+        use_reversed: bool = True,
+        use_cumulative: bool = True,
+    ):
+        if band < 0:
+            raise ValueError("band must be non-negative")
+        self.query = list(query)
+        self.band = band
+        self.squared = squared
+        self.use_reversed = use_reversed
+        self.use_cumulative = use_cumulative
+        self.envelope: Envelope = envelope(self.query, band)
+        self.stats = CascadeStats()
+
+    def distance(
+        self, candidate: Sequence[float], best_so_far: float = inf
+    ) -> float:
+        """cDTW(query, candidate) or ``inf`` if provably > best_so_far.
+
+        The returned value is exact whenever it is finite; ``inf``
+        means the candidate was pruned (its true distance exceeds
+        ``best_so_far``).
+        """
+        if len(candidate) != len(self.query):
+            raise ValueError("cascade requires equal-length candidates")
+        stats = self.stats
+        stats.candidates += 1
+        cost = "squared" if self.squared else "abs"
+
+        if lb_kim(self.query, candidate, cost=cost) > best_so_far:
+            stats.pruned_kim += 1
+            return inf
+        lb = lb_keogh(
+            self.envelope, candidate,
+            squared=self.squared, abandon_above=best_so_far,
+        )
+        if lb > best_so_far:
+            stats.pruned_keogh += 1
+            return inf
+        if self.use_reversed:
+            lb = lb_keogh_reversed(
+                self.query, candidate, self.band,
+                squared=self.squared, abandon_above=best_so_far,
+            )
+            if lb > best_so_far:
+                stats.pruned_keogh_reversed += 1
+                return inf
+
+        if self.use_cumulative and best_so_far != inf:
+            # final exact stage with the UCR-suite cumulative suffix
+            # bound: DTW over the candidate against the query, charged
+            # up-front for what its remaining rows must at least cost
+            from ..search.cumulative import cdtw_cumulative_abandon
+
+            result = cdtw_cumulative_abandon(
+                candidate, self.query, self.band,
+                threshold=best_so_far,
+                y_envelope=self.envelope,
+                squared=self.squared,
+            )
+        else:
+            result = cdtw(
+                self.query, candidate, band=self.band, cost=cost,
+                abandon_above=best_so_far if best_so_far != inf else None,
+            )
+        stats.cells += result.cells
+        if result.abandoned:
+            stats.abandoned_dtw += 1
+            return inf
+        stats.full_dtw += 1
+        return result.distance
+
+    def nearest(self, candidates: Sequence[Sequence[float]]) -> tuple:
+        """Index and distance of the nearest candidate to the query.
+
+        Returns ``(index, distance)``; raises ``ValueError`` on an
+        empty candidate list.  Exactness follows from the bounds being
+        lower bounds: a pruned candidate cannot beat ``best_so_far``.
+        """
+        if not candidates:
+            raise ValueError("no candidates to search")
+        best_idx = -1
+        best = inf
+        for idx, cand in enumerate(candidates):
+            d = self.distance(cand, best_so_far=best)
+            if d < best:
+                best, best_idx = d, idx
+        if best_idx < 0:
+            # all infinite distances (possible only with inf inputs);
+            # fall back to the first candidate for determinism.
+            best_idx = 0
+            best = cdtw(
+                self.query, candidates[0], band=self.band
+            ).distance
+        return best_idx, best

@@ -1,0 +1,88 @@
+"""Warping envelopes: per-point min/max over a sliding band.
+
+The LB_Keogh lower bound compares a candidate series against the
+*envelope* of the query: ``upper[i] = max(q[i-r : i+r+1])`` and
+``lower[i] = min(...)`` for band half-width ``r``.  Computing each
+entry naively costs O(r); the monotonic-deque algorithm (Lemire) used
+here computes the whole envelope in O(n) regardless of ``r``, which is
+what production DTW search code does.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Upper and lower warping envelopes of a series.
+
+    Satisfies ``lower[i] <= x[i] <= upper[i]`` for every ``i`` and,
+    pointwise, widens monotonically with the band.
+    """
+
+    band: int
+    upper: List[float]
+    lower: List[float]
+
+    def __len__(self) -> int:
+        return len(self.upper)
+
+
+def envelope(x: Sequence[float], band: int) -> Envelope:
+    """O(n) sliding min/max envelope of ``x`` with half-width ``band``.
+
+    >>> e = envelope([1.0, 3.0, 2.0], 1)
+    >>> e.upper
+    [3.0, 3.0, 3.0]
+    >>> e.lower
+    [1.0, 1.0, 2.0]
+    """
+    if band < 0:
+        raise ValueError("band must be non-negative")
+    n = len(x)
+    if n == 0:
+        raise ValueError("cannot compute envelope of an empty series")
+
+    upper = [0.0] * n
+    lower = [0.0] * n
+    maxq: deque = deque()  # indices, values decreasing
+    minq: deque = deque()  # indices, values increasing
+
+    # window for position i is [i - band, i + band]; stream index j
+    for j in range(n + band):
+        if j < n:
+            v = x[j]
+            while maxq and x[maxq[-1]] <= v:
+                maxq.pop()
+            maxq.append(j)
+            while minq and x[minq[-1]] >= v:
+                minq.pop()
+            minq.append(j)
+        i = j - band
+        if i >= 0:
+            while maxq and maxq[0] < i - band:
+                maxq.popleft()
+            while minq and minq[0] < i - band:
+                minq.popleft()
+            upper[i] = x[maxq[0]]
+            lower[i] = x[minq[0]]
+    return Envelope(band, upper, lower)
+
+
+def envelope_naive(x: Sequence[float], band: int) -> Envelope:
+    """O(n*r) reference implementation used by the test-suite."""
+    if band < 0:
+        raise ValueError("band must be non-negative")
+    n = len(x)
+    if n == 0:
+        raise ValueError("cannot compute envelope of an empty series")
+    upper = []
+    lower = []
+    for i in range(n):
+        window = x[max(0, i - band):min(n, i + band + 1)]
+        upper.append(max(window))
+        lower.append(min(window))
+    return Envelope(band, upper, lower)

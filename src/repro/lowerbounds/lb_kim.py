@@ -1,0 +1,61 @@
+"""LB_Kim: the O(1) first/last-point lower bound.
+
+Every warping path must include the corner cells ``(0, 0)`` and
+``(n-1, m-1)``, so the local costs of the first pair and the last pair
+of samples are unavoidable.  The two-tier variant (after the UCR
+suite's ``lb_kim_hierarchy``) additionally charges the cheapest way any
+path can traverse the second/penultimate rows, which remains a valid
+lower bound for any band width.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.cost import CostLike, resolve_cost
+
+
+def lb_kim(
+    x: Sequence[float],
+    y: Sequence[float],
+    cost: CostLike = "squared",
+    tiers: int = 2,
+) -> float:
+    """Constant-time lower bound on DTW(x, y) (any band width).
+
+    Parameters
+    ----------
+    x, y:
+        Non-empty series of equal length (the classification setting).
+    cost:
+        Local cost, matching the DTW call being bounded.
+    tiers:
+        ``1`` charges only the corner cells; ``2`` (default) adds the
+        cheapest traversal of the second and penultimate anti-diagonal
+        neighbourhoods, tightening the bound at negligible cost.
+
+    Notes
+    -----
+    Validity: a path from ``(0,0)`` to ``(n-1,n-1)`` with ``n >= 2``
+    contains both corners, so ``d(x0,y0) + d(x_last,y_last)`` is a
+    lower bound.  For tier 2 with ``n >= 4``: after ``(0, 0)`` the
+    path's next cell is one of ``(0,1), (1,0), (1,1)``, so the minimum
+    of those three local costs is also unavoidable (and disjoint from
+    the cells already counted); symmetrically at the end.
+    """
+    if len(x) != len(y):
+        raise ValueError("lb_kim requires equal-length series")
+    n = len(x)
+    if n == 0:
+        raise ValueError("cannot bound empty series")
+    if tiers not in (1, 2):
+        raise ValueError("tiers must be 1 or 2")
+    fn = resolve_cost(cost)
+
+    if n == 1:
+        return fn(x[0], y[0])
+    bound = fn(x[0], y[0]) + fn(x[-1], y[-1])
+    if tiers == 2 and n >= 4:
+        bound += min(fn(x[1], y[0]), fn(x[0], y[1]), fn(x[1], y[1]))
+        bound += min(fn(x[-2], y[-1]), fn(x[-1], y[-2]), fn(x[-2], y[-2]))
+    return bound

@@ -1,0 +1,12 @@
+"""Motif discovery: the most conserved subsequence pair of a stream.
+
+The mirror image of discord discovery (and another of the intro's
+motivating tasks, "rule discovery"): find the two non-overlapping
+windows that are *closest* under cDTW.  The same repeated-use
+machinery applies -- every candidate pair races the best-so-far
+through the lossless lower-bound cascade.
+"""
+
+from .discovery import Motif, find_motif
+
+__all__ = ["Motif", "find_motif"]

@@ -1,0 +1,12 @@
+"""Preprocessing: normalisation and subsequence extraction."""
+
+from .normalize import RunningStats, znorm, znorm_subsequence
+from .sliding import sliding_windows, subsequence_count
+
+__all__ = [
+    "RunningStats",
+    "sliding_windows",
+    "subsequence_count",
+    "znorm",
+    "znorm_subsequence",
+]

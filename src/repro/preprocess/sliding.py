@@ -1,0 +1,37 @@
+"""Sliding-window subsequence extraction over long streams."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+
+def subsequence_count(stream_length: int, window: int, step: int = 1) -> int:
+    """How many windows :func:`sliding_windows` will yield.
+
+    >>> subsequence_count(10, 4)
+    7
+    >>> subsequence_count(10, 4, step=3)
+    3
+    """
+    if window < 1 or step < 1:
+        raise ValueError("window and step must be positive")
+    if stream_length < window:
+        return 0
+    return (stream_length - window) // step + 1
+
+
+def sliding_windows(
+    stream: Sequence[float], window: int, step: int = 1,
+) -> Iterator[Tuple[int, List[float]]]:
+    """Yield ``(start, subsequence)`` pairs over ``stream``.
+
+    Windows are copies, so callers may normalise them in place.  An
+    empty iterator results when the stream is shorter than ``window``.
+
+    >>> [(s, w) for s, w in sliding_windows([1, 2, 3, 4], 3)]
+    [(0, [1, 2, 3]), (1, [2, 3, 4])]
+    """
+    if window < 1 or step < 1:
+        raise ValueError("window and step must be positive")
+    for start in range(0, len(stream) - window + 1, step):
+        yield start, list(stream[start:start + window])

@@ -1,0 +1,28 @@
+"""Similarity search: 1-NN and subsequence search under DTW.
+
+Implements the "repeated use" setting of the paper's Section 3.4: when
+DTW is evaluated many times (classification, nearest-neighbour search,
+monitoring), exact cDTW admits lower bounding and early abandoning that
+FastDTW cannot use, widening cDTW's lead by orders of magnitude.
+"""
+
+from .cumulative import cdtw_cumulative_abandon, suffix_gap_bounds
+from .early_abandon import early_abandoning_cdtw, early_abandoning_euclidean
+from .nn_search import NnResult, nearest_neighbor
+from .subsequence import (
+    SubsequenceMatch,
+    subsequence_search,
+    subsequence_search_topk,
+)
+
+__all__ = [
+    "NnResult",
+    "SubsequenceMatch",
+    "cdtw_cumulative_abandon",
+    "early_abandoning_cdtw",
+    "early_abandoning_euclidean",
+    "nearest_neighbor",
+    "subsequence_search",
+    "subsequence_search_topk",
+    "suffix_gap_bounds",
+]

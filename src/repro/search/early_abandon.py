@@ -1,0 +1,40 @@
+"""Early-abandoning distance computations.
+
+Early abandoning stops a distance computation as soon as its running
+value provably exceeds a threshold (the best-so-far in a search).  It
+applies to Euclidean distance (running sum) and to cDTW (row minima of
+the DP are monotone lower bounds) -- but *not* to FastDTW, whose
+coarse-level distances are not bounds on its final answer.  This
+asymmetry is one of the paper's Section 3.4 arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.cdtw import cdtw
+from ..core.engine import DtwResult
+from ..core.euclidean import euclidean
+
+
+def early_abandoning_euclidean(
+    x: Sequence[float], y: Sequence[float], threshold: float,
+) -> float:
+    """Squared Euclidean distance, or ``inf`` once it exceeds ``threshold``."""
+    return euclidean(x, y, abandon_above=threshold)
+
+
+def early_abandoning_cdtw(
+    x: Sequence[float],
+    y: Sequence[float],
+    threshold: float,
+    window: Optional[float] = None,
+    band: Optional[int] = None,
+) -> DtwResult:
+    """Banded DTW that abandons once every path is provably > ``threshold``.
+
+    The result's ``abandoned`` flag distinguishes "pruned" from an
+    exact (finite) distance; ``cells`` shows how much of the lattice
+    was actually evaluated, which the benchmarks report as the saving.
+    """
+    return cdtw(x, y, window=window, band=band, abandon_above=threshold)

@@ -1,0 +1,145 @@
+"""Experiment runners: parameter sweeps over pairwise comparisons.
+
+The paper's Figs. 1 and 4 share one experimental shape: fix a dataset,
+sweep a parameter (``w`` for cDTW, ``r`` for FastDTW), and for each
+setting report the cumulative time of all pairwise comparisons.  At
+laptop scale we time a sample of pairs per setting and extrapolate to
+the full pair count (valid: comparisons are independent and identically
+sized; the full-scale pair counts are recorded in each experiment's
+``PAPER_SCALE`` config).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+DistanceFn = Callable[[Sequence[float], Sequence[float]], object]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One parameter setting of a sweep.
+
+    Attributes
+    ----------
+    algorithm:
+        ``"cDTW"`` or ``"FastDTW"`` (or any label the caller chose).
+    param:
+        The swept parameter value (window fraction or radius).
+    per_pair_seconds:
+        Mean wall-clock seconds per comparison at this setting.
+    per_pair_cells:
+        Mean DP cells per comparison (0 if the result lacks ``cells``).
+    pairs_measured:
+        Number of comparisons actually timed.
+    """
+
+    algorithm: str
+    param: float
+    per_pair_seconds: float
+    per_pair_cells: float
+    pairs_measured: int
+
+    def total_seconds(self, pair_count: int) -> float:
+        """Extrapolated total for ``pair_count`` comparisons."""
+        return self.per_pair_seconds * pair_count
+
+
+@dataclass(frozen=True)
+class PairwiseResult:
+    """Measured cost of all-pairs comparisons at one setting."""
+
+    pairs: int
+    seconds: float
+    cells: int
+
+    @property
+    def per_pair_seconds(self) -> float:
+        return self.seconds / self.pairs if self.pairs else 0.0
+
+
+def pairwise_experiment(
+    series: Sequence[Sequence[float]],
+    fn: DistanceFn,
+    max_pairs: int = 0,
+) -> PairwiseResult:
+    """Time ``fn`` over (a sample of) all unordered pairs of ``series``.
+
+    Parameters
+    ----------
+    series:
+        At least two series.
+    fn:
+        Distance callable; if its result has a ``cells`` attribute it
+        is accumulated.
+    max_pairs:
+        Cap on pairs to time (0 = all ``k*(k-1)/2``).  Pairs are taken
+        in deterministic lexicographic order.
+    """
+    if len(series) < 2:
+        raise ValueError("need at least two series")
+    pairs = itertools.combinations(range(len(series)), 2)
+    if max_pairs:
+        pairs = itertools.islice(pairs, max_pairs)
+    count = 0
+    cells = 0
+    start = time.perf_counter()
+    for i, j in pairs:
+        result = fn(series[i], series[j])
+        cells += getattr(result, "cells", 0)
+        count += 1
+    seconds = time.perf_counter() - start
+    return PairwiseResult(pairs=count, seconds=seconds, cells=cells)
+
+
+def sweep(
+    series: Sequence[Sequence[float]],
+    algorithm: str,
+    params: Sequence[float],
+    make_fn: Callable[[float], DistanceFn],
+    max_pairs: int = 0,
+) -> List[SweepPoint]:
+    """Run :func:`pairwise_experiment` across parameter settings.
+
+    ``make_fn(param)`` builds the distance callable for each setting.
+    Returns one :class:`SweepPoint` per parameter, in order.
+    """
+    if not params:
+        raise ValueError("no parameters to sweep")
+    points: List[SweepPoint] = []
+    for p in params:
+        res = pairwise_experiment(series, make_fn(p), max_pairs=max_pairs)
+        points.append(
+            SweepPoint(
+                algorithm=algorithm,
+                param=p,
+                per_pair_seconds=res.per_pair_seconds,
+                per_pair_cells=res.cells / res.pairs if res.pairs else 0.0,
+                pairs_measured=res.pairs,
+            )
+        )
+    return points
+
+
+def find_crossover(
+    params: Sequence[float],
+    series_a: Sequence[float],
+    series_b: Sequence[float],
+) -> Tuple[float, float]:
+    """First param where ``series_b``'s value drops below ``series_a``'s.
+
+    Generic helper for crossover experiments (e.g. Fig. 6: the first
+    ``L`` where FastDTW becomes faster than Full DTW).  ``series_a``
+    and ``series_b`` are per-param measurements aligned with
+    ``params``.  Returns ``(param, ratio_b_over_a)``; raises
+    ``ValueError`` if no crossover occurs.
+    """
+    if not (len(params) == len(series_a) == len(series_b)):
+        raise ValueError("params and measurements must align")
+    for p, a, b in zip(params, series_a, series_b):
+        if b < a:
+            return p, (b / a if a else float("inf"))
+    raise ValueError("no crossover within the swept range")

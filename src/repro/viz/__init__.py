@@ -1,0 +1,15 @@
+"""Terminal visualisation of series, alignments and cost matrices."""
+
+from .render import (
+    render_alignment,
+    render_cost_matrix,
+    render_window,
+    sparkline,
+)
+
+__all__ = [
+    "render_alignment",
+    "render_cost_matrix",
+    "render_window",
+    "sparkline",
+]

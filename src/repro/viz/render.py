@@ -1,0 +1,166 @@
+"""ASCII rendering of series, warping alignments and DTW lattices.
+
+The paper communicates through small alignment pictures (Fig. 5's fall
+alignment, Fig. 7c's hatch lines); these helpers produce the terminal
+equivalents the examples print:
+
+* :func:`sparkline` -- a one-line block-character plot of a series;
+* :func:`render_alignment` -- two sparklines with hatch columns
+  marking where the warping path connects them;
+* :func:`render_cost_matrix` -- the accumulated-cost lattice as a
+  character heat map with the optimal path overlaid, which makes
+  windows, bands and wrong-way corridors visible at a glance.
+"""
+
+from __future__ import annotations
+
+from math import inf, isfinite
+from typing import List, Optional, Sequence
+
+from ..core.cost import resolve_cost
+from ..core.naive import naive_full_matrix
+from ..core.path import WarpingPath
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+_SHADES = " .:-=+*#%@"
+_PATH_MARK = "◆"
+
+
+def sparkline(x: Sequence[float], width: Optional[int] = None) -> str:
+    """One-line block plot of a series.
+
+    ``width`` resamples by picking evenly-spaced samples (no
+    averaging); ``None`` keeps one block per sample.
+
+    >>> sparkline([0.0, 1.0, 0.5])
+    '▁█▄'
+    """
+    if not len(x):
+        raise ValueError("cannot plot an empty series")
+    if width is not None:
+        if width < 1:
+            raise ValueError("width must be positive")
+        n = len(x)
+        x = [x[min(n - 1, round(i * (n - 1) / max(1, width - 1)))]
+             for i in range(width)]
+    lo, hi = min(x), max(x)
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[0] * len(x)
+    out = []
+    for v in x:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def render_alignment(
+    x: Sequence[float],
+    y: Sequence[float],
+    path: WarpingPath,
+    width: int = 60,
+    hatch_every: int = 6,
+) -> str:
+    """Two sparklines joined by hatch lines sampled from ``path``.
+
+    A hatch column marks a path cell ``(i, j)``: ``|`` when the
+    connection is (nearly) lock-step, ``\\`` when ``x`` leads (the
+    ``y`` sample lies later), ``/`` when ``y`` leads -- so warping
+    direction and extent are visible, as in the paper's Fig. 7c.
+    """
+    if len(x) != path.n or len(y) != path.m:
+        raise ValueError("path does not align these series")
+    if width < 2 or hatch_every < 1:
+        raise ValueError("need width >= 2 and hatch_every >= 1")
+
+    top = sparkline(x, width=width)
+    bottom = sparkline(y, width=width)
+
+    def col(idx: int, n: int) -> int:
+        return round(idx * (width - 1) / max(1, n - 1))
+
+    hatch = [" "] * width
+    for k in range(0, len(path), hatch_every):
+        i, j = path[k]
+        ci, cj = col(i, path.n), col(j, path.m)
+        mid = (ci + cj) // 2
+        if cj > ci:
+            hatch[mid] = "\\"
+        elif cj < ci:
+            hatch[mid] = "/"
+        else:
+            hatch[mid] = "|"
+    return "\n".join(["x: " + top, "   " + "".join(hatch),
+                      "y: " + bottom])
+
+
+def render_window(window, max_size: int = 60) -> str:
+    """A :class:`~repro.core.window.Window` as an ASCII silhouette.
+
+    ``#`` marks admitted cells, ``.`` excluded ones -- the quickest
+    way to *see* the difference between a Sakoe-Chiba band, an Itakura
+    parallelogram, a learned R-K band and a FastDTW corridor.
+
+    >>> from repro.core.window import Window
+    >>> print(render_window(Window.band(3, 3, 0)))
+    #..
+    .#.
+    ..#
+    """
+    if window.n > max_size or window.m > max_size:
+        raise ValueError(
+            f"window too large to render ({window.n}x{window.m} > "
+            f"{max_size})"
+        )
+    lines = []
+    for i in range(window.n):
+        lo, hi = window.row(i)
+        lines.append(
+            "." * lo + "#" * (hi - lo + 1) + "." * (window.m - 1 - hi)
+        )
+    return "\n".join(lines)
+
+
+def render_cost_matrix(
+    x: Sequence[float],
+    y: Sequence[float],
+    path: Optional[WarpingPath] = None,
+    band: Optional[int] = None,
+    cost: str = "squared",
+    max_size: int = 60,
+) -> str:
+    """The accumulated-cost lattice as a character heat map.
+
+    Rows are ``x`` indices (top to bottom), columns ``y`` indices.
+    Darker characters are costlier cells; ``◆`` marks the optimal (or
+    given) path; excluded band cells print as spaces.  Series longer
+    than ``max_size`` are refused (this is a lens for small examples,
+    not a plotting library).
+    """
+    n, m = len(x), len(y)
+    if not n or not m:
+        raise ValueError("cannot render empty series")
+    if n > max_size or m > max_size:
+        raise ValueError(
+            f"series too long to render ({n}x{m} > {max_size}); "
+            "slice them first"
+        )
+    D = naive_full_matrix(x, y, cost=cost, band=band)
+    finite_vals = [v for row in D for v in row if isfinite(v)]
+    lo, hi = min(finite_vals), max(finite_vals)
+    span = (hi - lo) or 1.0
+
+    on_path = set(path.cells) if path is not None else set()
+    lines: List[str] = []
+    for i in range(n):
+        chars = []
+        for j in range(m):
+            if (i, j) in on_path:
+                chars.append(_PATH_MARK)
+            elif not isfinite(D[i][j]):
+                chars.append(" ")
+            else:
+                idx = int((D[i][j] - lo) / span * (len(_SHADES) - 1))
+                chars.append(_SHADES[idx])
+        lines.append("".join(chars))
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Unit tests for the Table 1 case advisor."""
+
+import pytest
+
+from repro.advisor.cases import (
+    Case,
+    Recommendation,
+    analyze,
+    classify_case,
+    estimate_warping_amount,
+)
+from repro.datasets.falls import fall_pair
+from repro.datasets.power import midnight_hour_pair
+from tests.conftest import make_series
+
+
+class TestClassifyCase:
+    def test_paper_anchor_examples(self):
+        assert classify_case(945, 0.04) is Case.A      # UWave
+        assert classify_case(24_000, 0.0083) is Case.B  # music
+        assert classify_case(450, 0.40) is Case.C       # power
+        assert classify_case(5_000, 1.00) is Case.D     # falls
+
+    def test_boundaries(self):
+        assert classify_case(999, 0.19) is Case.A
+        assert classify_case(1000, 0.19) is Case.B
+        assert classify_case(999, 0.20) is Case.C
+        assert classify_case(1000, 0.20) is Case.D
+
+    def test_custom_thresholds(self):
+        assert classify_case(
+            500, 0.10, long_threshold=400, wide_threshold=0.05
+        ) is Case.D
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            classify_case(0, 0.1)
+        with pytest.raises(ValueError):
+            classify_case(100, 1.5)
+
+
+class TestAnalyze:
+    def test_recommends_cdtw_for_abc(self):
+        for n, w in ((300, 0.05), (24_000, 0.0083), (450, 0.40)):
+            assert analyze(n=n, warping=w).recommendation is (
+                Recommendation.CDTW
+            )
+
+    def test_case_d_gets_qualified_recommendation(self):
+        a = analyze(n=5_000, warping=0.9)
+        assert a.case is Case.D
+        assert a.recommendation is Recommendation.CDTW_FULL
+
+    def test_describe_mentions_case_and_verdict(self):
+        text = analyze(n=945, warping=0.04).describe()
+        assert "Case A" in text
+        assert "cDTW" in text
+
+    def test_requires_inputs(self):
+        with pytest.raises(ValueError, match="provide"):
+            analyze()
+
+    def test_measures_from_sample_pairs(self):
+        pair = midnight_hour_pair()
+        a = analyze(sample_pairs=[(pair.night_a, pair.night_b)])
+        assert a.n == 450
+        # measured alignment warping should land in Case C territory
+        assert a.case in (Case.A, Case.C)
+        assert a.warping > 0.0
+
+    def test_explicit_warping_overrides_measurement(self):
+        pair = midnight_hour_pair()
+        a = analyze(
+            warping=0.4, sample_pairs=[(pair.night_a, pair.night_b)]
+        )
+        assert a.warping == 0.4
+
+
+class TestEstimateWarpingAmount:
+    def test_identical_pairs_zero(self):
+        x = make_series(30, 1)
+        assert estimate_warping_amount([(x, x)]) == 0.0
+
+    def test_fall_pair_near_full(self):
+        pair = fall_pair(1.5, seed=2)
+        w = estimate_warping_amount([(pair.early, pair.late)])
+        assert w > 0.5
+
+    def test_takes_worst_pair(self):
+        x = make_series(30, 3)
+        pair = fall_pair(1.0, seed=4)
+        w_single = estimate_warping_amount([(pair.early, pair.late)])
+        w_both = estimate_warping_amount(
+            [(x, x), (pair.early, pair.late)]
+        )
+        assert w_both == w_single
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_warping_amount([])

@@ -1,0 +1,47 @@
+"""Tests for the advisor's concrete window recommendation."""
+
+import pytest
+
+from repro.advisor.cases import analyze
+from repro.core.cdtw import cdtw
+from repro.datasets.music import studio_and_live
+
+
+class TestRecommendedWindow:
+    def test_covers_declared_warping(self):
+        a = analyze(n=450, warping=0.34)
+        assert a.recommended_window() >= 0.34
+
+    def test_margin_scales(self):
+        a = analyze(n=450, warping=0.20)
+        assert a.recommended_window(margin=0.5) == pytest.approx(0.30)
+
+    def test_clipped_at_full(self):
+        a = analyze(n=2000, warping=0.95)
+        assert a.recommended_window(margin=1.0) == 1.0
+
+    def test_floor_of_one_cell(self):
+        a = analyze(n=100, warping=0.0)
+        assert a.recommended_window() == pytest.approx(1 / 100)
+
+    def test_negative_margin_rejected(self):
+        a = analyze(n=100, warping=0.1)
+        with pytest.raises(ValueError):
+            a.recommended_window(margin=-0.1)
+
+    def test_describe_includes_window(self):
+        text = analyze(n=945, warping=0.04).describe()
+        assert "w ~" in text
+
+    def test_recommendation_actually_aligns_generated_data(self):
+        # close the loop: measure W from data, take the recommended
+        # window, verify it aligns the pair as well as Full DTW would
+        pair = studio_and_live(seconds=6.0, max_drift_seconds=0.2,
+                               seed=9)
+        a = analyze(sample_pairs=[(pair.studio, pair.live)])
+        w = a.recommended_window()
+        from repro.core.dtw import dtw
+
+        banded = cdtw(pair.studio, pair.live, window=w).distance
+        full = dtw(pair.studio, pair.live).distance
+        assert banded <= full * 1.05 + 1e-9

@@ -1,0 +1,115 @@
+"""Unit tests for discord discovery."""
+
+import math
+import random
+
+import pytest
+
+from repro.anomaly.discord import Discord, find_discord
+from repro.core.cdtw import cdtw
+from repro.datasets.ecg import ecg_stream, heartbeat
+from repro.preprocess.normalize import znorm
+from repro.preprocess.sliding import sliding_windows
+
+
+def _brute_force_discord(stream, window, band, step=1, exclusion=None):
+    """Naive reference: full nested scan, no pruning."""
+    exclusion = window if exclusion is None else exclusion
+    items = [
+        (s, znorm(w)) for s, w in sliding_windows(stream, window, step)
+    ]
+    best = (-math.inf, -1, -1)
+    for i, (si, wi) in enumerate(items):
+        nn, nn_j = math.inf, -1
+        for j, (sj, wj) in enumerate(items):
+            if abs(si - sj) < exclusion:
+                continue
+            d = cdtw(wi, wj, band=band).distance
+            if d < nn:
+                nn, nn_j = d, j
+        if nn_j >= 0 and nn > best[0]:
+            best = (nn, si, items[nn_j][0])
+    return best  # (score, start, neighbor_start)
+
+
+@pytest.fixture(scope="module")
+def anomalous_stream():
+    """A repetitive stream with one planted anomaly."""
+    rng = random.Random(3)
+    stream = []
+    for beat in range(12):
+        stream.extend(heartbeat(40, rng, noise_sigma=0.01))
+    # plant a burst anomaly inside beat 6
+    for i in range(245, 265):
+        stream[i] += 1.5
+    return stream
+
+
+class TestFindDiscord:
+    def test_finds_planted_anomaly(self, anomalous_stream):
+        discord = find_discord(
+            anomalous_stream, window=40, band=3, step=5
+        )
+        # the anomalous region is samples 245-265
+        assert 200 <= discord.start <= 270
+
+    def test_matches_brute_force(self):
+        rng = random.Random(9)
+        stream = []
+        for _ in range(6):
+            stream.extend(heartbeat(24, rng, noise_sigma=0.02))
+        stream[70] += 2.0  # small planted spike
+        ours = find_discord(stream, window=24, band=2, step=4)
+        score, start, neighbor = _brute_force_discord(
+            stream, 24, 2, step=4
+        )
+        assert ours.start == start
+        assert ours.score == pytest.approx(score)
+
+    def test_score_is_true_nn_distance(self, anomalous_stream):
+        discord = find_discord(
+            anomalous_stream, window=40, band=3, step=10
+        )
+        wi = znorm(anomalous_stream[discord.start:discord.start + 40])
+        wj = znorm(
+            anomalous_stream[
+                discord.neighbor_start:discord.neighbor_start + 40
+            ]
+        )
+        assert cdtw(wi, wj, band=3).distance == pytest.approx(
+            discord.score
+        )
+
+    def test_neighbor_respects_exclusion(self, anomalous_stream):
+        discord = find_discord(
+            anomalous_stream, window=40, band=3, step=10
+        )
+        assert abs(discord.start - discord.neighbor_start) >= 40
+
+    def test_pruning_saves_distance_calls(self, anomalous_stream):
+        discord = find_discord(
+            anomalous_stream, window=40, band=3, step=5
+        )
+        naive = discord.windows * (discord.windows - 1)
+        assert discord.distance_calls < naive
+
+    def test_no_anomaly_still_returns_a_discord(self):
+        rng = random.Random(11)
+        stream = []
+        for _ in range(8):
+            stream.extend(heartbeat(30, rng, noise_sigma=0.01))
+        discord = find_discord(stream, window=30, band=2, step=6)
+        assert discord.score >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            find_discord([1.0] * 50, window=1, band=1)
+        with pytest.raises(ValueError, match="step"):
+            find_discord([1.0] * 50, window=5, band=1, step=0)
+        with pytest.raises(ValueError, match="two windows"):
+            find_discord([1.0] * 5, window=5, band=1)
+        with pytest.raises(ValueError, match="exclusion"):
+            find_discord(
+                [float(i) for i in range(12)], window=5, band=1,
+                exclusion=50,
+            )

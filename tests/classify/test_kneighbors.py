@@ -1,0 +1,79 @@
+"""Unit tests for the k-NN majority-vote classifier."""
+
+import pytest
+
+from repro.classify.knn import DistanceSpec, KNearestNeighbors, OneNearestNeighbor
+from repro.datasets.gestures import gesture_dataset
+
+
+@pytest.fixture
+def separable():
+    series = [[0.0 + 0.1 * i] * 8 for i in range(4)] + [
+        [5.0 + 0.1 * i] * 8 for i in range(4)
+    ]
+    labels = ["low"] * 4 + ["high"] * 4
+    return series, labels
+
+
+class TestKnn:
+    def test_k1_matches_1nn(self, separable):
+        series, labels = separable
+        knn = KNearestNeighbors(DistanceSpec("euclidean"), k=1)
+        onenn = OneNearestNeighbor(DistanceSpec("euclidean"))
+        knn.fit(series, labels)
+        onenn.fit(series, labels)
+        queries = [[0.5] * 8, [4.7] * 8, [2.4] * 8]
+        assert knn.predict(queries) == onenn.predict(queries)
+
+    def test_k3_majority_vote(self, separable):
+        series, labels = separable
+        clf = KNearestNeighbors(DistanceSpec("euclidean"), k=3)
+        clf.fit(series, labels)
+        assert clf.predict_one([0.2] * 8) == "low"
+        assert clf.predict_one([5.2] * 8) == "high"
+
+    def test_majority_overrules_single_outlier(self):
+        # one 'b' plant sits nearest, but two 'a's are next: k=3 votes 'a'
+        series = [[0.0] * 4, [0.2] * 4, [0.05] * 4, [9.0] * 4]
+        labels = ["a", "a", "b", "b"]
+        clf = KNearestNeighbors(DistanceSpec("euclidean"), k=3)
+        clf.fit(series, labels)
+        assert clf.predict_one([0.06] * 4) == "a"
+
+    def test_vote_tie_breaks_to_nearest(self):
+        series = [[0.0] * 4, [1.0] * 4, [10.0] * 4, [11.0] * 4]
+        labels = ["a", "a", "b", "b"]
+        clf = KNearestNeighbors(DistanceSpec("euclidean"), k=4)
+        clf.fit(series, labels)
+        # 2-2 tie; nearest neighbour is 'a'
+        assert clf.predict_one([0.5] * 4) == "a"
+
+    def test_error_rate(self, separable):
+        series, labels = separable
+        clf = KNearestNeighbors(DistanceSpec("euclidean"), k=3)
+        clf.fit(series, labels)
+        assert clf.error_rate(series, labels) == 0.0
+
+    def test_with_cdtw_distance(self):
+        data = gesture_dataset(
+            n_classes=2, per_class=5, length=32, noise_sigma=0.1,
+            seed=12, name="knn",
+        )
+        series = [list(s) for s in data.series]
+        labels = list(data.labels)
+        clf = KNearestNeighbors(
+            DistanceSpec("cdtw", window=0.1), k=3
+        ).fit(series, labels)
+        assert clf.error_rate(series, labels) <= 0.2
+
+    def test_validation(self, separable):
+        series, labels = separable
+        with pytest.raises(ValueError, match="k must be positive"):
+            KNearestNeighbors(DistanceSpec("euclidean"), k=0)
+        clf = KNearestNeighbors(DistanceSpec("euclidean"), k=3)
+        with pytest.raises(ValueError, match="not fitted"):
+            clf.predict_one([1.0])
+        with pytest.raises(ValueError, match="at least k"):
+            clf.fit(series[:2], labels[:2])
+        with pytest.raises(ValueError, match="equal length"):
+            clf.fit(series, labels[:-1])

@@ -1,0 +1,110 @@
+"""Unit tests for the 1-NN classifier and DistanceSpec."""
+
+import pytest
+
+from repro.classify.knn import DistanceSpec, OneNearestNeighbor
+from repro.datasets.gestures import gesture_dataset
+from tests.conftest import make_series
+
+
+class TestDistanceSpec:
+    def test_cdtw_requires_window(self):
+        with pytest.raises(ValueError, match="window"):
+            DistanceSpec("cdtw")
+
+    def test_fastdtw_requires_radius(self):
+        with pytest.raises(ValueError, match="radius"):
+            DistanceSpec("fastdtw")
+
+    def test_euclidean_rejects_window(self):
+        with pytest.raises(ValueError):
+            DistanceSpec("euclidean", window=0.1)
+
+    def test_cdtw_rejects_radius(self):
+        with pytest.raises(ValueError):
+            DistanceSpec("cdtw", window=0.1, radius=2)
+
+    def test_unknown_measure(self):
+        with pytest.raises(ValueError, match="unknown measure"):
+            DistanceSpec("dtaidistance")
+
+    def test_describe_paper_notation(self):
+        assert DistanceSpec("cdtw", window=0.1).describe() == "cDTW_10"
+        assert DistanceSpec("fastdtw", radius=20).describe() == "FastDTW_20"
+        assert DistanceSpec("euclidean").describe() == "Euclidean"
+        assert DistanceSpec("dtw").describe() == "Full DTW"
+
+
+class TestClassifier:
+    @pytest.fixture
+    def tiny_task(self):
+        # two trivially separable classes
+        low = [[0.0 + 0.01 * i for i in range(10)] for _ in range(3)]
+        high = [[5.0 + 0.01 * i for i in range(10)] for _ in range(3)]
+        return low + high, ["low"] * 3 + ["high"] * 3
+
+    @pytest.mark.parametrize("spec", [
+        DistanceSpec("euclidean"),
+        DistanceSpec("cdtw", window=0.1),
+        DistanceSpec("cdtw", window=0.1, use_lower_bounds=True),
+        DistanceSpec("dtw"),
+        DistanceSpec("fastdtw", radius=2),
+    ])
+    def test_separable_task_perfect(self, tiny_task, spec):
+        series, labels = tiny_task
+        clf = OneNearestNeighbor(spec).fit(series, labels)
+        assert clf.predict_one([0.2] * 10) == "low"
+        assert clf.predict_one([4.9] * 10) == "high"
+
+    def test_predict_batch(self, tiny_task):
+        series, labels = tiny_task
+        clf = OneNearestNeighbor(DistanceSpec("euclidean"))
+        clf.fit(series, labels)
+        assert clf.predict([[0.0] * 10, [5.0] * 10]) == ["low", "high"]
+
+    def test_error_rate(self, tiny_task):
+        series, labels = tiny_task
+        clf = OneNearestNeighbor(DistanceSpec("euclidean"))
+        clf.fit(series, labels)
+        assert clf.error_rate(series, labels) == 0.0
+        flipped = ["high" if l == "low" else "low" for l in labels]
+        assert clf.error_rate(series, flipped) == 1.0
+
+    def test_exclude_supports_loocv(self, tiny_task):
+        series, labels = tiny_task
+        clf = OneNearestNeighbor(DistanceSpec("euclidean"))
+        clf.fit(series, labels)
+        # excluding the identical self still classifies correctly here
+        assert clf.predict_one(series[0], exclude=0) == "low"
+
+    def test_unfitted_rejected(self):
+        clf = OneNearestNeighbor(DistanceSpec("euclidean"))
+        with pytest.raises(ValueError, match="not fitted"):
+            clf.predict_one([1.0])
+
+    def test_fit_validates_lengths(self):
+        clf = OneNearestNeighbor(DistanceSpec("euclidean"))
+        with pytest.raises(ValueError):
+            clf.fit([[1.0]], ["a", "b"])
+
+    def test_lb_accelerated_agrees_with_plain(self):
+        data = gesture_dataset(
+            n_classes=3, per_class=4, length=40, seed=2, name="t"
+        )
+        series = [list(s) for s in data.series]
+        labels = list(data.labels)
+        plain = OneNearestNeighbor(
+            DistanceSpec("cdtw", window=0.1)
+        ).fit(series, labels)
+        fast = OneNearestNeighbor(
+            DistanceSpec("cdtw", window=0.1, use_lower_bounds=True)
+        ).fit(series, labels)
+        queries = [make_series(40, s) for s in range(5)]
+        assert plain.predict(queries) == fast.predict(queries)
+
+    def test_cells_accumulate(self, tiny_task):
+        series, labels = tiny_task
+        clf = OneNearestNeighbor(DistanceSpec("cdtw", window=0.2))
+        clf.fit(series, labels)
+        clf.predict_one([0.0] * 10)
+        assert clf.cells_evaluated > 0

@@ -1,0 +1,132 @@
+"""Unit tests for learned (R-K style) warping bands."""
+
+import pytest
+
+from repro.classify.learned_band import (
+    learn_band_radii,
+    learned_band_dtw,
+    window_from_radii,
+)
+from repro.core.cdtw import cdtw
+from repro.core.dtw import dtw
+from repro.datasets.gestures import gesture_dataset
+from tests.conftest import make_series
+
+
+@pytest.fixture(scope="module")
+def warped_data():
+    data = gesture_dataset(
+        n_classes=2, per_class=5, length=48,
+        warp_fraction=0.06, noise_sigma=0.1, seed=13, name="rk",
+    )
+    return [list(s) for s in data.series], list(data.labels)
+
+
+class TestLearnBandRadii:
+    def test_one_radius_per_row(self, warped_data):
+        series, labels = warped_data
+        radii = learn_band_radii(series, labels)
+        assert len(radii) == 48
+
+    def test_covers_training_alignments(self, warped_data):
+        # every same-class training alignment must fit in the band
+        series, labels = warped_data
+        radii = learn_band_radii(series, labels, slack=0, smooth=0)
+        for a in range(len(series)):
+            for b in range(a + 1, len(series)):
+                if labels[a] != labels[b]:
+                    continue
+                path = dtw(series[a], series[b], return_path=True).path
+                for i, j in path:
+                    assert abs(j - i) <= radii[i]
+
+    def test_slack_widens(self, warped_data):
+        series, labels = warped_data
+        tight = learn_band_radii(series, labels, slack=0)
+        loose = learn_band_radii(series, labels, slack=3)
+        assert all(l == t + 3 for t, l in zip(tight, loose))
+
+    def test_smoothing_is_sliding_max(self, warped_data):
+        series, labels = warped_data
+        raw = learn_band_radii(series, labels, slack=0, smooth=0)
+        smoothed = learn_band_radii(series, labels, slack=0, smooth=2)
+        assert all(s >= r for r, s in zip(raw, smoothed))
+
+    def test_identical_series_learn_zero_band(self):
+        x = make_series(20, 1)
+        radii = learn_band_radii([x, x, x], slack=0, smooth=0)
+        assert radii == [0] * 20
+
+    def test_narrower_than_uniform_worst_case(self, warped_data):
+        # the R-K point: the learned band's area is below the uniform
+        # band at the worst-case radius
+        series, labels = warped_data
+        radii = learn_band_radii(series, labels, slack=0, smooth=0)
+        worst = max(radii)
+        learned_area = sum(2 * r + 1 for r in radii)
+        uniform_area = len(radii) * (2 * worst + 1)
+        assert learned_area <= uniform_area
+
+    def test_validation(self, warped_data):
+        series, labels = warped_data
+        with pytest.raises(ValueError, match="two training"):
+            learn_band_radii(series[:1])
+        with pytest.raises(ValueError, match="lengths differ"):
+            learn_band_radii([[1.0, 2.0], [1.0]])
+        with pytest.raises(ValueError, match="labels"):
+            learn_band_radii(series, labels[:-1])
+        with pytest.raises(ValueError, match="same-class"):
+            learn_band_radii(series[:2], ["a", "b"])
+
+
+class TestWindowFromRadii:
+    def test_corners_present(self):
+        w = window_from_radii([2, 2, 2, 2])
+        assert w.contains(0, 0) and w.contains(3, 3)
+
+    def test_wider_radii_wider_window(self):
+        narrow = window_from_radii([1] * 10)
+        wide = window_from_radii([4] * 10)
+        assert narrow.cell_count() < wide.cell_count()
+
+    def test_rectangular_target(self):
+        w = window_from_radii([2] * 8, m=12)
+        assert w.n == 8 and w.m == 12
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            window_from_radii([1, -1])
+
+
+class TestLearnedBandDtw:
+    def test_upper_bounds_full_dtw(self, warped_data):
+        series, labels = warped_data
+        radii = learn_band_radii(series, labels)
+        d = learned_band_dtw(series[0], series[1], radii).distance
+        assert d >= dtw(series[0], series[1]).distance - 1e-9
+
+    def test_fewer_cells_than_worstcase_uniform(self, warped_data):
+        series, labels = warped_data
+        radii = learn_band_radii(series, labels, slack=0, smooth=0)
+        worst = max(radii)
+        learned = learned_band_dtw(series[0], series[1], radii)
+        uniform = cdtw(series[0], series[1], band=worst)
+        assert learned.cells <= uniform.cells
+
+    def test_exact_on_training_pairs(self, warped_data):
+        # the band was built to contain these alignments, so the
+        # constrained distance equals Full DTW on training pairs
+        series, labels = warped_data
+        radii = learn_band_radii(series, labels, slack=0, smooth=0)
+        for a, b in ((0, 1), (1, 2)):
+            if labels[a] != labels[b]:
+                continue
+            full = dtw(series[a], series[b]).distance
+            banded = learned_band_dtw(series[a], series[b], radii).distance
+            assert banded == pytest.approx(full)
+
+    def test_length_mismatch_rejected(self, warped_data):
+        series, labels = warped_data
+        radii = learn_band_radii(series, labels)
+        with pytest.raises(ValueError, match="length"):
+            learned_band_dtw(series[0][:-1], series[1], radii)

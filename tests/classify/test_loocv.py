@@ -1,0 +1,86 @@
+"""Unit tests for LOOCV and best-window search."""
+
+import pytest
+
+from repro.classify.knn import DistanceSpec
+from repro.classify.loocv import best_window_search, loocv_error
+from repro.datasets.gestures import gesture_dataset
+
+
+@pytest.fixture(scope="module")
+def warped_task():
+    """Classes separable only with some warping tolerance."""
+    data = gesture_dataset(
+        n_classes=3, per_class=6, length=48,
+        warp_fraction=0.10, noise_sigma=0.15, seed=8, name="loocv",
+    )
+    return [list(s) for s in data.series], list(data.labels)
+
+
+class TestLoocvError:
+    def test_perfectly_separable_zero_error(self):
+        series = [[0.0] * 8] * 3 + [[9.0] * 8] * 3
+        labels = ["a"] * 3 + ["b"] * 3
+        assert loocv_error(series, labels,
+                           DistanceSpec("euclidean")) == 0.0
+
+    def test_error_in_unit_range(self, warped_task):
+        series, labels = warped_task
+        e = loocv_error(series, labels, DistanceSpec("cdtw", window=0.05))
+        assert 0.0 <= e <= 1.0
+
+    def test_needs_two_series(self):
+        with pytest.raises(ValueError):
+            loocv_error([[1.0]], ["a"], DistanceSpec("euclidean"))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            loocv_error([[1.0]], ["a", "b"], DistanceSpec("euclidean"))
+
+
+class TestBestWindowSearch:
+    def test_returns_searched_windows(self, warped_task):
+        series, labels = warped_task
+        windows = (0.0, 0.05, 0.10)
+        res = best_window_search(series, labels, windows=windows)
+        assert tuple(w for w, _ in res.errors) == windows
+        assert res.best_window in windows
+
+    def test_best_error_is_minimum(self, warped_task):
+        series, labels = warped_task
+        res = best_window_search(
+            series, labels, windows=(0.0, 0.05, 0.10)
+        )
+        assert res.best_error == min(e for _, e in res.errors)
+
+    def test_tie_breaks_to_smaller_window(self):
+        # trivially separable: every window has zero error -> pick 0
+        series = [[0.0] * 8] * 3 + [[9.0] * 8] * 3
+        labels = ["a"] * 3 + ["b"] * 3
+        res = best_window_search(series, labels, windows=(0.0, 0.1, 0.2))
+        assert res.best_window == 0.0
+
+    def test_warping_tolerance_helps_warped_classes(self, warped_task):
+        # the Ratanamahatana observation, synthetic edition: some
+        # warping must do at least as well as none
+        series, labels = warped_task
+        res = best_window_search(
+            series, labels, windows=(0.0, 0.05, 0.10, 0.15)
+        )
+        e0 = dict(res.errors)[0.0]
+        assert res.best_error <= e0
+
+    def test_empty_windows_rejected(self, warped_task):
+        series, labels = warped_task
+        with pytest.raises(ValueError):
+            best_window_search(series, labels, windows=())
+
+    def test_lb_and_plain_agree(self, warped_task):
+        series, labels = warped_task
+        fast = best_window_search(
+            series, labels, windows=(0.0, 0.08), use_lower_bounds=True
+        )
+        plain = best_window_search(
+            series, labels, windows=(0.0, 0.08), use_lower_bounds=False
+        )
+        assert fast.errors == plain.errors

@@ -1,0 +1,75 @@
+"""Property tests for classification (Hypothesis)."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.classify.knn import DistanceSpec, OneNearestNeighbor
+from repro.core.cdtw import cdtw
+from repro.core.euclidean import euclidean
+
+finite = st.floats(
+    min_value=-10, max_value=10, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def classification_tasks(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    k = draw(st.integers(min_value=2, max_value=6))
+    train = [
+        draw(st.lists(finite, min_size=n, max_size=n)) for _ in range(k)
+    ]
+    labels = [draw(st.sampled_from(["a", "b", "c"])) for _ in range(k)]
+    query = draw(st.lists(finite, min_size=n, max_size=n))
+    return train, labels, query
+
+
+@settings(deadline=None, max_examples=50)
+@given(classification_tasks())
+def test_1nn_euclidean_label_is_argmin(task):
+    train, labels, query = task
+    clf = OneNearestNeighbor(DistanceSpec("euclidean")).fit(train, labels)
+    predicted = clf.predict_one(query)
+    distances = [euclidean(query, t) for t in train]
+    best = min(distances)
+    # the predicted label must belong to some minimal-distance neighbour
+    minimal_labels = {
+        labels[i] for i, d in enumerate(distances)
+        if math.isclose(d, best, rel_tol=1e-12, abs_tol=1e-12)
+    }
+    assert predicted in minimal_labels
+
+
+@settings(deadline=None, max_examples=40)
+@given(classification_tasks(), st.integers(min_value=0, max_value=4))
+def test_1nn_cdtw_label_is_argmin(task, band):
+    train, labels, query = task
+    window = band / max(len(query), 1)
+    window = min(window, 1.0)
+    clf = OneNearestNeighbor(
+        DistanceSpec("cdtw", window=window)
+    ).fit(train, labels)
+    predicted = clf.predict_one(query)
+    distances = [cdtw(query, t, window=window).distance for t in train]
+    best = min(distances)
+    minimal_labels = {
+        labels[i] for i, d in enumerate(distances)
+        if math.isclose(d, best, rel_tol=1e-9, abs_tol=1e-9)
+    }
+    assert predicted in minimal_labels
+
+
+@settings(deadline=None, max_examples=30)
+@given(classification_tasks())
+def test_training_member_classified_as_itself(task):
+    train, labels, query = task
+    clf = OneNearestNeighbor(DistanceSpec("euclidean")).fit(train, labels)
+    # querying an exact training series returns a label of a
+    # zero-distance neighbour
+    predicted = clf.predict_one(train[0])
+    zero_labels = {
+        labels[i] for i, t in enumerate(train)
+        if euclidean(train[0], t) == 0.0
+    }
+    assert predicted in zero_labels

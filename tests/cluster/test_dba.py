@@ -1,0 +1,91 @@
+"""Unit tests for DTW barycenter averaging."""
+
+import random
+
+import pytest
+
+from repro.cluster.dba import dba
+from repro.core.dtw import dtw
+from repro.datasets.warping import warp_series
+from tests.conftest import make_series
+
+
+@pytest.fixture(scope="module")
+def warped_family():
+    """Time-shifted renditions of one underlying shape."""
+    base = [0.0] * 10 + [1.0, 2.0, 3.0, 2.0, 1.0] + [0.0] * 15
+    rng = random.Random(4)
+    return [warp_series(base, 3.0, rng) for _ in range(5)], base
+
+
+class TestDba:
+    def test_single_series_is_its_own_barycenter(self):
+        x = make_series(20, 1)
+        result = dba([x])
+        assert list(result.barycenter) == pytest.approx(x)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_identical_series(self):
+        x = make_series(15, 2)
+        result = dba([x, x, x])
+        assert list(result.barycenter) == pytest.approx(x)
+
+    def test_inertia_not_worse_than_medoid(self, warped_family):
+        family, _base = warped_family
+        medoid_inertia = min(
+            sum(dtw(c, s).distance for s in family) for c in family
+        )
+        result = dba(family)
+        assert result.inertia <= medoid_inertia + 1e-9
+
+    def test_inertia_beats_arithmetic_mean(self, warped_family):
+        # the whole point of DBA: averaging under alignment beats
+        # averaging sample-by-sample on warped families
+        family, _base = warped_family
+        n = len(family[0])
+        mean = [
+            sum(s[i] for s in family) / len(family) for i in range(n)
+        ]
+        mean_inertia = sum(dtw(mean, s).distance for s in family)
+        result = dba(family)
+        assert result.inertia <= mean_inertia + 1e-9
+
+    def test_barycenter_close_to_generating_shape(self, warped_family):
+        family, base = warped_family
+        result = dba(family, max_iterations=15)
+        assert dtw(list(result.barycenter), base).distance < 1.0
+
+    def test_banded_variant(self, warped_family):
+        family, _ = warped_family
+        result = dba(family, band=5)
+        assert result.inertia >= 0
+        assert len(result.barycenter) == len(family[0])
+
+    def test_initial_barycenter_accepted(self, warped_family):
+        family, base = warped_family
+        result = dba(family, initial=base)
+        assert result.inertia <= sum(
+            dtw(base, s).distance for s in family
+        ) + 1e-9
+
+    def test_zero_iterations_returns_initialisation(self, warped_family):
+        family, _ = warped_family
+        result = dba(family, max_iterations=0)
+        assert result.iterations == 0
+        assert not result.converged
+
+    def test_converges_on_easy_input(self):
+        x = make_series(12, 3)
+        result = dba([x, x], max_iterations=10)
+        assert result.converged
+
+    def test_validation(self, warped_family):
+        family, _ = warped_family
+        with pytest.raises(ValueError, match="at least one"):
+            dba([])
+        with pytest.raises(ValueError, match="lengths differ"):
+            dba([[1.0, 2.0], [1.0]])
+        with pytest.raises(ValueError, match="wrong length"):
+            dba(family, initial=[0.0])
+        with pytest.raises(ValueError, match="not finite"):
+            dba([[1.0, float("nan")]])

@@ -1,0 +1,84 @@
+"""Unit tests for dendrogram trees and rendering."""
+
+import pytest
+
+from repro.cluster.dendrogram import ClusterNode, render_ascii
+from repro.cluster.linkage import linkage
+
+
+@pytest.fixture
+def simple_tree():
+    # A,B close (1.0); C joins at 5.0
+    m = [[0.0, 1.0, 5.0], [1.0, 0.0, 5.0], [5.0, 5.0, 0.0]]
+    return ClusterNode.from_merges(linkage(m, method="complete"))
+
+
+class TestTree:
+    def test_leaves(self, simple_tree):
+        assert sorted(simple_tree.leaves()) == [0, 1, 2]
+
+    def test_root_height(self, simple_tree):
+        assert simple_tree.height == 5.0
+
+    def test_leaf_properties(self):
+        leaf = ClusterNode(3)
+        assert leaf.is_leaf
+        assert leaf.leaves() == [3]
+
+    def test_from_empty_merges_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterNode.from_merges([])
+
+
+class TestCophenetic:
+    def test_close_pair(self, simple_tree):
+        assert simple_tree.cophenetic(0, 1) == 1.0
+
+    def test_far_pair(self, simple_tree):
+        assert simple_tree.cophenetic(0, 2) == 5.0
+        assert simple_tree.cophenetic(1, 2) == 5.0
+
+    def test_self_distance_zero(self, simple_tree):
+        assert simple_tree.cophenetic(1, 1) == 0.0
+
+    def test_symmetric(self, simple_tree):
+        assert simple_tree.cophenetic(0, 2) == simple_tree.cophenetic(2, 0)
+
+    def test_missing_leaf_rejected(self, simple_tree):
+        with pytest.raises(ValueError):
+            simple_tree.cophenetic(0, 9)
+
+    def test_cophenetic_dominates_pairs_within_subtree(self):
+        m = [
+            [0.0, 1.0, 2.0, 8.0],
+            [1.0, 0.0, 2.5, 8.0],
+            [2.0, 2.5, 0.0, 8.0],
+            [8.0, 8.0, 8.0, 0.0],
+        ]
+        tree = ClusterNode.from_merges(linkage(m, method="complete"))
+        inner = max(
+            tree.cophenetic(a, b) for a in (0, 1, 2) for b in (0, 1, 2)
+        )
+        assert inner < tree.cophenetic(0, 3)
+
+
+class TestRender:
+    def test_contains_all_labels(self, simple_tree):
+        art = render_ascii(simple_tree, labels=["A", "B", "C"])
+        for label in ("A", "B", "C"):
+            assert label in art
+
+    def test_default_labels(self, simple_tree):
+        art = render_ascii(simple_tree)
+        for label in ("0", "1", "2"):
+            assert label in art
+
+    def test_one_line_per_leaf(self, simple_tree):
+        art = render_ascii(simple_tree, labels=["A", "B", "C"])
+        assert len(art.splitlines()) == 3
+
+    def test_close_pair_has_shorter_bars(self, simple_tree):
+        art = render_ascii(simple_tree, labels=["A", "B", "C"])
+        lines = {l.split()[0]: l for l in art.splitlines()}
+        # C merges only at the top: its bar must be the longest
+        assert len(lines["C"].rstrip()) >= len(lines["B"].rstrip())

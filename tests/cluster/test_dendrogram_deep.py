@@ -1,0 +1,64 @@
+"""Deeper dendrogram coverage: 5+ leaves, nested subtrees."""
+
+import pytest
+
+from repro.cluster.dendrogram import ClusterNode, render_ascii
+from repro.cluster.linkage import linkage
+
+
+@pytest.fixture
+def five_leaf_tree():
+    # two tight pairs (0,1) and (2,3), then 4, then everything
+    m = [
+        [0.0, 1.0, 6.0, 6.0, 9.0],
+        [1.0, 0.0, 6.0, 6.0, 9.0],
+        [6.0, 6.0, 0.0, 2.0, 9.0],
+        [6.0, 6.0, 2.0, 0.0, 9.0],
+        [9.0, 9.0, 9.0, 9.0, 0.0],
+    ]
+    return ClusterNode.from_merges(linkage(m, method="complete"))
+
+
+class TestDeepTree:
+    def test_all_leaves_present(self, five_leaf_tree):
+        assert sorted(five_leaf_tree.leaves()) == [0, 1, 2, 3, 4]
+
+    def test_pairs_fuse_below_cross_heights(self, five_leaf_tree):
+        t = five_leaf_tree
+        assert t.cophenetic(0, 1) == 1.0
+        assert t.cophenetic(2, 3) == 2.0
+        assert t.cophenetic(0, 2) == 6.0
+        assert t.cophenetic(0, 4) == 9.0
+
+    def test_cophenetic_is_ultrametric(self, five_leaf_tree):
+        # max(d(a,c), d(b,c)) >= d(a,b) for all triples
+        t = five_leaf_tree
+        leaves = t.leaves()
+        for a in leaves:
+            for b in leaves:
+                for c in leaves:
+                    assert (
+                        max(t.cophenetic(a, c), t.cophenetic(b, c))
+                        >= t.cophenetic(a, b) - 1e-12
+                    )
+
+    def test_render_five_lines(self, five_leaf_tree):
+        art = render_ascii(
+            five_leaf_tree, labels=["a", "b", "c", "d", "e"]
+        )
+        assert len(art.splitlines()) == 5
+        for label in "abcde":
+            assert label in art
+
+    def test_outlier_bar_longest(self, five_leaf_tree):
+        art = render_ascii(
+            five_leaf_tree, labels=["a", "b", "c", "d", "e"]
+        )
+        lines = {l.strip().split()[0]: l for l in art.splitlines()}
+        # 'e' joins last, at the max height: its bar reaches furthest
+        assert len(lines["e"].rstrip("+| ")) >= max(
+            len(lines[k].rstrip("+| ")) for k in "ab"
+        )
+
+    def test_root_height_is_last_merge(self, five_leaf_tree):
+        assert five_leaf_tree.height == 9.0

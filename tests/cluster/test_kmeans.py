@@ -1,0 +1,83 @@
+"""Unit tests for DTW k-means."""
+
+import random
+
+import pytest
+
+from repro.cluster.kmeans import dtw_kmeans
+from repro.datasets.warping import gaussian_bump, warp_series
+from tests.conftest import make_series
+
+
+@pytest.fixture(scope="module")
+def two_shapes():
+    """Two clearly distinct shape families, each internally warped."""
+    rng = random.Random(5)
+    early = [v for v in gaussian_bump(40, 10.0, 4.0, 3.0)]
+    late = [v for v in gaussian_bump(40, 30.0, 4.0, 3.0)]
+    series = []
+    truth = []
+    for base, label in ((early, 0), (late, 1)):
+        for _ in range(4):
+            series.append(warp_series(base, 2.0, rng))
+            truth.append(label)
+    return series, truth
+
+
+class TestDtwKmeans:
+    def test_recovers_two_families(self, two_shapes):
+        series, truth = two_shapes
+        result = dtw_kmeans(series, k=2, band=4, seed=1)
+        # assignments must be consistent with the ground truth up to
+        # label permutation
+        groups = {}
+        for assigned, true in zip(result.assignments, truth):
+            groups.setdefault(assigned, set()).add(true)
+        assert all(len(g) == 1 for g in groups.values())
+
+    def test_k1_centroid_is_barycenter(self, two_shapes):
+        series, _ = two_shapes
+        result = dtw_kmeans(series, k=1, band=4)
+        assert len(result.centroids) == 1
+        assert result.assignments == tuple([0] * len(series))
+
+    def test_inertia_consistent_with_assignments(self, two_shapes):
+        from repro.core.cdtw import cdtw
+
+        series, _ = two_shapes
+        result = dtw_kmeans(series, k=2, band=4, seed=2)
+        recomputed = sum(
+            cdtw(
+                list(result.centroids[result.assignments[i]]), s, band=4
+            ).distance
+            for i, s in enumerate(series)
+        )
+        assert result.inertia == pytest.approx(recomputed)
+
+    def test_deterministic_for_seed(self, two_shapes):
+        series, _ = two_shapes
+        a = dtw_kmeans(series, k=2, band=4, seed=7)
+        b = dtw_kmeans(series, k=2, band=4, seed=7)
+        assert a.assignments == b.assignments
+
+    def test_converges_on_easy_data(self, two_shapes):
+        series, _ = two_shapes
+        result = dtw_kmeans(series, k=2, band=4, seed=1,
+                            max_iterations=10)
+        assert result.converged
+
+    def test_identical_series_handled(self):
+        x = make_series(16, 9)
+        result = dtw_kmeans([x, x, x], k=2, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_validation(self, two_shapes):
+        series, _ = two_shapes
+        with pytest.raises(ValueError, match="k must be positive"):
+            dtw_kmeans(series, k=0)
+        with pytest.raises(ValueError, match="at least k"):
+            dtw_kmeans(series[:1], k=2)
+        with pytest.raises(ValueError, match="one length"):
+            dtw_kmeans([[1.0, 2.0], [1.0]], k=1)
+        with pytest.raises(ValueError, match="not finite"):
+            dtw_kmeans([[float("nan")] * 4, [1.0] * 4], k=1)

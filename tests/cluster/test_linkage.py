@@ -1,0 +1,115 @@
+"""Unit tests for agglomerative linkage, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+import scipy.cluster.hierarchy as sch
+import scipy.spatial.distance as ssd
+
+from repro.cluster.linkage import LINKAGES, Merge, linkage, merge_order_signature
+from tests.conftest import make_series
+
+
+def random_matrix(k: int, seed: int):
+    import random
+
+    rng = random.Random(seed)
+    m = [[0.0] * k for _ in range(k)]
+    for i in range(k):
+        for j in range(i + 1, k):
+            d = rng.uniform(0.1, 10.0)
+            m[i][j] = m[j][i] = d
+    return m
+
+
+class TestLinkageBasics:
+    def test_two_items(self):
+        merges = linkage([[0.0, 3.0], [3.0, 0.0]])
+        assert merges == [Merge(0, 1, 3.0, 2)]
+
+    def test_merge_count(self):
+        m = random_matrix(7, 1)
+        assert len(linkage(m)) == 6
+
+    def test_single_picks_minimum_first(self):
+        m = [[0.0, 1.0, 9.0], [1.0, 0.0, 9.0], [9.0, 9.0, 0.0]]
+        merges = linkage(m, method="single")
+        assert {merges[0].left, merges[0].right} == {0, 1}
+        assert merges[0].distance == 1.0
+
+    def test_sizes_accumulate(self):
+        m = random_matrix(5, 2)
+        merges = linkage(m)
+        assert merges[-1].size == 5
+
+    def test_deterministic(self):
+        m = random_matrix(6, 3)
+        assert linkage(m) == linkage(m)
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            linkage([[0.0, 1.0], [1.0, 0.0], [2.0, 2.0]])
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            linkage([[1.0, 2.0], [2.0, 0.0]])
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            linkage([[0.0, 1.0], [2.0, 0.0]])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            linkage([[0.0, -1.0], [-1.0, 0.0]])
+
+    def test_rejects_single_item(self):
+        with pytest.raises(ValueError):
+            linkage([[0.0]])
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown linkage"):
+            linkage(random_matrix(3, 0), method="ward")
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("method", LINKAGES)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_heights_match_scipy(self, method, seed):
+        k = 8
+        m = random_matrix(k, seed)
+        ours = linkage(m, method=method)
+        condensed = ssd.squareform(np.array(m), checks=False)
+        theirs = sch.linkage(condensed, method=method)
+        assert [round(x.distance, 9) for x in ours] == pytest.approx(
+            [round(float(h), 9) for h in theirs[:, 2]]
+        )
+
+    @pytest.mark.parametrize("method", LINKAGES)
+    def test_merged_leaf_sets_match_scipy(self, method):
+        k = 7
+        m = random_matrix(k, 11)
+        ours_sig = merge_order_signature(linkage(m, method=method))
+        condensed = ssd.squareform(np.array(m), checks=False)
+        Z = sch.linkage(condensed, method=method)
+        members = {i: frozenset([i]) for i in range(k)}
+        scipy_sig = []
+        for step, (a, b, _h, _s) in enumerate(Z):
+            merged = members[int(a)] | members[int(b)]
+            members[k + step] = merged
+            scipy_sig.append(merged)
+        assert list(ours_sig) == scipy_sig
+
+
+class TestSignature:
+    def test_signature_final_set_is_everything(self):
+        m = random_matrix(5, 21)
+        sig = merge_order_signature(linkage(m))
+        assert sig[-1] == frozenset(range(5))
+
+    def test_signature_distinguishes_topologies(self):
+        close_ab = [[0.0, 1.0, 9.0], [1.0, 0.0, 9.0], [9.0, 9.0, 0.0]]
+        close_ac = [[0.0, 9.0, 1.0], [9.0, 0.0, 9.0], [1.0, 9.0, 0.0]]
+        sig1 = merge_order_signature(linkage(close_ab))
+        sig2 = merge_order_signature(linkage(close_ac))
+        assert sig1[0] != sig2[0]

@@ -1,0 +1,27 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+def make_series(n: int, seed: int, lo: float = -3.0, hi: float = 3.0):
+    """Deterministic random series for table-driven tests."""
+    rng = random.Random(seed)
+    return [rng.uniform(lo, hi) for _ in range(n)]
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic RNG per test."""
+    return random.Random(0)
+
+
+@pytest.fixture
+def small_pair():
+    """A small fixed pair with known hand-computed DTW distances."""
+    x = [0.0, 1.0, 2.0]
+    y = [0.0, 2.0, 2.0]
+    return x, y

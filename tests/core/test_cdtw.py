@@ -1,0 +1,124 @@
+"""Unit tests for constrained DTW."""
+
+import pytest
+
+from repro.core.cdtw import band_cells, cdtw
+from repro.core.dtw import dtw
+from repro.core.euclidean import euclidean
+from repro.core.naive import naive_dtw
+from tests.conftest import make_series
+
+
+class TestParameterHandling:
+    def test_requires_exactly_one_of_window_band(self):
+        x = [1.0, 2.0]
+        with pytest.raises(ValueError, match="exactly one"):
+            cdtw(x, x)
+        with pytest.raises(ValueError, match="exactly one"):
+            cdtw(x, x, window=0.1, band=1)
+
+    def test_band_zero_equals_euclidean(self):
+        x = make_series(20, 1)
+        y = make_series(20, 2)
+        assert cdtw(x, y, band=0).distance == pytest.approx(euclidean(x, y))
+
+    def test_window_zero_equals_euclidean(self):
+        x = make_series(20, 3)
+        y = make_series(20, 4)
+        assert cdtw(x, y, window=0.0).distance == pytest.approx(
+            euclidean(x, y)
+        )
+
+    def test_window_one_equals_full_dtw(self):
+        x = make_series(15, 5)
+        y = make_series(15, 6)
+        assert cdtw(x, y, window=1.0).distance == pytest.approx(
+            dtw(x, y).distance
+        )
+
+    def test_large_band_equals_full_dtw(self):
+        x = make_series(10, 7)
+        y = make_series(10, 8)
+        assert cdtw(x, y, band=100).distance == pytest.approx(
+            dtw(x, y).distance
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdtw([], [], band=0)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("band", [0, 1, 2, 5, 10])
+    def test_matches_naive_banded(self, band):
+        for seed in range(5):
+            x = make_series(12, seed)
+            y = make_series(12, seed + 50)
+            assert cdtw(x, y, band=band).distance == pytest.approx(
+                naive_dtw(x, y, band=band), abs=1e-9
+            )
+
+    def test_monotone_decreasing_in_band(self):
+        x = make_series(20, 11)
+        y = make_series(20, 12)
+        distances = [
+            cdtw(x, y, band=b).distance for b in range(0, 21, 2)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(distances, distances[1:]))
+
+    def test_sandwiched_by_dtw_and_euclidean(self):
+        x = make_series(18, 13)
+        y = make_series(18, 14)
+        full = dtw(x, y).distance
+        ed = euclidean(x, y)
+        for band in (0, 2, 5, 9):
+            d = cdtw(x, y, band=band).distance
+            assert full - 1e-12 <= d <= ed + 1e-12
+
+    def test_symmetry_equal_lengths(self):
+        x = make_series(14, 15)
+        y = make_series(14, 16)
+        assert cdtw(x, y, band=3).distance == pytest.approx(
+            cdtw(y, x, band=3).distance
+        )
+
+    def test_path_stays_within_band(self):
+        x = make_series(25, 17)
+        y = make_series(25, 18)
+        for band in (1, 3, 7):
+            r = cdtw(x, y, band=band, return_path=True)
+            assert r.path.max_band_deviation() <= band
+
+    def test_unequal_lengths_supported(self):
+        x = make_series(10, 19)
+        y = make_series(17, 20)
+        d = cdtw(x, y, band=3).distance
+        assert d >= dtw(x, y).distance - 1e-12
+
+
+class TestCellAccounting:
+    def test_cells_match_band_cells(self):
+        x = make_series(30, 21)
+        y = make_series(30, 22)
+        for band in (0, 2, 8):
+            assert cdtw(x, y, band=band).cells == band_cells(
+                30, 30, band=band
+            )
+
+    def test_band_cells_equal_lengths_formula(self):
+        # interior rows have 2b+1 cells; edges are clipped
+        n, b = 50, 3
+        expected = sum(
+            min(n - 1, i + b) - max(0, i - b) + 1 for i in range(n)
+        )
+        assert band_cells(n, n, band=b) == expected
+
+    def test_band_cells_requires_one_parameter(self):
+        with pytest.raises(ValueError):
+            band_cells(10, 10)
+
+    def test_cells_grow_with_window(self):
+        counts = [
+            band_cells(100, 100, window=w / 100) for w in range(0, 30, 5)
+        ]
+        assert counts == sorted(counts)

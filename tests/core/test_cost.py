@@ -1,0 +1,78 @@
+"""Unit tests for local cost functions."""
+
+import pytest
+
+from repro.core.cost import (
+    BUILTIN_COSTS,
+    absolute_cost,
+    cost_name,
+    resolve_cost,
+    squared_cost,
+)
+
+
+class TestSquaredCost:
+    def test_basic(self):
+        assert squared_cost(3.0, 1.0) == 4.0
+
+    def test_symmetric(self):
+        assert squared_cost(1.5, -2.5) == squared_cost(-2.5, 1.5)
+
+    def test_zero_at_equality(self):
+        assert squared_cost(7.25, 7.25) == 0.0
+
+    def test_never_negative(self):
+        assert squared_cost(-1e9, 1e9) >= 0.0
+
+
+class TestAbsoluteCost:
+    def test_basic(self):
+        assert absolute_cost(3.0, 1.0) == 2.0
+
+    def test_symmetric(self):
+        assert absolute_cost(1.5, -2.5) == absolute_cost(-2.5, 1.5)
+
+    def test_zero_at_equality(self):
+        assert absolute_cost(-4.0, -4.0) == 0.0
+
+
+class TestResolveCost:
+    def test_resolves_squared(self):
+        assert resolve_cost("squared") is squared_cost
+
+    def test_resolves_abs(self):
+        assert resolve_cost("abs") is absolute_cost
+
+    def test_passes_callable_through(self):
+        fn = lambda a, b: 1.0
+        assert resolve_cost(fn) is fn
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown cost"):
+            resolve_cost("manhattan")
+
+    def test_non_callable_raises(self):
+        with pytest.raises(TypeError):
+            resolve_cost(42)
+
+    def test_builtins_all_resolve(self):
+        for name in BUILTIN_COSTS:
+            assert callable(resolve_cost(name))
+
+
+class TestCostName:
+    def test_string_passthrough(self):
+        assert cost_name("squared") == "squared"
+
+    def test_string_validated(self):
+        with pytest.raises(ValueError):
+            cost_name("nope")
+
+    def test_callable_uses_dunder_name(self):
+        def chebyshev(a, b):
+            return abs(a - b)
+
+        assert cost_name(chebyshev) == "chebyshev"
+
+    def test_anonymous_callable(self):
+        assert cost_name(lambda a, b: 0.0) == "<lambda>"

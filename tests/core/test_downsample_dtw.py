@@ -1,0 +1,81 @@
+"""Unit tests for the downsample-then-DTW approximation."""
+
+import pytest
+
+from repro.core.cdtw import cdtw
+from repro.core.downsample_dtw import downsampled_dtw
+from repro.core.dtw import dtw
+from repro.datasets.gestures import gesture_dataset
+from repro.datasets.random_walk import random_walk
+from tests.conftest import make_series
+
+
+class TestDownsampledDtw:
+    def test_factor_one_full_is_plain_dtw(self):
+        x = make_series(20, 1)
+        y = make_series(20, 2)
+        r = downsampled_dtw(x, y, factor=1)
+        assert r.distance == pytest.approx(dtw(x, y).distance)
+        assert r.coarse_length == 20
+
+    def test_factor_one_banded_is_plain_cdtw(self):
+        x = make_series(20, 3)
+        y = make_series(20, 4)
+        r = downsampled_dtw(x, y, factor=1, band=2)
+        assert r.distance == pytest.approx(
+            cdtw(x, y, band=2).distance
+        )
+
+    def test_coarse_length(self):
+        x = make_series(64, 5)
+        r = downsampled_dtw(x, x, factor=8)
+        assert r.coarse_length == 8
+
+    def test_identical_series_zero(self):
+        x = make_series(64, 6)
+        assert downsampled_dtw(x, x, factor=4).distance == 0.0
+
+    def test_cells_shrink_quadratically(self):
+        x = make_series(128, 7)
+        y = make_series(128, 8)
+        fine = downsampled_dtw(x, y, factor=1)
+        coarse = downsampled_dtw(x, y, factor=4)
+        assert coarse.cells * 10 < fine.cells
+
+    def test_distance_scaled_by_factor(self):
+        # constant offset: DTW distance is n * offset^2; PAA preserves
+        # the offset, so scaling by the factor recovers the total
+        x = [0.0] * 32
+        y = [2.0] * 32
+        exact = dtw(x, y).distance  # 32 * 4
+        approx = downsampled_dtw(x, y, factor=8).distance
+        assert approx == pytest.approx(exact)
+
+    def test_reasonable_error_on_smooth_data(self):
+        # the paper's claim: modest downsampling barely changes
+        # distances on real-shaped (smooth) series
+        data = gesture_dataset(
+            n_classes=2, per_class=2, length=128, noise_sigma=0.02,
+            seed=9,
+        )
+        x, y = list(data.series[0]), list(data.series[1])
+        exact = dtw(x, y).distance
+        approx = downsampled_dtw(x, y, factor=4).distance
+        if exact > 1.0:
+            assert abs(approx - exact) / exact < 0.5
+
+    def test_validation(self):
+        x = make_series(10, 10)
+        with pytest.raises(ValueError, match="factor"):
+            downsampled_dtw(x, x, factor=0)
+        with pytest.raises(ValueError, match="shorter"):
+            downsampled_dtw(x, x, factor=20)
+        with pytest.raises(ValueError, match="not finite"):
+            downsampled_dtw([float("nan")] * 8, x[:8], factor=2)
+
+    def test_unequal_lengths(self):
+        x = random_walk(60, seed=11)
+        y = random_walk(90, seed=12)
+        r = downsampled_dtw(x, y, factor=3)
+        assert r.distance >= 0
+        assert r.coarse_length == 20

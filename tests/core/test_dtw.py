@@ -1,0 +1,92 @@
+"""Unit tests for full DTW and windowed DTW."""
+
+import pytest
+
+from repro.core.dtw import dtw, windowed_dtw
+from repro.core.naive import naive_dtw, naive_path
+from repro.core.window import Window
+from tests.conftest import make_series
+
+
+class TestDtw:
+    def test_zero_for_identical(self):
+        x = make_series(20, 1)
+        assert dtw(x, x).distance == 0.0
+
+    def test_zero_for_warped_identical_content(self):
+        # classic DTW property: time dilation costs nothing
+        x = [0.0, 1.0, 2.0, 3.0]
+        y = [0.0, 1.0, 1.0, 1.0, 2.0, 3.0, 3.0]
+        assert dtw(x, y).distance == 0.0
+
+    def test_symmetry(self):
+        x = make_series(12, 2)
+        y = make_series(15, 3)
+        assert dtw(x, y).distance == pytest.approx(dtw(y, x).distance)
+
+    def test_matches_naive(self):
+        for seed in range(8):
+            x = make_series(10, seed)
+            y = make_series(11, seed + 100)
+            assert dtw(x, y).distance == pytest.approx(
+                naive_dtw(x, y), abs=1e-9
+            )
+
+    def test_path_matches_naive_distance(self):
+        x = make_series(8, 21)
+        y = make_series(8, 22)
+        d, cells = naive_path(x, y)
+        r = dtw(x, y, return_path=True)
+        assert r.distance == pytest.approx(d)
+        assert r.path.cost(x, y) == pytest.approx(d)
+
+    def test_cells_is_full_lattice(self):
+        r = dtw(make_series(7, 1), make_series(9, 2))
+        assert r.cells == 63
+
+    def test_lower_than_euclidean(self):
+        from repro.core.euclidean import euclidean
+
+        x = make_series(15, 31)
+        y = make_series(15, 32)
+        assert dtw(x, y).distance <= euclidean(x, y) + 1e-12
+
+    def test_nonnegative(self):
+        x = make_series(10, 41)
+        y = make_series(10, 42)
+        assert dtw(x, y).distance >= 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dtw([], [1.0])
+
+
+class TestWindowedDtw:
+    def test_full_window_equals_dtw(self):
+        x = make_series(9, 51)
+        y = make_series(9, 52)
+        w = Window.full(9, 9)
+        assert windowed_dtw(x, y, w).distance == pytest.approx(
+            dtw(x, y).distance
+        )
+
+    def test_narrower_window_never_cheaper(self):
+        x = make_series(12, 61)
+        y = make_series(12, 62)
+        full = dtw(x, y).distance
+        for band in (0, 1, 3, 6):
+            w = Window.band(12, 12, band)
+            assert windowed_dtw(x, y, w).distance >= full - 1e-12
+
+    def test_window_monotone_in_band(self):
+        x = make_series(12, 71)
+        y = make_series(12, 72)
+        prev = float("inf")
+        for band in (0, 1, 2, 4, 8, 12):
+            d = windowed_dtw(x, y, Window.band(12, 12, band)).distance
+            assert d <= prev + 1e-12
+            prev = d
+
+    def test_mismatched_window_rejected(self):
+        with pytest.raises(ValueError):
+            windowed_dtw([1.0, 2.0], [1.0, 2.0], Window.full(3, 3))

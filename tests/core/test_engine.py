@@ -1,0 +1,163 @@
+"""Unit tests for the shared DP engine."""
+
+import math
+
+import pytest
+
+from repro.core.engine import dp_over_window
+from repro.core.naive import naive_dtw
+from repro.core.window import Window
+from tests.conftest import make_series
+
+
+class TestBasics:
+    def test_identical_series_zero(self):
+        x = [1.0, 2.0, 3.0]
+        r = dp_over_window(x, x, Window.full(3, 3))
+        assert r.distance == 0.0
+
+    def test_single_elements(self):
+        r = dp_over_window([2.0], [5.0], Window.full(1, 1))
+        assert r.distance == 9.0
+
+    def test_known_small_case(self, small_pair):
+        x, y = small_pair  # [0,1,2] vs [0,2,2]
+        r = dp_over_window(x, y, Window.full(3, 3))
+        # optimal: (0,0)=0, (1,1)=1, (2,1)=0, (2,2)=0  -> 1.0
+        assert r.distance == 1.0
+
+    def test_abs_cost(self, small_pair):
+        x, y = small_pair
+        r = dp_over_window(x, y, Window.full(3, 3), cost="abs")
+        assert r.distance == 1.0
+
+    def test_custom_cost_callable(self):
+        r = dp_over_window(
+            [0.0, 1.0], [0.0, 1.0], Window.full(2, 2),
+            cost=lambda a, b: 1.0,
+        )
+        # every path cell costs 1; shortest path has 2 cells
+        assert r.distance == 2.0
+        assert r.cost == "<lambda>"
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            dp_over_window([], [1.0], Window.full(1, 1))
+
+    def test_window_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            dp_over_window([1.0, 2.0], [1.0], Window.full(2, 2))
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("shape", [(1, 1), (1, 7), (7, 1), (5, 5),
+                                       (8, 3), (3, 8)])
+    def test_full_matches_naive(self, seed, shape):
+        n, m = shape
+        x = make_series(n, seed)
+        y = make_series(m, seed + 1000)
+        r = dp_over_window(x, y, Window.full(n, m))
+        assert r.distance == pytest.approx(naive_dtw(x, y), abs=1e-9)
+
+    @pytest.mark.parametrize("cost", ["squared", "abs"])
+    def test_costs_match_naive(self, cost):
+        x = make_series(6, 42)
+        y = make_series(6, 43)
+        r = dp_over_window(x, y, Window.full(6, 6), cost=cost)
+        assert r.distance == pytest.approx(
+            naive_dtw(x, y, cost=cost), abs=1e-9
+        )
+
+
+class TestCells:
+    def test_cells_equal_window_size(self):
+        w = Window.band(10, 10, 2)
+        x = make_series(10, 0)
+        y = make_series(10, 1)
+        r = dp_over_window(x, y, w)
+        assert r.cells == w.cell_count()
+
+    def test_abandoned_counts_partial_cells(self):
+        x = [0.0] * 10
+        y = [10.0] * 10
+        w = Window.full(10, 10)
+        r = dp_over_window(x, y, w, abandon_above=1.0)
+        assert r.abandoned
+        assert 0 < r.cells < w.cell_count()
+
+
+class TestPath:
+    def test_path_cost_equals_distance(self):
+        x = make_series(9, 5)
+        y = make_series(7, 6)
+        r = dp_over_window(x, y, Window.full(9, 7), return_path=True)
+        assert r.path.cost(x, y) == pytest.approx(r.distance, abs=1e-9)
+
+    def test_path_respects_window(self):
+        x = make_series(10, 7)
+        y = make_series(10, 8)
+        w = Window.band(10, 10, 2)
+        r = dp_over_window(x, y, w, return_path=True)
+        assert all(cell in w for cell in r.path)
+
+    def test_no_path_by_default(self):
+        r = dp_over_window([1.0], [1.0], Window.full(1, 1))
+        assert r.path is None
+
+    def test_banded_path_optimal_within_band(self):
+        # any other admitted path must cost at least as much
+        x = make_series(6, 9)
+        y = make_series(6, 10)
+        w = Window.band(6, 6, 1)
+        r = dp_over_window(x, y, w, return_path=True)
+        from repro.core.path import diagonal_path
+
+        diag = diagonal_path(6, 6)
+        assert r.distance <= diag.cost(x, y) + 1e-12
+
+
+class TestEarlyAbandoning:
+    def test_abandons_when_threshold_tiny(self):
+        x = [0.0, 0.0, 0.0]
+        y = [5.0, 5.0, 5.0]
+        r = dp_over_window(x, y, Window.full(3, 3), abandon_above=0.1)
+        assert r.abandoned
+        assert r.distance == math.inf
+        assert r.path is None
+
+    def test_does_not_abandon_below_threshold(self):
+        x = make_series(8, 11)
+        y = make_series(8, 12)
+        exact = dp_over_window(x, y, Window.full(8, 8)).distance
+        r = dp_over_window(
+            x, y, Window.full(8, 8), abandon_above=exact + 1.0
+        )
+        assert not r.abandoned
+        assert r.distance == pytest.approx(exact)
+
+    def test_threshold_equal_to_distance_keeps_result(self):
+        x = make_series(8, 13)
+        y = make_series(8, 14)
+        exact = dp_over_window(x, y, Window.full(8, 8)).distance
+        r = dp_over_window(x, y, Window.full(8, 8), abandon_above=exact)
+        assert not r.abandoned
+
+    def test_abandonment_is_sound(self):
+        # whenever the engine abandons, the true distance does exceed
+        # the threshold
+        for seed in range(20):
+            x = make_series(10, seed)
+            y = make_series(10, seed + 500)
+            exact = dp_over_window(x, y, Window.full(10, 10)).distance
+            r = dp_over_window(
+                x, y, Window.full(10, 10), abandon_above=exact / 2
+            )
+            if r.abandoned:
+                assert exact > exact / 2
+
+
+class TestRoot:
+    def test_root_is_sqrt(self):
+        r = dp_over_window([0.0], [3.0], Window.full(1, 1))
+        assert r.root() == 3.0

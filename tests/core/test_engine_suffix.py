@@ -1,0 +1,60 @@
+"""Engine-level tests for the suffix-bound abandoning hook."""
+
+import math
+
+import pytest
+
+from repro.core.engine import dp_over_window
+from repro.core.window import Window
+from tests.conftest import make_series
+
+
+class TestSuffixBoundHook:
+    def test_zero_suffix_equals_plain(self):
+        x = make_series(15, 1)
+        y = make_series(15, 2)
+        w = Window.band(15, 15, 3)
+        exact = dp_over_window(x, y, w).distance
+        r = dp_over_window(
+            x, y, w, abandon_above=exact + 1,
+            suffix_bound=[0.0] * 15,
+        )
+        assert not r.abandoned
+        assert r.distance == pytest.approx(exact)
+
+    def test_suffix_triggers_earlier_abandon(self):
+        x = make_series(20, 3)
+        y = make_series(20, 4)
+        w = Window.band(20, 20, 2)
+        exact = dp_over_window(x, y, w).distance
+        threshold = exact * 0.5
+        plain = dp_over_window(x, y, w, abandon_above=threshold)
+        # a (valid-by-construction) aggressive suffix: remaining rows
+        # cost at least 40% of the exact distance early on
+        suffix = [
+            exact * 0.4 if i < 10 else 0.0 for i in range(20)
+        ]
+        boosted = dp_over_window(
+            x, y, w, abandon_above=threshold, suffix_bound=suffix
+        )
+        if plain.abandoned:
+            assert boosted.abandoned
+            assert boosted.cells <= plain.cells
+
+    def test_suffix_ignored_without_threshold(self):
+        x = make_series(10, 5)
+        y = make_series(10, 6)
+        w = Window.full(10, 10)
+        r = dp_over_window(x, y, w, suffix_bound=[1e9] * 10)
+        assert not r.abandoned
+        assert math.isfinite(r.distance)
+
+    def test_huge_suffix_abandons_immediately(self):
+        x = make_series(10, 7)
+        y = make_series(10, 8)
+        w = Window.full(10, 10)
+        r = dp_over_window(
+            x, y, w, abandon_above=1.0, suffix_bound=[1e9] * 10
+        )
+        assert r.abandoned
+        assert r.cells <= 10  # only the first row was evaluated

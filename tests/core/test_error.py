@@ -1,0 +1,44 @@
+"""Unit tests for the approximation-error metric."""
+
+import math
+
+import pytest
+
+from repro.core.error import approximation_error, approximation_error_percent
+
+
+class TestApproximationError:
+    def test_exact_approximation_zero(self):
+        assert approximation_error(5.0, 5.0) == 0.0
+
+    def test_double_is_one(self):
+        assert approximation_error(10.0, 5.0) == 1.0
+
+    def test_percent(self):
+        assert approximation_error_percent(10.0, 5.0) == 100.0
+
+    def test_paper_headline_number(self):
+        # Table 2: FastDTW_20 = 31.24 vs Full DTW = 0.020
+        assert approximation_error_percent(31.24, 0.020) == pytest.approx(
+            156_100, rel=1e-3
+        )
+
+    def test_both_zero(self):
+        assert approximation_error(0.0, 0.0) == 0.0
+
+    def test_exact_zero_approx_positive_is_inf(self):
+        assert approximation_error(1.0, 0.0) == math.inf
+
+    def test_underestimate_is_negative(self):
+        # lower bounds produce negative "error"
+        assert approximation_error(4.0, 5.0) == pytest.approx(-0.2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            approximation_error(-1.0, 2.0)
+        with pytest.raises(ValueError, match="negative"):
+            approximation_error(1.0, -2.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            approximation_error(float("nan"), 1.0)

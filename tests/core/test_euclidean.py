@@ -1,0 +1,73 @@
+"""Unit tests for the Euclidean (lock-step) distance."""
+
+import math
+
+import pytest
+
+from repro.core.euclidean import euclidean, euclidean_l2
+from tests.conftest import make_series
+
+
+class TestEuclidean:
+    def test_known_value(self):
+        assert euclidean([0.0, 0.0], [3.0, 4.0]) == 25.0
+
+    def test_l2(self):
+        assert euclidean_l2([0.0, 0.0], [3.0, 4.0]) == 5.0
+
+    def test_zero_for_identical(self):
+        x = make_series(10, 1)
+        assert euclidean(x, x) == 0.0
+
+    def test_symmetry(self):
+        x = make_series(10, 2)
+        y = make_series(10, 3)
+        assert euclidean(x, y) == pytest.approx(euclidean(y, x))
+
+    def test_abs_cost(self):
+        assert euclidean([0.0, 0.0], [1.0, -2.0], cost="abs") == 3.0
+
+    def test_custom_cost(self):
+        assert euclidean([1.0, 2.0], [0.0, 0.0],
+                         cost=lambda a, b: max(a, b)) == 3.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            euclidean([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            euclidean([], [])
+
+    def test_triangle_inequality_l2(self):
+        x = make_series(12, 4)
+        y = make_series(12, 5)
+        z = make_series(12, 6)
+        assert euclidean_l2(x, z) <= (
+            euclidean_l2(x, y) + euclidean_l2(y, z) + 1e-9
+        )
+
+
+class TestEarlyAbandoning:
+    def test_abandons(self):
+        assert euclidean([0.0] * 5, [10.0] * 5,
+                         abandon_above=1.0) == math.inf
+
+    def test_no_abandon_when_threshold_big(self):
+        x = make_series(10, 7)
+        y = make_series(10, 8)
+        exact = euclidean(x, y)
+        assert euclidean(x, y, abandon_above=exact + 1) == pytest.approx(
+            exact
+        )
+
+    def test_abandon_threshold_exact_value_kept(self):
+        x = make_series(10, 9)
+        y = make_series(10, 10)
+        exact = euclidean(x, y)
+        # running sum only exceeds the threshold strictly
+        assert euclidean(x, y, abandon_above=exact) == pytest.approx(exact)
+
+    def test_abandoning_with_abs_cost(self):
+        assert euclidean([0.0] * 5, [10.0] * 5, cost="abs",
+                         abandon_above=5.0) == math.inf

@@ -1,0 +1,160 @@
+"""Unit tests for the FastDTW implementation."""
+
+import pytest
+
+from repro.core.dtw import dtw
+from repro.core.fastdtw import fastdtw, fastdtw_cell_estimate
+from tests.conftest import make_series
+
+
+class TestBasics:
+    def test_identical_series_zero(self):
+        x = make_series(64, 1)
+        assert fastdtw(x, x, radius=1).distance == 0.0
+
+    def test_small_series_is_exact(self):
+        # below the base-case size FastDTW runs Full DTW directly
+        x = make_series(3, 2)
+        y = make_series(3, 3)
+        assert fastdtw(x, y, radius=1).distance == pytest.approx(
+            dtw(x, y).distance
+        )
+
+    def test_path_always_present(self):
+        r = fastdtw(make_series(40, 4), make_series(40, 5), radius=2)
+        assert r.path is not None
+
+    def test_path_cost_matches_distance(self):
+        x = make_series(50, 6)
+        y = make_series(50, 7)
+        r = fastdtw(x, y, radius=3)
+        assert r.path.cost(x, y) == pytest.approx(r.distance)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            fastdtw([1.0, 2.0], [1.0, 2.0], radius=-1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fastdtw([], [1.0])
+
+    def test_abs_cost_supported(self):
+        x = make_series(30, 8)
+        y = make_series(30, 9)
+        r = fastdtw(x, y, radius=2, cost="abs")
+        assert r.distance >= dtw(x, y, cost="abs").distance - 1e-9
+        assert r.cost == "abs"
+
+    def test_unequal_lengths(self):
+        x = make_series(33, 10)
+        y = make_series(57, 11)
+        r = fastdtw(x, y, radius=2)
+        assert r.path[-1] == (32, 56)
+
+
+class TestApproximationProperties:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_upper_bounds_full_dtw(self, seed):
+        x = make_series(48, seed)
+        y = make_series(48, seed + 200)
+        exact = dtw(x, y).distance
+        for radius in (0, 1, 3, 7):
+            assert fastdtw(x, y, radius=radius).distance >= exact - 1e-9
+
+    def test_huge_radius_is_exact(self):
+        x = make_series(32, 20)
+        y = make_series(32, 21)
+        assert fastdtw(x, y, radius=40).distance == pytest.approx(
+            dtw(x, y).distance
+        )
+
+    def test_radius_improves_or_maintains_on_average(self):
+        # individual cases may fluctuate; the mean error must not grow
+        totals = {}
+        for radius in (0, 4, 12):
+            total = 0.0
+            for seed in range(10):
+                x = make_series(64, seed)
+                y = make_series(64, seed + 99)
+                total += fastdtw(x, y, radius=radius).distance
+            totals[radius] = total
+        assert totals[12] <= totals[0] + 1e-9
+
+
+class TestCost:
+    def test_cells_grow_with_radius(self):
+        x = make_series(128, 30)
+        y = make_series(128, 31)
+        cells = [fastdtw(x, y, radius=r).cells for r in (0, 2, 6, 14)]
+        assert cells == sorted(cells)
+
+    def test_cells_roughly_linear_in_n(self):
+        # doubling N should roughly double cells (not quadruple)
+        a = fastdtw(make_series(128, 32), make_series(128, 33),
+                    radius=4).cells
+        b = fastdtw(make_series(256, 34), make_series(256, 35),
+                    radius=4).cells
+        assert b / a < 3.0
+
+    def test_cell_estimate_model(self):
+        assert fastdtw_cell_estimate(100, 10) == 100 * 94
+
+    def test_cell_estimate_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            fastdtw_cell_estimate(0, 1)
+
+    def test_fastdtw_more_cells_than_small_band_cdtw(self):
+        # the paper's Case A inequality at the cell level
+        from repro.core.cdtw import cdtw
+
+        x = make_series(256, 36)
+        y = make_series(256, 37)
+        fast = fastdtw(x, y, radius=10).cells
+        banded = cdtw(x, y, window=0.04).cells
+        assert banded < fast
+
+
+class TestLevels:
+    def test_levels_none_by_default(self):
+        r = fastdtw(make_series(40, 40), make_series(40, 41), radius=1)
+        assert r.levels is None
+
+    def test_levels_coarsest_first(self):
+        r = fastdtw(
+            make_series(64, 42), make_series(64, 43),
+            radius=1, keep_levels=True,
+        )
+        sizes = [lvl.n for lvl in r.levels]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == 64
+
+    def test_level_count_logarithmic(self):
+        r = fastdtw(
+            make_series(128, 44), make_series(128, 45),
+            radius=1, keep_levels=True,
+        )
+        # base case at <= radius+2 = 3: 128,64,32,16,8,4 -> ~6 levels
+        assert 4 <= len(r.levels) <= 8
+
+    def test_level_cells_sum_to_total(self):
+        r = fastdtw(
+            make_series(96, 46), make_series(96, 47),
+            radius=2, keep_levels=True,
+        )
+        assert sum(lvl.window_cells for lvl in r.levels) == r.cells
+
+    def test_base_case_respects_min_size(self):
+        r = fastdtw(
+            make_series(200, 48), make_series(200, 49),
+            radius=5, keep_levels=True,
+        )
+        base = r.levels[0]
+        # the base is the first level NOT larger than radius+2... the
+        # recursion stops once n <= radius + 2
+        assert base.n <= 2 * (5 + 2)
+
+
+class TestRoot:
+    def test_root(self):
+        r = fastdtw([0.0, 0.0], [2.0, 2.0], radius=1)
+        assert r.root() == pytest.approx(r.distance ** 0.5)

@@ -1,0 +1,117 @@
+"""Unit tests for the reference-layout FastDTW.
+
+The reference variant must satisfy every algorithmic contract the
+optimised variant does (it is the same algorithm), while carrying the
+published implementation's data-structure cost profile.
+"""
+
+import pytest
+
+from repro.core.dtw import dtw
+from repro.core.fastdtw import fastdtw
+from repro.core.fastdtw_reference import fastdtw_reference
+from repro.core.variants import FASTDTW_VARIANTS, resolve_fastdtw
+from tests.conftest import make_series
+
+
+class TestCorrectness:
+    def test_identical_series_zero(self):
+        x = make_series(64, 1)
+        assert fastdtw_reference(x, x, radius=1).distance == 0.0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_upper_bounds_full_dtw(self, seed):
+        x = make_series(40, seed)
+        y = make_series(40, seed + 600)
+        exact = dtw(x, y).distance
+        for radius in (0, 1, 3):
+            assert fastdtw_reference(
+                x, y, radius=radius
+            ).distance >= exact - 1e-9
+
+    def test_huge_radius_is_exact(self):
+        x = make_series(30, 11)
+        y = make_series(30, 12)
+        assert fastdtw_reference(x, y, radius=40).distance == (
+            pytest.approx(dtw(x, y).distance)
+        )
+
+    def test_path_revaluates_to_distance(self):
+        x = make_series(50, 13)
+        y = make_series(50, 14)
+        r = fastdtw_reference(x, y, radius=2)
+        assert r.path.cost(x, y) == pytest.approx(r.distance)
+
+    def test_unequal_lengths(self):
+        x = make_series(23, 15)
+        y = make_series(41, 16)
+        r = fastdtw_reference(x, y, radius=1)
+        assert r.path[-1] == (22, 40)
+
+    def test_odd_lengths_radius_zero(self):
+        # the case that disconnects naive rasterisation
+        x = make_series(37, 17)
+        y = make_series(37, 18)
+        r = fastdtw_reference(x, y, radius=0)
+        assert r.distance >= dtw(x, y).distance - 1e-9
+
+    def test_abs_cost(self):
+        x = make_series(25, 19)
+        y = make_series(25, 20)
+        r = fastdtw_reference(x, y, radius=2, cost="abs")
+        assert r.cost == "abs"
+        assert r.distance >= dtw(x, y, cost="abs").distance - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fastdtw_reference([1.0], [1.0], radius=-1)
+        with pytest.raises(ValueError):
+            fastdtw_reference([], [1.0])
+
+
+class TestVariantParity:
+    """Both variants implement the same algorithm."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_base_case_identical(self, seed):
+        # below the base-case size both run exact DTW
+        x = make_series(3, seed)
+        y = make_series(3, seed + 50)
+        assert fastdtw_reference(x, y, radius=1).distance == (
+            pytest.approx(fastdtw(x, y, radius=1).distance)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_distances_close_in_practice(self, seed):
+        # window construction orders differ (dilate-then-project vs
+        # project-then-dilate) so results can differ slightly; both
+        # must stay sane upper bounds of full DTW
+        x = make_series(60, seed)
+        y = make_series(60, seed + 70)
+        exact = dtw(x, y).distance
+        a = fastdtw_reference(x, y, radius=4).distance
+        b = fastdtw(x, y, radius=4).distance
+        assert a >= exact - 1e-9 and b >= exact - 1e-9
+
+    def test_reference_window_is_wider_or_equal(self):
+        # dilating before projection doubles the dilation, so the
+        # reference variant evaluates at least as many cells
+        x = make_series(128, 31)
+        y = make_series(128, 32)
+        for radius in (1, 3, 7):
+            ref = fastdtw_reference(x, y, radius=radius).cells
+            opt = fastdtw(x, y, radius=radius).cells
+            assert ref >= opt
+
+
+class TestResolver:
+    def test_names(self):
+        assert set(FASTDTW_VARIANTS) == {"reference", "optimized"}
+
+    def test_resolution(self):
+        assert resolve_fastdtw("reference") is fastdtw_reference
+        assert resolve_fastdtw("optimized") is fastdtw
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown FastDTW variant"):
+            resolve_fastdtw("turbo")

@@ -1,0 +1,74 @@
+"""Unit tests for the Itakura parallelogram window."""
+
+import math
+
+import pytest
+
+from repro.core.dtw import dtw, windowed_dtw
+from repro.core.engine import dp_over_window
+from repro.core.window import Window
+from tests.conftest import make_series
+
+
+class TestItakuraGeometry:
+    def test_corners_included(self):
+        for n, m in ((8, 8), (10, 15), (15, 10)):
+            w = Window.itakura(n, m)
+            assert w.contains(0, 0)
+            assert w.contains(n - 1, m - 1)
+
+    def test_pinches_at_corners_bulges_in_middle(self):
+        w = Window.itakura(20, 20, max_slope=2.0)
+        def width(i):
+            lo, hi = w.row(i)
+            return hi - lo + 1
+        assert width(0) < width(10)
+        assert width(19) <= width(10)
+
+    def test_subset_of_full_lattice(self):
+        w = Window.itakura(12, 12)
+        assert w.cell_count() <= 144
+
+    def test_larger_slope_admits_more(self):
+        tight = Window.itakura(20, 20, max_slope=1.2)
+        loose = Window.itakura(20, 20, max_slope=3.0)
+        assert tight.cell_count() <= loose.cell_count()
+
+    def test_slope_below_one_rejected(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            Window.itakura(5, 5, max_slope=0.5)
+
+    def test_always_feasible(self):
+        # constructing Window validates feasibility; also run the DP
+        for n, m in ((2, 2), (3, 9), (9, 3), (17, 17), (16, 24)):
+            w = Window.itakura(n, m, max_slope=2.0)
+            r = dp_over_window([0.0] * n, [0.0] * m, w)
+            assert math.isfinite(r.distance)
+
+
+class TestItakuraDtw:
+    def test_upper_bounds_full_dtw(self):
+        x = make_series(24, 1)
+        y = make_series(24, 2)
+        w = Window.itakura(24, 24)
+        assert windowed_dtw(x, y, w).distance >= dtw(x, y).distance - 1e-9
+
+    def test_converges_with_slope(self):
+        x = make_series(16, 3)
+        y = make_series(16, 4)
+        full = dtw(x, y).distance
+        loose = windowed_dtw(x, y, Window.itakura(16, 16, 8.0)).distance
+        tight = windowed_dtw(x, y, Window.itakura(16, 16, 1.5)).distance
+        assert full - 1e-9 <= loose <= tight + 1e-9
+
+    def test_slope_constraint_respected_mid_path(self):
+        # a path inside the parallelogram cannot dwell forever: check
+        # the recovered path's global slope bounds
+        x = make_series(30, 5)
+        y = make_series(30, 6)
+        w = Window.itakura(30, 30, max_slope=2.0)
+        path = windowed_dtw(x, y, w, return_path=True).path
+        for i, j in path:
+            if 2 <= i <= 27:  # away from corner slack
+                assert j <= 2 * i + 2
+                assert j >= i / 2 - 2

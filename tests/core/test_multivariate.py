@@ -1,0 +1,232 @@
+"""Unit tests for multivariate DTW/cDTW/FastDTW."""
+
+import pytest
+
+from repro.core.cdtw import cdtw
+from repro.core.dtw import dtw
+from repro.core.multivariate import (
+    cdtw_nd,
+    dtw_nd,
+    fastdtw_nd,
+    halve_nd,
+    interleave,
+    magnitude,
+    vector_abs_cost,
+    vector_squared_cost,
+)
+from tests.conftest import make_series
+
+
+def make_vectors(n: int, dim: int, seed: int):
+    return [
+        tuple(make_series(dim, seed * 1000 + i))
+        for i in range(n)
+    ]
+
+
+class TestVectorCosts:
+    def test_squared_euclidean(self):
+        assert vector_squared_cost((0.0, 0.0), (3.0, 4.0)) == 25.0
+
+    def test_abs_manhattan(self):
+        assert vector_abs_cost((0.0, 0.0), (3.0, -4.0)) == 7.0
+
+    def test_dimension_one_reduces_to_scalar(self):
+        assert vector_squared_cost((2.0,), (5.0,)) == 9.0
+
+
+class TestDtwNd:
+    def test_identical_zero(self):
+        x = make_vectors(10, 3, 1)
+        assert dtw_nd(x, x).distance == 0.0
+
+    def test_dimension_one_matches_scalar_dtw(self):
+        xs = make_series(12, 2)
+        ys = make_series(14, 3)
+        vx = [(v,) for v in xs]
+        vy = [(v,) for v in ys]
+        assert dtw_nd(vx, vy).distance == pytest.approx(
+            dtw(xs, ys).distance
+        )
+
+    def test_symmetric(self):
+        x = make_vectors(8, 2, 4)
+        y = make_vectors(10, 2, 5)
+        assert dtw_nd(x, y).distance == pytest.approx(
+            dtw_nd(y, x).distance
+        )
+
+    def test_time_dilation_free(self):
+        x = [(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]
+        y = [(0.0, 0.0), (1.0, 1.0), (1.0, 1.0), (2.0, 2.0)]
+        assert dtw_nd(x, y).distance == 0.0
+
+    def test_path_recovery(self):
+        x = make_vectors(7, 2, 6)
+        y = make_vectors(7, 2, 7)
+        r = dtw_nd(x, y, return_path=True)
+        total = sum(
+            vector_squared_cost(x[i], y[j]) for i, j in r.path
+        )
+        assert total == pytest.approx(r.distance)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            dtw_nd([(1.0, 2.0)], [(1.0,)])
+
+    def test_ragged_series_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            dtw_nd([(1.0,), (1.0, 2.0)], [(1.0,)])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="not finite"):
+            dtw_nd([(float("nan"),)], [(1.0,)])
+
+    def test_unknown_cost_rejected(self):
+        with pytest.raises(ValueError, match="unknown multivariate cost"):
+            dtw_nd([(1.0,)], [(1.0,)], cost="cosine")
+
+
+class TestCdtwNd:
+    def test_dimension_one_matches_scalar_cdtw(self):
+        xs = make_series(15, 8)
+        ys = make_series(15, 9)
+        vx = [(v,) for v in xs]
+        vy = [(v,) for v in ys]
+        for band in (0, 2, 6):
+            assert cdtw_nd(vx, vy, band=band).distance == pytest.approx(
+                cdtw(xs, ys, band=band).distance
+            )
+
+    def test_monotone_in_band(self):
+        x = make_vectors(12, 3, 10)
+        y = make_vectors(12, 3, 11)
+        prev = float("inf")
+        for band in (0, 2, 5, 12):
+            d = cdtw_nd(x, y, band=band).distance
+            assert d <= prev + 1e-9
+            prev = d
+
+    def test_requires_one_parameter(self):
+        x = make_vectors(4, 2, 12)
+        with pytest.raises(ValueError, match="exactly one"):
+            cdtw_nd(x, x)
+
+    def test_window_fraction(self):
+        x = make_vectors(10, 2, 13)
+        y = make_vectors(10, 2, 14)
+        assert cdtw_nd(x, y, window=1.0).distance == pytest.approx(
+            dtw_nd(x, y).distance
+        )
+
+
+class TestHalveNd:
+    def test_componentwise_means(self):
+        assert halve_nd([(0.0, 4.0), (2.0, 0.0)]) == [(1.0, 2.0)]
+
+    def test_odd_drops_last(self):
+        assert halve_nd([(0.0,), (2.0,), (9.0,)]) == [(1.0,)]
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            halve_nd([(1.0,)])
+
+
+class TestFastdtwNd:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_upper_bounds_full(self, seed):
+        x = make_vectors(40, 2, seed)
+        y = make_vectors(40, 2, seed + 100)
+        exact = dtw_nd(x, y).distance
+        for radius in (0, 1, 3):
+            assert fastdtw_nd(x, y, radius=radius).distance >= exact - 1e-9
+
+    def test_converges_with_radius(self):
+        x = make_vectors(24, 3, 20)
+        y = make_vectors(24, 3, 21)
+        assert fastdtw_nd(x, y, radius=24).distance == pytest.approx(
+            dtw_nd(x, y).distance
+        )
+
+    def test_dimension_one_close_to_scalar_fastdtw(self):
+        from repro.core.fastdtw import fastdtw
+
+        xs = make_series(48, 22)
+        ys = make_series(48, 23)
+        vx = [(v,) for v in xs]
+        vy = [(v,) for v in ys]
+        assert fastdtw_nd(vx, vy, radius=3).distance == pytest.approx(
+            fastdtw(xs, ys, radius=3).distance
+        )
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            fastdtw_nd([(1.0,)], [(1.0,)], radius=-1)
+
+    def test_path_end_cells(self):
+        x = make_vectors(30, 2, 24)
+        y = make_vectors(37, 2, 25)
+        r = fastdtw_nd(x, y, radius=2)
+        assert r.path[0] == (0, 0)
+        assert r.path[-1] == (29, 36)
+
+
+class TestChannels:
+    def test_interleave(self):
+        assert interleave([1.0, 2.0], [10.0, 20.0]) == [
+            (1.0, 10.0), (2.0, 20.0)
+        ]
+
+    def test_interleave_rejects_ragged(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            interleave([1.0], [1.0, 2.0])
+
+    def test_interleave_rejects_empty(self):
+        with pytest.raises(ValueError):
+            interleave()
+
+    def test_magnitude(self):
+        assert magnitude([(3.0, 4.0), (0.0, 0.0)]) == [5.0, 0.0]
+
+    def test_magnitude_of_interleaved_channels(self):
+        xs = make_series(10, 30)
+        m = magnitude(interleave(xs, xs))
+        assert m == pytest.approx([abs(v) * 2 ** 0.5 for v in xs])
+
+
+class TestMultivariateGestures:
+    def test_generator_shape(self):
+        from repro.datasets.gestures import multivariate_gestures
+
+        series, labels = multivariate_gestures(
+            n_classes=2, per_class=3, length=32, axes=3, seed=1
+        )
+        assert len(series) == 6 == len(labels)
+        assert all(len(s) == 32 for s in series)
+        assert all(len(v) == 3 for s in series for v in s)
+
+    def test_classes_separable_under_multivariate_cdtw(self):
+        from repro.datasets.gestures import multivariate_gestures
+
+        series, labels = multivariate_gestures(
+            n_classes=2, per_class=3, length=48, axes=2,
+            warp_fraction=0.04, seed=2,
+        )
+        # nearest neighbour of each exemplar shares its class
+        for i, s in enumerate(series):
+            best, best_d = None, float("inf")
+            for j, t in enumerate(series):
+                if i == j:
+                    continue
+                d = cdtw_nd(s, t, window=0.10).distance
+                if d < best_d:
+                    best, best_d = j, d
+            assert labels[best] == labels[i]
+
+    def test_generator_validation(self):
+        from repro.datasets.gestures import multivariate_gestures
+
+        with pytest.raises(ValueError):
+            multivariate_gestures(axes=0)
+        with pytest.raises(ValueError):
+            multivariate_gestures(n_classes=1)

@@ -1,0 +1,68 @@
+"""Cross-validation of the NumPy backend against the pure engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.cdtw import cdtw
+from repro.core.dtw import dtw
+from repro.core.numpy_backend import dtw_numpy, pairwise_matrix_numpy
+from tests.conftest import make_series
+
+
+class TestDtwNumpy:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_full_matches_engine(self, seed):
+        x = make_series(15, seed)
+        y = make_series(13, seed + 300)
+        assert dtw_numpy(np.array(x), np.array(y)) == pytest.approx(
+            dtw(x, y).distance, abs=1e-9
+        )
+
+    @pytest.mark.parametrize("band", [0, 1, 3, 8])
+    def test_banded_matches_engine(self, band):
+        for seed in range(5):
+            x = make_series(16, seed)
+            y = make_series(16, seed + 400)
+            assert dtw_numpy(
+                np.array(x), np.array(y), band=band
+            ) == pytest.approx(cdtw(x, y, band=band).distance, abs=1e-9)
+
+    def test_abs_cost(self):
+        x = make_series(12, 9)
+        y = make_series(12, 10)
+        assert dtw_numpy(
+            np.array(x), np.array(y), squared=False
+        ) == pytest.approx(dtw(x, y, cost="abs").distance, abs=1e-9)
+
+    def test_unequal_banded(self):
+        x = make_series(10, 11)
+        y = make_series(20, 12)
+        assert dtw_numpy(
+            np.array(x), np.array(y), band=4
+        ) == pytest.approx(cdtw(x, y, band=4).distance, abs=1e-9)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            dtw_numpy(np.zeros((2, 2)), np.zeros(3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            dtw_numpy(np.array([]), np.array([1.0]))
+
+
+class TestPairwiseMatrix:
+    def test_symmetric_zero_diagonal(self):
+        series = [make_series(10, s) for s in range(4)]
+        m = pairwise_matrix_numpy(series, band=2)
+        assert np.allclose(m, m.T)
+        assert np.allclose(np.diag(m), 0.0)
+
+    def test_entries_match_single_calls(self):
+        series = [make_series(10, s) for s in range(3)]
+        m = pairwise_matrix_numpy(series)
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    assert m[i, j] == pytest.approx(
+                        dtw(series[i], series[j]).distance
+                    )

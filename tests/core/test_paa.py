@@ -1,0 +1,85 @@
+"""Unit tests for PAA and halving."""
+
+import pytest
+
+from repro.core.paa import halve, paa, paa_factor
+from tests.conftest import make_series
+
+
+class TestHalve:
+    def test_even_length(self):
+        assert halve([0.0, 2.0, 4.0, 6.0]) == [1.0, 5.0]
+
+    def test_odd_length_drops_last(self):
+        assert halve([0.0, 2.0, 99.0]) == [1.0]
+
+    def test_length_halves(self):
+        for n in (2, 3, 8, 9, 100, 101):
+            assert len(halve(list(range(n)))) == n // 2
+
+    def test_preserves_mean_even(self):
+        x = make_series(20, 1)
+        h = halve(x)
+        assert sum(h) / len(h) == pytest.approx(sum(x) / len(x))
+
+    def test_zero_mean_doublet_vanishes(self):
+        # the adversarial construction's key property
+        x = [0.0, 0.0, 3.0, -3.0, 0.0, 0.0]
+        assert halve(x) == [0.0, 0.0, 0.0]
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            halve([1.0])
+
+
+class TestPaa:
+    def test_identity_when_segments_equal_length(self):
+        x = [1.0, 2.0, 3.0]
+        assert paa(x, 3) == x
+
+    def test_exact_blocks(self):
+        assert paa([1.0, 1.0, 3.0, 3.0], 2) == [1.0, 3.0]
+
+    def test_fractional_blocks_weighted(self):
+        # 3 samples into 2 segments: [x0, x1/2] and [x1/2, x2]
+        result = paa([0.0, 6.0, 0.0], 2)
+        assert result == pytest.approx([2.0, 2.0])
+
+    def test_single_segment_is_mean(self):
+        x = make_series(10, 2)
+        assert paa(x, 1) == [pytest.approx(sum(x) / len(x))]
+
+    def test_preserves_global_mean(self):
+        x = make_series(30, 3)
+        for segments in (1, 2, 5, 6, 15):
+            r = paa(x, segments)
+            assert sum(r) / len(r) == pytest.approx(sum(x) / len(x))
+
+    def test_too_many_segments_rejected(self):
+        with pytest.raises(ValueError):
+            paa([1.0, 2.0], 3)
+
+    def test_zero_segments_rejected(self):
+        with pytest.raises(ValueError):
+            paa([1.0], 0)
+
+
+class TestPaaFactor:
+    def test_factor_two_even_matches_halve(self):
+        x = make_series(16, 4)
+        assert paa_factor(x, 2) == pytest.approx(halve(x))
+
+    def test_factor_eight_length(self):
+        assert len(paa_factor(list(range(256)), 8)) == 32
+
+    def test_partial_trailing_block(self):
+        # 5 samples, factor 2: blocks (0,1), (2,3), (4,)
+        assert paa_factor([0.0, 2.0, 4.0, 6.0, 9.0], 2) == [1.0, 5.0, 9.0]
+
+    def test_factor_one_identity(self):
+        x = make_series(7, 5)
+        assert paa_factor(x, 1) == pytest.approx(x)
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ValueError):
+            paa_factor([1.0], 0)

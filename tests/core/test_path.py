@@ -1,0 +1,154 @@
+"""Unit tests for WarpingPath."""
+
+import pytest
+
+from repro.core.path import InvalidPathError, WarpingPath, diagonal_path
+
+
+class TestValidation:
+    def test_accepts_single_cell(self):
+        p = WarpingPath([(0, 0)])
+        assert len(p) == 1
+
+    def test_accepts_diagonal(self):
+        p = WarpingPath([(0, 0), (1, 1), (2, 2)])
+        assert p.n == 3 and p.m == 3
+
+    def test_accepts_expansion_and_contraction(self):
+        WarpingPath([(0, 0), (0, 1), (1, 1), (2, 1), (2, 2)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidPathError, match="at least one"):
+            WarpingPath([])
+
+    def test_rejects_bad_start(self):
+        with pytest.raises(InvalidPathError, match="start at"):
+            WarpingPath([(1, 0), (2, 1)])
+
+    def test_rejects_backwards_move(self):
+        with pytest.raises(InvalidPathError, match="backwards"):
+            WarpingPath([(0, 0), (1, 1), (0, 1)])
+
+    def test_rejects_skips(self):
+        with pytest.raises(InvalidPathError, match="skips"):
+            WarpingPath([(0, 0), (2, 1)])
+
+    def test_rejects_repeats(self):
+        with pytest.raises(InvalidPathError, match="repeats"):
+            WarpingPath([(0, 0), (0, 0)])
+
+    def test_immutable(self):
+        p = WarpingPath([(0, 0), (1, 1)])
+        with pytest.raises(AttributeError):
+            p.cells = ()
+
+
+class TestShape:
+    def test_n_m_from_last_cell(self):
+        p = WarpingPath([(0, 0), (1, 0), (1, 1), (2, 2)])
+        assert (p.n, p.m) == (3, 3)
+
+    def test_iteration_and_indexing(self):
+        cells = [(0, 0), (1, 1), (1, 2)]
+        p = WarpingPath(cells)
+        assert list(p) == cells
+        assert p[1] == (1, 1)
+        assert p.to_pairs() == tuple(cells)
+
+
+class TestCost:
+    def test_cost_on_identical_series(self):
+        p = WarpingPath([(0, 0), (1, 1), (2, 2)])
+        x = [1.0, 2.0, 3.0]
+        assert p.cost(x, x) == 0.0
+
+    def test_cost_squared(self):
+        p = WarpingPath([(0, 0), (1, 1)])
+        assert p.cost([0.0, 0.0], [1.0, 2.0]) == 1.0 + 4.0
+
+    def test_cost_abs(self):
+        p = WarpingPath([(0, 0), (1, 1)])
+        assert p.cost([0.0, 0.0], [1.0, 2.0], cost="abs") == 3.0
+
+    def test_cost_length_mismatch_raises(self):
+        p = WarpingPath([(0, 0), (1, 1)])
+        with pytest.raises(ValueError, match="lengths"):
+            p.cost([0.0, 1.0, 2.0], [0.0, 1.0])
+
+
+class TestDeviation:
+    def test_diagonal_has_zero_deviation(self):
+        p = WarpingPath([(0, 0), (1, 1), (2, 2)])
+        assert p.max_band_deviation() == 0
+
+    def test_known_deviation(self):
+        p = WarpingPath([(0, 0), (0, 1), (0, 2), (1, 2), (2, 2)])
+        assert p.max_band_deviation() == 2
+
+    def test_slope_corrected_for_unequal_lengths(self):
+        # path hugging the diagonal of a 3x5 lattice deviates ~0
+        p = WarpingPath([(0, 0), (0, 1), (1, 2), (1, 3), (2, 4)])
+        assert p.max_band_deviation() <= 1
+
+    def test_warp_fraction(self):
+        p = WarpingPath([(0, 0), (0, 1), (0, 2), (1, 2), (2, 2)])
+        assert p.warp_fraction() == pytest.approx(2 / 3)
+
+    def test_single_cell(self):
+        assert WarpingPath([(0, 0)]).max_band_deviation() == 0
+
+
+class TestDirection:
+    def test_above_diagonal_positive(self):
+        p = WarpingPath([(0, 0), (0, 1), (1, 2), (2, 2)])
+        assert p.warp_direction() == 1
+
+    def test_below_diagonal_negative(self):
+        p = WarpingPath([(0, 0), (1, 0), (2, 1), (2, 2)])
+        assert p.warp_direction() == -1
+
+    def test_diagonal_zero(self):
+        p = WarpingPath([(0, 0), (1, 1), (2, 2)])
+        assert p.warp_direction() == 0
+
+
+class TestProjectUp:
+    def test_doubles_cells(self):
+        p = WarpingPath([(0, 0), (1, 1)])
+        cells = p.project_up(4, 4)
+        assert set(cells) == {
+            (0, 0), (0, 1), (1, 0), (1, 1),
+            (2, 2), (2, 3), (3, 2), (3, 3),
+        }
+
+    def test_clips_odd_lengths(self):
+        p = WarpingPath([(0, 0), (1, 1)])
+        cells = p.project_up(3, 3)
+        assert all(i < 3 and j < 3 for i, j in cells)
+        assert (2, 2) in cells
+
+    def test_covers_all_rows_for_even(self):
+        p = WarpingPath([(0, 0), (1, 1), (2, 2)])
+        rows = {i for i, _ in p.project_up(6, 6)}
+        assert rows == set(range(6))
+
+
+class TestDiagonalPath:
+    def test_square(self):
+        p = diagonal_path(4, 4)
+        assert list(p) == [(0, 0), (1, 1), (2, 2), (3, 3)]
+
+    def test_rectangular_valid(self):
+        p = diagonal_path(3, 7)
+        assert p[0] == (0, 0) and p[-1] == (2, 6)
+
+    def test_single_row(self):
+        p = diagonal_path(1, 5)
+        assert list(p) == [(0, j) for j in range(5)]
+
+    def test_single_cell(self):
+        assert list(diagonal_path(1, 1)) == [(0, 0)]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            diagonal_path(0, 3)

@@ -1,0 +1,56 @@
+"""Property tests for the reference-layout FastDTW.
+
+Same contracts as the optimised variant, checked independently:
+upper-bounds Full DTW, converges with the radius, and produces valid
+paths -- so the two implementations can be swapped in any experiment
+without changing correctness, only constants.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dtw import dtw
+from repro.core.fastdtw_reference import fastdtw_reference
+
+finite = st.floats(
+    min_value=-20, max_value=20, allow_nan=False, allow_infinity=False
+)
+series = st.lists(finite, min_size=1, max_size=20)
+
+
+@settings(deadline=None, max_examples=50)
+@given(series, series, st.integers(min_value=0, max_value=5))
+def test_reference_upper_bounds_full(x, y, radius):
+    assert fastdtw_reference(x, y, radius=radius).distance >= (
+        dtw(x, y).distance - 1e-9
+    )
+
+
+@settings(deadline=None, max_examples=50)
+@given(series, series)
+def test_reference_converges_at_large_radius(x, y):
+    radius = max(len(x), len(y))
+    assert math.isclose(
+        fastdtw_reference(x, y, radius=radius).distance,
+        dtw(x, y).distance,
+        rel_tol=1e-9,
+        abs_tol=1e-9,
+    )
+
+
+@settings(deadline=None, max_examples=50)
+@given(series, series, st.integers(min_value=0, max_value=5))
+def test_reference_path_valid_and_consistent(x, y, radius):
+    r = fastdtw_reference(x, y, radius=radius)
+    assert r.path[0] == (0, 0)
+    assert r.path[-1] == (len(x) - 1, len(y) - 1)
+    assert math.isclose(
+        r.path.cost(x, y), r.distance, rel_tol=1e-9, abs_tol=1e-9
+    )
+
+
+@settings(deadline=None, max_examples=50)
+@given(series, st.integers(min_value=0, max_value=5))
+def test_reference_identity(x, radius):
+    assert fastdtw_reference(x, x, radius=radius).distance == 0.0

@@ -1,0 +1,68 @@
+"""Unit tests for public-API input validation."""
+
+import math
+
+import pytest
+
+from repro.core.cdtw import cdtw
+from repro.core.dtw import dtw
+from repro.core.fastdtw import fastdtw
+from repro.core.fastdtw_reference import fastdtw_reference
+from repro.core.validate import validate_pair, validate_series
+
+
+class TestValidateSeries:
+    def test_accepts_finite(self):
+        validate_series([1.0, -2.5, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            validate_series([])
+
+    def test_rejects_nan_with_index(self):
+        with pytest.raises(ValueError, match="sample 2"):
+            validate_series([1.0, 2.0, float("nan")])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="not finite"):
+            validate_series([math.inf])
+
+    def test_rejects_negative_inf(self):
+        with pytest.raises(ValueError, match="not finite"):
+            validate_series([-math.inf])
+
+    def test_name_in_message(self):
+        with pytest.raises(ValueError, match="series y"):
+            validate_series([float("nan")], name="series y")
+
+    def test_multivariate_samples_checked_componentwise(self):
+        validate_series([(1.0, 2.0), (3.0, 4.0)])
+        with pytest.raises(ValueError, match="component 1"):
+            validate_series([(1.0, float("nan"))])
+
+
+class TestPublicApisReject:
+    NAN_SERIES = [1.0, float("nan"), 2.0]
+    OK = [1.0, 2.0, 3.0]
+
+    def test_dtw(self):
+        with pytest.raises(ValueError, match="not finite"):
+            dtw(self.NAN_SERIES, self.OK)
+
+    def test_cdtw(self):
+        with pytest.raises(ValueError, match="not finite"):
+            cdtw(self.OK, self.NAN_SERIES, band=1)
+
+    def test_fastdtw(self):
+        with pytest.raises(ValueError, match="not finite"):
+            fastdtw(self.NAN_SERIES, self.OK, radius=1)
+
+    def test_fastdtw_reference(self):
+        with pytest.raises(ValueError, match="not finite"):
+            fastdtw_reference(self.OK, self.NAN_SERIES, radius=1)
+
+    def test_validate_pair_names_operand(self):
+        with pytest.raises(ValueError, match="series x"):
+            validate_pair(self.NAN_SERIES, self.OK)
+        with pytest.raises(ValueError, match="series y"):
+            validate_pair(self.OK, self.NAN_SERIES)

@@ -1,0 +1,74 @@
+"""Property tests for Window constructors (Hypothesis)."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import dp_over_window
+from repro.core.window import Window
+
+
+@st.composite
+def lattice_and_cells(draw):
+    n = draw(st.integers(min_value=1, max_value=15))
+    m = draw(st.integers(min_value=1, max_value=15))
+    count = draw(st.integers(min_value=0, max_value=20))
+    cells = [
+        (draw(st.integers(min_value=-2, max_value=n + 1)),
+         draw(st.integers(min_value=-2, max_value=m + 1)))
+        for _ in range(count)
+    ]
+    return n, m, cells
+
+
+@settings(deadline=None, max_examples=100)
+@given(lattice_and_cells())
+def test_from_cells_always_feasible(args):
+    n, m, cells = args
+    w = Window.from_cells(n, m, cells)  # __post_init__ validates
+    assert w.contains(0, 0)
+    assert w.contains(n - 1, m - 1)
+    r = dp_over_window([0.0] * n, [0.0] * m, w)
+    assert math.isfinite(r.distance)
+
+
+@settings(deadline=None, max_examples=100)
+@given(lattice_and_cells())
+def test_from_cells_contains_in_bounds_input(args):
+    n, m, cells = args
+    w = Window.from_cells(n, m, cells)
+    for i, j in cells:
+        if 0 <= i < n and 0 <= j < m:
+            assert w.contains(i, j), (i, j, w.ranges)
+
+
+@settings(deadline=None, max_examples=100)
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=1, max_value=20),
+    st.floats(min_value=1.0, max_value=5.0, allow_nan=False),
+)
+def test_itakura_always_feasible(n, m, slope):
+    w = Window.itakura(n, m, max_slope=slope)
+    assert w.contains(0, 0)
+    assert w.contains(n - 1, m - 1)
+    r = dp_over_window([0.0] * n, [0.0] * m, w)
+    assert math.isfinite(r.distance)
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    st.integers(min_value=2, max_value=20),
+    st.integers(min_value=0, max_value=8),
+    st.integers(min_value=0, max_value=8),
+)
+def test_union_contains_both_operands(n, band_a, band_b):
+    a = Window.band(n, n, band_a)
+    b = Window.band(n, n, band_b)
+    u = a.union(b)
+    for i in range(n):
+        alo, ahi = a.row(i)
+        blo, bhi = b.row(i)
+        ulo, uhi = u.row(i)
+        assert ulo <= min(alo, blo)
+        assert uhi >= max(ahi, bhi)

@@ -1,0 +1,131 @@
+"""Unit tests for the adversarial triple -- the Appendix A contract.
+
+These tests pin down every property the paper's Table 2 / Fig. 7 /
+Fig. 8 experiments rely on, so a regression in any core algorithm that
+would break the reproduction is caught here.
+"""
+
+import pytest
+
+from repro.core.dtw import dtw
+from repro.core.error import approximation_error_percent
+from repro.core.fastdtw import fastdtw
+from repro.core.paa import halve, paa_factor
+from repro.datasets.adversarial import (
+    adversarial_pair,
+    deviation_at_row,
+)
+
+
+@pytest.fixture(scope="module")
+def triple():
+    return adversarial_pair()
+
+
+class TestConstruction:
+    def test_default_geometry(self, triple):
+        assert triple.length == 256
+        assert triple.doublet_shift == 32
+        assert triple.bump_shift == -32
+
+    def test_deterministic(self):
+        assert adversarial_pair(seed=1).a == adversarial_pair(seed=1).a
+
+    def test_doublet_vanishes_under_halving(self, triple):
+        # the construction's key invariant: the dominant feature is
+        # exactly invisible at every coarsened level
+        coarse = halve(triple.a)
+        window = coarse[
+            triple.doublet_a // 2 - 2: triple.doublet_a // 2 + 2
+        ]
+        assert all(abs(v) < 0.1 for v in window)
+
+    def test_doublet_is_dominant_raw_feature(self, triple):
+        assert max(abs(v) for v in triple.a) == pytest.approx(
+            abs(triple.a[triple.doublet_a]), rel=0.05
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="even"):
+            adversarial_pair(doublet_a=65)
+        with pytest.raises(ValueError, match="even"):
+            adversarial_pair(shift=31)
+        with pytest.raises(ValueError, match="at least 64"):
+            adversarial_pair(length=32)
+        with pytest.raises(ValueError, match="overlap"):
+            adversarial_pair(doublet_a=100, bump_a=140)
+
+
+class TestPaperClaims:
+    def test_full_dtw_finds_pair_nearly_identical(self, triple):
+        # paper: 0.020
+        assert dtw(triple.a, triple.b).distance < 0.1
+
+    def test_fastdtw20_blows_up(self, triple):
+        # paper: 31.24
+        assert fastdtw(triple.a, triple.b, radius=20).distance > 10.0
+
+    def test_error_exceeds_hundred_thousand_percent(self, triple):
+        # paper: 156,100%
+        exact = dtw(triple.a, triple.b).distance
+        approx = fastdtw(triple.a, triple.b, radius=20).distance
+        assert approximation_error_percent(approx, exact) > 100_000
+
+    def test_c_distances_well_approximated(self, triple):
+        # FastDTW gets A-C and B-C right, so only the A-B edge flips
+        for other in (triple.a, triple.b):
+            exact = dtw(other, triple.c).distance
+            approx = fastdtw(other, triple.c, radius=20).distance
+            assert approximation_error_percent(approx, exact) < 5.0
+
+    def test_dendrogram_flip_precondition(self, triple):
+        # fast(A,B) must exceed the A-C/B-C distances while full(A,B)
+        # sits far below them
+        full_ab = dtw(triple.a, triple.b).distance
+        fast_ab = fastdtw(triple.a, triple.b, radius=20).distance
+        ac = dtw(triple.a, triple.c).distance
+        bc = dtw(triple.b, triple.c).distance
+        assert full_ab < min(ac, bc)
+        assert fast_ab > max(ac, bc)
+
+    def test_large_radius_recovers(self, triple):
+        # once the radius covers the shift, the approximation is fine
+        exact = dtw(triple.a, triple.b).distance
+        big = fastdtw(triple.a, triple.b, radius=40).distance
+        assert approximation_error_percent(big, exact) < 50.0
+
+
+class TestWrongWayWarping:
+    def test_raw_path_follows_doublet(self, triple):
+        path = dtw(triple.a, triple.b, return_path=True).path
+        dev = deviation_at_row(path, triple.doublet_a)
+        assert dev == pytest.approx(triple.doublet_shift, abs=2)
+
+    def test_paa8_path_goes_other_way(self, triple):
+        pa = paa_factor(triple.a, 8)
+        pb = paa_factor(triple.b, 8)
+        path = dtw(pa, pb, return_path=True).path
+        dev = deviation_at_row(path, triple.doublet_a // 8)
+        assert dev <= 0
+
+    def test_fastdtw_coarsest_level_goes_other_way(self, triple):
+        r = fastdtw(triple.a, triple.b, radius=20, keep_levels=True)
+        lvl = r.levels[0]
+        scale = triple.length // lvl.n
+        dev = deviation_at_row(lvl.path, triple.doublet_a // scale)
+        assert dev <= 0
+
+
+class TestDeviationAtRow:
+    def test_requires_row_in_path(self):
+        from repro.core.path import WarpingPath
+
+        p = WarpingPath([(0, 0), (1, 1)])
+        with pytest.raises(ValueError):
+            deviation_at_row(p, 5)
+
+    def test_mean_over_multiple_cells(self):
+        from repro.core.path import WarpingPath
+
+        p = WarpingPath([(0, 0), (0, 1), (0, 2), (1, 2)])
+        assert deviation_at_row(p, 0) == pytest.approx(1.0)

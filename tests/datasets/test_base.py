@@ -1,0 +1,73 @@
+"""Unit tests for the dataset container."""
+
+import pytest
+
+from repro.datasets.base import TimeSeriesDataset, as_dataset
+
+
+@pytest.fixture
+def data():
+    return as_dataset(
+        "toy",
+        [[1.0, 2.0], [3.0, 4.0], [5.0, 6.0], [7.0, 8.0]],
+        ["a", "b", "a", "b"],
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self, data):
+        assert len(data) == 4
+        assert data.length == 2
+        assert data.classes == ("a", "b")
+
+    def test_rejects_mismatched_labels(self):
+        with pytest.raises(ValueError, match="equal length"):
+            as_dataset("x", [[1.0]], ["a", "b"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            as_dataset("x", [], [])
+
+    def test_rejects_ragged_series(self):
+        with pytest.raises(ValueError, match="differ"):
+            as_dataset("x", [[1.0], [1.0, 2.0]], ["a", "b"])
+
+    def test_immutable_series(self, data):
+        assert isinstance(data.series[0], tuple)
+
+
+class TestSplit:
+    def test_partition(self, data):
+        train, test = data.split(0.5, seed=1)
+        assert len(train) + len(test) == len(data)
+        assert sorted(train.series + test.series) == sorted(data.series)
+
+    def test_deterministic(self, data):
+        a = data.split(0.5, seed=7)
+        b = data.split(0.5, seed=7)
+        assert a[0].series == b[0].series
+
+    def test_different_seeds_differ(self):
+        big = as_dataset(
+            "big", [[float(i), 0.0] for i in range(20)], list(range(20))
+        )
+        a, _ = big.split(0.5, seed=1)
+        b, _ = big.split(0.5, seed=2)
+        assert a.series != b.series
+
+    def test_labels_follow_series(self, data):
+        train, _ = data.split(0.5, seed=3)
+        for s, l in zip(train.series, train.labels):
+            idx = data.series.index(s)
+            assert data.labels[idx] == l
+
+    def test_invalid_fraction_rejected(self, data):
+        with pytest.raises(ValueError):
+            data.split(0.0)
+        with pytest.raises(ValueError):
+            data.split(1.0)
+
+    def test_degenerate_split_rejected(self):
+        two = as_dataset("t", [[1.0], [2.0]], ["a", "b"])
+        with pytest.raises(ValueError, match="empty side"):
+            two.split(0.1)

@@ -1,0 +1,60 @@
+"""Unit tests for the synthetic ECG generator."""
+
+import random
+
+import pytest
+
+from repro.core.cdtw import cdtw
+from repro.datasets.ecg import ecg_stream, heartbeat
+from repro.preprocess.normalize import znorm
+
+
+class TestHeartbeat:
+    def test_length(self):
+        assert len(heartbeat(180)) == 180
+
+    def test_r_peak_dominates(self):
+        beat = heartbeat(200, random.Random(1), noise_sigma=0.0)
+        peak_idx = max(range(200), key=lambda i: beat[i])
+        # R wave sits at ~42% of the beat
+        assert abs(peak_idx - 84) < 12
+
+    def test_beats_similar_but_not_identical(self):
+        rng = random.Random(2)
+        a, b = heartbeat(150, rng), heartbeat(150, rng)
+        assert a != b
+        d = cdtw(znorm(a), znorm(b), window=0.05).distance
+        assert d < 30.0  # same morphology
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            heartbeat(10)
+
+
+class TestEcgStream:
+    def test_roughly_expected_length(self):
+        stream = ecg_stream(10, mean_beat_samples=100, seed=1)
+        assert 800 <= len(stream) <= 1200
+
+    def test_deterministic(self):
+        assert ecg_stream(3, seed=4) == ecg_stream(3, seed=4)
+
+    def test_variable_beat_lengths(self):
+        # the Case D argument: equal-duration excerpts hold different
+        # beat counts; verify the generator varies beat lengths
+        long = ecg_stream(50, mean_beat_samples=100,
+                          rr_variability=0.2, seed=5)
+        fixed = ecg_stream(50, mean_beat_samples=100,
+                           rr_variability=0.0, seed=5)
+        assert len(long) != len(fixed)
+
+    def test_zero_variability_exact_length(self):
+        stream = ecg_stream(5, mean_beat_samples=80,
+                            rr_variability=0.0, seed=6)
+        assert len(stream) == 400
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            ecg_stream(0)
+        with pytest.raises(ValueError):
+            ecg_stream(3, rr_variability=1.0)

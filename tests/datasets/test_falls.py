@@ -1,0 +1,74 @@
+"""Unit tests for the fall generator (Figs. 5-6)."""
+
+import pytest
+
+from repro.core.dtw import dtw
+from repro.core.euclidean import euclidean
+from repro.datasets.falls import fall_pair, fall_signature
+import random
+
+
+class TestFallSignature:
+    def test_length(self):
+        assert len(fall_signature(50, random.Random(1))) == 50
+
+    def test_starts_and_ends_quiet(self):
+        # the burst ramps from and back to stillness, which is what
+        # lets DTW align early and late falls cheaply (Fig. 5)
+        sig = fall_signature(50, random.Random(2))
+        assert abs(sig[0]) < 0.3
+        assert abs(sig[-1]) < 0.3
+
+    def test_impact_peak_early(self):
+        sig = fall_signature(100, random.Random(7))
+        peak = max(range(100), key=lambda i: abs(sig[i]))
+        assert peak < 50
+        assert abs(sig[peak]) > 1.5
+
+    def test_decays(self):
+        sig = fall_signature(100, random.Random(3))
+        head = max(abs(v) for v in sig[:20])
+        tail = max(abs(v) for v in sig[-20:])
+        assert tail < head
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            fall_signature(3, random.Random(0))
+
+
+class TestFallPair:
+    def test_paper_dimensions(self):
+        pair = fall_pair(4.0)
+        assert pair.length == 400  # L = 4 s at 100 Hz
+
+    def test_falls_at_opposite_ends(self):
+        pair = fall_pair(3.0, seed=1)
+        n, f = pair.length, pair.fall_duration_samples
+        assert max(abs(v) for v in pair.early[:f]) > 1.0
+        assert max(abs(v) for v in pair.early[f + 10:]) < 0.5
+        assert max(abs(v) for v in pair.late[-f:]) > 1.0
+        assert max(abs(v) for v in pair.late[:n - f - 10]) < 0.5
+
+    def test_requires_near_full_warping(self):
+        pair = fall_pair(3.0, seed=2)
+        assert pair.required_window_fraction() > 0.8
+
+    def test_full_dtw_aligns_the_falls(self):
+        # Fig. 5's premise: unconstrained DTW maps fall onto fall,
+        # making the pair far closer than lock-step comparison
+        pair = fall_pair(2.0, seed=3)
+        warped = dtw(pair.early, pair.late).distance
+        lockstep = euclidean(pair.early, pair.late)
+        assert warped < lockstep / 10
+
+    def test_alignment_deviates_near_full_length(self):
+        pair = fall_pair(2.0, seed=4)
+        path = dtw(pair.early, pair.late, return_path=True).path
+        assert path.warp_fraction() > 0.5
+
+    def test_deterministic(self):
+        assert fall_pair(1.0, seed=5).early == fall_pair(1.0, seed=5).early
+
+    def test_window_shorter_than_fall_rejected(self):
+        with pytest.raises(ValueError):
+            fall_pair(0.4, fall_seconds=0.5)

@@ -1,0 +1,70 @@
+"""Property tests over the workload generators (Hypothesis).
+
+Determinism and the generators' declared contracts (normalisation,
+bounded warping, dimension consistency) across arbitrary seeds --
+these are what make the benchmark artefacts reproducible run to run.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dtw import dtw
+from repro.datasets.falls import fall_pair
+from repro.datasets.gestures import gesture_dataset
+from repro.datasets.music import studio_and_live
+from repro.datasets.power import midnight_hour_pair
+from repro.datasets.random_walk import random_walk
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@settings(deadline=None, max_examples=25)
+@given(seeds, st.integers(min_value=2, max_value=200))
+def test_random_walk_deterministic_and_normalised(seed, n):
+    a = random_walk(n, seed=seed)
+    b = random_walk(n, seed=seed)
+    assert a == b
+    assert abs(sum(a) / n) < 1e-9
+    var = sum(v * v for v in a) / n
+    assert math.isclose(math.sqrt(var), 1.0, rel_tol=1e-6) or var == 0.0
+
+
+@settings(deadline=None, max_examples=10)
+@given(seeds)
+def test_gesture_dataset_deterministic(seed):
+    kwargs = dict(n_classes=2, per_class=2, length=32, seed=seed)
+    assert gesture_dataset(**kwargs).series == (
+        gesture_dataset(**kwargs).series
+    )
+
+
+@settings(deadline=None, max_examples=10)
+@given(seeds)
+def test_power_pair_peak_offset_is_parameter_driven(seed):
+    pair = midnight_hour_pair(seed=seed)
+    # the offset comes from the peak positions, not the noise seed
+    assert pair.max_peak_offset() == 153
+
+
+@settings(deadline=None, max_examples=8)
+@given(seeds, st.floats(min_value=0.8, max_value=2.0))
+def test_fall_pair_needs_wide_warping(seed, seconds):
+    pair = fall_pair(seconds, seed=seed)
+    path = dtw(pair.early, pair.late, return_path=True).path
+    assert path.warp_fraction() > 0.3
+    # at L=0.8s with a 0.5s fall the stillness gap is 3/8 of the window
+    assert pair.required_window_fraction() >= 0.3
+
+
+@settings(deadline=None, max_examples=6)
+@given(seeds)
+def test_music_pair_alignable_within_declared_window(seed):
+    pair = studio_and_live(seconds=5.0, max_drift_seconds=0.25,
+                           seed=seed)
+    from repro.core.cdtw import cdtw
+
+    within = cdtw(pair.studio, pair.live,
+                  window=pair.window_fraction).distance
+    lockstep = cdtw(pair.studio, pair.live, window=0.0).distance
+    assert within <= lockstep + 1e-9

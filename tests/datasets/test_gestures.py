@@ -1,0 +1,57 @@
+"""Unit tests for the gesture generator."""
+
+import pytest
+
+from repro.classify.knn import DistanceSpec
+from repro.classify.loocv import loocv_error
+from repro.datasets.gestures import gesture_dataset, uwave_like
+
+
+class TestGestureDataset:
+    def test_shape(self):
+        d = gesture_dataset(n_classes=3, per_class=4, length=64, seed=1)
+        assert len(d) == 12
+        assert d.length == 64
+        assert len(d.classes) == 3
+
+    def test_deterministic(self):
+        a = gesture_dataset(n_classes=2, per_class=2, length=32, seed=5)
+        b = gesture_dataset(n_classes=2, per_class=2, length=32, seed=5)
+        assert a.series == b.series
+
+    def test_series_are_znormed(self):
+        d = gesture_dataset(n_classes=2, per_class=2, length=100, seed=2)
+        for s in d.series:
+            assert sum(s) / len(s) == pytest.approx(0.0, abs=1e-9)
+
+    def test_classes_are_learnable_with_warping(self):
+        # the generator's purpose: classes separable by cDTW
+        d = gesture_dataset(
+            n_classes=3, per_class=5, length=48,
+            warp_fraction=0.05, noise_sigma=0.1, seed=3,
+        )
+        err = loocv_error(
+            [list(s) for s in d.series], list(d.labels),
+            DistanceSpec("cdtw", window=0.08, use_lower_bounds=True),
+        )
+        assert err < 0.2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            gesture_dataset(n_classes=1)
+        with pytest.raises(ValueError):
+            gesture_dataset(per_class=0)
+        with pytest.raises(ValueError):
+            gesture_dataset(warp_fraction=0.9)
+        with pytest.raises(ValueError):
+            gesture_dataset(length=4)
+
+
+class TestUwaveLike:
+    def test_matches_paper_shape(self):
+        d = uwave_like(per_class=1)
+        assert d.length == 945          # the paper's N
+        assert len(d.classes) == 8      # UWave's 8 gestures
+
+    def test_per_class_scales(self):
+        assert len(uwave_like(per_class=2)) == 16

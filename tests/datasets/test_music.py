@@ -1,0 +1,64 @@
+"""Unit tests for the Case B music generator."""
+
+import pytest
+
+from repro.core.cdtw import cdtw
+from repro.datasets.music import chroma_profile, studio_and_live
+import random
+
+
+class TestChromaProfile:
+    def test_length(self):
+        p = chroma_profile(500, random.Random(1))
+        assert len(p) == 500
+
+    def test_has_structure(self):
+        # a note profile is not constant
+        p = chroma_profile(400, random.Random(2))
+        assert max(p) - min(p) > 0.1
+
+    def test_bounded_levels(self):
+        p = chroma_profile(400, random.Random(3))
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in p)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            chroma_profile(1, random.Random(0))
+
+
+class TestStudioAndLive:
+    def test_paper_scale_dimensions(self):
+        pair = studio_and_live(seconds=240.0, max_drift_seconds=2.0)
+        assert pair.length == 24_000                     # the paper's N
+        assert pair.window_fraction == pytest.approx(1 / 120)  # 0.83%
+
+    def test_default_window_fraction_preserved(self):
+        pair = studio_and_live(seconds=60.0, max_drift_seconds=0.5)
+        assert pair.window_fraction == pytest.approx(1 / 120)
+
+    def test_deterministic(self):
+        a = studio_and_live(seconds=5.0, seed=1)
+        b = studio_and_live(seconds=5.0, seed=1)
+        assert a.studio == b.studio and a.live == b.live
+
+    def test_alignable_within_declared_window(self):
+        # the generator's contract: the declared window suffices
+        pair = studio_and_live(seconds=8.0, max_drift_seconds=0.3, seed=2)
+        w = pair.window_fraction
+        within = cdtw(pair.studio, pair.live, window=w).distance
+        lockstep = cdtw(pair.studio, pair.live, window=0.0).distance
+        assert within < lockstep
+
+    def test_alignment_uses_real_warping(self):
+        pair = studio_and_live(seconds=8.0, max_drift_seconds=0.3, seed=3)
+        path = cdtw(
+            pair.studio, pair.live,
+            window=pair.window_fraction, return_path=True,
+        ).path
+        assert path.max_band_deviation() > 0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            studio_and_live(seconds=0.0)
+        with pytest.raises(ValueError):
+            studio_and_live(seconds=10.0, max_drift_seconds=-1.0)

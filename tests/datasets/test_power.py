@@ -1,0 +1,87 @@
+"""Unit tests for the power-demand generator (Fig. 3)."""
+
+import pytest
+
+from repro.datasets.power import (
+    estimate_warping,
+    find_peaks,
+    midnight_hour_pair,
+)
+
+
+class TestMidnightHourPair:
+    def test_paper_dimensions(self):
+        pair = midnight_hour_pair()
+        assert pair.length == 450
+
+    def test_paper_peak_offset(self):
+        # the paper: third pair of peaks differs by 153 samples
+        pair = midnight_hour_pair()
+        assert pair.max_peak_offset() == 153
+
+    def test_paper_warping_estimate(self):
+        pair = midnight_hour_pair()
+        assert pair.warping_estimate() == pytest.approx(0.34, abs=0.01)
+
+    def test_deterministic(self):
+        assert midnight_hour_pair(seed=3).night_a == \
+            midnight_hour_pair(seed=3).night_a
+
+    def test_peaks_actually_present(self):
+        pair = midnight_hour_pair()
+        for peaks, trace in (
+            (pair.peaks_a, pair.night_a), (pair.peaks_b, pair.night_b),
+        ):
+            for p in peaks:
+                # the trace near a peak rises well above base load
+                assert trace[p] > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="same number"):
+            midnight_hour_pair(peaks_a=(10, 20), peaks_b=(10,))
+        with pytest.raises(ValueError, match="inside"):
+            midnight_hour_pair(peaks_a=(10, 20, 500))
+        with pytest.raises(ValueError, match="increasing"):
+            midnight_hour_pair(peaks_a=(20, 10, 30))
+
+
+class TestFindPeaks:
+    def test_recovers_planted_peaks(self):
+        pair = midnight_hour_pair()
+        found = find_peaks(pair.night_a, threshold=0.6)
+        assert len(found) == 3
+        for got, truth in zip(found, pair.peaks_a):
+            assert abs(got - truth) <= 3
+
+    def test_no_peaks_in_flat_series(self):
+        assert find_peaks([0.1] * 100, threshold=0.5) == []
+
+    def test_min_separation_suppresses_ripples(self):
+        x = [0.0] * 50
+        x[20] = 1.0
+        x[22] = 0.9  # ripple next to the real peak
+        found = find_peaks(x, threshold=0.5, min_separation=5)
+        assert found == [20]
+
+    def test_invalid_separation(self):
+        with pytest.raises(ValueError):
+            find_peaks([1.0], 0.5, min_separation=0)
+
+
+class TestEstimateWarping:
+    def test_reproduces_paper_number(self):
+        # the Fig. 3 procedure end to end: peaks -> offsets -> W = 34%
+        assert estimate_warping(midnight_hour_pair()) == pytest.approx(
+            0.34, abs=0.01
+        )
+
+    def test_zero_for_identical_nights(self):
+        pair = midnight_hour_pair(
+            peaks_a=(60, 170, 260), peaks_b=(60, 170, 260)
+        )
+        assert estimate_warping(pair) == pytest.approx(0.0, abs=0.01)
+
+    def test_raises_on_unmatched_peak_counts(self):
+        pair = midnight_hour_pair()
+        with pytest.raises(ValueError, match="peaks"):
+            estimate_warping(pair, threshold=1.5)  # nothing detected

@@ -1,0 +1,56 @@
+"""Unit tests for random walks."""
+
+import math
+
+import pytest
+
+from repro.datasets.random_walk import random_walk, random_walks
+
+
+class TestRandomWalk:
+    def test_length(self):
+        assert len(random_walk(123)) == 123
+
+    def test_deterministic(self):
+        assert random_walk(50, seed=9) == random_walk(50, seed=9)
+
+    def test_seeds_differ(self):
+        assert random_walk(50, seed=1) != random_walk(50, seed=2)
+
+    def test_normalized_by_default(self):
+        x = random_walk(500, seed=3)
+        assert sum(x) / len(x) == pytest.approx(0.0, abs=1e-9)
+        assert math.sqrt(sum(v * v for v in x) / len(x)) == pytest.approx(1.0)
+
+    def test_unnormalized_is_cumulative(self):
+        x = random_walk(100, seed=4, normalize=False)
+        # a random walk wanders: adjacent steps are ~N(0,1)
+        steps = [b - a for a, b in zip(x, x[1:])]
+        assert max(abs(s) for s in steps) < 6.0
+
+    def test_length_one(self):
+        assert len(random_walk(1, normalize=False)) == 1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            random_walk(0)
+        with pytest.raises(ValueError):
+            random_walk(10, step_sigma=0.0)
+
+
+class TestRandomWalks:
+    def test_count_and_lengths(self):
+        walks = random_walks(5, 40, seed=1)
+        assert len(walks) == 5
+        assert all(len(w) == 40 for w in walks)
+
+    def test_walks_are_distinct(self):
+        walks = random_walks(4, 30, seed=2)
+        assert len({tuple(w) for w in walks}) == 4
+
+    def test_deterministic(self):
+        assert random_walks(3, 20, seed=5) == random_walks(3, 20, seed=5)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            random_walks(0, 10)

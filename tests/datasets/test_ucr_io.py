@@ -1,0 +1,134 @@
+"""Unit tests for UCR TSV reading/writing."""
+
+import math
+
+import pytest
+
+from repro.datasets.gestures import gesture_dataset
+from repro.datasets.ucr_io import (
+    load_ucr_dataset,
+    load_ucr_tsv,
+    parse_ucr_line,
+    save_ucr_tsv,
+)
+
+
+class TestParseLine:
+    def test_basic(self):
+        assert parse_ucr_line("2\t0.5\t1.5") == ("2", [0.5, 1.5])
+
+    def test_float_labels_kept_as_strings(self):
+        label, _ = parse_ucr_line("1.0\t3.0")
+        assert label == "1.0"
+
+    def test_nan_tail_trimmed(self):
+        _, samples = parse_ucr_line("1\t1.0\t2.0\tnan\tnan")
+        assert samples == [1.0, 2.0]
+
+    def test_nan_tail_kept_when_disabled(self):
+        with pytest.raises(ValueError, match="NaN inside"):
+            parse_ucr_line("1\t1.0\tnan", trim_nan_tail=False)
+
+    def test_interior_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN inside"):
+            parse_ucr_line("1\t1.0\tnan\t2.0")
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="all-NaN"):
+            parse_ucr_line("1\tnan\tnan")
+
+    def test_missing_samples_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            parse_ucr_line("1")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_ucr_line("1\tabc")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError, match="empty class label"):
+            parse_ucr_line(" \t1.0")
+
+
+class TestLoadSave:
+    def test_round_trip(self, tmp_path):
+        data = gesture_dataset(
+            n_classes=2, per_class=3, length=16, seed=5, name="rt"
+        )
+        path = tmp_path / "rt_TRAIN.tsv"
+        save_ucr_tsv(data, path)
+        loaded = load_ucr_tsv(path, name="rt")
+        assert len(loaded) == len(data)
+        assert loaded.labels == tuple(str(l) for l in data.labels)
+        for a, b in zip(loaded.series, data.series):
+            assert a == pytest.approx(b)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "x.tsv"
+        path.write_text("1\t1.0\t2.0\n\n2\t3.0\t4.0\n")
+        data = load_ucr_tsv(path)
+        assert len(data) == 2
+
+    def test_line_number_in_errors(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\t1.0\t2.0\n1\toops\t2.0\n")
+        with pytest.raises(ValueError, match="bad.tsv:2"):
+            load_ucr_tsv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("\n")
+        with pytest.raises(ValueError, match="no series"):
+            load_ucr_tsv(path)
+
+    def test_ragged_rejected_by_default(self, tmp_path):
+        path = tmp_path / "ragged.tsv"
+        path.write_text("1\t1.0\t2.0\t3.0\n2\t1.0\t2.0\n")
+        with pytest.raises(ValueError, match="variable lengths"):
+            load_ucr_tsv(path)
+
+    def test_ragged_padded_on_request(self, tmp_path):
+        path = tmp_path / "ragged.tsv"
+        path.write_text("1\t1.0\t2.0\t3.0\n2\t1.0\t2.0\n")
+        data = load_ucr_tsv(path, pad_to_longest=True)
+        assert data.length == 3
+        assert data.series[1] == (1.0, 2.0, 2.0)  # last-value padding
+
+    def test_variable_length_via_nan_padding(self, tmp_path):
+        # the archive's actual representation of ragged datasets
+        path = tmp_path / "var.tsv"
+        path.write_text("1\t1.0\t2.0\t3.0\n2\t5.0\t6.0\tnan\n")
+        data = load_ucr_tsv(path, pad_to_longest=True)
+        assert data.length == 3
+        assert data.series[1][:2] == (5.0, 6.0)
+
+    def test_archive_directory_layout(self, tmp_path):
+        data = gesture_dataset(
+            n_classes=2, per_class=2, length=8, seed=6, name="Toy"
+        )
+        root = tmp_path / "Toy"
+        root.mkdir()
+        save_ucr_tsv(data, root / "Toy_TRAIN.tsv")
+        save_ucr_tsv(data, root / "Toy_TEST.tsv")
+        train, test = load_ucr_dataset(tmp_path, "Toy")
+        assert train.name == "Toy[train]"
+        assert len(test) == len(data)
+
+    def test_loaded_data_classifies(self, tmp_path):
+        # end-to-end: export synthetic data, reload, classify
+        from repro.classify.knn import DistanceSpec, OneNearestNeighbor
+
+        data = gesture_dataset(
+            n_classes=2, per_class=4, length=24, noise_sigma=0.05,
+            seed=7, name="clf",
+        )
+        path = tmp_path / "clf.tsv"
+        save_ucr_tsv(data, path)
+        loaded = load_ucr_tsv(path)
+        clf = OneNearestNeighbor(
+            DistanceSpec("cdtw", window=0.1)
+        ).fit([list(s) for s in loaded.series], list(loaded.labels))
+        err = clf.error_rate(
+            [list(s) for s in loaded.series], list(loaded.labels)
+        )
+        assert err == 0.0

@@ -1,0 +1,37 @@
+"""Property tests: UCR TSV serialisation round-trips exactly."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.base import as_dataset
+from repro.datasets.ucr_io import load_ucr_tsv, save_ucr_tsv
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def datasets(draw):
+    n_series = draw(st.integers(min_value=1, max_value=8))
+    length = draw(st.integers(min_value=1, max_value=20))
+    series = [
+        draw(st.lists(finite, min_size=length, max_size=length))
+        for _ in range(n_series)
+    ]
+    labels = [
+        draw(st.sampled_from(["0", "1", "2", "-1", "7.5"]))
+        for _ in range(n_series)
+    ]
+    return as_dataset("prop", series, labels)
+
+
+@settings(deadline=None, max_examples=50)
+@given(datasets())
+def test_round_trip_exact(tmp_path_factory, data):
+    path = tmp_path_factory.mktemp("ucr") / "d.tsv"
+    save_ucr_tsv(data, path)
+    loaded = load_ucr_tsv(path, name="prop")
+    assert loaded.labels == data.labels
+    assert len(loaded) == len(data)
+    for a, b in zip(loaded.series, data.series):
+        assert a == b  # repr round-trip is exact for finite floats

@@ -1,0 +1,104 @@
+"""Unit tests for the UCR archive metadata table."""
+
+import pytest
+
+from repro.datasets.ucr_meta import (
+    UCR_2018,
+    UWAVE_ERROR_BEST_W,
+    UWAVE_ERROR_EUCLIDEAN,
+    UWAVE_ERROR_FULL_DTW,
+    best_w_histogram,
+    by_name,
+    case_census,
+    fraction_best_w_at_most,
+    fraction_shorter_than,
+    histogram,
+    length_histogram,
+)
+
+
+class TestTable:
+    def test_exactly_128_datasets(self):
+        assert len(UCR_2018) == 128
+
+    def test_names_unique(self):
+        assert len({d.name for d in UCR_2018}) == 128
+
+    def test_all_fields_sane(self):
+        for d in UCR_2018:
+            assert d.length > 0
+            assert d.train_size > 0 and d.test_size > 0
+            assert d.classes >= 2
+            assert 0 <= d.best_w <= 100
+
+    def test_uwave_matches_paper_text(self):
+        # the paper: 896 train exemplars of length 945, best w = 4
+        d = by_name("UWaveGestureLibraryAll")
+        assert d.length == 945
+        assert d.train_size == 896
+        assert d.best_w == 4
+        assert d.train_size * (d.train_size - 1) // 2 == 400_960
+
+    def test_longest_dataset_is_2844(self):
+        # the paper: "The longest of these is 2,844" (Rock)
+        assert max(d.length for d in UCR_2018) == 2844
+        assert by_name("Rock").length == 2844
+
+    def test_quoted_error_rates(self):
+        assert UWAVE_ERROR_EUCLIDEAN == 0.052
+        assert UWAVE_ERROR_BEST_W == 0.034
+        assert UWAVE_ERROR_FULL_DTW == 0.108
+
+    def test_by_name_missing(self):
+        with pytest.raises(KeyError):
+            by_name("NotADataset")
+
+
+class TestAggregates:
+    def test_majority_shorter_than_1000(self):
+        # the paper's Fig. 2b claim
+        assert fraction_shorter_than(1000) > 0.75
+
+    def test_best_w_rarely_above_10(self):
+        # the paper's Fig. 2a claim
+        assert fraction_best_w_at_most(10) > 0.80
+
+    def test_census_sums_to_total(self):
+        census = case_census()
+        assert sum(census.values()) == 128
+
+    def test_case_a_dominates(self):
+        census = case_census()
+        assert census["A"] > 100
+        assert census["D"] <= 2
+
+    def test_dataset_case_method(self):
+        assert by_name("UWaveGestureLibraryAll").case() == "A"
+        assert by_name("Chinatown").case() == "A"
+
+
+class TestHistogram:
+    def test_basic_binning(self):
+        assert histogram([1, 2, 5, 9], [0, 5, 10]) == [2, 2]
+
+    def test_max_value_counted_in_last_bin(self):
+        assert histogram([10], [0, 5, 10]) == [0, 1]
+
+    def test_out_of_range_ignored(self):
+        assert histogram([-1, 99], [0, 5, 10]) == [0, 0]
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([1], [5])
+        with pytest.raises(ValueError):
+            histogram([1], [5, 5])
+
+    def test_w_histogram_totals(self):
+        assert sum(best_w_histogram()) == 128
+
+    def test_length_histogram_totals(self):
+        assert sum(length_histogram()) == 128
+
+    def test_w_histogram_first_bin_biggest(self):
+        counts = best_w_histogram()
+        assert counts[0] == max(counts)

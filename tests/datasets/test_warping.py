@@ -1,0 +1,119 @@
+"""Unit tests for the controlled-warp substrate."""
+
+import random
+
+import pytest
+
+from repro.core.cdtw import cdtw
+from repro.datasets.warping import (
+    add_noise,
+    gaussian_bump,
+    resample,
+    smooth_monotone_map,
+    warp_series,
+)
+from tests.conftest import make_series
+
+
+class TestSmoothMonotoneMap:
+    def test_endpoints_fixed(self):
+        t = smooth_monotone_map(50, 5.0, random.Random(1))
+        assert t[0] == 0.0
+        assert t[-1] == 49.0
+
+    def test_monotone(self):
+        for seed in range(5):
+            t = smooth_monotone_map(80, 10.0, random.Random(seed))
+            assert all(a < b for a, b in zip(t, t[1:]))
+
+    def test_bounded_deviation(self):
+        max_shift = 7.0
+        for seed in range(5):
+            t = smooth_monotone_map(100, max_shift, random.Random(seed))
+            assert all(
+                abs(v - i) <= max_shift + 1e-6 for i, v in enumerate(t)
+            )
+
+    def test_zero_shift_is_identity(self):
+        t = smooth_monotone_map(20, 0.0, random.Random(2))
+        assert t == pytest.approx(list(range(20)))
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            smooth_monotone_map(1, 1.0, random.Random(0))
+        with pytest.raises(ValueError):
+            smooth_monotone_map(10, -1.0, random.Random(0))
+        with pytest.raises(ValueError):
+            smooth_monotone_map(10, 1.0, random.Random(0), knots=1)
+
+
+class TestResample:
+    def test_integer_positions_identity(self):
+        x = make_series(10, 1)
+        assert resample(x, list(range(10))) == pytest.approx(x)
+
+    def test_midpoint_interpolates(self):
+        assert resample([0.0, 2.0], [0.5]) == [1.0]
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            resample([1.0, 2.0], [1.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            resample([], [0.0])
+
+
+class TestWarpSeries:
+    def test_alignable_within_budget(self):
+        # the substrate's contract: a warped copy is alignable by cDTW
+        # with band >= max_shift at near-zero cost
+        x = [float(i % 7) for i in range(60)]
+        max_shift = 4.0
+        for seed in range(3):
+            y = warp_series(x, max_shift, random.Random(seed))
+            close = cdtw(x, y, band=8).distance
+            assert close < cdtw(x, y, band=0).distance + 1e-9
+
+    def test_zero_shift_identity(self):
+        x = make_series(30, 2)
+        assert warp_series(x, 0.0, random.Random(0)) == pytest.approx(x)
+
+    def test_length_preserved(self):
+        x = make_series(25, 3)
+        assert len(warp_series(x, 3.0, random.Random(1))) == 25
+
+
+class TestAddNoise:
+    def test_zero_sigma_identity(self):
+        x = make_series(10, 4)
+        assert add_noise(x, 0.0, random.Random(0)) == pytest.approx(x)
+
+    def test_noise_has_roughly_right_scale(self):
+        x = [0.0] * 10_000
+        noisy = add_noise(x, 0.5, random.Random(5))
+        var = sum(v * v for v in noisy) / len(noisy)
+        assert var == pytest.approx(0.25, rel=0.1)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            add_noise([1.0], -0.1, random.Random(0))
+
+
+class TestGaussianBump:
+    def test_peak_at_centre(self):
+        bump = gaussian_bump(21, 10.0, 2.0, height=3.0)
+        assert bump[10] == pytest.approx(3.0)
+        assert max(bump) == bump[10]
+
+    def test_symmetric(self):
+        bump = gaussian_bump(21, 10.0, 2.0)
+        assert bump[7] == pytest.approx(bump[13])
+
+    def test_far_tail_underflows_to_zero(self):
+        bump = gaussian_bump(1000, 0.0, 0.5)
+        assert bump[-1] == 0.0
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_bump(10, 5.0, 0.0)

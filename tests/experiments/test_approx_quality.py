@@ -1,0 +1,69 @@
+"""Tests for the Section 4 extension experiment."""
+
+import pytest
+
+from repro.experiments import approx_quality
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = approx_quality.ApproxQualityConfig(
+        radii=(0, 2, 10, 20, 32), pairs_per_family=2, length=256,
+    )
+    return approx_quality.run(cfg)
+
+
+class TestGrid:
+    def test_one_row_per_family_radius(self, result):
+        assert len(result.errors) == 4 * 5
+
+    def test_families_present(self, result):
+        assert set(result.families()) == {
+            "random_walk", "gesture", "fall", "adversarial"
+        }
+
+    def test_errors_nonnegative(self, result):
+        # FastDTW upper-bounds the exact distance, so errors are >= 0
+        assert all(e.mean >= -1e-9 for e in result.errors)
+
+    def test_worst_at_least_mean(self, result):
+        assert all(e.worst >= e.mean - 1e-9 for e in result.errors)
+
+    def test_lookup_missing_raises(self, result):
+        with pytest.raises(KeyError):
+            result.at("gesture", 99)
+
+
+class TestShapes:
+    def test_benign_families_converge(self, result):
+        assert result.benign_families_converge(radius=10, tolerance=15.0)
+
+    def test_long_range_families_stay_broken(self, result):
+        assert result.long_range_families_stay_broken(radius=10)
+
+    def test_adversarial_error_dwarfs_benign(self, result):
+        adv = result.at("adversarial", 10).mean
+        benign = result.at("gesture", 10).mean
+        assert adv > 1000 * max(benign, 0.001)
+
+    def test_full_radius_fixes_everything(self, result):
+        for family in result.families():
+            assert result.at(family, 32).worst < 50.0
+
+    def test_fall_family_broken_below_offset(self, result):
+        # the paper's own Fig. 6 workload: FastDTW_10 has not actually
+        # aligned the falls
+        assert result.at("fall", 10).worst > 1000.0
+
+
+class TestReport:
+    def test_renders(self, result):
+        out = approx_quality.format_report(result)
+        assert "adversarial" in out
+        assert "YES" in out
+
+    def test_registered_as_extension(self):
+        from repro.experiments import EXPERIMENTS
+
+        assert EXPERIMENTS["approx_quality"] is approx_quality
+        assert hasattr(approx_quality, "PAPER_SCALE")

@@ -1,0 +1,86 @@
+"""Every experiment's PAPER_SCALE config matches the paper's numbers.
+
+These do not *run* the full-scale experiments (hours); they pin the
+recorded parameters so the laptop-scale defaults cannot silently drift
+away from what the paper actually did.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    appendix_b,
+    case_b_music,
+    fig1_uwave,
+    fig4_case_c,
+    fig6_fall_crossover,
+    footnote2_trillion,
+)
+
+
+class TestConfigsWellFormed:
+    @pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+    def test_both_configs_are_frozen_dataclasses(self, name):
+        module = EXPERIMENTS[name]
+        for config in (module.DEFAULT, module.PAPER_SCALE):
+            assert dataclasses.is_dataclass(config)
+            with pytest.raises(dataclasses.FrozenInstanceError):
+                object.__setattr__  # appease linters
+                config.__class__.__dataclass_fields__  # exists
+                setattr(config, list(
+                    config.__class__.__dataclass_fields__
+                )[0], None)
+
+    @pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+    def test_default_no_heavier_than_paper_scale(self, name):
+        module = EXPERIMENTS[name]
+        d, p = module.DEFAULT, module.PAPER_SCALE
+        # same config type
+        assert type(d) is type(p)
+
+
+class TestPaperNumbersPinned:
+    def test_fig1_full_scale(self):
+        cfg = fig1_uwave.PAPER_SCALE
+        assert cfg.per_class * 8 == 896          # train exemplars
+        assert cfg.full_scale_pairs == 400_960   # (896*895)/2
+        assert max(cfg.radii) == 20
+        assert max(cfg.windows) == pytest.approx(0.20)
+        assert cfg.max_pairs == 0                # every pair
+
+    def test_case_b_full_scale(self):
+        cfg = case_b_music.PAPER_SCALE
+        assert cfg.seconds == 240.0              # "Let It Be"
+        assert cfg.rate_hz == 100                # chroma rate
+        assert cfg.seconds * cfg.rate_hz == 24_000
+        assert cfg.max_drift_seconds == 2.0
+        assert cfg.window_fraction == pytest.approx(1 / 120)  # 0.83%
+        assert cfg.repeats == 1000
+        assert set(cfg.radii) == {10, 40}
+
+    def test_fig4_full_scale(self):
+        cfg = fig4_case_c.PAPER_SCALE
+        assert cfg.length == 450
+        assert cfg.examples == 1000
+        assert cfg.full_scale_pairs == 499_500   # (1000*999)/2
+        assert max(cfg.windows) == pytest.approx(0.40)
+        assert max(cfg.radii) == 40
+
+    def test_fig6_full_scale(self):
+        cfg = fig6_fall_crossover.PAPER_SCALE
+        assert cfg.rate_hz == 100
+        assert cfg.radius == 40
+        assert cfg.repeats == 1000
+        assert 4.0 in cfg.lengths_seconds        # the paper's break-even
+
+    def test_footnote2_full_scale(self):
+        cfg = footnote2_trillion.PAPER_SCALE
+        assert cfg.length == 128
+        assert cfg.radius == 10
+        assert cfg.comparisons == 10**12
+        assert cfg.repeats == 1_000_000
+
+    def test_appendix_b_radius(self):
+        assert appendix_b.PAPER_SCALE.radius == 30  # the third party's

@@ -1,0 +1,67 @@
+"""Unit tests for report formatting helpers."""
+
+import pytest
+
+from repro.experiments.report import format_bar_chart, format_table, ms, ratio
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        out = format_table(("a", "b"), [(1, 2), (3, 4)])
+        for token in ("a", "b", "1", "4"):
+            assert token in out
+
+    def test_floats_rendered_compactly(self):
+        out = format_table(("x",), [(0.123456789,)])
+        assert "0.1235" in out
+
+    def test_rule_line_present(self):
+        out = format_table(("col",), [("v",)])
+        assert "---" in out
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_rejects_no_columns(self):
+        with pytest.raises(ValueError):
+            format_table((), [])
+
+    def test_empty_rows_ok(self):
+        out = format_table(("a",), [])
+        assert "a" in out
+
+
+class TestFormatBarChart:
+    def test_bars_proportional(self):
+        out = format_bar_chart(["x", "y"], [1, 10], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 1
+
+    def test_counts_shown(self):
+        out = format_bar_chart(["a"], [7])
+        assert "7" in out
+
+    def test_zero_counts_ok(self):
+        out = format_bar_chart(["a", "b"], [0, 0])
+        assert "#" not in out
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            format_bar_chart(["a"], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_bar_chart([], [])
+
+
+class TestScalars:
+    def test_ms(self):
+        assert ms(0.0456) == "45.6 ms"
+
+    def test_ratio(self):
+        assert ratio(10.0, 2.0) == "5.0x"
+
+    def test_ratio_zero_guard(self):
+        assert ratio(1.0, 0.0) == "inf"

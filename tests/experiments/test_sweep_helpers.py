@@ -1,0 +1,114 @@
+"""Unit tests for the sweep-result helper methods (no timing involved).
+
+The experiment result classes carry decision logic (lookups, claim
+predicates, crossover selection) that deserves direct unit coverage on
+hand-built measurements, independent of wall-clock noise.
+"""
+
+import pytest
+
+from repro.experiments.fig1_uwave import Fig1Config, Fig1Result
+from repro.experiments.fig4_case_c import Fig4Config, Fig4Result
+from repro.timing.runner import SweepPoint
+
+
+def pt(algorithm, param, seconds, cells=100.0):
+    return SweepPoint(
+        algorithm=algorithm, param=param, per_pair_seconds=seconds,
+        per_pair_cells=cells, pairs_measured=3,
+    )
+
+
+def fig1_result(cdtw_times, fastdtw_times):
+    """Build a Fig1Result from {param: seconds} maps."""
+    return Fig1Result(
+        config=Fig1Config(),
+        series_length=945,
+        cdtw_points=tuple(
+            pt("cDTW", w, s) for w, s in sorted(cdtw_times.items())
+        ),
+        fastdtw_points=tuple(
+            pt("FastDTW", float(r), s)
+            for r, s in sorted(fastdtw_times.items())
+        ),
+    )
+
+
+class TestFig1Helpers:
+    def test_lookups(self):
+        r = fig1_result({0.04: 0.02, 0.20: 0.08}, {0: 0.01, 10: 0.4})
+        assert r.cdtw_at(0.04).per_pair_seconds == 0.02
+        assert r.fastdtw_at(10).per_pair_seconds == 0.4
+        with pytest.raises(KeyError):
+            r.cdtw_at(0.5)
+        with pytest.raises(KeyError):
+            r.fastdtw_at(99)
+
+    def test_headline_true_when_cdtw4_fastest(self):
+        r = fig1_result({0.04: 0.005, 0.20: 0.08}, {0: 0.01, 10: 0.4})
+        assert r.headline_holds()
+
+    def test_headline_false_when_r0_wins(self):
+        r = fig1_result({0.04: 0.02, 0.20: 0.08}, {0: 0.01, 10: 0.4})
+        assert not r.headline_holds()
+
+    def test_dominates_from_radius_skips_fast_r0(self):
+        r = fig1_result(
+            {0.04: 0.02, 0.20: 0.08},
+            {0: 0.01, 1: 0.05, 10: 0.4},
+        )
+        assert r.dominates_from_radius() == 1
+
+    def test_dominates_from_radius_zero_when_sweep_all_slower(self):
+        r = fig1_result(
+            {0.04: 0.005, 0.20: 0.08},
+            {0: 0.01, 1: 0.05, 10: 0.4},
+        )
+        assert r.dominates_from_radius() == 0
+
+    def test_dominates_requires_suffix_not_point(self):
+        # r=1 slower but r=10 faster: no suffix from 1 works; from 10
+        # neither; must raise
+        r = fig1_result(
+            {0.04: 0.02, 0.20: 0.08},
+            {0: 0.01, 1: 0.05, 10: 0.001},
+        )
+        with pytest.raises(ValueError):
+            r.dominates_from_radius()
+
+    def test_serviceable_claim(self):
+        r = fig1_result({0.04: 0.02, 0.20: 0.08}, {0: 0.01, 10: 0.4})
+        assert r.serviceable_claim_holds()
+        r2 = fig1_result({0.04: 0.02, 0.20: 0.5}, {0: 0.01, 10: 0.4})
+        assert not r2.serviceable_claim_holds()
+
+
+class TestFig4Helpers:
+    def make(self, cdtw_times, fastdtw_times):
+        return Fig4Result(
+            config=Fig4Config(),
+            cdtw_points=tuple(
+                pt("cDTW", w, s) for w, s in sorted(cdtw_times.items())
+            ),
+            fastdtw_points=tuple(
+                pt("FastDTW", float(p), s)
+                for p, s in sorted(fastdtw_times.items())
+            ),
+        )
+
+    def test_extrema(self):
+        r = self.make({0.0: 0.001, 0.40: 0.03},
+                      {0: 0.006, 40: 0.9})
+        assert r.max_cdtw_seconds() == 0.03
+        assert r.min_fastdtw_seconds() == 0.006
+
+    def test_matched_params(self):
+        r = self.make({0.0: 0.001, 0.40: 0.03},
+                      {0: 0.006, 40: 0.9})
+        matched = r.comparable_at_matched_params()
+        assert (0.0, 0.001, 0.006) in matched
+        assert (40.0, 0.03, 0.9) in matched
+
+    def test_total_seconds_projection(self):
+        p = pt("cDTW", 0.1, 0.002)
+        assert p.total_seconds(499_500) == pytest.approx(999.0)

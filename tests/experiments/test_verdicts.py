@@ -1,0 +1,79 @@
+"""The capstone: every paper claim holds on one small-scale sweep."""
+
+import pytest
+
+from repro.experiments import (
+    appendix_b,
+    approx_quality,
+    case_b_music,
+    fig1_uwave,
+    fig4_case_c,
+    fig6_fall_crossover,
+    repeated_use,
+)
+from repro.experiments.verdicts import (
+    Verdict,
+    collect_verdicts,
+    format_verdicts,
+)
+
+#: tiny configs for the heavy experiments; the rest use their defaults
+TEST_OVERRIDES = {
+    fig1_uwave: fig1_uwave.Fig1Config(
+        per_class=1, max_pairs=2, windows=(0.0, 0.04, 0.20),
+        radii=(0, 1, 10),
+    ),
+    case_b_music: case_b_music.CaseBConfig(
+        seconds=12.0, max_drift_seconds=0.1, radii=(10, 40),
+    ),
+    fig4_case_c: fig4_case_c.Fig4Config(
+        examples=4, max_pairs=2, windows=(0.0, 0.40), radii=(0, 40),
+    ),
+    fig6_fall_crossover: fig6_fall_crossover.Fig6Config(
+        lengths_seconds=(1.0, 3.0, 6.0),
+    ),
+    appendix_b: appendix_b.AppendixBConfig(
+        n_classes=3, per_class=6, length=64, seed=7,
+    ),
+    repeated_use: repeated_use.RepeatedUseConfig(
+        n_classes=3, per_class=6, length=64, queries=4,
+    ),
+    approx_quality: approx_quality.ApproxQualityConfig(
+        radii=(0, 10, 20, 32), pairs_per_family=2, length=256,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def verdicts():
+    return collect_verdicts(overrides=TEST_OVERRIDES)
+
+
+class TestVerdicts:
+    def test_all_claims_covered(self, verdicts):
+        experiments = {v.experiment for v in verdicts}
+        assert {
+            "table1", "fig1", "fig2", "case_b", "fig3", "fig4",
+            "fig5_fig6", "table2_fig7", "fig8", "appendix_b",
+            "footnote2", "repeated_use", "approx_quality",
+        } <= experiments
+
+    def test_all_robust_claims_hold(self, verdicts):
+        # the single known-borderline point (Fig. 1's literal r=0
+        # comparison) is excluded; everything else must reproduce
+        failures = [
+            v for v in verdicts
+            if not v.holds and "borderline" not in v.claim
+        ]
+        assert not failures, format_verdicts(failures)
+
+    def test_at_least_twenty_claims(self, verdicts):
+        assert len(verdicts) >= 20
+
+    def test_format_renders_every_claim(self, verdicts):
+        out = format_verdicts(verdicts)
+        assert "claims reproduced" in out
+        assert out.count("[") == len(verdicts)
+
+    def test_verdict_type(self, verdicts):
+        assert all(isinstance(v, Verdict) for v in verdicts)

@@ -1,0 +1,78 @@
+"""Integration: the Fig. 2 pipeline end-to-end on a synthetic archive.
+
+The real archive's "optimal w" values (Fig. 2a) were produced by
+brute-force LOOCV window search per dataset.  Here the same pipeline
+runs over a generated mini-archive with *known* warping amounts,
+closing the loop the metadata table can only transcribe.
+"""
+
+import pytest
+
+from repro.classify.loocv import best_window_search
+from repro.datasets.synthetic_archive import synthetic_archive
+
+
+@pytest.fixture(scope="module")
+def searched_archive():
+    entries = synthetic_archive(
+        n_datasets=4,
+        length_range=(32, 64),
+        warp_range=(0.0, 0.12),
+        classes=3,
+        per_class=4,
+        seed=1,
+    )
+    results = []
+    for entry in entries:
+        search = best_window_search(
+            [list(s) for s in entry.dataset.series],
+            list(entry.dataset.labels),
+            windows=tuple(w / 100 for w in range(0, 21, 4)),
+        )
+        results.append((entry, search))
+    return results
+
+
+class TestArchivePipeline:
+    def test_archive_shape(self):
+        entries = synthetic_archive(n_datasets=3, seed=2)
+        assert len(entries) == 3
+        assert len({e.name for e in entries}) == 3
+        lengths = [e.dataset.length for e in entries]
+        assert lengths == sorted(lengths)
+
+    def test_warp_amounts_span_range(self):
+        entries = synthetic_archive(
+            n_datasets=5, warp_range=(0.0, 0.2), seed=3
+        )
+        warps = [e.true_warp_fraction for e in entries]
+        assert warps[0] == 0.0
+        assert warps[-1] == pytest.approx(0.2)
+
+    def test_searched_windows_are_small(self, searched_archive):
+        # the Fig. 2a shape: realistic warping leads to small optimal
+        # windows (all generated warps are <= 12%, so the search
+        # should never need more than ~20%)
+        for _entry, search in searched_archive:
+            assert search.best_window <= 0.20
+
+    def test_unwarped_dataset_needs_no_window(self, searched_archive):
+        entry, search = searched_archive[0]
+        assert entry.true_warp_fraction == 0.0
+        # zero window must be among the best (no warping to exploit)
+        errors = dict(search.errors)
+        assert errors[0.0] <= search.best_error + 1e-12
+
+    def test_search_errors_reasonable(self, searched_archive):
+        # the generated tasks are learnable: the best LOOCV error
+        # should beat chance (3 classes -> 2/3 error) comfortably
+        for _entry, search in searched_archive:
+            assert search.best_error < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_archive(n_datasets=0)
+        with pytest.raises(ValueError):
+            synthetic_archive(length_range=(10, 5))
+        with pytest.raises(ValueError):
+            synthetic_archive(warp_range=(0.3, 0.1))

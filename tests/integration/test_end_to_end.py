@@ -1,0 +1,171 @@
+"""Cross-module integration tests: the library's pieces composed.
+
+Each test exercises a realistic multi-module pipeline (generator ->
+distance -> search/classify/cluster -> verdict) rather than a single
+unit, mirroring how a downstream user would wire the package together.
+"""
+
+import math
+
+import pytest
+
+from repro import cdtw, dtw, fastdtw
+from repro.advisor import analyze
+from repro.classify import DistanceSpec, OneNearestNeighbor, best_window_search
+from repro.cluster import ClusterNode, linkage
+from repro.core import approximation_error_percent
+from repro.datasets import (
+    adversarial_pair,
+    ecg_stream,
+    gesture_dataset,
+    midnight_hour_pair,
+    random_walks,
+    studio_and_live,
+)
+from repro.search import nearest_neighbor, subsequence_search
+
+
+class TestClassificationPipeline:
+    """Generate -> tune window -> classify, all measures consistent."""
+
+    @pytest.fixture(scope="class")
+    def task(self):
+        data = gesture_dataset(
+            n_classes=3, per_class=6, length=64,
+            warp_fraction=0.06, noise_sigma=0.2, seed=21,
+        )
+        train, test = data.split(0.6, seed=21)
+        return (
+            [list(s) for s in train.series], list(train.labels),
+            [list(s) for s in test.series], list(test.labels),
+        )
+
+    def test_tuned_cdtw_at_least_as_good_as_euclidean(self, task):
+        xtr, ytr, xte, yte = task
+        search = best_window_search(
+            xtr, ytr, windows=(0.0, 0.04, 0.08, 0.12)
+        )
+        cdtw_clf = OneNearestNeighbor(
+            DistanceSpec("cdtw", window=search.best_window,
+                         use_lower_bounds=True)
+        ).fit(xtr, ytr)
+        euc_clf = OneNearestNeighbor(DistanceSpec("euclidean")).fit(
+            xtr, ytr
+        )
+        assert cdtw_clf.error_rate(xte, yte) <= euc_clf.error_rate(
+            xte, yte
+        )
+
+    def test_lb_acceleration_does_not_change_predictions(self, task):
+        xtr, ytr, xte, _ = task
+        plain = OneNearestNeighbor(
+            DistanceSpec("cdtw", window=0.08)
+        ).fit(xtr, ytr)
+        accel = OneNearestNeighbor(
+            DistanceSpec("cdtw", window=0.08, use_lower_bounds=True)
+        ).fit(xtr, ytr)
+        assert plain.predict(xte) == accel.predict(xte)
+
+
+class TestSearchPipeline:
+    """ECG stream -> subsequence search -> exact result verified."""
+
+    def test_found_window_is_truly_nearest(self):
+        stream = ecg_stream(6, mean_beat_samples=40, seed=31)
+        query = stream[80:120]
+        match = subsequence_search(query, stream, band=2)
+
+        from repro.preprocess.normalize import znorm
+
+        q = znorm(query)
+        distances = [
+            cdtw(q, znorm(stream[s:s + 40]), band=2).distance
+            for s in range(len(stream) - 39)
+        ]
+        assert match.distance == pytest.approx(min(distances))
+
+    def test_nn_strategies_on_random_walks(self):
+        walks = random_walks(12, 50, seed=32)
+        query, candidates = walks[0], walks[1:]
+        exact = nearest_neighbor(query, candidates, "cdtw", band=3)
+        fast = nearest_neighbor(query, candidates, "cdtw+lb", band=3)
+        assert (exact.index, pytest.approx(exact.distance)) == (
+            fast.index, fast.distance
+        )
+
+
+class TestAdversarialPipeline:
+    """Adversarial triple -> distances -> clustering -> verdict."""
+
+    def test_full_story(self):
+        triple = adversarial_pair()
+        series = triple.series()
+
+        def matrix(fn):
+            k = len(series)
+            m = [[0.0] * k for _ in range(k)]
+            for i in range(k):
+                for j in range(i + 1, k):
+                    m[i][j] = m[j][i] = fn(series[i], series[j])
+            return m
+
+        full = matrix(lambda a, b: dtw(a, b).distance)
+        fast = matrix(
+            lambda a, b: fastdtw(a, b, radius=20).distance
+        )
+        err = approximation_error_percent(fast[0][1], full[0][1])
+        assert err > 100_000
+
+        full_tree = ClusterNode.from_merges(linkage(full))
+        fast_tree = ClusterNode.from_merges(linkage(fast))
+        # under full DTW, A-B fuse below the A-C level; under FastDTW
+        # they fuse at the top
+        assert full_tree.cophenetic(0, 1) < full_tree.cophenetic(0, 2)
+        assert fast_tree.cophenetic(0, 1) >= fast_tree.cophenetic(0, 2)
+
+
+class TestAdvisorPipeline:
+    """Generators feed the advisor the paper's quadrants."""
+
+    def test_music_lands_in_case_b(self):
+        pair = studio_and_live(seconds=15.0, max_drift_seconds=0.125,
+                               seed=41)
+        a = analyze(
+            n=24_000,
+            sample_pairs=[(pair.studio, pair.live)],
+        )
+        assert a.case.value == "B"
+
+    def test_power_measured_w_is_wide(self):
+        pair = midnight_hour_pair(seed=42)
+        a = analyze(sample_pairs=[(pair.night_a, pair.night_b)])
+        assert a.n == 450
+        assert a.warping > 0.15
+
+
+class TestCostAccountingConsistency:
+    """Cells reported by results match the analytic models' ordering."""
+
+    def test_case_a_work_ordering(self):
+        from repro.datasets.random_walk import random_walk
+
+        x = random_walk(256, seed=51)
+        y = random_walk(256, seed=52)
+        small_band = cdtw(x, y, window=0.04).cells
+        # a serviceable FastDTW (r >= 5) does more cell work than the
+        # archive-optimal band, and full DTW dominates everything
+        fast_serviceable = fastdtw(x, y, radius=5).cells
+        full = dtw(x, y).cells
+        assert small_band < fast_serviceable < full
+
+    def test_distances_consistent_across_apis(self):
+        from repro.datasets.random_walk import random_walk
+
+        x = random_walk(64, seed=53)
+        y = random_walk(64, seed=54)
+        assert cdtw(x, y, window=1.0).distance == pytest.approx(
+            dtw(x, y).distance
+        )
+        assert fastdtw(x, y, radius=64).distance == pytest.approx(
+            dtw(x, y).distance
+        )

@@ -1,0 +1,93 @@
+"""Failure injection: corrupted input is rejected loudly everywhere.
+
+A NaN that slips into a distance computation silently poisons searches
+and clusterings; these tests verify every public pipeline surfaces a
+pointed ``ValueError`` instead.
+"""
+
+import math
+
+import pytest
+
+from repro.anomaly.discord import find_discord
+from repro.classify.knn import DistanceSpec, OneNearestNeighbor
+from repro.cluster.dba import dba
+from repro.cluster.linkage import linkage
+from repro.core.matrix import distance_matrix
+from repro.search.subsequence import subsequence_search
+from tests.conftest import make_series
+
+NAN = float("nan")
+INF = float("inf")
+
+
+class TestNanRejection:
+    def test_distance_matrix_rejects_nan_series(self):
+        series = [make_series(10, 1), [1.0, NAN] + [0.0] * 8]
+        with pytest.raises(ValueError, match="not finite"):
+            distance_matrix(series, measure="dtw")
+
+    def test_subsequence_search_rejects_nan_stream(self):
+        stream = make_series(50, 2)
+        stream[20] = NAN
+        with pytest.raises(ValueError, match="not finite"):
+            subsequence_search(make_series(10, 3), stream, band=1)
+
+    def test_subsequence_search_rejects_nan_query(self):
+        with pytest.raises(ValueError, match="not finite"):
+            subsequence_search([1.0, NAN], make_series(20, 4), band=1)
+
+    def test_discord_rejects_nan_stream(self):
+        stream = make_series(60, 5)
+        stream[30] = INF
+        with pytest.raises(ValueError, match="not finite"):
+            find_discord(stream, window=10, band=1)
+
+    def test_classifier_rejects_nan_query(self):
+        clf = OneNearestNeighbor(DistanceSpec("cdtw", window=0.1))
+        clf.fit([make_series(10, 6), make_series(10, 7)], ["a", "b"])
+        with pytest.raises(ValueError, match="not finite"):
+            clf.predict_one([1.0, NAN] + [0.0] * 8)
+
+    def test_dba_rejects_nan_member(self):
+        with pytest.raises(ValueError, match="not finite"):
+            dba([make_series(10, 8), [NAN] * 10])
+
+
+class TestDegenerateInputsStillWork:
+    """Legitimate edge inputs must not crash."""
+
+    def test_constant_series_distances(self):
+        from repro.core import cdtw, dtw, fastdtw
+
+        flat = [3.0] * 20
+        assert dtw(flat, flat).distance == 0.0
+        assert cdtw(flat, [4.0] * 20, band=2).distance == pytest.approx(
+            20.0
+        )
+        assert fastdtw(flat, flat, radius=2).distance == 0.0
+
+    def test_single_sample_series(self):
+        from repro.core import dtw
+
+        assert dtw([5.0], [7.0]).distance == 4.0
+
+    def test_linkage_with_equal_distances(self):
+        m = [[0.0, 1.0, 1.0], [1.0, 0.0, 1.0], [1.0, 1.0, 0.0]]
+        merges = linkage(m)
+        assert len(merges) == 2
+
+    def test_huge_values_no_overflow(self):
+        from repro.core import cdtw
+
+        big = [1e100] * 10
+        small = [0.0] * 10
+        d = cdtw(big, small, band=1).distance
+        assert math.isfinite(d)
+
+    def test_tiny_values_no_underflow_to_wrong_zero(self):
+        from repro.core import dtw
+
+        a = [1e-200] * 5
+        b = [3e-200] * 5
+        assert dtw(a, b).distance >= 0.0

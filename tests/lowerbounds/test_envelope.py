@@ -1,0 +1,67 @@
+"""Unit tests for the O(n) streaming envelope."""
+
+import pytest
+
+from repro.lowerbounds.envelope import Envelope, envelope, envelope_naive
+from tests.conftest import make_series
+
+
+class TestEnvelope:
+    def test_band_zero_is_identity(self):
+        x = make_series(20, 1)
+        e = envelope(x, 0)
+        assert e.upper == pytest.approx(x)
+        assert e.lower == pytest.approx(x)
+
+    def test_known_small_case(self):
+        e = envelope([1.0, 3.0, 2.0], 1)
+        assert e.upper == [3.0, 3.0, 3.0]
+        assert e.lower == [1.0, 1.0, 2.0]
+
+    def test_contains_series(self):
+        x = make_series(50, 2)
+        for band in (0, 1, 5, 20):
+            e = envelope(x, band)
+            assert all(
+                l <= v <= u for l, v, u in zip(e.lower, x, e.upper)
+            )
+
+    def test_wide_band_is_global_extrema(self):
+        x = make_series(30, 3)
+        e = envelope(x, 100)
+        assert all(u == max(x) for u in e.upper)
+        assert all(l == min(x) for l in e.lower)
+
+    def test_widens_with_band(self):
+        x = make_series(40, 4)
+        narrow = envelope(x, 2)
+        wide = envelope(x, 8)
+        assert all(w >= n for w, n in zip(wide.upper, narrow.upper))
+        assert all(w <= n for w, n in zip(wide.lower, narrow.lower))
+
+    def test_length_preserved(self):
+        x = make_series(17, 5)
+        e = envelope(x, 3)
+        assert len(e) == 17
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            envelope([1.0], -1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            envelope([], 1)
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize("band", [0, 1, 2, 5, 11, 40])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_naive(self, band, seed):
+        x = make_series(37, seed)
+        fast = envelope(x, band)
+        slow = envelope_naive(x, band)
+        assert fast.upper == pytest.approx(slow.upper)
+        assert fast.lower == pytest.approx(slow.lower)
+
+    def test_single_element(self):
+        assert envelope([4.0], 3).upper == envelope_naive([4.0], 3).upper

@@ -1,0 +1,100 @@
+"""Unit tests for LB_Keogh and its reversed variant."""
+
+import math
+
+import pytest
+
+from repro.core.cdtw import cdtw
+from repro.lowerbounds.envelope import envelope
+from repro.lowerbounds.lb_keogh import lb_keogh, lb_keogh_reversed
+from tests.conftest import make_series
+
+
+class TestLbKeogh:
+    def test_zero_when_candidate_inside_envelope(self):
+        q = [0.0, 5.0, 0.0, -5.0, 0.0]
+        env = envelope(q, 2)
+        candidate = [0.0, 1.0, 0.0, -1.0, 0.0]
+        assert lb_keogh(env, candidate) == 0.0
+
+    def test_known_gap_cost(self):
+        q = [0.0, 0.0, 0.0]
+        env = envelope(q, 0)
+        assert lb_keogh(env, [2.0, 0.0, -1.0]) == 4.0 + 1.0
+
+    def test_abs_gap(self):
+        q = [0.0, 0.0, 0.0]
+        env = envelope(q, 0)
+        assert lb_keogh(env, [2.0, 0.0, -1.0], squared=False) == 3.0
+
+    @pytest.mark.parametrize("band", [0, 1, 3, 7])
+    @pytest.mark.parametrize("seed", range(10))
+    def test_lower_bounds_cdtw_same_band(self, band, seed):
+        q = make_series(20, seed)
+        c = make_series(20, seed + 1000)
+        env = envelope(q, band)
+        lb = lb_keogh(env, c)
+        assert lb <= cdtw(q, c, band=band).distance + 1e-9
+
+    def test_tightens_as_band_narrows(self):
+        q = make_series(25, 3)
+        c = make_series(25, 4)
+        lbs = [lb_keogh(envelope(q, b), c) for b in (0, 2, 5, 12)]
+        assert all(a >= b - 1e-12 for a, b in zip(lbs, lbs[1:]))
+
+    def test_band_zero_equals_euclidean(self):
+        from repro.core.euclidean import euclidean
+
+        q = make_series(15, 5)
+        c = make_series(15, 6)
+        assert lb_keogh(envelope(q, 0), c) == pytest.approx(
+            euclidean(q, c)
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            lb_keogh(envelope([1.0, 2.0], 1), [1.0])
+
+    def test_early_abandon(self):
+        q = [0.0] * 10
+        env = envelope(q, 0)
+        c = [10.0] * 10
+        assert lb_keogh(env, c, abandon_above=5.0) == math.inf
+
+    def test_no_abandon_below_threshold(self):
+        q = make_series(10, 7)
+        c = make_series(10, 8)
+        env = envelope(q, 1)
+        exact = lb_keogh(env, c)
+        assert lb_keogh(env, c, abandon_above=exact + 1) == pytest.approx(
+            exact
+        )
+
+
+class TestLbKeoghReversed:
+    @pytest.mark.parametrize("band", [0, 2, 5])
+    def test_lower_bounds_cdtw(self, band):
+        for seed in range(10):
+            q = make_series(18, seed)
+            c = make_series(18, seed + 1100)
+            lb = lb_keogh_reversed(q, c, band)
+            assert lb <= cdtw(q, c, band=band).distance + 1e-9
+
+    def test_differs_from_forward_in_general(self):
+        q = make_series(20, 9)
+        c = make_series(20, 10)
+        fwd = lb_keogh(envelope(q, 3), c)
+        rev = lb_keogh_reversed(q, c, 3)
+        # both are valid bounds; they are rarely identical
+        assert fwd >= 0 and rev >= 0
+
+    def test_max_of_both_is_still_a_bound(self):
+        for seed in range(10):
+            q = make_series(16, seed)
+            c = make_series(16, seed + 1200)
+            band = 2
+            combined = max(
+                lb_keogh(envelope(q, band), c),
+                lb_keogh_reversed(q, c, band),
+            )
+            assert combined <= cdtw(q, c, band=band).distance + 1e-9

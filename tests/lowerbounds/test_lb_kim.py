@@ -1,0 +1,59 @@
+"""Unit tests for LB_Kim."""
+
+import pytest
+
+from repro.core.cdtw import cdtw
+from repro.core.dtw import dtw
+from repro.lowerbounds.lb_kim import lb_kim
+from tests.conftest import make_series
+
+
+class TestLbKim:
+    def test_known_value_tier1(self):
+        x = [1.0, 0.0, 2.0]
+        y = [0.0, 0.0, 0.0]
+        assert lb_kim(x, y, tiers=1) == 1.0 + 4.0
+
+    def test_single_sample(self):
+        assert lb_kim([2.0], [5.0]) == 9.0
+
+    def test_identical_series_zero(self):
+        x = make_series(10, 1)
+        assert lb_kim(x, x) == 0.0
+
+    @pytest.mark.parametrize("tiers", [1, 2])
+    @pytest.mark.parametrize("seed", range(15))
+    def test_lower_bounds_full_dtw(self, tiers, seed):
+        x = make_series(12, seed)
+        y = make_series(12, seed + 700)
+        assert lb_kim(x, y, tiers=tiers) <= dtw(x, y).distance + 1e-9
+
+    @pytest.mark.parametrize("band", [0, 1, 3, 12])
+    def test_lower_bounds_banded(self, band):
+        for seed in range(10):
+            x = make_series(10, seed)
+            y = make_series(10, seed + 800)
+            assert lb_kim(x, y) <= cdtw(x, y, band=band).distance + 1e-9
+
+    def test_tier2_at_least_tier1(self):
+        for seed in range(10):
+            x = make_series(15, seed)
+            y = make_series(15, seed + 900)
+            assert lb_kim(x, y, tiers=2) >= lb_kim(x, y, tiers=1)
+
+    def test_abs_cost(self):
+        x = [1.0, 0.0, 2.0]
+        y = [0.0, 0.0, 0.0]
+        assert lb_kim(x, y, cost="abs", tiers=1) == 3.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            lb_kim([1.0], [1.0, 2.0])
+
+    def test_bad_tiers_rejected(self):
+        with pytest.raises(ValueError):
+            lb_kim([1.0, 2.0], [1.0, 2.0], tiers=3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            lb_kim([], [])

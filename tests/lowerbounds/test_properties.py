@@ -1,0 +1,99 @@
+"""Property-based tests: lower bounds never exceed the true distance.
+
+The entire correctness of lossless pruning rests on these inequalities,
+so they get adversarial (generated) coverage beyond the unit tests.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cdtw import cdtw
+from repro.core.dtw import dtw
+from repro.lowerbounds.envelope import envelope, envelope_naive
+from repro.lowerbounds.lb_keogh import lb_keogh, lb_keogh_reversed
+from repro.lowerbounds.lb_kim import lb_kim
+
+finite = st.floats(
+    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+)
+pair_and_band = st.integers(min_value=1, max_value=18).flatmap(
+    lambda n: st.tuples(
+        st.lists(finite, min_size=n, max_size=n),
+        st.lists(finite, min_size=n, max_size=n),
+        st.integers(min_value=0, max_value=n),
+    )
+)
+
+
+@settings(deadline=None, max_examples=60)
+@given(pair_and_band)
+def test_lb_kim_below_banded_dtw(args):
+    x, y, band = args
+    assert lb_kim(x, y) <= cdtw(x, y, band=band).distance + 1e-9
+
+
+@settings(deadline=None, max_examples=60)
+@given(pair_and_band)
+def test_lb_kim_below_full_dtw(args):
+    x, y, _ = args
+    assert lb_kim(x, y) <= dtw(x, y).distance + 1e-9
+
+
+@settings(deadline=None, max_examples=60)
+@given(pair_and_band)
+def test_lb_keogh_below_banded_dtw(args):
+    x, y, band = args
+    env = envelope(x, band)
+    assert lb_keogh(env, y) <= cdtw(x, y, band=band).distance + 1e-9
+
+
+@settings(deadline=None, max_examples=60)
+@given(pair_and_band)
+def test_lb_keogh_reversed_below_banded_dtw(args):
+    x, y, band = args
+    assert (
+        lb_keogh_reversed(x, y, band)
+        <= cdtw(x, y, band=band).distance + 1e-9
+    )
+
+
+@settings(deadline=None, max_examples=60)
+@given(pair_and_band)
+def test_combined_bound_still_valid(args):
+    x, y, band = args
+    combined = max(
+        lb_kim(x, y),
+        lb_keogh(envelope(x, band), y),
+        lb_keogh_reversed(x, y, band),
+    )
+    assert combined <= cdtw(x, y, band=band).distance + 1e-9
+
+
+@settings(deadline=None, max_examples=80)
+@given(
+    st.lists(finite, min_size=1, max_size=40),
+    st.integers(min_value=0, max_value=45),
+)
+def test_envelope_matches_naive(x, band):
+    fast = envelope(x, band)
+    slow = envelope_naive(x, band)
+    assert all(
+        math.isclose(a, b, rel_tol=1e-12, abs_tol=1e-12)
+        for a, b in zip(fast.upper, slow.upper)
+    )
+    assert all(
+        math.isclose(a, b, rel_tol=1e-12, abs_tol=1e-12)
+        for a, b in zip(fast.lower, slow.lower)
+    )
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    st.lists(finite, min_size=1, max_size=30),
+    st.integers(min_value=0, max_value=10),
+)
+def test_envelope_sandwich(x, band):
+    e = envelope(x, band)
+    assert all(l <= v + 1e-12 for l, v in zip(e.lower, x))
+    assert all(v <= u + 1e-12 for v, u in zip(x, e.upper))

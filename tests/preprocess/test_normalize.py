@@ -1,0 +1,86 @@
+"""Unit tests for normalisation (batch and streaming)."""
+
+import math
+
+import pytest
+
+from repro.preprocess.normalize import RunningStats, znorm, znorm_subsequence
+from tests.conftest import make_series
+
+
+class TestZnorm:
+    def test_zero_mean_unit_std(self):
+        z = znorm(make_series(50, 1))
+        assert sum(z) / len(z) == pytest.approx(0.0, abs=1e-9)
+        var = sum(v * v for v in z) / len(z)
+        assert math.sqrt(var) == pytest.approx(1.0)
+
+    def test_constant_series_all_zeros(self):
+        assert znorm([4.0] * 10) == [0.0] * 10
+
+    def test_affine_invariance(self):
+        x = make_series(30, 2)
+        shifted = [5.0 * v - 3.0 for v in x]
+        assert znorm(shifted) == pytest.approx(znorm(x))
+
+    def test_single_sample(self):
+        assert znorm([7.0]) == [0.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            znorm([])
+
+    def test_order_preserving(self):
+        x = [1.0, 5.0, 3.0]
+        z = znorm(x)
+        assert z[0] < z[2] < z[1]
+
+
+class TestRunningStats:
+    def test_matches_batch_stats(self):
+        stream = make_series(60, 3)
+        window = 10
+        rs = RunningStats(window)
+        for i, v in enumerate(stream):
+            rs.push(v)
+            if i >= window - 1:
+                seg = stream[i - window + 1:i + 1]
+                mean = sum(seg) / window
+                std = math.sqrt(sum((s - mean) ** 2 for s in seg) / window)
+                assert rs.mean() == pytest.approx(mean, abs=1e-9)
+                assert rs.std() == pytest.approx(max(std, 1e-12), abs=1e-7)
+
+    def test_not_full_raises(self):
+        rs = RunningStats(5)
+        rs.push(1.0)
+        with pytest.raises(ValueError, match="not yet full"):
+            rs.mean()
+
+    def test_full_flag(self):
+        rs = RunningStats(2)
+        assert not rs.full
+        rs.push(1.0)
+        rs.push(2.0)
+        assert rs.full
+
+    def test_constant_window_std_floored(self):
+        rs = RunningStats(4)
+        for _ in range(4):
+            rs.push(3.0)
+        assert rs.std() == pytest.approx(1e-12)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            RunningStats(0)
+
+
+class TestZnormSubsequence:
+    def test_matches_direct(self):
+        stream = make_series(40, 4)
+        assert znorm_subsequence(stream, 5, 10) == pytest.approx(
+            znorm(stream[5:15])
+        )
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            znorm_subsequence([1.0, 2.0], 1, 5)

@@ -1,0 +1,50 @@
+"""Unit tests for sliding-window extraction."""
+
+import pytest
+
+from repro.preprocess.sliding import sliding_windows, subsequence_count
+
+
+class TestSubsequenceCount:
+    def test_basic(self):
+        assert subsequence_count(10, 4) == 7
+
+    def test_with_step(self):
+        assert subsequence_count(10, 4, step=3) == 3
+
+    def test_stream_shorter_than_window(self):
+        assert subsequence_count(3, 4) == 0
+
+    def test_exact_fit(self):
+        assert subsequence_count(4, 4) == 1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            subsequence_count(10, 0)
+        with pytest.raises(ValueError):
+            subsequence_count(10, 2, step=0)
+
+
+class TestSlidingWindows:
+    def test_yields_expected_pairs(self):
+        got = list(sliding_windows([1, 2, 3, 4], 3))
+        assert got == [(0, [1, 2, 3]), (1, [2, 3, 4])]
+
+    def test_count_matches_formula(self):
+        stream = list(range(25))
+        for window, step in ((5, 1), (5, 3), (25, 1)):
+            got = list(sliding_windows(stream, window, step))
+            assert len(got) == subsequence_count(25, window, step)
+
+    def test_windows_are_copies(self):
+        stream = [1.0, 2.0, 3.0]
+        (_, w), = sliding_windows(stream, 3)
+        w[0] = 99.0
+        assert stream[0] == 1.0
+
+    def test_empty_when_too_short(self):
+        assert list(sliding_windows([1, 2], 5)) == []
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            list(sliding_windows([1, 2], 0))

@@ -1,0 +1,57 @@
+"""Unit tests for early-abandoning distances."""
+
+import math
+
+import pytest
+
+from repro.core.cdtw import cdtw
+from repro.search.early_abandon import (
+    early_abandoning_cdtw,
+    early_abandoning_euclidean,
+)
+from tests.conftest import make_series
+
+
+class TestEarlyAbandoningEuclidean:
+    def test_abandons_far_pair(self):
+        assert early_abandoning_euclidean(
+            [0.0] * 10, [9.0] * 10, threshold=1.0
+        ) == math.inf
+
+    def test_exact_for_near_pair(self):
+        x = make_series(10, 1)
+        y = [v + 0.01 for v in x]
+        d = early_abandoning_euclidean(x, y, threshold=1.0)
+        assert d == pytest.approx(10 * 0.01 ** 2)
+
+
+class TestEarlyAbandoningCdtw:
+    def test_abandons_far_pair(self):
+        r = early_abandoning_cdtw(
+            [0.0] * 10, [9.0] * 10, threshold=1.0, band=2
+        )
+        assert r.abandoned
+        assert r.distance == math.inf
+
+    def test_exact_when_threshold_large(self):
+        x = make_series(12, 2)
+        y = make_series(12, 3)
+        exact = cdtw(x, y, band=2).distance
+        r = early_abandoning_cdtw(x, y, threshold=exact * 2, band=2)
+        assert not r.abandoned
+        assert r.distance == pytest.approx(exact)
+
+    def test_saves_cells_when_abandoning(self):
+        x = [0.0] * 30
+        y = [9.0] * 30
+        full = cdtw(x, y, band=5)
+        cut = early_abandoning_cdtw(x, y, threshold=1.0, band=5)
+        assert cut.cells < full.cells
+
+    def test_window_fraction_parameter(self):
+        x = make_series(10, 4)
+        y = make_series(10, 5)
+        r = early_abandoning_cdtw(x, y, threshold=1e9, window=0.2)
+        assert r.distance == pytest.approx(
+            cdtw(x, y, window=0.2).distance
+        )

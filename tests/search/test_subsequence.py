@@ -1,0 +1,79 @@
+"""Unit tests for subsequence search."""
+
+import pytest
+
+from repro.core.cdtw import cdtw
+from repro.datasets.ecg import ecg_stream, heartbeat
+from repro.preprocess.normalize import znorm
+from repro.search.subsequence import subsequence_search
+from tests.conftest import make_series
+
+
+class TestSubsequenceSearch:
+    def test_finds_planted_exact_match(self):
+        stream = make_series(200, 1)
+        query = stream[73:103]
+        match = subsequence_search(query, stream, band=2, normalize=False)
+        assert match.start == 73
+        assert match.distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_finds_planted_match_with_normalization(self):
+        stream = make_series(150, 2)
+        # scaled+shifted copy: invisible without z-normalisation
+        query = [3.0 * v + 10.0 for v in stream[40:70]]
+        match = subsequence_search(query, stream, band=2, normalize=True)
+        assert match.start == 40
+        assert match.distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_matches_brute_force(self):
+        stream = make_series(80, 3)
+        query = make_series(20, 4)
+        match = subsequence_search(query, stream, band=2)
+        q = znorm(query)
+        brute = min(
+            range(len(stream) - 20 + 1),
+            key=lambda s: cdtw(
+                q, znorm(stream[s:s + 20]), band=2
+            ).distance,
+        )
+        assert match.start == brute
+
+    def test_window_count(self):
+        stream = make_series(50, 5)
+        query = make_series(10, 6)
+        match = subsequence_search(query, stream, band=1)
+        assert match.windows == 41
+
+    def test_step_reduces_windows(self):
+        stream = make_series(50, 7)
+        query = make_series(10, 8)
+        m1 = subsequence_search(query, stream, band=1, step=1)
+        m5 = subsequence_search(query, stream, band=1, step=5)
+        assert m5.windows < m1.windows
+
+    def test_finds_heartbeat_in_ecg(self):
+        # the motivating workload: locate one beat in a stream
+        stream = ecg_stream(8, mean_beat_samples=60, seed=9)
+        query = stream[180:240]
+        match = subsequence_search(query, stream, band=3)
+        assert abs(match.start - 180) <= 2
+
+    def test_pruning_happens(self):
+        stream = ecg_stream(6, mean_beat_samples=50, seed=10)
+        query = stream[100:150]
+        match = subsequence_search(query, stream, band=2)
+        assert match.stats.pruned_total() > 0
+
+    def test_query_longer_than_stream_rejected(self):
+        with pytest.raises(ValueError, match="shorter"):
+            subsequence_search(make_series(10, 0), make_series(5, 1), band=1)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            subsequence_search([], make_series(5, 1), band=1)
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(ValueError, match="step"):
+            subsequence_search(
+                make_series(3, 0), make_series(9, 1), band=1, step=0
+            )

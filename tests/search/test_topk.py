@@ -1,0 +1,110 @@
+"""Unit tests for top-k subsequence search."""
+
+import math
+
+import pytest
+
+from repro.core.cdtw import cdtw
+from repro.datasets.ecg import ecg_stream
+from repro.preprocess.normalize import znorm
+from repro.preprocess.sliding import sliding_windows
+from repro.search.subsequence import (
+    subsequence_search,
+    subsequence_search_topk,
+)
+from tests.conftest import make_series
+
+
+def _brute_force_topk(query, stream, band, k, step=1, exclusion=None):
+    m = len(query)
+    exclusion = m if exclusion is None else exclusion
+    q = znorm(query)
+    scored = sorted(
+        (cdtw(q, znorm(w), band=band).distance, s)
+        for s, w in sliding_windows(stream, m, step)
+    )
+    chosen = []
+    for d, s in scored:
+        if len(chosen) >= k:
+            break
+        if any(abs(s - t) < exclusion for _d, t in chosen):
+            continue
+        chosen.append((d, s))
+    return chosen
+
+
+@pytest.fixture(scope="module")
+def beat_stream():
+    return ecg_stream(10, mean_beat_samples=40, seed=17)
+
+
+class TestTopK:
+    def test_k1_matches_single_search(self, beat_stream):
+        query = beat_stream[120:160]
+        single = subsequence_search(query, beat_stream, band=3)
+        (top,) = subsequence_search_topk(
+            query, beat_stream, band=3, k=1
+        )
+        assert top.start == single.start
+        assert top.distance == pytest.approx(single.distance)
+
+    def test_matches_brute_force(self, beat_stream):
+        query = beat_stream[120:160]
+        ours = subsequence_search_topk(
+            query, beat_stream, band=3, k=3, step=4
+        )
+        brute = _brute_force_topk(query, beat_stream, 3, 3, step=4)
+        assert [(m.start) for m in ours] == [s for _d, s in brute]
+        for m, (d, _s) in zip(ours, brute):
+            assert m.distance == pytest.approx(d)
+
+    def test_results_sorted_best_first(self, beat_stream):
+        query = beat_stream[120:160]
+        matches = subsequence_search_topk(
+            query, beat_stream, band=3, k=4, step=4
+        )
+        distances = [m.distance for m in matches]
+        assert distances == sorted(distances)
+
+    def test_non_overlapping(self, beat_stream):
+        query = beat_stream[120:160]
+        matches = subsequence_search_topk(
+            query, beat_stream, band=3, k=4, step=4
+        )
+        starts = [m.start for m in matches]
+        for a in starts:
+            for b in starts:
+                if a != b:
+                    assert abs(a - b) >= 40
+
+    def test_finds_recurring_beats(self, beat_stream):
+        # the query beat recurs ~10 times; top-3 should all be close
+        query = beat_stream[120:160]
+        matches = subsequence_search_topk(
+            query, beat_stream, band=3, k=3, step=2
+        )
+        assert len(matches) == 3
+        assert all(m.distance < 20.0 for m in matches)
+
+    def test_fewer_than_k_when_stream_small(self):
+        stream = make_series(30, 1)
+        query = stream[5:15]
+        matches = subsequence_search_topk(
+            query, stream, band=2, k=10
+        )
+        assert 1 <= len(matches) <= 3  # only ~2 non-overlapping slots
+
+    def test_validation(self, beat_stream):
+        query = beat_stream[0:40]
+        with pytest.raises(ValueError, match="k must be positive"):
+            subsequence_search_topk(query, beat_stream, band=2, k=0)
+        with pytest.raises(ValueError, match="empty query"):
+            subsequence_search_topk([], beat_stream, band=2, k=1)
+        with pytest.raises(ValueError, match="exclusion"):
+            subsequence_search_topk(
+                query, beat_stream, band=2, k=1, exclusion=0
+            )
+        with pytest.raises(ValueError, match="not finite"):
+            subsequence_search_topk(
+                [math.nan] * 10, beat_stream, band=2, k=1
+            )

@@ -1,0 +1,70 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, cmd_advise, cmd_list, cmd_run, main
+from repro.experiments import EXPERIMENTS
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_one_line_each(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == len(EXPERIMENTS)
+
+
+class TestRun:
+    def test_runs_cheap_experiment(self, capsys):
+        assert main(["run", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "128" in out
+
+    def test_runs_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "Case A share" in capsys.readouterr().out
+
+    def test_runs_fig3(self, capsys):
+        assert main(["run", "fig3"]) == 0
+        assert "34%" in capsys.readouterr().out
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_paper_scale_flag_parses(self):
+        args = build_parser().parse_args(["run", "fig2", "--paper-scale"])
+        assert args.paper_scale is True
+
+
+class TestAdvise:
+    def test_case_a(self, capsys):
+        assert main(["advise", "--n", "945", "--warping", "0.04"]) == 0
+        out = capsys.readouterr().out
+        assert "Case A" in out and "cDTW" in out
+
+    def test_case_d(self, capsys):
+        assert main(["advise", "--n", "5000", "--warping", "0.9"]) == 0
+        assert "Case D" in capsys.readouterr().out
+
+    def test_invalid_warping_exits_2(self, capsys):
+        assert main(["advise", "--n", "100", "--warping", "2.0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_requires_arguments(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["advise"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_module_entry_point_importable(self):
+        import repro.__main__  # noqa: F401

@@ -1,0 +1,48 @@
+"""Run the executable examples embedded in docstrings.
+
+Public-API docstrings carry usage examples; running them keeps the
+documentation honest as the code evolves.  Modules are resolved via
+importlib because several package ``__init__`` files re-export
+functions whose names shadow their defining submodules.
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULE_NAMES = [
+    "repro.advisor.cases",
+    "repro.core.cost",
+    "repro.core.error",
+    "repro.core.matrix",
+    "repro.core.multivariate",
+    "repro.core.paa",
+    "repro.core.variants",
+    "repro.datasets.random_walk",
+    "repro.datasets.ucr_io",
+    "repro.preprocess.normalize",
+    "repro.preprocess.sliding",
+    "repro.timing.cells",
+    "repro.timing.timer",
+    "repro.viz.render",
+]
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_module_doctests(name):
+    module = importlib.import_module(name)
+    failures, _tried = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    )
+    assert failures == 0, f"{failures} doctest failures in {name}"
+
+
+def test_doctests_actually_present():
+    # guard against the suite silently passing because examples vanished
+    total = 0
+    finder = doctest.DocTestFinder()
+    for name in MODULE_NAMES:
+        module = importlib.import_module(name)
+        total += sum(len(t.examples) for t in finder.find(module))
+    assert total >= 15

@@ -1,0 +1,45 @@
+"""Every example script runs to completion.
+
+Examples are the package's living documentation; each is executed in a
+subprocess and must exit cleanly and produce its headline output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+#: script name -> a fragment its stdout must contain
+EXPECTED_OUTPUT = {
+    "quickstart.py": "the paper in one line",
+    "gesture_classification.py": "LOOCV-optimal window",
+    "music_alignment.py": "exact cDTW wins",
+    "power_clustering.py": "dendrogram",
+    "ecg_monitoring.py": "prune rate",
+    "anomaly_detection.py": "discord at offset",
+    "gesture_summarization.py": "cluster purity",
+    "fastdtw_failure.py": "approximation error",
+    "case_advisor.py": "Case D",
+}
+
+
+def test_every_example_has_an_expectation():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_OUTPUT), (
+        "examples/ and EXPECTED_OUTPUT out of sync"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_OUTPUT[script] in result.stdout

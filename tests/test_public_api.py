@@ -1,0 +1,83 @@
+"""The public API surface: what a downstream user can rely on.
+
+These tests pin the package's import contract: top-level names exist,
+``__all__`` lists are accurate, and the subpackages a README reader
+would import are importable under their documented names.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_headline_functions_top_level(self):
+        for name in ("dtw", "cdtw", "fastdtw", "euclidean"):
+            assert callable(getattr(repro, name))
+
+
+SUBPACKAGES = [
+    "repro.advisor",
+    "repro.anomaly",
+    "repro.classify",
+    "repro.cluster",
+    "repro.core",
+    "repro.datasets",
+    "repro.experiments",
+    "repro.lowerbounds",
+    "repro.motifs",
+    "repro.preprocess",
+    "repro.search",
+    "repro.timing",
+    "repro.viz",
+]
+
+
+class TestSubpackages:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_importable(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} lacks a module docstring"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_lists_resolve(self, name):
+        module = importlib.import_module(name)
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            return
+        for item in exported:
+            assert hasattr(module, item), f"{name}.{item}"
+
+    def test_documented_imports_work(self):
+        # the README's import lines, verbatim
+        from repro import cdtw, dtw, fastdtw  # noqa: F401
+        from repro.advisor import analyze  # noqa: F401
+        from repro.core import Window, approximation_error_percent  # noqa: F401
+        from repro.classify import DistanceSpec, OneNearestNeighbor  # noqa: F401
+        from repro.cluster import dba, dtw_kmeans, linkage  # noqa: F401
+        from repro.anomaly import find_discord  # noqa: F401
+        from repro.motifs import find_motif  # noqa: F401
+        from repro.search import subsequence_search  # noqa: F401
+        from repro.viz import sparkline  # noqa: F401
+
+
+class TestDocstringCoverage:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_public_callables_documented(self, name):
+        module = importlib.import_module(name)
+        exported = getattr(module, "__all__", [])
+        for item in exported:
+            obj = getattr(module, item)
+            if callable(obj):
+                assert obj.__doc__, f"{name}.{item} lacks a docstring"

@@ -1,0 +1,38 @@
+"""The README's code snippets execute exactly as printed.
+
+Documentation drift is a bug; these tests run the README's Python
+blocks verbatim (modulo prints) and assert their claims.
+"""
+
+def test_quickstart_block():
+    from repro import cdtw, dtw, fastdtw
+
+    x = [0.0, 1.0, 2.0, 1.0, 0.0]
+    y = [0.0, 0.0, 1.0, 2.0, 1.0]
+
+    exact = cdtw(x, y, window=0.2, return_path=True)
+    assert exact.distance >= 0
+    assert exact.path.max_band_deviation() >= 0
+    assert exact.cells > 0
+
+    approx = fastdtw(x, y, radius=1)
+    assert approx.distance >= dtw(x, y).distance
+
+
+def test_advisor_block():
+    from repro.advisor import analyze
+
+    text = analyze(n=945, warping=0.04).describe()
+    assert "Case A" in text
+    assert "cDTW" in text
+
+
+def test_package_docstring_example():
+    # the example in repro/__init__.py's module docstring
+    from repro import dtw, fastdtw
+
+    x = [0.0, 1.0, 2.0, 1.0, 0.0]
+    y = [0.0, 0.0, 1.0, 2.0, 1.0]
+    exact = dtw(x, y)
+    approx = fastdtw(x, y, radius=1)
+    assert exact.distance <= approx.distance

@@ -1,0 +1,87 @@
+"""Unit tests for the analytic cell-count cost models."""
+
+import pytest
+
+from repro.core.cdtw import cdtw
+from repro.core.fastdtw import fastdtw
+from repro.timing.cells import (
+    cdtw_cell_model,
+    crossover_band,
+    crossover_length,
+    fastdtw_cell_model,
+)
+from tests.conftest import make_series
+
+
+class TestCdtwCellModel:
+    def test_zero_window_is_n(self):
+        assert cdtw_cell_model(100, 0.0) == 100
+
+    def test_full_window_is_n_squared(self):
+        assert cdtw_cell_model(100, 1.0) == 100 * 100
+
+    def test_clipped_at_lattice(self):
+        assert cdtw_cell_model(10, 0.9) <= 100
+
+    def test_close_to_measured(self):
+        n, w = 120, 0.08
+        measured = cdtw(make_series(n, 1), make_series(n, 2),
+                        window=w).cells
+        model = cdtw_cell_model(n, w)
+        assert abs(measured - model) / model < 0.15
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            cdtw_cell_model(0, 0.1)
+        with pytest.raises(ValueError):
+            cdtw_cell_model(10, 2.0)
+
+
+class TestFastdtwCellModel:
+    def test_formula(self):
+        assert fastdtw_cell_model(100, 10) == 9400
+
+    def test_order_of_magnitude_vs_measured(self):
+        # Salvador & Chan's model is approximate; stay within 3x
+        n, r = 256, 5
+        measured = fastdtw(make_series(n, 3), make_series(n, 4),
+                           radius=r).cells
+        model = fastdtw_cell_model(n, r)
+        assert model / 3 < measured < model * 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fastdtw_cell_model(0, 1)
+        with pytest.raises(ValueError):
+            fastdtw_cell_model(10, -1)
+
+
+class TestCrossovers:
+    def test_paper_fig1_setting(self):
+        # N=945, r=10: cDTW does less work below w ~ 4.9%, so the
+        # archive-optimal w=4 beats FastDTW_10 -- the Case A argument
+        w_star = crossover_band(945, 10)
+        assert 0.04 < w_star < 0.06
+
+    def test_crossover_band_clipped(self):
+        assert crossover_band(10, 100) == 1.0
+
+    def test_crossover_length_fig6(self):
+        # w=100%, r=40: the cell model predicts N ~ 167; wall-clock
+        # crossovers land higher (ours ~300, paper 400) because of
+        # FastDTW's per-level overhead
+        n_star = crossover_length(1.0, 40)
+        assert 150 < n_star < 200
+
+    def test_models_consistent_at_crossover(self):
+        n, r = 500, 8
+        w_star = crossover_band(n, r)
+        cdtw_cells = cdtw_cell_model(n, w_star)
+        fast_cells = fastdtw_cell_model(n, r)
+        assert abs(cdtw_cells - fast_cells) / fast_cells < 0.1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            crossover_band(0, 1)
+        with pytest.raises(ValueError):
+            crossover_length(0.0, 1)

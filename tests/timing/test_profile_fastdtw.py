@@ -1,0 +1,63 @@
+"""Unit tests for the FastDTW phase profiler."""
+
+import pytest
+
+from repro.core.fastdtw import fastdtw
+from repro.timing.profile_fastdtw import profile_fastdtw
+from tests.conftest import make_series
+
+
+class TestProfileFastdtw:
+    def test_distance_matches_plain_fastdtw(self):
+        x = make_series(128, 1)
+        y = make_series(128, 2)
+        for radius in (0, 2, 5):
+            prof = profile_fastdtw(x, y, radius=radius)
+            plain = fastdtw(x, y, radius=radius)
+            assert prof.distance == pytest.approx(plain.distance)
+
+    def test_phases_nonnegative_and_sum(self):
+        x = make_series(256, 3)
+        y = make_series(256, 4)
+        prof = profile_fastdtw(x, y, radius=4)
+        assert prof.coarsen_seconds >= 0
+        assert prof.window_seconds >= 0
+        assert prof.dp_seconds > 0
+        assert prof.total_seconds == pytest.approx(
+            prof.coarsen_seconds + prof.window_seconds + prof.dp_seconds
+        )
+
+    def test_levels_counted(self):
+        x = make_series(128, 5)
+        y = make_series(128, 6)
+        prof = profile_fastdtw(x, y, radius=1)
+        # 128 -> 64 -> 32 -> 16 -> 8 -> 4 -> base(<=3): ~6-7 levels
+        assert 4 <= prof.levels <= 8
+
+    def test_overhead_fraction_in_unit_range(self):
+        x = make_series(200, 7)
+        y = make_series(200, 8)
+        prof = profile_fastdtw(x, y, radius=3)
+        assert 0.0 <= prof.overhead_fraction() < 1.0
+
+    def test_overhead_is_real(self):
+        # the point of the profiler: a measurable share of FastDTW's
+        # time is outside the DP the cell model sees
+        x = make_series(512, 9)
+        y = make_series(512, 10)
+        prof = profile_fastdtw(x, y, radius=2)
+        assert prof.coarsen_seconds + prof.window_seconds > 0
+
+    def test_base_case_only_dp(self):
+        x = make_series(4, 11)
+        y = make_series(4, 12)
+        prof = profile_fastdtw(x, y, radius=5)
+        assert prof.levels == 1
+        assert prof.coarsen_seconds == 0.0
+        assert prof.window_seconds == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            profile_fastdtw([1.0], [1.0], radius=-1)
+        with pytest.raises(ValueError, match="not finite"):
+            profile_fastdtw([float("nan")], [1.0])

@@ -1,0 +1,98 @@
+"""Unit tests for the experiment runners."""
+
+import pytest
+
+from repro.core.cdtw import cdtw
+from repro.timing.runner import (
+    PairwiseResult,
+    SweepPoint,
+    find_crossover,
+    pairwise_experiment,
+    sweep,
+)
+from tests.conftest import make_series
+
+
+@pytest.fixture
+def series():
+    return [make_series(30, s) for s in range(6)]
+
+
+class TestPairwiseExperiment:
+    def test_counts_all_pairs(self, series):
+        res = pairwise_experiment(
+            series, lambda x, y: cdtw(x, y, band=2)
+        )
+        assert res.pairs == 15
+
+    def test_max_pairs_caps(self, series):
+        res = pairwise_experiment(
+            series, lambda x, y: cdtw(x, y, band=2), max_pairs=4
+        )
+        assert res.pairs == 4
+
+    def test_accumulates_cells(self, series):
+        res = pairwise_experiment(
+            series, lambda x, y: cdtw(x, y, band=1), max_pairs=3
+        )
+        single = cdtw(series[0], series[1], band=1).cells
+        assert res.cells == 3 * single
+
+    def test_cell_free_results_ok(self, series):
+        res = pairwise_experiment(series, lambda x, y: 1.0, max_pairs=2)
+        assert res.cells == 0
+
+    def test_per_pair_seconds(self):
+        r = PairwiseResult(pairs=4, seconds=2.0, cells=0)
+        assert r.per_pair_seconds == 0.5
+
+    def test_needs_two_series(self):
+        with pytest.raises(ValueError):
+            pairwise_experiment([make_series(5, 0)], lambda x, y: 0)
+
+
+class TestSweep:
+    def test_one_point_per_param(self, series):
+        points = sweep(
+            series, "cDTW", [0.0, 0.1, 0.2],
+            lambda w: (lambda x, y: cdtw(x, y, window=w)),
+            max_pairs=3,
+        )
+        assert [p.param for p in points] == [0.0, 0.1, 0.2]
+        assert all(p.algorithm == "cDTW" for p in points)
+
+    def test_cells_grow_with_window(self, series):
+        points = sweep(
+            series, "cDTW", [0.0, 0.2, 0.5],
+            lambda w: (lambda x, y: cdtw(x, y, window=w)),
+            max_pairs=3,
+        )
+        cells = [p.per_pair_cells for p in points]
+        assert cells == sorted(cells)
+
+    def test_total_seconds_scales(self):
+        p = SweepPoint("x", 0.1, per_pair_seconds=0.001,
+                       per_pair_cells=10, pairs_measured=5)
+        assert p.total_seconds(1000) == pytest.approx(1.0)
+
+    def test_empty_params_rejected(self, series):
+        with pytest.raises(ValueError):
+            sweep(series, "x", [], lambda p: (lambda x, y: 0))
+
+
+class TestFindCrossover:
+    def test_finds_first_crossover(self):
+        params = [1, 2, 3, 4]
+        a = [10, 10, 10, 10]
+        b = [20, 15, 5, 1]
+        p, ratio = find_crossover(params, a, b)
+        assert p == 3
+        assert ratio == 0.5
+
+    def test_no_crossover_raises(self):
+        with pytest.raises(ValueError, match="no crossover"):
+            find_crossover([1, 2], [1, 1], [2, 2])
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            find_crossover([1], [1, 2], [1])

@@ -1,0 +1,84 @@
+"""Unit tests for the timing harness."""
+
+import pytest
+
+from repro.timing.timer import (
+    Timing,
+    extrapolate,
+    seconds_to_human,
+    time_callable,
+)
+
+
+class TestTimeCallable:
+    def test_runs_requested_repeats(self):
+        calls = []
+        t = time_callable(lambda: calls.append(1), repeats=4, warmup=2)
+        assert len(calls) == 6
+        assert t.repeats == 4
+
+    def test_summary_relationships(self):
+        t = time_callable(lambda: sum(range(1000)), repeats=5)
+        assert t.minimum <= t.median
+        assert t.minimum <= t.mean
+        assert t.total == pytest.approx(t.mean * t.repeats)
+
+    def test_median_even_repeats(self):
+        t = time_callable(lambda: None, repeats=4)
+        assert t.median >= 0.0
+
+    def test_per_call_ms(self):
+        t = Timing(repeats=1, mean=0.5, median=0.5, minimum=0.5, total=0.5)
+        assert t.per_call_ms() == 500.0
+
+    def test_measures_real_work(self):
+        fast = time_callable(lambda: None, repeats=3).median
+        slow = time_callable(
+            lambda: sum(range(200_000)), repeats=3
+        ).median
+        assert slow > fast
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, warmup=-1)
+
+
+class TestExtrapolate:
+    def test_footnote2_arithmetic(self):
+        # 0.1845 ms/call at a trillion calls ~ 5.8 years
+        total = extrapolate(0.1845e-3, 10**12)
+        years = total / (365.25 * 86400)
+        assert years == pytest.approx(5.8, abs=0.1)
+
+    def test_zero_calls(self):
+        assert extrapolate(1.0, 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            extrapolate(-1.0, 10)
+
+
+class TestSecondsToHuman:
+    def test_milliseconds(self):
+        assert seconds_to_human(0.0456) == "45.6 ms"
+
+    def test_seconds(self):
+        assert seconds_to_human(3.21) == "3.2 s"
+
+    def test_minutes(self):
+        assert seconds_to_human(600) == "10.0 minutes"
+
+    def test_hours(self):
+        assert seconds_to_human(7200) == "2.0 hours"
+
+    def test_days(self):
+        assert seconds_to_human(1.4 * 86400) == "1.4 days"
+
+    def test_years(self):
+        assert seconds_to_human(5.8 * 365.25 * 86400) == "5.8 years"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            seconds_to_human(-1.0)

@@ -1,0 +1,146 @@
+"""Unit tests for the ASCII rendering helpers."""
+
+import pytest
+
+from repro.core.dtw import dtw
+from repro.core.path import WarpingPath, diagonal_path
+from repro.core.window import Window
+from repro.viz.render import (
+    render_alignment,
+    render_cost_matrix,
+    render_window,
+    sparkline,
+)
+from tests.conftest import make_series
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_width_resamples(self):
+        assert len(sparkline(make_series(100, 1), width=20)) == 20
+
+    def test_extremes_use_extreme_blocks(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁"
+        assert line[1] == "█"
+
+    def test_constant_series_flat(self):
+        assert sparkline([5.0] * 4) == "▁▁▁▁"
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline([float(i) for i in range(8)])
+        assert list(line) == sorted(line)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+
+class TestRenderAlignment:
+    def test_three_lines(self):
+        x = make_series(30, 2)
+        y = make_series(30, 3)
+        path = dtw(x, y, return_path=True).path
+        art = render_alignment(x, y, path, width=40)
+        lines = art.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("x: ")
+        assert lines[2].startswith("y: ")
+
+    def test_lockstep_path_vertical_hatches(self):
+        x = make_series(20, 4)
+        path = diagonal_path(20, 20)
+        art = render_alignment(x, x, path, width=30)
+        hatch = art.splitlines()[1]
+        assert "|" in hatch
+        assert "\\" not in hatch and "/" not in hatch
+
+    def test_leading_series_slants_hatches(self):
+        # y is x delayed: path connects early x to late y -> backslashes
+        x = [0.0] * 5 + [5.0] + [0.0] * 24
+        y = [0.0] * 20 + [5.0] + [0.0] * 9
+        path = dtw(x, y, return_path=True).path
+        art = render_alignment(x, y, path, width=40, hatch_every=3)
+        assert "\\" in art.splitlines()[1]
+
+    def test_wrong_path_rejected(self):
+        x = make_series(10, 5)
+        path = diagonal_path(8, 8)
+        with pytest.raises(ValueError, match="does not align"):
+            render_alignment(x, x, path)
+
+    def test_bad_width_rejected(self):
+        x = make_series(10, 6)
+        path = diagonal_path(10, 10)
+        with pytest.raises(ValueError):
+            render_alignment(x, x, path, width=1)
+
+
+class TestRenderCostMatrix:
+    def test_dimensions(self):
+        x = make_series(8, 7)
+        y = make_series(12, 8)
+        art = render_cost_matrix(x, y)
+        lines = art.splitlines()
+        assert len(lines) == 8
+        assert all(len(l) == 12 for l in lines)
+
+    def test_path_overlay(self):
+        x = make_series(10, 9)
+        y = make_series(10, 10)
+        path = dtw(x, y, return_path=True).path
+        art = render_cost_matrix(x, y, path=path)
+        assert art.count("◆") == len(path)
+
+    def test_band_excludes_cells(self):
+        x = make_series(12, 11)
+        art = render_cost_matrix(x, x, band=2)
+        assert " " in art  # excluded corners render blank
+
+    def test_identical_series_diagonal_cheapest(self):
+        x = make_series(10, 12)
+        path = dtw(x, x, return_path=True).path
+        art = render_cost_matrix(x, x, path=path)
+        # the diagonal is the path
+        for i, line in enumerate(art.splitlines()):
+            assert line[i] == "◆"
+
+    def test_too_large_rejected(self):
+        x = make_series(100, 13)
+        with pytest.raises(ValueError, match="too long"):
+            render_cost_matrix(x, x)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_cost_matrix([], [1.0])
+
+
+class TestRenderWindow:
+    def test_diagonal_band(self):
+        art = render_window(Window.band(3, 3, 0))
+        assert art == "#..\n.#.\n..#"
+
+    def test_cell_counts_match(self):
+        w = Window.band(10, 10, 2)
+        art = render_window(w)
+        assert art.count("#") == w.cell_count()
+
+    def test_full_window_all_hash(self):
+        art = render_window(Window.full(4, 5))
+        assert "." not in art
+        assert art.count("#") == 20
+
+    def test_itakura_silhouette_pinches(self):
+        art = render_window(Window.itakura(12, 12))
+        lines = art.splitlines()
+        assert lines[0].count("#") < lines[6].count("#")
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError, match="too large"):
+            render_window(Window.full(100, 100))
