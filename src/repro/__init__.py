@@ -19,6 +19,7 @@ Quickstart
 True
 """
 
+from .batch import BatchResult, batch_distances
 from .core import (
     DtwResult,
     FastDtwResult,
@@ -37,11 +38,13 @@ from .core import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchResult",
     "DtwResult",
     "FastDtwResult",
     "WarpingPath",
     "Window",
     "approximation_error_percent",
+    "batch_distances",
     "cdtw",
     "dtw",
     "euclidean",

@@ -1,0 +1,34 @@
+"""Parallel batch execution of independent distance computations.
+
+The paper's repeated-use workloads (all-pairs matrices, 1-NN scans,
+LOOCV, clustering) decompose into thousands of independent pairwise
+calls.  :func:`batch_distances` runs such a batch over a
+``multiprocessing`` pool with chunked scheduling, per-worker
+series-artefact caching, deterministic result ordering and merged
+DP-cell accounting; ``workers=1`` (the default everywhere) is the
+exact serial computation.  The serial-vs-parallel equivalence
+contract is enforced by the property suite in ``tests/batch/``.
+"""
+
+from .cache import CacheStats, SeriesCache
+from .engine import (
+    BatchResult,
+    BatchSpec,
+    all_pairs,
+    argmin_first,
+    batch_distances,
+    batch_lb_keogh,
+    default_chunksize,
+)
+
+__all__ = [
+    "BatchResult",
+    "BatchSpec",
+    "CacheStats",
+    "SeriesCache",
+    "all_pairs",
+    "argmin_first",
+    "batch_distances",
+    "batch_lb_keogh",
+    "default_chunksize",
+]

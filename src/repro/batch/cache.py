@@ -1,0 +1,118 @@
+"""Per-worker memoization of per-series derived artefacts.
+
+A batch over ``k`` series touches each series in up to ``k - 1``
+pairs, but its derived artefacts -- the z-normalised copy, the
+LB_Keogh warping envelope at a given band -- depend only on the series
+itself.  Computing them per *pair* wastes a factor of ``k``; Lemire's
+two-pass lower-bound work (see PAPERS.md) hinges on exactly this
+amortization.  :class:`SeriesCache` memoizes both per series index, so
+each worker process of the batch engine pays for each artefact once
+per batch, not once per pair.
+
+The cache is deliberately process-local: it is built inside each pool
+worker by the engine's initializer and never crosses a process
+boundary (only its hit/miss *deltas* are shipped back for the merged
+:class:`CacheStats` accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..lowerbounds.envelope import Envelope, envelope
+from ..preprocess.normalize import znorm
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters for one cache (or an aggregate of many).
+
+    Hits are requests served from memory; misses are requests that had
+    to compute the artefact.  ``misses`` therefore counts the actual
+    O(n) work done; ``hits`` counts the work the cache saved.
+    """
+
+    envelope_hits: int = 0
+    envelope_misses: int = 0
+    znorm_hits: int = 0
+    znorm_misses: int = 0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.envelope_hits + other.envelope_hits,
+            self.envelope_misses + other.envelope_misses,
+            self.znorm_hits + other.znorm_hits,
+            self.znorm_misses + other.znorm_misses,
+        )
+
+    def __sub__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.envelope_hits - other.envelope_hits,
+            self.envelope_misses - other.envelope_misses,
+            self.znorm_hits - other.znorm_hits,
+            self.znorm_misses - other.znorm_misses,
+        )
+
+
+class SeriesCache:
+    """Memoized per-series artefacts over one fixed series set.
+
+    Parameters
+    ----------
+    series:
+        The batch's series, indexed 0..k-1.  Values are materialised
+        as float lists once, up front.
+    """
+
+    def __init__(self, series: Sequence[Sequence[float]]):
+        if not series:
+            raise ValueError("need at least one series")
+        self._series: List[List[float]] = [
+            [float(v) for v in s] for s in series
+        ]
+        self._znorm: Dict[int, List[float]] = {}
+        self._envelopes: Dict[Tuple[int, int], Envelope] = {}
+        self._envelope_hits = 0
+        self._envelope_misses = 0
+        self._znorm_hits = 0
+        self._znorm_misses = 0
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def raw(self, i: int) -> List[float]:
+        """Series ``i`` as stored (no normalisation)."""
+        return self._series[i]
+
+    def normalized(self, i: int) -> List[float]:
+        """Z-normalised copy of series ``i``, computed at most once."""
+        cached = self._znorm.get(i)
+        if cached is not None:
+            self._znorm_hits += 1
+            return cached
+        self._znorm_misses += 1
+        out = znorm(self._series[i])
+        self._znorm[i] = out
+        return out
+
+    def envelope(self, i: int, band: int) -> Envelope:
+        """LB_Keogh envelope of series ``i``, memoized per band."""
+        key = (i, band)
+        cached = self._envelopes.get(key)
+        if cached is not None:
+            self._envelope_hits += 1
+            return cached
+        self._envelope_misses += 1
+        env = envelope(self._series[i], band)
+        self._envelopes[key] = env
+        return env
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the counters so far (see :class:`CacheStats`)."""
+        return CacheStats(
+            envelope_hits=self._envelope_hits,
+            envelope_misses=self._envelope_misses,
+            znorm_hits=self._znorm_hits,
+            znorm_misses=self._znorm_misses,
+        )

@@ -1,0 +1,417 @@
+"""The parallel batch distance engine.
+
+Every headline experiment in the paper -- the Fig. 1/4 timing sweeps,
+the 1-NN and clustering tables -- is a *repeated-use* workload:
+thousands of independent pairwise distance calls over one series set.
+This module executes such a batch as a first-class job:
+
+* work arrives as index **pairs** into a shared series list, so each
+  series is shipped to each worker once, not once per pair;
+* pairs are **chunked** and fanned out over a ``multiprocessing`` pool
+  (``workers=1``, the default, runs in-process with zero pool
+  overhead and is the exact serial computation);
+* each worker holds a :class:`~repro.batch.cache.SeriesCache`, so
+  per-series artefacts (z-normalised copies, LB_Keogh envelopes) are
+  computed once per series per worker, not once per pair;
+* results come back in **input pair order** regardless of worker
+  count or completion order -- determinism is a contract, enforced by
+  the property suite in ``tests/batch/``;
+* per-pair DP cell counts are preserved and summed into the same
+  ``cells`` provenance the serial code paths report.
+
+The serial and parallel paths run byte-identical per-pair
+computations (same :func:`repro.core.measures.measure_fn` dispatch),
+so distances and cell totals agree exactly -- not merely to within
+floating-point noise.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import multiprocessing
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.cost import CostLike
+from ..core.measures import MEASURES, measure_fn, split_result
+from ..lowerbounds.lb_keogh import lb_keogh
+from .cache import CacheStats, SeriesCache
+
+Pair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """Immutable description of one batch's distance configuration.
+
+    The spec (not a callable) is what crosses the process boundary:
+    each pool worker rebuilds its dispatch function from it, so no
+    closures need pickling.
+    """
+
+    measure: str = "cdtw"
+    window: Optional[float] = None
+    band: Optional[int] = None
+    radius: int = 1
+    cost: CostLike = "squared"
+    normalize: bool = False
+    return_paths: bool = False
+
+    def __post_init__(self) -> None:
+        if self.measure not in MEASURES:
+            raise ValueError(
+                f"unknown measure {self.measure!r}; pick from {MEASURES}"
+            )
+
+    def make_fn(self):
+        """The pairwise callable this spec describes."""
+        return measure_fn(
+            self.measure,
+            window=self.window,
+            band=self.band,
+            radius=self.radius,
+            cost=self.cost,
+            return_path=self.return_paths,
+        )
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one batch run, ordered like the input pairs.
+
+    Attributes
+    ----------
+    pairs:
+        The index pairs computed, in input order.
+    distances:
+        ``distances[t]`` is the distance of ``pairs[t]``.
+    cells_per_pair:
+        DP cells evaluated for each pair (0 for Euclidean).
+    cells:
+        Sum of ``cells_per_pair`` -- the same provenance number the
+        serial code paths report.
+    paths:
+        Warping paths per pair when the spec asked for them
+        (``None`` otherwise; Euclidean pairs yield ``None`` entries).
+    measure:
+        The measure name that produced the batch.
+    workers:
+        Worker processes used (1 = in-process serial).
+    cache:
+        Aggregated :class:`CacheStats` over all workers.
+    """
+
+    pairs: Tuple[Pair, ...]
+    distances: Tuple[float, ...]
+    cells_per_pair: Tuple[int, ...]
+    cells: int
+    measure: str
+    workers: int
+    cache: CacheStats
+    paths: Optional[Tuple[object, ...]] = None
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+def all_pairs(k: int) -> List[Pair]:
+    """The ``k * (k - 1) / 2`` unordered pairs, lexicographic.
+
+    >>> all_pairs(3)
+    [(0, 1), (0, 2), (1, 2)]
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return list(itertools.combinations(range(k), 2))
+
+
+def default_chunksize(n_tasks: int, workers: int) -> int:
+    """Pair count per work unit: ~4 chunks per worker.
+
+    Large enough to amortise IPC per pair, small enough that a slow
+    chunk cannot leave workers idle for long.
+
+    >>> default_chunksize(100, 4)
+    7
+    >>> default_chunksize(3, 8)
+    1
+    """
+    if n_tasks < 0 or workers < 1:
+        raise ValueError("need n_tasks >= 0 and workers >= 1")
+    return max(1, math.ceil(n_tasks / (workers * 4)))
+
+
+def argmin_first(values: Sequence[float]) -> Tuple[int, float]:
+    """Index and value of the minimum, first index winning ties.
+
+    This is the tie-breaking rule every serial scan in the package
+    uses (``if d < best`` with ascending iteration), restated once so
+    the batched paths provably match it.
+
+    >>> argmin_first([3.0, 1.0, 1.0, 2.0])
+    (1, 1.0)
+    """
+    if not values:
+        raise ValueError("argmin of an empty sequence")
+    best_idx, best = 0, values[0]
+    for i in range(1, len(values)):
+        if values[i] < best:
+            best, best_idx = values[i], i
+    return best_idx, best
+
+
+# -- worker-side machinery ------------------------------------------------
+#
+# Pool workers cannot receive closures, so each worker rebuilds its
+# context (series cache + dispatch callable) from picklable pieces in
+# the pool initializer and parks it in a module global.
+
+class _WorkerContext:
+    __slots__ = ("cache", "spec", "fn", "lb_band", "lb_squared")
+
+    def __init__(self, series, spec=None, lb_band=None, lb_squared=True):
+        self.cache = SeriesCache(series)
+        self.spec = spec
+        self.fn = spec.make_fn() if spec is not None else None
+        self.lb_band = lb_band
+        self.lb_squared = lb_squared
+
+
+_CONTEXT: Optional[_WorkerContext] = None
+
+
+def _init_distance_worker(series, spec):
+    global _CONTEXT
+    _CONTEXT = _WorkerContext(series, spec=spec)
+
+
+def _init_lb_worker(series, band, squared):
+    global _CONTEXT
+    _CONTEXT = _WorkerContext(series, lb_band=band, lb_squared=squared)
+
+
+def _compute_pair(ctx: _WorkerContext, i: int, j: int):
+    if ctx.spec.normalize:
+        x, y = ctx.cache.normalized(i), ctx.cache.normalized(j)
+    else:
+        x, y = ctx.cache.raw(i), ctx.cache.raw(j)
+    return split_result(ctx.fn(x, y))
+
+
+def _run_distance_chunk(chunk: Sequence[Pair]):
+    ctx = _CONTEXT
+    before = ctx.cache.stats()
+    out = [_compute_pair(ctx, i, j) for i, j in chunk]
+    return out, ctx.cache.stats() - before
+
+
+def _compute_lb(ctx: _WorkerContext, i: int, j: int) -> float:
+    env = ctx.cache.envelope(i, ctx.lb_band)
+    return lb_keogh(env, ctx.cache.raw(j), squared=ctx.lb_squared)
+
+
+def _run_lb_chunk(chunk: Sequence[Pair]):
+    ctx = _CONTEXT
+    before = ctx.cache.stats()
+    out = [_compute_lb(ctx, i, j) for i, j in chunk]
+    return out, ctx.cache.stats() - before
+
+
+def _pick_context(start_method: Optional[str]):
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    methods = multiprocessing.get_all_start_methods()
+    # fork is far cheaper per pool and inherits the parent's modules;
+    # platforms without it (e.g. Windows) fall back to spawn.
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _validated_pairs(
+    pairs: Optional[Iterable[Pair]], k: int
+) -> List[Pair]:
+    if pairs is None:
+        return all_pairs(k)
+    out: List[Pair] = []
+    for pair in pairs:
+        i, j = pair
+        if not (0 <= i < k and 0 <= j < k):
+            raise ValueError(
+                f"pair ({i}, {j}) out of range for {k} series"
+            )
+        out.append((i, j))
+    return out
+
+
+def _fan_out(
+    series, pairs, chunks, workers, initializer, initargs, chunk_runner,
+    start_method,
+):
+    ctx = _pick_context(start_method)
+    with ctx.Pool(
+        processes=workers, initializer=initializer, initargs=initargs
+    ) as pool:
+        # pool.map preserves submission order, so reassembly is a
+        # flatten -- determinism does not depend on worker scheduling.
+        return pool.map(chunk_runner, chunks)
+
+
+def batch_distances(
+    series: Sequence[Sequence[float]],
+    pairs: Optional[Iterable[Pair]] = None,
+    measure: str = "cdtw",
+    window: Optional[float] = None,
+    band: Optional[int] = None,
+    radius: int = 1,
+    cost: CostLike = "squared",
+    normalize: bool = False,
+    return_paths: bool = False,
+    workers: int = 1,
+    chunksize: Optional[int] = None,
+    start_method: Optional[str] = None,
+) -> BatchResult:
+    """Compute many independent pairwise distances as one batch.
+
+    Parameters
+    ----------
+    series:
+        The shared series set; tasks index into it.
+    pairs:
+        Index pairs to compute, in the order results should come back
+        (default: all unordered pairs ``i < j``).
+    measure, window, band, radius, cost:
+        Distance configuration, exactly as in
+        :func:`repro.core.matrix.distance_matrix`.
+    normalize:
+        Z-normalise each series (once per series per worker, via the
+        cache) before measuring.
+    return_paths:
+        Also return warping paths (exact measures recover them;
+        Euclidean entries are ``None``).
+    workers:
+        Worker processes.  ``1`` (default) computes in-process --
+        the exact serial computation, no pool.
+    chunksize:
+        Pairs per work unit (default :func:`default_chunksize`).
+    start_method:
+        ``multiprocessing`` start method (default: ``fork`` where
+        available, else ``spawn``).
+
+    Returns
+    -------
+    BatchResult
+        Distances/cells in input pair order; identical values for any
+        ``workers`` -- the serial-equivalence suite enforces this.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if not series:
+        raise ValueError("need at least one series")
+    spec = BatchSpec(
+        measure=measure, window=window, band=band, radius=radius,
+        cost=cost, normalize=normalize, return_paths=return_paths,
+    )
+    task_list = _validated_pairs(pairs, len(series))
+    series_t = tuple(tuple(float(v) for v in s) for s in series)
+
+    if workers == 1 or len(task_list) == 0:
+        context = _WorkerContext(series_t, spec=spec)
+        outcomes = [_compute_pair(context, i, j) for i, j in task_list]
+        stats = context.cache.stats()
+        effective_workers = 1
+    else:
+        size = chunksize or default_chunksize(len(task_list), workers)
+        if size < 1:
+            raise ValueError("chunksize must be >= 1")
+        chunks = [
+            task_list[k:k + size] for k in range(0, len(task_list), size)
+        ]
+        chunk_results = _fan_out(
+            series_t, task_list, chunks, workers,
+            _init_distance_worker, (series_t, spec),
+            _run_distance_chunk, start_method,
+        )
+        outcomes = [item for part, _ in chunk_results for item in part]
+        stats = CacheStats()
+        for _, delta in chunk_results:
+            stats = stats + delta
+        effective_workers = workers
+
+    distances = tuple(d for d, _, _ in outcomes)
+    cells_per_pair = tuple(c for _, c, _ in outcomes)
+    return BatchResult(
+        pairs=tuple(task_list),
+        distances=distances,
+        cells_per_pair=cells_per_pair,
+        cells=sum(cells_per_pair),
+        measure=measure,
+        workers=effective_workers,
+        cache=stats,
+        paths=tuple(p for _, _, p in outcomes) if return_paths else None,
+    )
+
+
+def batch_lb_keogh(
+    series: Sequence[Sequence[float]],
+    pairs: Optional[Iterable[Pair]] = None,
+    band: int = 0,
+    squared: bool = True,
+    workers: int = 1,
+    chunksize: Optional[int] = None,
+    start_method: Optional[str] = None,
+) -> BatchResult:
+    """LB_Keogh lower bounds for many ``(query, candidate)`` pairs.
+
+    For each pair ``(i, j)`` the bound uses the envelope of series
+    ``i`` against the values of series ``j``; envelopes are memoized
+    per worker, so a series appearing in many pairs pays for its
+    envelope once per batch -- the amortization that makes
+    lower-bounding profitable in repeated-use workloads.
+
+    Returns a :class:`BatchResult` whose distances are the bounds
+    (``cells`` is 0: no DP lattice is touched).
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if band < 0:
+        raise ValueError("band must be non-negative")
+    if not series:
+        raise ValueError("need at least one series")
+    task_list = _validated_pairs(pairs, len(series))
+    series_t = tuple(tuple(float(v) for v in s) for s in series)
+
+    if workers == 1 or len(task_list) == 0:
+        context = _WorkerContext(
+            series_t, lb_band=band, lb_squared=squared
+        )
+        bounds = [_compute_lb(context, i, j) for i, j in task_list]
+        stats = context.cache.stats()
+        effective_workers = 1
+    else:
+        size = chunksize or default_chunksize(len(task_list), workers)
+        chunks = [
+            task_list[k:k + size] for k in range(0, len(task_list), size)
+        ]
+        chunk_results = _fan_out(
+            series_t, task_list, chunks, workers,
+            _init_lb_worker, (series_t, band, squared),
+            _run_lb_chunk, start_method,
+        )
+        bounds = [item for part, _ in chunk_results for item in part]
+        stats = CacheStats()
+        for _, delta in chunk_results:
+            stats = stats + delta
+        effective_workers = workers
+
+    zeros = tuple(0 for _ in bounds)
+    return BatchResult(
+        pairs=tuple(task_list),
+        distances=tuple(bounds),
+        cells_per_pair=zeros,
+        cells=0,
+        measure="lb_keogh",
+        workers=effective_workers,
+        cache=stats,
+    )

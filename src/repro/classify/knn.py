@@ -2,24 +2,35 @@
 
 :class:`DistanceSpec` names the measures the paper compares --
 Euclidean, banded cDTW (optionally lower-bound accelerated), Full DTW
-and FastDTW -- and :class:`OneNearestNeighbor` runs the standard 1-NN
-rule with any of them, tracking total DP cells so experiments can
-report work as well as accuracy.
+and the FastDTW variants -- and :class:`OneNearestNeighbor` runs the
+standard 1-NN rule with any of them, tracking total DP cells so
+experiments can report work as well as accuracy.
+
+The measure registry is the canonical
+:data:`repro.core.measures.MEASURES` tuple (shared with
+:func:`repro.core.matrix.distance_matrix`), so the two can never
+drift again.  Classification scans accept ``workers=N`` to fan the
+per-candidate distance calls out over the :mod:`repro.batch` engine;
+``workers=1`` (default) is the exact serial scan, and the parallel
+path returns identical labels, distances and cell counts (the serial
+tie-break -- first candidate wins on equal distances -- is preserved).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from math import ceil, inf
+from dataclasses import dataclass
+from math import inf
 from typing import List, Optional, Sequence
 
 from ..core.cdtw import cdtw
 from ..core.dtw import dtw
 from ..core.euclidean import euclidean
 from ..core.fastdtw import fastdtw
+from ..core.fastdtw_reference import fastdtw_reference
+from ..core.measures import MEASURES
 from ..search.nn_search import nearest_neighbor
 
-MEASURES = ("euclidean", "cdtw", "dtw", "fastdtw")
+_FASTDTW_MEASURES = ("fastdtw", "fastdtw_reference")
 
 
 @dataclass(frozen=True)
@@ -29,11 +40,11 @@ class DistanceSpec:
     Attributes
     ----------
     measure:
-        One of :data:`MEASURES`.
+        One of :data:`repro.core.measures.MEASURES`.
     window:
         cDTW band as a fraction of length (``measure="cdtw"`` only).
     radius:
-        FastDTW radius (``measure="fastdtw"`` only).
+        FastDTW radius (the fastdtw measures only).
     use_lower_bounds:
         For ``"cdtw"``: route through the lossless LB cascade (exact,
         faster); meaningless for the other measures.
@@ -54,11 +65,13 @@ class DistanceSpec:
                 raise ValueError("cdtw needs window= in [0, 1]")
         elif self.window is not None:
             raise ValueError("window= only applies to measure='cdtw'")
-        if self.measure == "fastdtw":
+        if self.measure in _FASTDTW_MEASURES:
             if self.radius is None or self.radius < 0:
-                raise ValueError("fastdtw needs radius >= 0")
+                raise ValueError(f"{self.measure} needs radius >= 0")
         elif self.radius is not None:
-            raise ValueError("radius= only applies to measure='fastdtw'")
+            raise ValueError(
+                "radius= only applies to the fastdtw measures"
+            )
 
     def describe(self) -> str:
         """Paper-style name, e.g. ``cDTW_10`` or ``FastDTW_20``."""
@@ -68,6 +81,8 @@ class DistanceSpec:
             return "Full DTW"
         if self.measure == "cdtw":
             return f"cDTW_{round(self.window * 100)}"
+        if self.measure == "fastdtw_reference":
+            return f"FastDTW-ref_{self.radius}"
         return f"FastDTW_{self.radius}"
 
 
@@ -78,6 +93,11 @@ class OneNearestNeighbor:
     ----------
     spec:
         The distance configuration.
+    workers:
+        Worker processes for the per-candidate distance scans (1 =
+        serial).  The ``use_lower_bounds`` cascade is inherently
+        sequential (its pruning threads a best-so-far through the
+        scan) and always runs serially.
 
     Notes
     -----
@@ -86,8 +106,11 @@ class OneNearestNeighbor:
     indexing, both measures get the same scan).
     """
 
-    def __init__(self, spec: DistanceSpec):
+    def __init__(self, spec: DistanceSpec, workers: int = 1):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.spec = spec
+        self.workers = workers
         self._train: List[List[float]] = []
         self._labels: List[object] = []
         self.cells_evaluated = 0
@@ -122,7 +145,13 @@ class OneNearestNeighbor:
         return self._labels[indices[idx]]
 
     def predict(self, queries: Sequence[Sequence[float]]) -> List[object]:
-        """Labels for a batch of query series."""
+        """Labels for a batch of query series.
+
+        With ``workers > 1`` every (query, candidate) distance of the
+        whole batch is computed in one :mod:`repro.batch` job.
+        """
+        if self._use_batch_engine() and len(queries) > 1:
+            return self._predict_batched(queries)
         return [self.predict_one(q) for q in queries]
 
     def error_rate(
@@ -135,16 +164,48 @@ class OneNearestNeighbor:
             raise ValueError("queries and labels must have equal length")
         if not queries:
             raise ValueError("no queries")
-        wrong = sum(
-            1 for q, lab in zip(queries, labels) if self.predict_one(q) != lab
-        )
+        predicted = self.predict(queries)
+        wrong = sum(1 for p, lab in zip(predicted, labels) if p != lab)
         return wrong / len(queries)
 
     # -- internal ---------------------------------------------------------
 
+    def _use_batch_engine(self) -> bool:
+        return self.workers > 1 and not (
+            self.spec.measure == "cdtw" and self.spec.use_lower_bounds
+        )
+
     def _nearest(self, query, candidates):
-        idx, dist, cells = _nearest_impl(self.spec, query, candidates)
+        if self._use_batch_engine():
+            idx, dist, cells = _nearest_batched(
+                self.spec, query, candidates, self.workers
+            )
+        else:
+            idx, dist, cells = _nearest_impl(self.spec, query, candidates)
         return idx, dist, cells
+
+    def _predict_batched(self, queries) -> List[object]:
+        from ..batch.engine import argmin_first, batch_distances
+
+        q = len(queries)
+        series = [list(s) for s in queries] + self._train
+        pairs = [
+            (qi, q + ti)
+            for qi in range(q)
+            for ti in range(len(self._train))
+        ]
+        result = batch_distances(
+            series, pairs=pairs, workers=self.workers,
+            **_spec_kwargs(self.spec),
+        )
+        self.cells_evaluated += result.cells
+        t = len(self._train)
+        labels = []
+        for qi in range(q):
+            row = result.distances[qi * t:(qi + 1) * t]
+            idx, _ = argmin_first(row)
+            labels.append(self._labels[idx])
+        return labels
 
 
 class KNearestNeighbors:
@@ -156,14 +217,18 @@ class KNearestNeighbors:
 
     Note: with ``k > 1`` every candidate's distance is needed, so the
     lossless best-so-far pruning of the 1-NN cascade does not apply;
-    ``use_lower_bounds`` is therefore ignored for ``k > 1``.
+    ``use_lower_bounds`` is therefore ignored for ``k > 1``.  The
+    full scans parallelise cleanly: pass ``workers=N``.
     """
 
-    def __init__(self, spec: DistanceSpec, k: int = 3):
+    def __init__(self, spec: DistanceSpec, k: int = 3, workers: int = 1):
         if k < 1:
             raise ValueError("k must be positive")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.spec = spec
         self.k = k
+        self.workers = workers
         self._train: List[List[float]] = []
         self._labels: List[object] = []
 
@@ -185,10 +250,23 @@ class KNearestNeighbors:
         """Majority label among the ``k`` nearest training series."""
         if not self._train:
             raise ValueError("classifier is not fitted")
-        distances = [
-            (_distance(self.spec, query, cand), i)
-            for i, cand in enumerate(self._train)
-        ]
+        if self.workers > 1:
+            from ..batch.engine import batch_distances
+
+            series = [list(query)] + self._train
+            pairs = [(0, i + 1) for i in range(len(self._train))]
+            result = batch_distances(
+                series, pairs=pairs, workers=self.workers,
+                **_spec_kwargs(self.spec),
+            )
+            distances = [
+                (d, i) for i, d in enumerate(result.distances)
+            ]
+        else:
+            distances = [
+                (_distance(self.spec, query, cand), i)
+                for i, cand in enumerate(self._train)
+            ]
         distances.sort()
         top = distances[: self.k]
         votes: dict = {}
@@ -222,6 +300,16 @@ class KNearestNeighbors:
         return wrong / len(queries)
 
 
+def _spec_kwargs(spec: DistanceSpec) -> dict:
+    """Batch-engine keyword arguments equivalent to ``spec``."""
+    kwargs: dict = {"measure": spec.measure}
+    if spec.measure == "cdtw":
+        kwargs["window"] = spec.window
+    if spec.measure in _FASTDTW_MEASURES:
+        kwargs["radius"] = spec.radius
+    return kwargs
+
+
 def _distance(spec: DistanceSpec, x, y) -> float:
     if spec.measure == "euclidean":
         return euclidean(x, y)
@@ -229,7 +317,22 @@ def _distance(spec: DistanceSpec, x, y) -> float:
         return dtw(x, y).distance
     if spec.measure == "cdtw":
         return cdtw(x, y, window=spec.window).distance
+    if spec.measure == "fastdtw_reference":
+        return fastdtw_reference(x, y, radius=spec.radius).distance
     return fastdtw(x, y, radius=spec.radius).distance
+
+
+def _nearest_batched(spec: DistanceSpec, query, candidates, workers):
+    """Batched equivalent of :func:`_nearest_impl` (same tie-break)."""
+    from ..batch.engine import argmin_first, batch_distances
+
+    series = [list(query)] + [list(c) for c in candidates]
+    pairs = [(0, i + 1) for i in range(len(candidates))]
+    result = batch_distances(
+        series, pairs=pairs, workers=workers, **_spec_kwargs(spec)
+    )
+    idx, best = argmin_first(result.distances)
+    return idx, best, result.cells
 
 
 def _nearest_impl(spec: DistanceSpec, query, candidates):
@@ -248,6 +351,9 @@ def _nearest_impl(spec: DistanceSpec, query, candidates):
             d, cells = r.distance, cells + r.cells
         elif spec.measure == "cdtw":
             r = cdtw(query, cand, window=spec.window)
+            d, cells = r.distance, cells + r.cells
+        elif spec.measure == "fastdtw_reference":
+            r = fastdtw_reference(query, cand, radius=spec.radius)
             d, cells = r.distance, cells + r.cells
         else:  # fastdtw
             r = fastdtw(query, cand, radius=spec.radius)

@@ -20,17 +20,20 @@ def loocv_error(
     series: Sequence[Sequence[float]],
     labels: Sequence[object],
     spec: DistanceSpec,
+    workers: int = 1,
 ) -> float:
     """Leave-one-out 1-NN error of ``spec`` on a labelled dataset.
 
     Each series is classified against all the others; the returned
-    value is the fraction misclassified.
+    value is the fraction misclassified.  ``workers`` parallelises
+    each leave-one-out scan via the :mod:`repro.batch` engine (the
+    error is identical for any worker count).
     """
     if len(series) != len(labels):
         raise ValueError("series and labels must have equal length")
     if len(series) < 2:
         raise ValueError("need at least two series for LOOCV")
-    clf = OneNearestNeighbor(spec).fit(series, labels)
+    clf = OneNearestNeighbor(spec, workers=workers).fit(series, labels)
     wrong = 0
     for i, (s, lab) in enumerate(zip(series, labels)):
         if clf.predict_one(s, exclude=i) != lab:
@@ -58,6 +61,7 @@ def best_window_search(
     labels: Sequence[object],
     windows: Sequence[float] = tuple(w / 100 for w in range(0, 21)),
     use_lower_bounds: bool = True,
+    workers: int = 1,
 ) -> WindowSearchResult:
     """Brute-force the LOOCV-optimal cDTW window.
 
@@ -69,7 +73,10 @@ def best_window_search(
         Candidate window fractions (default 0%..20% in 1% steps, the
         range Fig. 2a shows almost all optima fall in).
     use_lower_bounds:
-        Accelerate each LOOCV with the lossless LB cascade.
+        Accelerate each LOOCV with the lossless LB cascade (the
+        cascade is sequential, so it ignores ``workers``).
+    workers:
+        Worker processes per LOOCV scan (see :func:`loocv_error`).
 
     Returns
     -------
@@ -83,7 +90,7 @@ def best_window_search(
         spec = DistanceSpec(
             "cdtw", window=w, use_lower_bounds=use_lower_bounds
         )
-        e = loocv_error(series, labels, spec)
+        e = loocv_error(series, labels, spec, workers=workers)
         errors.append((w, e))
         if best_e is None or e < best_e or (e == best_e and w < best_w):
             best_w, best_e = w, e

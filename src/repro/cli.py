@@ -7,6 +7,7 @@ Usage::
     python -m repro run fig1 --paper-scale    # the paper's parameters
     python -m repro run all                   # everything (slow)
     python -m repro advise --n 945 --warping 0.04   # Table 1 verdict
+    python -m repro batch --workers 4         # batch engine demo
 
 Each experiment id matches DESIGN.md §3 and the module registry in
 :mod:`repro.experiments`.
@@ -19,6 +20,7 @@ import sys
 from typing import List, Optional
 
 from .advisor.cases import analyze
+from .core.measures import MEASURES
 from .experiments import EXPERIMENTS
 
 
@@ -51,6 +53,27 @@ def build_parser() -> argparse.ArgumentParser:
         "verdicts",
         help="run every experiment and check each paper claim",
     )
+
+    batch = sub.add_parser(
+        "batch",
+        help="time a batched all-pairs run, serial vs parallel",
+    )
+    batch.add_argument(
+        "--measure", default="cdtw", choices=list(MEASURES),
+        help="distance measure (default cdtw)",
+    )
+    batch.add_argument("--count", type=int, default=16,
+                       help="number of random-walk series (default 16)")
+    batch.add_argument("--length", type=int, default=256,
+                       help="length of each series (default 256)")
+    batch.add_argument("--workers", type=int, default=2,
+                       help="worker processes for the parallel run")
+    batch.add_argument("--window", type=float, default=0.1,
+                       help="cDTW window fraction (default 0.1)")
+    batch.add_argument("--radius", type=int, default=1,
+                       help="FastDTW radius (default 1)")
+    batch.add_argument("--seed", type=int, default=0,
+                       help="random-walk seed (default 0)")
 
     advise = sub.add_parser(
         "advise", help="classify a task per the paper's Table 1"
@@ -105,6 +128,40 @@ def cmd_advise(n: int, warping: float) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    from .datasets.random_walk import random_walks
+    from .timing.runner import batch_pairwise_experiment
+
+    if args.count < 2:
+        print("error: --count must be at least 2", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    series = random_walks(args.count, args.length, seed=args.seed)
+    kwargs = {"measure": args.measure}
+    if args.measure == "cdtw":
+        kwargs["window"] = args.window
+    elif args.measure in ("fastdtw", "fastdtw_reference"):
+        kwargs["radius"] = args.radius
+    serial = batch_pairwise_experiment(series, workers=1, **kwargs)
+    parallel = batch_pairwise_experiment(
+        series, workers=args.workers, **kwargs
+    )
+    match = "identical" if serial.cells == parallel.cells else "MISMATCH"
+    print(
+        f"batch: {serial.pairs} pairs of {args.measure} "
+        f"(k={args.count}, n={args.length})"
+    )
+    print(f"  serial   (workers=1):  {serial.seconds:.3f}s"
+          f"  cells={serial.cells}")
+    print(f"  parallel (workers={args.workers}):  {parallel.seconds:.3f}s"
+          f"  cells={parallel.cells}")
+    print(f"  cell accounting: {match}; "
+          f"speedup x{parallel.speedup_over(serial):.2f}")
+    return 0 if serial.cells == parallel.cells else 1
+
+
 def cmd_verdicts() -> int:
     from .experiments.verdicts import collect_verdicts, format_verdicts
 
@@ -124,4 +181,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_advise(args.n, args.warping)
     if args.command == "verdicts":
         return cmd_verdicts()
+    if args.command == "batch":
+        return cmd_batch(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -11,7 +11,7 @@ rendering.
 from .dba import DbaResult, dba
 from .dendrogram import ClusterNode, render_ascii
 from .kmeans import KMeansResult, dtw_kmeans
-from .linkage import LINKAGES, Merge, linkage
+from .linkage import LINKAGES, Merge, linkage, linkage_from_series
 
 __all__ = [
     "ClusterNode",
@@ -22,5 +22,6 @@ __all__ = [
     "dba",
     "dtw_kmeans",
     "linkage",
+    "linkage_from_series",
     "render_ascii",
 ]

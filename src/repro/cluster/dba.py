@@ -53,6 +53,7 @@ def dba(
     tolerance: float = 1e-6,
     band: Optional[int] = None,
     initial: Optional[Sequence[float]] = None,
+    workers: int = 1,
 ) -> DbaResult:
     """Compute a DTW barycenter of equal-length series.
 
@@ -72,6 +73,11 @@ def dba(
         Starting barycenter (defaults to the medoid-ish choice: the
         input series with the smallest summed Euclidean distance to
         the others, a cheap robust initialisation).
+    workers:
+        Worker processes for the per-iteration alignments and inertia
+        evaluations (every series aligns to the barycenter
+        independently, so each round is one :mod:`repro.batch` job).
+        The barycenter is identical for any worker count.
 
     Returns
     -------
@@ -90,6 +96,8 @@ def dba(
     n = lengths.pop()
     if max_iterations < 0:
         raise ValueError("max_iterations must be non-negative")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
 
     if initial is not None:
         if len(initial) != n:
@@ -98,19 +106,13 @@ def dba(
     else:
         centre = list(lists[_euclidean_medoid(lists)])
 
-    def align_distance(a, b):
-        if band is None:
-            return dtw(a, b, return_path=True)
-        return cdtw(a, b, band=band, return_path=True)
-
-    inertia = _inertia(centre, lists, band)
+    inertia = _inertia(centre, lists, band, workers)
     iterations = 0
     converged = False
     for _ in range(max_iterations):
         sums = [0.0] * n
         counts = [0] * n
-        for s in lists:
-            path = align_distance(centre, s).path
+        for s, path in zip(lists, _alignments(centre, lists, band, workers)):
             for i, j in path:
                 sums[i] += s[j]
                 counts[i] += 1
@@ -118,7 +120,7 @@ def dba(
             sums[i] / counts[i] if counts[i] else centre[i]
             for i in range(n)
         ]
-        new_inertia = _inertia(new_centre, lists, band)
+        new_inertia = _inertia(new_centre, lists, band, workers)
         iterations += 1
         if new_inertia <= inertia:
             centre = new_centre
@@ -135,7 +137,39 @@ def dba(
     )
 
 
-def _inertia(centre, lists, band) -> float:
+def _alignments(centre, lists, band, workers):
+    """One warping path per series, aligning each to ``centre``."""
+    if workers > 1:
+        from ..batch.engine import batch_distances
+
+        result = batch_distances(
+            [centre] + lists,
+            pairs=[(0, i + 1) for i in range(len(lists))],
+            measure="dtw" if band is None else "cdtw",
+            band=band,
+            return_paths=True,
+            workers=workers,
+        )
+        return list(result.paths)
+    if band is None:
+        return [dtw(centre, s, return_path=True).path for s in lists]
+    return [
+        cdtw(centre, s, band=band, return_path=True).path for s in lists
+    ]
+
+
+def _inertia(centre, lists, band, workers=1) -> float:
+    if workers > 1:
+        from ..batch.engine import batch_distances
+
+        result = batch_distances(
+            [centre] + lists,
+            pairs=[(0, i + 1) for i in range(len(lists))],
+            measure="dtw" if band is None else "cdtw",
+            band=band,
+            workers=workers,
+        )
+        return sum(result.distances)
     total = 0.0
     for s in lists:
         if band is None:

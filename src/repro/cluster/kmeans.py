@@ -52,6 +52,7 @@ def dtw_kmeans(
     max_iterations: int = 10,
     dba_iterations: int = 3,
     seed: int = 0,
+    workers: int = 1,
 ) -> KMeansResult:
     """Cluster equal-length series into ``k`` groups under DTW.
 
@@ -70,6 +71,10 @@ def dtw_kmeans(
         DBA rounds per centroid update.
     seed:
         Seeds the k-means++-style initial centroid choice.
+    workers:
+        Worker processes for each Lloyd round's assignment distances
+        and the DBA centroid updates (1 = serial; assignments,
+        centroids and inertia are identical for any worker count).
 
     Returns
     -------
@@ -85,6 +90,8 @@ def dtw_kmeans(
         raise ValueError(f"need at least k={k} series, got {len(lists)}")
     if len({len(s) for s in lists}) != 1:
         raise ValueError("series must share one length")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
 
     def dist(a, b) -> float:
         if band is None:
@@ -97,14 +104,7 @@ def dtw_kmeans(
     iterations = 0
     converged = False
     for _ in range(max_iterations):
-        new_assignments = []
-        for s in lists:
-            best, best_c = inf, 0
-            for c, centre in enumerate(centroids):
-                d = dist(centre, s)
-                if d < best:
-                    best, best_c = d, c
-            new_assignments.append(best_c)
+        new_assignments = _assign(lists, centroids, band, workers)
         iterations += 1
         if new_assignments == assignments:
             converged = True
@@ -117,19 +117,78 @@ def dtw_kmeans(
             if members:
                 centroids[c] = list(
                     dba(members, max_iterations=dba_iterations,
-                        band=band).barycenter
+                        band=band, workers=workers).barycenter
                 )
             # empty clusters keep their previous centroid
 
-    inertia = sum(
-        dist(centroids[assignments[i]], s) for i, s in enumerate(lists)
-    )
+    inertia = _total_inertia(lists, centroids, assignments, band, workers)
     return KMeansResult(
         centroids=tuple(tuple(c) for c in centroids),
         assignments=tuple(assignments),
         inertia=inertia,
         iterations=iterations,
         converged=converged,
+    )
+
+
+def _assign(lists, centroids, band, workers) -> List[int]:
+    """Nearest-centroid index per series (first centroid wins ties)."""
+    def dist(a, b) -> float:
+        if band is None:
+            return dtw(a, b).distance
+        return cdtw(a, b, band=band).distance
+
+    if workers > 1:
+        from ..batch.engine import argmin_first, batch_distances
+
+        k = len(centroids)
+        result = batch_distances(
+            list(centroids) + lists,
+            pairs=[
+                (c, k + i)
+                for i in range(len(lists))
+                for c in range(k)
+            ],
+            measure="dtw" if band is None else "cdtw",
+            band=band,
+            workers=workers,
+        )
+        return [
+            argmin_first(result.distances[i * k:(i + 1) * k])[0]
+            for i in range(len(lists))
+        ]
+    assignments = []
+    for s in lists:
+        best, best_c = inf, 0
+        for c, centre in enumerate(centroids):
+            d = dist(centre, s)
+            if d < best:
+                best, best_c = d, c
+        assignments.append(best_c)
+    return assignments
+
+
+def _total_inertia(lists, centroids, assignments, band, workers) -> float:
+    """Sum of each series' distance to its assigned centroid."""
+    if workers > 1:
+        from ..batch.engine import batch_distances
+
+        k = len(centroids)
+        result = batch_distances(
+            list(centroids) + lists,
+            pairs=[(assignments[i], k + i) for i in range(len(lists))],
+            measure="dtw" if band is None else "cdtw",
+            band=band,
+            workers=workers,
+        )
+        return sum(result.distances)
+    def dist(a, b) -> float:
+        if band is None:
+            return dtw(a, b).distance
+        return cdtw(a, b, band=band).distance
+
+    return sum(
+        dist(centroids[assignments[i]], s) for i, s in enumerate(lists)
     )
 
 

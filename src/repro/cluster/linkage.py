@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import inf
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 LINKAGES = ("single", "complete", "average")
 
@@ -109,6 +109,33 @@ def linkage(
         sizes[next_id] = new_size
         next_id += 1
     return merges
+
+
+def linkage_from_series(
+    series: Sequence[Sequence[float]],
+    measure: str = "cdtw",
+    method: str = "average",
+    window: Optional[float] = None,
+    band: Optional[int] = None,
+    radius: int = 1,
+    cost: str = "squared",
+    workers: int = 1,
+) -> List[Merge]:
+    """Cluster raw series: batched all-pairs matrix, then linkage.
+
+    Convenience composition of
+    :func:`repro.core.matrix.distance_matrix` (which fans the
+    ``k * (k - 1) / 2`` pairwise computations out over ``workers``
+    processes) and :func:`linkage`.  The merge structure is identical
+    for any worker count, since the matrix is.
+    """
+    from ..core.matrix import distance_matrix
+
+    matrix = distance_matrix(
+        series, measure=measure, window=window, band=band,
+        radius=radius, cost=cost, workers=workers,
+    )
+    return linkage(matrix.as_lists(), method=method)
 
 
 def merge_order_signature(merges: Sequence[Merge]) -> Tuple[frozenset, ...]:

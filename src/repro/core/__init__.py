@@ -22,6 +22,13 @@ from .fastdtw import (
 )
 from .fastdtw_reference import fastdtw_reference
 from .matrix import DistanceMatrix, distance_matrix
+from .measures import (
+    CELL_COUNTED_MEASURES,
+    MEASURES,
+    measure_fn,
+    split_result,
+    validate_measure,
+)
 from .multivariate import (
     cdtw_nd,
     dtw_nd,
@@ -40,7 +47,9 @@ from .window import Window
 
 __all__ = [
     "BUILTIN_COSTS",
+    "CELL_COUNTED_MEASURES",
     "DistanceMatrix",
+    "MEASURES",
     "DownsampledDtwResult",
     "DtwResult",
     "FastDtwLevel",
@@ -71,11 +80,14 @@ __all__ = [
     "halve_nd",
     "interleave",
     "magnitude",
+    "measure_fn",
     "paa",
     "paa_factor",
     "pairwise_matrix_numpy",
     "resolve_cost",
+    "split_result",
     "squared_cost",
+    "validate_measure",
     "validate_pair",
     "validate_series",
     "vector_abs_cost",

@@ -4,6 +4,13 @@ Clustering (Fig. 7), the pairwise timing sweeps (Figs. 1 and 4) and
 several examples all need the same thing: a symmetric distance matrix
 over a set of series.  This module provides it once, parameterised by
 measure name, with the package's cell accounting carried through.
+
+Construction runs on the :mod:`repro.batch` engine: ``workers=1``
+(the default) computes in-process, exactly as the original serial
+loop did; ``workers=N`` fans the ``k * (k - 1) / 2`` independent
+pairs out over a process pool with identical results -- same
+distances, same cell totals, same ordering -- as enforced by the
+equivalence suite in ``tests/batch/``.
 """
 
 from __future__ import annotations
@@ -11,13 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from .cdtw import cdtw
-from .dtw import dtw
-from .euclidean import euclidean
-from .fastdtw import fastdtw
-from .fastdtw_reference import fastdtw_reference
+from .cost import CostLike
+from .measures import MEASURES, validate_measure
 
-MEASURES = ("dtw", "cdtw", "fastdtw", "fastdtw_reference", "euclidean")
+__all__ = ["DistanceMatrix", "MEASURES", "distance_matrix"]
 
 
 @dataclass(frozen=True)
@@ -50,7 +54,10 @@ class DistanceMatrix:
         return [list(row) for row in self.values]
 
     def nearest_to(self, i: int) -> int:
-        """Index of the series nearest to series ``i`` (not itself)."""
+        """Index of the series nearest to series ``i`` (not itself).
+
+        Ties break towards the smallest index, deterministically.
+        """
         k = len(self.values)
         if k < 2:
             raise ValueError("need at least two series")
@@ -64,7 +71,8 @@ def distance_matrix(
     window: Optional[float] = None,
     band: Optional[int] = None,
     radius: int = 1,
-    cost: str = "squared",
+    cost: CostLike = "squared",
+    workers: int = 1,
 ) -> DistanceMatrix:
     """Compute the all-pairs matrix under one measure.
 
@@ -74,45 +82,42 @@ def distance_matrix(
         At least two series (equal lengths required only by
         ``"euclidean"``).
     measure:
-        One of :data:`MEASURES`.
+        One of :data:`repro.core.measures.MEASURES`.
     window, band:
         cDTW constraint (exactly one, for ``measure="cdtw"``).
     radius:
         FastDTW radius (for the fastdtw measures).
     cost:
         Local cost name.
+    workers:
+        Worker processes for the pairwise batch (1 = in-process
+        serial; results are identical for any value).
 
     Returns
     -------
     DistanceMatrix
     """
-    if measure not in MEASURES:
-        raise ValueError(f"unknown measure {measure!r}; pick from {MEASURES}")
+    validate_measure(measure)
     if len(series) < 2:
         raise ValueError("need at least two series")
 
-    def fn(x, y):
-        if measure == "dtw":
-            return dtw(x, y, cost=cost)
-        if measure == "cdtw":
-            return cdtw(x, y, window=window, band=band, cost=cost)
-        if measure == "fastdtw":
-            return fastdtw(x, y, radius=radius, cost=cost)
-        if measure == "fastdtw_reference":
-            return fastdtw_reference(x, y, radius=radius, cost=cost)
-        return euclidean(x, y, cost=cost)
+    from ..batch.engine import batch_distances
 
+    result = batch_distances(
+        series,
+        measure=measure,
+        window=window,
+        band=band,
+        radius=radius,
+        cost=cost,
+        workers=workers,
+    )
     k = len(series)
     values = [[0.0] * k for _ in range(k)]
-    cells = 0
-    for i in range(k):
-        for j in range(i + 1, k):
-            result = fn(series[i], series[j])
-            d = result if isinstance(result, float) else result.distance
-            cells += getattr(result, "cells", 0)
-            values[i][j] = values[j][i] = d
+    for (i, j), d in zip(result.pairs, result.distances):
+        values[i][j] = values[j][i] = d
     return DistanceMatrix(
         values=tuple(tuple(row) for row in values),
         measure=measure,
-        cells=cells,
+        cells=result.cells,
     )

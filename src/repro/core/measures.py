@@ -1,0 +1,97 @@
+"""The canonical measure registry and its pairwise dispatch.
+
+Every subsystem that loops over "all the measures the paper compares"
+-- the all-pairs matrix, 1-NN classification, the batch engine, the
+CLI -- must agree on what those measures are.  Historically
+:mod:`repro.core.matrix` and :mod:`repro.classify.knn` each kept their
+own tuple and they drifted (``"fastdtw_reference"`` existed in one but
+not the other).  This module is now the single source of truth: the
+:data:`MEASURES` tuple plus :func:`measure_fn`, the one place a measure
+name is turned into a pairwise distance callable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+from .cdtw import cdtw
+from .cost import CostLike
+from .dtw import dtw
+from .euclidean import euclidean
+from .fastdtw import fastdtw
+from .fastdtw_reference import fastdtw_reference
+
+#: The canonical registry: every pairwise measure the package compares.
+MEASURES = ("dtw", "cdtw", "fastdtw", "fastdtw_reference", "euclidean")
+
+#: Measures whose results carry DP-cell provenance (Euclidean is O(n),
+#: no lattice, and always reports zero cells).
+CELL_COUNTED_MEASURES = ("dtw", "cdtw", "fastdtw", "fastdtw_reference")
+
+PairwiseFn = Callable[[Sequence[float], Sequence[float]], object]
+
+
+def validate_measure(measure: str) -> None:
+    """Raise ``ValueError`` unless ``measure`` is in :data:`MEASURES`."""
+    if measure not in MEASURES:
+        raise ValueError(f"unknown measure {measure!r}; pick from {MEASURES}")
+
+
+def measure_fn(
+    measure: str,
+    window: Optional[float] = None,
+    band: Optional[int] = None,
+    radius: int = 1,
+    cost: CostLike = "squared",
+    return_path: bool = False,
+) -> PairwiseFn:
+    """Build the pairwise callable for one measure configuration.
+
+    Parameters
+    ----------
+    measure:
+        One of :data:`MEASURES`.
+    window, band:
+        cDTW constraint (exactly one, for ``measure="cdtw"``).
+    radius:
+        FastDTW radius (for the fastdtw measures).
+    cost:
+        Local cost name or callable.
+    return_path:
+        Ask the exact measures to also recover the warping path (the
+        fastdtw measures always return one; Euclidean has none).
+
+    Returns
+    -------
+    PairwiseFn
+        ``fn(x, y)`` returning a result object (or a bare float for
+        ``"euclidean"``); unwrap uniformly with :func:`split_result`.
+    """
+    validate_measure(measure)
+    if measure == "dtw":
+        return lambda x, y: dtw(x, y, cost=cost, return_path=return_path)
+    if measure == "cdtw":
+        return lambda x, y: cdtw(
+            x, y, window=window, band=band, cost=cost,
+            return_path=return_path,
+        )
+    if measure == "fastdtw":
+        return lambda x, y: fastdtw(x, y, radius=radius, cost=cost)
+    if measure == "fastdtw_reference":
+        return lambda x, y: fastdtw_reference(x, y, radius=radius, cost=cost)
+    return lambda x, y: euclidean(x, y, cost=cost)
+
+
+def split_result(result: object) -> Tuple[float, int, object]:
+    """Uniform ``(distance, cells, path)`` view of any measure's result.
+
+    Accepts both the rich result objects (``DtwResult``,
+    ``FastDtwResult``) and the bare float Euclidean returns.
+    """
+    if isinstance(result, float):
+        return result, 0, None
+    return (
+        result.distance,
+        getattr(result, "cells", 0),
+        getattr(result, "path", None),
+    )

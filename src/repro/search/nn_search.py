@@ -51,6 +51,7 @@ def nearest_neighbor(
     band: Optional[int] = None,
     window: Optional[float] = None,
     radius: int = 1,
+    workers: int = 1,
 ) -> NnResult:
     """Find the candidate nearest to ``query``.
 
@@ -68,6 +69,13 @@ def nearest_neighbor(
         strategies; exactly one must be given for those strategies.
     radius:
         FastDTW radius for the ``"fastdtw"`` strategy.
+    workers:
+        Worker processes for the candidate scan, via the
+        :mod:`repro.batch` engine (1 = serial).  The full-compute
+        strategies return identical results -- same index, distance
+        and cell total -- for any worker count.  ``"cdtw+lb"`` always
+        runs serially: its best-so-far pruning threads a threshold
+        through the scan and is inherently order-dependent.
 
     Returns
     -------
@@ -77,6 +85,13 @@ def nearest_neighbor(
         raise ValueError(f"unknown strategy {strategy!r}; pick from {STRATEGIES}")
     if not candidates:
         raise ValueError("no candidates to search")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+
+    if workers > 1 and strategy != "cdtw+lb":
+        return _nearest_neighbor_batched(
+            query, candidates, strategy, band, window, radius, workers
+        )
 
     if strategy == "euclidean":
         best_idx, best = 0, inf
@@ -117,6 +132,31 @@ def nearest_neighbor(
         best_idx, best, strategy,
         cells=cascade.stats.cells, stats=cascade.stats,
     )
+
+
+def _nearest_neighbor_batched(
+    query, candidates, strategy, band, window, radius, workers
+) -> NnResult:
+    """Fan the candidate scan out over the batch engine.
+
+    Computes every candidate's distance in full (exactly what the
+    serial loops of the non-pruned strategies do) and applies the same
+    first-wins tie-break, so the result is identical to ``workers=1``.
+    """
+    from ..batch.engine import argmin_first, batch_distances
+
+    kwargs: dict = {"measure": strategy}
+    if strategy == "cdtw":
+        kwargs["band"] = _resolve_band(len(query), band, window)
+    elif strategy == "fastdtw":
+        kwargs["radius"] = radius
+    series = [list(query)] + [list(c) for c in candidates]
+    pairs = [(0, i + 1) for i in range(len(candidates))]
+    result = batch_distances(
+        series, pairs=pairs, workers=workers, **kwargs
+    )
+    best_idx, best = argmin_first(result.distances)
+    return NnResult(best_idx, best, strategy, cells=result.cells)
 
 
 def _resolve_band(n: int, band: Optional[int], window: Optional[float]) -> int:

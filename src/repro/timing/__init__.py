@@ -7,8 +7,10 @@ from .cells import (
     fastdtw_cell_model,
 )
 from .runner import (
+    BatchTimingResult,
     PairwiseResult,
     SweepPoint,
+    batch_pairwise_experiment,
     find_crossover,
     pairwise_experiment,
     sweep,
@@ -16,9 +18,11 @@ from .runner import (
 from .timer import Timing, extrapolate, seconds_to_human, time_callable
 
 __all__ = [
+    "BatchTimingResult",
     "PairwiseResult",
     "SweepPoint",
     "Timing",
+    "batch_pairwise_experiment",
     "cdtw_cell_model",
     "crossover_band",
     "crossover_length",

@@ -14,7 +14,7 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 DistanceFn = Callable[[Sequence[float], Sequence[float]], object]
 
@@ -93,6 +93,72 @@ def pairwise_experiment(
         count += 1
     seconds = time.perf_counter() - start
     return PairwiseResult(pairs=count, seconds=seconds, cells=cells)
+
+
+@dataclass(frozen=True)
+class BatchTimingResult:
+    """Measured cost of one batched all-pairs run.
+
+    Unlike :class:`PairwiseResult` (which times one serial distance
+    call after another), this times a whole :mod:`repro.batch` job --
+    including pool start-up and result marshalling -- so serial and
+    parallel wall-clocks are comparable end to end.  ``cells`` is the
+    engine's merged DP-cell provenance, which is identical for any
+    worker count.
+    """
+
+    pairs: int
+    seconds: float
+    cells: int
+    workers: int
+
+    @property
+    def per_pair_seconds(self) -> float:
+        return self.seconds / self.pairs if self.pairs else 0.0
+
+    def speedup_over(self, other: "BatchTimingResult") -> float:
+        """How many times faster this run was than ``other``."""
+        if self.seconds == 0:
+            return float("inf")
+        return other.seconds / self.seconds
+
+
+def batch_pairwise_experiment(
+    series: Sequence[Sequence[float]],
+    measure: str = "cdtw",
+    window: Optional[float] = None,
+    band: Optional[int] = None,
+    radius: int = 1,
+    cost: str = "squared",
+    workers: int = 1,
+    max_pairs: int = 0,
+) -> BatchTimingResult:
+    """Time all-pairs comparisons as one batch-engine job.
+
+    Parameters mirror :func:`repro.core.matrix.distance_matrix`;
+    ``max_pairs`` caps the pair count (0 = all, lexicographic order).
+    The distances and cell totals are ``workers``-invariant, so runs
+    with different worker counts measure the same computation.
+    """
+    from ..batch.engine import all_pairs, batch_distances
+
+    if len(series) < 2:
+        raise ValueError("need at least two series")
+    pairs = all_pairs(len(series))
+    if max_pairs:
+        pairs = pairs[:max_pairs]
+    start = time.perf_counter()
+    result = batch_distances(
+        series, pairs=pairs, measure=measure, window=window, band=band,
+        radius=radius, cost=cost, workers=workers,
+    )
+    seconds = time.perf_counter() - start
+    return BatchTimingResult(
+        pairs=len(result),
+        seconds=seconds,
+        cells=result.cells,
+        workers=workers,
+    )
 
 
 def sweep(

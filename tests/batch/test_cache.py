@@ -1,0 +1,70 @@
+"""Tests for the per-worker series-artefact cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch.cache import CacheStats, SeriesCache
+from repro.lowerbounds.envelope import envelope
+from repro.preprocess.normalize import znorm
+from tests.conftest import make_series
+
+
+class TestSeriesCache:
+    def test_raw_round_trips_floats(self):
+        cache = SeriesCache([[1, 2, 3], [4.0, 5.0, 6.0]])
+        assert cache.raw(0) == [1.0, 2.0, 3.0]
+        assert len(cache) == 2
+
+    def test_rejects_empty_set(self):
+        with pytest.raises(ValueError):
+            SeriesCache([])
+
+    def test_znorm_memoized(self):
+        series = [make_series(30, seed=7)]
+        cache = SeriesCache(series)
+        first = cache.normalized(0)
+        assert first == znorm(series[0])
+        assert cache.normalized(0) is first  # served from memory
+        stats = cache.stats()
+        assert stats.znorm_misses == 1
+        assert stats.znorm_hits == 1
+
+    def test_envelope_memoized_per_band(self):
+        series = [make_series(30, seed=8)]
+        cache = SeriesCache(series)
+        e2 = cache.envelope(0, 2)
+        e3 = cache.envelope(0, 3)
+        assert e2 is cache.envelope(0, 2)  # same band: cached
+        assert e3 is not e2  # different band: distinct entry
+        direct = envelope(series[0], 2)
+        assert e2.upper == direct.upper
+        assert e2.lower == direct.lower
+        stats = cache.stats()
+        assert stats.envelope_misses == 2
+        assert stats.envelope_hits == 1
+
+    def test_stats_snapshot_is_immutable_copy(self):
+        cache = SeriesCache([make_series(10, seed=1)])
+        before = cache.stats()
+        cache.normalized(0)
+        after = cache.stats()
+        assert before.znorm_misses == 0
+        assert after.znorm_misses == 1
+
+
+class TestCacheStats:
+    def test_addition_and_subtraction(self):
+        a = CacheStats(1, 2, 3, 4)
+        b = CacheStats(10, 20, 30, 40)
+        assert a + b == CacheStats(11, 22, 33, 44)
+        assert (b - a) == CacheStats(9, 18, 27, 36)
+        assert a + CacheStats() == a
+
+    def test_delta_protocol_used_by_the_engine(self):
+        # the engine ships per-chunk deltas between processes; deltas
+        # must compose back to the worker's running totals
+        t0 = CacheStats()
+        t1 = CacheStats(envelope_hits=2, envelope_misses=3)
+        t2 = CacheStats(envelope_hits=7, envelope_misses=4)
+        assert (t1 - t0) + (t2 - t1) == t2

@@ -1,0 +1,94 @@
+"""Pinned DP-cell counts: the cost-accounting contract, frozen.
+
+The paper's Tables and cell-model verdicts rest on the exact number
+of lattice cells each measure evaluates.  These tests pin those
+counts for small fixed inputs, so a refactor that silently changes
+the accounting (a different window construction, an off-by-one in
+the band, a lost recursion level) fails loudly -- serially and
+through the parallel batch path alike.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch import batch_distances
+from repro.core.cdtw import cdtw
+from repro.core.dtw import dtw
+from repro.core.fastdtw import fastdtw
+from repro.core.fastdtw_reference import fastdtw_reference
+from repro.core.matrix import distance_matrix
+
+X = [0.0, 1.0, 2.0, 3.0]
+Y = [0.0, 2.0, 1.0, 3.0]
+Z = [1.0, 1.0, 2.0, 0.0]
+SERIES = [X, Y, Z]
+
+# measure -> (engine kwargs, pinned total cells over the 3 pairs)
+PINNED_MATRIX_CELLS = {
+    "dtw": ({}, 48),  # 3 pairs x the full 4x4 lattice
+    "cdtw": ({"band": 1}, 30),  # 3 pairs x 10 banded cells
+    "fastdtw": ({"radius": 1}, 54),
+    "fastdtw_reference": ({"radius": 1}, 60),
+    "euclidean": ({}, 0),  # no lattice at all
+}
+
+# the distances themselves, shared by every measure on these inputs
+# (radius-1 FastDTW happens to be exact here)
+PINNED_DISTANCES = {(0, 1): 2.0, (0, 2): 10.0, (1, 2): 12.0}
+
+
+class TestPinnedPairCells:
+    """Single-pair counts, straight from the measure functions."""
+
+    def test_full_dtw_touches_the_whole_lattice(self):
+        assert dtw(X, Y).cells == 16
+
+    def test_banded_cdtw_touches_the_band_only(self):
+        assert cdtw(X, Y, band=1).cells == 10
+        assert cdtw(X, Y, band=0).cells == 4
+
+    def test_fastdtw_counts_all_recursion_levels(self):
+        assert fastdtw(X, Y, radius=1).cells == 18
+        assert fastdtw_reference(X, Y, radius=1).cells == 20
+
+
+class TestPinnedMatrixCells:
+    @pytest.mark.parametrize(
+        "measure", sorted(PINNED_MATRIX_CELLS)
+    )
+    def test_serial_matrix_cells(self, measure):
+        kwargs, cells = PINNED_MATRIX_CELLS[measure]
+        matrix = distance_matrix(SERIES, measure=measure, **kwargs)
+        assert matrix.cells == cells
+
+    @pytest.mark.parametrize(
+        "measure", sorted(PINNED_MATRIX_CELLS)
+    )
+    def test_workers2_matrix_cells(self, measure):
+        kwargs, cells = PINNED_MATRIX_CELLS[measure]
+        matrix = distance_matrix(
+            SERIES, measure=measure, workers=2, **kwargs
+        )
+        assert matrix.cells == cells
+
+    @pytest.mark.parametrize(
+        "measure", sorted(PINNED_MATRIX_CELLS)
+    )
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_pinned_distances(self, measure, workers):
+        kwargs, _ = PINNED_MATRIX_CELLS[measure]
+        matrix = distance_matrix(
+            SERIES, measure=measure, workers=workers, **kwargs
+        )
+        for (i, j), d in PINNED_DISTANCES.items():
+            assert matrix[i, j] == d
+            assert matrix[j, i] == d
+
+    def test_batch_engine_reports_per_pair_breakdown(self):
+        result = batch_distances(SERIES, measure="cdtw", band=1)
+        assert result.cells_per_pair == (10, 10, 10)
+        result = batch_distances(
+            SERIES, measure="cdtw", band=1, workers=2
+        )
+        assert result.cells_per_pair == (10, 10, 10)

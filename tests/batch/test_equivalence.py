@@ -1,0 +1,171 @@
+"""Serial-vs-parallel equivalence: the batch engine's core contract.
+
+The engine promises that ``workers`` is an execution detail, never a
+semantic one: for any series set, any measure and any worker count,
+the batch returns *identical* distances (exact ``==``, not
+approximate), identical per-pair and total DP-cell counts, and
+identical orderings/tie-breaks.  These tests fuzz that contract with
+seeded random series sets across all five measures and
+``workers in {1, 2, 4}``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.batch import all_pairs, argmin_first, batch_distances
+from repro.core.measures import MEASURES
+
+WORKER_COUNTS = (1, 2, 4)
+
+# Measure name -> engine kwargs, covering every registry entry.
+MEASURE_CONFIGS = {
+    "dtw": {},
+    "cdtw": {"window": 0.2},
+    "fastdtw": {"radius": 1},
+    "fastdtw_reference": {"radius": 1},
+    "euclidean": {},
+}
+
+
+def fuzz_series(seed: int, count: int, length: int):
+    """Seeded random series set, values in a DTW-typical range."""
+    rng = random.Random(seed)
+    return [
+        [rng.uniform(-3.0, 3.0) for _ in range(length)]
+        for _ in range(count)
+    ]
+
+
+def test_every_measure_is_configured():
+    assert set(MEASURE_CONFIGS) == set(MEASURES)
+
+
+class TestDistancesAndCells:
+    """Identical distances and cell totals for workers in {1, 2, 4}."""
+
+    @pytest.mark.parametrize("measure", MEASURES)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_serial_parallel_identical(self, measure, seed):
+        series = fuzz_series(seed, count=7, length=30 + 3 * seed)
+        kwargs = MEASURE_CONFIGS[measure]
+        results = [
+            batch_distances(series, measure=measure, workers=w, **kwargs)
+            for w in WORKER_COUNTS
+        ]
+        serial = results[0]
+        assert serial.workers == 1
+        assert serial.pairs == tuple(all_pairs(len(series)))
+        for result in results[1:]:
+            # exact equality -- the parallel path must run the very
+            # same per-pair computation, not a float-close variant
+            assert result.distances == serial.distances
+            assert result.cells_per_pair == serial.cells_per_pair
+            assert result.cells == serial.cells
+            assert result.pairs == serial.pairs
+
+    @pytest.mark.parametrize("measure", ["cdtw", "fastdtw"])
+    def test_chunksize_never_changes_results(self, measure):
+        series = fuzz_series(3, count=6, length=24)
+        kwargs = MEASURE_CONFIGS[measure]
+        serial = batch_distances(series, measure=measure, **kwargs)
+        for chunksize in (1, 2, 7, 100):
+            result = batch_distances(
+                series, measure=measure, workers=2,
+                chunksize=chunksize, **kwargs,
+            )
+            assert result.distances == serial.distances
+            assert result.cells == serial.cells
+
+    def test_explicit_pair_order_is_preserved(self):
+        series = fuzz_series(4, count=5, length=20)
+        # a deliberately scrambled, duplicated pair list
+        pairs = [(3, 1), (0, 4), (2, 2), (0, 4), (1, 0)]
+        serial = batch_distances(
+            series, pairs=pairs, measure="cdtw", window=0.25
+        )
+        parallel = batch_distances(
+            series, pairs=pairs, measure="cdtw", window=0.25,
+            workers=4, chunksize=1,
+        )
+        assert serial.pairs == tuple(pairs) == parallel.pairs
+        assert serial.distances == parallel.distances
+        assert serial.distances[1] == serial.distances[3]  # duplicate pair
+        assert serial.distances[2] == 0.0  # self-pair
+
+    def test_normalized_batches_agree(self):
+        series = fuzz_series(5, count=6, length=25)
+        serial = batch_distances(
+            series, measure="euclidean", normalize=True
+        )
+        parallel = batch_distances(
+            series, measure="euclidean", normalize=True, workers=4
+        )
+        assert serial.distances == parallel.distances
+
+
+class TestTieBreaking:
+    """First-wins tie-breaks survive parallel execution."""
+
+    def tied_series(self, seed: int):
+        """A query plus candidates containing exact duplicates."""
+        rng = random.Random(seed)
+        query = [rng.uniform(-2, 2) for _ in range(20)]
+        unique = [
+            [rng.uniform(-2, 2) for _ in range(20)] for _ in range(3)
+        ]
+        # candidates 1 and 3 are identical, as are 2 and 4: every
+        # distance value appears at least twice
+        candidates = [
+            unique[0], unique[1], unique[0], unique[1], unique[2]
+        ]
+        return query, candidates
+
+    @pytest.mark.parametrize("measure", MEASURES)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_argmin_prefers_first_duplicate(self, measure, workers):
+        query, candidates = self.tied_series(seed=11)
+        kwargs = MEASURE_CONFIGS[measure]
+        series = [query] + candidates
+        pairs = [(0, i + 1) for i in range(len(candidates))]
+        result = batch_distances(
+            series, pairs=pairs, measure=measure, workers=workers,
+            chunksize=1, **kwargs,
+        )
+        idx, best = argmin_first(result.distances)
+        # ties exist by construction; the winner must be the first
+        # index attaining the minimum, exactly like the serial scans
+        assert idx == min(
+            i for i, d in enumerate(result.distances) if d == best
+        )
+        if result.distances.count(best) > 1:
+            # a duplicated winner must resolve to its first copy
+            assert idx in (0, 1)
+
+    def test_identical_series_all_zero(self):
+        base = [float(v) for v in range(12)]
+        series = [list(base) for _ in range(4)]
+        for workers in WORKER_COUNTS:
+            result = batch_distances(
+                series, measure="dtw", workers=workers
+            )
+            assert set(result.distances) == {0.0}
+
+
+class TestDegenerateBatches:
+    def test_empty_pair_list(self):
+        series = fuzz_series(0, count=3, length=10)
+        for workers in WORKER_COUNTS:
+            result = batch_distances(series, pairs=[], workers=workers)
+            assert result.distances == ()
+            assert result.cells == 0
+            assert result.workers == 1  # nothing to fan out
+
+    def test_single_pair(self):
+        series = fuzz_series(1, count=2, length=15)
+        serial = batch_distances(series, measure="dtw")
+        parallel = batch_distances(series, measure="dtw", workers=4)
+        assert serial.distances == parallel.distances
+        assert len(serial) == 1

@@ -1,0 +1,97 @@
+"""The canonical measure registry and the agreement of its importers.
+
+Regression guard for the drift this registry was created to end:
+``classify/knn.py`` once listed four measures while
+``core/matrix.py`` listed five.  Every consumer must now import the
+one tuple from :mod:`repro.core.measures`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.classify.knn as knn
+import repro.core.matrix as matrix
+from repro.batch.engine import BatchSpec
+from repro.classify.knn import DistanceSpec
+from repro.core import measures
+from repro.core.dtw import dtw
+from repro.core.measures import (
+    CELL_COUNTED_MEASURES,
+    MEASURES,
+    measure_fn,
+    split_result,
+    validate_measure,
+)
+
+
+class TestRegistryAgreement:
+    def test_knn_and_matrix_share_the_canonical_tuple(self):
+        assert knn.MEASURES is measures.MEASURES
+        assert matrix.MEASURES is measures.MEASURES
+
+    def test_every_measure_builds_a_distance_spec(self):
+        # the classifier must actually support everything it claims
+        for measure in MEASURES:
+            kwargs = {}
+            if measure == "cdtw":
+                kwargs["window"] = 0.1
+            elif measure in ("fastdtw", "fastdtw_reference"):
+                kwargs["radius"] = 1
+            spec = DistanceSpec(measure, **kwargs)
+            assert spec.describe()
+
+    def test_every_measure_builds_a_batch_spec(self):
+        for measure in MEASURES:
+            assert BatchSpec(measure=measure).measure == measure
+
+    def test_cell_counted_subset(self):
+        assert set(CELL_COUNTED_MEASURES) < set(MEASURES)
+        assert "euclidean" not in CELL_COUNTED_MEASURES
+
+
+class TestDispatch:
+    def test_validate_measure(self):
+        validate_measure("dtw")
+        with pytest.raises(ValueError, match="unknown measure"):
+            validate_measure("emd")
+
+    def test_measure_fn_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown measure"):
+            measure_fn("emd")
+
+    @pytest.mark.parametrize("measure", MEASURES)
+    def test_measure_fn_runs_every_measure(self, measure):
+        x = [0.0, 1.0, 2.0, 1.0]
+        y = [0.0, 2.0, 1.0, 1.0]
+        fn = measure_fn(measure, window=0.5, radius=1)
+        distance, cells, _path = split_result(fn(x, y))
+        assert distance >= 0.0
+        if measure in CELL_COUNTED_MEASURES:
+            assert cells > 0
+        else:
+            assert cells == 0
+
+    def test_split_result_on_rich_result(self):
+        r = dtw([0.0, 1.0], [0.0, 1.0], return_path=True)
+        distance, cells, path = split_result(r)
+        assert distance == r.distance
+        assert cells == r.cells
+        assert path is r.path
+
+    def test_split_result_on_bare_float(self):
+        assert split_result(3.5) == (3.5, 0, None)
+
+
+class TestDistanceSpecFastdtwReference:
+    def test_requires_radius(self):
+        with pytest.raises(ValueError, match="radius"):
+            DistanceSpec("fastdtw_reference")
+
+    def test_describe(self):
+        spec = DistanceSpec("fastdtw_reference", radius=3)
+        assert spec.describe() == "FastDTW-ref_3"
+
+    def test_rejects_window(self):
+        with pytest.raises(ValueError, match="window"):
+            DistanceSpec("fastdtw_reference", window=0.1, radius=1)

@@ -42,6 +42,34 @@ class TestRun:
         assert args.paper_scale is True
 
 
+class TestBatch:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.measure == "cdtw"
+        assert args.workers == 2
+        assert args.count == 16
+
+    def test_rejects_unknown_measure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["batch", "--measure", "emd"])
+
+    def test_runs_and_reports_identical_cells(self, capsys):
+        assert main([
+            "batch", "--count", "6", "--length", "32", "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cell accounting: identical" in out
+        assert "workers=2" in out
+
+    def test_bad_count_exits_2(self, capsys):
+        assert main(["batch", "--count", "1"]) == 2
+        assert "--count" in capsys.readouterr().err
+
+    def test_bad_workers_exits_2(self, capsys):
+        assert main(["batch", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+
 class TestAdvise:
     def test_case_a(self, capsys):
         assert main(["advise", "--n", "945", "--warping", "0.04"]) == 0

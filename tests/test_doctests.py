@@ -13,9 +13,11 @@ import pytest
 
 MODULE_NAMES = [
     "repro.advisor.cases",
+    "repro.batch.engine",
     "repro.core.cost",
     "repro.core.error",
     "repro.core.matrix",
+    "repro.core.measures",
     "repro.core.multivariate",
     "repro.core.paa",
     "repro.core.variants",

@@ -30,6 +30,7 @@ class TestTopLevel:
 SUBPACKAGES = [
     "repro.advisor",
     "repro.anomaly",
+    "repro.batch",
     "repro.classify",
     "repro.cluster",
     "repro.core",

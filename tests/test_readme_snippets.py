@@ -27,6 +27,22 @@ def test_advisor_block():
     assert "cDTW" in text
 
 
+def test_batch_engine_block():
+    from repro.batch import batch_distances
+    from repro.datasets.random_walk import random_walks
+
+    series = random_walks(12, 128, seed=0)
+    result = batch_distances(
+        series, measure="cdtw", window=0.1, workers=4
+    )
+    assert len(result.distances) == 12 * 11 // 2
+    assert result.cells > 0
+    # the README's determinism claim: workers never change results
+    serial = batch_distances(series, measure="cdtw", window=0.1)
+    assert result.distances == serial.distances
+    assert result.cells == serial.cells
+
+
 def test_package_docstring_example():
     # the example in repro/__init__.py's module docstring
     from repro import dtw, fastdtw
