@@ -23,15 +23,21 @@ from .batch import BatchResult, batch_distances
 from .core import (
     DtwResult,
     FastDtwResult,
+    KernelSet,
     WarpingPath,
     Window,
     approximation_error_percent,
+    available_backends,
     cdtw,
+    default_backend,
     dtw,
     euclidean,
     fastdtw,
+    get_kernels,
     halve,
     paa,
+    set_default_backend,
+    use_backend,
     windowed_dtw,
 )
 
@@ -41,16 +47,22 @@ __all__ = [
     "BatchResult",
     "DtwResult",
     "FastDtwResult",
+    "KernelSet",
     "WarpingPath",
     "Window",
     "approximation_error_percent",
+    "available_backends",
     "batch_distances",
     "cdtw",
+    "default_backend",
     "dtw",
     "euclidean",
     "fastdtw",
+    "get_kernels",
     "halve",
     "paa",
+    "set_default_backend",
+    "use_backend",
     "windowed_dtw",
     "__version__",
 ]

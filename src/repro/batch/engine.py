@@ -23,6 +23,15 @@ The serial and parallel paths run byte-identical per-pair
 computations (same :func:`repro.core.measures.measure_fn` dispatch),
 so distances and cell totals agree exactly -- not merely to within
 floating-point noise.
+
+``backend="numpy"`` routes the exact DP measures through the
+vectorised kernels of :mod:`repro.core.kernels`; distance-only
+dtw/cdtw batches additionally collapse each chunk into stacked
+:func:`repro.core.numpy_backend.dtw_numpy_batch` calls (grouped by
+series shape), which is where the batch engine earns its hardware
+speed.  Distances and cells remain bit-identical to the pure engine
+for every worker count -- the equivalence suite runs the same
+property tests over both backends.
 """
 
 from __future__ import annotations
@@ -57,12 +66,16 @@ class BatchSpec:
     cost: CostLike = "squared"
     normalize: bool = False
     return_paths: bool = False
+    backend: str = "python"
 
     def __post_init__(self) -> None:
         if self.measure not in MEASURES:
             raise ValueError(
                 f"unknown measure {self.measure!r}; pick from {MEASURES}"
             )
+        from ..core.kernels import resolve_backend
+
+        resolve_backend(self.backend)
 
     def make_fn(self):
         """The pairwise callable this spec describes."""
@@ -73,6 +86,21 @@ class BatchSpec:
             radius=self.radius,
             cost=self.cost,
             return_path=self.return_paths,
+            backend=self.backend,
+        )
+
+    def vectorizable(self) -> bool:
+        """Can whole chunks collapse into stacked kernel calls?
+
+        True for distance-only dtw/cdtw batches on the numpy backend
+        with a named cost -- the configurations where
+        :func:`repro.core.numpy_backend.dtw_numpy_batch` applies.
+        """
+        return (
+            self.backend == "numpy"
+            and self.measure in ("dtw", "cdtw")
+            and not self.return_paths
+            and isinstance(self.cost, str)
         )
 
 
@@ -168,14 +196,20 @@ def argmin_first(values: Sequence[float]) -> Tuple[int, float]:
 # the pool initializer and parks it in a module global.
 
 class _WorkerContext:
-    __slots__ = ("cache", "spec", "fn", "lb_band", "lb_squared")
+    __slots__ = (
+        "cache", "spec", "fn", "vectorize", "lb_band", "lb_squared",
+        "lb_backend",
+    )
 
-    def __init__(self, series, spec=None, lb_band=None, lb_squared=True):
+    def __init__(self, series, spec=None, lb_band=None, lb_squared=True,
+                 lb_backend="python"):
         self.cache = SeriesCache(series)
         self.spec = spec
         self.fn = spec.make_fn() if spec is not None else None
+        self.vectorize = spec.vectorizable() if spec is not None else False
         self.lb_band = lb_band
         self.lb_squared = lb_squared
+        self.lb_backend = lb_backend
 
 
 _CONTEXT: Optional[_WorkerContext] = None
@@ -186,9 +220,11 @@ def _init_distance_worker(series, spec):
     _CONTEXT = _WorkerContext(series, spec=spec)
 
 
-def _init_lb_worker(series, band, squared):
+def _init_lb_worker(series, band, squared, backend):
     global _CONTEXT
-    _CONTEXT = _WorkerContext(series, lb_band=band, lb_squared=squared)
+    _CONTEXT = _WorkerContext(
+        series, lb_band=band, lb_squared=squared, lb_backend=backend
+    )
 
 
 def _compute_pair(ctx: _WorkerContext, i: int, j: int):
@@ -199,10 +235,56 @@ def _compute_pair(ctx: _WorkerContext, i: int, j: int):
     return split_result(ctx.fn(x, y))
 
 
+def _spec_window(spec: BatchSpec, n: int, m: int):
+    from ..core.kernels import banded_window, fraction_window, full_window
+
+    if spec.measure == "dtw":
+        return full_window(n, m)
+    if (spec.window is None) == (spec.band is None):
+        raise ValueError("specify exactly one of window= or band=")
+    if spec.window is not None:
+        return fraction_window(n, m, spec.window)
+    return banded_window(n, m, spec.band)
+
+
+def _compute_chunk_vectorized(ctx: _WorkerContext, chunk: Sequence[Pair]):
+    """One stacked kernel call per series shape in the chunk.
+
+    Per-pair results are bit-identical to :func:`_compute_pair` under
+    the same spec (the wavefront kernel evaluates the same DP lattice
+    in an order-independent schedule), so reassembling in input order
+    preserves the engine's determinism contract.
+    """
+    import numpy as np
+
+    from ..core.numpy_backend import dtw_numpy_batch
+    from ..core.validate import validate_pair
+
+    get = ctx.cache.normalized if ctx.spec.normalize else ctx.cache.raw
+    groups: dict = {}
+    for t, (i, j) in enumerate(chunk):
+        x, y = get(i), get(j)
+        validate_pair(x, y)
+        groups.setdefault((len(x), len(y)), []).append((t, x, y))
+    out = [None] * len(chunk)
+    for (n, m), items in groups.items():
+        win = _spec_window(ctx.spec, n, m)
+        cells = win.cell_count()
+        xs = np.array([x for _, x, _ in items], dtype=np.float64)
+        ys = np.array([y for _, _, y in items], dtype=np.float64)
+        distances = dtw_numpy_batch(xs, ys, win, cost=ctx.spec.cost)
+        for (t, _, _), d in zip(items, distances.tolist()):
+            out[t] = (d, cells, None)
+    return out
+
+
 def _run_distance_chunk(chunk: Sequence[Pair]):
     ctx = _CONTEXT
     before = ctx.cache.stats()
-    out = [_compute_pair(ctx, i, j) for i, j in chunk]
+    if ctx.vectorize:
+        out = _compute_chunk_vectorized(ctx, chunk)
+    else:
+        out = [_compute_pair(ctx, i, j) for i, j in chunk]
     return out, ctx.cache.stats() - before
 
 
@@ -211,10 +293,38 @@ def _compute_lb(ctx: _WorkerContext, i: int, j: int) -> float:
     return lb_keogh(env, ctx.cache.raw(j), squared=ctx.lb_squared)
 
 
+def _compute_lb_chunk_vectorized(ctx: _WorkerContext, chunk: Sequence[Pair]):
+    """Batched LB_Keogh: one kernel call per (query, length) group.
+
+    The numpy reduction may differ from the scalar sum in final ulps
+    (both are valid lower bounds); within the backend the value is
+    independent of worker count, because each pair's bound is a
+    self-contained row reduction.
+    """
+    from ..core.numpy_backend import lb_keogh_batch
+
+    groups: dict = {}
+    for t, (i, j) in enumerate(chunk):
+        cand = ctx.cache.raw(j)
+        groups.setdefault((i, len(cand)), []).append((t, cand))
+    out = [0.0] * len(chunk)
+    for (i, _), items in groups.items():
+        env = ctx.cache.envelope(i, ctx.lb_band)
+        bounds = lb_keogh_batch(
+            env, [cand for _, cand in items], squared=ctx.lb_squared
+        )
+        for (t, _), b in zip(items, bounds.tolist()):
+            out[t] = b
+    return out
+
+
 def _run_lb_chunk(chunk: Sequence[Pair]):
     ctx = _CONTEXT
     before = ctx.cache.stats()
-    out = [_compute_lb(ctx, i, j) for i, j in chunk]
+    if ctx.lb_backend == "numpy":
+        out = _compute_lb_chunk_vectorized(ctx, chunk)
+    else:
+        out = [_compute_lb(ctx, i, j) for i, j in chunk]
     return out, ctx.cache.stats() - before
 
 
@@ -271,6 +381,7 @@ def batch_distances(
     workers: int = 1,
     chunksize: Optional[int] = None,
     start_method: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> BatchResult:
     """Compute many independent pairwise distances as one batch.
 
@@ -298,6 +409,13 @@ def batch_distances(
     start_method:
         ``multiprocessing`` start method (default: ``fork`` where
         available, else ``spawn``).
+    backend:
+        Kernel backend for the exact DP measures, resolved via
+        :func:`repro.core.kernels.resolve_backend` (``None`` = the
+        process default).  ``"numpy"`` keeps distances and cells
+        bit-identical while collapsing distance-only dtw/cdtw chunks
+        into stacked kernel calls; it composes with ``workers=N``
+        (each pool worker runs the vectorised chunks).
 
     Returns
     -------
@@ -309,16 +427,24 @@ def batch_distances(
         raise ValueError("workers must be >= 1")
     if not series:
         raise ValueError("need at least one series")
+    from ..core.kernels import resolve_backend
+
     spec = BatchSpec(
         measure=measure, window=window, band=band, radius=radius,
         cost=cost, normalize=normalize, return_paths=return_paths,
+        backend=resolve_backend(backend),
     )
     task_list = _validated_pairs(pairs, len(series))
     series_t = tuple(tuple(float(v) for v in s) for s in series)
 
     if workers == 1 or len(task_list) == 0:
         context = _WorkerContext(series_t, spec=spec)
-        outcomes = [_compute_pair(context, i, j) for i, j in task_list]
+        if context.vectorize and task_list:
+            outcomes = _compute_chunk_vectorized(context, task_list)
+        else:
+            outcomes = [
+                _compute_pair(context, i, j) for i, j in task_list
+            ]
         stats = context.cache.stats()
         effective_workers = 1
     else:
@@ -361,6 +487,7 @@ def batch_lb_keogh(
     workers: int = 1,
     chunksize: Optional[int] = None,
     start_method: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> BatchResult:
     """LB_Keogh lower bounds for many ``(query, candidate)`` pairs.
 
@@ -369,6 +496,11 @@ def batch_lb_keogh(
     per worker, so a series appearing in many pairs pays for its
     envelope once per batch -- the amortization that makes
     lower-bounding profitable in repeated-use workloads.
+
+    ``backend="numpy"`` scores each chunk with the batched kernel
+    (one call per query/length group).  Its bounds may differ from
+    the scalar ones in final ulps -- they are bounds, not distances,
+    and both are valid -- but are identical for every worker count.
 
     Returns a :class:`BatchResult` whose distances are the bounds
     (``cells`` is 0: no DP lattice is touched).
@@ -379,14 +511,21 @@ def batch_lb_keogh(
         raise ValueError("band must be non-negative")
     if not series:
         raise ValueError("need at least one series")
+    from ..core.kernels import resolve_backend
+
+    lb_backend = resolve_backend(backend)
     task_list = _validated_pairs(pairs, len(series))
     series_t = tuple(tuple(float(v) for v in s) for s in series)
 
     if workers == 1 or len(task_list) == 0:
         context = _WorkerContext(
-            series_t, lb_band=band, lb_squared=squared
+            series_t, lb_band=band, lb_squared=squared,
+            lb_backend=lb_backend,
         )
-        bounds = [_compute_lb(context, i, j) for i, j in task_list]
+        if lb_backend == "numpy" and task_list:
+            bounds = _compute_lb_chunk_vectorized(context, task_list)
+        else:
+            bounds = [_compute_lb(context, i, j) for i, j in task_list]
         stats = context.cache.stats()
         effective_workers = 1
     else:
@@ -396,7 +535,7 @@ def batch_lb_keogh(
         ]
         chunk_results = _fan_out(
             series_t, task_list, chunks, workers,
-            _init_lb_worker, (series_t, band, squared),
+            _init_lb_worker, (series_t, band, squared, lb_backend),
             _run_lb_chunk, start_method,
         )
         bounds = [item for part, _ in chunk_results for item in part]

@@ -48,18 +48,28 @@ class DistanceSpec:
     use_lower_bounds:
         For ``"cdtw"``: route through the lossless LB cascade (exact,
         faster); meaningless for the other measures.
+    backend:
+        Kernel backend for the exact DP measures, per
+        :mod:`repro.core.kernels` (``None`` = process default).
+        ``"numpy"`` returns identical labels, distances and cells;
+        the fastdtw measures and Euclidean ignore it.
     """
 
     measure: str
     window: Optional[float] = None
     radius: Optional[int] = None
     use_lower_bounds: bool = False
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.measure not in MEASURES:
             raise ValueError(
                 f"unknown measure {self.measure!r}; pick from {MEASURES}"
             )
+        if self.backend is not None:
+            from ..core.kernels import resolve_backend
+
+            resolve_backend(self.backend)
         if self.measure == "cdtw":
             if self.window is None or not 0.0 <= self.window <= 1.0:
                 raise ValueError("cdtw needs window= in [0, 1]")
@@ -302,7 +312,7 @@ class KNearestNeighbors:
 
 def _spec_kwargs(spec: DistanceSpec) -> dict:
     """Batch-engine keyword arguments equivalent to ``spec``."""
-    kwargs: dict = {"measure": spec.measure}
+    kwargs: dict = {"measure": spec.measure, "backend": spec.backend}
     if spec.measure == "cdtw":
         kwargs["window"] = spec.window
     if spec.measure in _FASTDTW_MEASURES:
@@ -310,7 +320,31 @@ def _spec_kwargs(spec: DistanceSpec) -> dict:
     return kwargs
 
 
+def _kernel_fn(spec: DistanceSpec):
+    """Non-default kernel dispatch for ``spec``, or ``None``.
+
+    ``None`` means "use the serial reference implementations below",
+    which is the pure-Python path every spec took before the kernel
+    registry existed; only the exact DP measures on a non-python
+    backend divert through :func:`repro.core.measures.measure_fn`.
+    """
+    if spec.measure not in ("dtw", "cdtw"):
+        return None
+    from ..core.kernels import resolve_backend
+
+    if resolve_backend(spec.backend) == "python":
+        return None
+    from ..core.measures import measure_fn
+
+    return measure_fn(
+        spec.measure, window=spec.window, backend=spec.backend
+    )
+
+
 def _distance(spec: DistanceSpec, x, y) -> float:
+    fn = _kernel_fn(spec)
+    if fn is not None:
+        return fn(x, y).distance
     if spec.measure == "euclidean":
         return euclidean(x, y)
     if spec.measure == "dtw":
@@ -339,12 +373,17 @@ def _nearest_impl(spec: DistanceSpec, query, candidates):
     """Index, distance and DP cells of the nearest candidate."""
     if spec.measure == "cdtw" and spec.use_lower_bounds:
         res = nearest_neighbor(
-            query, candidates, strategy="cdtw+lb", window=spec.window
+            query, candidates, strategy="cdtw+lb", window=spec.window,
+            backend=spec.backend,
         )
         return res.index, res.distance, res.cells
+    kernel_fn = _kernel_fn(spec)
     best_idx, best, cells = 0, inf, 0
     for i, cand in enumerate(candidates):
-        if spec.measure == "euclidean":
+        if kernel_fn is not None:
+            r = kernel_fn(query, cand)
+            d, cells = r.distance, cells + r.cells
+        elif spec.measure == "euclidean":
             d = euclidean(query, cand, abandon_above=best)
         elif spec.measure == "dtw":
             r = dtw(query, cand)

@@ -75,6 +75,28 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--seed", type=int, default=0,
                        help="random-walk seed (default 0)")
 
+    kernels = sub.add_parser(
+        "kernels",
+        help="micro-benchmark the kernel backends (python vs numpy)",
+    )
+    kernels.add_argument("--count", type=int, default=None,
+                         help="number of random-walk series (default 8)")
+    kernels.add_argument("--length", type=int, default=None,
+                         help="length of each series (default 1000)")
+    kernels.add_argument("--window", type=float, default=0.1,
+                         help="cDTW window fraction (default 0.1)")
+    kernels.add_argument("--workers", type=int, default=2,
+                         help="pool size for the +workers rows (default 2)")
+    kernels.add_argument("--repeats", type=int, default=3,
+                         help="timing repeats, best-of (default 3)")
+    kernels.add_argument("--seed", type=int, default=0,
+                         help="random-walk seed (default 0)")
+    kernels.add_argument("--smoke", action="store_true",
+                         help="tiny CI workload (exercises the same "
+                              "code paths, meaningless timings)")
+    kernels.add_argument("--out", default="BENCH_kernels.json",
+                         help="output JSON path ('-' to skip writing)")
+
     advise = sub.add_parser(
         "advise", help="classify a task per the paper's Table 1"
     )
@@ -162,6 +184,43 @@ def cmd_batch(args) -> int:
     return 0 if serial.cells == parallel.cells else 1
 
 
+def cmd_kernels(args) -> int:
+    import json
+
+    from .timing.kernel_bench import (
+        SMOKE_COUNT,
+        SMOKE_LENGTH,
+        format_report,
+        kernel_benchmark,
+    )
+
+    if args.smoke:
+        count = args.count if args.count is not None else SMOKE_COUNT
+        length = args.length if args.length is not None else SMOKE_LENGTH
+        repeats = 1
+    else:
+        count = args.count if args.count is not None else 8
+        length = args.length if args.length is not None else 1000
+        repeats = args.repeats
+    try:
+        report = kernel_benchmark(
+            length=length, count=count, window=args.window,
+            workers=args.workers, repeats=repeats, seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(report))
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"  wrote {args.out}")
+    parity = report["parity"]
+    ok = parity["distances_identical"] and parity["cells_identical"]
+    return 0 if ok else 1
+
+
 def cmd_verdicts() -> int:
     from .experiments.verdicts import collect_verdicts, format_verdicts
 
@@ -183,4 +242,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_verdicts()
     if args.command == "batch":
         return cmd_batch(args)
+    if args.command == "kernels":
+        return cmd_kernels(args)
     raise AssertionError(f"unhandled command {args.command!r}")

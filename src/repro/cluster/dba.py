@@ -54,6 +54,7 @@ def dba(
     band: Optional[int] = None,
     initial: Optional[Sequence[float]] = None,
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> DbaResult:
     """Compute a DTW barycenter of equal-length series.
 
@@ -78,6 +79,11 @@ def dba(
         evaluations (every series aligns to the barycenter
         independently, so each round is one :mod:`repro.batch` job).
         The barycenter is identical for any worker count.
+    backend:
+        Kernel backend for the alignments and inertia evaluations,
+        per :mod:`repro.core.kernels` (``None`` = process default).
+        Distances *and recovered paths* are bit-identical on every
+        backend, so the barycenter is too.
 
     Returns
     -------
@@ -106,13 +112,14 @@ def dba(
     else:
         centre = list(lists[_euclidean_medoid(lists)])
 
-    inertia = _inertia(centre, lists, band, workers)
+    inertia = _inertia(centre, lists, band, workers, backend)
     iterations = 0
     converged = False
     for _ in range(max_iterations):
         sums = [0.0] * n
         counts = [0] * n
-        for s, path in zip(lists, _alignments(centre, lists, band, workers)):
+        paths = _alignments(centre, lists, band, workers, backend)
+        for s, path in zip(lists, paths):
             for i, j in path:
                 sums[i] += s[j]
                 counts[i] += 1
@@ -120,7 +127,7 @@ def dba(
             sums[i] / counts[i] if counts[i] else centre[i]
             for i in range(n)
         ]
-        new_inertia = _inertia(new_centre, lists, band, workers)
+        new_inertia = _inertia(new_centre, lists, band, workers, backend)
         iterations += 1
         if new_inertia <= inertia:
             centre = new_centre
@@ -137,7 +144,7 @@ def dba(
     )
 
 
-def _alignments(centre, lists, band, workers):
+def _alignments(centre, lists, band, workers, backend=None):
     """One warping path per series, aligning each to ``centre``."""
     if workers > 1:
         from ..batch.engine import batch_distances
@@ -149,8 +156,19 @@ def _alignments(centre, lists, band, workers):
             band=band,
             return_paths=True,
             workers=workers,
+            backend=backend,
         )
         return list(result.paths)
+    from ..core.kernels import resolve_backend
+
+    if resolve_backend(backend) != "python":
+        from ..core.measures import measure_fn
+
+        fn = measure_fn(
+            "dtw" if band is None else "cdtw", band=band,
+            return_path=True, backend=backend,
+        )
+        return [fn(centre, s).path for s in lists]
     if band is None:
         return [dtw(centre, s, return_path=True).path for s in lists]
     return [
@@ -158,7 +176,7 @@ def _alignments(centre, lists, band, workers):
     ]
 
 
-def _inertia(centre, lists, band, workers=1) -> float:
+def _inertia(centre, lists, band, workers=1, backend=None) -> float:
     if workers > 1:
         from ..batch.engine import batch_distances
 
@@ -168,8 +186,18 @@ def _inertia(centre, lists, band, workers=1) -> float:
             measure="dtw" if band is None else "cdtw",
             band=band,
             workers=workers,
+            backend=backend,
         )
         return sum(result.distances)
+    from ..core.kernels import resolve_backend
+
+    if resolve_backend(backend) != "python":
+        from ..core.measures import measure_fn
+
+        fn = measure_fn(
+            "dtw" if band is None else "cdtw", band=band, backend=backend
+        )
+        return sum(fn(centre, s).distance for s in lists)
     total = 0.0
     for s in lists:
         if band is None:

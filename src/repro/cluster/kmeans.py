@@ -53,6 +53,7 @@ def dtw_kmeans(
     dba_iterations: int = 3,
     seed: int = 0,
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> KMeansResult:
     """Cluster equal-length series into ``k`` groups under DTW.
 
@@ -75,6 +76,11 @@ def dtw_kmeans(
         Worker processes for each Lloyd round's assignment distances
         and the DBA centroid updates (1 = serial; assignments,
         centroids and inertia are identical for any worker count).
+    backend:
+        Kernel backend for every distance and alignment, per
+        :mod:`repro.core.kernels` (``None`` = process default).
+        Assignments, centroids and inertia are identical on every
+        backend (the DP results are bit-identical).
 
     Returns
     -------
@@ -93,10 +99,7 @@ def dtw_kmeans(
     if workers < 1:
         raise ValueError("workers must be >= 1")
 
-    def dist(a, b) -> float:
-        if band is None:
-            return dtw(a, b).distance
-        return cdtw(a, b, band=band).distance
+    dist = _dist_fn(band, backend)
 
     centroids = _plus_plus_init(lists, k, dist, random.Random(seed))
 
@@ -104,7 +107,7 @@ def dtw_kmeans(
     iterations = 0
     converged = False
     for _ in range(max_iterations):
-        new_assignments = _assign(lists, centroids, band, workers)
+        new_assignments = _assign(lists, centroids, band, workers, backend)
         iterations += 1
         if new_assignments == assignments:
             converged = True
@@ -117,11 +120,14 @@ def dtw_kmeans(
             if members:
                 centroids[c] = list(
                     dba(members, max_iterations=dba_iterations,
-                        band=band, workers=workers).barycenter
+                        band=band, workers=workers,
+                        backend=backend).barycenter
                 )
             # empty clusters keep their previous centroid
 
-    inertia = _total_inertia(lists, centroids, assignments, band, workers)
+    inertia = _total_inertia(
+        lists, centroids, assignments, band, workers, backend
+    )
     return KMeansResult(
         centroids=tuple(tuple(c) for c in centroids),
         assignments=tuple(assignments),
@@ -131,13 +137,27 @@ def dtw_kmeans(
     )
 
 
-def _assign(lists, centroids, band, workers) -> List[int]:
-    """Nearest-centroid index per series (first centroid wins ties)."""
+def _dist_fn(band, backend=None):
+    """The pairwise distance the clustering uses, backend-dispatched."""
+    from ..core.kernels import resolve_backend
+
+    if resolve_backend(backend) != "python":
+        from ..core.measures import measure_fn
+
+        fn = measure_fn(
+            "dtw" if band is None else "cdtw", band=band, backend=backend
+        )
+        return lambda a, b: fn(a, b).distance
+
     def dist(a, b) -> float:
         if band is None:
             return dtw(a, b).distance
         return cdtw(a, b, band=band).distance
+    return dist
 
+
+def _assign(lists, centroids, band, workers, backend=None) -> List[int]:
+    """Nearest-centroid index per series (first centroid wins ties)."""
     if workers > 1:
         from ..batch.engine import argmin_first, batch_distances
 
@@ -152,11 +172,13 @@ def _assign(lists, centroids, band, workers) -> List[int]:
             measure="dtw" if band is None else "cdtw",
             band=band,
             workers=workers,
+            backend=backend,
         )
         return [
             argmin_first(result.distances[i * k:(i + 1) * k])[0]
             for i in range(len(lists))
         ]
+    dist = _dist_fn(band, backend)
     assignments = []
     for s in lists:
         best, best_c = inf, 0
@@ -168,7 +190,9 @@ def _assign(lists, centroids, band, workers) -> List[int]:
     return assignments
 
 
-def _total_inertia(lists, centroids, assignments, band, workers) -> float:
+def _total_inertia(
+    lists, centroids, assignments, band, workers, backend=None
+) -> float:
     """Sum of each series' distance to its assigned centroid."""
     if workers > 1:
         from ..batch.engine import batch_distances
@@ -180,13 +204,10 @@ def _total_inertia(lists, centroids, assignments, band, workers) -> float:
             measure="dtw" if band is None else "cdtw",
             band=band,
             workers=workers,
+            backend=backend,
         )
         return sum(result.distances)
-    def dist(a, b) -> float:
-        if band is None:
-            return dtw(a, b).distance
-        return cdtw(a, b, band=band).distance
-
+    dist = _dist_fn(band, backend)
     return sum(
         dist(centroids[assignments[i]], s) for i, s in enumerate(lists)
     )

@@ -120,6 +120,7 @@ def linkage_from_series(
     radius: int = 1,
     cost: str = "squared",
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> List[Merge]:
     """Cluster raw series: batched all-pairs matrix, then linkage.
 
@@ -127,13 +128,14 @@ def linkage_from_series(
     :func:`repro.core.matrix.distance_matrix` (which fans the
     ``k * (k - 1) / 2`` pairwise computations out over ``workers``
     processes) and :func:`linkage`.  The merge structure is identical
-    for any worker count, since the matrix is.
+    for any worker count -- and for any ``backend`` (see
+    :mod:`repro.core.kernels`) -- since the matrix is.
     """
     from ..core.matrix import distance_matrix
 
     matrix = distance_matrix(
         series, measure=measure, window=window, band=band,
-        radius=radius, cost=cost, workers=workers,
+        radius=radius, cost=cost, workers=workers, backend=backend,
     )
     return linkage(matrix.as_lists(), method=method)
 

@@ -21,6 +21,15 @@ from .fastdtw import (
     fastdtw_cell_estimate,
 )
 from .fastdtw_reference import fastdtw_reference
+from .kernels import (
+    KernelSet,
+    available_backends,
+    default_backend,
+    get_kernels,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
 from .matrix import DistanceMatrix, distance_matrix
 from .measures import (
     CELL_COUNTED_MEASURES,
@@ -55,14 +64,17 @@ __all__ = [
     "FastDtwLevel",
     "FastDtwResult",
     "InvalidPathError",
+    "KernelSet",
     "WarpingPath",
     "Window",
     "absolute_cost",
     "approximation_error",
     "approximation_error_percent",
+    "available_backends",
     "band_cells",
     "cdtw",
     "cdtw_nd",
+    "default_backend",
     "diagonal_path",
     "distance_matrix",
     "downsampled_dtw",
@@ -76,6 +88,7 @@ __all__ = [
     "fastdtw_cell_estimate",
     "fastdtw_nd",
     "fastdtw_reference",
+    "get_kernels",
     "halve",
     "halve_nd",
     "interleave",
@@ -84,9 +97,12 @@ __all__ = [
     "paa",
     "paa_factor",
     "pairwise_matrix_numpy",
+    "resolve_backend",
     "resolve_cost",
+    "set_default_backend",
     "split_result",
     "squared_cost",
+    "use_backend",
     "validate_measure",
     "validate_pair",
     "validate_series",

@@ -1,0 +1,252 @@
+"""The kernel backend registry: one switch for every repeated-use path.
+
+The paper's head-to-head timings must run the pure-Python engine for
+both contestants ("same language, same hardware") -- but everything
+*around* that comparison (classification, clustering, similarity
+search, batch matrices) is production-style repeated use, where the
+ROADMAP wants hardware speed.  This module lets those consumers pick
+their compute kernels without knowing who provides them:
+
+* ``backend="python"`` -- the pure engine
+  (:func:`repro.core.engine.dp_over_window` and the scalar
+  lower-bound implementations).  The default; bit-for-bit the
+  behaviour every consumer had before the registry existed.
+* ``backend="numpy"`` -- the vectorised kernels of
+  :mod:`repro.core.numpy_backend`.  DTW distances, cells, paths and
+  abandon decisions are bit-identical to the pure engine (enforced by
+  ``tests/core/test_numpy_parity.py``); the batched lower bounds may
+  differ from the scalar ones in final ulps (they are bounds, not
+  distances) while remaining valid.
+
+Consumers resolve a backend *per call* (``backend=`` keyword, with
+``None`` meaning "the process default") and fetch a
+:class:`KernelSet`.  The process default is ``"python"`` unless
+changed via :func:`set_default_backend` or, scoped, the
+:func:`use_backend` context manager.
+
+:mod:`repro.timing` and :mod:`repro.experiments` never consult the
+registry: they pin ``backend="python"`` explicitly, so flipping the
+process default cannot silently corrupt a paper reproduction (see
+``repro.timing.runner.PINNED_BACKEND``).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from contextlib import contextmanager
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, Optional, Tuple
+
+from .window import Window
+
+__all__ = [
+    "KernelSet",
+    "available_backends",
+    "default_backend",
+    "set_default_backend",
+    "use_backend",
+    "resolve_backend",
+    "get_kernels",
+]
+
+
+@dataclass(frozen=True)
+class KernelSet:
+    """The callables one backend contributes, under a fixed contract.
+
+    Attributes
+    ----------
+    name:
+        The backend's registry name.
+    dtw:
+        ``dtw(x, y, window, cost="squared", return_path=False,
+        abandon_above=None, suffix_bound=None) -> DtwResult`` -- the
+        windowed DP, semantics of
+        :func:`repro.core.engine.dp_over_window`.
+    envelope:
+        ``envelope(x, band) -> Envelope`` (Lemire warping envelope).
+    lb_kim:
+        ``lb_kim(query, candidates, cost="squared", tiers=2)`` ->
+        per-candidate bounds (sequence-like of floats).
+    lb_keogh:
+        ``lb_keogh(query_envelope, candidates, squared=True,
+        abandon_above=None)`` -> per-candidate bounds.
+    lb_keogh_reversed:
+        ``lb_keogh_reversed(query, candidates, band, squared=True,
+        abandon_above=None)`` -> per-candidate bounds (envelopes built
+        over the candidates).
+    suffix_gap_bounds:
+        ``suffix_gap_bounds(x, y_envelope, squared=True)`` -> per-row
+        suffix bounds for cumulative early abandoning.
+    """
+
+    name: str
+    dtw: Callable
+    envelope: Callable
+    lb_kim: Callable
+    lb_keogh: Callable
+    lb_keogh_reversed: Callable
+    suffix_gap_bounds: Callable
+
+
+def _build_python() -> KernelSet:
+    from ..lowerbounds.envelope import envelope
+    from ..lowerbounds.lb_keogh import lb_keogh, lb_keogh_reversed
+    from ..lowerbounds.lb_kim import lb_kim
+    from ..search.cumulative import suffix_gap_bounds
+    from .engine import dp_over_window
+
+    def lb_kim_each(query, candidates, cost="squared", tiers=2):
+        return [lb_kim(query, c, cost=cost, tiers=tiers)
+                for c in candidates]
+
+    def lb_keogh_each(query_envelope, candidates, squared=True,
+                      abandon_above=None):
+        return [lb_keogh(query_envelope, c, squared=squared,
+                         abandon_above=abandon_above)
+                for c in candidates]
+
+    def lb_keogh_reversed_each(query, candidates, band, squared=True,
+                               abandon_above=None):
+        return [lb_keogh_reversed(query, c, band, squared=squared,
+                                  abandon_above=abandon_above)
+                for c in candidates]
+
+    return KernelSet(
+        name="python",
+        dtw=dp_over_window,
+        envelope=envelope,
+        lb_kim=lb_kim_each,
+        lb_keogh=lb_keogh_each,
+        lb_keogh_reversed=lb_keogh_reversed_each,
+        suffix_gap_bounds=suffix_gap_bounds,
+    )
+
+
+def _build_numpy() -> KernelSet:
+    from . import numpy_backend as nb
+
+    def dtw(x, y, window, cost="squared", return_path=False,
+            abandon_above=None, suffix_bound=None):
+        return nb.dtw_numpy(
+            x, y, window=window, cost=cost, return_path=return_path,
+            abandon_above=abandon_above, suffix_bound=suffix_bound,
+        )
+
+    return KernelSet(
+        name="numpy",
+        dtw=dtw,
+        envelope=nb.envelope_numpy,
+        lb_kim=nb.lb_kim_batch,
+        lb_keogh=nb.lb_keogh_batch,
+        lb_keogh_reversed=nb.lb_keogh_reversed_batch,
+        suffix_gap_bounds=nb.suffix_gap_bounds_numpy,
+    )
+
+
+def _numpy_available() -> bool:
+    return importlib.util.find_spec("numpy") is not None
+
+
+_BUILDERS: Dict[str, Callable[[], KernelSet]] = {
+    "python": _build_python,
+    "numpy": _build_numpy,
+}
+_AVAILABILITY: Dict[str, Callable[[], bool]] = {
+    "python": lambda: True,
+    "numpy": _numpy_available,
+}
+_BUILT: Dict[str, KernelSet] = {}
+_DEFAULT = "python"
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the backends usable in this environment."""
+    return tuple(
+        name for name in _BUILDERS if _AVAILABILITY[name]()
+    )
+
+
+def default_backend() -> str:
+    """The process-wide default backend name."""
+    return _DEFAULT
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Turn a ``backend=`` argument into a concrete backend name.
+
+    ``None`` resolves to the process default; anything else must name
+    an available backend.
+    """
+    name = _DEFAULT if backend is None else backend
+    if name not in _BUILDERS:
+        raise ValueError(
+            f"unknown backend {name!r}; pick from {tuple(_BUILDERS)}"
+        )
+    if not _AVAILABILITY[name]():
+        raise ValueError(
+            f"backend {name!r} is not available in this environment"
+        )
+    return name
+
+
+def set_default_backend(backend: str) -> str:
+    """Set the process default; returns the previous default.
+
+    Affects every subsequent call that passes ``backend=None``.  The
+    paper-reproduction harnesses are immune: they pin
+    ``backend="python"`` explicitly.
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = resolve_backend(backend)
+    return previous
+
+
+@contextmanager
+def use_backend(backend: str):
+    """Scoped :func:`set_default_backend`::
+
+        with use_backend("numpy"):
+            matrix = distance_matrix(series, measure="cdtw", window=0.1)
+    """
+    previous = set_default_backend(backend)
+    try:
+        yield
+    finally:
+        set_default_backend(previous)
+
+
+def get_kernels(backend: Optional[str] = None) -> KernelSet:
+    """The :class:`KernelSet` for ``backend`` (default: process default)."""
+    name = resolve_backend(backend)
+    built = _BUILT.get(name)
+    if built is None:
+        built = _BUILT[name] = _BUILDERS[name]()
+    return built
+
+
+# -- shared window memoisation -------------------------------------------
+#
+# Consumers that dispatch per pair (kNN loops, batched matrices) build
+# the same Window over and over; construction is O(n) Python, which
+# matters once the DP itself runs at NumPy speed.
+
+
+@lru_cache(maxsize=512)
+def full_window(n: int, m: int) -> Window:
+    """Memoised :meth:`Window.full`."""
+    return Window.full(n, m)
+
+
+@lru_cache(maxsize=512)
+def banded_window(n: int, m: int, band: int) -> Window:
+    """Memoised :meth:`Window.band`."""
+    return Window.band(n, m, band)
+
+
+@lru_cache(maxsize=512)
+def fraction_window(n: int, m: int, window: float) -> Window:
+    """Memoised :meth:`Window.from_fraction`."""
+    return Window.from_fraction(n, m, window)

@@ -73,6 +73,7 @@ def distance_matrix(
     radius: int = 1,
     cost: CostLike = "squared",
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> DistanceMatrix:
     """Compute the all-pairs matrix under one measure.
 
@@ -92,6 +93,11 @@ def distance_matrix(
     workers:
         Worker processes for the pairwise batch (1 = in-process
         serial; results are identical for any value).
+    backend:
+        Kernel backend for the exact DP measures, per
+        :mod:`repro.core.kernels` (``None`` = process default;
+        ``"numpy"`` vectorises the batch with bit-identical
+        distances and cells).
 
     Returns
     -------
@@ -111,6 +117,7 @@ def distance_matrix(
         radius=radius,
         cost=cost,
         workers=workers,
+        backend=backend,
     )
     k = len(series)
     values = [[0.0] * k for _ in range(k)]

@@ -44,6 +44,7 @@ def measure_fn(
     radius: int = 1,
     cost: CostLike = "squared",
     return_path: bool = False,
+    backend: Optional[str] = None,
 ) -> PairwiseFn:
     """Build the pairwise callable for one measure configuration.
 
@@ -60,6 +61,13 @@ def measure_fn(
     return_path:
         Ask the exact measures to also recover the warping path (the
         fastdtw measures always return one; Euclidean has none).
+    backend:
+        Kernel backend for the exact DP measures (``"dtw"``/``"cdtw"``),
+        resolved via :func:`repro.core.kernels.resolve_backend`
+        (``None`` = the process default).  The fastdtw measures and
+        Euclidean always run their reference implementations; the
+        ``"numpy"`` backend returns bit-identical distances, cells and
+        paths but requires a named ``cost``.
 
     Returns
     -------
@@ -68,6 +76,13 @@ def measure_fn(
         ``"euclidean"``); unwrap uniformly with :func:`split_result`.
     """
     validate_measure(measure)
+    from .kernels import resolve_backend
+
+    resolved = resolve_backend(backend)
+    if resolved != "python" and measure in ("dtw", "cdtw"):
+        return _kernel_measure_fn(
+            measure, resolved, window, band, cost, return_path
+        )
     if measure == "dtw":
         return lambda x, y: dtw(x, y, cost=cost, return_path=return_path)
     if measure == "cdtw":
@@ -80,6 +95,54 @@ def measure_fn(
     if measure == "fastdtw_reference":
         return lambda x, y: fastdtw_reference(x, y, radius=radius, cost=cost)
     return lambda x, y: euclidean(x, y, cost=cost)
+
+
+def _kernel_measure_fn(
+    measure: str,
+    backend: str,
+    window: Optional[float],
+    band: Optional[int],
+    cost: CostLike,
+    return_path: bool,
+) -> PairwiseFn:
+    """The dtw/cdtw callable routed through a non-default kernel set.
+
+    Mirrors :func:`repro.core.dtw.dtw` / :func:`repro.core.cdtw.cdtw`
+    exactly (same validation, same window construction) but evaluates
+    the DP with the chosen backend's kernels; windows are memoised
+    because construction is O(n) Python, which shows once the DP runs
+    at kernel speed.
+    """
+    from .kernels import (
+        banded_window,
+        fraction_window,
+        full_window,
+        get_kernels,
+    )
+    from .validate import validate_pair
+
+    kernels = get_kernels(backend)
+    if measure == "dtw":
+        def full_fn(x, y):
+            validate_pair(x, y)
+            win = full_window(len(x), len(y))
+            return kernels.dtw(
+                x, y, win, cost=cost, return_path=return_path
+            )
+        return full_fn
+
+    if (window is None) == (band is None):
+        raise ValueError("specify exactly one of window= or band=")
+
+    def banded_fn(x, y):
+        validate_pair(x, y)
+        n, m = len(x), len(y)
+        if window is not None:
+            win = fraction_window(n, m, window)
+        else:
+            win = banded_window(n, m, band)
+        return kernels.dtw(x, y, win, cost=cost, return_path=return_path)
+    return banded_fn
 
 
 def split_result(result: object) -> Tuple[float, int, object]:

@@ -1,113 +1,658 @@
-"""NumPy-vectorised DTW backends (cross-validation and bulk work).
+"""NumPy-vectorised DTW and lower-bound kernels.
 
 The paper's head-to-head timings intentionally use the pure-Python
 engine for *both* algorithms ("implemented in the same language,
-running on the same hardware").  This module provides an independent,
-vectorised implementation used to
+running on the same hardware") -- :mod:`repro.timing` is pinned to it.
+Everything *around* the head-to-head, however, is a repeated-use
+workload (classification, clustering, similarity search), and there
+the ROADMAP's goal is "as fast as the hardware allows".  This module
+is the NumPy side of the :mod:`repro.core.kernels` registry: a
+feature-parity drop-in for :func:`repro.core.engine.dp_over_window`
+plus batched envelope/LB kernels for pruning cascades.
 
-* cross-check the pure engine's distances in the test-suite, and
-* accelerate bulk distance-matrix computations in examples where the
-  comparison is not the point (e.g. clustering a dataset).
+Parity is *bit-level*, not approximate: :func:`dtw_numpy` returns the
+very same ``DtwResult`` fields -- distance, ``cells``, recovered path
+(identical diagonal-first tie-breaking) and abandon decisions -- that
+the pure engine produces, down to the last ulp.  The test-suite
+(``tests/core/test_numpy_parity.py``) fuzzes that contract.
 
-``dtw_numpy`` computes the accumulated-cost recurrence row by row:
-the diagonal and vertical predecessors vectorise directly, and the
-in-row horizontal dependency is resolved with an exact running-minimum
-scan per row (a short Python loop over *rows*, NumPy over columns).
+How the DP is vectorised while staying bit-identical
+----------------------------------------------------
+
+The DP's cell values are *evaluation-order independent*: each equals
+``local + min(three predecessor values)``, where the predecessors'
+final values do not depend on the order cells were filled in.  Any
+schedule that finishes a cell's predecessors first therefore produces
+bitwise the same lattice (IEEE-754 ``+`` is commutative and ``min`` is
+a true minimum, so the combining arithmetic is operand-identical).
+
+* The fast path sweeps **anti-diagonal wavefronts** (``i + j = d``):
+  all three predecessors of a wavefront-``d`` cell sit on wavefronts
+  ``d-1``/``d-2``, so each step is a handful of whole-front NumPy ops
+  with no intra-step dependency at all.  Feasible windows make each
+  wavefront a contiguous row interval, so fronts are plain slices.
+* ``return_path`` and ``abandon_above`` need *row-major* order (rows
+  are what gets retained and what abandon decisions are defined over),
+  so those take a row sweep instead: diagonal/vertical predecessors
+  vectorise directly, and the in-row horizontal recurrence
+  ``cur[j] = min(acc[j], cur[j-1] + local[j])`` is solved by a
+  verified prefix-minimum candidate (the recurrence's solution is
+  unique, so a candidate that passes a vectorised exact-equality check
+  against it *is* the sequential result) with an exact sequential
+  fold for rows where verification fails.
+
+``dtw_numpy_batch`` advances a whole stack of equal-shape pairs
+through each wavefront together, which is where the large speedups
+live: per-step NumPy dispatch overhead is amortised over the batch.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from math import inf
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .cost import BUILTIN_COSTS, CostLike
+from .engine import DtwResult, _backtrack
+from .window import Window
+
+__all__ = [
+    "dtw_numpy",
+    "dtw_numpy_batch",
+    "pairwise_matrix_numpy",
+    "envelope_numpy",
+    "lb_keogh_batch",
+    "lb_keogh_reversed_batch",
+    "lb_kim_batch",
+    "suffix_gap_bounds_numpy",
+]
+
+_INF = np.inf
+
+#: Pairs per internal block of the batched DP (bounds the local-cost
+#: tensor to ~48 MB of float64 regardless of batch size).
+_BLOCK_BUDGET_CELLS = 6_000_000
+
+
+def _require_named_cost(cost: CostLike) -> str:
+    """The cost name, or a pointed error for callables.
+
+    The NumPy kernels inline the built-in costs into array expressions;
+    arbitrary Python callables cannot be vectorised without silently
+    falling back to scalar speed, so they are rejected here -- use
+    ``backend="python"`` for custom costs.
+    """
+    if isinstance(cost, str) and cost in BUILTIN_COSTS:
+        return cost
+    raise ValueError(
+        f"the numpy backend supports the named costs {BUILTIN_COSTS}; "
+        f"got {cost!r} (use backend='python' for callable costs)"
+    )
+
+
+def _as_series(x, name: str) -> np.ndarray:
+    arr = np.ascontiguousarray(x, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(f"{name} must be a non-empty 1-D series")
+    if not np.isfinite(arr).all():
+        i = int(np.flatnonzero(~np.isfinite(arr))[0])
+        raise ValueError(f"series {name}: sample {i} is not finite ({arr[i]!r})")
+    return arr
+
+
+def _resolve_window(n: int, m: int, window: Optional[Window],
+                    band: Optional[int]) -> Window:
+    if window is not None and band is not None:
+        raise ValueError("pass either window= or band=, not both")
+    if window is not None:
+        return window
+    if band is not None:
+        return Window.band(n, m, band)
+    return Window.full(n, m)
+
+
+def _local_cost_matrix(x: np.ndarray, y: np.ndarray, ranges,
+                       wmax: int, named: str) -> np.ndarray:
+    """Rectangularised per-cell costs: ``L[i, k]`` is the cost of cell
+    ``(i, lo_i + k)``; columns past a row's width hold junk (clamped to
+    the last sample) and are never read by the DP."""
+    n, m = len(x), len(y)
+    lo = np.fromiter((r[0] for r in ranges), dtype=np.int64, count=n)
+    cols = lo[:, None] + np.arange(wmax, dtype=np.int64)[None, :]
+    np.minimum(cols, m - 1, out=cols)
+    L = x[:, None] - y[cols]
+    if named == "squared":
+        np.multiply(L, L, out=L)
+    else:
+        np.abs(L, out=L)
+    return L
+
+
+def _antidiag_layout(window: Window):
+    """Wavefront geometry of a window: for each anti-diagonal
+    ``d = i + j``, the (contiguous, by feasibility) row interval
+    ``[istart[d], iend[d]]`` of admitted cells, plus gather indices
+    ``I``/``J`` mapping ``(d, k)`` to lattice coordinates
+    ``(istart[d] + k, d - i)`` (junk columns clamped to the interval's
+    last real cell)."""
+    n, m = window.n, window.m
+    lo = np.fromiter((r[0] for r in window.ranges), dtype=np.int64, count=n)
+    hi = np.fromiter((r[1] for r in window.ranges), dtype=np.int64, count=n)
+    rows = np.arange(n, dtype=np.int64)
+    d = np.arange(n + m - 1, dtype=np.int64)
+    # row i covers anti-diagonals [i + lo_i, i + hi_i]; both bounds are
+    # non-decreasing in i, so membership intervals come from bisection
+    istart = np.searchsorted(hi + rows, d, side="left")
+    iend = np.searchsorted(lo + rows, d, side="right") - 1
+    wdmax = int((iend - istart).max()) + 1
+    I = istart[:, None] + np.arange(wdmax, dtype=np.int64)[None, :]
+    np.minimum(I, iend[:, None], out=I)
+    J = d[:, None] - I
+    return istart, iend, I, J
+
+
+def _dtw_antidiag(X: np.ndarray, Y: np.ndarray, window: Window,
+                  named: str) -> np.ndarray:
+    """Distances for a ``(p, n) x (p, m)`` pair stack by wavefront
+    sweep; bit-identical to the pure engine (see the module docstring
+    for the evaluation-order argument)."""
+    p = X.shape[0]
+    n, m = window.n, window.m
+    istart, iend, I, J = _antidiag_layout(window)
+    out = np.empty(p, dtype=np.float64)
+    block = max(1, _BLOCK_BUDGET_CELLS // I.size)
+    for start in range(0, p, block):
+        sl = slice(start, min(start + block, p))
+        out[sl] = _antidiag_block(X[sl], Y[sl], n, m, istart, iend, I, J,
+                                  named)
+    return out
+
+
+def _antidiag_block(X, Y, n, m, istart, iend, I, J, named) -> np.ndarray:
+    # skewed local costs: LS[t, d, k] is the cost of cell
+    # (istart[d] + k, d - i) for pair t
+    LS = X[:, I] - Y[:, J]
+    if named == "squared":
+        np.multiply(LS, LS, out=LS)
+    else:
+        np.abs(LS, out=LS)
+
+    p = X.shape[0]
+    starts = istart.tolist()
+    ends = iend.tolist()
+    # three rotating wavefront buffers over absolute row indices with a
+    # guard slot: buffer index i+1 holds the cell in row i; slots
+    # outside a front's interval stay inf.
+    b2 = np.full((p, n + 1), _INF)   # front d-2
+    b1 = np.full((p, n + 1), _INF)   # front d-1
+    b0 = np.full((p, n + 1), _INF)   # front d (reuses the d-3 buffer)
+    b1[:, 1] = LS[:, 0, 0]           # cell (0, 0): local cost + 0
+    written = [0, 0, 0]              # written interval starts per buffer
+    minimum = np.minimum
+    for d in range(1, n + m - 1):
+        s = starts[d]
+        e1 = ends[d] + 1
+        old = written[0]
+        if old < s:  # clear the margin the d-3 front exposes
+            b0[:, old + 1:s + 1] = _INF
+        written[0] = written[1]
+        written[1] = written[2]
+        written[2] = s
+        cur = b0[:, s + 1:e1 + 1]
+        # vertical (i-1, j) and horizontal (i, j-1) live on front d-1
+        # at row offsets i-1 and i; diagonal (i-1, j-1) on front d-2
+        minimum(b1[:, s:e1], b1[:, s + 1:e1 + 1], out=cur)
+        minimum(cur, b2[:, s:e1], out=cur)
+        cur += LS[:, d, :e1 - s]
+        b2, b1, b0 = b1, b0, b2
+    return b1[:, n].copy()
+
+
+def _fold_row(acc: np.ndarray, local: np.ndarray) -> None:
+    """Exact sequential horizontal pass, in place (the pure engine's
+    inner scan, run over plain Python floats)."""
+    a = acc.tolist()
+    l = local.tolist()
+    run = a[0]
+    for k in range(1, len(a)):
+        c = run + l[k]
+        if c < a[k]:
+            run = c
+        else:
+            run = a[k]
+        a[k] = run
+    acc[:] = a
+
+
+def _relax_block(acc: np.ndarray, local: np.ndarray) -> None:
+    """Resolve the horizontal dependency for a ``(p, w)`` block of DP
+    rows, in place, bit-identically to the sequential recurrence
+    ``row[j] = min(acc[j], row[j-1] + local[j])``.
+
+    Strategy: detect rows with any horizontal improvement (most rows
+    have none); for those, build a candidate via the reassociated
+    prefix-minimum identity and accept it only if it verifies against
+    the exact recurrence -- a verified candidate is provably *the*
+    sequential solution.  Verification failures (ulp-level) take the
+    sequential fold.
+    """
+    w = acc.shape[1]
+    if w == 1:
+        return
+    stepped = acc[:, :-1] + local[:, 1:]
+    improving = np.any(stepped < acc[:, 1:], axis=1)
+    if not improving.any():
+        return
+    idx = np.flatnonzero(improving)
+    A = acc[idx]            # original values, kept for verification
+    Lr = local[idx]
+    csum = np.cumsum(Lr, axis=1)
+    cand = csum + np.minimum.accumulate(A - csum, axis=1)
+    cand[:, 0] = A[:, 0]  # the recurrence's base case, exact by definition
+    # exact-recurrence verification (uniqueness => candidate is exact)
+    rhs = np.minimum(A[:, 1:], cand[:, :-1] + Lr[:, 1:])
+    ok = np.all(cand[:, 1:] == rhs, axis=1)
+    acc[idx[ok]] = cand[ok]
+    for r in idx[~ok]:
+        _fold_row(acc[r], local[r])
+
+
+def _relax_row(acc: np.ndarray, local: np.ndarray) -> None:
+    """Single-row horizontal pass (a ``(1, w)`` block)."""
+    _relax_block(acc.reshape(1, -1), local.reshape(1, -1))
+
 
 def dtw_numpy(
-    x: np.ndarray,
-    y: np.ndarray,
+    x,
+    y,
+    window: Optional[Window] = None,
     band: Optional[int] = None,
-    squared: bool = True,
-) -> float:
-    """Exact (optionally banded) DTW distance via NumPy.
+    cost: CostLike = "squared",
+    return_path: bool = False,
+    abandon_above: Optional[float] = None,
+    suffix_bound: Optional[Sequence[float]] = None,
+) -> DtwResult:
+    """NumPy windowed DTW, bit-identical to :func:`dp_over_window`.
+
+    Parameters mirror the pure engine: ``window`` is an explicit
+    :class:`~repro.core.window.Window`, ``band`` a Sakoe-Chiba
+    half-width in cells (slope-corrected via :meth:`Window.band`);
+    neither means Full DTW.  ``cost`` must be a built-in cost name.
+    ``return_path``, ``abandon_above`` and ``suffix_bound`` behave
+    exactly as documented on :func:`repro.core.engine.dp_over_window`,
+    including the ``cells`` accounting (abandoned rows count) and the
+    diagonal-first backtracking tie-break.
+
+    Raises
+    ------
+    ValueError
+        On empty/non-finite input, dimension mismatch, a callable
+        cost, or a window whose first row excludes column 0 (such a
+        window has no valid path start; :class:`Window` instances
+        cannot express it, but duck-typed windows from sparse FastDTW
+        refinements could -- the old backend silently seeded the DP
+        from ``(0, lo_0)`` instead).
+    """
+    named = _require_named_cost(cost)
+    xa = _as_series(x, "x")
+    ya = _as_series(y, "y")
+    n, m = len(xa), len(ya)
+    win = _resolve_window(n, m, window, band)
+    if (n, m) != (win.n, win.m):
+        raise ValueError(
+            f"window is {win.n}x{win.m} but series are {n}x{m}"
+        )
+    ranges = win.ranges
+    if ranges[0][0] != 0:
+        raise ValueError(
+            f"window row 0 starts at column {ranges[0][0]}, excluding "
+            "the mandatory path start (0, 0)"
+        )
+
+    from .cost import cost_name
+    if abandon_above is None and not return_path:
+        # wavefront sweep: fully vectorised, no in-step dependency
+        dist = _dtw_antidiag(xa[None, :], ya[None, :], win, named)
+        cells = sum(hi - lo + 1 for lo, hi in ranges)
+        return DtwResult(float(dist[0]), None, cells, cost_name(cost))
+
+    wmax = max(hi - lo + 1 for lo, hi in ranges)
+    L = _local_cost_matrix(xa, ya, ranges, wmax, named)
+
+    # Ping-pong row buffers over absolute columns, with one guard slot
+    # on the left: buffer index j+1 holds column j, index 0 stays inf.
+    bufp = np.full(m + 2, _INF)
+    bufc = np.full(m + 2, _INF)
+
+    cells = 0
+    abandoned = False
+    rows: List[np.ndarray] = []
+
+    lo0, hi0 = ranges[0]
+    w0 = hi0 - lo0 + 1
+    acc = bufp[1:w0 + 1]
+    np.cumsum(L[0, :w0], out=acc)
+    cells += w0
+    prev_write = (lo0, hi0)
+    stale = (lo0, hi0)  # extent currently sitting in bufc
+    i_stop = 0
+
+    if abandon_above is not None:
+        floor = acc.min()
+        if suffix_bound is not None:
+            floor = floor + suffix_bound[0]
+        if floor > abandon_above:
+            abandoned = True
+    if not abandoned:
+        if return_path:
+            rows.append(acc.copy())
+        for i in range(1, n):
+            lo, hi = ranges[i]
+            w = hi - lo + 1
+            cells += w
+            # clear the left margin this row exposes over bufc's stale
+            # contents (two rows old); the right side is overwritten.
+            if stale[0] < lo:
+                bufc[stale[0] + 1:lo + 1] = _INF
+            acc = bufc[lo + 1:hi + 2]
+            Lrow = L[i, :w]
+            np.minimum(bufp[lo:hi + 1], bufp[lo + 1:hi + 2], out=acc)
+            acc += Lrow
+            _relax_row(acc, Lrow)
+            i_stop = i
+            if abandon_above is not None:
+                floor = acc.min()
+                if suffix_bound is not None:
+                    floor = floor + suffix_bound[i]
+                if floor > abandon_above:
+                    abandoned = True
+                    break
+            if return_path:
+                rows.append(acc.copy())
+            stale = prev_write
+            prev_write = (lo, hi)
+            bufp, bufc = bufc, bufp
+
+    from .cost import cost_name
+    if abandoned:
+        return DtwResult(inf, None, cells, cost_name(cost), abandoned=True)
+    distance = float(bufp[m])
+    path = _backtrack(rows, ranges) if return_path else None
+    return DtwResult(distance, path, cells, cost_name(cost))
+
+
+def dtw_numpy_batch(
+    xs,
+    ys,
+    window: Window,
+    cost: CostLike = "squared",
+) -> np.ndarray:
+    """Windowed DTW distances for a stack of equal-shape pairs.
+
+    Runs the same bit-identical DP as :func:`dtw_numpy`, but advances
+    all ``p`` pairs through each lattice row together, amortising the
+    per-row NumPy dispatch overhead across the whole batch -- this is
+    the kernel behind the large batch/matrix speedups.
 
     Parameters
     ----------
-    x, y:
-        1-D arrays.
-    band:
-        Sakoe-Chiba half-width in cells (slope-corrected for unequal
-        lengths, matching :meth:`repro.core.window.Window.band`), or
-        ``None`` for Full DTW.
-    squared:
-        Use squared local cost (default) or absolute.
+    xs, ys:
+        Arrays of shape ``(p, n)`` and ``(p, m)``: pair ``t`` is
+        ``(xs[t], ys[t])``.  All pairs share ``window``.
+    window:
+        The admitted region, shared by every pair.
+    cost:
+        Built-in cost name.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(p,)`` distances; pair ``t`` equals
+        ``dtw_numpy(xs[t], ys[t], window=window, cost=cost).distance``
+        bit for bit.  Each pair evaluates ``window.cell_count()``
+        cells (no early abandoning in the batched kernel).
     """
-    x = np.asarray(x, dtype=float)
-    y = np.asarray(y, dtype=float)
-    if x.ndim != 1 or y.ndim != 1 or not len(x) or not len(y):
-        raise ValueError("x and y must be non-empty 1-D arrays")
-    n, m = len(x), len(y)
-
-    if band is None:
-        lo = np.zeros(n, dtype=int)
-        hi = np.full(n, m - 1, dtype=int)
-    else:
-        from .window import Window
-
-        win = Window.band(n, m, band)
-        lo = np.array([r[0] for r in win.ranges])
-        hi = np.array([r[1] for r in win.ranges])
-
-    INF = np.inf
-    prev = np.full(m, INF)
-    # row 0
-    l0, h0 = lo[0], hi[0]
-    if squared:
-        local0 = (x[0] - y[l0:h0 + 1]) ** 2
-    else:
-        local0 = np.abs(x[0] - y[l0:h0 + 1])
-    prev[l0:h0 + 1] = np.cumsum(local0)
-
-    for i in range(1, n):
-        li, hi_i = lo[i], hi[i]
-        cur = np.full(m, INF)
-        if squared:
-            local = (x[i] - y[li:hi_i + 1]) ** 2
-        else:
-            local = np.abs(x[i] - y[li:hi_i + 1])
-        # best of diagonal / vertical predecessors, vectorised
-        diag = np.full(hi_i - li + 1, INF)
-        if li == 0:
-            diag[1:] = prev[li:hi_i]
-        else:
-            diag[:] = prev[li - 1:hi_i]
-        vert = prev[li:hi_i + 1]
-        best = np.minimum(diag, vert)
-        # horizontal in-row dependency: exact left-to-right scan
-        acc = local + best
-        run = acc[0]
-        out = np.empty_like(acc)
-        out[0] = run
-        for k in range(1, len(acc)):
-            cand = run + local[k]
-            run = cand if cand < acc[k] else acc[k]
-            out[k] = run
-        cur[li:hi_i + 1] = out
-        prev = cur
-
-    return float(prev[m - 1])
+    named = _require_named_cost(cost)
+    X = np.ascontiguousarray(xs, dtype=np.float64)
+    Y = np.ascontiguousarray(ys, dtype=np.float64)
+    if X.ndim != 2 or Y.ndim != 2 or X.shape[0] != Y.shape[0]:
+        raise ValueError("xs and ys must be 2-D with matching pair counts")
+    p, n = X.shape
+    m = Y.shape[1]
+    if (n, m) != (window.n, window.m):
+        raise ValueError(
+            f"window is {window.n}x{window.m} but series are {n}x{m}"
+        )
+    if p == 0:
+        return np.empty(0, dtype=np.float64)
+    return _dtw_antidiag(X, Y, window, named)
 
 
 def pairwise_matrix_numpy(
-    series: list,
+    series: Sequence[Sequence[float]],
+    window: Optional[float] = None,
     band: Optional[int] = None,
-    squared: bool = True,
-) -> np.ndarray:
-    """Symmetric all-pairs DTW distance matrix via :func:`dtw_numpy`."""
+    cost: CostLike = "squared",
+):
+    """Symmetric all-pairs DTW distance matrix via the batched kernel.
+
+    Follows the package-wide configuration conventions (the same ones
+    :func:`repro.core.matrix.distance_matrix` uses): ``window`` is the
+    paper's *fractional* band, ``band`` an absolute half-width in
+    cells, at most one of the two (neither means Full DTW), and
+    ``cost`` a built-in cost name.
+
+    Returns
+    -------
+    repro.core.matrix.DistanceMatrix
+        With ``measure`` set to ``"cdtw"`` (constrained) or ``"dtw"``
+        (unconstrained) and ``cells`` carrying the exact total DP-cell
+        count, like every other matrix producer.
+    """
+    from .matrix import DistanceMatrix
+
+    named = _require_named_cost(cost)
+    if window is not None and band is not None:
+        raise ValueError("pass either window= or band=, not both")
     k = len(series)
-    arrs = [np.asarray(s, dtype=float) for s in series]
-    out = np.zeros((k, k))
-    for i in range(k):
-        for j in range(i + 1, k):
-            d = dtw_numpy(arrs[i], arrs[j], band=band, squared=squared)
-            out[i, j] = out[j, i] = d
-    return out
+    if k < 2:
+        raise ValueError("need at least two series")
+    arrs = [_as_series(s, f"series[{i}]") for i, s in enumerate(series)]
+    n = len(arrs[0])
+    if any(len(a) != n for a in arrs):
+        raise ValueError(
+            "pairwise_matrix_numpy requires equal-length series "
+            "(use distance_matrix for ragged sets)"
+        )
+
+    if window is not None:
+        win = Window.from_fraction(n, n, window)
+    elif band is not None:
+        win = Window.band(n, n, band)
+    else:
+        win = Window.full(n, n)
+
+    pairs = [(i, j) for i in range(k) for j in range(i + 1, k)]
+    values = [[0.0] * k for _ in range(k)]
+    if pairs:
+        xs = np.stack([arrs[i] for i, _ in pairs])
+        ys = np.stack([arrs[j] for _, j in pairs])
+        dists = dtw_numpy_batch(xs, ys, win, cost=named)
+        for (i, j), d in zip(pairs, dists):
+            values[i][j] = values[j][i] = float(d)
+    measure = "dtw" if (window is None and band is None) else "cdtw"
+    return DistanceMatrix(
+        values=tuple(tuple(row) for row in values),
+        measure=measure,
+        cells=win.cell_count() * len(pairs),
+    )
+
+
+# -- envelopes and lower bounds ------------------------------------------
+
+
+def _sliding_extreme(a: np.ndarray, band: int, ufunc, pad: float) -> np.ndarray:
+    """Exact sliding min/max with half-width ``band`` along the last
+    axis, via the van Herk/Gil-Werman two-pass prefix/suffix trick:
+    O(n) for any band, fully vectorised."""
+    if band == 0:
+        return a.copy()
+    w = 2 * band + 1
+    padded = np.concatenate(
+        [np.full(a.shape[:-1] + (band,), pad), a,
+         np.full(a.shape[:-1] + (band,), pad)], axis=-1,
+    )
+    length = padded.shape[-1]
+    nblocks = -(-length // w)
+    total = nblocks * w
+    if total > length:
+        padded = np.concatenate(
+            [padded, np.full(a.shape[:-1] + (total - length,), pad)],
+            axis=-1,
+        )
+    blocks = padded.reshape(a.shape[:-1] + (nblocks, w))
+    prefix = ufunc.accumulate(blocks, axis=-1)
+    suffix = ufunc.accumulate(blocks[..., ::-1], axis=-1)[..., ::-1]
+    prefix = prefix.reshape(a.shape[:-1] + (total,))
+    suffix = suffix.reshape(a.shape[:-1] + (total,))
+    count = a.shape[-1]
+    return ufunc(suffix[..., :count], prefix[..., w - 1:w - 1 + count])
+
+
+def envelope_numpy(x, band: int):
+    """Vectorised warping envelope, value-identical to
+    :func:`repro.lowerbounds.envelope.envelope`."""
+    from ..lowerbounds.envelope import Envelope
+
+    if band < 0:
+        raise ValueError("band must be non-negative")
+    arr = np.ascontiguousarray(x, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("cannot compute envelope of an empty series")
+    upper = _sliding_extreme(arr, band, np.maximum, -_INF)
+    lower = _sliding_extreme(arr, band, np.minimum, _INF)
+    return Envelope(band, upper.tolist(), lower.tolist())
+
+
+def _gap_costs(values: np.ndarray, lower: np.ndarray, upper: np.ndarray,
+               squared: bool) -> np.ndarray:
+    gaps = np.maximum(values - upper, 0.0) + np.maximum(lower - values, 0.0)
+    if squared:
+        np.multiply(gaps, gaps, out=gaps)
+    return gaps
+
+
+def lb_keogh_batch(
+    query_envelope,
+    candidates,
+    squared: bool = True,
+    abandon_above: Optional[float] = None,
+) -> np.ndarray:
+    """LB_Keogh of every candidate against one query envelope.
+
+    One vectorised pass over a ``(k, n)`` candidate stack; candidates
+    whose bound exceeds ``abandon_above`` report ``inf``, mirroring the
+    scalar :func:`repro.lowerbounds.lb_keogh.lb_keogh` contract.  Sums
+    use NumPy's pairwise reduction, so values may differ from the
+    scalar implementation in the last ulps (bounds, not distances).
+    """
+    C = np.ascontiguousarray(candidates, dtype=np.float64)
+    if C.ndim == 1:
+        C = C[None, :]
+    if C.shape[1] != len(query_envelope):
+        raise ValueError(
+            f"candidate length {C.shape[1]} != envelope length "
+            f"{len(query_envelope)}"
+        )
+    upper = np.asarray(query_envelope.upper, dtype=np.float64)
+    lower = np.asarray(query_envelope.lower, dtype=np.float64)
+    totals = _gap_costs(C, lower, upper, squared).sum(axis=1)
+    if abandon_above is not None:
+        totals[totals > abandon_above] = _INF
+    return totals
+
+
+def lb_keogh_reversed_batch(
+    query,
+    candidates,
+    band: int,
+    squared: bool = True,
+    abandon_above: Optional[float] = None,
+) -> np.ndarray:
+    """Reversed LB_Keogh (candidate envelopes vs the query), batched:
+    all candidate envelopes come from two vectorised sliding-extreme
+    passes over the stacked candidates."""
+    if band < 0:
+        raise ValueError("band must be non-negative")
+    q = np.ascontiguousarray(query, dtype=np.float64)
+    C = np.ascontiguousarray(candidates, dtype=np.float64)
+    if C.ndim == 1:
+        C = C[None, :]
+    if C.shape[1] != q.shape[0]:
+        raise ValueError("query and candidates must share their length")
+    upper = _sliding_extreme(C, band, np.maximum, -_INF)
+    lower = _sliding_extreme(C, band, np.minimum, _INF)
+    totals = _gap_costs(q[None, :], lower, upper, squared).sum(axis=1)
+    if abandon_above is not None:
+        totals[totals > abandon_above] = _INF
+    return totals
+
+
+def lb_kim_batch(
+    x,
+    candidates,
+    cost: CostLike = "squared",
+    tiers: int = 2,
+) -> np.ndarray:
+    """Batched :func:`repro.lowerbounds.lb_kim.lb_kim` against one
+    query ``x`` (equal lengths, named costs)."""
+    named = _require_named_cost(cost)
+    if tiers not in (1, 2):
+        raise ValueError("tiers must be 1 or 2")
+    q = np.ascontiguousarray(x, dtype=np.float64)
+    C = np.ascontiguousarray(candidates, dtype=np.float64)
+    if C.ndim == 1:
+        C = C[None, :]
+    n = q.shape[0]
+    if n == 0:
+        raise ValueError("cannot bound empty series")
+    if C.shape[1] != n:
+        raise ValueError("lb_kim requires equal-length series")
+
+    def d(a, b):
+        diff = a - b
+        return diff * diff if named == "squared" else np.abs(diff)
+
+    if n == 1:
+        return d(q[0], C[:, 0])
+    bound = d(q[0], C[:, 0]) + d(q[-1], C[:, -1])
+    if tiers == 2 and n >= 4:
+        bound += np.minimum(
+            np.minimum(d(q[1], C[:, 0]), d(q[0], C[:, 1])),
+            d(q[1], C[:, 1]),
+        )
+        bound += np.minimum(
+            np.minimum(d(q[-2], C[:, -1]), d(q[-1], C[:, -2])),
+            d(q[-2], C[:, -2]),
+        )
+    return bound
+
+
+def suffix_gap_bounds_numpy(x, y_envelope, squared: bool = True) -> List[float]:
+    """Vectorised, bit-identical
+    :func:`repro.search.cumulative.suffix_gap_bounds`: the tail
+    accumulation is a reversed cumulative sum, which adds in exactly
+    the scalar implementation's order."""
+    arr = np.ascontiguousarray(x, dtype=np.float64)
+    if arr.ndim != 1 or arr.shape[0] != len(y_envelope):
+        raise ValueError(
+            f"series length {arr.shape[0]} != envelope length "
+            f"{len(y_envelope)}"
+        )
+    upper = np.asarray(y_envelope.upper, dtype=np.float64)
+    lower = np.asarray(y_envelope.lower, dtype=np.float64)
+    gaps = _gap_costs(arr, lower, upper, squared)
+    out = np.zeros_like(gaps)
+    np.cumsum(gaps[:0:-1], out=out[-2::-1])
+    return out.tolist()

@@ -95,7 +95,12 @@ def run(config: RepeatedUseConfig = DEFAULT) -> RepeatedUseResult:
         cells = 0
         stats = None
         for q in queries:
-            res = nearest_neighbor(q, candidates, strategy=strategy, **kwargs)
+            # pinned: paper comparisons must stay on the pure-Python
+            # engine even if the process default backend is changed
+            res = nearest_neighbor(
+                q, candidates, strategy=strategy, backend="python",
+                **kwargs,
+            )
             neighbors.append(res.index)
             cells += res.cells
             stats = res.stats or stats

@@ -68,6 +68,13 @@ class LowerBoundCascade:
     use_reversed:
         Whether to run the reversed LB_Keogh stage (costs an envelope
         build per surviving candidate; usually worth it).
+    backend:
+        Kernel backend, per :mod:`repro.core.kernels` (``None`` =
+        process default).  The cascade stays lossless on every
+        backend -- each stage remains a valid lower bound -- and the
+        exact DP stage is bit-identical; the vectorised bounds may
+        differ from the scalar ones in final ulps, so *prune counters*
+        (not results) can shift by boundary cases.
     """
 
     def __init__(
@@ -77,14 +84,21 @@ class LowerBoundCascade:
         squared: bool = True,
         use_reversed: bool = True,
         use_cumulative: bool = True,
+        backend: Optional[str] = None,
     ):
         if band < 0:
             raise ValueError("band must be non-negative")
+        from ..core.kernels import get_kernels, resolve_backend
+
         self.query = list(query)
         self.band = band
         self.squared = squared
         self.use_reversed = use_reversed
         self.use_cumulative = use_cumulative
+        self.backend = resolve_backend(backend)
+        self._kernels = (
+            get_kernels(self.backend) if self.backend != "python" else None
+        )
         self.envelope: Envelope = envelope(self.query, band)
         self.stats = CascadeStats()
 
@@ -102,22 +116,39 @@ class LowerBoundCascade:
         stats = self.stats
         stats.candidates += 1
         cost = "squared" if self.squared else "abs"
+        k = self._kernels
 
-        if lb_kim(self.query, candidate, cost=cost) > best_so_far:
+        if k is not None:
+            kim = k.lb_kim(self.query, (candidate,), cost=cost)[0]
+        else:
+            kim = lb_kim(self.query, candidate, cost=cost)
+        if kim > best_so_far:
             stats.pruned_kim += 1
             return inf
-        lb = lb_keogh(
-            self.envelope, candidate,
-            squared=self.squared, abandon_above=best_so_far,
-        )
+        if k is not None:
+            lb = k.lb_keogh(
+                self.envelope, (candidate,),
+                squared=self.squared, abandon_above=best_so_far,
+            )[0]
+        else:
+            lb = lb_keogh(
+                self.envelope, candidate,
+                squared=self.squared, abandon_above=best_so_far,
+            )
         if lb > best_so_far:
             stats.pruned_keogh += 1
             return inf
         if self.use_reversed:
-            lb = lb_keogh_reversed(
-                self.query, candidate, self.band,
-                squared=self.squared, abandon_above=best_so_far,
-            )
+            if k is not None:
+                lb = k.lb_keogh_reversed(
+                    self.query, (candidate,), self.band,
+                    squared=self.squared, abandon_above=best_so_far,
+                )[0]
+            else:
+                lb = lb_keogh_reversed(
+                    self.query, candidate, self.band,
+                    squared=self.squared, abandon_above=best_so_far,
+                )
             if lb > best_so_far:
                 stats.pruned_keogh_reversed += 1
                 return inf
@@ -133,6 +164,18 @@ class LowerBoundCascade:
                 threshold=best_so_far,
                 y_envelope=self.envelope,
                 squared=self.squared,
+                backend=self.backend,
+            )
+        elif k is not None:
+            from ..core.kernels import banded_window
+            from ..core.validate import validate_pair
+
+            validate_pair(self.query, candidate)
+            result = k.dtw(
+                self.query, candidate,
+                banded_window(len(self.query), len(candidate), self.band),
+                cost=cost,
+                abandon_above=best_so_far if best_so_far != inf else None,
             )
         else:
             result = cdtw(

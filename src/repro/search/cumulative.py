@@ -66,6 +66,7 @@ def cdtw_cumulative_abandon(
     threshold: float,
     y_envelope: Optional[Envelope] = None,
     squared: bool = True,
+    backend: Optional[str] = None,
 ) -> DtwResult:
     """Banded DTW with cumulative-suffix-bound early abandoning.
 
@@ -86,6 +87,11 @@ def cdtw_cumulative_abandon(
         pass it when scanning many ``x`` against one ``y``).
     squared:
         Local cost convention.
+    backend:
+        Kernel backend, per :mod:`repro.core.kernels` (``None`` =
+        process default).  Distances, cells and abandon decisions are
+        bit-identical on every backend: the suffix bounds themselves
+        are computed in the same accumulation order.
     """
     validate_pair(x, y)
     if len(x) != len(y):
@@ -98,9 +104,22 @@ def cdtw_cumulative_abandon(
             f"envelope band {env.band} narrower than DTW band {band}; "
             "the suffix bound would be invalid"
         )
-    suffix = suffix_gap_bounds(x, env, squared=squared)
-    window = Window.band(len(x), len(y), band)
-    return dp_over_window(
+    from ..core.kernels import banded_window, get_kernels, resolve_backend
+
+    resolved = resolve_backend(backend)
+    if resolved == "python":
+        suffix = suffix_gap_bounds(x, env, squared=squared)
+        window = Window.band(len(x), len(y), band)
+        return dp_over_window(
+            x, y, window,
+            cost="squared" if squared else "abs",
+            abandon_above=threshold,
+            suffix_bound=suffix,
+        )
+    kernels = get_kernels(resolved)
+    suffix = kernels.suffix_gap_bounds(x, env, squared=squared)
+    window = banded_window(len(x), len(y), band)
+    return kernels.dtw(
         x, y, window,
         cost="squared" if squared else "abs",
         abandon_above=threshold,

@@ -52,6 +52,7 @@ def nearest_neighbor(
     window: Optional[float] = None,
     radius: int = 1,
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> NnResult:
     """Find the candidate nearest to ``query``.
 
@@ -76,6 +77,12 @@ def nearest_neighbor(
         and cell total -- for any worker count.  ``"cdtw+lb"`` always
         runs serially: its best-so-far pruning threads a threshold
         through the scan and is inherently order-dependent.
+    backend:
+        Kernel backend for the DP evaluations, per
+        :mod:`repro.core.kernels` (``None`` = process default).  The
+        exact strategies return identical indices, distances and cell
+        totals on every backend; ``"fastdtw"`` and ``"euclidean"``
+        always run their reference implementations.
 
     Returns
     -------
@@ -87,10 +94,14 @@ def nearest_neighbor(
         raise ValueError("no candidates to search")
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    from ..core.kernels import resolve_backend
+
+    resolved = resolve_backend(backend)
 
     if workers > 1 and strategy != "cdtw+lb":
         return _nearest_neighbor_batched(
-            query, candidates, strategy, band, window, radius, workers
+            query, candidates, strategy, band, window, radius, workers,
+            resolved,
         )
 
     if strategy == "euclidean":
@@ -113,16 +124,25 @@ def nearest_neighbor(
     band_cells_ = _resolve_band(len(query), band, window)
 
     if strategy == "cdtw":
+        if resolved != "python":
+            from ..core.measures import measure_fn
+
+            fn = measure_fn("cdtw", band=band_cells_, backend=resolved)
+        else:
+            fn = None
         best_idx, best, cells = 0, inf, 0
         for idx, cand in enumerate(candidates):
-            result = cdtw(query, cand, band=band_cells_)
+            if fn is not None:
+                result = fn(query, cand)
+            else:
+                result = cdtw(query, cand, band=band_cells_)
             cells += result.cells
             if result.distance < best:
                 best, best_idx = result.distance, idx
         return NnResult(best_idx, best, strategy, cells=cells)
 
     # strategy == "cdtw+lb"
-    cascade = LowerBoundCascade(query, band_cells_)
+    cascade = LowerBoundCascade(query, band_cells_, backend=resolved)
     best_idx, best = 0, inf
     for idx, cand in enumerate(candidates):
         d = cascade.distance(cand, best_so_far=best)
@@ -135,7 +155,7 @@ def nearest_neighbor(
 
 
 def _nearest_neighbor_batched(
-    query, candidates, strategy, band, window, radius, workers
+    query, candidates, strategy, band, window, radius, workers, backend
 ) -> NnResult:
     """Fan the candidate scan out over the batch engine.
 
@@ -145,7 +165,7 @@ def _nearest_neighbor_batched(
     """
     from ..batch.engine import argmin_first, batch_distances
 
-    kwargs: dict = {"measure": strategy}
+    kwargs: dict = {"measure": strategy, "backend": backend}
     if strategy == "cdtw":
         kwargs["band"] = _resolve_band(len(query), band, window)
     elif strategy == "fastdtw":

@@ -6,7 +6,9 @@ from .cells import (
     crossover_length,
     fastdtw_cell_model,
 )
+from .kernel_bench import kernel_benchmark
 from .runner import (
+    PINNED_BACKEND,
     BatchTimingResult,
     PairwiseResult,
     SweepPoint,
@@ -19,10 +21,12 @@ from .timer import Timing, extrapolate, seconds_to_human, time_callable
 
 __all__ = [
     "BatchTimingResult",
+    "PINNED_BACKEND",
     "PairwiseResult",
     "SweepPoint",
     "Timing",
     "batch_pairwise_experiment",
+    "kernel_benchmark",
     "cdtw_cell_model",
     "crossover_band",
     "crossover_length",

@@ -1,0 +1,212 @@
+"""Cross-backend kernel micro-benchmark (NOT a paper artefact).
+
+The paper's own timing harness (:mod:`repro.timing.runner`) is pinned
+to the pure-Python engine: its claim is "same language, same
+hardware".  This module is the opposite tool -- it measures how much
+faster the repeated-use stack gets when the :mod:`repro.core.kernels`
+``"numpy"`` backend is allowed, on a fixed random-walk workload:
+
+* ``python_serial`` -- :func:`repro.batch.engine.batch_distances`
+  with ``backend="python"``, ``workers=1`` (the pre-registry
+  behaviour of every consumer);
+* ``numpy_serial``  -- the same batch with ``backend="numpy"``
+  (chunks collapse into stacked wavefront-kernel calls);
+* ``numpy_workers`` -- ``backend="numpy"`` fanned over a process
+  pool, composing the two speed layers.
+
+All three compute bit-identical distances and DP cell counts (the
+result records the check).  ``python -m repro kernels`` runs this and
+writes ``BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+#: Workload defaults: the acceptance configuration -- length-1000
+#: random walks at a 10% cDTW band.
+DEFAULT_LENGTH = 1000
+DEFAULT_COUNT = 8
+DEFAULT_WINDOW = 0.1
+
+#: ``--smoke`` overrides: small enough for CI, same code paths.
+SMOKE_LENGTH = 128
+SMOKE_COUNT = 6
+
+
+def _best_of(repeats: int, fn: Callable[[], object]) -> Tuple[float, object]:
+    """Best wall-clock of ``repeats`` runs, plus the last value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def kernel_benchmark(
+    length: int = DEFAULT_LENGTH,
+    count: int = DEFAULT_COUNT,
+    window: float = DEFAULT_WINDOW,
+    workers: int = 2,
+    repeats: int = 3,
+    seed: int = 0,
+) -> Dict:
+    """Time the backends on one all-pairs cDTW workload.
+
+    Parameters
+    ----------
+    length, count, seed:
+        ``count`` random walks of ``length`` samples (deterministic
+        for a seed); all ``count * (count - 1) / 2`` pairs are
+        computed.
+    window:
+        cDTW band as a fraction of length.
+    workers:
+        Pool size for the ``numpy_workers`` row (and for a
+        ``python_workers`` reference row).
+    repeats:
+        Each configuration is run this many times; the best
+        wall-clock is reported (standard micro-benchmark practice --
+        the minimum is the least noisy estimator).
+
+    Returns
+    -------
+    dict
+        JSON-serialisable report: per-backend timings, speedups over
+        ``python_serial``, a single-pair comparison, and the parity
+        check (distances/cells bit-identical across backends).
+    """
+    if count < 2:
+        raise ValueError("count must be at least 2")
+    if length < 2:
+        raise ValueError("length must be at least 2")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    from ..batch.engine import batch_distances
+    from ..core.cdtw import cdtw
+    from ..core.measures import measure_fn
+    from ..datasets.random_walk import random_walks
+
+    series = random_walks(count, length, seed=seed)
+    pairs = count * (count - 1) // 2
+
+    def run_batch(backend: str, n_workers: int):
+        return batch_distances(
+            series, measure="cdtw", window=window,
+            backend=backend, workers=n_workers,
+        )
+
+    timings: Dict[str, Dict] = {}
+    results = {}
+    plan = [
+        ("python_serial", "python", 1),
+        ("numpy_serial", "numpy", 1),
+    ]
+    if workers > 1:
+        plan.append(("python_workers", "python", workers))
+        plan.append(("numpy_workers", "numpy", workers))
+    for label, backend, n_workers in plan:
+        seconds, result = _best_of(
+            repeats, lambda b=backend, w=n_workers: run_batch(b, w)
+        )
+        results[label] = result
+        timings[label] = {
+            "backend": backend,
+            "workers": n_workers,
+            "seconds": seconds,
+            "per_pair_seconds": seconds / pairs,
+        }
+
+    reference = results["python_serial"]
+    distances_identical = all(
+        r.distances == reference.distances for r in results.values()
+    )
+    cells_identical = all(
+        r.cells_per_pair == reference.cells_per_pair
+        for r in results.values()
+    )
+
+    # single-pair numbers: what one isolated call gains (less than the
+    # batch, which amortises dispatch over stacked pairs)
+    x, y = series[0], series[1]
+    numpy_fn = measure_fn("cdtw", window=window, backend="numpy")
+    py_seconds, py_result = _best_of(
+        repeats, lambda: cdtw(x, y, window=window)
+    )
+    np_seconds, np_result = _best_of(repeats, lambda: numpy_fn(x, y))
+    single_identical = (
+        py_result.distance == np_result.distance
+        and py_result.cells == np_result.cells
+    )
+
+    base = timings["python_serial"]["seconds"]
+    speedups = {
+        label: (base / t["seconds"]) if t["seconds"] > 0 else float("inf")
+        for label, t in timings.items()
+        if label != "python_serial"
+    }
+
+    return {
+        "benchmark": "repro.timing.kernel_bench",
+        "note": (
+            "repeated-use backend comparison; the paper's own timings "
+            "are pinned to backend='python' and never run these kernels"
+        ),
+        "workload": {
+            "kind": "random_walk",
+            "count": count,
+            "length": length,
+            "pairs": pairs,
+            "window": window,
+            "measure": "cdtw",
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "timings": timings,
+        "speedups_over_python_serial": speedups,
+        "single_pair": {
+            "python_seconds": py_seconds,
+            "numpy_seconds": np_seconds,
+            "speedup": (
+                py_seconds / np_seconds if np_seconds > 0 else float("inf")
+            ),
+            "identical": single_identical,
+        },
+        "parity": {
+            "distances_identical": distances_identical,
+            "cells_identical": cells_identical,
+        },
+    }
+
+
+def format_report(report: Dict) -> str:
+    """Human-readable summary of :func:`kernel_benchmark` output."""
+    w = report["workload"]
+    lines = [
+        f"kernels: {w['pairs']} pairs of cdtw "
+        f"(k={w['count']}, n={w['length']}, window={w['window']})",
+    ]
+    for label, t in report["timings"].items():
+        speedup = report["speedups_over_python_serial"].get(label)
+        suffix = f"  x{speedup:.2f}" if speedup is not None else ""
+        lines.append(
+            f"  {label.ljust(14)} {t['seconds']:.4f}s"
+            f"  ({t['per_pair_seconds'] * 1e3:.2f} ms/pair){suffix}"
+        )
+    sp = report["single_pair"]
+    lines.append(
+        f"  single pair: python {sp['python_seconds'] * 1e3:.2f} ms, "
+        f"numpy {sp['numpy_seconds'] * 1e3:.2f} ms (x{sp['speedup']:.2f})"
+    )
+    parity = report["parity"]
+    ok = parity["distances_identical"] and parity["cells_identical"]
+    lines.append(
+        "  parity: distances/cells "
+        + ("bit-identical across backends" if ok else "MISMATCH")
+    )
+    return "\n".join(lines)

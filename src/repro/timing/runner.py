@@ -18,6 +18,13 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 DistanceFn = Callable[[Sequence[float], Sequence[float]], object]
 
+#: The only kernel backend the paper-reproduction timing harness will
+#: run.  The paper's claim is "same language, same hardware": FastDTW
+#: and cDTW must both be timed on the pure-Python engine, so this
+#: harness refuses the vectorised backends outright instead of
+#: consulting the :mod:`repro.core.kernels` process default.
+PINNED_BACKEND = "python"
+
 
 @dataclass(frozen=True)
 class SweepPoint:
@@ -132,6 +139,7 @@ def batch_pairwise_experiment(
     cost: str = "squared",
     workers: int = 1,
     max_pairs: int = 0,
+    backend: str = PINNED_BACKEND,
 ) -> BatchTimingResult:
     """Time all-pairs comparisons as one batch-engine job.
 
@@ -139,9 +147,22 @@ def batch_pairwise_experiment(
     ``max_pairs`` caps the pair count (0 = all, lexicographic order).
     The distances and cell totals are ``workers``-invariant, so runs
     with different worker counts measure the same computation.
+
+    ``backend`` exists only so the pin is explicit at the call site:
+    anything other than :data:`PINNED_BACKEND` raises.  Benchmark the
+    vectorised backends with ``python -m repro kernels``
+    (:mod:`repro.timing.kernel_bench`), which is not a
+    paper-reproduction artefact.
     """
     from ..batch.engine import all_pairs, batch_distances
 
+    if backend != PINNED_BACKEND:
+        raise ValueError(
+            f"the paper timing harness is pinned to backend="
+            f"{PINNED_BACKEND!r} ('same language, same hardware'); "
+            f"got {backend!r} -- use repro.timing.kernel_bench for "
+            "cross-backend numbers"
+        )
     if len(series) < 2:
         raise ValueError("need at least two series")
     pairs = all_pairs(len(series))
@@ -151,6 +172,7 @@ def batch_pairwise_experiment(
     result = batch_distances(
         series, pairs=pairs, measure=measure, window=window, band=band,
         radius=radius, cost=cost, workers=workers,
+        backend=PINNED_BACKEND,
     )
     seconds = time.perf_counter() - start
     return BatchTimingResult(

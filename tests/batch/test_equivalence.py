@@ -169,3 +169,101 @@ class TestDegenerateBatches:
         parallel = batch_distances(series, measure="dtw", workers=4)
         assert serial.distances == parallel.distances
         assert len(serial) == 1
+
+
+class TestNumpyBackendColumns:
+    """The same contract with ``backend="numpy"`` in the grid.
+
+    The numpy backend adds a second execution detail that must stay
+    semantics-free: distances and cells match the python backend
+    exactly (not approximately), for every worker count, with and
+    without the chunk-level vectorised path.
+    """
+
+    @pytest.mark.parametrize("measure", ["dtw", "cdtw"])
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_matches_python_backend(self, measure, workers):
+        series = fuzz_series(11, count=7, length=32)
+        kwargs = MEASURE_CONFIGS[measure]
+        reference = batch_distances(series, measure=measure, **kwargs)
+        result = batch_distances(
+            series, measure=measure, workers=workers,
+            backend="numpy", **kwargs,
+        )
+        assert result.distances == reference.distances
+        assert result.cells_per_pair == reference.cells_per_pair
+        assert result.cells == reference.cells
+
+    def test_ragged_series_group_by_shape(self):
+        # unequal lengths force the vectorised path to group pairs by
+        # shape; order and values must still match the python backend
+        rng = random.Random(12)
+        series = [
+            [rng.uniform(-3.0, 3.0) for _ in range(length)]
+            for length in (20, 28, 20, 24, 28, 20)
+        ]
+        reference = batch_distances(series, measure="dtw")
+        result = batch_distances(series, measure="dtw", backend="numpy")
+        assert result.distances == reference.distances
+        assert result.cells_per_pair == reference.cells_per_pair
+
+    def test_return_paths_identical(self):
+        # paths disable the chunk vectorisation; the per-pair numpy
+        # kernel must still recover bit-identical paths
+        series = fuzz_series(13, count=5, length=26)
+        reference = batch_distances(
+            series, measure="cdtw", window=0.2, return_paths=True
+        )
+        result = batch_distances(
+            series, measure="cdtw", window=0.2, return_paths=True,
+            backend="numpy",
+        )
+        assert result.distances == reference.distances
+        assert result.paths == reference.paths
+
+    def test_normalized_batches_agree(self):
+        series = fuzz_series(14, count=6, length=25)
+        reference = batch_distances(
+            series, measure="cdtw", window=0.3, normalize=True
+        )
+        result = batch_distances(
+            series, measure="cdtw", window=0.3, normalize=True,
+            backend="numpy",
+        )
+        assert result.distances == reference.distances
+        assert result.cells == reference.cells
+
+    def test_callable_cost_rejected_with_guidance(self):
+        series = fuzz_series(15, count=3, length=12)
+        with pytest.raises(ValueError, match="backend='python'"):
+            batch_distances(
+                series, measure="dtw", backend="numpy",
+                cost=lambda a, b: abs(a - b),
+            )
+
+    def test_unknown_backend_rejected(self):
+        series = fuzz_series(16, count=3, length=12)
+        with pytest.raises(ValueError, match="unknown backend"):
+            batch_distances(series, measure="dtw", backend="rust")
+
+    def test_lb_keogh_backend_bounds_valid_and_worker_invariant(self):
+        from repro.batch import batch_lb_keogh
+        from repro.core.cdtw import cdtw
+
+        series = fuzz_series(17, count=6, length=30)
+        band = 3
+        python = batch_lb_keogh(series, band=band)
+        serial = batch_lb_keogh(series, band=band, backend="numpy")
+        pooled = batch_lb_keogh(
+            series, band=band, backend="numpy", workers=2
+        )
+        # worker-invariance is exact within the backend
+        assert serial.distances == pooled.distances
+        # cross-backend the sums may differ in final ulps, but each
+        # value must stay a valid lower bound of the true distance
+        for (i, j), np_bound, py_bound in zip(
+            serial.pairs, serial.distances, python.distances
+        ):
+            assert np_bound == pytest.approx(py_bound, rel=1e-12)
+            true_d = cdtw(series[i], series[j], band=band).distance
+            assert np_bound <= true_d + 1e-9

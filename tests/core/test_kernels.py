@@ -1,0 +1,158 @@
+"""The kernel backend registry: resolution, defaults and contracts."""
+
+import pytest
+
+from repro.core import kernels
+from repro.core.engine import dp_over_window
+from repro.core.kernels import (
+    KernelSet,
+    available_backends,
+    banded_window,
+    default_backend,
+    fraction_window,
+    full_window,
+    get_kernels,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.core.window import Window
+from tests.conftest import make_series
+
+
+class TestResolution:
+    def test_python_always_available(self):
+        assert "python" in available_backends()
+
+    def test_numpy_available_here(self):
+        # the test environment has numpy; elsewhere the registry may
+        # legitimately omit it, which the availability hook handles
+        assert "numpy" in available_backends()
+
+    def test_none_resolves_to_default(self):
+        assert resolve_backend(None) == default_backend()
+
+    def test_default_is_python(self):
+        assert default_backend() == "python"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("fortran")
+
+    def test_get_kernels_returns_kernelset(self):
+        for name in available_backends():
+            ks = get_kernels(name)
+            assert isinstance(ks, KernelSet)
+            assert ks.name == name
+
+    def test_kernelsets_are_cached(self):
+        assert get_kernels("python") is get_kernels("python")
+
+    def test_python_dtw_is_the_engine(self):
+        assert get_kernels("python").dtw is dp_over_window
+
+
+class TestDefaultSwitching:
+    def test_set_default_backend_round_trip(self):
+        previous = set_default_backend("numpy")
+        try:
+            assert previous == "python"
+            assert default_backend() == "numpy"
+            assert resolve_backend(None) == "numpy"
+        finally:
+            set_default_backend(previous)
+        assert default_backend() == "python"
+
+    def test_use_backend_scopes_and_restores(self):
+        with use_backend("numpy"):
+            assert default_backend() == "numpy"
+        assert default_backend() == "python"
+
+    def test_use_backend_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_backend("numpy"):
+                raise RuntimeError("boom")
+        assert default_backend() == "python"
+
+    def test_default_switch_changes_consumer_backend(self):
+        # a consumer passing backend=None follows the process default
+        from repro.core.matrix import distance_matrix
+
+        series = [make_series(12, s) for s in range(3)]
+        plain = distance_matrix(series, measure="cdtw", window=0.2)
+        with use_backend("numpy"):
+            switched = distance_matrix(series, measure="cdtw", window=0.2)
+        assert plain.values == switched.values
+        assert plain.cells == switched.cells
+
+
+class TestWindowMemoisation:
+    def test_full_window_cached(self):
+        assert full_window(7, 9) is full_window(7, 9)
+        assert full_window(7, 9) == Window.full(7, 9)
+
+    def test_banded_window_cached(self):
+        assert banded_window(8, 8, 2) is banded_window(8, 8, 2)
+        assert banded_window(8, 8, 2) == Window.band(8, 8, 2)
+
+    def test_fraction_window_cached(self):
+        assert fraction_window(10, 10, 0.1) is fraction_window(10, 10, 0.1)
+        assert fraction_window(10, 10, 0.1) == Window.from_fraction(
+            10, 10, 0.1
+        )
+
+
+class TestKernelContracts:
+    @pytest.mark.parametrize("name", ["python", "numpy"])
+    def test_dtw_contract(self, name):
+        ks = get_kernels(name)
+        x, y = make_series(12, 1), make_series(12, 2)
+        win = banded_window(12, 12, 3)
+        r = ks.dtw(x, y, win, cost="squared", return_path=True)
+        assert r.distance >= 0
+        assert r.cells == win.cell_count()
+        assert r.path[0] == (0, 0) and r.path[-1] == (11, 11)
+
+    @pytest.mark.parametrize("name", ["python", "numpy"])
+    def test_lower_bound_contracts(self, name):
+        ks = get_kernels(name)
+        x, y = make_series(16, 3), make_series(16, 4)
+        env = ks.envelope(x, 2)
+        assert len(env.upper) == len(env.lower) == 16
+        kim = ks.lb_kim(x, (y,), cost="squared")
+        keogh = ks.lb_keogh(env, (y,))
+        rev = ks.lb_keogh_reversed(x, (y,), 2)
+        assert len(kim) == len(keogh) == len(rev) == 1
+        from repro.core.cdtw import cdtw
+
+        true_d = cdtw(x, y, band=2).distance
+        for bound in (kim[0], keogh[0], rev[0]):
+            assert bound <= true_d + 1e-9
+
+    @pytest.mark.parametrize("name", ["python", "numpy"])
+    def test_suffix_gap_bounds_contract(self, name):
+        ks = get_kernels(name)
+        x, y = make_series(14, 5), make_series(14, 6)
+        env = ks.envelope(y, 3)
+        suffix = ks.suffix_gap_bounds(x, env)
+        assert len(suffix) == 14
+        assert suffix[-1] == 0.0
+        assert all(
+            suffix[i] >= suffix[i + 1] for i in range(len(suffix) - 1)
+        )
+
+    def test_suffix_bounds_bitwise_equal_across_backends(self):
+        py = get_kernels("python")
+        np_ = get_kernels("numpy")
+        x, y = make_series(30, 7), make_series(30, 8)
+        env = py.envelope(y, 4)
+        assert py.suffix_gap_bounds(x, env) == np_.suffix_gap_bounds(
+            x, env
+        )
+
+    def test_envelopes_equal_across_backends(self):
+        py = get_kernels("python")
+        np_ = get_kernels("numpy")
+        x = make_series(40, 9)
+        for band in (0, 1, 5, 39, 60):
+            assert py.envelope(x, band) == np_.envelope(x, band)

@@ -1,4 +1,8 @@
-"""Cross-validation of the NumPy backend against the pure engine."""
+"""Cross-validation of the NumPy backend against the pure engine.
+
+Spot checks with hand-picked shapes; the exhaustive fuzzing (paths,
+cells, abandoning, tie-breaking) lives in ``test_numpy_parity.py``.
+"""
 
 import numpy as np
 import pytest
@@ -14,8 +18,8 @@ class TestDtwNumpy:
     def test_full_matches_engine(self, seed):
         x = make_series(15, seed)
         y = make_series(13, seed + 300)
-        assert dtw_numpy(np.array(x), np.array(y)) == pytest.approx(
-            dtw(x, y).distance, abs=1e-9
+        assert dtw_numpy(np.array(x), np.array(y)).distance == (
+            dtw(x, y).distance
         )
 
     @pytest.mark.parametrize("band", [0, 1, 3, 8])
@@ -23,23 +27,30 @@ class TestDtwNumpy:
         for seed in range(5):
             x = make_series(16, seed)
             y = make_series(16, seed + 400)
-            assert dtw_numpy(
-                np.array(x), np.array(y), band=band
-            ) == pytest.approx(cdtw(x, y, band=band).distance, abs=1e-9)
+            result = dtw_numpy(np.array(x), np.array(y), band=band)
+            expected = cdtw(x, y, band=band)
+            assert result.distance == expected.distance
+            assert result.cells == expected.cells
 
     def test_abs_cost(self):
         x = make_series(12, 9)
         y = make_series(12, 10)
         assert dtw_numpy(
-            np.array(x), np.array(y), squared=False
-        ) == pytest.approx(dtw(x, y, cost="abs").distance, abs=1e-9)
+            np.array(x), np.array(y), cost="abs"
+        ).distance == dtw(x, y, cost="abs").distance
 
     def test_unequal_banded(self):
         x = make_series(10, 11)
         y = make_series(20, 12)
         assert dtw_numpy(
             np.array(x), np.array(y), band=4
-        ) == pytest.approx(cdtw(x, y, band=4).distance, abs=1e-9)
+        ).distance == cdtw(x, y, band=4).distance
+
+    def test_callable_cost_rejected(self):
+        with pytest.raises(ValueError, match="backend='python'"):
+            dtw_numpy(
+                np.ones(4), np.ones(4), cost=lambda a, b: abs(a - b)
+            )
 
     def test_rejects_2d(self):
         with pytest.raises(ValueError):
@@ -51,18 +62,44 @@ class TestDtwNumpy:
 
 
 class TestPairwiseMatrix:
-    def test_symmetric_zero_diagonal(self):
+    def test_symmetric_zero_diagonal_with_cells(self):
         series = [make_series(10, s) for s in range(4)]
         m = pairwise_matrix_numpy(series, band=2)
-        assert np.allclose(m, m.T)
-        assert np.allclose(np.diag(m), 0.0)
+        assert m.measure == "cdtw"
+        k = len(series)
+        for i in range(k):
+            assert m[i, i] == 0.0
+            for j in range(k):
+                assert m[i, j] == m[j, i]
+        expected_cells = sum(
+            cdtw(series[i], series[j], band=2).cells
+            for i in range(k) for j in range(i + 1, k)
+        )
+        assert m.cells == expected_cells
 
     def test_entries_match_single_calls(self):
         series = [make_series(10, s) for s in range(3)]
         m = pairwise_matrix_numpy(series)
+        assert m.measure == "dtw"
         for i in range(3):
             for j in range(3):
                 if i != j:
-                    assert m[i, j] == pytest.approx(
-                        dtw(series[i], series[j]).distance
-                    )
+                    assert m[i, j] == dtw(series[i], series[j]).distance
+
+    def test_matches_distance_matrix(self):
+        from repro.core.matrix import distance_matrix
+
+        series = [make_series(12, s + 50) for s in range(4)]
+        mine = pairwise_matrix_numpy(series, window=0.25)
+        reference = distance_matrix(series, measure="cdtw", window=0.25)
+        assert mine.values == reference.values
+        assert mine.cells == reference.cells
+
+    def test_rejects_window_and_band(self):
+        series = [make_series(8, s) for s in range(3)]
+        with pytest.raises(ValueError):
+            pairwise_matrix_numpy(series, window=0.1, band=2)
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError, match="distance_matrix"):
+            pairwise_matrix_numpy([[0.0, 1.0], [0.0, 1.0, 2.0]])

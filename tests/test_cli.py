@@ -70,6 +70,42 @@ class TestBatch:
         assert "--workers" in capsys.readouterr().err
 
 
+class TestKernels:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["kernels"])
+        assert args.window == 0.1
+        assert args.workers == 2
+        assert args.out == "BENCH_kernels.json"
+        assert args.smoke is False
+
+    def test_smoke_run_writes_report(self, capsys, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main([
+            "kernels", "--smoke", "--workers", "1", "--out", str(out),
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "numpy_serial" in stdout
+        assert "bit-identical" in stdout
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["parity"]["distances_identical"] is True
+        assert report["parity"]["cells_identical"] is True
+        assert "numpy_serial" in report["speedups_over_python_serial"]
+
+    def test_dash_out_skips_writing(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main([
+            "kernels", "--smoke", "--workers", "1", "--out", "-",
+        ]) == 0
+        assert "wrote" not in capsys.readouterr().out
+        assert not (tmp_path / "BENCH_kernels.json").exists()
+
+    def test_bad_workload_exits_2(self, capsys):
+        assert main(["kernels", "--smoke", "--count", "0", "--out", "-"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestAdvise:
     def test_case_a(self, capsys):
         assert main(["advise", "--n", "945", "--warping", "0.04"]) == 0

@@ -73,6 +73,34 @@ class TestSubpackages:
         from repro.viz import sparkline  # noqa: F401
 
 
+class TestKernelRegistry:
+    """The backend registry is part of the public surface."""
+
+    REGISTRY_NAMES = [
+        "KernelSet",
+        "available_backends",
+        "default_backend",
+        "get_kernels",
+        "set_default_backend",
+        "use_backend",
+    ]
+
+    @pytest.mark.parametrize("name", REGISTRY_NAMES)
+    def test_exported_top_level(self, name):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None
+
+    def test_top_level_is_core_registry(self):
+        from repro.core import kernels
+
+        assert repro.get_kernels is kernels.get_kernels
+        assert repro.use_backend is kernels.use_backend
+
+    def test_python_backend_always_listed(self):
+        assert "python" in repro.available_backends()
+        assert repro.default_backend() == "python"
+
+
 class TestDocstringCoverage:
     @pytest.mark.parametrize("name", SUBPACKAGES)
     def test_public_callables_documented(self, name):

@@ -52,3 +52,31 @@ def test_package_docstring_example():
     exact = dtw(x, y)
     approx = fastdtw(x, y, radius=1)
     assert exact.distance <= approx.distance
+
+
+def test_kernel_backend_block():
+    from repro import use_backend
+    from repro.core import distance_matrix
+    from repro.datasets.random_walk import random_walks
+
+    series = random_walks(6, 64, seed=1)
+    per_call = distance_matrix(
+        series, measure="cdtw", window=0.1, backend="numpy"
+    )
+    with use_backend("numpy"):
+        scoped = distance_matrix(series, measure="cdtw", window=0.1)
+    # the README's bit-identity claim, against the pure engine
+    pure = distance_matrix(series, measure="cdtw", window=0.1)
+    assert per_call.values == scoped.values == pure.values
+    assert per_call.cells == scoped.cells == pure.cells
+
+
+def test_readme_pinned_harness_claim():
+    import pytest
+
+    from repro.datasets.random_walk import random_walks
+    from repro.timing import batch_pairwise_experiment
+
+    series = random_walks(4, 32, seed=2)
+    with pytest.raises(ValueError):
+        batch_pairwise_experiment(series, band=2, backend="numpy")

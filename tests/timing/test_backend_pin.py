@@ -1,0 +1,82 @@
+"""The paper harness is pinned to the pure-Python engine.
+
+The paper's claim is "same language, same hardware": both contenders
+(exact cDTW and FastDTW) run on the shared pure-Python DP engine, so a
+vectorised backend sneaking into the timing path would invalidate the
+comparison.  These tests make the pin load-bearing: the explicit
+``backend=`` escape hatch raises, and a source scan proves nothing in
+``repro.experiments`` or ``repro.timing`` (other than the clearly
+labelled cross-backend micro-benchmark ``kernel_bench``) can even name
+the NumPy backend or the registry's default-switching hooks.
+"""
+
+import pathlib
+
+import pytest
+
+import repro.experiments
+import repro.timing
+from repro.timing.runner import PINNED_BACKEND, batch_pairwise_experiment
+from tests.conftest import make_series
+
+FORBIDDEN_TOKENS = (
+    '"numpy"',
+    "'numpy'",
+    "dtw_numpy",
+    "get_kernels",
+    "set_default_backend",
+    "use_backend",
+)
+
+
+def _sources(package):
+    root = pathlib.Path(package.__file__).parent
+    return sorted(root.glob("*.py"))
+
+
+class TestExplicitPin:
+    def test_pinned_backend_is_python(self):
+        assert PINNED_BACKEND == "python"
+
+    def test_non_python_backend_raises(self):
+        series = [make_series(16, s) for s in range(4)]
+        with pytest.raises(ValueError, match="pinned"):
+            batch_pairwise_experiment(series, band=2, backend="numpy")
+
+    def test_explicit_python_backend_accepted(self):
+        series = [make_series(16, s) for s in range(4)]
+        res = batch_pairwise_experiment(series, band=2, backend="python")
+        assert res.pairs == 6
+
+    def test_default_backend_switch_does_not_leak_in(self):
+        # even if a user flips the process default, the harness stays
+        # on the pure engine -- distances and cells must not move
+        from repro.core.kernels import use_backend
+
+        series = [make_series(16, s) for s in range(4)]
+        plain = batch_pairwise_experiment(series, band=2)
+        with use_backend("numpy"):
+            switched = batch_pairwise_experiment(series, band=2)
+        assert switched.cells == plain.cells
+        assert switched.pairs == plain.pairs
+
+
+class TestSourceScan:
+    @pytest.mark.parametrize(
+        "package", [repro.experiments, repro.timing],
+        ids=["experiments", "timing"],
+    )
+    def test_no_numpy_backend_references(self, package):
+        offenders = []
+        for path in _sources(package):
+            if path.name == "kernel_bench.py":
+                continue  # the cross-backend bench, by design
+            text = path.read_text()
+            for token in FORBIDDEN_TOKENS:
+                if token in text:
+                    offenders.append(f"{path.name}: {token}")
+        assert not offenders, offenders
+
+    def test_scan_covers_the_harness_modules(self):
+        names = {p.name for p in _sources(repro.timing)}
+        assert "runner.py" in names and "kernel_bench.py" in names
