@@ -40,6 +40,7 @@ from .core import (
     use_backend,
     windowed_dtw,
 )
+from .obs import RunTrace, TraceSnapshot, active_trace
 
 __version__ = "1.0.0"
 
@@ -48,8 +49,11 @@ __all__ = [
     "DtwResult",
     "FastDtwResult",
     "KernelSet",
+    "RunTrace",
+    "TraceSnapshot",
     "WarpingPath",
     "Window",
+    "active_trace",
     "approximation_error_percent",
     "available_backends",
     "batch_distances",

@@ -45,6 +45,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from ..core.cost import CostLike
 from ..core.measures import MEASURES, measure_fn, split_result
 from ..lowerbounds.lb_keogh import lb_keogh
+from ..obs import trace as _obs
 from .cache import CacheStats, SeriesCache
 
 Pair = Tuple[int, int]
@@ -198,11 +199,11 @@ def argmin_first(values: Sequence[float]) -> Tuple[int, float]:
 class _WorkerContext:
     __slots__ = (
         "cache", "spec", "fn", "vectorize", "lb_band", "lb_squared",
-        "lb_backend",
+        "lb_backend", "traced",
     )
 
     def __init__(self, series, spec=None, lb_band=None, lb_squared=True,
-                 lb_backend="python"):
+                 lb_backend="python", traced=False):
         self.cache = SeriesCache(series)
         self.spec = spec
         self.fn = spec.make_fn() if spec is not None else None
@@ -210,20 +211,27 @@ class _WorkerContext:
         self.lb_band = lb_band
         self.lb_squared = lb_squared
         self.lb_backend = lb_backend
+        self.traced = traced
 
 
 _CONTEXT: Optional[_WorkerContext] = None
 
 
-def _init_distance_worker(series, spec):
+def _init_distance_worker(series, spec, traced=False):
     global _CONTEXT
-    _CONTEXT = _WorkerContext(series, spec=spec)
+    # a forked worker inherits the parent's active RunTrace object; it
+    # must never record into that copy (the parent merges snapshots
+    # instead), so the observability state is always cleared here
+    _obs.reset()
+    _CONTEXT = _WorkerContext(series, spec=spec, traced=traced)
 
 
-def _init_lb_worker(series, band, squared, backend):
+def _init_lb_worker(series, band, squared, backend, traced=False):
     global _CONTEXT
+    _obs.reset()
     _CONTEXT = _WorkerContext(
-        series, lb_band=band, lb_squared=squared, lb_backend=backend
+        series, lb_band=band, lb_squared=squared, lb_backend=backend,
+        traced=traced,
     )
 
 
@@ -272,7 +280,13 @@ def _compute_chunk_vectorized(ctx: _WorkerContext, chunk: Sequence[Pair]):
         cells = win.cell_count()
         xs = np.array([x for _, x, _ in items], dtype=np.float64)
         ys = np.array([y for _, _, y in items], dtype=np.float64)
-        distances = dtw_numpy_batch(xs, ys, win, cost=ctx.spec.cost)
+        with _obs.span("dp"):
+            distances = dtw_numpy_batch(xs, ys, win, cost=ctx.spec.cost)
+        # the stacked kernel bypasses the per-call dp hooks, so the
+        # dp.* counters are charged here -- one call and ``cells``
+        # lattice cells per pair, exactly what the scalar path records
+        _obs.incr("dp.calls", len(items))
+        _obs.incr("dp.cells", cells * len(items))
         for (t, _, _), d in zip(items, distances.tolist()):
             out[t] = (d, cells, None)
     return out
@@ -281,15 +295,24 @@ def _compute_chunk_vectorized(ctx: _WorkerContext, chunk: Sequence[Pair]):
 def _run_distance_chunk(chunk: Sequence[Pair]):
     ctx = _CONTEXT
     before = ctx.cache.stats()
+    if ctx.traced:
+        with _obs.RunTrace(label="batch-worker") as wtrace:
+            wtrace.incr("pool.chunks")
+            if ctx.vectorize:
+                out = _compute_chunk_vectorized(ctx, chunk)
+            else:
+                out = [_compute_pair(ctx, i, j) for i, j in chunk]
+        return out, ctx.cache.stats() - before, wtrace.snapshot()
     if ctx.vectorize:
         out = _compute_chunk_vectorized(ctx, chunk)
     else:
         out = [_compute_pair(ctx, i, j) for i, j in chunk]
-    return out, ctx.cache.stats() - before
+    return out, ctx.cache.stats() - before, None
 
 
 def _compute_lb(ctx: _WorkerContext, i: int, j: int) -> float:
     env = ctx.cache.envelope(i, ctx.lb_band)
+    _obs.incr("lb.invocations")
     return lb_keogh(env, ctx.cache.raw(j), squared=ctx.lb_squared)
 
 
@@ -303,6 +326,7 @@ def _compute_lb_chunk_vectorized(ctx: _WorkerContext, chunk: Sequence[Pair]):
     """
     from ..core.numpy_backend import lb_keogh_batch
 
+    _obs.incr("lb.invocations", len(chunk))
     groups: dict = {}
     for t, (i, j) in enumerate(chunk):
         cand = ctx.cache.raw(j)
@@ -321,11 +345,27 @@ def _compute_lb_chunk_vectorized(ctx: _WorkerContext, chunk: Sequence[Pair]):
 def _run_lb_chunk(chunk: Sequence[Pair]):
     ctx = _CONTEXT
     before = ctx.cache.stats()
+    if ctx.traced:
+        with _obs.RunTrace(label="batch-worker") as wtrace:
+            wtrace.incr("pool.chunks")
+            if ctx.lb_backend == "numpy":
+                out = _compute_lb_chunk_vectorized(ctx, chunk)
+            else:
+                out = [_compute_lb(ctx, i, j) for i, j in chunk]
+        return out, ctx.cache.stats() - before, wtrace.snapshot()
     if ctx.lb_backend == "numpy":
         out = _compute_lb_chunk_vectorized(ctx, chunk)
     else:
         out = [_compute_lb(ctx, i, j) for i, j in chunk]
-    return out, ctx.cache.stats() - before
+    return out, ctx.cache.stats() - before, None
+
+
+def _record_cache_stats(trace, stats: CacheStats) -> None:
+    """Mirror a job's aggregated :class:`CacheStats` into a trace."""
+    trace.incr("cache.envelope_hits", stats.envelope_hits)
+    trace.incr("cache.envelope_misses", stats.envelope_misses)
+    trace.incr("cache.znorm_hits", stats.znorm_hits)
+    trace.incr("cache.znorm_misses", stats.znorm_misses)
 
 
 def _pick_context(start_method: Optional[str]):
@@ -436,8 +476,14 @@ def batch_distances(
     )
     task_list = _validated_pairs(pairs, len(series))
     series_t = tuple(tuple(float(v) for v in s) for s in series)
+    trace = _obs.active_trace()
+    if trace is not None:
+        trace.incr("batch.jobs")
+        trace.incr("batch.pairs", len(task_list))
 
     if workers == 1 or len(task_list) == 0:
+        # in-process: the per-pair hooks report straight into the
+        # parent's active trace, no snapshot round-trip needed
         context = _WorkerContext(series_t, spec=spec)
         if context.vectorize and task_list:
             outcomes = _compute_chunk_vectorized(context, task_list)
@@ -456,15 +502,19 @@ def batch_distances(
         ]
         chunk_results = _fan_out(
             series_t, task_list, chunks, workers,
-            _init_distance_worker, (series_t, spec),
+            _init_distance_worker, (series_t, spec, trace is not None),
             _run_distance_chunk, start_method,
         )
-        outcomes = [item for part, _ in chunk_results for item in part]
+        outcomes = [item for part, _, _ in chunk_results for item in part]
         stats = CacheStats()
-        for _, delta in chunk_results:
+        for _, delta, snapshot in chunk_results:
             stats = stats + delta
+            if trace is not None and snapshot is not None:
+                trace.merge(snapshot)
         effective_workers = workers
 
+    if trace is not None:
+        _record_cache_stats(trace, stats)
     distances = tuple(d for d, _, _ in outcomes)
     cells_per_pair = tuple(c for _, c, _ in outcomes)
     return BatchResult(
@@ -516,6 +566,10 @@ def batch_lb_keogh(
     lb_backend = resolve_backend(backend)
     task_list = _validated_pairs(pairs, len(series))
     series_t = tuple(tuple(float(v) for v in s) for s in series)
+    trace = _obs.active_trace()
+    if trace is not None:
+        trace.incr("batch.jobs")
+        trace.incr("batch.pairs", len(task_list))
 
     if workers == 1 or len(task_list) == 0:
         context = _WorkerContext(
@@ -535,15 +589,20 @@ def batch_lb_keogh(
         ]
         chunk_results = _fan_out(
             series_t, task_list, chunks, workers,
-            _init_lb_worker, (series_t, band, squared, lb_backend),
+            _init_lb_worker,
+            (series_t, band, squared, lb_backend, trace is not None),
             _run_lb_chunk, start_method,
         )
-        bounds = [item for part, _ in chunk_results for item in part]
+        bounds = [item for part, _, _ in chunk_results for item in part]
         stats = CacheStats()
-        for _, delta in chunk_results:
+        for _, delta, snapshot in chunk_results:
             stats = stats + delta
+            if trace is not None and snapshot is not None:
+                trace.merge(snapshot)
         effective_workers = workers
 
+    if trace is not None:
+        _record_cache_stats(trace, stats)
     zeros = tuple(0 for _ in bounds)
     return BatchResult(
         pairs=tuple(task_list),

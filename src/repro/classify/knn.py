@@ -28,6 +28,7 @@ from ..core.euclidean import euclidean
 from ..core.fastdtw import fastdtw
 from ..core.fastdtw_reference import fastdtw_reference
 from ..core.measures import MEASURES
+from ..obs import trace as _obs
 from ..search.nn_search import nearest_neighbor
 
 _FASTDTW_MEASURES = ("fastdtw", "fastdtw_reference")
@@ -150,7 +151,9 @@ class OneNearestNeighbor:
         if not indices:
             raise ValueError("no training candidates after exclusion")
         candidates = [self._train[i] for i in indices]
-        idx, _dist, cells = self._nearest(query, candidates)
+        _obs.incr("knn.predictions")
+        with _obs.span("knn"):
+            idx, _dist, cells = self._nearest(query, candidates)
         self.cells_evaluated += cells
         return self._labels[indices[idx]]
 
@@ -197,6 +200,7 @@ class OneNearestNeighbor:
     def _predict_batched(self, queries) -> List[object]:
         from ..batch.engine import argmin_first, batch_distances
 
+        _obs.incr("knn.predictions", len(queries))
         q = len(queries)
         series = [list(s) for s in queries] + self._train
         pairs = [
@@ -260,6 +264,7 @@ class KNearestNeighbors:
         """Majority label among the ``k`` nearest training series."""
         if not self._train:
             raise ValueError("classifier is not fitted")
+        _obs.incr("knn.predictions")
         if self.workers > 1:
             from ..batch.engine import batch_distances
 

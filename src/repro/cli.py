@@ -8,6 +8,7 @@ Usage::
     python -m repro run all                   # everything (slow)
     python -m repro advise --n 945 --warping 0.04   # Table 1 verdict
     python -m repro batch --workers 4         # batch engine demo
+    python -m repro trace --workload fastdtw  # instrumented run -> JSON
 
 Each experiment id matches DESIGN.md §3 and the module registry in
 :mod:`repro.experiments`.
@@ -96,6 +97,37 @@ def build_parser() -> argparse.ArgumentParser:
                               "code paths, meaningless timings)")
     kernels.add_argument("--out", default="BENCH_kernels.json",
                          help="output JSON path ('-' to skip writing)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run an instrumented workload; emit the JSON trace",
+    )
+    trace.add_argument(
+        "--workload", default="fastdtw",
+        choices=["fastdtw", "batch", "nn"],
+        help="which reference workload to trace (default fastdtw)",
+    )
+    trace.add_argument("--length", type=int, default=256,
+                       help="series length (default 256)")
+    trace.add_argument("--count", type=int, default=8,
+                       help="series/candidate count (default 8)")
+    trace.add_argument("--radius", type=int, default=1,
+                       help="FastDTW radius (default 1)")
+    trace.add_argument("--window", type=float, default=0.1,
+                       help="cDTW window fraction (default 0.1)")
+    trace.add_argument("--workers", type=int, default=1,
+                       help="batch-engine workers (default 1)")
+    trace.add_argument("--backend", default=None,
+                       help="kernel backend (default: process default)")
+    trace.add_argument("--seed", type=int, default=0,
+                       help="random-walk seed (default 0)")
+    trace.add_argument("--out", default="-",
+                       help="output JSON path ('-' = stdout, default)")
+    trace.add_argument(
+        "--overhead-check", action="store_true",
+        help="instead of tracing, verify disabled instrumentation "
+             "costs <=2%% on the DP hot loop (CI guard)",
+    )
 
     advise = sub.add_parser(
         "advise", help="classify a task per the paper's Table 1"
@@ -221,6 +253,49 @@ def cmd_kernels(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_trace(args) -> int:
+    import json
+
+    if args.overhead_check:
+        from .obs.bench import trace_overhead_check
+
+        result = trace_overhead_check()
+        payload = json.dumps(result, indent=2)
+        pct = result["overhead"] * 100.0
+        print(f"trace overhead (disabled): {pct:+.2f}% "
+              f"(tolerance {result['tolerance'] * 100:.0f}%) -- "
+              f"{'OK' if result['ok'] else 'FAIL'}")
+        if args.out != "-":
+            with open(args.out, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"  wrote {args.out}")
+        return 0 if result["ok"] else 1
+
+    from .obs.workloads import run_traced_workload
+
+    try:
+        document = run_traced_workload(
+            args.workload, length=args.length, count=args.count,
+            radius=args.radius, window=args.window, workers=args.workers,
+            backend=args.backend, seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    payload = json.dumps(document, indent=2)
+    if args.out == "-":
+        print(payload)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote {args.out} (ok={document['ok']})")
+    if not document["ok"]:
+        print("error: trace counters failed reconciliation",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_verdicts() -> int:
     from .experiments.verdicts import collect_verdicts, format_verdicts
 
@@ -244,4 +319,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_batch(args)
     if args.command == "kernels":
         return cmd_kernels(args)
+    if args.command == "trace":
+        return cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")

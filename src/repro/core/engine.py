@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from math import inf, sqrt as _sqrt
 from typing import List, Optional, Sequence, Tuple
 
+from ..obs import trace as _obs
 from .cost import CostLike, cost_name, resolve_cost
 from .path import WarpingPath
 from .window import Window
@@ -115,6 +116,35 @@ def dp_over_window(
     ValueError
         If series lengths disagree with the window, or a series is
         empty.
+    """
+    trace = _obs._ACTIVE
+    if trace is None:
+        return _dp_over_window(
+            x, y, window, cost, return_path, abandon_above, suffix_bound
+        )
+    with _obs.span("dp"):
+        result = _dp_over_window(
+            x, y, window, cost, return_path, abandon_above, suffix_bound
+        )
+    _obs.record_dp(trace, result)
+    return result
+
+
+def _dp_over_window(
+    x: Sequence[float],
+    y: Sequence[float],
+    window: Window,
+    cost: CostLike,
+    return_path: bool,
+    abandon_above: Optional[float],
+    suffix_bound: Optional[Sequence[float]],
+) -> DtwResult:
+    """The raw DP, free of observability hooks.
+
+    :func:`dp_over_window` is a thin wrapper that adds the
+    :mod:`repro.obs` counters and span when a trace is active; this
+    function is also the baseline the trace-overhead guard
+    (:mod:`repro.obs.bench`) times the wrapper against.
     """
     n, m = len(x), len(y)
     if n == 0 or m == 0:

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..obs import trace as _obs
 from .cost import CostLike, cost_name
 from .dtw import dtw
 from .engine import DtwResult, dp_over_window
@@ -120,7 +121,11 @@ def fastdtw(
         raise ValueError("radius must be non-negative")
     validate_pair(x, y)
     trace: Optional[List[FastDtwLevel]] = [] if keep_levels else None
-    result, total_cells = _fastdtw_rec(list(x), list(y), radius, cost, trace)
+    _obs.incr("fastdtw.calls")
+    with _obs.span("fastdtw"):
+        result, total_cells = _fastdtw_rec(
+            list(x), list(y), radius, cost, trace
+        )
     return FastDtwResult(
         distance=result.distance,
         path=result.path,
@@ -140,6 +145,7 @@ def _fastdtw_rec(
 ) -> Tuple[DtwResult, int]:
     n, m = len(x), len(y)
     min_size = radius + 2
+    _obs.incr("fastdtw.levels")
 
     if n <= min_size or m <= min_size:
         base = dtw(x, y, cost=cost, return_path=True)
@@ -149,10 +155,11 @@ def _fastdtw_rec(
             )
         return base, base.cells
 
-    coarse, coarse_cells = _fastdtw_rec(
-        halve(x), halve(y), radius, cost, trace
-    )
-    window = Window.expand_path(coarse.path, n, m, radius)
+    with _obs.span("coarsen"):
+        sx, sy = halve(x), halve(y)
+    coarse, coarse_cells = _fastdtw_rec(sx, sy, radius, cost, trace)
+    with _obs.span("window"):
+        window = Window.expand_path(coarse.path, n, m, radius)
     refined = dp_over_window(x, y, window, cost=cost, return_path=True)
     if trace is not None:
         trace.append(

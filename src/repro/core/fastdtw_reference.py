@@ -29,6 +29,7 @@ from __future__ import annotations
 from math import inf
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import trace as _obs
 from .cost import CostLike, cost_name, resolve_cost
 from .fastdtw import FastDtwResult
 from .path import WarpingPath
@@ -56,9 +57,17 @@ def fastdtw_reference(
         raise ValueError("radius must be non-negative")
     validate_pair(x, y)
     dist_fn = resolve_cost(cost)
-    distance, path, cells = _fastdtw_rec(
-        [float(v) for v in x], [float(v) for v in y], radius, dist_fn
-    )
+    with _obs.span("fastdtw_reference"):
+        distance, path, cells = _fastdtw_rec(
+            [float(v) for v in x], [float(v) for v in y], radius, dist_fn
+        )
+    trace = _obs._ACTIVE
+    if trace is not None:
+        # the reference variant runs its own hash-map DP, so its cells
+        # are reported at this boundary rather than per dp_over_window
+        # call; "dp.cells == result cells" holds for this measure too
+        trace.incr("dp.calls")
+        trace.incr("dp.cells", cells)
     return FastDtwResult(
         distance=distance,
         path=WarpingPath(path),

@@ -125,14 +125,26 @@ def _build_python() -> KernelSet:
 
 
 def _build_numpy() -> KernelSet:
+    from ..obs import trace as _obs
     from . import numpy_backend as nb
 
     def dtw(x, y, window, cost="squared", return_path=False,
             abandon_above=None, suffix_bound=None):
-        return nb.dtw_numpy(
-            x, y, window=window, cost=cost, return_path=return_path,
-            abandon_above=abandon_above, suffix_bound=suffix_bound,
-        )
+        # mirror the pure engine's observability hook so the ``dp.*``
+        # counters are backend-invariant (the counter-parity contract)
+        trace = _obs._ACTIVE
+        if trace is None:
+            return nb.dtw_numpy(
+                x, y, window=window, cost=cost, return_path=return_path,
+                abandon_above=abandon_above, suffix_bound=suffix_bound,
+            )
+        with _obs.span("dp"):
+            result = nb.dtw_numpy(
+                x, y, window=window, cost=cost, return_path=return_path,
+                abandon_above=abandon_above, suffix_bound=suffix_bound,
+            )
+        _obs.record_dp(trace, result)
+        return result
 
     return KernelSet(
         name="numpy",

@@ -20,6 +20,7 @@ from math import inf
 from typing import Optional, Sequence
 
 from ..core.cdtw import cdtw
+from ..obs import trace as _obs
 from .envelope import Envelope, envelope
 from .lb_keogh import lb_keogh, lb_keogh_reversed
 from .lb_kim import lb_kim
@@ -113,18 +114,31 @@ class LowerBoundCascade:
         """
         if len(candidate) != len(self.query):
             raise ValueError("cascade requires equal-length candidates")
+        trace = _obs.active_trace()
+        if trace is None:
+            return self._distance_impl(candidate, best_so_far)
+        with _obs.span("lb_cascade"):
+            return self._distance_impl(candidate, best_so_far)
+
+    def _distance_impl(
+        self, candidate: Sequence[float], best_so_far: float
+    ) -> float:
         stats = self.stats
         stats.candidates += 1
+        _obs.incr("lb.candidates")
         cost = "squared" if self.squared else "abs"
         k = self._kernels
 
+        _obs.incr("lb.invocations")
         if k is not None:
             kim = k.lb_kim(self.query, (candidate,), cost=cost)[0]
         else:
             kim = lb_kim(self.query, candidate, cost=cost)
         if kim > best_so_far:
             stats.pruned_kim += 1
+            _obs.incr("lb.pruned_kim")
             return inf
+        _obs.incr("lb.invocations")
         if k is not None:
             lb = k.lb_keogh(
                 self.envelope, (candidate,),
@@ -137,8 +151,10 @@ class LowerBoundCascade:
             )
         if lb > best_so_far:
             stats.pruned_keogh += 1
+            _obs.incr("lb.pruned_keogh")
             return inf
         if self.use_reversed:
+            _obs.incr("lb.invocations")
             if k is not None:
                 lb = k.lb_keogh_reversed(
                     self.query, (candidate,), self.band,
@@ -151,6 +167,7 @@ class LowerBoundCascade:
                 )
             if lb > best_so_far:
                 stats.pruned_keogh_reversed += 1
+                _obs.incr("lb.pruned_keogh_reversed")
                 return inf
 
         if self.use_cumulative and best_so_far != inf:
@@ -185,8 +202,10 @@ class LowerBoundCascade:
         stats.cells += result.cells
         if result.abandoned:
             stats.abandoned_dtw += 1
+            _obs.incr("lb.abandoned_dtw")
             return inf
         stats.full_dtw += 1
+        _obs.incr("lb.full_dtw")
         return result.distance
 
     def nearest(self, candidates: Sequence[Sequence[float]]) -> tuple:

@@ -1,0 +1,62 @@
+"""repro.obs: the unified observability layer.
+
+The paper's whole argument is an *accounting* argument -- cDTW wins
+because its DP touches fewer cells and carries less structural overhead
+than FastDTW's coarsen/project/dilate recursion -- so the package needs
+one instrumentation substrate that every engine reports through, not
+per-module ad-hoc timers.  This package provides it:
+
+* :class:`RunTrace` -- a context manager that activates collection.
+  While a trace is active, the hot paths (the windowed DP engine, the
+  FastDTW recursion, the vectorised kernels, the lower-bound cascade,
+  nearest-neighbour search, classification and the batch engine)
+  report **counters** (DP cells, LB invocations, early abandons, cache
+  hits, pool chunks) and **span timers** (nestable wall-clock phases
+  such as ``fastdtw/coarsen``, ``fastdtw/window``, ``fastdtw/dp``).
+* :func:`span` / :func:`incr` -- the hook primitives modules call.
+  With no active trace they are near-free (one global read), so
+  instrumentation costs nothing unless somebody asks for it; the CI
+  overhead guard (:mod:`repro.obs.bench`) enforces this.
+* :class:`TraceSnapshot` -- the picklable delta a worker process ships
+  back; :meth:`RunTrace.merge` folds snapshots into the parent trace,
+  which is how the batch engine aggregates across its pool.
+
+The paper-reproduction harness (:mod:`repro.timing.runner` and the
+:mod:`repro.experiments` figures) never activates a trace: the paper's
+wall-clocks are measured on un-instrumented runs, enforced by a
+source-scan test exactly like PR 2's backend pin (the one deliberate
+exception is :mod:`repro.timing.profile_fastdtw`, which *is* the
+consumer of the span hooks).
+
+Example::
+
+    from repro import fastdtw
+    from repro.obs import RunTrace
+
+    with RunTrace() as trace:
+        result = fastdtw(x, y, radius=10)
+    assert trace.counter("dp.cells") == result.cells
+    print(trace.to_json())
+"""
+
+from .trace import (
+    RunTrace,
+    SpanStat,
+    TraceSnapshot,
+    active_trace,
+    incr,
+    record_dp,
+    reset,
+    span,
+)
+
+__all__ = [
+    "RunTrace",
+    "SpanStat",
+    "TraceSnapshot",
+    "active_trace",
+    "incr",
+    "record_dp",
+    "reset",
+    "span",
+]

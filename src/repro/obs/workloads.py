@@ -1,0 +1,207 @@
+"""Traced reference workloads behind ``python -m repro trace``.
+
+Each workload runs a representative computation under a
+:class:`~repro.obs.RunTrace` and returns one JSON-serialisable
+document: the trace (schema ``repro.obs/trace/v1``) plus a
+``workload`` block naming the configuration and a ``reconciliation``
+block that cross-checks the trace against the computation's own
+provenance numbers.  The reconciliation is the point: the counters are
+only trustworthy if they agree *exactly* with what the results report
+(``DtwResult.cells``, ``FastDtwResult.levels``, candidate counts), so
+every document states both sides and whether they match.
+
+Workloads
+---------
+``fastdtw``
+    One FastDTW run with ``keep_levels=True``.  Reconciles the
+    ``dp.cells`` counter against ``FastDtwResult.cells``, the
+    ``fastdtw.levels`` counter against ``len(result.levels)``, and the
+    per-level window cells against their sum.
+``batch``
+    An all-pairs cDTW batch over the :mod:`repro.batch` engine (any
+    worker count / kernel backend).  Reconciles ``dp.cells`` against
+    ``BatchResult.cells`` and ``batch.pairs`` against the pair count.
+``nn``
+    A lower-bound-cascade 1-NN search.  Reconciles ``dp.cells``
+    against ``NnResult.cells`` and the cascade's pruning counters
+    against its :class:`~repro.lowerbounds.cascade.CascadeStats`.
+
+The random-walk inputs come from :mod:`repro.datasets.random_walk`
+(the paper's own data-independent timing workload), so documents are
+deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .trace import RunTrace
+
+WORKLOADS = ("fastdtw", "batch", "nn")
+
+
+def run_traced_workload(
+    workload: str,
+    length: int = 256,
+    count: int = 8,
+    radius: int = 1,
+    window: float = 0.1,
+    workers: int = 1,
+    backend: Optional[str] = None,
+    seed: int = 0,
+) -> Dict:
+    """Run ``workload`` under a fresh trace; return the JSON document.
+
+    Parameters
+    ----------
+    workload:
+        One of :data:`WORKLOADS`.
+    length:
+        Series length.
+    count:
+        Series count (``batch``) or candidate count (``nn``).
+    radius:
+        FastDTW radius (``fastdtw`` workload).
+    window:
+        cDTW band fraction (``batch`` and ``nn`` workloads).
+    workers:
+        Batch-engine worker processes (``batch`` workload).
+    backend:
+        Kernel backend (``None`` = process default).
+    seed:
+        Random-walk seed; fixes the document bit-for-bit.
+    """
+    if workload not in WORKLOADS:
+        raise ValueError(
+            f"unknown workload {workload!r}; pick from {WORKLOADS}"
+        )
+    if length < 2:
+        raise ValueError("length must be >= 2")
+    if count < 2:
+        raise ValueError("count must be >= 2")
+    runner = {
+        "fastdtw": _run_fastdtw,
+        "batch": _run_batch,
+        "nn": _run_nn,
+    }[workload]
+    with RunTrace(label=f"trace:{workload}") as trace:
+        config, reconciliation = runner(
+            trace, length, count, radius, window, workers, backend, seed
+        )
+    document = trace.to_dict()
+    document["workload"] = dict(config, name=workload, seed=seed)
+    document["reconciliation"] = reconciliation
+    document["ok"] = all(
+        check["match"] for check in reconciliation.values()
+    )
+    return document
+
+
+def _check(expected, actual) -> Dict:
+    return {
+        "expected": expected,
+        "actual": actual,
+        "match": expected == actual,
+    }
+
+
+def _run_fastdtw(
+    trace, length, count, radius, window, workers, backend, seed
+) -> Tuple[Dict, Dict]:
+    from ..core.fastdtw import fastdtw
+    from ..datasets.random_walk import random_walk
+
+    x = random_walk(length, seed=seed)
+    y = random_walk(length, seed=seed + 1)
+    result = fastdtw(x, y, radius=radius, keep_levels=True)
+    levels: List[Dict] = [
+        {"n": lvl.n, "m": lvl.m, "window_cells": lvl.window_cells}
+        for lvl in result.levels
+    ]
+    config = {
+        "length": length,
+        "radius": radius,
+        "distance": result.distance,
+        "levels": levels,
+    }
+    reconciliation = {
+        "dp_cells": _check(result.cells, trace.counter("dp.cells")),
+        "dp_calls": _check(len(result.levels), trace.counter("dp.calls")),
+        "levels": _check(
+            len(result.levels), trace.counter("fastdtw.levels")
+        ),
+        "level_cells_sum": _check(
+            result.cells, sum(lvl.window_cells for lvl in result.levels)
+        ),
+    }
+    return config, reconciliation
+
+
+def _run_batch(
+    trace, length, count, radius, window, workers, backend, seed
+) -> Tuple[Dict, Dict]:
+    from ..batch.engine import batch_distances
+    from ..datasets.random_walk import random_walks
+
+    series = random_walks(count, length, seed=seed)
+    result = batch_distances(
+        series, measure="cdtw", window=window, workers=workers,
+        backend=backend,
+    )
+    config = {
+        "length": length,
+        "count": count,
+        "window": window,
+        "workers": workers,
+        "backend": backend or "default",
+        "pairs": len(result.pairs),
+    }
+    reconciliation = {
+        "dp_cells": _check(result.cells, trace.counter("dp.cells")),
+        "dp_calls": _check(len(result.pairs), trace.counter("dp.calls")),
+        "batch_pairs": _check(
+            len(result.pairs), trace.counter("batch.pairs")
+        ),
+        "batch_jobs": _check(1, trace.counter("batch.jobs")),
+    }
+    return config, reconciliation
+
+
+def _run_nn(
+    trace, length, count, radius, window, workers, backend, seed
+) -> Tuple[Dict, Dict]:
+    from ..datasets.random_walk import random_walk, random_walks
+    from ..search.nn_search import nearest_neighbor
+
+    query = random_walk(length, seed=seed + 999_331)
+    candidates = random_walks(count, length, seed=seed)
+    result = nearest_neighbor(
+        query, candidates, strategy="cdtw+lb", window=window,
+        backend=backend,
+    )
+    stats = result.stats
+    config = {
+        "length": length,
+        "count": count,
+        "window": window,
+        "nearest_index": result.index,
+        "nearest_distance": result.distance,
+    }
+    reconciliation = {
+        "dp_cells": _check(result.cells, trace.counter("dp.cells")),
+        "nn_candidates": _check(count, trace.counter("nn.candidates")),
+        "lb_candidates": _check(
+            stats.candidates, trace.counter("lb.candidates")
+        ),
+        "lb_pruned": _check(
+            stats.pruned_total(),
+            trace.counter("lb.pruned_kim")
+            + trace.counter("lb.pruned_keogh")
+            + trace.counter("lb.pruned_keogh_reversed")
+            + trace.counter("lb.abandoned_dtw"),
+        ),
+        "lb_full_dtw": _check(
+            stats.full_dtw, trace.counter("lb.full_dtw")
+        ),
+    }
+    return config, reconciliation

@@ -23,6 +23,7 @@ from ..core.engine import DtwResult, dp_over_window
 from ..core.validate import validate_pair
 from ..core.window import Window
 from ..lowerbounds.envelope import Envelope, envelope
+from ..obs import trace as _obs
 
 
 def suffix_gap_bounds(
@@ -98,6 +99,7 @@ def cdtw_cumulative_abandon(
         raise ValueError("cumulative abandoning requires equal lengths")
     if band < 0:
         raise ValueError("band must be non-negative")
+    _obs.incr("cumulative.calls")
     env = y_envelope if y_envelope is not None else envelope(y, band)
     if env.band < band:
         raise ValueError(
@@ -108,6 +110,7 @@ def cdtw_cumulative_abandon(
 
     resolved = resolve_backend(backend)
     if resolved == "python":
+        _obs.incr("lb.suffix_builds")
         suffix = suffix_gap_bounds(x, env, squared=squared)
         window = Window.band(len(x), len(y), band)
         return dp_over_window(
@@ -117,6 +120,7 @@ def cdtw_cumulative_abandon(
             suffix_bound=suffix,
         )
     kernels = get_kernels(resolved)
+    _obs.incr("lb.suffix_builds")
     suffix = kernels.suffix_gap_bounds(x, env, squared=squared)
     window = banded_window(len(x), len(y), band)
     return kernels.dtw(

@@ -24,6 +24,7 @@ from ..core.cdtw import cdtw
 from ..core.euclidean import euclidean
 from ..core.fastdtw import fastdtw
 from ..lowerbounds.cascade import CascadeStats, LowerBoundCascade
+from ..obs import trace as _obs
 
 STRATEGIES = ("cdtw", "cdtw+lb", "fastdtw", "euclidean")
 
@@ -98,6 +99,29 @@ def nearest_neighbor(
 
     resolved = resolve_backend(backend)
 
+    trace = _obs.active_trace()
+    if trace is None:
+        return _nearest_neighbor_impl(
+            query, candidates, strategy, band, window, radius, workers,
+            resolved,
+        )
+    trace.incr("nn.queries")
+    trace.incr("nn.candidates", len(candidates))
+    with _obs.span("nn_search"):
+        return _nearest_neighbor_impl(
+            query, candidates, strategy, band, window, radius, workers,
+            resolved,
+        )
+
+
+def _nearest_neighbor_impl(
+    query, candidates, strategy, band, window, radius, workers, resolved
+) -> NnResult:
+    """The strategy dispatch behind :func:`nearest_neighbor`.
+
+    Split out so the public entry point's observability hook costs one
+    module-global read when no :class:`repro.obs.RunTrace` is active.
+    """
     if workers > 1 and strategy != "cdtw+lb":
         return _nearest_neighbor_batched(
             query, candidates, strategy, band, window, radius, workers,

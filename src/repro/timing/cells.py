@@ -3,7 +3,10 @@
 Counting DP lattice cells gives a hardware- and language-independent
 cost model:
 
-* ``cDTW_w``      touches ``~ N * (2*ceil(wN) + 1)`` cells;
+* ``cDTW_w``      touches ``~ N * (2*ceil(w*max(N,M)) + 1)`` cells --
+  reported *exactly*, via the same :class:`repro.core.window.Window`
+  geometry the DP runs over (band corners clipped by the lattice edge
+  are not counted);
 * ``FastDTW_r``   touches ``~ N * (8r + 14)`` cells (Salvador & Chan's
   own accounting, including all recursion levels).
 
@@ -21,20 +24,30 @@ this model.
 
 from __future__ import annotations
 
-import math
+from typing import Optional
 
 
-def cdtw_cell_model(n: int, window: float) -> int:
-    """Model of lattice cells for ``cDTW_w`` on equal lengths ``n``.
+def cdtw_cell_model(n: int, window: float, m: Optional[int] = None) -> int:
+    """Exact lattice cells for ``cDTW_w`` on lengths ``n`` (by ``m``).
 
-    Clipped at the full lattice ``n * n`` (the ``w = 100%`` case).
+    Routed through :func:`repro.core.cdtw.band_cells`, i.e. the same
+    ``Window.from_fraction`` geometry the DP itself runs over -- the
+    half-width is ``ceil(window * max(n, m))`` and band corners clipped
+    by the lattice edge are not counted.  An earlier version of this
+    model computed ``ceil(window * n)`` locally, which silently
+    under-sized the band (and hence the predicted work) whenever
+    ``m > n``; keeping one source of truth makes that drift impossible.
+
+    ``m`` defaults to ``n`` (the equal-length setting of the paper's
+    figures).
     """
-    if n < 1:
-        raise ValueError("n must be positive")
+    if n < 1 or (m is not None and m < 1):
+        raise ValueError("lengths must be positive")
     if not 0.0 <= window <= 1.0:
         raise ValueError("window must be a fraction in [0, 1]")
-    band = math.ceil(window * n)
-    return min(n * (2 * band + 1), n * n)
+    from ..core.cdtw import band_cells
+
+    return band_cells(n, n if m is None else m, window=window)
 
 
 def fastdtw_cell_model(n: int, radius: int) -> int:

@@ -6,20 +6,32 @@ cell-count model only sees the third; this profiler times all three,
 showing how much of the algorithm's slowness is *structural overhead*
 invisible to the ``N*(8r+14)`` analysis -- one of the reasons measured
 crossovers land far later than the cell model predicts.
+
+The profiler runs the *production* :func:`repro.core.fastdtw.fastdtw`
+under a :class:`repro.obs.RunTrace` and reads the per-phase spans the
+algorithm itself emits (``fastdtw/coarsen``, ``fastdtw/window``,
+``fastdtw/dp``).  An earlier version re-implemented the recursion here
+with inline ``perf_counter`` bookkeeping; any change to the real
+algorithm could then silently desynchronise the profile from what the
+benchmarks actually run.  Profiling the real code path makes the
+distance, level count and cell counts match
+:func:`~repro.core.fastdtw.fastdtw` bit-for-bit by construction (the
+regression suite asserts exactly that).
+
+This module is the one deliberate exception to the "timing harness is
+un-instrumented" rule enforced by ``tests/obs/test_harness_pin.py``:
+its entire purpose is to observe, so it owns a private trace.  The
+wall-clock harness (:mod:`repro.timing.runner`) stays hook-free.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..core.cost import CostLike
-from ..core.dtw import dtw
-from ..core.engine import dp_over_window
-from ..core.paa import halve
-from ..core.validate import validate_pair
-from ..core.window import Window
+from ..core.fastdtw import fastdtw
+from ..obs import RunTrace
 
 
 @dataclass(frozen=True)
@@ -36,9 +48,14 @@ class FastDtwProfile:
         Time in the windowed dynamic programs (including the base
         case) -- the only phase the cell model accounts for.
     distance:
-        The run's (approximate) distance, for sanity checks.
+        The run's (approximate) distance; bit-identical to
+        :func:`repro.core.fastdtw.fastdtw` on the same inputs.
     levels:
         Recursion levels executed.
+    cells:
+        Total DP cells across all levels (``FastDtwResult.cells``).
+    level_cells:
+        Per-level DP cells, coarsest first; sums to ``cells``.
     """
 
     coarsen_seconds: float
@@ -46,6 +63,8 @@ class FastDtwProfile:
     dp_seconds: float
     distance: float
     levels: int
+    cells: int = 0
+    level_cells: Tuple[int, ...] = ()
 
     @property
     def total_seconds(self) -> float:
@@ -65,49 +84,22 @@ def profile_fastdtw(
     radius: int = 1,
     cost: CostLike = "squared",
 ) -> FastDtwProfile:
-    """Run (optimised) FastDTW with per-phase timers.
+    """Run FastDTW under a private trace; report its phase spans.
 
-    Algorithmically identical to :func:`repro.core.fastdtw.fastdtw`
-    (same recursion, same windows); only the bookkeeping differs, so
-    the distance matches exactly.
+    This *is* :func:`repro.core.fastdtw.fastdtw` -- same call, same
+    result object -- observed through the span timers the algorithm
+    emits, so the profile can never drift from the algorithm.  The
+    private :class:`~repro.obs.RunTrace` stacks over (and is invisible
+    to) any trace the caller may have active.
     """
-    if radius < 0:
-        raise ValueError("radius must be non-negative")
-    validate_pair(x, y)
-
-    timers = {"coarsen": 0.0, "window": 0.0, "dp": 0.0}
-    levels = [0]
-
-    def rec(xs: List[float], ys: List[float]):
-        levels[0] += 1
-        n, m = len(xs), len(ys)
-        if n <= radius + 2 or m <= radius + 2:
-            start = time.perf_counter()
-            base = dtw(xs, ys, cost=cost, return_path=True)
-            timers["dp"] += time.perf_counter() - start
-            return base
-
-        start = time.perf_counter()
-        sx, sy = halve(xs), halve(ys)
-        timers["coarsen"] += time.perf_counter() - start
-
-        coarse = rec(sx, sy)
-
-        start = time.perf_counter()
-        window = Window.expand_path(coarse.path, n, m, radius)
-        timers["window"] += time.perf_counter() - start
-
-        start = time.perf_counter()
-        refined = dp_over_window(xs, ys, window, cost=cost,
-                                 return_path=True)
-        timers["dp"] += time.perf_counter() - start
-        return refined
-
-    result = rec([float(v) for v in x], [float(v) for v in y])
+    with RunTrace(label="profile_fastdtw") as trace:
+        result = fastdtw(x, y, radius=radius, cost=cost, keep_levels=True)
     return FastDtwProfile(
-        coarsen_seconds=timers["coarsen"],
-        window_seconds=timers["window"],
-        dp_seconds=timers["dp"],
+        coarsen_seconds=trace.span_seconds("fastdtw/coarsen"),
+        window_seconds=trace.span_seconds("fastdtw/window"),
+        dp_seconds=trace.span_seconds("fastdtw/dp"),
         distance=result.distance,
-        levels=levels[0],
+        levels=len(result.levels),
+        cells=result.cells,
+        level_cells=tuple(lvl.window_cells for lvl in result.levels),
     )

@@ -287,8 +287,20 @@ class TestFootnote2:
         assert result.gap_factor() > 1.0
 
     def test_trillion_projection_scales(self, result):
+        # the projection must use the configured statistic (the paper's
+        # mean), not a hard-wired one
+        stat = result.config.statistic
         assert result.fastdtw_trillion_seconds == pytest.approx(
-            result.fastdtw_timing.median * 10**12
+            result.fastdtw_timing.value(stat) * 10**12
+        )
+
+    def test_statistic_consistent(self, result):
+        cfg_median = footnote2_trillion.Footnote2Config(
+            repeats=3, statistic="median"
+        )
+        r = footnote2_trillion.run(cfg_median)
+        assert r.cdtw_trillion_seconds == pytest.approx(
+            r.cdtw_timing.median * 10**12
         )
 
     def test_report_renders(self, result):

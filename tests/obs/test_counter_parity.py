@@ -1,0 +1,173 @@
+"""The counter-parity contract: traces agree with result provenance.
+
+The ``dp.*`` counters are only trustworthy if they reconcile *exactly*
+-- bit-exactly, not approximately -- with the cell counts the results
+themselves carry, for every backend and worker count the engine
+supports.  These are the property tests the ISSUE acceptance names.
+"""
+
+import pytest
+
+from repro.batch.engine import batch_distances
+from repro.core.cdtw import cdtw
+from repro.core.fastdtw import fastdtw
+from repro.core.fastdtw_reference import fastdtw_reference
+from repro.lowerbounds.cascade import LowerBoundCascade
+from repro.obs import RunTrace, active_trace
+from repro.search.nn_search import nearest_neighbor
+from tests.conftest import make_series
+
+BACKENDS = ("python", "numpy")
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _numpy_or_skip(backend):
+    if backend == "numpy":
+        pytest.importorskip("numpy")
+
+
+class TestBatchCounterParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("measure", ["dtw", "cdtw"])
+    def test_dp_cells_match_batch_result(self, backend, workers, measure):
+        _numpy_or_skip(backend)
+        series = [make_series(24, s) for s in range(6)]
+        kwargs = {"measure": measure, "backend": backend}
+        if measure == "cdtw":
+            kwargs["band"] = 3
+        with RunTrace() as trace:
+            result = batch_distances(series, workers=workers, **kwargs)
+        assert trace.counter("dp.cells") == result.cells
+        assert trace.counter("dp.calls") == len(result.pairs)
+        assert trace.counter("batch.pairs") == len(result.pairs)
+        assert trace.counter("batch.jobs") == 1
+        if workers > 1:
+            assert trace.counter("pool.chunks") > 0
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_fastdtw_measure_parity(self, workers):
+        series = [make_series(32, s + 10) for s in range(5)]
+        with RunTrace() as trace:
+            result = batch_distances(
+                series, measure="fastdtw", radius=1, workers=workers
+            )
+        assert trace.counter("dp.cells") == result.cells
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_fastdtw_reference_measure_parity(self, workers):
+        series = [make_series(32, s + 20) for s in range(4)]
+        with RunTrace() as trace:
+            result = batch_distances(
+                series, measure="fastdtw_reference", radius=1,
+                workers=workers,
+            )
+        assert trace.counter("dp.cells") == result.cells
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_counters_backend_invariant(self, backend):
+        # the numpy kernels must report the same dp.* numbers as the
+        # pure engine (distances/cells are already bit-identical)
+        _numpy_or_skip(backend)
+        series = [make_series(24, s) for s in range(5)]
+        with RunTrace() as trace:
+            batch_distances(series, measure="cdtw", band=3,
+                            backend=backend)
+        with RunTrace() as reference:
+            batch_distances(series, measure="cdtw", band=3,
+                            backend="python")
+        assert (
+            trace.counter("dp.cells") == reference.counter("dp.cells")
+        )
+        assert (
+            trace.counter("dp.calls") == reference.counter("dp.calls")
+        )
+
+
+class TestSingleCallParity:
+    def test_fastdtw_cells(self):
+        x, y = make_series(128, 1), make_series(128, 2)
+        with RunTrace() as trace:
+            result = fastdtw(x, y, radius=2, keep_levels=True)
+        assert trace.counter("dp.cells") == result.cells
+        assert trace.counter("fastdtw.levels") == len(result.levels)
+        assert trace.counter("fastdtw.calls") == 1
+
+    def test_fastdtw_reference_cells(self):
+        x, y = make_series(64, 3), make_series(64, 4)
+        with RunTrace() as trace:
+            result = fastdtw_reference(x, y, radius=1)
+        assert trace.counter("dp.cells") == result.cells
+
+    def test_cdtw_cells(self):
+        x, y = make_series(48, 5), make_series(48, 6)
+        with RunTrace() as trace:
+            result = cdtw(x, y, band=4)
+        assert trace.counter("dp.cells") == result.cells
+        assert trace.counter("dp.calls") == 1
+
+    def test_cascade_counters_match_stats(self):
+        query = make_series(48, 7)
+        candidates = [make_series(48, s + 30) for s in range(8)]
+        cascade = LowerBoundCascade(query, band=4)
+        with RunTrace() as trace:
+            cascade.nearest(candidates)
+        stats = cascade.stats
+        assert trace.counter("lb.candidates") == stats.candidates
+        assert trace.counter("lb.pruned_kim") == stats.pruned_kim
+        assert trace.counter("lb.pruned_keogh") == stats.pruned_keogh
+        assert (
+            trace.counter("lb.pruned_keogh_reversed")
+            == stats.pruned_keogh_reversed
+        )
+        assert trace.counter("lb.abandoned_dtw") == stats.abandoned_dtw
+        assert trace.counter("lb.full_dtw") == stats.full_dtw
+        assert trace.counter("dp.cells") == stats.cells
+
+    def test_nn_search_cells(self):
+        query = make_series(40, 8)
+        candidates = [make_series(40, s + 50) for s in range(6)]
+        with RunTrace() as trace:
+            result = nearest_neighbor(
+                query, candidates, strategy="cdtw", band=4
+            )
+        assert trace.counter("dp.cells") == result.cells
+        assert trace.counter("nn.queries") == 1
+        assert trace.counter("nn.candidates") == len(candidates)
+
+
+class TestDisabledTraceUntouched:
+    def test_no_trace_no_counters(self):
+        # computations outside any RunTrace must leave a subsequently
+        # opened trace empty -- nothing buffers or leaks
+        x, y = make_series(48, 9), make_series(48, 10)
+        fastdtw(x, y, radius=1)
+        cdtw(x, y, band=4)
+        batch_distances([x, y], measure="cdtw", band=4)
+        with RunTrace() as trace:
+            pass
+        assert trace.counters() == {}
+        assert trace.spans() == {}
+
+    def test_results_identical_with_and_without_trace(self):
+        x, y = make_series(64, 11), make_series(64, 12)
+        plain = fastdtw(x, y, radius=1)
+        with RunTrace():
+            traced = fastdtw(x, y, radius=1)
+        assert plain.distance == traced.distance
+        assert plain.cells == traced.cells
+        assert plain.path.cells == traced.path.cells
+
+    def test_worker_initializer_clears_inherited_trace(self):
+        # fork-started workers inherit the parent's _ACTIVE; the
+        # initializer must reset it, and the parent's trace must end
+        # up with exactly the merged worker counts (no double counting)
+        series = [make_series(24, s) for s in range(6)]
+        plain = batch_distances(series, measure="cdtw", band=3, workers=2)
+        with RunTrace() as trace:
+            traced = batch_distances(
+                series, measure="cdtw", band=3, workers=2
+            )
+        assert traced.distances == plain.distances
+        assert trace.counter("dp.cells") == traced.cells
+        assert active_trace() is None

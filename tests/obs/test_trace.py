@@ -1,0 +1,199 @@
+"""Unit tests for the observability core (RunTrace, spans, counters)."""
+
+import json
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    RunTrace,
+    SpanStat,
+    TraceSnapshot,
+    active_trace,
+    incr,
+    record_dp,
+    span,
+)
+from repro.obs.trace import SCHEMA
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert active_trace() is None
+
+    def test_context_activates_and_restores(self):
+        with RunTrace() as t:
+            assert active_trace() is t
+        assert active_trace() is None
+
+    def test_nested_traces_stack(self):
+        with RunTrace() as outer:
+            with RunTrace() as inner:
+                assert active_trace() is inner
+                incr("x")
+            assert active_trace() is outer
+            incr("x")
+        assert inner.counter("x") == 1
+        assert outer.counter("x") == 1
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with RunTrace():
+                raise RuntimeError("boom")
+        assert active_trace() is None
+
+    def test_elapsed_seconds_recorded(self):
+        with RunTrace() as t:
+            time.sleep(0.01)
+        assert t.seconds >= 0.01
+
+
+class TestCounters:
+    def test_incr_accumulates(self):
+        with RunTrace() as t:
+            incr("a")
+            incr("a", 4)
+            t.incr("b", 2)
+        assert t.counter("a") == 5
+        assert t.counter("b") == 2
+        assert t.counter("missing") == 0
+        assert t.counter("missing", default=-1) == -1
+
+    def test_incr_without_trace_is_noop(self):
+        incr("orphan", 100)  # must not raise, must not leak anywhere
+        with RunTrace() as t:
+            pass
+        assert t.counter("orphan") == 0
+
+    def test_counters_sorted_copy(self):
+        with RunTrace() as t:
+            incr("zeta")
+            incr("alpha")
+        names = list(t.counters())
+        assert names == sorted(names)
+
+    def test_record_dp(self):
+        class Result:
+            cells = 7
+            abandoned = True
+
+        t = RunTrace()
+        record_dp(t, Result())
+        assert t.counter("dp.calls") == 1
+        assert t.counter("dp.cells") == 7
+        assert t.counter("dp.abandons") == 1
+
+    def test_thread_safety(self):
+        with RunTrace() as t:
+            def work():
+                for _ in range(1000):
+                    incr("n")
+
+            threads = [threading.Thread(target=work) for _ in range(4)]
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join()
+        assert t.counter("n") == 4000
+
+
+class TestSpans:
+    def test_span_records_count_and_seconds(self):
+        with RunTrace() as t:
+            with span("phase"):
+                time.sleep(0.005)
+            with span("phase"):
+                pass
+        stat = t.span_stat("phase")
+        assert stat.count == 2
+        assert stat.seconds >= 0.005
+        assert t.span_count("phase") == 2
+        assert t.span_seconds("phase") == stat.seconds
+
+    def test_nested_spans_join_paths(self):
+        with RunTrace() as t:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        assert t.span_count("outer") == 1
+        assert t.span_count("outer/inner") == 1
+        assert t.span_count("inner") == 0
+
+    def test_absent_span_is_zero(self):
+        t = RunTrace()
+        assert t.span_stat("nope") == SpanStat()
+        assert t.span_seconds("nope") == 0.0
+
+    def test_span_without_trace_is_shared_noop(self):
+        a = span("anything")
+        b = span("else")
+        assert a is b  # the zero-allocation disabled path
+        with a:
+            pass
+
+    def test_span_stack_isolated_per_trace(self):
+        # a trace entered inside an open span must not inherit the
+        # outer naming stack
+        with RunTrace() as outer:
+            with span("outer_phase"):
+                with RunTrace() as inner:
+                    with span("p"):
+                        pass
+        assert inner.span_count("p") == 1
+        assert inner.span_count("outer_phase/p") == 0
+        assert outer.span_count("outer_phase") == 1
+
+
+class TestSnapshotMerge:
+    def test_snapshot_is_picklable(self):
+        with RunTrace() as t:
+            incr("c", 3)
+            with span("s"):
+                pass
+        snap = t.snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone.counters == {"c": 3}
+        assert clone.spans["s"][0] == 1
+
+    def test_merge_adds(self):
+        with RunTrace() as t:
+            incr("c", 1)
+            with span("s"):
+                pass
+        parent = RunTrace()
+        parent.incr("c", 10)
+        parent.merge(t.snapshot())
+        parent.merge(t.snapshot())
+        assert parent.counter("c") == 12
+        assert parent.span_count("s") == 2
+
+    def test_empty_snapshot_falsy(self):
+        assert not RunTrace().snapshot()
+        t = RunTrace()
+        t.incr("x")
+        assert t.snapshot()
+
+
+class TestSerialisation:
+    def test_to_dict_schema(self):
+        with RunTrace(label="demo") as t:
+            incr("k", 2)
+            with span("s"):
+                pass
+        doc = t.to_dict()
+        assert doc["schema"] == SCHEMA
+        assert doc["label"] == "demo"
+        assert doc["seconds"] > 0
+        assert doc["counters"] == {"k": 2}
+        assert doc["spans"]["s"]["count"] == 1
+
+    def test_to_json_round_trips(self):
+        with RunTrace() as t:
+            incr("k")
+        parsed = json.loads(t.to_json())
+        assert parsed["counters"] == {"k": 1}
+
+    def test_snapshot_round_trips_as_trace_state(self):
+        assert isinstance(TraceSnapshot(), TraceSnapshot)

@@ -1,0 +1,97 @@
+"""Tests for ``python -m repro trace`` (and its --overhead-check mode)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.workload == "fastdtw"
+        assert args.length == 256
+        assert args.count == 8
+        assert args.workers == 1
+        assert args.out == "-"
+        assert args.overhead_check is False
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--workload", "sorting"])
+
+
+class TestTraceCommand:
+    def test_fastdtw_document_reconciles(self, capsys):
+        assert main([
+            "trace", "--workload", "fastdtw", "--length", "64",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.obs/trace/v1"
+        assert doc["ok"] is True
+        rec = doc["reconciliation"]
+        assert rec["dp_cells"]["match"] is True
+        assert rec["levels"]["match"] is True
+        assert (
+            doc["counters"]["dp.cells"] == rec["dp_cells"]["expected"]
+        )
+        assert "fastdtw/dp" in doc["spans"]
+
+    def test_batch_document_reconciles_parallel(self, capsys):
+        assert main([
+            "trace", "--workload", "batch", "--length", "32",
+            "--count", "5", "--workers", "2",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["counters"]["batch.pairs"] == 10
+        assert doc["counters"]["pool.chunks"] > 0
+
+    def test_nn_document_reconciles(self, capsys):
+        assert main([
+            "trace", "--workload", "nn", "--length", "32",
+            "--count", "6",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["counters"]["nn.queries"] == 1
+
+    def test_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main([
+            "trace", "--workload", "fastdtw", "--length", "32",
+            "--out", str(out),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["ok"] is True
+        assert str(out) in capsys.readouterr().out
+
+    def test_deterministic_given_seed(self, capsys):
+        main(["trace", "--length", "64", "--seed", "3"])
+        first = json.loads(capsys.readouterr().out)
+        main(["trace", "--length", "64", "--seed", "3"])
+        second = json.loads(capsys.readouterr().out)
+        assert first["counters"] == second["counters"]
+        assert first["workload"] == second["workload"]
+
+    def test_bad_length_exits_2(self, capsys):
+        assert main(["trace", "--length", "1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestOverheadCheck:
+    def test_reports_and_passes(self, capsys):
+        # the CI guard: hooks must be ~free when no trace is active.
+        # Use the same entry point CI calls.
+        code = main(["trace", "--overhead-check"])
+        out = capsys.readouterr().out
+        assert "trace overhead" in out
+        assert code in (0, 1)  # timing-dependent; format is the contract
+
+    def test_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "overhead.json"
+        main(["trace", "--overhead-check", "--out", str(out)])
+        doc = json.loads(out.read_text())
+        assert doc["check"] == "trace-overhead"
+        assert {"baseline_s", "hooked_s", "overhead", "ok"} <= set(doc)

@@ -38,6 +38,7 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.lowerbounds",
     "repro.motifs",
+    "repro.obs",
     "repro.preprocess",
     "repro.search",
     "repro.timing",

@@ -30,11 +30,33 @@ class TestCdtwCellModel:
         model = cdtw_cell_model(n, w)
         assert abs(measured - model) / model < 0.15
 
+    def test_exact_equal_lengths(self):
+        # the model is routed through the DP's own Window geometry, so
+        # it must match the measured cell count exactly
+        n, w = 120, 0.08
+        measured = cdtw(make_series(n, 1), make_series(n, 2),
+                        window=w).cells
+        assert cdtw_cell_model(n, w) == measured
+
+    def test_unequal_lengths_regression(self):
+        # regression: the model once computed ceil(window * n) locally,
+        # under-sizing the band whenever m > n (Window.from_fraction
+        # uses ceil(window * max(n, m)))
+        n, m, w = 80, 140, 0.1
+        measured = cdtw(make_series(n, 5), make_series(m, 6),
+                        window=w).cells
+        assert cdtw_cell_model(n, w, m=m) == measured
+
+    def test_m_defaults_to_n(self):
+        assert cdtw_cell_model(64, 0.1) == cdtw_cell_model(64, 0.1, m=64)
+
     def test_invalid(self):
         with pytest.raises(ValueError):
             cdtw_cell_model(0, 0.1)
         with pytest.raises(ValueError):
             cdtw_cell_model(10, 2.0)
+        with pytest.raises(ValueError):
+            cdtw_cell_model(10, 0.1, m=0)
 
 
 class TestFastdtwCellModel:

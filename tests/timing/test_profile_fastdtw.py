@@ -56,6 +56,39 @@ class TestProfileFastdtw:
         assert prof.coarsen_seconds == 0.0
         assert prof.window_seconds == 0.0
 
+    def test_bit_exact_against_fastdtw(self):
+        # the profiler now *is* fastdtw observed through its own span
+        # hooks, so distance, level count and cell counts must match
+        # the plain run bit-for-bit, not approximately
+        x = make_series(160, 13)
+        y = make_series(160, 14)
+        for radius in (0, 1, 3):
+            prof = profile_fastdtw(x, y, radius=radius)
+            plain = fastdtw(x, y, radius=radius, keep_levels=True)
+            assert prof.distance == plain.distance
+            assert prof.levels == len(plain.levels)
+            assert prof.cells == plain.cells
+            assert prof.level_cells == tuple(
+                lvl.window_cells for lvl in plain.levels
+            )
+
+    def test_level_cells_sum_to_cells(self):
+        prof = profile_fastdtw(make_series(96, 15), make_series(96, 16),
+                               radius=2)
+        assert sum(prof.level_cells) == prof.cells
+
+    def test_profiler_trace_is_private(self):
+        # running the profiler inside a caller's RunTrace must not
+        # leak its spans/counters into that trace
+        from repro.obs import RunTrace
+
+        x = make_series(64, 17)
+        y = make_series(64, 18)
+        with RunTrace() as outer:
+            profile_fastdtw(x, y, radius=1)
+        assert outer.counter("dp.cells") == 0
+        assert outer.span_count("fastdtw") == 0
+
     def test_validation(self):
         with pytest.raises(ValueError):
             profile_fastdtw([1.0], [1.0], radius=-1)

@@ -31,6 +31,25 @@ class TestTimeCallable:
         t = Timing(repeats=1, mean=0.5, median=0.5, minimum=0.5, total=0.5)
         assert t.per_call_ms() == 500.0
 
+    def test_per_call_ms_defaults_to_mean(self):
+        # the paper reports "the average"; the default statistic must
+        # be the mean, not the median it silently used to be
+        t = Timing(repeats=3, mean=0.2, median=0.3, minimum=0.1, total=0.6)
+        assert t.per_call_ms() == pytest.approx(200.0)
+        assert t.per_call_ms("median") == pytest.approx(300.0)
+        assert t.per_call_ms("minimum") == pytest.approx(100.0)
+
+    def test_value_statistics(self):
+        t = Timing(repeats=3, mean=0.2, median=0.3, minimum=0.1, total=0.6)
+        assert t.value() == 0.2
+        assert t.value("mean") == 0.2
+        assert t.value("median") == 0.3
+        assert t.value("minimum") == 0.1
+        with pytest.raises(ValueError):
+            t.value("total")
+        with pytest.raises(ValueError):
+            t.per_call_ms("average")
+
     def test_measures_real_work(self):
         fast = time_callable(lambda: None, repeats=3).median
         slow = time_callable(
