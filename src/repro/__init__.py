@@ -19,7 +19,7 @@ Quickstart
 True
 """
 
-from .batch import BatchResult, batch_distances
+from .batch import BatchExecutor, BatchResult, batch_distances
 from .core import (
     DtwResult,
     FastDtwResult,
@@ -45,6 +45,7 @@ from .obs import RunTrace, TraceSnapshot, active_trace
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchExecutor",
     "BatchResult",
     "DtwResult",
     "FastDtwResult",

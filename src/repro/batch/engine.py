@@ -156,10 +156,15 @@ def all_pairs(k: int) -> List[Pair]:
 
 
 def default_chunksize(n_tasks: int, workers: int) -> int:
-    """Pair count per work unit: ~4 chunks per worker.
+    """The legacy pair-count heuristic: ~4 chunks per worker.
 
     Large enough to amortise IPC per pair, small enough that a slow
-    chunk cannot leave workers idle for long.
+    chunk cannot leave workers idle for long -- but blind to how much
+    each pair actually costs, which is why ``chunksize="auto"`` (the
+    default) now plans by predicted DP cells instead
+    (:mod:`repro.batch.schedule`).  Reachable via
+    ``chunksize="legacy"``; for uniform-length single-measure batches
+    the two plans coincide.
 
     >>> default_chunksize(100, 4)
     7
@@ -292,8 +297,14 @@ def _compute_chunk_vectorized(ctx: _WorkerContext, chunk: Sequence[Pair]):
     return out
 
 
-def _run_distance_chunk(chunk: Sequence[Pair]):
-    ctx = _CONTEXT
+def _distance_chunk_outputs(ctx: _WorkerContext, chunk: Sequence[Pair]):
+    """Run one distance chunk against an explicit context.
+
+    Shared by the one-shot pool path (context parked in the module
+    global by the initializer) and the persistent executor (contexts
+    cached per dataset fingerprint) -- the per-pair computation is one
+    code path regardless of how the context got there.
+    """
     before = ctx.cache.stats()
     if ctx.traced:
         with _obs.RunTrace(label="batch-worker") as wtrace:
@@ -308,6 +319,10 @@ def _run_distance_chunk(chunk: Sequence[Pair]):
     else:
         out = [_compute_pair(ctx, i, j) for i, j in chunk]
     return out, ctx.cache.stats() - before, None
+
+
+def _run_distance_chunk(chunk: Sequence[Pair]):
+    return _distance_chunk_outputs(_CONTEXT, chunk)
 
 
 def _compute_lb(ctx: _WorkerContext, i: int, j: int) -> float:
@@ -342,8 +357,9 @@ def _compute_lb_chunk_vectorized(ctx: _WorkerContext, chunk: Sequence[Pair]):
     return out
 
 
-def _run_lb_chunk(chunk: Sequence[Pair]):
-    ctx = _CONTEXT
+def _lb_chunk_outputs(ctx: _WorkerContext, chunk: Sequence[Pair]):
+    """Run one LB_Keogh chunk against an explicit context (see
+    :func:`_distance_chunk_outputs`)."""
     before = ctx.cache.stats()
     if ctx.traced:
         with _obs.RunTrace(label="batch-worker") as wtrace:
@@ -358,6 +374,10 @@ def _run_lb_chunk(chunk: Sequence[Pair]):
     else:
         out = [_compute_lb(ctx, i, j) for i, j in chunk]
     return out, ctx.cache.stats() - before, None
+
+
+def _run_lb_chunk(chunk: Sequence[Pair]):
+    return _lb_chunk_outputs(_CONTEXT, chunk)
 
 
 def _record_cache_stats(trace, stats: CacheStats) -> None:
@@ -396,9 +416,14 @@ def _validated_pairs(
 
 
 def _fan_out(
-    series, pairs, chunks, workers, initializer, initargs, chunk_runner,
-    start_method,
+    chunks, workers, initializer, initargs, chunk_runner, start_method,
 ):
+    """One-shot pool: fork, map the chunks, tear down.
+
+    The series set rides in ``initargs`` (pickled once per worker per
+    call -- the cold cost that :class:`repro.batch.executor.
+    BatchExecutor` exists to amortise away).
+    """
     ctx = _pick_context(start_method)
     with ctx.Pool(
         processes=workers, initializer=initializer, initargs=initargs
@@ -406,6 +431,38 @@ def _fan_out(
         # pool.map preserves submission order, so reassembly is a
         # flatten -- determinism does not depend on worker scheduling.
         return pool.map(chunk_runner, chunks)
+
+
+def _resolve_chunks(task_list, workers, chunksize, cost_fn):
+    """Turn a ``chunksize=`` argument into the actual chunk plan.
+
+    ``None``/``"auto"`` route through the cell-cost model
+    (:func:`repro.batch.schedule.plan_chunks`): chunks of ~equal
+    predicted DP cost, so long-series pairs get small chunks and
+    cheap ones aggregate.  ``"legacy"`` keeps the original blind
+    "~4 chunks per worker" pair-count heuristic
+    (:func:`default_chunksize`) reachable; an ``int`` fixes the pair
+    count per chunk exactly.  Every option flattens back to the input
+    pair order, so the plan never affects results -- only balance.
+    """
+    if chunksize is None or chunksize == "auto":
+        from .schedule import plan_chunks
+
+        return plan_chunks(task_list, cost_fn, workers)
+    if chunksize == "legacy":
+        size = default_chunksize(len(task_list), workers)
+    elif isinstance(chunksize, int):
+        if chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        size = chunksize
+    else:
+        raise ValueError(
+            "chunksize must be an int >= 1, 'auto', 'legacy' or None, "
+            f"got {chunksize!r}"
+        )
+    return [
+        task_list[k:k + size] for k in range(0, len(task_list), size)
+    ]
 
 
 def batch_distances(
@@ -419,9 +476,10 @@ def batch_distances(
     normalize: bool = False,
     return_paths: bool = False,
     workers: int = 1,
-    chunksize: Optional[int] = None,
+    chunksize=None,
     start_method: Optional[str] = None,
     backend: Optional[str] = None,
+    executor=None,
 ) -> BatchResult:
     """Compute many independent pairwise distances as one batch.
 
@@ -445,10 +503,15 @@ def batch_distances(
         Worker processes.  ``1`` (default) computes in-process --
         the exact serial computation, no pool.
     chunksize:
-        Pairs per work unit (default :func:`default_chunksize`).
+        ``"auto"``/``None`` (default) plans chunks of ~equal
+        predicted DP-cell cost via :mod:`repro.batch.schedule`;
+        ``"legacy"`` keeps the original pair-count heuristic
+        (:func:`default_chunksize`); an ``int`` fixes the pair count
+        per chunk.  Never affects results, only load balance.
     start_method:
         ``multiprocessing`` start method (default: ``fork`` where
-        available, else ``spawn``).
+        available, else ``spawn``).  Ignored when ``executor`` is
+        given (the executor owns its pool).
     backend:
         Kernel backend for the exact DP measures, resolved via
         :func:`repro.core.kernels.resolve_backend` (``None`` = the
@@ -456,6 +519,15 @@ def batch_distances(
         bit-identical while collapsing distance-only dtw/cdtw chunks
         into stacked kernel calls; it composes with ``workers=N``
         (each pool worker runs the vectorised chunks).
+    executor:
+        A :class:`repro.batch.executor.BatchExecutor` (or
+        ``"default"`` for the process-wide one) to run the fan-out on
+        a *persistent* warm pool with ship-once shared-memory
+        datasets -- the repeated-use fast path.  ``None`` (default)
+        keeps the one-shot pool for ``workers > 1`` and the exact
+        in-process serial computation for ``workers == 1``.  When an
+        executor is given it supplies the pool, so its worker count
+        wins over ``workers``.
 
     Returns
     -------
@@ -481,7 +553,7 @@ def batch_distances(
         trace.incr("batch.jobs")
         trace.incr("batch.pairs", len(task_list))
 
-    if workers == 1 or len(task_list) == 0:
+    if (workers == 1 and executor is None) or len(task_list) == 0:
         # in-process: the per-pair hooks report straight into the
         # parent's active trace, no snapshot round-trip needed
         context = _WorkerContext(series_t, spec=spec)
@@ -494,17 +566,32 @@ def batch_distances(
         stats = context.cache.stats()
         effective_workers = 1
     else:
-        size = chunksize or default_chunksize(len(task_list), workers)
-        if size < 1:
-            raise ValueError("chunksize must be >= 1")
-        chunks = [
-            task_list[k:k + size] for k in range(0, len(task_list), size)
-        ]
-        chunk_results = _fan_out(
-            series_t, task_list, chunks, workers,
-            _init_distance_worker, (series_t, spec, trace is not None),
-            _run_distance_chunk, start_method,
+        from .executor import resolve_executor
+        from .schedule import distance_pair_cost
+
+        exe = resolve_executor(executor)
+        effective = exe.workers if exe is not None else workers
+        lengths = tuple(len(s) for s in series_t)
+        chunks = _resolve_chunks(
+            task_list, effective, chunksize,
+            distance_pair_cost(
+                lengths, spec.measure, window=spec.window,
+                band=spec.band, radius=spec.radius,
+            ),
         )
+        if exe is not None:
+            chunk_results = exe.run_job(
+                "distance", spec, series_t, chunks,
+                traced=trace is not None,
+            )
+        else:
+            chunk_results = _fan_out(
+                chunks, workers,
+                _init_distance_worker,
+                (series_t, spec, trace is not None),
+                _run_distance_chunk, start_method,
+            )
+        workers = effective
         outcomes = [item for part, _, _ in chunk_results for item in part]
         stats = CacheStats()
         for _, delta, snapshot in chunk_results:
@@ -535,9 +622,10 @@ def batch_lb_keogh(
     band: int = 0,
     squared: bool = True,
     workers: int = 1,
-    chunksize: Optional[int] = None,
+    chunksize=None,
     start_method: Optional[str] = None,
     backend: Optional[str] = None,
+    executor=None,
 ) -> BatchResult:
     """LB_Keogh lower bounds for many ``(query, candidate)`` pairs.
 
@@ -551,6 +639,12 @@ def batch_lb_keogh(
     (one call per query/length group).  Its bounds may differ from
     the scalar ones in final ulps -- they are bounds, not distances,
     and both are valid -- but are identical for every worker count.
+
+    ``executor=`` accepts a
+    :class:`repro.batch.executor.BatchExecutor` (or ``"default"``)
+    exactly as in :func:`batch_distances`; a warm executor serves
+    repeated LB batches over one dataset from resident shared memory
+    with per-worker envelopes already built.
 
     Returns a :class:`BatchResult` whose distances are the bounds
     (``cells`` is 0: no DP lattice is touched).
@@ -571,7 +665,7 @@ def batch_lb_keogh(
         trace.incr("batch.jobs")
         trace.incr("batch.pairs", len(task_list))
 
-    if workers == 1 or len(task_list) == 0:
+    if (workers == 1 and executor is None) or len(task_list) == 0:
         context = _WorkerContext(
             series_t, lb_band=band, lb_squared=squared,
             lb_backend=lb_backend,
@@ -583,16 +677,28 @@ def batch_lb_keogh(
         stats = context.cache.stats()
         effective_workers = 1
     else:
-        size = chunksize or default_chunksize(len(task_list), workers)
-        chunks = [
-            task_list[k:k + size] for k in range(0, len(task_list), size)
-        ]
-        chunk_results = _fan_out(
-            series_t, task_list, chunks, workers,
-            _init_lb_worker,
-            (series_t, band, squared, lb_backend, trace is not None),
-            _run_lb_chunk, start_method,
+        from .executor import resolve_executor
+        from .schedule import lb_pair_cost
+
+        exe = resolve_executor(executor)
+        effective = exe.workers if exe is not None else workers
+        lengths = tuple(len(s) for s in series_t)
+        chunks = _resolve_chunks(
+            task_list, effective, chunksize, lb_pair_cost(lengths),
         )
+        if exe is not None:
+            chunk_results = exe.run_job(
+                "lb", (band, squared, lb_backend), series_t, chunks,
+                traced=trace is not None,
+            )
+        else:
+            chunk_results = _fan_out(
+                chunks, workers,
+                _init_lb_worker,
+                (series_t, band, squared, lb_backend, trace is not None),
+                _run_lb_chunk, start_method,
+            )
+        workers = effective
         bounds = [item for part, _, _ in chunk_results for item in part]
         stats = CacheStats()
         for _, delta, snapshot in chunk_results:

@@ -1,0 +1,175 @@
+"""Cost-model chunk planning for the batch engine and executor.
+
+The engine's original ``default_chunksize`` heuristic ("~4 chunks per
+worker") counts *pairs*, but pairs are not equally priced: one
+length-4000 cDTW pair costs as much DP work as hundreds of length-200
+pairs.  A fixed pair count per chunk therefore leaves workers idle
+behind whichever chunk drew the long series.
+
+This module prices each pair with the same cell models the rest of
+the repository already trusts --
+:func:`repro.core.cdtw.band_cells` for the exact measures (the
+*exact* lattice size the DP will touch, corner clipping included) and
+:func:`repro.timing.cells.fastdtw_cell_model` for the approximation
+-- and packs pairs greedily into chunks of roughly equal predicted
+cost.  Long-series pairs land in small chunks, cheap LB/Euclidean
+pairs aggregate into big ones, and the chunk *order still flattens to
+the input pair order*, so the engine's deterministic reassembly is
+untouched.
+
+For uniform workloads (equal lengths, one measure) the plan
+degenerates to the legacy heuristic's shape: ~``OVERSUBSCRIBE``
+chunks per worker of equal pair count.  The two only diverge when
+costs do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+Pair = Tuple[int, int]
+
+#: Target chunks per worker.  Several chunks per worker keep the
+#: dynamic scheduler fed (a slow chunk cannot strand the pool), while
+#: staying coarse enough to amortise per-chunk IPC.
+OVERSUBSCRIBE = 4
+
+# Lazily bound cost models (imported on first use: repro.timing's
+# package __init__ pulls the harness modules, which the batch layer
+# must not load as an import side effect).
+_MODELS: Dict[str, Callable] = {}
+
+
+def _models() -> Dict[str, Callable]:
+    if not _MODELS:
+        from ..core.cdtw import band_cells
+        from ..timing.cells import fastdtw_cell_model
+
+        _MODELS["band_cells"] = band_cells
+        _MODELS["fastdtw_cells"] = fastdtw_cell_model
+    return _MODELS
+
+
+def distance_pair_cost(
+    lengths: Sequence[int],
+    measure: str,
+    window=None,
+    band=None,
+    radius: int = 1,
+) -> Callable[[int, int], int]:
+    """Per-pair cost function (predicted DP cells) for one spec.
+
+    For ``dtw``/``cdtw`` the prediction is *exact* -- it is the same
+    :class:`~repro.core.window.Window` geometry the DP evaluates, so
+    the planner's notion of work and the engine's reported
+    ``cells_per_pair`` agree cell-for-cell.  The fastdtw measures use
+    Salvador & Chan's own ``N * (8r + 14)`` accounting; Euclidean
+    costs one cell-equivalent per sample.
+
+    Costs are memoized per ``(n, m)`` shape, so planning a large
+    batch over equal-length series prices one shape once.
+    """
+    cache: Dict[Tuple[int, int], int] = {}
+
+    def cost(i: int, j: int) -> int:
+        n, m = lengths[i], lengths[j]
+        key = (n, m)
+        cells = cache.get(key)
+        if cells is None:
+            if measure == "dtw":
+                cells = n * m
+            elif measure == "cdtw":
+                cells = _models()["band_cells"](
+                    n, m, window=window, band=band
+                )
+            elif measure in ("fastdtw", "fastdtw_reference"):
+                cells = _models()["fastdtw_cells"](max(n, m), radius)
+            else:  # euclidean and anything linear
+                cells = min(n, m)
+            cells = max(1, cells)
+            cache[key] = cells
+        return cells
+
+    return cost
+
+
+def lb_pair_cost(lengths: Sequence[int]) -> Callable[[int, int], int]:
+    """Per-pair cost of an LB_Keogh evaluation: linear in the
+    candidate length (the envelope is cached per series, so its
+    amortised cost per pair rounds to zero)."""
+
+    def cost(i: int, j: int) -> int:
+        return max(1, lengths[j])
+
+    return cost
+
+
+def plan_chunks(
+    pairs: Sequence[Pair],
+    cost: Callable[[int, int], int],
+    workers: int,
+    oversubscribe: int = OVERSUBSCRIBE,
+) -> List[List[Pair]]:
+    """Pack pairs into contiguous chunks of ~equal predicted cost.
+
+    The concatenation of the returned chunks is exactly ``pairs`` --
+    scheduling never reorders work, only regroups it, so results
+    reassemble by chunk index regardless of completion order.
+
+    Guarantees: every chunk is non-empty; a single pair costing more
+    than the target gets a chunk to itself; the chunk count is at
+    least ``min(len(pairs), workers * oversubscribe)``-ish for
+    uniform costs (matching the legacy heuristic's granularity).
+
+    >>> plan_chunks([(0, 1), (0, 2), (1, 2)], lambda i, j: 10, workers=1,
+    ...             oversubscribe=3)
+    [[(0, 1)], [(0, 2)], [(1, 2)]]
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if oversubscribe < 1:
+        raise ValueError("oversubscribe must be >= 1")
+    if not pairs:
+        return []
+    costs = [cost(i, j) for i, j in pairs]
+    total = sum(costs)
+    # ceil-divide so the final partial chunk cannot push the count
+    # past the target granularity
+    target = max(1, -(-total // (workers * oversubscribe)))
+    chunks: List[List[Pair]] = []
+    current: List[Pair] = []
+    acc = 0
+    for pair, c in zip(pairs, costs):
+        current.append(pair)
+        acc += c
+        if acc >= target:
+            chunks.append(current)
+            current, acc = [], 0
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def chunk_cost_summary(
+    chunks: Sequence[Sequence[Pair]],
+    cost: Callable[[int, int], int],
+) -> Dict[str, float]:
+    """Balance diagnostics for a plan (used by tests and the bench).
+
+    Returns the per-chunk predicted costs' min/max/mean and the
+    imbalance ratio ``max / mean`` (1.0 = perfectly level).
+    """
+    if not chunks:
+        return {"chunks": 0, "min": 0, "max": 0, "mean": 0.0,
+                "imbalance": 1.0}
+    per_chunk = [
+        sum(cost(i, j) for i, j in chunk) for chunk in chunks
+    ]
+    mean = sum(per_chunk) / len(per_chunk)
+    return {
+        "chunks": len(chunks),
+        "min": min(per_chunk),
+        "max": max(per_chunk),
+        "mean": mean,
+        "imbalance": (max(per_chunk) / mean) if mean else 1.0,
+    }

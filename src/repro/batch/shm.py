@@ -1,0 +1,269 @@
+"""Zero-copy dataset shipping over POSIX shared memory.
+
+The batch engine's one-shot pool path pickles the entire series set
+through every pool initializer -- once per *call*, which is exactly
+the amortisation failure the paper's repeated-use discussion warns
+about.  This module ships a series set **once** per dataset instead:
+
+* :func:`pack_dataset` flattens the series into one contiguous
+  little-endian ``float64`` buffer plus an offsets table, and hashes
+  the packed bytes into a content **fingerprint** -- the key under
+  which executors and workers cache the dataset.  Two calls over the
+  same values (even via different list objects) resolve to the same
+  fingerprint; a single mutated sample changes it, so a stale segment
+  can never be served for fresh data.
+* :class:`ShmDataset` (parent side) copies the packed buffer into a
+  :class:`multiprocessing.shared_memory.SharedMemory` segment and
+  hands out a small picklable *descriptor* (fingerprint, segment
+  name, per-series lengths) -- the only thing that ever crosses the
+  process boundary per task.
+* :class:`AttachedDataset` (worker side) maps the segment and reads
+  series straight out of it -- ``memoryview.cast('d')`` (or
+  ``np.frombuffer``) views, no copy on attach.  The pure-Python DP
+  wants built-in floats, so each series is materialised with
+  ``tolist()`` at most once per worker per dataset (bit-exact: the
+  buffer holds IEEE doubles).
+
+Everything here is stdlib-only; NumPy is used opportunistically for
+the zero-copy array views.  When shared memory is unavailable the
+executor falls back to tuple-of-tuples shipping (see
+:mod:`repro.batch.executor`) -- same fingerprints, same semantics.
+
+Resource-tracker hygiene: on CPython < 3.13 merely *attaching* a
+segment registers it with the attaching process's resource tracker,
+so a dying worker would unlink a segment its parent still owns (and
+spam leak warnings).  :class:`AttachedDataset` therefore suppresses
+the registration while attaching (see :class:`_suppress_tracking`);
+only the creating executor ever unlinks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from array import array
+from typing import List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - import guard exercised via shm_available()
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - ancient/embedded pythons
+    _shared_memory = None
+
+#: Descriptor tuple shape: ``(kind, fingerprint, segment_name, lengths)``.
+ShmDescriptor = Tuple[str, str, str, Tuple[int, ...]]
+
+
+def shm_available() -> bool:
+    """Can this interpreter create shared-memory segments?"""
+    return _shared_memory is not None
+
+
+def fingerprint_bytes(payload: bytes, lengths: Sequence[int]) -> str:
+    """Content hash of a packed buffer + its offsets table."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr(tuple(lengths)).encode())
+    h.update(payload)
+    return h.hexdigest()
+
+
+def pack_dataset(
+    series: Sequence[Sequence[float]],
+) -> Tuple[bytes, Tuple[int, ...], str]:
+    """Flatten a series set into ``(payload, lengths, fingerprint)``.
+
+    The payload is the concatenation of every series as native
+    ``float64``; ``lengths`` recovers the per-series boundaries.  The
+    fingerprint hashes both, so datasets differing only in how the
+    same values are split into series hash differently.
+
+    >>> payload, lengths, fp = pack_dataset([(0.0, 1.0), (2.0,)])
+    >>> lengths
+    (2, 1)
+    >>> len(payload)
+    24
+    >>> fp == pack_dataset([[0.0, 1.0], [2.0]])[2]
+    True
+    """
+    flat = array("d")
+    lengths: List[int] = []
+    for s in series:
+        flat.extend(s)
+        lengths.append(len(s))
+    if flat.itemsize != 8:  # pragma: no cover - no such platform today
+        raise RuntimeError("array('d') is not 64-bit on this platform")
+    payload = flat.tobytes()
+    return payload, tuple(lengths), fingerprint_bytes(payload, lengths)
+
+
+def _offsets(lengths: Sequence[int]) -> List[Tuple[int, int]]:
+    """Per-series ``(start, stop)`` element offsets into the buffer."""
+    out, pos = [], 0
+    for n in lengths:
+        out.append((pos, pos + n))
+        pos += n
+    return out
+
+
+class _suppress_tracking:
+    """Block resource-tracker registration while *attaching*.
+
+    On CPython < 3.13 ``SharedMemory(name=...)`` registers the segment
+    with the attaching process's resource tracker exactly as a create
+    does, so a dying worker would unlink a segment its parent still
+    owns.  Unregistering after the fact is not enough either: the
+    tracker's per-type cache is a set, so two workers registering and
+    then unregistering the same name race into a spurious ``KeyError``
+    inside the tracker process.  Suppressing the registration at its
+    source avoids both failure modes; only the creating executor is
+    ever tracked.  Best-effort: if tracker internals move, attaching
+    still works and the only downside is a spurious leak warning.
+    """
+
+    def __enter__(self):
+        try:
+            from multiprocessing import resource_tracker
+
+            self._tracker = resource_tracker
+            self._register = resource_tracker.register
+            resource_tracker.register = lambda *a, **k: None
+        except Exception:  # pragma: no cover - exotic platforms
+            self._tracker = None
+        return self
+
+    def __exit__(self, *exc):
+        if self._tracker is not None:
+            self._tracker.register = self._register
+        return False
+
+
+class ShmDataset:
+    """Parent-side handle on one shipped dataset.
+
+    Creates the segment, copies the packed payload in, and owns the
+    unlink.  ``close()`` is idempotent and both closes the local
+    mapping and unlinks the segment name from the system.
+    """
+
+    def __init__(self, payload: bytes, lengths: Tuple[int, ...],
+                 fingerprint: str):
+        if _shared_memory is None:
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        if not payload:
+            # zero-length segments are rejected by the OS; a dataset of
+            # empty series cannot reach here (validation rejects them)
+            raise ValueError("cannot ship an empty dataset")
+        self.fingerprint = fingerprint
+        self.lengths = lengths
+        self.nbytes = len(payload)
+        self._shm = _shared_memory.SharedMemory(create=True,
+                                                size=len(payload))
+        self._shm.buf[: len(payload)] = payload
+        self.name = self._shm.name
+        self._closed = False
+
+    def descriptor(self) -> ShmDescriptor:
+        """The picklable per-task reference to this dataset."""
+        return ("shm", self.fingerprint, self.name, self.lengths)
+
+    def close(self) -> None:
+        """Close the mapping and unlink the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        finally:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class AttachedDataset:
+    """Worker-side view of a shipped dataset.
+
+    Attaches by segment name, immediately unregisters from the local
+    resource tracker (see module docstring), and serves series as:
+
+    * :meth:`series` -- built-in ``float`` lists, materialised lazily
+      and memoized (what the pure-Python DP engine wants);
+    * :meth:`arrays` -- zero-copy ``np.frombuffer`` views when NumPy
+      is importable (what vectorised consumers want).
+    """
+
+    def __init__(self, descriptor: ShmDescriptor):
+        kind, fingerprint, name, lengths = descriptor
+        if kind != "shm":
+            raise ValueError(f"not an shm descriptor: {kind!r}")
+        if _shared_memory is None:
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        self.fingerprint = fingerprint
+        self.lengths = tuple(lengths)
+        with _suppress_tracking():
+            self._shm = _shared_memory.SharedMemory(name=name)
+        count = sum(self.lengths)
+        self._view = memoryview(self._shm.buf)[: count * 8].cast("d")
+        self._bounds = _offsets(self.lengths)
+        self._series: Optional[Tuple[List[float], ...]] = None
+        self._closed = False
+
+    def series(self) -> Tuple[List[float], ...]:
+        """All series as lists of built-in floats (computed once)."""
+        if self._series is None:
+            self._series = tuple(
+                self._view[a:b].tolist() for a, b in self._bounds
+            )
+        return self._series
+
+    def arrays(self):
+        """Zero-copy ``float64`` array views, one per series.
+
+        Requires NumPy; raises ``ImportError`` otherwise.  The views
+        alias the shared segment -- treat them as read-only.
+        """
+        import numpy as np
+
+        base = np.frombuffer(self._shm.buf, dtype=np.float64,
+                             count=sum(self.lengths))
+        return tuple(base[a:b] for a, b in self._bounds)
+
+    def close(self) -> None:
+        """Release the local mapping (never unlinks -- parent owns)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._series = None
+        self._view.release()
+        self._shm.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class InlineDataset:
+    """Tuple-of-tuples fallback used when shared memory is off.
+
+    Shipped through the pool initializer (once per pool, not once per
+    task); presents the same access surface as :class:`AttachedDataset`
+    so worker code is mode-blind.
+    """
+
+    def __init__(self, series: Sequence[Sequence[float]],
+                 fingerprint: str):
+        self.fingerprint = fingerprint
+        self.lengths = tuple(len(s) for s in series)
+        self._series = tuple(list(s) for s in series)
+
+    def series(self) -> Tuple[List[float], ...]:
+        return self._series
+
+    def close(self) -> None:  # symmetry with AttachedDataset
+        pass

@@ -109,6 +109,12 @@ class OneNearestNeighbor:
         serial).  The ``use_lower_bounds`` cascade is inherently
         sequential (its pruning threads a best-so-far through the
         scan) and always runs serially.
+    executor:
+        A :class:`repro.batch.BatchExecutor` (or ``"default"``) to run
+        the scans on a persistent warm pool -- the right choice when
+        one classifier answers many queries over one training set
+        (pool startup and dataset shipping amortise across calls).
+        Results are identical either way.
 
     Notes
     -----
@@ -117,11 +123,13 @@ class OneNearestNeighbor:
     indexing, both measures get the same scan).
     """
 
-    def __init__(self, spec: DistanceSpec, workers: int = 1):
+    def __init__(self, spec: DistanceSpec, workers: int = 1,
+                 executor=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.spec = spec
         self.workers = workers
+        self.executor = executor
         self._train: List[List[float]] = []
         self._labels: List[object] = []
         self.cells_evaluated = 0
@@ -184,14 +192,15 @@ class OneNearestNeighbor:
     # -- internal ---------------------------------------------------------
 
     def _use_batch_engine(self) -> bool:
-        return self.workers > 1 and not (
+        return (self.workers > 1 or self.executor is not None) and not (
             self.spec.measure == "cdtw" and self.spec.use_lower_bounds
         )
 
     def _nearest(self, query, candidates):
         if self._use_batch_engine():
             idx, dist, cells = _nearest_batched(
-                self.spec, query, candidates, self.workers
+                self.spec, query, candidates, self.workers,
+                executor=self.executor,
             )
         else:
             idx, dist, cells = _nearest_impl(self.spec, query, candidates)
@@ -210,7 +219,7 @@ class OneNearestNeighbor:
         ]
         result = batch_distances(
             series, pairs=pairs, workers=self.workers,
-            **_spec_kwargs(self.spec),
+            executor=self.executor, **_spec_kwargs(self.spec),
         )
         self.cells_evaluated += result.cells
         t = len(self._train)
@@ -232,10 +241,12 @@ class KNearestNeighbors:
     Note: with ``k > 1`` every candidate's distance is needed, so the
     lossless best-so-far pruning of the 1-NN cascade does not apply;
     ``use_lower_bounds`` is therefore ignored for ``k > 1``.  The
-    full scans parallelise cleanly: pass ``workers=N``.
+    full scans parallelise cleanly: pass ``workers=N``, optionally
+    with ``executor=`` for a persistent warm pool across queries.
     """
 
-    def __init__(self, spec: DistanceSpec, k: int = 3, workers: int = 1):
+    def __init__(self, spec: DistanceSpec, k: int = 3, workers: int = 1,
+                 executor=None):
         if k < 1:
             raise ValueError("k must be positive")
         if workers < 1:
@@ -243,6 +254,7 @@ class KNearestNeighbors:
         self.spec = spec
         self.k = k
         self.workers = workers
+        self.executor = executor
         self._train: List[List[float]] = []
         self._labels: List[object] = []
 
@@ -265,14 +277,14 @@ class KNearestNeighbors:
         if not self._train:
             raise ValueError("classifier is not fitted")
         _obs.incr("knn.predictions")
-        if self.workers > 1:
+        if self.workers > 1 or self.executor is not None:
             from ..batch.engine import batch_distances
 
             series = [list(query)] + self._train
             pairs = [(0, i + 1) for i in range(len(self._train))]
             result = batch_distances(
                 series, pairs=pairs, workers=self.workers,
-                **_spec_kwargs(self.spec),
+                executor=self.executor, **_spec_kwargs(self.spec),
             )
             distances = [
                 (d, i) for i, d in enumerate(result.distances)
@@ -361,14 +373,16 @@ def _distance(spec: DistanceSpec, x, y) -> float:
     return fastdtw(x, y, radius=spec.radius).distance
 
 
-def _nearest_batched(spec: DistanceSpec, query, candidates, workers):
+def _nearest_batched(spec: DistanceSpec, query, candidates, workers,
+                     executor=None):
     """Batched equivalent of :func:`_nearest_impl` (same tie-break)."""
     from ..batch.engine import argmin_first, batch_distances
 
     series = [list(query)] + [list(c) for c in candidates]
     pairs = [(0, i + 1) for i in range(len(candidates))]
     result = batch_distances(
-        series, pairs=pairs, workers=workers, **_spec_kwargs(spec)
+        series, pairs=pairs, workers=workers, executor=executor,
+        **_spec_kwargs(spec)
     )
     idx, best = argmin_first(result.distances)
     return idx, best, result.cells

@@ -21,19 +21,26 @@ def loocv_error(
     labels: Sequence[object],
     spec: DistanceSpec,
     workers: int = 1,
+    executor=None,
 ) -> float:
     """Leave-one-out 1-NN error of ``spec`` on a labelled dataset.
 
     Each series is classified against all the others; the returned
     value is the fraction misclassified.  ``workers`` parallelises
     each leave-one-out scan via the :mod:`repro.batch` engine (the
-    error is identical for any worker count).
+    error is identical for any worker count).  ``executor=`` runs
+    those scans on a persistent warm pool -- LOOCV issues one scan
+    per series over the same dataset, the textbook repeated-use
+    shape, so a shared executor amortises pool startup and dataset
+    shipping across all of them.
     """
     if len(series) != len(labels):
         raise ValueError("series and labels must have equal length")
     if len(series) < 2:
         raise ValueError("need at least two series for LOOCV")
-    clf = OneNearestNeighbor(spec, workers=workers).fit(series, labels)
+    clf = OneNearestNeighbor(
+        spec, workers=workers, executor=executor
+    ).fit(series, labels)
     wrong = 0
     for i, (s, lab) in enumerate(zip(series, labels)):
         if clf.predict_one(s, exclude=i) != lab:
@@ -62,6 +69,7 @@ def best_window_search(
     windows: Sequence[float] = tuple(w / 100 for w in range(0, 21)),
     use_lower_bounds: bool = True,
     workers: int = 1,
+    executor=None,
 ) -> WindowSearchResult:
     """Brute-force the LOOCV-optimal cDTW window.
 
@@ -77,6 +85,11 @@ def best_window_search(
         cascade is sequential, so it ignores ``workers``).
     workers:
         Worker processes per LOOCV scan (see :func:`loocv_error`).
+    executor:
+        Persistent :class:`repro.batch.BatchExecutor` shared across
+        every window's LOOCV (the dataset ships once for the whole
+        search; ignored when ``use_lower_bounds`` forces the serial
+        cascade).
 
     Returns
     -------
@@ -90,7 +103,9 @@ def best_window_search(
         spec = DistanceSpec(
             "cdtw", window=w, use_lower_bounds=use_lower_bounds
         )
-        e = loocv_error(series, labels, spec, workers=workers)
+        e = loocv_error(
+            series, labels, spec, workers=workers, executor=executor
+        )
         errors.append((w, e))
         if best_e is None or e < best_e or (e == best_e and w < best_w):
             best_w, best_e = w, e

@@ -95,8 +95,19 @@ def build_parser() -> argparse.ArgumentParser:
     kernels.add_argument("--smoke", action="store_true",
                          help="tiny CI workload (exercises the same "
                               "code paths, meaningless timings)")
-    kernels.add_argument("--out", default="BENCH_kernels.json",
-                         help="output JSON path ('-' to skip writing)")
+    kernels.add_argument("--warm", action="store_true",
+                         help="benchmark the persistent BatchExecutor "
+                              "warm-vs-cold instead of the backends "
+                              "(default output BENCH_batch.json)")
+    kernels.add_argument("--min-warm-speedup", type=float, default=None,
+                         help="with --warm: fail (exit 1) if warm "
+                              "python_workers speedup over serial is "
+                              "below this (use on multi-core CI; "
+                              "meaningless on 1 CPU)")
+    kernels.add_argument("--out", default=None,
+                         help="output JSON path ('-' to skip writing; "
+                              "default BENCH_kernels.json, or "
+                              "BENCH_batch.json with --warm)")
 
     trace = sub.add_parser(
         "trace",
@@ -222,6 +233,8 @@ def cmd_kernels(args) -> int:
     from .timing.kernel_bench import (
         SMOKE_COUNT,
         SMOKE_LENGTH,
+        executor_benchmark,
+        format_executor_report,
         format_report,
         kernel_benchmark,
     )
@@ -234,22 +247,39 @@ def cmd_kernels(args) -> int:
         count = args.count if args.count is not None else 8
         length = args.length if args.length is not None else 1000
         repeats = args.repeats
+    bench = executor_benchmark if args.warm else kernel_benchmark
+    out = args.out
+    if out is None:
+        out = "BENCH_batch.json" if args.warm else "BENCH_kernels.json"
     try:
-        report = kernel_benchmark(
+        report = bench(
             length=length, count=count, window=args.window,
             workers=args.workers, repeats=repeats, seed=args.seed,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(format_report(report))
-    if args.out != "-":
-        with open(args.out, "w") as fh:
+    if args.warm:
+        print(format_executor_report(report))
+    else:
+        print(format_report(report))
+    if out != "-":
+        with open(out, "w") as fh:
             json.dump(report, fh, indent=2)
             fh.write("\n")
-        print(f"  wrote {args.out}")
+        print(f"  wrote {out}")
     parity = report["parity"]
     ok = parity["distances_identical"] and parity["cells_identical"]
+    if args.warm and args.min_warm_speedup is not None:
+        speedup = report["warm_python_speedup_over_serial"]
+        if speedup < args.min_warm_speedup:
+            print(
+                f"error: warm python_workers speedup x{speedup:.2f} "
+                f"below required x{args.min_warm_speedup:.2f} "
+                f"(cpu_count={report['cpu_count']})",
+                file=sys.stderr,
+            )
+            return 1
     return 0 if ok else 1
 
 

@@ -55,6 +55,7 @@ def dba(
     initial: Optional[Sequence[float]] = None,
     workers: int = 1,
     backend: Optional[str] = None,
+    executor=None,
 ) -> DbaResult:
     """Compute a DTW barycenter of equal-length series.
 
@@ -84,6 +85,12 @@ def dba(
         per :mod:`repro.core.kernels` (``None`` = process default).
         Distances *and recovered paths* are bit-identical on every
         backend, so the barycenter is too.
+    executor:
+        Persistent :class:`repro.batch.BatchExecutor` for the
+        per-iteration batch jobs.  The aligned dataset changes each
+        round (the barycenter moves), so the executor re-ships it per
+        iteration, but the warm pool itself amortises across all
+        rounds.  Identical barycenter.
 
     Returns
     -------
@@ -112,13 +119,14 @@ def dba(
     else:
         centre = list(lists[_euclidean_medoid(lists)])
 
-    inertia = _inertia(centre, lists, band, workers, backend)
+    inertia = _inertia(centre, lists, band, workers, backend, executor)
     iterations = 0
     converged = False
     for _ in range(max_iterations):
         sums = [0.0] * n
         counts = [0] * n
-        paths = _alignments(centre, lists, band, workers, backend)
+        paths = _alignments(centre, lists, band, workers, backend,
+                            executor)
         for s, path in zip(lists, paths):
             for i, j in path:
                 sums[i] += s[j]
@@ -127,7 +135,8 @@ def dba(
             sums[i] / counts[i] if counts[i] else centre[i]
             for i in range(n)
         ]
-        new_inertia = _inertia(new_centre, lists, band, workers, backend)
+        new_inertia = _inertia(new_centre, lists, band, workers, backend,
+                               executor)
         iterations += 1
         if new_inertia <= inertia:
             centre = new_centre
@@ -144,9 +153,10 @@ def dba(
     )
 
 
-def _alignments(centre, lists, band, workers, backend=None):
+def _alignments(centre, lists, band, workers, backend=None,
+                executor=None):
     """One warping path per series, aligning each to ``centre``."""
-    if workers > 1:
+    if workers > 1 or executor is not None:
         from ..batch.engine import batch_distances
 
         result = batch_distances(
@@ -157,6 +167,7 @@ def _alignments(centre, lists, band, workers, backend=None):
             return_paths=True,
             workers=workers,
             backend=backend,
+            executor=executor,
         )
         return list(result.paths)
     from ..core.kernels import resolve_backend
@@ -176,8 +187,9 @@ def _alignments(centre, lists, band, workers, backend=None):
     ]
 
 
-def _inertia(centre, lists, band, workers=1, backend=None) -> float:
-    if workers > 1:
+def _inertia(centre, lists, band, workers=1, backend=None,
+             executor=None) -> float:
+    if workers > 1 or executor is not None:
         from ..batch.engine import batch_distances
 
         result = batch_distances(
@@ -187,6 +199,7 @@ def _inertia(centre, lists, band, workers=1, backend=None) -> float:
             band=band,
             workers=workers,
             backend=backend,
+            executor=executor,
         )
         return sum(result.distances)
     from ..core.kernels import resolve_backend

@@ -54,6 +54,7 @@ def dtw_kmeans(
     seed: int = 0,
     workers: int = 1,
     backend: Optional[str] = None,
+    executor=None,
 ) -> KMeansResult:
     """Cluster equal-length series into ``k`` groups under DTW.
 
@@ -81,6 +82,11 @@ def dtw_kmeans(
         :mod:`repro.core.kernels` (``None`` = process default).
         Assignments, centroids and inertia are identical on every
         backend (the DP results are bit-identical).
+    executor:
+        Persistent :class:`repro.batch.BatchExecutor` shared by every
+        Lloyd round's assignment batch, DBA update and inertia
+        evaluation -- one warm pool for the whole clustering run.
+        Identical results.
 
     Returns
     -------
@@ -107,7 +113,8 @@ def dtw_kmeans(
     iterations = 0
     converged = False
     for _ in range(max_iterations):
-        new_assignments = _assign(lists, centroids, band, workers, backend)
+        new_assignments = _assign(lists, centroids, band, workers,
+                                  backend, executor)
         iterations += 1
         if new_assignments == assignments:
             converged = True
@@ -121,12 +128,12 @@ def dtw_kmeans(
                 centroids[c] = list(
                     dba(members, max_iterations=dba_iterations,
                         band=band, workers=workers,
-                        backend=backend).barycenter
+                        backend=backend, executor=executor).barycenter
                 )
             # empty clusters keep their previous centroid
 
     inertia = _total_inertia(
-        lists, centroids, assignments, band, workers, backend
+        lists, centroids, assignments, band, workers, backend, executor
     )
     return KMeansResult(
         centroids=tuple(tuple(c) for c in centroids),
@@ -156,9 +163,10 @@ def _dist_fn(band, backend=None):
     return dist
 
 
-def _assign(lists, centroids, band, workers, backend=None) -> List[int]:
+def _assign(lists, centroids, band, workers, backend=None,
+            executor=None) -> List[int]:
     """Nearest-centroid index per series (first centroid wins ties)."""
-    if workers > 1:
+    if workers > 1 or executor is not None:
         from ..batch.engine import argmin_first, batch_distances
 
         k = len(centroids)
@@ -173,6 +181,7 @@ def _assign(lists, centroids, band, workers, backend=None) -> List[int]:
             band=band,
             workers=workers,
             backend=backend,
+            executor=executor,
         )
         return [
             argmin_first(result.distances[i * k:(i + 1) * k])[0]
@@ -191,10 +200,11 @@ def _assign(lists, centroids, band, workers, backend=None) -> List[int]:
 
 
 def _total_inertia(
-    lists, centroids, assignments, band, workers, backend=None
+    lists, centroids, assignments, band, workers, backend=None,
+    executor=None,
 ) -> float:
     """Sum of each series' distance to its assigned centroid."""
-    if workers > 1:
+    if workers > 1 or executor is not None:
         from ..batch.engine import batch_distances
 
         k = len(centroids)
@@ -205,6 +215,7 @@ def _total_inertia(
             band=band,
             workers=workers,
             backend=backend,
+            executor=executor,
         )
         return sum(result.distances)
     dist = _dist_fn(band, backend)

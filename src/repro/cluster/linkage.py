@@ -121,21 +121,24 @@ def linkage_from_series(
     cost: str = "squared",
     workers: int = 1,
     backend: Optional[str] = None,
+    executor=None,
 ) -> List[Merge]:
     """Cluster raw series: batched all-pairs matrix, then linkage.
 
     Convenience composition of
     :func:`repro.core.matrix.distance_matrix` (which fans the
     ``k * (k - 1) / 2`` pairwise computations out over ``workers``
-    processes) and :func:`linkage`.  The merge structure is identical
-    for any worker count -- and for any ``backend`` (see
-    :mod:`repro.core.kernels`) -- since the matrix is.
+    processes, or a persistent ``executor=`` pool) and
+    :func:`linkage`.  The merge structure is identical for any worker
+    count -- and for any ``backend`` (see :mod:`repro.core.kernels`)
+    -- since the matrix is.
     """
     from ..core.matrix import distance_matrix
 
     matrix = distance_matrix(
         series, measure=measure, window=window, band=band,
         radius=radius, cost=cost, workers=workers, backend=backend,
+        executor=executor,
     )
     return linkage(matrix.as_lists(), method=method)
 

@@ -74,6 +74,7 @@ def distance_matrix(
     cost: CostLike = "squared",
     workers: int = 1,
     backend: Optional[str] = None,
+    executor=None,
 ) -> DistanceMatrix:
     """Compute the all-pairs matrix under one measure.
 
@@ -98,6 +99,11 @@ def distance_matrix(
         :mod:`repro.core.kernels` (``None`` = process default;
         ``"numpy"`` vectorises the batch with bit-identical
         distances and cells).
+    executor:
+        A :class:`repro.batch.BatchExecutor` (or ``"default"``) for
+        a persistent warm pool -- worthwhile when many matrices are
+        built over the same or evolving series sets.  Identical
+        results.
 
     Returns
     -------
@@ -118,6 +124,7 @@ def distance_matrix(
         cost=cost,
         workers=workers,
         backend=backend,
+        executor=executor,
     )
     k = len(series)
     values = [[0.0] * k for _ in range(k)]

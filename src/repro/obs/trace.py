@@ -50,6 +50,16 @@ counter                      incremented by
 ``batch.jobs``               batch-engine jobs run
 ``batch.pairs``              pairs computed by batch jobs
 ``pool.chunks``              chunks fanned out to worker processes
+``pool.created``             executor jobs that had to build a pool
+``pool.reused``              executor jobs served by a warm pool
+``shm.datasets``             datasets shipped by executors (new
+                             fingerprints seen)
+``shm.bytes``                payload bytes shipped to shared memory
+``sched.chunks``             chunks submitted to the dynamic scheduler
+``sched.steals``             chunks completing ahead of earlier
+                             submissions (dynamic rebalancing; the one
+                             counter that legitimately varies run to
+                             run)
 ``cache.envelope_hits``      per-series envelope cache hits (merged)
 ``cache.envelope_misses``    per-series envelope cache misses
 ``cache.znorm_hits``         z-normalisation cache hits

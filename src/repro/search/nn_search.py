@@ -54,6 +54,7 @@ def nearest_neighbor(
     radius: int = 1,
     workers: int = 1,
     backend: Optional[str] = None,
+    executor=None,
 ) -> NnResult:
     """Find the candidate nearest to ``query``.
 
@@ -84,6 +85,12 @@ def nearest_neighbor(
         exact strategies return identical indices, distances and cell
         totals on every backend; ``"fastdtw"`` and ``"euclidean"``
         always run their reference implementations.
+    executor:
+        A :class:`repro.batch.BatchExecutor` (or ``"default"``) to
+        run the batched scan on a persistent warm pool (repeated
+        searches over one candidate set ship the dataset once).
+        Implies the batched path; identical results.  Ignored for
+        ``"cdtw+lb"``, which always runs serially.
 
     Returns
     -------
@@ -103,29 +110,30 @@ def nearest_neighbor(
     if trace is None:
         return _nearest_neighbor_impl(
             query, candidates, strategy, band, window, radius, workers,
-            resolved,
+            resolved, executor,
         )
     trace.incr("nn.queries")
     trace.incr("nn.candidates", len(candidates))
     with _obs.span("nn_search"):
         return _nearest_neighbor_impl(
             query, candidates, strategy, band, window, radius, workers,
-            resolved,
+            resolved, executor,
         )
 
 
 def _nearest_neighbor_impl(
-    query, candidates, strategy, band, window, radius, workers, resolved
+    query, candidates, strategy, band, window, radius, workers, resolved,
+    executor=None,
 ) -> NnResult:
     """The strategy dispatch behind :func:`nearest_neighbor`.
 
     Split out so the public entry point's observability hook costs one
     module-global read when no :class:`repro.obs.RunTrace` is active.
     """
-    if workers > 1 and strategy != "cdtw+lb":
+    if (workers > 1 or executor is not None) and strategy != "cdtw+lb":
         return _nearest_neighbor_batched(
             query, candidates, strategy, band, window, radius, workers,
-            resolved,
+            resolved, executor,
         )
 
     if strategy == "euclidean":
@@ -179,7 +187,8 @@ def _nearest_neighbor_impl(
 
 
 def _nearest_neighbor_batched(
-    query, candidates, strategy, band, window, radius, workers, backend
+    query, candidates, strategy, band, window, radius, workers, backend,
+    executor=None,
 ) -> NnResult:
     """Fan the candidate scan out over the batch engine.
 
@@ -197,7 +206,7 @@ def _nearest_neighbor_batched(
     series = [list(query)] + [list(c) for c in candidates]
     pairs = [(0, i + 1) for i in range(len(candidates))]
     result = batch_distances(
-        series, pairs=pairs, workers=workers, **kwargs
+        series, pairs=pairs, workers=workers, executor=executor, **kwargs
     )
     best_idx, best = argmin_first(result.distances)
     return NnResult(best_idx, best, strategy, cells=result.cells)

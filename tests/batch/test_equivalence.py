@@ -106,6 +106,62 @@ class TestDistancesAndCells:
         assert serial.distances == parallel.distances
 
 
+class TestStartMethodAndExecutorColumns:
+    """The same contract across the remaining execution columns.
+
+    ``start_method="spawn"`` (fresh interpreters, everything
+    re-pickled) and a warm :class:`~repro.batch.BatchExecutor`
+    (persistent pool + shared-memory datasets, cold then warm call)
+    are execution details exactly like ``workers``: every column must
+    reproduce the serial distances and cell counts bit for bit.
+    """
+
+    @pytest.mark.parametrize("measure", MEASURES)
+    def test_spawn_column_identical(self, measure):
+        series = fuzz_series(21, count=5, length=24)
+        kwargs = MEASURE_CONFIGS[measure]
+        serial = batch_distances(series, measure=measure, **kwargs)
+        spawned = batch_distances(
+            series, measure=measure, workers=2,
+            start_method="spawn", **kwargs,
+        )
+        assert spawned.distances == serial.distances
+        assert spawned.cells_per_pair == serial.cells_per_pair
+        assert spawned.cells == serial.cells
+
+    @pytest.mark.parametrize("measure", MEASURES)
+    def test_executor_cold_and_warm_identical(self, measure):
+        from repro.batch import BatchExecutor
+
+        series = fuzz_series(22, count=6, length=26)
+        kwargs = MEASURE_CONFIGS[measure]
+        serial = batch_distances(series, measure=measure, **kwargs)
+        with BatchExecutor(workers=2, cap=None) as exe:
+            cold = batch_distances(series, measure=measure,
+                                   executor=exe, **kwargs)
+            warm = batch_distances(series, measure=measure,
+                                   executor=exe, **kwargs)
+        for result in (cold, warm):
+            assert result.distances == serial.distances
+            assert result.cells_per_pair == serial.cells_per_pair
+            assert result.cells == serial.cells
+
+    def test_executor_numpy_column_identical(self):
+        pytest.importorskip("numpy")
+        from repro.batch import BatchExecutor
+
+        series = fuzz_series(23, count=6, length=26)
+        serial = batch_distances(series, measure="cdtw", window=0.2)
+        with BatchExecutor(workers=2, cap=None) as exe:
+            for _ in range(2):  # cold then warm
+                result = batch_distances(
+                    series, measure="cdtw", window=0.2,
+                    backend="numpy", executor=exe,
+                )
+                assert result.distances == serial.distances
+                assert result.cells == serial.cells
+
+
 class TestTieBreaking:
     """First-wins tie-breaks survive parallel execution."""
 

@@ -1,0 +1,371 @@
+"""BatchExecutor lifecycle, shm hygiene and warm-pool semantics.
+
+The executor's contract: identical results to the serial engine for
+every mode (shm or inline, any worker count), a pool created once and
+reused across jobs, datasets shipped once per content fingerprint and
+re-shipped when the content changes, and -- critically -- **zero**
+leaked ``/dev/shm`` segments after ``shutdown()`` or garbage
+collection.
+"""
+
+import gc
+import os
+
+import pytest
+
+from repro.batch import (
+    BatchExecutor,
+    batch_distances,
+    batch_lb_keogh,
+    default_executor,
+    resolve_executor,
+    shutdown_default_executor,
+)
+from repro.batch.shm import pack_dataset, shm_available
+from tests.conftest import make_series
+
+
+def _series(count=6, length=24, offset=0):
+    return [make_series(length, s + offset) for s in range(count)]
+
+
+def _segment_exists(name: str) -> bool:
+    """Does a POSIX shm segment with this name still exist?"""
+    from multiprocessing import shared_memory
+
+    from repro.batch.shm import _suppress_tracking
+
+    try:
+        with _suppress_tracking():
+            seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    return True
+
+
+class TestLifecycle:
+    def test_context_manager_shuts_down(self):
+        with BatchExecutor(workers=2, cap=None) as exe:
+            batch_distances(_series(), measure="cdtw", band=3,
+                            executor=exe)
+            assert not exe.closed
+        assert exe.closed
+
+    def test_shutdown_idempotent(self):
+        exe = BatchExecutor(workers=2, cap=None)
+        exe.shutdown()
+        exe.shutdown()
+        assert exe.closed
+
+    def test_rejects_jobs_after_shutdown(self):
+        exe = BatchExecutor(workers=2, cap=None)
+        exe.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            batch_distances(_series(), measure="dtw", executor=exe)
+
+    def test_pool_created_once_then_reused(self):
+        with BatchExecutor(workers=2, cap=None) as exe:
+            series = _series()
+            for _ in range(3):
+                batch_distances(series, measure="cdtw", band=3,
+                                executor=exe)
+            assert exe.stats.pools_created == 1
+            assert exe.stats.pools_reused == 2
+            assert exe.stats.jobs == 3
+
+    def test_worker_cap_policies(self):
+        cpus = os.cpu_count() or 1
+        assert BatchExecutor(workers=cpus + 5).workers == cpus
+        assert BatchExecutor(workers=2, cap=None).workers == 2
+        assert BatchExecutor().workers == cpus
+        with pytest.raises(ValueError, match="cap"):
+            BatchExecutor(cap="all")
+        with pytest.raises(ValueError, match="workers"):
+            BatchExecutor(workers=0)
+        with pytest.raises(ValueError, match="max_datasets"):
+            BatchExecutor(max_datasets=0)
+
+    def test_result_reports_executor_workers(self):
+        with BatchExecutor(workers=2, cap=None) as exe:
+            result = batch_distances(_series(), measure="cdtw", band=3,
+                                     executor=exe)
+        assert result.workers == 2
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("measure,kwargs", [
+        ("dtw", {}),
+        ("cdtw", {"band": 3}),
+        ("fastdtw", {"radius": 1}),
+        ("euclidean", {}),
+    ])
+    def test_identical_to_serial(self, measure, kwargs):
+        series = _series()
+        serial = batch_distances(series, measure=measure, **kwargs)
+        with BatchExecutor(workers=2, cap=None) as exe:
+            warm = batch_distances(series, measure=measure,
+                                   executor=exe, **kwargs)
+            again = batch_distances(series, measure=measure,
+                                    executor=exe, **kwargs)
+        assert warm.distances == serial.distances == again.distances
+        assert warm.cells_per_pair == serial.cells_per_pair
+        assert warm.cells == serial.cells == again.cells
+
+    def test_return_paths_identical(self):
+        series = _series(count=4)
+        serial = batch_distances(series, measure="cdtw", band=3,
+                                 return_paths=True)
+        with BatchExecutor(workers=2, cap=None) as exe:
+            warm = batch_distances(series, measure="cdtw", band=3,
+                                   return_paths=True, executor=exe)
+        assert warm.paths == serial.paths
+
+    def test_lb_keogh_identical_to_serial(self):
+        series = _series()
+        serial = batch_lb_keogh(series, band=3)
+        with BatchExecutor(workers=2, cap=None) as exe:
+            warm = batch_lb_keogh(series, band=3, executor=exe)
+            mixed = batch_distances(series, measure="cdtw", band=3,
+                                    executor=exe)
+            again = batch_lb_keogh(series, band=3, executor=exe)
+        assert warm.distances == serial.distances == again.distances
+        assert mixed.cells > 0
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_numpy_backend_identical(self, backend):
+        pytest.importorskip("numpy")
+        series = _series()
+        serial = batch_distances(series, measure="cdtw", band=3)
+        with BatchExecutor(workers=2, cap=None) as exe:
+            result = batch_distances(series, measure="cdtw", band=3,
+                                     backend=backend, executor=exe)
+        assert result.distances == serial.distances
+        assert result.cells == serial.cells
+
+    def test_inline_fallback_identical(self):
+        series = _series()
+        serial = batch_distances(series, measure="cdtw", band=3)
+        with BatchExecutor(workers=2, cap=None, use_shm=False) as exe:
+            warm = batch_distances(series, measure="cdtw", band=3,
+                                   executor=exe)
+            again = batch_distances(series, measure="cdtw", band=3,
+                                    executor=exe)
+            assert exe.stats.datasets_shipped == 1  # shipped once
+        assert warm.distances == serial.distances == again.distances
+
+    def test_workers_one_plus_executor_uses_executor(self):
+        # executor wins over workers: passing one runs the warm path
+        # even at the default workers=1
+        series = _series()
+        serial = batch_distances(series, measure="cdtw", band=3)
+        with BatchExecutor(workers=2, cap=None) as exe:
+            result = batch_distances(series, measure="cdtw", band=3,
+                                     workers=1, executor=exe)
+            assert exe.stats.jobs == 1
+        assert result.distances == serial.distances
+        assert result.workers == 2
+
+
+@pytest.mark.skipif(not shm_available(), reason="no shared memory")
+class TestShmHygiene:
+    def test_shutdown_unlinks_every_segment(self):
+        exe = BatchExecutor(workers=2, cap=None)
+        batch_distances(_series(offset=0), measure="dtw", executor=exe)
+        batch_distances(_series(offset=50), measure="dtw", executor=exe)
+        names = exe.segment_names()
+        assert len(names) == 2
+        assert all(_segment_exists(n) for n in names)
+        exe.shutdown()
+        assert not any(_segment_exists(n) for n in names)
+
+    def test_gc_unlinks_segments(self):
+        exe = BatchExecutor(workers=2, cap=None)
+        batch_distances(_series(), measure="dtw", executor=exe)
+        names = exe.segment_names()
+        assert names and all(_segment_exists(n) for n in names)
+        del exe
+        gc.collect()
+        assert not any(_segment_exists(n) for n in names)
+
+    def test_dataset_shipped_once_per_fingerprint(self):
+        series = _series()
+        with BatchExecutor(workers=2, cap=None) as exe:
+            batch_distances(series, measure="cdtw", band=3, executor=exe)
+            # same values via new list objects: same fingerprint
+            copy = [list(s) for s in series]
+            batch_distances(copy, measure="dtw", executor=exe)
+            assert exe.stats.datasets_shipped == 1
+            assert len(exe.segment_names()) == 1
+
+    def test_mutated_dataset_is_reshipped_not_stale_served(self):
+        series = _series()
+        with BatchExecutor(workers=2, cap=None) as exe:
+            batch_distances(series, measure="cdtw", band=3, executor=exe)
+            mutated = [list(s) for s in series]
+            mutated[0][0] += 1.0  # a single-sample change
+            serial = batch_distances(mutated, measure="cdtw", band=3)
+            warm = batch_distances(mutated, measure="cdtw", band=3,
+                                   executor=exe)
+            assert exe.stats.datasets_shipped == 2
+            assert len(exe.segment_names()) == 2
+        # served from the *new* segment: distances reflect the mutation
+        assert warm.distances == serial.distances
+
+    def test_fingerprints_differ_on_mutation(self):
+        series = _series()
+        _, _, fp1 = pack_dataset(series)
+        mutated = [list(s) for s in series]
+        mutated[0][0] += 2 ** -40  # even a 1-ulp-scale change re-keys
+        _, _, fp2 = pack_dataset(mutated)
+        assert fp1 != fp2
+        # and a re-split of the same flat values re-keys too
+        flat = [v for s in series for v in s]
+        half = len(flat) // 2
+        _, _, fp3 = pack_dataset([flat[:half], flat[half:]])
+        _, _, fp4 = pack_dataset([flat[:half - 1], flat[half - 1:]])
+        assert fp3 != fp4
+
+    def test_lru_evicts_oldest_dataset(self):
+        with BatchExecutor(workers=2, cap=None, max_datasets=1) as exe:
+            batch_distances(_series(offset=0), measure="dtw", executor=exe)
+            first = exe.segment_names()
+            batch_distances(_series(offset=50), measure="dtw",
+                            executor=exe)
+            second = exe.segment_names()
+            assert len(second) == 1
+            assert first != second
+            assert not _segment_exists(first[0])
+
+    def test_no_devshm_leak_across_lifecycle(self):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        before = set(os.listdir("/dev/shm"))
+        exe = BatchExecutor(workers=2, cap=None)
+        batch_distances(_series(), measure="dtw", executor=exe)
+        exe.shutdown()
+        gc.collect()
+        leaked = set(os.listdir("/dev/shm")) - before
+        assert not leaked
+
+
+class TestDefaultExecutor:
+    def test_default_is_singleton_until_shutdown(self):
+        try:
+            a = default_executor()
+            assert default_executor() is a
+            shutdown_default_executor()
+            assert a.closed
+            b = default_executor()
+            assert b is not a
+            assert resolve_executor("default") is b
+        finally:
+            shutdown_default_executor()
+
+    def test_resolve_executor_forms(self):
+        assert resolve_executor(None) is None
+        with BatchExecutor(workers=1) as exe:
+            assert resolve_executor(exe) is exe
+        with pytest.raises(TypeError, match="executor"):
+            resolve_executor(42)
+
+    def test_string_default_reaches_engine(self):
+        series = _series()
+        serial = batch_distances(series, measure="cdtw", band=3)
+        try:
+            result = batch_distances(series, measure="cdtw", band=3,
+                                     executor="default")
+            assert result.distances == serial.distances
+        finally:
+            shutdown_default_executor()
+
+
+class TestConsumers:
+    """``executor=`` plumbed through the high-level entry points."""
+
+    def test_distance_matrix(self):
+        from repro.core.matrix import distance_matrix
+
+        series = _series()
+        serial = distance_matrix(series, measure="cdtw", band=3)
+        with BatchExecutor(workers=2, cap=None) as exe:
+            warm = distance_matrix(series, measure="cdtw", band=3,
+                                   executor=exe)
+        assert warm.values == serial.values
+        assert warm.cells == serial.cells
+
+    def test_knn_predict(self):
+        from repro.classify.knn import DistanceSpec, OneNearestNeighbor
+
+        train = _series(count=6, length=20)
+        labels = [s % 2 for s in range(6)]
+        queries = _series(count=3, length=20, offset=30)
+        spec = DistanceSpec("cdtw", window=0.2)
+        serial = OneNearestNeighbor(spec).fit(train, labels)
+        expected = serial.predict(queries)
+        with BatchExecutor(workers=2, cap=None) as exe:
+            clf = OneNearestNeighbor(spec, executor=exe).fit(
+                train, labels
+            )
+            got = clf.predict(queries)
+            assert exe.stats.jobs >= 1
+        assert got == expected
+        assert clf.cells_evaluated == serial.cells_evaluated
+
+    def test_loocv_error(self):
+        from repro.classify.knn import DistanceSpec
+        from repro.classify.loocv import loocv_error
+
+        series = _series(count=6, length=20)
+        labels = [s % 2 for s in range(6)]
+        spec = DistanceSpec("cdtw", window=0.2)
+        serial = loocv_error(series, labels, spec)
+        with BatchExecutor(workers=2, cap=None) as exe:
+            warm = loocv_error(series, labels, spec, executor=exe)
+            # one scan per series, all on the one warm pool; each fold
+            # excludes a different series, so each is its own dataset
+            assert exe.stats.jobs == len(series)
+            assert exe.stats.pools_created == 1
+            assert exe.stats.datasets_shipped == len(series)
+        assert warm == serial
+
+    def test_nn_search(self):
+        from repro.search.nn_search import nearest_neighbor
+
+        query = make_series(24, 99)
+        candidates = _series(count=5, length=24)
+        serial = nearest_neighbor(query, candidates, strategy="cdtw",
+                                  band=3)
+        with BatchExecutor(workers=2, cap=None) as exe:
+            warm = nearest_neighbor(query, candidates, strategy="cdtw",
+                                    band=3, executor=exe)
+        assert (warm.index, warm.distance, warm.cells) == (
+            serial.index, serial.distance, serial.cells
+        )
+
+    def test_linkage_from_series(self):
+        from repro.cluster.linkage import linkage_from_series
+
+        series = _series(count=5, length=20)
+        serial = linkage_from_series(series, measure="cdtw", band=3)
+        with BatchExecutor(workers=2, cap=None) as exe:
+            warm = linkage_from_series(series, measure="cdtw", band=3,
+                                       executor=exe)
+        assert warm == serial
+
+    def test_dba_and_kmeans(self):
+        from repro.cluster.dba import dba
+        from repro.cluster.kmeans import dtw_kmeans
+
+        series = _series(count=5, length=16)
+        serial_dba = dba(series, max_iterations=2, band=2)
+        serial_km = dtw_kmeans(series, k=2, band=2, max_iterations=2,
+                               dba_iterations=1, seed=3)
+        with BatchExecutor(workers=2, cap=None) as exe:
+            warm_dba = dba(series, max_iterations=2, band=2,
+                           executor=exe)
+            warm_km = dtw_kmeans(series, k=2, band=2, max_iterations=2,
+                                 dba_iterations=1, seed=3, executor=exe)
+            assert exe.stats.pools_created == 1  # one pool for it all
+        assert warm_dba == serial_dba
+        assert warm_km == serial_km

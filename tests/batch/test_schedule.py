@@ -1,0 +1,180 @@
+"""Cost-model chunk planning: the scheduler prices pairs correctly.
+
+The planner's promise is twofold: (1) its per-pair cost predictions
+for the exact measures are the *same* cell counts the DP ends up
+reporting, and (2) regrouping pairs into cost-balanced chunks never
+reorders them -- the flattened plan is always the input pair order.
+Satellite regression: both ``chunksize="auto"`` (cost-model) and
+``chunksize="legacy"`` (the old ~4-chunks-per-worker heuristic) stay
+reachable and produce identical results.
+"""
+
+import pytest
+
+from repro.batch import batch_distances
+from repro.batch.engine import _resolve_chunks, default_chunksize
+from repro.batch.schedule import (
+    chunk_cost_summary,
+    distance_pair_cost,
+    lb_pair_cost,
+    plan_chunks,
+)
+from tests.conftest import make_series
+
+
+class TestDistancePairCost:
+    def test_cdtw_cost_equals_reported_cells(self):
+        # the planner's prediction and the engine's provenance must be
+        # the same number, cell for cell -- same Window geometry
+        series = [make_series(n, s) for s, n in enumerate((20, 31, 27))]
+        lengths = tuple(len(s) for s in series)
+        result = batch_distances(series, measure="cdtw", band=4)
+        cost = distance_pair_cost(lengths, "cdtw", band=4)
+        for (i, j), cells in zip(result.pairs, result.cells_per_pair):
+            assert cost(i, j) == cells
+
+    def test_cdtw_window_fraction_cost_matches(self):
+        series = [make_series(n, s) for s, n in enumerate((24, 24, 36))]
+        lengths = tuple(len(s) for s in series)
+        result = batch_distances(series, measure="cdtw", window=0.15)
+        cost = distance_pair_cost(lengths, "cdtw", window=0.15)
+        for (i, j), cells in zip(result.pairs, result.cells_per_pair):
+            assert cost(i, j) == cells
+
+    def test_dtw_cost_equals_reported_cells(self):
+        series = [make_series(n, s) for s, n in enumerate((18, 25, 22))]
+        lengths = tuple(len(s) for s in series)
+        result = batch_distances(series, measure="dtw")
+        cost = distance_pair_cost(lengths, "dtw")
+        for (i, j), cells in zip(result.pairs, result.cells_per_pair):
+            assert cost(i, j) == cells
+
+    def test_fastdtw_cost_uses_salvador_chan_model(self):
+        from repro.timing.cells import fastdtw_cell_model
+
+        lengths = (100, 200)
+        cost = distance_pair_cost(lengths, "fastdtw", radius=2)
+        assert cost(0, 1) == fastdtw_cell_model(200, 2)
+
+    def test_euclidean_cost_is_linear(self):
+        cost = distance_pair_cost((10, 30), "euclidean")
+        assert cost(0, 1) == 10  # min(n, m)
+
+    def test_costs_are_positive(self):
+        cost = distance_pair_cost((1, 1), "euclidean")
+        assert cost(0, 1) >= 1
+
+    def test_lb_cost_is_candidate_length(self):
+        cost = lb_pair_cost((10, 25, 40))
+        assert cost(0, 2) == 40
+        assert cost(2, 0) == 10
+
+
+class TestPlanChunks:
+    def test_flatten_preserves_input_order(self):
+        pairs = [(i, j) for i in range(8) for j in range(i + 1, 8)]
+        chunks = plan_chunks(pairs, lambda i, j: (i + j) ** 2, workers=3)
+        assert [p for c in chunks for p in c] == pairs
+        assert all(chunks)  # no empty chunks
+
+    def test_expensive_pair_gets_small_chunk(self):
+        # one pair costing more than the whole rest must sit alone (or
+        # at the end of a chunk), never drag cheap pairs behind it
+        pairs = [(0, 1), (0, 2), (0, 3), (0, 4)]
+        costs = {(0, 1): 1, (0, 2): 1000, (0, 3): 1, (0, 4): 1}
+        chunks = plan_chunks(
+            pairs, lambda i, j: costs[(i, j)], workers=2
+        )
+        heavy = next(c for c in chunks if (0, 2) in c)
+        assert heavy[-1] == (0, 2)  # the heavy pair closes its chunk
+
+    def test_uniform_costs_match_legacy_granularity(self):
+        # equal costs degrade to ~oversubscribe chunks per worker,
+        # i.e. the legacy heuristic's shape
+        pairs = [(0, i) for i in range(1, 33)]
+        chunks = plan_chunks(pairs, lambda i, j: 10, workers=2)
+        legacy = default_chunksize(len(pairs), 2)
+        assert all(len(c) <= legacy for c in chunks)
+        assert len(chunks) >= len(pairs) // legacy
+
+    def test_balance_improves_on_blind_chunking(self):
+        # skewed lengths: cost-model chunks are more level than
+        # fixed-pair-count chunks of the same count
+        lengths = tuple([400] * 2 + [20] * 10)
+        pairs = [
+            (i, j)
+            for i in range(len(lengths))
+            for j in range(i + 1, len(lengths))
+        ]
+        cost = distance_pair_cost(lengths, "dtw")
+        planned = plan_chunks(pairs, cost, workers=4)
+        size = max(1, len(pairs) // len(planned))
+        blind = [
+            pairs[k:k + size] for k in range(0, len(pairs), size)
+        ]
+        assert (
+            chunk_cost_summary(planned, cost)["imbalance"]
+            <= chunk_cost_summary(blind, cost)["imbalance"]
+        )
+
+    def test_empty_pairs(self):
+        assert plan_chunks([], lambda i, j: 1, workers=2) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            plan_chunks([(0, 1)], lambda i, j: 1, workers=0)
+        with pytest.raises(ValueError, match="oversubscribe"):
+            plan_chunks([(0, 1)], lambda i, j: 1, workers=1,
+                        oversubscribe=0)
+
+    def test_summary_of_empty_plan(self):
+        summary = chunk_cost_summary([], lambda i, j: 1)
+        assert summary["chunks"] == 0
+        assert summary["imbalance"] == 1.0
+
+
+class TestChunksizeOptions:
+    """The engine's ``chunksize=`` argument: auto, legacy, int."""
+
+    def test_auto_and_legacy_identical_results(self):
+        series = [make_series(20 + 4 * s, s) for s in range(6)]
+        serial = batch_distances(series, measure="cdtw", band=3)
+        for chunksize in (None, "auto", "legacy", 2):
+            result = batch_distances(
+                series, measure="cdtw", band=3, workers=2,
+                chunksize=chunksize,
+            )
+            assert result.distances == serial.distances
+            assert result.cells == serial.cells
+
+    def test_legacy_reaches_default_chunksize(self):
+        tasks = [(0, i) for i in range(1, 20)]
+        chunks = _resolve_chunks(tasks, 2, "legacy", lambda i, j: 1)
+        size = default_chunksize(len(tasks), 2)
+        assert all(len(c) == size for c in chunks[:-1])
+        assert [p for c in chunks for p in c] == tasks
+
+    def test_int_chunksize_fixed(self):
+        tasks = [(0, i) for i in range(1, 8)]
+        chunks = _resolve_chunks(tasks, 2, 3, lambda i, j: 1)
+        assert [len(c) for c in chunks] == [3, 3, 1]
+
+    def test_auto_routes_through_cost_model(self):
+        # one huge pair among tiny ones: auto must isolate it, which a
+        # pair-count heuristic cannot do
+        tasks = [(0, 1), (0, 2), (1, 2), (1, 3)]
+        costs = {(0, 1): 1, (0, 2): 1, (1, 2): 10_000, (1, 3): 1}
+        chunks = _resolve_chunks(
+            tasks, 2, "auto", lambda i, j: costs[(i, j)]
+        )
+        heavy = next(c for c in chunks if (1, 2) in c)
+        assert heavy[-1] == (1, 2)
+
+    def test_invalid_chunksize_rejected(self):
+        with pytest.raises(ValueError, match="chunksize"):
+            _resolve_chunks([(0, 1)], 2, 0, lambda i, j: 1)
+        with pytest.raises(ValueError, match="chunksize"):
+            _resolve_chunks([(0, 1)], 2, "bogus", lambda i, j: 1)
+        series = [make_series(16, s) for s in range(3)]
+        with pytest.raises(ValueError, match="chunksize"):
+            batch_distances(series, workers=2, chunksize="bogus")

@@ -84,6 +84,65 @@ class TestBatchCounterParity:
         )
 
 
+class TestExecutorCounterParity:
+    """The warm-pool path reconciles exactly like the one-shot path."""
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_cold_and_warm_parity(self, start_method):
+        import multiprocessing
+
+        from repro.batch import BatchExecutor
+
+        if start_method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"{start_method} unavailable")
+        series = [make_series(24, s) for s in range(6)]
+        with BatchExecutor(workers=2, cap=None,
+                           start_method=start_method) as exe:
+            for call in ("cold", "warm"):
+                with RunTrace() as trace:
+                    result = batch_distances(
+                        series, measure="cdtw", band=3, executor=exe
+                    )
+                assert trace.counter("dp.cells") == result.cells, call
+                assert trace.counter("dp.calls") == len(result.pairs)
+                # the executor's scheduling counters mirror the pool's
+                assert (
+                    trace.counter("sched.chunks")
+                    == trace.counter("pool.chunks")
+                )
+            assert trace.counter("pool.reused") == 1
+            assert trace.counter("shm.datasets") == 0  # shipped cold
+
+    def test_shipping_counters_recorded(self):
+        from repro.batch import BatchExecutor
+
+        series = [make_series(24, s) for s in range(5)]
+        with RunTrace() as trace:
+            with BatchExecutor(workers=2, cap=None) as exe:
+                batch_distances(series, measure="cdtw", band=3,
+                                executor=exe)
+        assert trace.counter("pool.created") == 1
+        if exe.use_shm:
+            assert trace.counter("shm.datasets") == 1
+            assert trace.counter("shm.bytes") == exe.stats.bytes_shipped
+        assert trace.counter("sched.chunks") == exe.stats.chunks
+        assert trace.counter("sched.steals") == exe.stats.steals
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_executor_backend_parity(self, backend):
+        _numpy_or_skip(backend)
+        from repro.batch import BatchExecutor
+
+        series = [make_series(24, s) for s in range(6)]
+        with BatchExecutor(workers=2, cap=None) as exe:
+            with RunTrace() as trace:
+                result = batch_distances(
+                    series, measure="cdtw", band=3, backend=backend,
+                    executor=exe,
+                )
+        assert trace.counter("dp.cells") == result.cells
+
+
 class TestSingleCallParity:
     def test_fastdtw_cells(self):
         x, y = make_series(128, 1), make_series(128, 2)

@@ -75,8 +75,10 @@ class TestKernels:
         args = build_parser().parse_args(["kernels"])
         assert args.window == 0.1
         assert args.workers == 2
-        assert args.out == "BENCH_kernels.json"
+        assert args.out is None  # resolved per-mode in cmd_kernels
         assert args.smoke is False
+        assert args.warm is False
+        assert args.min_warm_speedup is None
 
     def test_smoke_run_writes_report(self, capsys, tmp_path):
         out = tmp_path / "bench.json"
@@ -104,6 +106,42 @@ class TestKernels:
     def test_bad_workload_exits_2(self, capsys):
         assert main(["kernels", "--smoke", "--count", "0", "--out", "-"]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_warm_smoke_writes_batch_report(self, capsys, tmp_path):
+        out = tmp_path / "bench_batch.json"
+        assert main([
+            "kernels", "--warm", "--smoke", "--workers", "2",
+            "--out", str(out),
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "python_workers_warm" in stdout
+        assert "bit-identical" in stdout
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["cpu_count"] >= 1
+        assert report["parity"]["distances_identical"] is True
+        assert report["parity"]["cells_identical"] is True
+        for label in (
+            "python_serial", "python_workers_cold", "python_workers_warm",
+            "numpy_serial", "numpy_workers_cold", "numpy_workers_warm",
+        ):
+            assert label in report["timings"]
+
+    def test_warm_default_out_is_batch_json(self, capsys, tmp_path,
+                                            monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["kernels", "--warm", "--smoke", "--workers", "2"]) == 0
+        assert (tmp_path / "BENCH_batch.json").exists()
+        assert not (tmp_path / "BENCH_kernels.json").exists()
+
+    def test_warm_speedup_gate_fails_when_unmet(self, capsys):
+        # an absurd threshold no machine meets: the gate must trip
+        assert main([
+            "kernels", "--warm", "--smoke", "--workers", "2",
+            "--out", "-", "--min-warm-speedup", "1000",
+        ]) == 1
+        assert "below required" in capsys.readouterr().err
 
 
 class TestAdvise:
