@@ -41,6 +41,12 @@ from .core import (
     windowed_dtw,
 )
 from .obs import RunTrace, TraceSnapshot, active_trace
+from .runtime import (
+    Runtime,
+    default_runtime,
+    set_default_runtime,
+    use_runtime,
+)
 
 __version__ = "1.0.0"
 
@@ -51,6 +57,7 @@ __all__ = [
     "FastDtwResult",
     "KernelSet",
     "RunTrace",
+    "Runtime",
     "TraceSnapshot",
     "WarpingPath",
     "Window",
@@ -60,6 +67,7 @@ __all__ = [
     "batch_distances",
     "cdtw",
     "default_backend",
+    "default_runtime",
     "dtw",
     "euclidean",
     "fastdtw",
@@ -67,7 +75,9 @@ __all__ = [
     "halve",
     "paa",
     "set_default_backend",
+    "set_default_runtime",
     "use_backend",
+    "use_runtime",
     "windowed_dtw",
     "__version__",
 ]

@@ -29,6 +29,7 @@ from ..core.validate import validate_series
 from ..lowerbounds.cascade import LowerBoundCascade
 from ..preprocess.normalize import znorm
 from ..preprocess.sliding import sliding_windows
+from ..runtime import Runtime
 
 
 @dataclass(frozen=True)
@@ -46,8 +47,11 @@ class Discord:
     windows:
         Number of candidate windows considered.
     distance_calls:
-        Cascade distance invocations performed (before its own
-        pruning); the naive count is ``windows * (windows - 1)``.
+        Distance computations requested.  Under a serial runtime:
+        cascade invocations before its own pruning (naive count
+        ``windows * (windows - 1)``).  Under a parallel runtime: the
+        admissible *unordered* pairs actually computed -- cDTW is
+        symmetric, so each pair is evaluated once and mirrored.
     """
 
     start: int
@@ -64,6 +68,7 @@ def find_discord(
     step: int = 1,
     exclusion: Optional[int] = None,
     normalize: bool = True,
+    runtime: Optional[Runtime] = None,
 ) -> Discord:
     """Find the top discord of ``stream`` under banded cDTW.
 
@@ -83,6 +88,16 @@ def find_discord(
         exclusion`` are ignored (default: ``window``, i.e. no overlap).
     normalize:
         Z-normalise windows (the meaningful setting).
+    runtime:
+        Execution context, per :mod:`repro.runtime` (``None`` = the
+        process default).  The serial context runs the
+        doubly-abandoning scan above; a parallel one computes every
+        admissible pair's exact distance as one :mod:`repro.batch`
+        job and replays the identical selection.  Both abandonings
+        are lossless (they only discard provable losers), so
+        ``start``, ``score`` and ``neighbor_start`` are bit-identical
+        in every context; only the ``distance_calls`` provenance
+        differs (see :class:`Discord`).
 
     Returns
     -------
@@ -90,6 +105,7 @@ def find_discord(
         The window with the provably largest nearest-neighbour
         distance (ties resolve to the earliest offset).
     """
+    rt = Runtime.resolve(runtime)
     if window < 2:
         raise ValueError("window must be at least 2")
     if step < 1:
@@ -117,27 +133,45 @@ def find_discord(
     best_neighbor = -1
     calls = 0
 
-    for i in range(k):
-        cascade = LowerBoundCascade(series[i], band)
-        nn = inf
-        nn_idx = -1
-        for j in range(k):
-            if abs(starts[i] - starts[j]) < exclusion:
-                continue
-            calls += 1
-            d = cascade.distance(series[j], best_so_far=nn)
-            if d < nn:
-                nn, nn_idx = d, j
-            if nn < best_score:
-                # outer early abandoning: this candidate's neighbour
-                # is already closer than the best discord's -- it can
-                # only get closer, so it cannot win
-                break
-        else:
+    if rt.parallel:
+        dist, calls = _pairwise_distances(series, starts, exclusion,
+                                          band, rt)
+        for i in range(k):
+            nn = inf
+            nn_idx = -1
+            for j in range(k):
+                if abs(starts[i] - starts[j]) < exclusion:
+                    continue
+                d = dist[(i, j) if i < j else (j, i)]
+                if d < nn:
+                    nn, nn_idx = d, j
             if nn_idx >= 0 and nn > best_score:
                 best_score = nn
                 best_idx = i
                 best_neighbor = nn_idx
+    else:
+        for i in range(k):
+            cascade = LowerBoundCascade(series[i], band, runtime=rt)
+            nn = inf
+            nn_idx = -1
+            for j in range(k):
+                if abs(starts[i] - starts[j]) < exclusion:
+                    continue
+                calls += 1
+                d = cascade.distance(series[j], best_so_far=nn)
+                if d < nn:
+                    nn, nn_idx = d, j
+                if nn < best_score:
+                    # outer early abandoning: this candidate's
+                    # neighbour is already closer than the best
+                    # discord's -- it can only get closer, so it
+                    # cannot win
+                    break
+            else:
+                if nn_idx >= 0 and nn > best_score:
+                    best_score = nn
+                    best_idx = i
+                    best_neighbor = nn_idx
 
     if best_idx < 0:
         raise ValueError("no discord found (no valid neighbour pairs)")
@@ -148,3 +182,27 @@ def find_discord(
         windows=k,
         distance_calls=calls,
     )
+
+
+def _pairwise_distances(series, starts, exclusion, band, rt):
+    """Exact cDTW for every admissible unordered window pair, batched.
+
+    cDTW with a symmetric local cost is symmetric under argument
+    transposition (the DP recurrence transposes exactly), so each
+    unordered pair is computed once and serves both scan directions.
+    """
+    from ..batch.engine import batch_distances
+
+    k = len(series)
+    pairs = [
+        (i, j)
+        for i in range(k)
+        for j in range(i + 1, k)
+        if abs(starts[i] - starts[j]) >= exclusion
+    ]
+    if not pairs:
+        return {}, 0
+    result = batch_distances(
+        series, pairs=pairs, measure="cdtw", band=band, runtime=rt,
+    )
+    return dict(zip(pairs, result.distances)), len(pairs)

@@ -46,6 +46,7 @@ from ..core.cost import CostLike
 from ..core.measures import MEASURES, measure_fn, split_result
 from ..lowerbounds.lb_keogh import lb_keogh
 from ..obs import trace as _obs
+from ..runtime import Runtime
 from .cache import CacheStats, SeriesCache
 
 Pair = Tuple[int, int]
@@ -475,11 +476,12 @@ def batch_distances(
     cost: CostLike = "squared",
     normalize: bool = False,
     return_paths: bool = False,
-    workers: int = 1,
+    workers: Optional[int] = None,
     chunksize=None,
     start_method: Optional[str] = None,
     backend: Optional[str] = None,
     executor=None,
+    runtime: Optional[Runtime] = None,
 ) -> BatchResult:
     """Compute many independent pairwise distances as one batch.
 
@@ -499,52 +501,38 @@ def batch_distances(
     return_paths:
         Also return warping paths (exact measures recover them;
         Euclidean entries are ``None``).
-    workers:
-        Worker processes.  ``1`` (default) computes in-process --
-        the exact serial computation, no pool.
-    chunksize:
-        ``"auto"``/``None`` (default) plans chunks of ~equal
-        predicted DP-cell cost via :mod:`repro.batch.schedule`;
-        ``"legacy"`` keeps the original pair-count heuristic
-        (:func:`default_chunksize`); an ``int`` fixes the pair count
-        per chunk.  Never affects results, only load balance.
+    workers, chunksize, backend, executor:
+        Per-call overrides of the corresponding
+        :class:`repro.runtime.Runtime` fields.  The engine *is* the
+        execution layer, so these remain its native vocabulary (no
+        deprecation here, unlike the consumer entry points); ``None``
+        means "defer to ``runtime=`` / the process default".
     start_method:
         ``multiprocessing`` start method (default: ``fork`` where
-        available, else ``spawn``).  Ignored when ``executor`` is
-        given (the executor owns its pool).
-    backend:
-        Kernel backend for the exact DP measures, resolved via
-        :func:`repro.core.kernels.resolve_backend` (``None`` = the
-        process default).  ``"numpy"`` keeps distances and cells
-        bit-identical while collapsing distance-only dtw/cdtw chunks
-        into stacked kernel calls; it composes with ``workers=N``
-        (each pool worker runs the vectorised chunks).
-    executor:
-        A :class:`repro.batch.executor.BatchExecutor` (or
-        ``"default"`` for the process-wide one) to run the fan-out on
-        a *persistent* warm pool with ship-once shared-memory
-        datasets -- the repeated-use fast path.  ``None`` (default)
-        keeps the one-shot pool for ``workers > 1`` and the exact
-        in-process serial computation for ``workers == 1``.  When an
-        executor is given it supplies the pool, so its worker count
-        wins over ``workers``.
+        available, else ``spawn``).  Ignored when an executor is in
+        play (the executor owns its pool).
+    runtime:
+        The base execution context (see :mod:`repro.runtime`).
+        ``None`` uses the process default
+        (:func:`repro.runtime.default_runtime`); the built-in default
+        is the in-process serial pure-python computation.
 
     Returns
     -------
     BatchResult
         Distances/cells in input pair order; identical values for any
-        ``workers`` -- the serial-equivalence suite enforces this.
+        worker count -- the serial-equivalence suite enforces this.
     """
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
+    rt = Runtime.resolve(
+        runtime, workers=workers, backend=backend, executor=executor,
+        chunksize=chunksize,
+    )
     if not series:
         raise ValueError("need at least one series")
-    from ..core.kernels import resolve_backend
-
     spec = BatchSpec(
         measure=measure, window=window, band=band, radius=radius,
         cost=cost, normalize=normalize, return_paths=return_paths,
-        backend=resolve_backend(backend),
+        backend=rt.backend_name,
     )
     task_list = _validated_pairs(pairs, len(series))
     series_t = tuple(tuple(float(v) for v in s) for s in series)
@@ -553,7 +541,7 @@ def batch_distances(
         trace.incr("batch.jobs")
         trace.incr("batch.pairs", len(task_list))
 
-    if (workers == 1 and executor is None) or len(task_list) == 0:
+    if not rt.parallel or len(task_list) == 0:
         # in-process: the per-pair hooks report straight into the
         # parent's active trace, no snapshot round-trip needed
         context = _WorkerContext(series_t, spec=spec)
@@ -566,14 +554,13 @@ def batch_distances(
         stats = context.cache.stats()
         effective_workers = 1
     else:
-        from .executor import resolve_executor
         from .schedule import distance_pair_cost
 
-        exe = resolve_executor(executor)
-        effective = exe.workers if exe is not None else workers
+        exe = rt.resolved_executor()
+        effective = exe.workers if exe is not None else rt.workers
         lengths = tuple(len(s) for s in series_t)
         chunks = _resolve_chunks(
-            task_list, effective, chunksize,
+            task_list, effective, rt.chunksize,
             distance_pair_cost(
                 lengths, spec.measure, window=spec.window,
                 band=spec.band, radius=spec.radius,
@@ -586,19 +573,18 @@ def batch_distances(
             )
         else:
             chunk_results = _fan_out(
-                chunks, workers,
+                chunks, rt.workers,
                 _init_distance_worker,
                 (series_t, spec, trace is not None),
                 _run_distance_chunk, start_method,
             )
-        workers = effective
         outcomes = [item for part, _, _ in chunk_results for item in part]
         stats = CacheStats()
         for _, delta, snapshot in chunk_results:
             stats = stats + delta
             if trace is not None and snapshot is not None:
                 trace.merge(snapshot)
-        effective_workers = workers
+        effective_workers = effective
 
     if trace is not None:
         _record_cache_stats(trace, stats)
@@ -621,11 +607,12 @@ def batch_lb_keogh(
     pairs: Optional[Iterable[Pair]] = None,
     band: int = 0,
     squared: bool = True,
-    workers: int = 1,
+    workers: Optional[int] = None,
     chunksize=None,
     start_method: Optional[str] = None,
     backend: Optional[str] = None,
     executor=None,
+    runtime: Optional[Runtime] = None,
 ) -> BatchResult:
     """LB_Keogh lower bounds for many ``(query, candidate)`` pairs.
 
@@ -644,20 +631,22 @@ def batch_lb_keogh(
     :class:`repro.batch.executor.BatchExecutor` (or ``"default"``)
     exactly as in :func:`batch_distances`; a warm executor serves
     repeated LB batches over one dataset from resident shared memory
-    with per-worker envelopes already built.
+    with per-worker envelopes already built.  ``runtime=`` supplies
+    the base execution context exactly as in :func:`batch_distances`
+    (the per-call knobs override its fields).
 
     Returns a :class:`BatchResult` whose distances are the bounds
     (``cells`` is 0: no DP lattice is touched).
     """
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
+    rt = Runtime.resolve(
+        runtime, workers=workers, backend=backend, executor=executor,
+        chunksize=chunksize,
+    )
     if band < 0:
         raise ValueError("band must be non-negative")
     if not series:
         raise ValueError("need at least one series")
-    from ..core.kernels import resolve_backend
-
-    lb_backend = resolve_backend(backend)
+    lb_backend = rt.backend_name
     task_list = _validated_pairs(pairs, len(series))
     series_t = tuple(tuple(float(v) for v in s) for s in series)
     trace = _obs.active_trace()
@@ -665,7 +654,7 @@ def batch_lb_keogh(
         trace.incr("batch.jobs")
         trace.incr("batch.pairs", len(task_list))
 
-    if (workers == 1 and executor is None) or len(task_list) == 0:
+    if not rt.parallel or len(task_list) == 0:
         context = _WorkerContext(
             series_t, lb_band=band, lb_squared=squared,
             lb_backend=lb_backend,
@@ -677,14 +666,13 @@ def batch_lb_keogh(
         stats = context.cache.stats()
         effective_workers = 1
     else:
-        from .executor import resolve_executor
         from .schedule import lb_pair_cost
 
-        exe = resolve_executor(executor)
-        effective = exe.workers if exe is not None else workers
+        exe = rt.resolved_executor()
+        effective = exe.workers if exe is not None else rt.workers
         lengths = tuple(len(s) for s in series_t)
         chunks = _resolve_chunks(
-            task_list, effective, chunksize, lb_pair_cost(lengths),
+            task_list, effective, rt.chunksize, lb_pair_cost(lengths),
         )
         if exe is not None:
             chunk_results = exe.run_job(
@@ -693,19 +681,18 @@ def batch_lb_keogh(
             )
         else:
             chunk_results = _fan_out(
-                chunks, workers,
+                chunks, rt.workers,
                 _init_lb_worker,
                 (series_t, band, squared, lb_backend, trace is not None),
                 _run_lb_chunk, start_method,
             )
-        workers = effective
         bounds = [item for part, _, _ in chunk_results for item in part]
         stats = CacheStats()
         for _, delta, snapshot in chunk_results:
             stats = stats + delta
             if trace is not None and snapshot is not None:
                 trace.merge(snapshot)
-        effective_workers = workers
+        effective_workers = effective
 
     if trace is not None:
         _record_cache_stats(trace, stats)

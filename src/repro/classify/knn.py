@@ -9,11 +9,13 @@ experiments can report work as well as accuracy.
 The measure registry is the canonical
 :data:`repro.core.measures.MEASURES` tuple (shared with
 :func:`repro.core.matrix.distance_matrix`), so the two can never
-drift again.  Classification scans accept ``workers=N`` to fan the
-per-candidate distance calls out over the :mod:`repro.batch` engine;
-``workers=1`` (default) is the exact serial scan, and the parallel
-path returns identical labels, distances and cell counts (the serial
-tie-break -- first candidate wins on equal distances -- is preserved).
+drift again.  Classifiers take their execution context -- kernel
+backend, worker count, executor -- from a single
+:class:`repro.runtime.Runtime` (``runtime=`` at construction, else
+the process default); a parallel context fans the per-candidate
+distance calls out over the :mod:`repro.batch` engine and returns
+identical labels, distances and cell counts (the serial tie-break --
+first candidate wins on equal distances -- is preserved).
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ from ..core.fastdtw import fastdtw
 from ..core.fastdtw_reference import fastdtw_reference
 from ..core.measures import MEASURES
 from ..obs import trace as _obs
+from ..runtime import Runtime, _resolve_legacy
 from ..search.nn_search import nearest_neighbor
 
 _FASTDTW_MEASURES = ("fastdtw", "fastdtw_reference")
@@ -68,9 +71,7 @@ class DistanceSpec:
                 f"unknown measure {self.measure!r}; pick from {MEASURES}"
             )
         if self.backend is not None:
-            from ..core.kernels import resolve_backend
-
-            resolve_backend(self.backend)
+            Runtime(backend=self.backend)  # validates the name
         if self.measure == "cdtw":
             if self.window is None or not 0.0 <= self.window <= 1.0:
                 raise ValueError("cdtw needs window= in [0, 1]")
@@ -104,17 +105,21 @@ class OneNearestNeighbor:
     ----------
     spec:
         The distance configuration.
-    workers:
-        Worker processes for the per-candidate distance scans (1 =
-        serial).  The ``use_lower_bounds`` cascade is inherently
-        sequential (its pruning threads a best-so-far through the
-        scan) and always runs serially.
-    executor:
-        A :class:`repro.batch.BatchExecutor` (or ``"default"``) to run
-        the scans on a persistent warm pool -- the right choice when
-        one classifier answers many queries over one training set
-        (pool startup and dataset shipping amortise across calls).
-        Results are identical either way.
+    runtime:
+        Execution context, per :mod:`repro.runtime`, captured at
+        construction (``None`` = the process default at construction
+        time).  A parallel context -- ``workers > 1`` or a persistent
+        executor -- fans the per-candidate distance scans out over the
+        :mod:`repro.batch` engine with identical results; an executor
+        is the right choice when one classifier answers many queries
+        over one training set (pool startup and dataset shipping
+        amortise across calls).  ``spec.backend`` overrides the
+        runtime's backend when set.  The ``use_lower_bounds`` cascade
+        is inherently sequential (its pruning threads a best-so-far
+        through the scan) and always runs serially.
+    workers, executor:
+        Deprecated per-knob overrides of the corresponding ``runtime``
+        fields (each emits a :class:`DeprecationWarning`).
 
     Notes
     -----
@@ -123,13 +128,16 @@ class OneNearestNeighbor:
     indexing, both measures get the same scan).
     """
 
-    def __init__(self, spec: DistanceSpec, workers: int = 1,
-                 executor=None):
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
+    def __init__(self, spec: DistanceSpec, workers: Optional[int] = None,
+                 executor=None, runtime: Optional[Runtime] = None):
+        rt = _resolve_legacy(
+            type(self).__name__, runtime, workers=workers,
+            executor=executor,
+        )
         self.spec = spec
-        self.workers = workers
-        self.executor = executor
+        self.runtime = rt.with_backend(spec.backend)
+        self.workers = rt.workers
+        self.executor = rt.executor
         self._train: List[List[float]] = []
         self._labels: List[object] = []
         self.cells_evaluated = 0
@@ -192,18 +200,19 @@ class OneNearestNeighbor:
     # -- internal ---------------------------------------------------------
 
     def _use_batch_engine(self) -> bool:
-        return (self.workers > 1 or self.executor is not None) and not (
+        return self.runtime.parallel and not (
             self.spec.measure == "cdtw" and self.spec.use_lower_bounds
         )
 
     def _nearest(self, query, candidates):
         if self._use_batch_engine():
             idx, dist, cells = _nearest_batched(
-                self.spec, query, candidates, self.workers,
-                executor=self.executor,
+                self.spec, query, candidates, self.runtime,
             )
         else:
-            idx, dist, cells = _nearest_impl(self.spec, query, candidates)
+            idx, dist, cells = _nearest_impl(
+                self.spec, query, candidates, self.runtime,
+            )
         return idx, dist, cells
 
     def _predict_batched(self, queries) -> List[object]:
@@ -218,8 +227,8 @@ class OneNearestNeighbor:
             for ti in range(len(self._train))
         ]
         result = batch_distances(
-            series, pairs=pairs, workers=self.workers,
-            executor=self.executor, **_spec_kwargs(self.spec),
+            series, pairs=pairs, runtime=self.runtime,
+            **_spec_kwargs(self.spec),
         )
         self.cells_evaluated += result.cells
         t = len(self._train)
@@ -241,20 +250,26 @@ class KNearestNeighbors:
     Note: with ``k > 1`` every candidate's distance is needed, so the
     lossless best-so-far pruning of the 1-NN cascade does not apply;
     ``use_lower_bounds`` is therefore ignored for ``k > 1``.  The
-    full scans parallelise cleanly: pass ``workers=N``, optionally
-    with ``executor=`` for a persistent warm pool across queries.
+    full scans parallelise cleanly: pass a parallel ``runtime=``
+    (workers and/or a persistent executor for a warm pool across
+    queries).  ``workers=``/``executor=`` remain as deprecated
+    per-knob overrides.
     """
 
-    def __init__(self, spec: DistanceSpec, k: int = 3, workers: int = 1,
-                 executor=None):
+    def __init__(self, spec: DistanceSpec, k: int = 3,
+                 workers: Optional[int] = None, executor=None,
+                 runtime: Optional[Runtime] = None):
         if k < 1:
             raise ValueError("k must be positive")
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
+        rt = _resolve_legacy(
+            type(self).__name__, runtime, workers=workers,
+            executor=executor,
+        )
         self.spec = spec
         self.k = k
-        self.workers = workers
-        self.executor = executor
+        self.runtime = rt.with_backend(spec.backend)
+        self.workers = rt.workers
+        self.executor = rt.executor
         self._train: List[List[float]] = []
         self._labels: List[object] = []
 
@@ -277,21 +292,21 @@ class KNearestNeighbors:
         if not self._train:
             raise ValueError("classifier is not fitted")
         _obs.incr("knn.predictions")
-        if self.workers > 1 or self.executor is not None:
+        if self.runtime.parallel:
             from ..batch.engine import batch_distances
 
             series = [list(query)] + self._train
             pairs = [(0, i + 1) for i in range(len(self._train))]
             result = batch_distances(
-                series, pairs=pairs, workers=self.workers,
-                executor=self.executor, **_spec_kwargs(self.spec),
+                series, pairs=pairs, runtime=self.runtime,
+                **_spec_kwargs(self.spec),
             )
             distances = [
                 (d, i) for i, d in enumerate(result.distances)
             ]
         else:
             distances = [
-                (_distance(self.spec, query, cand), i)
+                (_distance(self.spec, query, cand, self.runtime), i)
                 for i, cand in enumerate(self._train)
             ]
         distances.sort()
@@ -328,8 +343,13 @@ class KNearestNeighbors:
 
 
 def _spec_kwargs(spec: DistanceSpec) -> dict:
-    """Batch-engine keyword arguments equivalent to ``spec``."""
-    kwargs: dict = {"measure": spec.measure, "backend": spec.backend}
+    """Batch-engine keyword arguments equivalent to ``spec``.
+
+    The backend is *not* included: it rides on the classifier's
+    :class:`~repro.runtime.Runtime` (where ``spec.backend``, when
+    set, was folded in at construction).
+    """
+    kwargs: dict = {"measure": spec.measure}
     if spec.measure == "cdtw":
         kwargs["window"] = spec.window
     if spec.measure in _FASTDTW_MEASURES:
@@ -337,8 +357,8 @@ def _spec_kwargs(spec: DistanceSpec) -> dict:
     return kwargs
 
 
-def _kernel_fn(spec: DistanceSpec):
-    """Non-default kernel dispatch for ``spec``, or ``None``.
+def _kernel_fn(spec: DistanceSpec, rt: Runtime):
+    """Non-default kernel dispatch for ``spec`` under ``rt``, or ``None``.
 
     ``None`` means "use the serial reference implementations below",
     which is the pure-Python path every spec took before the kernel
@@ -347,19 +367,17 @@ def _kernel_fn(spec: DistanceSpec):
     """
     if spec.measure not in ("dtw", "cdtw"):
         return None
-    from ..core.kernels import resolve_backend
-
-    if resolve_backend(spec.backend) == "python":
+    rt = rt.with_backend(spec.backend)
+    name = rt.backend_name
+    if name == "python":
         return None
     from ..core.measures import measure_fn
 
-    return measure_fn(
-        spec.measure, window=spec.window, backend=spec.backend
-    )
+    return measure_fn(spec.measure, window=spec.window, backend=name)
 
 
-def _distance(spec: DistanceSpec, x, y) -> float:
-    fn = _kernel_fn(spec)
+def _distance(spec: DistanceSpec, x, y, rt: Runtime) -> float:
+    fn = _kernel_fn(spec, rt)
     if fn is not None:
         return fn(x, y).distance
     if spec.measure == "euclidean":
@@ -373,30 +391,29 @@ def _distance(spec: DistanceSpec, x, y) -> float:
     return fastdtw(x, y, radius=spec.radius).distance
 
 
-def _nearest_batched(spec: DistanceSpec, query, candidates, workers,
-                     executor=None):
+def _nearest_batched(spec: DistanceSpec, query, candidates, rt: Runtime):
     """Batched equivalent of :func:`_nearest_impl` (same tie-break)."""
     from ..batch.engine import argmin_first, batch_distances
 
     series = [list(query)] + [list(c) for c in candidates]
     pairs = [(0, i + 1) for i in range(len(candidates))]
     result = batch_distances(
-        series, pairs=pairs, workers=workers, executor=executor,
+        series, pairs=pairs, runtime=rt.with_backend(spec.backend),
         **_spec_kwargs(spec)
     )
     idx, best = argmin_first(result.distances)
     return idx, best, result.cells
 
 
-def _nearest_impl(spec: DistanceSpec, query, candidates):
+def _nearest_impl(spec: DistanceSpec, query, candidates, rt: Runtime):
     """Index, distance and DP cells of the nearest candidate."""
     if spec.measure == "cdtw" and spec.use_lower_bounds:
         res = nearest_neighbor(
             query, candidates, strategy="cdtw+lb", window=spec.window,
-            backend=spec.backend,
+            runtime=rt.with_backend(spec.backend),
         )
         return res.index, res.distance, res.cells
-    kernel_fn = _kernel_fn(spec)
+    kernel_fn = _kernel_fn(spec, rt)
     best_idx, best, cells = 0, inf, 0
     for i, cand in enumerate(candidates):
         if kernel_fn is not None:

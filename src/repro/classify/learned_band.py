@@ -19,12 +19,13 @@ adaptive.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.dtw import dtw
 from ..core.engine import DtwResult, dp_over_window
 from ..core.validate import validate_series
 from ..core.window import Window
+from ..runtime import Runtime
 
 
 def learn_band_radii(
@@ -33,6 +34,7 @@ def learn_band_radii(
     slack: int = 1,
     smooth: int = 2,
     max_pairs_per_class: int = 20,
+    runtime: Optional[Runtime] = None,
 ) -> List[int]:
     """Per-row band radii learned from same-class Full-DTW alignments.
 
@@ -52,6 +54,13 @@ def learn_band_radii(
     max_pairs_per_class:
         Cap on alignments per class (deterministic: first pairs in
         order), bounding the O(N^2)-per-alignment training cost.
+    runtime:
+        Execution context, per :mod:`repro.runtime` (``None`` = the
+        process default).  A parallel context computes the training
+        alignments as one :mod:`repro.batch` job; every backend and
+        worker count recovers the exact same warping paths (the DP
+        tie-break is backend-invariant), so the learned radii are
+        identical in every context.
 
     Returns
     -------
@@ -69,6 +78,7 @@ def learn_band_radii(
         raise ValueError("labels must match series")
     if slack < 0 or smooth < 0:
         raise ValueError("slack and smooth must be non-negative")
+    rt = Runtime.resolve(runtime)
     n = lengths.pop()
 
     # group indices by class (or one group for unlabelled data)
@@ -77,29 +87,29 @@ def learn_band_radii(
         key = labels[idx] if labels is not None else None
         groups.setdefault(key, []).append(idx)
 
-    radii = [0] * n
-    aligned_any = False
+    # the capped, deterministic pair order (first pairs per class)
+    pair_indices: List[Tuple[int, int]] = []
     for members in groups.values():
         pairs = 0
         for a in range(len(members)):
             for b in range(a + 1, len(members)):
                 if pairs >= max_pairs_per_class:
                     break
-                x = series[members[a]]
-                y = series[members[b]]
-                path = dtw(x, y, return_path=True).path
-                for i, j in path:
-                    dev = abs(j - i)
-                    if dev > radii[i]:
-                        radii[i] = dev
+                pair_indices.append((members[a], members[b]))
                 pairs += 1
             if pairs >= max_pairs_per_class:
                 break
-        aligned_any = aligned_any or pairs > 0
-    if not aligned_any:
+    if not pair_indices:
         raise ValueError(
             "no same-class pairs to align; provide more series per class"
         )
+
+    radii = [0] * n
+    for path in _alignment_paths(series, pair_indices, rt):
+        for i, j in path:
+            dev = abs(j - i)
+            if dev > radii[i]:
+                radii[i] = dev
 
     # sliding-maximum smoothing plus slack
     if smooth:
@@ -110,6 +120,43 @@ def learn_band_radii(
     else:
         smoothed = list(radii)
     return [r + slack for r in smoothed]
+
+
+def _alignment_paths(series, pair_indices, rt: Runtime):
+    """Full-DTW warping paths for ``pair_indices``, in order.
+
+    The serial context aligns pair by pair on the runtime's kernel
+    backend; a parallel one computes all alignments as a single
+    :mod:`repro.batch` job.  Both recover identical paths (the
+    diagonal-first backtracking tie-break is backend-invariant).
+    """
+    if rt.parallel:
+        from ..batch.engine import batch_distances
+
+        result = batch_distances(
+            [list(s) for s in series],
+            pairs=pair_indices,
+            measure="dtw",
+            return_paths=True,
+            runtime=rt,
+        )
+        return list(result.paths)
+    kernels = rt.kernels()
+    if kernels.name == "python":
+        return [
+            dtw(series[a], series[b], return_path=True).path
+            for a, b in pair_indices
+        ]
+    from ..core.kernels import full_window
+
+    return [
+        kernels.dtw(
+            series[a], series[b],
+            full_window(len(series[a]), len(series[b])),
+            return_path=True,
+        ).path
+        for a, b in pair_indices
+    ]
 
 
 def window_from_radii(radii: Sequence[int], m: Optional[int] = None) -> Window:
@@ -142,17 +189,30 @@ def learned_band_dtw(
     cost: str = "squared",
     return_path: bool = False,
     abandon_above: Optional[float] = None,
+    runtime: Optional[Runtime] = None,
 ) -> DtwResult:
     """Exact DTW constrained to a learned band.
 
     ``radii`` must have been learned for series of ``len(x)`` rows.
+    Only the runtime's kernel backend applies (one DP is not worth a
+    fan-out); the result is bit-identical on every backend.
     """
     if len(x) != len(radii):
         raise ValueError(
             f"learned radii are for length {len(radii)}, got {len(x)}"
         )
+    rt = Runtime.resolve(runtime)
     window = window_from_radii(radii, len(y))
-    return dp_over_window(
+    kernels = rt.kernels()
+    if kernels.name == "python":
+        return dp_over_window(
+            x, y, window, cost=cost, return_path=return_path,
+            abandon_above=abandon_above,
+        )
+    from ..core.validate import validate_pair
+
+    validate_pair(x, y)
+    return kernels.dtw(
         x, y, window, cost=cost, return_path=return_path,
         abandon_above=abandon_above,
     )

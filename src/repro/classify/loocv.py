@@ -11,8 +11,9 @@ that procedure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from ..runtime import Runtime, _resolve_legacy
 from .knn import DistanceSpec, OneNearestNeighbor
 
 
@@ -20,27 +21,31 @@ def loocv_error(
     series: Sequence[Sequence[float]],
     labels: Sequence[object],
     spec: DistanceSpec,
-    workers: int = 1,
+    workers: Optional[int] = None,
     executor=None,
+    runtime: Optional[Runtime] = None,
 ) -> float:
     """Leave-one-out 1-NN error of ``spec`` on a labelled dataset.
 
     Each series is classified against all the others; the returned
-    value is the fraction misclassified.  ``workers`` parallelises
-    each leave-one-out scan via the :mod:`repro.batch` engine (the
-    error is identical for any worker count).  ``executor=`` runs
-    those scans on a persistent warm pool -- LOOCV issues one scan
-    per series over the same dataset, the textbook repeated-use
-    shape, so a shared executor amortises pool startup and dataset
-    shipping across all of them.
+    value is the fraction misclassified.  A parallel ``runtime``
+    fans each leave-one-out scan out over the :mod:`repro.batch`
+    engine (the error is identical for any execution context); a
+    runtime carrying a persistent executor runs those scans on a warm
+    pool -- LOOCV issues one scan per series over the same dataset,
+    the textbook repeated-use shape, so a shared executor amortises
+    pool startup and dataset shipping across all of them.
+    ``workers=``/``executor=`` are deprecated per-knob overrides of
+    the corresponding runtime fields.
     """
+    rt = _resolve_legacy(
+        "loocv_error", runtime, workers=workers, executor=executor
+    )
     if len(series) != len(labels):
         raise ValueError("series and labels must have equal length")
     if len(series) < 2:
         raise ValueError("need at least two series for LOOCV")
-    clf = OneNearestNeighbor(
-        spec, workers=workers, executor=executor
-    ).fit(series, labels)
+    clf = OneNearestNeighbor(spec, runtime=rt).fit(series, labels)
     wrong = 0
     for i, (s, lab) in enumerate(zip(series, labels)):
         if clf.predict_one(s, exclude=i) != lab:
@@ -68,8 +73,9 @@ def best_window_search(
     labels: Sequence[object],
     windows: Sequence[float] = tuple(w / 100 for w in range(0, 21)),
     use_lower_bounds: bool = True,
-    workers: int = 1,
+    workers: Optional[int] = None,
     executor=None,
+    runtime: Optional[Runtime] = None,
 ) -> WindowSearchResult:
     """Brute-force the LOOCV-optimal cDTW window.
 
@@ -82,19 +88,25 @@ def best_window_search(
         range Fig. 2a shows almost all optima fall in).
     use_lower_bounds:
         Accelerate each LOOCV with the lossless LB cascade (the
-        cascade is sequential, so it ignores ``workers``).
-    workers:
-        Worker processes per LOOCV scan (see :func:`loocv_error`).
-    executor:
-        Persistent :class:`repro.batch.BatchExecutor` shared across
-        every window's LOOCV (the dataset ships once for the whole
-        search; ignored when ``use_lower_bounds`` forces the serial
-        cascade).
+        cascade is sequential, so it ignores the runtime's workers).
+    runtime:
+        Execution context shared by every window's LOOCV, per
+        :mod:`repro.runtime` (``None`` = the process default).  A
+        runtime carrying a persistent executor ships the dataset once
+        for the whole search; parallelism is ignored when
+        ``use_lower_bounds`` forces the serial cascade.
+    workers, executor:
+        Deprecated per-knob overrides of the corresponding ``runtime``
+        fields (each emits a :class:`DeprecationWarning`).
 
     Returns
     -------
     WindowSearchResult
     """
+    rt = _resolve_legacy(
+        "best_window_search", runtime, workers=workers,
+        executor=executor,
+    )
     if not windows:
         raise ValueError("no candidate windows")
     errors: List[Tuple[float, float]] = []
@@ -103,9 +115,7 @@ def best_window_search(
         spec = DistanceSpec(
             "cdtw", window=w, use_lower_bounds=use_lower_bounds
         )
-        e = loocv_error(
-            series, labels, spec, workers=workers, executor=executor
-        )
+        e = loocv_error(series, labels, spec, runtime=rt)
         errors.append((w, e))
         if best_e is None or e < best_e or (e == best_e and w < best_w):
             best_w, best_e = w, e

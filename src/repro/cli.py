@@ -9,6 +9,7 @@ Usage::
     python -m repro advise --n 945 --warping 0.04   # Table 1 verdict
     python -m repro batch --workers 4         # batch engine demo
     python -m repro trace --workload fastdtw  # instrumented run -> JSON
+    python -m repro runtime --workers 4       # resolved execution context
 
 Each experiment id matches DESIGN.md §3 and the module registry in
 :mod:`repro.experiments`.
@@ -149,6 +150,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--warping", type=float, required=True,
         help="natural warping amount W as a fraction of N (e.g. 0.04)",
     )
+
+    runtime = sub.add_parser(
+        "runtime",
+        help="print the resolved effective Runtime as JSON",
+    )
+    runtime.add_argument("--workers", type=int, default=None,
+                         help="override the runtime's worker count")
+    runtime.add_argument("--backend", default=None,
+                         help="override the runtime's kernel backend")
+    runtime.add_argument("--executor", default=None,
+                         help="override the runtime's executor "
+                              "('default' = the shared process pool)")
+    runtime.add_argument("--chunksize", default=None,
+                         help="override the chunk policy "
+                              "(int, 'auto' or 'legacy')")
     return parser
 
 
@@ -326,6 +342,34 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_runtime(args) -> int:
+    import json
+
+    from .runtime import Runtime
+
+    chunksize = args.chunksize
+    if chunksize is not None and chunksize not in ("auto", "legacy"):
+        try:
+            chunksize = int(chunksize)
+        except ValueError:
+            print(
+                f"error: --chunksize must be an int, 'auto' or "
+                f"'legacy', got {chunksize!r}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        rt = Runtime.resolve(
+            workers=args.workers, backend=args.backend,
+            executor=args.executor, chunksize=chunksize,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(rt.describe(), indent=2))
+    return 0
+
+
 def cmd_verdicts() -> int:
     from .experiments.verdicts import collect_verdicts, format_verdicts
 
@@ -351,4 +395,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_kernels(args)
     if args.command == "trace":
         return cmd_trace(args)
+    if args.command == "runtime":
+        return cmd_runtime(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..core.cdtw import cdtw
 from ..core.dtw import dtw
 from ..core.validate import validate_series
+from ..runtime import Runtime, _resolve_legacy
 
 
 @dataclass(frozen=True)
@@ -53,9 +54,10 @@ def dba(
     tolerance: float = 1e-6,
     band: Optional[int] = None,
     initial: Optional[Sequence[float]] = None,
-    workers: int = 1,
+    workers: Optional[int] = None,
     backend: Optional[str] = None,
     executor=None,
+    runtime: Optional[Runtime] = None,
 ) -> DbaResult:
     """Compute a DTW barycenter of equal-length series.
 
@@ -75,22 +77,19 @@ def dba(
         Starting barycenter (defaults to the medoid-ish choice: the
         input series with the smallest summed Euclidean distance to
         the others, a cheap robust initialisation).
-    workers:
-        Worker processes for the per-iteration alignments and inertia
-        evaluations (every series aligns to the barycenter
-        independently, so each round is one :mod:`repro.batch` job).
-        The barycenter is identical for any worker count.
-    backend:
-        Kernel backend for the alignments and inertia evaluations,
-        per :mod:`repro.core.kernels` (``None`` = process default).
-        Distances *and recovered paths* are bit-identical on every
-        backend, so the barycenter is too.
-    executor:
-        Persistent :class:`repro.batch.BatchExecutor` for the
-        per-iteration batch jobs.  The aligned dataset changes each
-        round (the barycenter moves), so the executor re-ships it per
-        iteration, but the warm pool itself amortises across all
-        rounds.  Identical barycenter.
+    runtime:
+        Execution context for the per-iteration alignments and
+        inertia evaluations, per :mod:`repro.runtime` (``None`` = the
+        process default).  Every series aligns to the barycenter
+        independently, so under a parallel context each round is one
+        :mod:`repro.batch` job; distances *and recovered paths* are
+        bit-identical on every backend and worker count, so the
+        barycenter is too.  A runtime carrying a persistent executor
+        re-ships the dataset each round (the barycenter moves), but
+        the warm pool amortises across all rounds.
+    workers, backend, executor:
+        Deprecated per-knob overrides of the corresponding ``runtime``
+        fields (each emits a :class:`DeprecationWarning`).
 
     Returns
     -------
@@ -98,6 +97,10 @@ def dba(
         The barycenter has the common input length; the inertia is
         non-increasing across iterations by construction.
     """
+    rt = _resolve_legacy(
+        "dba", runtime, workers=workers, backend=backend,
+        executor=executor,
+    )
     if not series:
         raise ValueError("need at least one series")
     lists = [list(s) for s in series]
@@ -109,8 +112,6 @@ def dba(
     n = lengths.pop()
     if max_iterations < 0:
         raise ValueError("max_iterations must be non-negative")
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
 
     if initial is not None:
         if len(initial) != n:
@@ -119,14 +120,13 @@ def dba(
     else:
         centre = list(lists[_euclidean_medoid(lists)])
 
-    inertia = _inertia(centre, lists, band, workers, backend, executor)
+    inertia = _inertia(centre, lists, band, rt)
     iterations = 0
     converged = False
     for _ in range(max_iterations):
         sums = [0.0] * n
         counts = [0] * n
-        paths = _alignments(centre, lists, band, workers, backend,
-                            executor)
+        paths = _alignments(centre, lists, band, rt)
         for s, path in zip(lists, paths):
             for i, j in path:
                 sums[i] += s[j]
@@ -135,8 +135,7 @@ def dba(
             sums[i] / counts[i] if counts[i] else centre[i]
             for i in range(n)
         ]
-        new_inertia = _inertia(new_centre, lists, band, workers, backend,
-                               executor)
+        new_inertia = _inertia(new_centre, lists, band, rt)
         iterations += 1
         if new_inertia <= inertia:
             centre = new_centre
@@ -153,10 +152,9 @@ def dba(
     )
 
 
-def _alignments(centre, lists, band, workers, backend=None,
-                executor=None):
+def _alignments(centre, lists, band, rt: Runtime):
     """One warping path per series, aligning each to ``centre``."""
-    if workers > 1 or executor is not None:
+    if rt.parallel:
         from ..batch.engine import batch_distances
 
         result = batch_distances(
@@ -165,19 +163,15 @@ def _alignments(centre, lists, band, workers, backend=None,
             measure="dtw" if band is None else "cdtw",
             band=band,
             return_paths=True,
-            workers=workers,
-            backend=backend,
-            executor=executor,
+            runtime=rt,
         )
         return list(result.paths)
-    from ..core.kernels import resolve_backend
-
-    if resolve_backend(backend) != "python":
+    if rt.backend_name != "python":
         from ..core.measures import measure_fn
 
         fn = measure_fn(
             "dtw" if band is None else "cdtw", band=band,
-            return_path=True, backend=backend,
+            return_path=True, backend=rt.backend_name,
         )
         return [fn(centre, s).path for s in lists]
     if band is None:
@@ -187,9 +181,8 @@ def _alignments(centre, lists, band, workers, backend=None,
     ]
 
 
-def _inertia(centre, lists, band, workers=1, backend=None,
-             executor=None) -> float:
-    if workers > 1 or executor is not None:
+def _inertia(centre, lists, band, rt: Runtime) -> float:
+    if rt.parallel:
         from ..batch.engine import batch_distances
 
         result = batch_distances(
@@ -197,18 +190,15 @@ def _inertia(centre, lists, band, workers=1, backend=None,
             pairs=[(0, i + 1) for i in range(len(lists))],
             measure="dtw" if band is None else "cdtw",
             band=band,
-            workers=workers,
-            backend=backend,
-            executor=executor,
+            runtime=rt,
         )
         return sum(result.distances)
-    from ..core.kernels import resolve_backend
-
-    if resolve_backend(backend) != "python":
+    if rt.backend_name != "python":
         from ..core.measures import measure_fn
 
         fn = measure_fn(
-            "dtw" if band is None else "cdtw", band=band, backend=backend
+            "dtw" if band is None else "cdtw", band=band,
+            backend=rt.backend_name,
         )
         return sum(fn(centre, s).distance for s in lists)
     total = 0.0

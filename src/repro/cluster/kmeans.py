@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..core.cdtw import cdtw
 from ..core.dtw import dtw
 from ..core.validate import validate_series
+from ..runtime import Runtime, _resolve_legacy
 from .dba import dba
 
 
@@ -52,9 +53,10 @@ def dtw_kmeans(
     max_iterations: int = 10,
     dba_iterations: int = 3,
     seed: int = 0,
-    workers: int = 1,
+    workers: Optional[int] = None,
     backend: Optional[str] = None,
     executor=None,
+    runtime: Optional[Runtime] = None,
 ) -> KMeansResult:
     """Cluster equal-length series into ``k`` groups under DTW.
 
@@ -73,26 +75,29 @@ def dtw_kmeans(
         DBA rounds per centroid update.
     seed:
         Seeds the k-means++-style initial centroid choice.
-    workers:
-        Worker processes for each Lloyd round's assignment distances
-        and the DBA centroid updates (1 = serial; assignments,
-        centroids and inertia are identical for any worker count).
-    backend:
-        Kernel backend for every distance and alignment, per
-        :mod:`repro.core.kernels` (``None`` = process default).
-        Assignments, centroids and inertia are identical on every
-        backend (the DP results are bit-identical).
-    executor:
-        Persistent :class:`repro.batch.BatchExecutor` shared by every
-        Lloyd round's assignment batch, DBA update and inertia
-        evaluation -- one warm pool for the whole clustering run.
-        Identical results.
+    runtime:
+        Execution context for every distance and alignment -- each
+        Lloyd round's assignment batch, the DBA centroid updates and
+        the inertia evaluation -- per :mod:`repro.runtime` (``None``
+        = the process default).  Assignments, centroids and inertia
+        are identical for every context: the DP results are
+        bit-identical on every backend and the batched fan-out
+        preserves the serial tie-breaks.  A runtime carrying a
+        persistent executor shares one warm pool across the whole
+        clustering run.
+    workers, backend, executor:
+        Deprecated per-knob overrides of the corresponding ``runtime``
+        fields (each emits a :class:`DeprecationWarning`).
 
     Returns
     -------
     KMeansResult
         Deterministic for a given seed.
     """
+    rt = _resolve_legacy(
+        "dtw_kmeans", runtime, workers=workers, backend=backend,
+        executor=executor,
+    )
     lists = [list(s) for s in series]
     for i, s in enumerate(lists):
         validate_series(s, f"series {i}")
@@ -102,10 +107,8 @@ def dtw_kmeans(
         raise ValueError(f"need at least k={k} series, got {len(lists)}")
     if len({len(s) for s in lists}) != 1:
         raise ValueError("series must share one length")
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
 
-    dist = _dist_fn(band, backend)
+    dist = _dist_fn(band, rt)
 
     centroids = _plus_plus_init(lists, k, dist, random.Random(seed))
 
@@ -113,8 +116,7 @@ def dtw_kmeans(
     iterations = 0
     converged = False
     for _ in range(max_iterations):
-        new_assignments = _assign(lists, centroids, band, workers,
-                                  backend, executor)
+        new_assignments = _assign(lists, centroids, band, rt)
         iterations += 1
         if new_assignments == assignments:
             converged = True
@@ -127,14 +129,11 @@ def dtw_kmeans(
             if members:
                 centroids[c] = list(
                     dba(members, max_iterations=dba_iterations,
-                        band=band, workers=workers,
-                        backend=backend, executor=executor).barycenter
+                        band=band, runtime=rt).barycenter
                 )
             # empty clusters keep their previous centroid
 
-    inertia = _total_inertia(
-        lists, centroids, assignments, band, workers, backend, executor
-    )
+    inertia = _total_inertia(lists, centroids, assignments, band, rt)
     return KMeansResult(
         centroids=tuple(tuple(c) for c in centroids),
         assignments=tuple(assignments),
@@ -144,15 +143,14 @@ def dtw_kmeans(
     )
 
 
-def _dist_fn(band, backend=None):
+def _dist_fn(band, rt: Runtime):
     """The pairwise distance the clustering uses, backend-dispatched."""
-    from ..core.kernels import resolve_backend
-
-    if resolve_backend(backend) != "python":
+    if rt.backend_name != "python":
         from ..core.measures import measure_fn
 
         fn = measure_fn(
-            "dtw" if band is None else "cdtw", band=band, backend=backend
+            "dtw" if band is None else "cdtw", band=band,
+            backend=rt.backend_name,
         )
         return lambda a, b: fn(a, b).distance
 
@@ -163,10 +161,9 @@ def _dist_fn(band, backend=None):
     return dist
 
 
-def _assign(lists, centroids, band, workers, backend=None,
-            executor=None) -> List[int]:
+def _assign(lists, centroids, band, rt: Runtime) -> List[int]:
     """Nearest-centroid index per series (first centroid wins ties)."""
-    if workers > 1 or executor is not None:
+    if rt.parallel:
         from ..batch.engine import argmin_first, batch_distances
 
         k = len(centroids)
@@ -179,15 +176,13 @@ def _assign(lists, centroids, band, workers, backend=None,
             ],
             measure="dtw" if band is None else "cdtw",
             band=band,
-            workers=workers,
-            backend=backend,
-            executor=executor,
+            runtime=rt,
         )
         return [
             argmin_first(result.distances[i * k:(i + 1) * k])[0]
             for i in range(len(lists))
         ]
-    dist = _dist_fn(band, backend)
+    dist = _dist_fn(band, rt)
     assignments = []
     for s in lists:
         best, best_c = inf, 0
@@ -199,12 +194,9 @@ def _assign(lists, centroids, band, workers, backend=None,
     return assignments
 
 
-def _total_inertia(
-    lists, centroids, assignments, band, workers, backend=None,
-    executor=None,
-) -> float:
+def _total_inertia(lists, centroids, assignments, band, rt: Runtime) -> float:
     """Sum of each series' distance to its assigned centroid."""
-    if workers > 1 or executor is not None:
+    if rt.parallel:
         from ..batch.engine import batch_distances
 
         k = len(centroids)
@@ -213,12 +205,10 @@ def _total_inertia(
             pairs=[(assignments[i], k + i) for i in range(len(lists))],
             measure="dtw" if band is None else "cdtw",
             band=band,
-            workers=workers,
-            backend=backend,
-            executor=executor,
+            runtime=rt,
         )
         return sum(result.distances)
-    dist = _dist_fn(band, backend)
+    dist = _dist_fn(band, rt)
     return sum(
         dist(centroids[assignments[i]], s) for i, s in enumerate(lists)
     )

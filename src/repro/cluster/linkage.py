@@ -119,26 +119,32 @@ def linkage_from_series(
     band: Optional[int] = None,
     radius: int = 1,
     cost: str = "squared",
-    workers: int = 1,
+    workers: Optional[int] = None,
     backend: Optional[str] = None,
     executor=None,
+    runtime=None,
 ) -> List[Merge]:
     """Cluster raw series: batched all-pairs matrix, then linkage.
 
     Convenience composition of
     :func:`repro.core.matrix.distance_matrix` (which fans the
-    ``k * (k - 1) / 2`` pairwise computations out over ``workers``
-    processes, or a persistent ``executor=`` pool) and
-    :func:`linkage`.  The merge structure is identical for any worker
-    count -- and for any ``backend`` (see :mod:`repro.core.kernels`)
-    -- since the matrix is.
+    ``k * (k - 1) / 2`` pairwise computations out under the given
+    :class:`repro.runtime.Runtime` -- ``None`` = the process default)
+    and :func:`linkage`.  The merge structure is identical for any
+    execution context -- worker count, executor, kernel backend --
+    since the matrix is.  ``workers=``/``backend=``/``executor=`` are
+    deprecated per-knob overrides of the corresponding runtime fields.
     """
     from ..core.matrix import distance_matrix
+    from ..runtime import _resolve_legacy
 
+    rt = _resolve_legacy(
+        "linkage_from_series", runtime, workers=workers,
+        backend=backend, executor=executor,
+    )
     matrix = distance_matrix(
         series, measure=measure, window=window, band=band,
-        radius=radius, cost=cost, workers=workers, backend=backend,
-        executor=executor,
+        radius=radius, cost=cost, runtime=rt,
     )
     return linkage(matrix.as_lists(), method=method)
 

@@ -5,12 +5,12 @@ several examples all need the same thing: a symmetric distance matrix
 over a set of series.  This module provides it once, parameterised by
 measure name, with the package's cell accounting carried through.
 
-Construction runs on the :mod:`repro.batch` engine: ``workers=1``
-(the default) computes in-process, exactly as the original serial
-loop did; ``workers=N`` fans the ``k * (k - 1) / 2`` independent
-pairs out over a process pool with identical results -- same
-distances, same cell totals, same ordering -- as enforced by the
-equivalence suite in ``tests/batch/``.
+Construction runs on the :mod:`repro.batch` engine under a
+:class:`repro.runtime.Runtime` execution context: the default is the
+exact in-process serial loop, while a parallel context fans the
+``k * (k - 1) / 2`` independent pairs out over a process pool with
+identical results -- same distances, same cell totals, same ordering
+-- as enforced by the equivalence suite in ``tests/batch/``.
 """
 
 from __future__ import annotations
@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..runtime import Runtime, _resolve_legacy
 from .cost import CostLike
 from .measures import MEASURES, validate_measure
 
@@ -72,7 +73,8 @@ def distance_matrix(
     band: Optional[int] = None,
     radius: int = 1,
     cost: CostLike = "squared",
-    workers: int = 1,
+    runtime: Optional[Runtime] = None,
+    workers: Optional[int] = None,
     backend: Optional[str] = None,
     executor=None,
 ) -> DistanceMatrix:
@@ -91,24 +93,24 @@ def distance_matrix(
         FastDTW radius (for the fastdtw measures).
     cost:
         Local cost name.
-    workers:
-        Worker processes for the pairwise batch (1 = in-process
-        serial; results are identical for any value).
-    backend:
-        Kernel backend for the exact DP measures, per
-        :mod:`repro.core.kernels` (``None`` = process default;
-        ``"numpy"`` vectorises the batch with bit-identical
-        distances and cells).
-    executor:
-        A :class:`repro.batch.BatchExecutor` (or ``"default"``) for
-        a persistent warm pool -- worthwhile when many matrices are
-        built over the same or evolving series sets.  Identical
-        results.
+    runtime:
+        The execution context -- kernel backend, worker count,
+        executor, chunk policy -- per :mod:`repro.runtime` (``None``
+        = the process default; built-in default is the in-process
+        serial computation).  Results are identical for every
+        context; only the wall-clock changes.
+    workers, backend, executor:
+        Deprecated per-knob overrides of the corresponding ``runtime``
+        fields; passing any emits a :class:`DeprecationWarning`.
 
     Returns
     -------
     DistanceMatrix
     """
+    rt = _resolve_legacy(
+        "distance_matrix", runtime, workers=workers, backend=backend,
+        executor=executor,
+    )
     validate_measure(measure)
     if len(series) < 2:
         raise ValueError("need at least two series")
@@ -122,9 +124,7 @@ def distance_matrix(
         band=band,
         radius=radius,
         cost=cost,
-        workers=workers,
-        backend=backend,
-        executor=executor,
+        runtime=rt,
     )
     k = len(series)
     values = [[0.0] * k for _ in range(k)]

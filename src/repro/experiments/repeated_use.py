@@ -17,6 +17,7 @@ from typing import Dict, Optional, Tuple
 
 from ..datasets.gestures import gesture_dataset
 from ..lowerbounds.cascade import CascadeStats
+from ..runtime import Runtime
 from ..search.nn_search import nearest_neighbor
 from .report import format_table
 
@@ -96,9 +97,11 @@ def run(config: RepeatedUseConfig = DEFAULT) -> RepeatedUseResult:
         stats = None
         for q in queries:
             # pinned: paper comparisons must stay on the pure-Python
-            # engine even if the process default backend is changed
+            # engine even if the process default runtime is changed;
+            # an explicit Runtime ignores the process default entirely
             res = nearest_neighbor(
-                q, candidates, strategy=strategy, backend="python",
+                q, candidates, strategy=strategy,
+                runtime=Runtime(backend="python"),
                 **kwargs,
             )
             neighbors.append(res.index)

@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 
 from ..core.cdtw import cdtw
 from ..obs import trace as _obs
+from ..runtime import Runtime, _resolve_legacy
 from .envelope import Envelope, envelope
 from .lb_keogh import lb_keogh, lb_keogh_reversed
 from .lb_kim import lb_kim
@@ -69,13 +70,19 @@ class LowerBoundCascade:
     use_reversed:
         Whether to run the reversed LB_Keogh stage (costs an envelope
         build per surviving candidate; usually worth it).
+    runtime:
+        Execution context, per :mod:`repro.runtime` (``None`` = the
+        process default).  Only its backend matters: the cascade's
+        best-so-far pruning threads a threshold through the scan, so
+        it is inherently sequential and ignores worker/executor
+        settings.  The cascade stays lossless on every backend --
+        each stage remains a valid lower bound -- and the exact DP
+        stage is bit-identical; the vectorised bounds may differ from
+        the scalar ones in final ulps, so *prune counters* (not
+        results) can shift by boundary cases.
     backend:
-        Kernel backend, per :mod:`repro.core.kernels` (``None`` =
-        process default).  The cascade stays lossless on every
-        backend -- each stage remains a valid lower bound -- and the
-        exact DP stage is bit-identical; the vectorised bounds may
-        differ from the scalar ones in final ulps, so *prune counters*
-        (not results) can shift by boundary cases.
+        Deprecated override of the runtime's backend; passing it
+        emits a :class:`DeprecationWarning`.
     """
 
     def __init__(
@@ -86,19 +93,26 @@ class LowerBoundCascade:
         use_reversed: bool = True,
         use_cumulative: bool = True,
         backend: Optional[str] = None,
+        runtime: Optional[Runtime] = None,
     ):
         if band < 0:
             raise ValueError("band must be non-negative")
-        from ..core.kernels import get_kernels, resolve_backend
-
+        rt = _resolve_legacy(
+            "LowerBoundCascade", runtime, backend=backend
+        ).serial()
+        # pin the backend now: the whole scan must use the backend in
+        # effect at construction, even if the process default changes
+        rt = rt.replace(backend=rt.backend_name)
+        self.runtime = rt
         self.query = list(query)
         self.band = band
         self.squared = squared
         self.use_reversed = use_reversed
         self.use_cumulative = use_cumulative
-        self.backend = resolve_backend(backend)
+        self.backend = rt.backend_name
+        kernel_set = rt.kernels()
         self._kernels = (
-            get_kernels(self.backend) if self.backend != "python" else None
+            kernel_set if kernel_set.name != "python" else None
         )
         self.envelope: Envelope = envelope(self.query, band)
         self.stats = CascadeStats()
@@ -181,7 +195,7 @@ class LowerBoundCascade:
                 threshold=best_so_far,
                 y_envelope=self.envelope,
                 squared=self.squared,
-                backend=self.backend,
+                runtime=self.runtime,
             )
         elif k is not None:
             from ..core.kernels import banded_window

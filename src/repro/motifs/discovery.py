@@ -21,6 +21,7 @@ from ..core.validate import validate_series
 from ..lowerbounds.cascade import LowerBoundCascade
 from ..preprocess.normalize import znorm
 from ..preprocess.sliding import sliding_windows
+from ..runtime import Runtime
 
 
 @dataclass(frozen=True)
@@ -36,7 +37,9 @@ class Motif:
     windows:
         Candidate windows considered.
     distance_calls:
-        Cascade invocations performed (naive: ``windows choose 2``).
+        Distance computations requested: cascade invocations under a
+        serial runtime (naive: ``windows choose 2``), admissible
+        pairs computed by the batch engine under a parallel one.
     """
 
     start_a: int
@@ -53,12 +56,18 @@ def find_motif(
     step: int = 1,
     exclusion: Optional[int] = None,
     normalize: bool = True,
+    runtime: Optional[Runtime] = None,
 ) -> Motif:
     """Find the closest non-overlapping window pair under cDTW.
 
-    Parameters mirror :func:`repro.anomaly.discord.find_discord`;
-    ``exclusion`` (default ``window``) keeps trivial self-matches of
-    overlapping windows out.
+    Parameters mirror :func:`repro.anomaly.discord.find_discord`,
+    including ``runtime``: a parallel execution context computes
+    every admissible pair's exact distance as one :mod:`repro.batch`
+    job and replays the identical earliest-pair selection, so the
+    reported pair and distance are bit-identical to the serial
+    cascade scan (whose pruning is lossless).  ``exclusion`` (default
+    ``window``) keeps trivial self-matches of overlapping windows
+    out.
 
     Returns
     -------
@@ -66,6 +75,7 @@ def find_motif(
         The provably closest admissible pair (ties resolve to the
         earliest pair in scan order).
     """
+    rt = Runtime.resolve(runtime)
     if window < 2:
         raise ValueError("window must be at least 2")
     if step < 1:
@@ -87,16 +97,38 @@ def find_motif(
     best = inf
     best_pair = (-1, -1)
     calls = 0
-    for i in range(k):
-        cascade = LowerBoundCascade(series[i], band)
-        for j in range(i + 1, k):
-            if starts[j] - starts[i] < exclusion:
-                continue
-            calls += 1
-            d = cascade.distance(series[j], best_so_far=best)
-            if d < best:
-                best = d
-                best_pair = (i, j)
+    if rt.parallel:
+        from ..batch.engine import batch_distances
+
+        pairs = [
+            (i, j)
+            for i in range(k)
+            for j in range(i + 1, k)
+            if starts[j] - starts[i] >= exclusion
+        ]
+        if pairs:
+            result = batch_distances(
+                series, pairs=pairs, measure="cdtw", band=band,
+                runtime=rt,
+            )
+            calls = len(pairs)
+            # identical selection to the serial scan: pairs are
+            # generated in scan order and the comparison is strict
+            for (i, j), d in zip(pairs, result.distances):
+                if d < best:
+                    best = d
+                    best_pair = (i, j)
+    else:
+        for i in range(k):
+            cascade = LowerBoundCascade(series[i], band, runtime=rt)
+            for j in range(i + 1, k):
+                if starts[j] - starts[i] < exclusion:
+                    continue
+                calls += 1
+                d = cascade.distance(series[j], best_so_far=best)
+                if d < best:
+                    best = d
+                    best_pair = (i, j)
     if best_pair[0] < 0:
         raise ValueError("no admissible window pairs")
     return Motif(

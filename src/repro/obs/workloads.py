@@ -142,11 +142,12 @@ def _run_batch(
 ) -> Tuple[Dict, Dict]:
     from ..batch.engine import batch_distances
     from ..datasets.random_walk import random_walks
+    from ..runtime import Runtime
 
     series = random_walks(count, length, seed=seed)
     result = batch_distances(
-        series, measure="cdtw", window=window, workers=workers,
-        backend=backend,
+        series, measure="cdtw", window=window,
+        runtime=Runtime.resolve(workers=workers, backend=backend),
     )
     config = {
         "length": length,
@@ -171,13 +172,14 @@ def _run_nn(
     trace, length, count, radius, window, workers, backend, seed
 ) -> Tuple[Dict, Dict]:
     from ..datasets.random_walk import random_walk, random_walks
+    from ..runtime import Runtime
     from ..search.nn_search import nearest_neighbor
 
     query = random_walk(length, seed=seed + 999_331)
     candidates = random_walks(count, length, seed=seed)
     result = nearest_neighbor(
         query, candidates, strategy="cdtw+lb", window=window,
-        backend=backend,
+        runtime=Runtime.resolve(backend=backend),
     )
     stats = result.stats
     config = {

@@ -24,6 +24,7 @@ from ..core.validate import validate_pair
 from ..core.window import Window
 from ..lowerbounds.envelope import Envelope, envelope
 from ..obs import trace as _obs
+from ..runtime import Runtime, _resolve_legacy
 
 
 def suffix_gap_bounds(
@@ -68,6 +69,7 @@ def cdtw_cumulative_abandon(
     y_envelope: Optional[Envelope] = None,
     squared: bool = True,
     backend: Optional[str] = None,
+    runtime: Optional[Runtime] = None,
 ) -> DtwResult:
     """Banded DTW with cumulative-suffix-bound early abandoning.
 
@@ -88,12 +90,19 @@ def cdtw_cumulative_abandon(
         pass it when scanning many ``x`` against one ``y``).
     squared:
         Local cost convention.
+    runtime:
+        Execution context, per :mod:`repro.runtime` (``None`` = the
+        process default); only its backend applies here.  Distances,
+        cells and abandon decisions are bit-identical on every
+        backend: the suffix bounds themselves are computed in the
+        same accumulation order.
     backend:
-        Kernel backend, per :mod:`repro.core.kernels` (``None`` =
-        process default).  Distances, cells and abandon decisions are
-        bit-identical on every backend: the suffix bounds themselves
-        are computed in the same accumulation order.
+        Deprecated override of the runtime's backend (emits a
+        :class:`DeprecationWarning`).
     """
+    rt = _resolve_legacy(
+        "cdtw_cumulative_abandon", runtime, backend=backend
+    )
     validate_pair(x, y)
     if len(x) != len(y):
         raise ValueError("cumulative abandoning requires equal lengths")
@@ -106,10 +115,8 @@ def cdtw_cumulative_abandon(
             f"envelope band {env.band} narrower than DTW band {band}; "
             "the suffix bound would be invalid"
         )
-    from ..core.kernels import banded_window, get_kernels, resolve_backend
-
-    resolved = resolve_backend(backend)
-    if resolved == "python":
+    kernels = rt.kernels()
+    if kernels.name == "python":
         _obs.incr("lb.suffix_builds")
         suffix = suffix_gap_bounds(x, env, squared=squared)
         window = Window.band(len(x), len(y), band)
@@ -119,7 +126,8 @@ def cdtw_cumulative_abandon(
             abandon_above=threshold,
             suffix_bound=suffix,
         )
-    kernels = get_kernels(resolved)
+    from ..core.kernels import banded_window
+
     _obs.incr("lb.suffix_builds")
     suffix = kernels.suffix_gap_bounds(x, env, squared=squared)
     window = banded_window(len(x), len(y), band)

@@ -25,6 +25,7 @@ from ..core.euclidean import euclidean
 from ..core.fastdtw import fastdtw
 from ..lowerbounds.cascade import CascadeStats, LowerBoundCascade
 from ..obs import trace as _obs
+from ..runtime import Runtime, _resolve_legacy
 
 STRATEGIES = ("cdtw", "cdtw+lb", "fastdtw", "euclidean")
 
@@ -52,7 +53,8 @@ def nearest_neighbor(
     band: Optional[int] = None,
     window: Optional[float] = None,
     radius: int = 1,
-    workers: int = 1,
+    runtime: Optional[Runtime] = None,
+    workers: Optional[int] = None,
     backend: Optional[str] = None,
     executor=None,
 ) -> NnResult:
@@ -72,68 +74,56 @@ def nearest_neighbor(
         strategies; exactly one must be given for those strategies.
     radius:
         FastDTW radius for the ``"fastdtw"`` strategy.
-    workers:
-        Worker processes for the candidate scan, via the
-        :mod:`repro.batch` engine (1 = serial).  The full-compute
+    runtime:
+        Execution context, per :mod:`repro.runtime` (``None`` = the
+        process default).  A parallel context fans the candidate scan
+        out over the :mod:`repro.batch` engine; the full-compute
         strategies return identical results -- same index, distance
-        and cell total -- for any worker count.  ``"cdtw+lb"`` always
+        and cell total -- for every context.  ``"cdtw+lb"`` always
         runs serially: its best-so-far pruning threads a threshold
-        through the scan and is inherently order-dependent.
-    backend:
-        Kernel backend for the DP evaluations, per
-        :mod:`repro.core.kernels` (``None`` = process default).  The
-        exact strategies return identical indices, distances and cell
-        totals on every backend; ``"fastdtw"`` and ``"euclidean"``
-        always run their reference implementations.
-    executor:
-        A :class:`repro.batch.BatchExecutor` (or ``"default"``) to
-        run the batched scan on a persistent warm pool (repeated
-        searches over one candidate set ship the dataset once).
-        Implies the batched path; identical results.  Ignored for
-        ``"cdtw+lb"``, which always runs serially.
+        through the scan and is inherently order-dependent (the
+        runtime's backend still applies to its DP stages).
+    workers, backend, executor:
+        Deprecated per-knob overrides of the corresponding ``runtime``
+        fields (each call emits a :class:`DeprecationWarning`).
 
     Returns
     -------
     NnResult
     """
+    rt = _resolve_legacy(
+        "nearest_neighbor", runtime, workers=workers, backend=backend,
+        executor=executor,
+    )
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; pick from {STRATEGIES}")
     if not candidates:
         raise ValueError("no candidates to search")
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
-    from ..core.kernels import resolve_backend
-
-    resolved = resolve_backend(backend)
 
     trace = _obs.active_trace()
     if trace is None:
         return _nearest_neighbor_impl(
-            query, candidates, strategy, band, window, radius, workers,
-            resolved, executor,
+            query, candidates, strategy, band, window, radius, rt,
         )
     trace.incr("nn.queries")
     trace.incr("nn.candidates", len(candidates))
     with _obs.span("nn_search"):
         return _nearest_neighbor_impl(
-            query, candidates, strategy, band, window, radius, workers,
-            resolved, executor,
+            query, candidates, strategy, band, window, radius, rt,
         )
 
 
 def _nearest_neighbor_impl(
-    query, candidates, strategy, band, window, radius, workers, resolved,
-    executor=None,
+    query, candidates, strategy, band, window, radius, rt,
 ) -> NnResult:
     """The strategy dispatch behind :func:`nearest_neighbor`.
 
     Split out so the public entry point's observability hook costs one
     module-global read when no :class:`repro.obs.RunTrace` is active.
     """
-    if (workers > 1 or executor is not None) and strategy != "cdtw+lb":
+    if rt.parallel and strategy != "cdtw+lb":
         return _nearest_neighbor_batched(
-            query, candidates, strategy, band, window, radius, workers,
-            resolved, executor,
+            query, candidates, strategy, band, window, radius, rt,
         )
 
     if strategy == "euclidean":
@@ -156,10 +146,12 @@ def _nearest_neighbor_impl(
     band_cells_ = _resolve_band(len(query), band, window)
 
     if strategy == "cdtw":
-        if resolved != "python":
+        if rt.backend_name != "python":
             from ..core.measures import measure_fn
 
-            fn = measure_fn("cdtw", band=band_cells_, backend=resolved)
+            fn = measure_fn(
+                "cdtw", band=band_cells_, backend=rt.backend_name
+            )
         else:
             fn = None
         best_idx, best, cells = 0, inf, 0
@@ -174,7 +166,7 @@ def _nearest_neighbor_impl(
         return NnResult(best_idx, best, strategy, cells=cells)
 
     # strategy == "cdtw+lb"
-    cascade = LowerBoundCascade(query, band_cells_, backend=resolved)
+    cascade = LowerBoundCascade(query, band_cells_, runtime=rt)
     best_idx, best = 0, inf
     for idx, cand in enumerate(candidates):
         d = cascade.distance(cand, best_so_far=best)
@@ -187,27 +179,25 @@ def _nearest_neighbor_impl(
 
 
 def _nearest_neighbor_batched(
-    query, candidates, strategy, band, window, radius, workers, backend,
-    executor=None,
+    query, candidates, strategy, band, window, radius, rt,
 ) -> NnResult:
     """Fan the candidate scan out over the batch engine.
 
     Computes every candidate's distance in full (exactly what the
     serial loops of the non-pruned strategies do) and applies the same
-    first-wins tie-break, so the result is identical to ``workers=1``.
+    first-wins tie-break, so the result is identical to the serial
+    context.
     """
     from ..batch.engine import argmin_first, batch_distances
 
-    kwargs: dict = {"measure": strategy, "backend": backend}
+    kwargs: dict = {"measure": strategy}
     if strategy == "cdtw":
         kwargs["band"] = _resolve_band(len(query), band, window)
     elif strategy == "fastdtw":
         kwargs["radius"] = radius
     series = [list(query)] + [list(c) for c in candidates]
     pairs = [(0, i + 1) for i in range(len(candidates))]
-    result = batch_distances(
-        series, pairs=pairs, workers=workers, executor=executor, **kwargs
-    )
+    result = batch_distances(series, pairs=pairs, runtime=rt, **kwargs)
     best_idx, best = argmin_first(result.distances)
     return NnResult(best_idx, best, strategy, cells=result.cells)
 

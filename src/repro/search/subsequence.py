@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..core.validate import validate_series
 from ..lowerbounds.cascade import CascadeStats, LowerBoundCascade
 from ..preprocess.normalize import znorm
+from ..runtime import Runtime
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,7 @@ def subsequence_search(
     band: int,
     step: int = 1,
     normalize: bool = True,
+    runtime: Optional[Runtime] = None,
 ) -> SubsequenceMatch:
     """Exact banded-DTW subsequence search of ``query`` in ``stream``.
 
@@ -69,12 +71,23 @@ def subsequence_search(
     normalize:
         Z-normalise the query and every window (the meaningful setting;
         disable only for raw-space experiments).
+    runtime:
+        Execution context, per :mod:`repro.runtime` (``None`` = the
+        process default).  The serial context runs the LB-cascade
+        scan; a parallel context computes every window's exact
+        distance as one :mod:`repro.batch` job (warm executor and
+        vectorised kernels apply) and re-derives the same winner --
+        pruning is lossless, so ``start`` and ``distance`` are
+        bit-identical either way.  Only the ``stats`` provenance
+        differs: the batched path never prunes, so it reports every
+        window as a full DP.
 
     Returns
     -------
     SubsequenceMatch
         The provably nearest window under cDTW with this band.
     """
+    rt = Runtime.resolve(runtime)
     m = len(query)
     if m == 0:
         raise ValueError("empty query")
@@ -86,7 +99,18 @@ def subsequence_search(
     validate_series(stream, "stream")
 
     q = znorm(query) if normalize else list(query)
-    cascade = LowerBoundCascade(q, band)
+
+    if rt.parallel:
+        starts, distances, cells = _batched_window_distances(
+            q, stream, band, step, normalize, rt
+        )
+        from ..batch.engine import argmin_first
+
+        best_idx, best = argmin_first(distances)
+        stats = _full_compute_stats(len(starts), cells)
+        return SubsequenceMatch(starts[best_idx], best, len(starts), stats)
+
+    cascade = LowerBoundCascade(q, band, runtime=rt)
 
     best_start = 0
     best = inf
@@ -109,6 +133,7 @@ def subsequence_search_topk(
     step: int = 1,
     exclusion: Optional[int] = None,
     normalize: bool = True,
+    runtime: Optional[Runtime] = None,
 ) -> List["SubsequenceMatch"]:
     """The ``k`` best *non-overlapping* matches of ``query`` in ``stream``.
 
@@ -118,9 +143,16 @@ def subsequence_search_topk(
     best-first with an ``exclusion``-radius overlap ban (default: the
     query length), the standard top-k convention.
 
+    A parallel ``runtime`` computes every window's exact distance on
+    the batch engine and feeds the same greedy selection, so the
+    chosen offsets and distances are identical to the serial scan
+    (the heap prune is lossless: it only drops windows that provably
+    cannot reach the final top-k).
+
     Returns at most ``k`` matches, best first; fewer if the exclusion
     zone exhausts the stream.
     """
+    rt = Runtime.resolve(runtime)
     m = len(query)
     if m == 0:
         raise ValueError("empty query")
@@ -137,7 +169,26 @@ def subsequence_search_topk(
     validate_series(stream, "stream")
 
     q = znorm(query) if normalize else list(query)
-    cascade = LowerBoundCascade(q, band)
+
+    if rt.parallel:
+        starts, distances, cells = _batched_window_distances(
+            q, stream, band, step, normalize, rt
+        )
+        windows = len(starts)
+        stats = _full_compute_stats(windows, cells)
+        scored = sorted(zip(distances, starts))
+        chosen: List[SubsequenceMatch] = []
+        taken: List[int] = []
+        for d, start in scored:
+            if len(chosen) >= k:
+                break
+            if any(abs(start - t) < exclusion for t in taken):
+                continue
+            taken.append(start)
+            chosen.append(SubsequenceMatch(start, d, windows, stats))
+        return chosen
+
+    cascade = LowerBoundCascade(q, band, runtime=rt)
 
     # exact distance for every window, pruned against a conservative
     # threshold: each of the final k matches suppresses at most
@@ -177,3 +228,40 @@ def subsequence_search_topk(
             SubsequenceMatch(start, d, windows, cascade.stats)
         )
     return chosen
+
+
+def _batched_window_distances(
+    q: Sequence[float],
+    stream: Sequence[float],
+    band: int,
+    step: int,
+    normalize: bool,
+    rt: Runtime,
+) -> Tuple[List[int], List[float], int]:
+    """Exact cDTW of ``q`` against every stream window, batched.
+
+    Materialises the (z-normalised) windows and computes each exact
+    distance as one batch-engine job.  Returns the window start
+    offsets, their distances in offset order, and the DP cell total.
+    """
+    from ..batch.engine import batch_distances
+
+    m = len(q)
+    starts = list(range(0, len(stream) - m + 1, step))
+    windows = [
+        znorm(stream[s:s + m]) if normalize else list(stream[s:s + m])
+        for s in starts
+    ]
+    result = batch_distances(
+        [list(q)] + windows,
+        pairs=[(0, i + 1) for i in range(len(windows))],
+        measure="cdtw",
+        band=band,
+        runtime=rt,
+    )
+    return starts, list(result.distances), result.cells
+
+
+def _full_compute_stats(windows: int, cells: int) -> CascadeStats:
+    """Cascade counters for a batched (never-pruning) scan."""
+    return CascadeStats(candidates=windows, full_dtw=windows, cells=cells)

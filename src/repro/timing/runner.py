@@ -168,11 +168,16 @@ def batch_pairwise_experiment(
     pairs = all_pairs(len(series))
     if max_pairs:
         pairs = pairs[:max_pairs]
+    from ..runtime import Runtime
+
     start = time.perf_counter()
+    # an explicit Runtime is a complete statement of the execution
+    # context: it ignores the process default and environment seeding,
+    # so nothing outside this call site can unpin the backend
     result = batch_distances(
         series, pairs=pairs, measure=measure, window=window, band=band,
-        radius=radius, cost=cost, workers=workers,
-        backend=PINNED_BACKEND,
+        radius=radius, cost=cost,
+        runtime=Runtime(workers=workers, backend=PINNED_BACKEND),
     )
     seconds = time.perf_counter() - start
     return BatchTimingResult(

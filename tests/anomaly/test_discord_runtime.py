@@ -1,0 +1,86 @@
+"""find_discord under a Runtime: execution detail, never semantic.
+
+The serial path prunes with the LB cascade; a parallel runtime
+computes every admissible pair through the batch engine.  Pruning is
+lossless and the batched replay scans in serial order with strict
+comparisons, so the discord itself -- offset, score, neighbour,
+window count -- is bit-identical for every execution context.
+``distance_calls`` is deliberately excluded: it is documented as
+mode-dependent work accounting (cascade invocations vs admissible
+pairs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anomaly.discord import find_discord
+from repro.runtime import Runtime
+from tests.conftest import make_series
+
+STREAM = make_series(64, seed=7)
+
+
+def _anomalous_stream():
+    stream = make_series(80, seed=11, lo=-1.0, hi=1.0)
+    for i in range(40, 48):
+        stream[i] += 6.0  # an implanted discord
+    return stream
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+def test_bit_identical_across_contexts(workers, backend):
+    serial = find_discord(STREAM, window=8, band=2)
+    rt = Runtime(workers=workers, backend=backend)
+    parallel = find_discord(STREAM, window=8, band=2, runtime=rt)
+    assert parallel.start == serial.start
+    assert parallel.score == serial.score
+    assert parallel.neighbor_start == serial.neighbor_start
+    assert parallel.windows == serial.windows
+
+
+def test_serial_runtime_reproduces_the_default_exactly():
+    # workers=1, python: same code path, so even the work accounting
+    # must match the no-runtime call bit for bit
+    rt = Runtime(workers=1, backend="python")
+    assert find_discord(STREAM, window=8, band=2, runtime=rt) == (
+        find_discord(STREAM, window=8, band=2)
+    )
+
+
+def test_acceptance_context_finds_the_implanted_discord():
+    # the issue's acceptance context, executor included
+    stream = _anomalous_stream()
+    serial = find_discord(stream, window=8, band=2, normalize=False)
+    rt = Runtime(workers=4, backend="numpy", executor="default")
+    parallel = find_discord(
+        stream, window=8, band=2, normalize=False, runtime=rt
+    )
+    assert parallel.start == serial.start
+    assert parallel.score == serial.score
+    assert parallel.neighbor_start == serial.neighbor_start
+    # the discord window overlaps the implanted bump at [40, 48)
+    assert 33 <= serial.start <= 47
+
+
+@pytest.mark.parametrize("step", [1, 3])
+def test_step_and_exclusion_respected_in_parallel(step):
+    serial = find_discord(STREAM, window=8, band=2, step=step, exclusion=12)
+    parallel = find_discord(
+        STREAM, window=8, band=2, step=step, exclusion=12,
+        runtime=Runtime(workers=2),
+    )
+    assert (parallel.start, parallel.score) == (serial.start, serial.score)
+
+
+def test_parallel_distance_calls_count_admissible_pairs():
+    result = find_discord(STREAM, window=8, band=2, runtime=Runtime(workers=2))
+    starts = range(0, len(STREAM) - 8 + 1)
+    admissible = sum(
+        1
+        for i in starts
+        for j in starts
+        if j > i and abs(i - j) >= 8
+    )
+    assert result.distance_calls == admissible

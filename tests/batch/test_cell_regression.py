@@ -18,6 +18,7 @@ from repro.core.dtw import dtw
 from repro.core.fastdtw import fastdtw
 from repro.core.fastdtw_reference import fastdtw_reference
 from repro.core.matrix import distance_matrix
+from repro.runtime import Runtime
 
 X = [0.0, 1.0, 2.0, 3.0]
 Y = [0.0, 2.0, 1.0, 3.0]
@@ -68,7 +69,8 @@ class TestPinnedMatrixCells:
     def test_workers2_matrix_cells(self, measure):
         kwargs, cells = PINNED_MATRIX_CELLS[measure]
         matrix = distance_matrix(
-            SERIES, measure=measure, workers=2, **kwargs
+            SERIES, measure=measure, runtime=Runtime(workers=2),
+            **kwargs
         )
         assert matrix.cells == cells
 
@@ -79,7 +81,8 @@ class TestPinnedMatrixCells:
     def test_pinned_distances(self, measure, workers):
         kwargs, _ = PINNED_MATRIX_CELLS[measure]
         matrix = distance_matrix(
-            SERIES, measure=measure, workers=workers, **kwargs
+            SERIES, measure=measure, runtime=Runtime(workers=workers),
+            **kwargs
         )
         for (i, j), d in PINNED_DISTANCES.items():
             assert matrix[i, j] == d

@@ -22,6 +22,7 @@ from repro.batch import (
     shutdown_default_executor,
 )
 from repro.batch.shm import pack_dataset, shm_available
+from repro.runtime import Runtime
 from tests.conftest import make_series
 
 
@@ -290,7 +291,7 @@ class TestConsumers:
         serial = distance_matrix(series, measure="cdtw", band=3)
         with BatchExecutor(workers=2, cap=None) as exe:
             warm = distance_matrix(series, measure="cdtw", band=3,
-                                   executor=exe)
+                                   runtime=Runtime(executor=exe))
         assert warm.values == serial.values
         assert warm.cells == serial.cells
 
@@ -304,9 +305,9 @@ class TestConsumers:
         serial = OneNearestNeighbor(spec).fit(train, labels)
         expected = serial.predict(queries)
         with BatchExecutor(workers=2, cap=None) as exe:
-            clf = OneNearestNeighbor(spec, executor=exe).fit(
-                train, labels
-            )
+            clf = OneNearestNeighbor(
+                spec, runtime=Runtime(executor=exe)
+            ).fit(train, labels)
             got = clf.predict(queries)
             assert exe.stats.jobs >= 1
         assert got == expected
@@ -321,7 +322,8 @@ class TestConsumers:
         spec = DistanceSpec("cdtw", window=0.2)
         serial = loocv_error(series, labels, spec)
         with BatchExecutor(workers=2, cap=None) as exe:
-            warm = loocv_error(series, labels, spec, executor=exe)
+            warm = loocv_error(series, labels, spec,
+                               runtime=Runtime(executor=exe))
             # one scan per series, all on the one warm pool; each fold
             # excludes a different series, so each is its own dataset
             assert exe.stats.jobs == len(series)
@@ -338,7 +340,8 @@ class TestConsumers:
                                   band=3)
         with BatchExecutor(workers=2, cap=None) as exe:
             warm = nearest_neighbor(query, candidates, strategy="cdtw",
-                                    band=3, executor=exe)
+                                    band=3,
+                                    runtime=Runtime(executor=exe))
         assert (warm.index, warm.distance, warm.cells) == (
             serial.index, serial.distance, serial.cells
         )
@@ -350,7 +353,7 @@ class TestConsumers:
         serial = linkage_from_series(series, measure="cdtw", band=3)
         with BatchExecutor(workers=2, cap=None) as exe:
             warm = linkage_from_series(series, measure="cdtw", band=3,
-                                       executor=exe)
+                                       runtime=Runtime(executor=exe))
         assert warm == serial
 
     def test_dba_and_kmeans(self):
@@ -363,9 +366,10 @@ class TestConsumers:
                                dba_iterations=1, seed=3)
         with BatchExecutor(workers=2, cap=None) as exe:
             warm_dba = dba(series, max_iterations=2, band=2,
-                           executor=exe)
+                           runtime=Runtime(executor=exe))
             warm_km = dtw_kmeans(series, k=2, band=2, max_iterations=2,
-                                 dba_iterations=1, seed=3, executor=exe)
+                                 dba_iterations=1, seed=3,
+                                 runtime=Runtime(executor=exe))
             assert exe.stats.pools_created == 1  # one pool for it all
         assert warm_dba == serial_dba
         assert warm_km == serial_km

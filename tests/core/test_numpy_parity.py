@@ -17,6 +17,7 @@ import numpy as np
 import pytest
 
 from repro.core.engine import dp_over_window
+from repro.runtime import Runtime
 from repro.core.numpy_backend import dtw_numpy, dtw_numpy_batch
 from repro.core.window import Window
 from repro.lowerbounds.envelope import envelope
@@ -210,7 +211,7 @@ class TestConsumerEquivalence:
         results = [
             nearest_neighbor(
                 q, series, strategy="cdtw+lb", window=0.1,
-                backend=backend,
+                runtime=Runtime(backend=backend),
             )
             for backend in ("python", "numpy")
         ]
@@ -226,7 +227,8 @@ class TestConsumerEquivalence:
             pure = cdtw_cumulative_abandon(x, y, band=3,
                                            threshold=threshold)
             vect = cdtw_cumulative_abandon(
-                x, y, band=3, threshold=threshold, backend="numpy"
+                x, y, band=3, threshold=threshold,
+                runtime=Runtime(backend="numpy"),
             )
             assert vect.distance == pure.distance
             assert vect.abandoned == pure.abandoned
@@ -238,9 +240,10 @@ class TestConsumerEquivalence:
 
         series = [walk(s + 60, 20) for s in range(6)]
         assert dba(series, band=2, max_iterations=2) == dba(
-            series, band=2, max_iterations=2, backend="numpy"
+            series, band=2, max_iterations=2,
+            runtime=Runtime(backend="numpy"),
         )
         assert dtw_kmeans(series, 2, band=2, max_iterations=2) == (
             dtw_kmeans(series, 2, band=2, max_iterations=2,
-                       backend="numpy")
+                       runtime=Runtime(backend="numpy"))
         )

@@ -1,0 +1,81 @@
+"""find_motif under a Runtime: same pair, any execution context.
+
+Serial discovery prunes pairs with the LB cascade and early
+abandoning; a parallel runtime computes every admissible pair via the
+batch engine and replays the comparison in scan order with a strict
+``<``.  Both are exact, and ties resolve to the first pair in scan
+order either way, so the motif is bit-identical everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.motifs.discovery import find_motif
+from repro.runtime import Runtime
+from tests.conftest import make_series
+
+STREAM = make_series(64, seed=5)
+
+
+def _motif_stream():
+    stream = make_series(80, seed=13, lo=-1.0, hi=1.0)
+    pattern = [3.0, 2.0, 4.0, 1.0, 3.5, 2.5, 4.5, 1.5]
+    for offset in (10, 60):
+        for i, v in enumerate(pattern):
+            stream[offset + i] = v
+    return stream
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+def test_bit_identical_across_contexts(workers, backend):
+    serial = find_motif(STREAM, window=8, band=2)
+    rt = Runtime(workers=workers, backend=backend)
+    parallel = find_motif(STREAM, window=8, band=2, runtime=rt)
+    assert parallel.start_a == serial.start_a
+    assert parallel.start_b == serial.start_b
+    assert parallel.distance == serial.distance
+    assert parallel.windows == serial.windows
+
+
+def test_serial_runtime_reproduces_the_default_exactly():
+    rt = Runtime(workers=1, backend="python")
+    assert find_motif(STREAM, window=8, band=2, runtime=rt) == (
+        find_motif(STREAM, window=8, band=2)
+    )
+
+
+def test_acceptance_context_finds_the_implanted_motif():
+    stream = _motif_stream()
+    serial = find_motif(stream, window=8, band=2)
+    rt = Runtime(workers=4, backend="numpy", executor="default")
+    parallel = find_motif(stream, window=8, band=2, runtime=rt)
+    assert (parallel.start_a, parallel.start_b, parallel.distance) == (
+        serial.start_a, serial.start_b, serial.distance
+    )
+    assert (serial.start_a, serial.start_b) == (10, 60)
+
+
+@pytest.mark.parametrize("step", [1, 3])
+def test_step_and_exclusion_respected_in_parallel(step):
+    serial = find_motif(STREAM, window=8, band=2, step=step, exclusion=12)
+    parallel = find_motif(
+        STREAM, window=8, band=2, step=step, exclusion=12,
+        runtime=Runtime(workers=2),
+    )
+    assert (parallel.start_a, parallel.start_b, parallel.distance) == (
+        serial.start_a, serial.start_b, serial.distance
+    )
+
+
+def test_parallel_distance_calls_count_admissible_pairs():
+    result = find_motif(STREAM, window=8, band=2, runtime=Runtime(workers=2))
+    starts = list(range(0, len(STREAM) - 8 + 1))
+    admissible = sum(
+        1
+        for a in range(len(starts))
+        for b in range(a + 1, len(starts))
+        if starts[b] - starts[a] >= 8
+    )
+    assert result.distance_calls == admissible

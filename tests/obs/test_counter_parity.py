@@ -143,6 +143,61 @@ class TestExecutorCounterParity:
         assert trace.counter("dp.cells") == result.cells
 
 
+class TestRuntimeCounterParity:
+    """The runtime=-constructed column reconciles like every other.
+
+    The unified execution context must be counter-transparent: a
+    batch configured through a ``Runtime`` value reports the same
+    ``dp.*`` numbers as the engine-native kwargs, and an activated
+    runtime's process default reaches traced consumers unchanged.
+    """
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_runtime_constructed_batch_parity(self, backend, workers):
+        _numpy_or_skip(backend)
+        from repro.runtime import Runtime
+
+        series = [make_series(24, s) for s in range(6)]
+        rt = Runtime(workers=workers, backend=backend)
+        with RunTrace() as trace:
+            result = batch_distances(
+                series, measure="cdtw", band=3, runtime=rt
+            )
+        assert trace.counter("dp.cells") == result.cells
+        assert trace.counter("dp.calls") == len(result.pairs)
+        assert trace.counter("batch.pairs") == len(result.pairs)
+        with RunTrace() as native:
+            batch_distances(
+                series, measure="cdtw", band=3, workers=workers,
+                backend=backend,
+            )
+        assert trace.counter("dp.cells") == native.counter("dp.cells")
+        assert trace.counter("dp.calls") == native.counter("dp.calls")
+
+    def test_activated_runtime_default_parity(self):
+        from repro.runtime import Runtime, use_runtime
+
+        series = [make_series(24, s) for s in range(6)]
+        with use_runtime(Runtime(workers=2)):
+            with RunTrace() as trace:
+                result = batch_distances(series, measure="cdtw", band=3)
+        assert trace.counter("dp.cells") == result.cells
+        assert trace.counter("pool.chunks") > 0
+
+    def test_runtime_consumer_parity(self):
+        from repro.core.matrix import distance_matrix
+        from repro.runtime import Runtime
+
+        series = [make_series(24, s) for s in range(6)]
+        with RunTrace() as trace:
+            matrix = distance_matrix(
+                series, measure="cdtw", band=3,
+                runtime=Runtime(workers=2),
+            )
+        assert trace.counter("dp.cells") == matrix.cells
+
+
 class TestSingleCallParity:
     def test_fastdtw_cells(self):
         x, y = make_series(128, 1), make_series(128, 2)

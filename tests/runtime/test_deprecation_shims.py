@@ -1,0 +1,198 @@
+"""Legacy execution kwargs: one warning each, bit-identical results.
+
+Every public entry point that grew `workers=` / `backend=` /
+`executor=` across PRs 1-4 now funnels them through
+`repro.runtime._resolve_legacy`.  The contract, per entry point and
+per kwarg: exactly ONE DeprecationWarning naming the replacement, and
+a result bit-identical to the `runtime=`-style call.  The batch
+engine's own `batch_distances(..., workers=)` keyword is native and
+must stay silent.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.batch import BatchExecutor, batch_distances
+from repro.classify.knn import (
+    DistanceSpec,
+    KNearestNeighbors,
+    OneNearestNeighbor,
+)
+from repro.classify.loocv import best_window_search, loocv_error
+from repro.cluster.dba import dba
+from repro.cluster.kmeans import dtw_kmeans
+from repro.cluster.linkage import linkage_from_series
+from repro.core.matrix import distance_matrix
+from repro.lowerbounds.cascade import LowerBoundCascade
+from repro.runtime import Runtime
+from repro.search.cumulative import cdtw_cumulative_abandon
+from repro.search.nn_search import nearest_neighbor
+from tests.conftest import make_series
+
+SERIES = [make_series(16, seed) for seed in range(6)]
+LABELS = ["a", "b", "a", "b", "a", "b"]
+QUERY = make_series(16, 99)
+SPEC = DistanceSpec("cdtw", window=0.2)
+
+
+def run_matrix(**kw):
+    m = distance_matrix(SERIES, measure="cdtw", band=2, **kw)
+    return (m.values, m.cells)
+
+
+def run_nn(**kw):
+    r = nearest_neighbor(QUERY, SERIES, strategy="cdtw", band=2, **kw)
+    return (r.index, r.distance, r.cells)
+
+
+def run_one_nn(**kw):
+    clf = OneNearestNeighbor(SPEC, **kw).fit(SERIES, LABELS)
+    return tuple(clf.predict([QUERY, SERIES[2]]))
+
+
+def run_knn(**kw):
+    clf = KNearestNeighbors(SPEC, k=3, **kw).fit(SERIES, LABELS)
+    return tuple(clf.predict([QUERY, SERIES[2]]))
+
+
+def run_loocv(**kw):
+    return loocv_error(SERIES, LABELS, SPEC, **kw)
+
+
+def run_window_search(**kw):
+    return best_window_search(
+        SERIES, LABELS, windows=(0.0, 0.2), **kw
+    )
+
+
+def run_linkage(**kw):
+    return linkage_from_series(SERIES, measure="cdtw", band=2, **kw)
+
+
+def run_dba(**kw):
+    return dba(SERIES, band=2, max_iterations=2, **kw)
+
+
+def run_kmeans(**kw):
+    return dtw_kmeans(SERIES, 2, band=2, max_iterations=2, **kw)
+
+
+def run_cascade(**kw):
+    cascade = LowerBoundCascade(QUERY, band=2, **kw)
+    return cascade.nearest(SERIES)
+
+
+def run_cumulative(**kw):
+    return cdtw_cumulative_abandon(
+        SERIES[0], SERIES[1], band=2, threshold=50.0, **kw
+    )
+
+
+# entry point -> (runner, legacy kwargs it accepts)
+ENTRY_POINTS = {
+    "distance_matrix": (run_matrix, ("workers", "backend", "executor")),
+    "nearest_neighbor": (run_nn, ("workers", "backend", "executor")),
+    "OneNearestNeighbor": (run_one_nn, ("workers", "executor")),
+    "KNearestNeighbors": (run_knn, ("workers", "executor")),
+    "loocv_error": (run_loocv, ("workers", "executor")),
+    "best_window_search": (run_window_search, ("workers", "executor")),
+    "linkage_from_series": (run_linkage, ("workers", "backend", "executor")),
+    "dba": (run_dba, ("workers", "backend", "executor")),
+    "dtw_kmeans": (run_kmeans, ("workers", "backend", "executor")),
+    "LowerBoundCascade": (run_cascade, ("backend",)),
+    "cdtw_cumulative_abandon": (run_cumulative, ("backend",)),
+}
+
+CASES = [
+    (name, kwarg)
+    for name, (_, kwargs) in sorted(ENTRY_POINTS.items())
+    for kwarg in kwargs
+]
+
+
+@pytest.fixture(scope="module")
+def shared_executor():
+    with BatchExecutor(workers=2) as exe:
+        yield exe
+
+
+def _kwarg_value(kwarg, shared_executor):
+    return {
+        "workers": 2,
+        "backend": "numpy",
+        "executor": shared_executor,
+    }[kwarg]
+
+
+def _deprecations(record):
+    return [
+        w for w in record if issubclass(w.category, DeprecationWarning)
+    ]
+
+
+@pytest.mark.parametrize("name,kwarg", CASES)
+def test_legacy_kwarg_warns_once_and_matches_runtime(
+    name, kwarg, shared_executor
+):
+    runner, _ = ENTRY_POINTS[name]
+    value = _kwarg_value(kwarg, shared_executor)
+
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        legacy = runner(**{kwarg: value})
+    emitted = _deprecations(record)
+    assert len(emitted) == 1, (
+        f"{name}({kwarg}=...) emitted {len(emitted)} "
+        "DeprecationWarnings; the shim promises exactly one per call"
+    )
+    message = str(emitted[0].message)
+    assert name in message
+    assert f"{kwarg}=" in message
+    assert "runtime=repro.runtime.Runtime" in message
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        modern = runner(runtime=Runtime(**{kwarg: value}))
+    assert legacy == modern
+
+
+@pytest.mark.parametrize("name,kwarg", CASES)
+def test_runtime_style_is_silent(name, kwarg, shared_executor):
+    runner, _ = ENTRY_POINTS[name]
+    value = _kwarg_value(kwarg, shared_executor)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        runner(runtime=Runtime(**{kwarg: value}))
+
+
+def test_combined_legacy_kwargs_still_warn_once():
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        legacy = run_matrix(workers=2, backend="numpy")
+    emitted = _deprecations(record)
+    assert len(emitted) == 1
+    message = str(emitted[0].message)
+    assert "backend=" in message and "workers=" in message
+    modern = run_matrix(runtime=Runtime(workers=2, backend="numpy"))
+    assert legacy == modern
+
+
+def test_engine_workers_kwarg_is_native_not_deprecated():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        result = batch_distances(
+            SERIES, measure="cdtw", band=2, workers=2
+        )
+    serial = batch_distances(SERIES, measure="cdtw", band=2)
+    assert result.distances == serial.distances
+
+
+def test_spec_backend_is_spec_level_not_deprecated():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        spec = DistanceSpec("cdtw", window=0.2, backend="numpy")
+        clf = OneNearestNeighbor(spec).fit(SERIES, LABELS)
+        assert tuple(clf.predict([QUERY])) == run_one_nn()[:1]

@@ -1,0 +1,85 @@
+"""Subsequence search under a Runtime: same match, any context.
+
+The serial scan threads a best-so-far through the LB cascade; a
+parallel runtime z-normalises every window up front and batches the
+exact cDTW distances, then takes the serial argmin (first index wins
+ties).  Pruning is lossless, so start offset, distance and window
+count are bit-identical.  Cascade *pruning counters* are not
+compared: the batched path computes every window by construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import Runtime
+from repro.search.subsequence import (
+    subsequence_search,
+    subsequence_search_topk,
+)
+from tests.conftest import make_series
+
+STREAM = make_series(96, seed=3)
+QUERY = make_series(12, seed=4)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+def test_best_match_bit_identical(workers, backend):
+    serial = subsequence_search(QUERY, STREAM, band=2)
+    rt = Runtime(workers=workers, backend=backend)
+    parallel = subsequence_search(QUERY, STREAM, band=2, runtime=rt)
+    assert parallel.start == serial.start
+    assert parallel.distance == serial.distance
+    assert parallel.windows == serial.windows
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+def test_topk_bit_identical(workers, backend):
+    serial = subsequence_search_topk(QUERY, STREAM, band=2, k=3)
+    rt = Runtime(workers=workers, backend=backend)
+    parallel = subsequence_search_topk(
+        QUERY, STREAM, band=2, k=3, runtime=rt
+    )
+    assert [(m.start, m.distance) for m in parallel] == [
+        (m.start, m.distance) for m in serial
+    ]
+
+
+def test_serial_runtime_reproduces_the_default_exactly():
+    rt = Runtime(workers=1, backend="python")
+    assert subsequence_search(QUERY, STREAM, band=2, runtime=rt) == (
+        subsequence_search(QUERY, STREAM, band=2)
+    )
+
+
+def test_acceptance_context_with_default_executor():
+    rt = Runtime(workers=4, backend="numpy", executor="default")
+    serial = subsequence_search(QUERY, STREAM, band=2)
+    parallel = subsequence_search(QUERY, STREAM, band=2, runtime=rt)
+    assert (parallel.start, parallel.distance) == (
+        serial.start, serial.distance
+    )
+
+
+@pytest.mark.parametrize("step", [1, 4])
+@pytest.mark.parametrize("normalize", [True, False])
+def test_step_and_normalize_respected_in_parallel(step, normalize):
+    serial = subsequence_search(
+        QUERY, STREAM, band=2, step=step, normalize=normalize
+    )
+    parallel = subsequence_search(
+        QUERY, STREAM, band=2, step=step, normalize=normalize,
+        runtime=Runtime(workers=2),
+    )
+    assert parallel.start == serial.start
+    assert parallel.distance == serial.distance
+    assert parallel.windows == serial.windows
+
+
+def test_parallel_stats_account_full_compute():
+    rt = Runtime(workers=2)
+    result = subsequence_search(QUERY, STREAM, band=2, runtime=rt)
+    assert result.stats.candidates == result.windows
+    assert result.stats.full_dtw == result.windows

@@ -163,6 +163,65 @@ class TestAdvise:
             build_parser().parse_args(["advise"])
 
 
+class TestRuntime:
+    def _document(self, capsys):
+        import json
+
+        return json.loads(capsys.readouterr().out)
+
+    def test_prints_builtin_default_as_json(self, capsys):
+        assert main(["runtime"]) == 0
+        doc = self._document(capsys)
+        assert doc["workers"] == 1
+        assert doc["backend"] is None
+        assert doc["backend_resolved"] == "python"
+        assert doc["executor"] is None
+        assert doc["chunksize"] == "auto"
+        assert doc["parallel"] is False
+        assert doc["traced"] is False
+
+    def test_flags_override(self, capsys):
+        assert main([
+            "runtime", "--workers", "3", "--backend", "numpy",
+            "--chunksize", "16",
+        ]) == 0
+        doc = self._document(capsys)
+        assert doc["workers"] == 3
+        assert doc["backend"] == "numpy"
+        assert doc["backend_resolved"] == "numpy"
+        assert doc["chunksize"] == 16
+        assert doc["parallel"] is True
+
+    def test_env_seeds_the_report(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert main(["runtime"]) == 0
+        doc = self._document(capsys)
+        assert doc["workers"] == 5
+        assert doc["backend"] == "numpy"
+
+    def test_flags_beat_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert main(["runtime", "--workers", "2"]) == 0
+        assert self._document(capsys)["workers"] == 2
+
+    def test_bad_backend_exits_2(self, capsys):
+        assert main(["runtime", "--backend", "fortran"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_workers_exits_2(self, capsys):
+        assert main(["runtime", "--workers", "0"]) == 2
+        assert "workers must be >= 1" in capsys.readouterr().err
+
+    def test_bad_chunksize_exits_2(self, capsys):
+        assert main(["runtime", "--chunksize", "fast"]) == 2
+        assert "--chunksize" in capsys.readouterr().err
+
+    def test_chunksize_policies_pass_through(self, capsys):
+        assert main(["runtime", "--chunksize", "legacy"]) == 0
+        assert self._document(capsys)["chunksize"] == "legacy"
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

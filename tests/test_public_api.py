@@ -102,6 +102,35 @@ class TestKernelRegistry:
         assert repro.default_backend() == "python"
 
 
+class TestRuntimeSurface:
+    """The unified execution context is part of the public surface."""
+
+    RUNTIME_NAMES = [
+        "Runtime",
+        "default_runtime",
+        "set_default_runtime",
+        "use_runtime",
+    ]
+
+    @pytest.mark.parametrize("name", RUNTIME_NAMES)
+    def test_exported_top_level(self, name):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None
+
+    def test_top_level_is_runtime_module(self):
+        from repro import runtime
+
+        assert repro.Runtime is runtime.Runtime
+        assert repro.use_runtime is runtime.use_runtime
+        assert repro.default_runtime is runtime.default_runtime
+
+    def test_runtime_module_all_resolves(self):
+        from repro import runtime
+
+        for item in runtime.__all__:
+            assert hasattr(runtime, item), item
+
+
 class TestDocstringCoverage:
     @pytest.mark.parametrize("name", SUBPACKAGES)
     def test_public_callables_documented(self, name):

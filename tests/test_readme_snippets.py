@@ -54,16 +54,31 @@ def test_package_docstring_example():
     assert exact.distance <= approx.distance
 
 
+def test_execution_model_block():
+    from repro import Runtime, use_runtime
+    from repro.core import distance_matrix
+    from repro.datasets.random_walk import random_walks
+
+    series = random_walks(6, 64, seed=1)
+    rt = Runtime(workers=2, backend="numpy")
+
+    m = distance_matrix(series, measure="cdtw", window=0.1, runtime=rt)
+    with use_runtime(rt):
+        m2 = distance_matrix(series, measure="cdtw", window=0.1)
+    assert m.values == m2.values
+    assert m.cells == m2.cells
+
+
 def test_kernel_backend_block():
-    from repro import use_backend
+    from repro import Runtime, use_runtime
     from repro.core import distance_matrix
     from repro.datasets.random_walk import random_walks
 
     series = random_walks(6, 64, seed=1)
     per_call = distance_matrix(
-        series, measure="cdtw", window=0.1, backend="numpy"
+        series, measure="cdtw", window=0.1, runtime=Runtime(backend="numpy")
     )
-    with use_backend("numpy"):
+    with use_runtime(Runtime(backend="numpy")):
         scoped = distance_matrix(series, measure="cdtw", window=0.1)
     # the README's bit-identity claim, against the pure engine
     pure = distance_matrix(series, measure="cdtw", window=0.1)

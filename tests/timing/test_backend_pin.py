@@ -26,6 +26,8 @@ FORBIDDEN_TOKENS = (
     "get_kernels",
     "set_default_backend",
     "use_backend",
+    "set_default_runtime",
+    "use_runtime",
 )
 
 
@@ -59,6 +61,25 @@ class TestExplicitPin:
             switched = batch_pairwise_experiment(series, band=2)
         assert switched.cells == plain.cells
         assert switched.pairs == plain.pairs
+
+    def test_default_runtime_does_not_leak_in(self, monkeypatch):
+        # the harness builds its own explicit Runtime, which resolve()
+        # never merges with the process default; a poisoned NumPy
+        # kernel proves the vectorised path is never reached
+        import repro.core.numpy_backend as nb
+        from repro.runtime import Runtime, use_runtime
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("numpy kernel reached the harness")
+
+        monkeypatch.setattr(nb, "dtw_numpy", boom)
+        monkeypatch.setattr(nb, "dtw_numpy_batch", boom)
+        series = [make_series(16, s) for s in range(4)]
+        plain = batch_pairwise_experiment(series, band=2)
+        with use_runtime(Runtime(backend="numpy", workers=2)):
+            pinned = batch_pairwise_experiment(series, band=2)
+        assert pinned.cells == plain.cells
+        assert pinned.pairs == plain.pairs
 
 
 class TestSourceScan:
