@@ -461,14 +461,28 @@ def _context_for(kind: str, descriptor, params):
     key = (kind, fingerprint, params)
     context = _CONTEXTS.get(key)
     if context is None:
-        series = _dataset_for(descriptor).series()
+        dataset = _dataset_for(descriptor)
+        series = dataset.series()
+        # shared-memory datasets expose zero-copy float64 views; seed
+        # them into the context so the stacked chunk kernels read the
+        # resident buffer directly instead of re-converting the
+        # materialised tuples (the views die with the context, and
+        # _evict_contexts runs before the dataset closes)
+        arrays = None
+        if hasattr(dataset, "arrays"):
+            try:
+                arrays = dataset.arrays()
+            except ImportError:
+                arrays = None
         if kind == "distance":
-            context = _engine._WorkerContext(series, spec=params)
+            context = _engine._WorkerContext(
+                series, spec=params, arrays=arrays
+            )
         else:
             band, squared, backend = params
             context = _engine._WorkerContext(
                 series, lb_band=band, lb_squared=squared,
-                lb_backend=backend,
+                lb_backend=backend, arrays=arrays,
             )
         _CONTEXTS[key] = context
         while len(_CONTEXTS) > _MAX_CONTEXTS:

@@ -25,7 +25,9 @@ costs do.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 Pair = Tuple[int, int]
 
@@ -148,6 +150,102 @@ def plan_chunks(
     if current:
         chunks.append(current)
     return chunks
+
+
+@dataclass(frozen=True)
+class ChunkGroup:
+    """One shape-homogeneous slice of a chunk, ready for a stacked
+    kernel call.
+
+    Attributes
+    ----------
+    n, m:
+        The shared series lengths of every pair in the group.
+    band:
+        The resolved Sakoe-Chiba half-width the spec implies for this
+        shape (``None`` for an unconstrained window).  Part of the
+        grouping key so that one group always maps to exactly one
+        :class:`~repro.core.window.Window`.
+    positions:
+        For each pair, its index within the *original chunk* --
+        results written back as ``out[positions[t]] = result[t]``
+        reassemble the chunk's input order exactly, regardless of the
+        order groups (or the chunks containing them) complete in.
+    pairs:
+        The ``(i, j)`` series-index pairs, in chunk order.
+    """
+
+    n: int
+    m: int
+    band: Optional[int]
+    positions: Tuple[int, ...]
+    pairs: Tuple[Pair, ...]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+def chunk_band(
+    measure: str,
+    window: Optional[float] = None,
+    band: Optional[int] = None,
+) -> Callable[[int, int], Optional[int]]:
+    """The resolved band half-width per pair shape, for grouping.
+
+    Mirrors the geometry rules of the DP entry points exactly:
+    ``dtw`` means no constraint (``None``), a fractional ``window``
+    resolves to ``ceil(window * max(n, m))`` (the
+    :meth:`~repro.core.window.Window.from_fraction` convention), an
+    absolute ``band`` is shape-independent.  Two pairs land in the
+    same :class:`ChunkGroup` only when this function agrees on them,
+    so every group shares one Window.
+    """
+    if measure == "dtw":
+        return lambda n, m: None
+    if measure != "cdtw":
+        raise ValueError(
+            f"no banded-window geometry for measure {measure!r}"
+        )
+    if (window is None) == (band is None):
+        raise ValueError("specify exactly one of window= or band=")
+    if window is not None:
+        frac = window
+        return lambda n, m: math.ceil(frac * max(n, m))
+    return lambda n, m: band
+
+
+def group_chunk(
+    chunk: Sequence[Pair],
+    lengths: Sequence[int],
+    band_for: Optional[Callable[[int, int], Optional[int]]] = None,
+) -> List[ChunkGroup]:
+    """Split one chunk into shape-homogeneous groups for the stacked
+    chunk kernels.
+
+    Groups are keyed by ``(n, m, band)`` -- the exact attributes that
+    determine a pair's Window -- in first-occurrence order, with pair
+    order preserved inside each group.  The groups partition the
+    chunk: every pair appears in exactly one group, and the recorded
+    ``positions`` make reassembly deterministic under any completion
+    order (the ``imap_unordered`` steal property the schedule tests
+    pin down).
+
+    ``band_for`` maps a pair shape to its resolved band (see
+    :func:`chunk_band`); ``None`` groups purely by shape.
+    """
+    buckets: Dict[Tuple[int, int, Optional[int]], List[int]] = {}
+    for t, (i, j) in enumerate(chunk):
+        n, m = lengths[i], lengths[j]
+        b = band_for(n, m) if band_for is not None else None
+        buckets.setdefault((n, m, b), []).append(t)
+    return [
+        ChunkGroup(
+            n=n, m=m, band=b,
+            positions=tuple(ts),
+            pairs=tuple(chunk[t] for t in ts),
+        )
+        for (n, m, b), ts in buckets.items()
+    ]
 
 
 def chunk_cost_summary(

@@ -105,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "python_workers speedup over serial is "
                               "below this (use on multi-core CI; "
                               "meaningless on 1 CPU)")
+    kernels.add_argument("--min-warm-numpy-speedup", type=float,
+                         default=None,
+                         help="with --warm: fail (exit 1) if warm "
+                              "numpy_workers speedup over numpy serial "
+                              "is below this (the chunk-kernel path; "
+                              "use on multi-core CI, meaningless on "
+                              "1 CPU)")
     kernels.add_argument("--out", default=None,
                          help="output JSON path ('-' to skip writing; "
                               "default BENCH_kernels.json, or "
@@ -292,6 +299,16 @@ def cmd_kernels(args) -> int:
             print(
                 f"error: warm python_workers speedup x{speedup:.2f} "
                 f"below required x{args.min_warm_speedup:.2f} "
+                f"(cpu_count={report['cpu_count']})",
+                file=sys.stderr,
+            )
+            return 1
+    if args.warm and args.min_warm_numpy_speedup is not None:
+        speedup = report["warm_numpy_speedup_over_numpy_serial"]
+        if speedup < args.min_warm_numpy_speedup:
+            print(
+                f"error: warm numpy_workers speedup x{speedup:.2f} "
+                f"below required x{args.min_warm_numpy_speedup:.2f} "
                 f"(cpu_count={report['cpu_count']})",
                 file=sys.stderr,
             )

@@ -79,6 +79,23 @@ class KernelSet:
     suffix_gap_bounds:
         ``suffix_gap_bounds(x, y_envelope, squared=True)`` -> per-row
         suffix bounds for cumulative early abandoning.
+    dtw_chunk:
+        ``dtw_chunk(xs, ys, window, cost="squared", count=None)`` ->
+        per-pair distances for one shape-homogeneous stacked chunk.
+        Every distance is bit-identical to ``dtw`` on the same pair;
+        rows at index ``count`` and beyond are padding and are never
+        read (see :func:`repro.core.numpy_backend.dtw_chunk`).
+    envelope_chunk:
+        ``envelope_chunk(series, band, count=None)`` ->
+        ``(upper, lower)`` envelope stacks, row ``t`` value-identical
+        to ``envelope(series[t], band)``.
+    lb_keogh_chunk:
+        ``lb_keogh_chunk(upper, lower, candidates, squared=True,
+        abandon_above=None, count=None)`` -> per-candidate bounds,
+        each bit-identical to the scalar
+        :func:`repro.lowerbounds.lb_keogh.lb_keogh` (unlike
+        ``lb_keogh``, whose batched reduction may differ in final
+        ulps).  Envelopes may be shared (1-D) or stacked per row.
     """
 
     name: str
@@ -88,6 +105,9 @@ class KernelSet:
     lb_keogh: Callable
     lb_keogh_reversed: Callable
     suffix_gap_bounds: Callable
+    dtw_chunk: Callable
+    envelope_chunk: Callable
+    lb_keogh_chunk: Callable
 
 
 def _build_python() -> KernelSet:
@@ -113,6 +133,54 @@ def _build_python() -> KernelSet:
                                   abandon_above=abandon_above)
                 for c in candidates]
 
+    def _real_rows(stack, count):
+        if count is None:
+            return list(stack)
+        if not 0 <= count <= len(stack):
+            raise ValueError(
+                f"count={count} outside the chunk's 0..{len(stack)} rows"
+            )
+        return list(stack[:count])
+
+    def dtw_chunk_each(xs, ys, window, cost="squared", count=None):
+        # the per-pair dispatch the chunk contract falls back to on
+        # this backend; pad rows are dropped before any computation
+        xr, yr = _real_rows(xs, count), _real_rows(ys, count)
+        return [
+            dp_over_window(x, y, window, cost=cost).distance
+            for x, y in zip(xr, yr)
+        ]
+
+    def envelope_chunk_each(series, band, count=None):
+        envs = [envelope(s, band) for s in _real_rows(series, count)]
+        return ([e.upper for e in envs], [e.lower for e in envs])
+
+    def lb_keogh_chunk_each(upper, lower, candidates, squared=True,
+                            abandon_above=None, count=None):
+        from ..lowerbounds.lb_keogh import _gap_cost
+
+        rows = _real_rows(candidates, count)
+        # a 1-D envelope (first element is a scalar) is shared by
+        # every candidate; otherwise it is a per-row stack
+        shared = len(upper) > 0 and not hasattr(upper[0], "__len__")
+        out = []
+        for t, cand in enumerate(rows):
+            up = upper if shared else upper[t]
+            lo = lower if shared else lower[t]
+            if len(cand) != len(up):
+                raise ValueError(
+                    f"candidate length {len(cand)} != envelope length "
+                    f"{len(up)}"
+                )
+            total = 0.0
+            for k, v in enumerate(cand):
+                total += _gap_cost(v, lo[k], up[k], squared)
+                if abandon_above is not None and total > abandon_above:
+                    total = float("inf")
+                    break
+            out.append(total)
+        return out
+
     return KernelSet(
         name="python",
         dtw=dp_over_window,
@@ -121,6 +189,9 @@ def _build_python() -> KernelSet:
         lb_keogh=lb_keogh_each,
         lb_keogh_reversed=lb_keogh_reversed_each,
         suffix_gap_bounds=suffix_gap_bounds,
+        dtw_chunk=dtw_chunk_each,
+        envelope_chunk=envelope_chunk_each,
+        lb_keogh_chunk=lb_keogh_chunk_each,
     )
 
 
@@ -146,6 +217,19 @@ def _build_numpy() -> KernelSet:
         _obs.record_dp(trace, result)
         return result
 
+    def dtw_chunk(xs, ys, window, cost="squared", count=None):
+        # the stacked kernel bypasses the per-call dp hooks, so the
+        # dp.* counters are charged here: one call and
+        # ``window.cell_count()`` lattice cells per real pair, exactly
+        # what the per-pair path records (the counter-parity contract)
+        with _obs.span("dp"):
+            distances = nb.dtw_chunk(
+                xs, ys, window, cost=cost, count=count
+            )
+        _obs.incr("dp.calls", len(distances))
+        _obs.incr("dp.cells", window.cell_count() * len(distances))
+        return distances
+
     return KernelSet(
         name="numpy",
         dtw=dtw,
@@ -154,6 +238,9 @@ def _build_numpy() -> KernelSet:
         lb_keogh=nb.lb_keogh_batch,
         lb_keogh_reversed=nb.lb_keogh_reversed_batch,
         suffix_gap_bounds=nb.suffix_gap_bounds_numpy,
+        dtw_chunk=dtw_chunk,
+        envelope_chunk=nb.envelope_chunk,
+        lb_keogh_chunk=nb.lb_keogh_chunk,
     )
 
 

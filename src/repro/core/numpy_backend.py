@@ -60,9 +60,12 @@ from .window import Window
 __all__ = [
     "dtw_numpy",
     "dtw_numpy_batch",
+    "dtw_chunk",
     "pairwise_matrix_numpy",
     "envelope_numpy",
+    "envelope_chunk",
     "lb_keogh_batch",
+    "lb_keogh_chunk",
     "lb_keogh_reversed_batch",
     "lb_kim_batch",
     "suffix_gap_bounds_numpy",
@@ -429,6 +432,99 @@ def dtw_numpy_batch(
     return _dtw_antidiag(X, Y, window, named)
 
 
+def _chunk_rows(shape0: int, count: Optional[int]) -> int:
+    """Resolve the ``count=`` padding contract: the number of real
+    rows in a possibly padded chunk stack.
+
+    ``None`` means every row is real.  ``count`` beyond the stack (or
+    negative) is an error -- padding can only *add* rows, never invent
+    them.
+    """
+    if count is None:
+        return shape0
+    if not 0 <= count <= shape0:
+        raise ValueError(
+            f"count={count} outside the chunk's 0..{shape0} rows"
+        )
+    return count
+
+
+def dtw_chunk(
+    xs,
+    ys,
+    window: Window,
+    cost: CostLike = "squared",
+    count: Optional[int] = None,
+) -> np.ndarray:
+    """Windowed DTW distances for one shape-homogeneous chunk.
+
+    The chunk-kernel face of :func:`dtw_numpy_batch`: pairs arrive
+    stacked as ``(chunk, n)`` / ``(chunk, m)`` arrays (the batch
+    engine's schedule groups pairs by ``(n, m, band)`` and pads each
+    group into reusable scratch stacks), and the anti-diagonal
+    wavefront advances every pair of the chunk together.
+
+    Parameters
+    ----------
+    xs, ys:
+        Stacked pairs; row ``t`` is the pair ``(xs[t], ys[t])``.
+    window:
+        The admitted region, shared by every pair in the chunk.
+    cost:
+        Built-in cost name.
+    count:
+        Number of *real* leading rows.  Rows at index ``count`` and
+        beyond are padding and are **never read** -- they may hold
+        NaN/inf garbage without affecting any result (the property
+        suite poisons them on purpose).  ``None`` means all rows are
+        real.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(count,)`` distances; entry ``t`` is bit-identical to
+        ``dp_over_window(xs[t], ys[t], window, cost=cost).distance``.
+        Each real pair evaluates ``window.cell_count()`` lattice
+        cells.
+
+    Raises
+    ------
+    ValueError
+        On shape/window mismatch, a callable cost, an out-of-range
+        ``count``, a window excluding the mandatory ``(0, 0)`` start,
+        or a non-finite sample in a *real* row (padding is exempt).
+    """
+    named = _require_named_cost(cost)
+    X = np.ascontiguousarray(xs, dtype=np.float64)
+    Y = np.ascontiguousarray(ys, dtype=np.float64)
+    if X.ndim != 2 or Y.ndim != 2 or X.shape[0] != Y.shape[0]:
+        raise ValueError("xs and ys must be 2-D with matching pair counts")
+    rows = _chunk_rows(X.shape[0], count)
+    # slice the real rows *before* any arithmetic or checks: padding
+    # must be unable to affect results, warnings or validation
+    X, Y = X[:rows], Y[:rows]
+    n, m = X.shape[1], Y.shape[1]
+    if (n, m) != (window.n, window.m):
+        raise ValueError(
+            f"window is {window.n}x{window.m} but series are {n}x{m}"
+        )
+    if window.ranges[0][0] != 0:
+        raise ValueError(
+            f"window row 0 starts at column {window.ranges[0][0]}, "
+            "excluding the mandatory path start (0, 0)"
+        )
+    if rows == 0:
+        return np.empty(0, dtype=np.float64)
+    for name, A in (("xs", X), ("ys", Y)):
+        if not np.isfinite(A).all():
+            t, i = np.argwhere(~np.isfinite(A))[0]
+            raise ValueError(
+                f"chunk {name} row {t}: sample {i} is not finite "
+                f"({A[t, i]!r})"
+            )
+    return _dtw_antidiag(X, Y, window, named)
+
+
 def pairwise_matrix_numpy(
     series: Sequence[Sequence[float]],
     window: Optional[float] = None,
@@ -535,6 +631,117 @@ def envelope_numpy(x, band: int):
     return Envelope(band, upper.tolist(), lower.tolist())
 
 
+def envelope_chunk(
+    series,
+    band: int,
+    count: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lemire warping envelopes for a stacked chunk of series.
+
+    Two sliding-extreme passes over the whole ``(chunk, n)`` stack at
+    once; row ``t`` of the output is value-identical to
+    :func:`repro.lowerbounds.envelope.envelope` of ``series[t]``.
+
+    Parameters
+    ----------
+    series:
+        ``(chunk, n)`` stack (a single 1-D series is promoted to one
+        row).
+    band:
+        Envelope half-width in samples.
+    count:
+        Real leading rows, as in :func:`dtw_chunk`; pad rows are never
+        read.
+
+    Returns
+    -------
+    (numpy.ndarray, numpy.ndarray)
+        ``(upper, lower)`` stacks of shape ``(count, n)``.
+    """
+    if band < 0:
+        raise ValueError("band must be non-negative")
+    arr = np.ascontiguousarray(series, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2 or arr.shape[1] == 0:
+        raise ValueError("series must stack as a non-empty 2-D chunk")
+    rows = _chunk_rows(arr.shape[0], count)
+    arr = arr[:rows]
+    upper = _sliding_extreme(arr, band, np.maximum, -_INF)
+    lower = _sliding_extreme(arr, band, np.minimum, _INF)
+    return upper, lower
+
+
+def lb_keogh_chunk(
+    upper,
+    lower,
+    candidates,
+    squared: bool = True,
+    abandon_above: Optional[float] = None,
+    count: Optional[int] = None,
+) -> np.ndarray:
+    """LB_Keogh over a stacked chunk, bit-identical to the scalar sum.
+
+    Unlike :func:`lb_keogh_batch` (whose pairwise ``sum`` may differ
+    from the scalar implementation in final ulps), this kernel
+    accumulates each row's gap costs with ``np.cumsum`` -- a strictly
+    sequential left-to-right fold, so every bound equals
+    :func:`repro.lowerbounds.lb_keogh.lb_keogh` bit for bit, and the
+    ``abandon_above`` decision is identical too: gap costs are
+    non-negative, so the running total exceeds the threshold at some
+    prefix iff the full total does.
+
+    Parameters
+    ----------
+    upper, lower:
+        Query envelope(s): 1-D ``(n,)`` arrays shared by every
+        candidate, or ``(chunk, n)`` stacks with one envelope per row
+        (e.g. from :func:`envelope_chunk`).
+    candidates:
+        ``(chunk, n)`` candidate stack (1-D promotes to one row).
+    squared:
+        Squared (default) or absolute per-point gap cost.
+    abandon_above:
+        Bounds exceeding this report ``inf``, exactly as the scalar
+        early-abandon does.
+    count:
+        Real leading rows, as in :func:`dtw_chunk`; pad rows (of the
+        candidates *and* of stacked envelopes) are never read.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(count,)`` bounds.
+    """
+    C = np.ascontiguousarray(candidates, dtype=np.float64)
+    if C.ndim == 1:
+        C = C[None, :]
+    rows = _chunk_rows(C.shape[0], count)
+    C = C[:rows]
+    up = np.asarray(upper, dtype=np.float64)
+    lo = np.asarray(lower, dtype=np.float64)
+    if up.shape != lo.shape:
+        raise ValueError("upper and lower envelopes must match in shape")
+    if up.ndim == 2:
+        up, lo = up[:rows], lo[:rows]
+    elif up.ndim != 1:
+        raise ValueError("envelopes must be 1-D or a 2-D stack")
+    if up.shape[-1] != C.shape[1]:
+        raise ValueError(
+            f"candidate length {C.shape[1]} != envelope length "
+            f"{up.shape[-1]}"
+        )
+    if rows == 0:
+        return np.empty(0, dtype=np.float64)
+    gaps = _gap_costs(C, lo, up, squared)
+    # cumsum adds strictly left to right; its last column is the
+    # scalar loop's total, operand for operand
+    totals = np.cumsum(gaps, axis=1)[:, -1]
+    if abandon_above is not None:
+        totals[totals > abandon_above] = _INF
+    return totals
+
+
 def _gap_costs(values: np.ndarray, lower: np.ndarray, upper: np.ndarray,
                squared: bool) -> np.ndarray:
     gaps = np.maximum(values - upper, 0.0) + np.maximum(lower - values, 0.0)
@@ -581,18 +788,15 @@ def lb_keogh_reversed_batch(
     abandon_above: Optional[float] = None,
 ) -> np.ndarray:
     """Reversed LB_Keogh (candidate envelopes vs the query), batched:
-    all candidate envelopes come from two vectorised sliding-extreme
-    passes over the stacked candidates."""
-    if band < 0:
-        raise ValueError("band must be non-negative")
+    all candidate envelopes come from one :func:`envelope_chunk` call
+    over the stacked candidates."""
     q = np.ascontiguousarray(query, dtype=np.float64)
     C = np.ascontiguousarray(candidates, dtype=np.float64)
     if C.ndim == 1:
         C = C[None, :]
     if C.shape[1] != q.shape[0]:
         raise ValueError("query and candidates must share their length")
-    upper = _sliding_extreme(C, band, np.maximum, -_INF)
-    lower = _sliding_extreme(C, band, np.minimum, _INF)
+    upper, lower = envelope_chunk(C, band)
     totals = _gap_costs(q[None, :], lower, upper, squared).sum(axis=1)
     if abandon_above is not None:
         totals[totals > abandon_above] = _INF

@@ -77,12 +77,30 @@ class LowerBoundCascade:
         it is inherently sequential and ignores worker/executor
         settings.  The cascade stays lossless on every backend --
         each stage remains a valid lower bound -- and the exact DP
-        stage is bit-identical; the vectorised bounds may differ from
-        the scalar ones in final ulps, so *prune counters* (not
-        results) can shift by boundary cases.
+        stage is bit-identical.  The Kim and forward Keogh stages are
+        bit-identical too (the forward Keogh runs through the
+        sequential-order ``lb_keogh_chunk`` kernel), so with
+        ``use_reversed=False`` the prune counters match the pure
+        backend exactly; the reversed stage's batched reduction may
+        still differ in final ulps, shifting counters on boundary
+        cases.
     backend:
         Deprecated override of the runtime's backend; passing it
         emits a :class:`DeprecationWarning`.
+
+    Notes
+    -----
+    On a vectorised backend, :meth:`nearest` first computes *full*
+    (no-abandon) Kim and Keogh bounds for every candidate in stacked
+    chunk-kernel calls (:meth:`prefilter_bounds`), then replays the
+    sequential best-so-far scan against the precomputed values.  The
+    decisions are identical to the candidate-at-a-time scan: gap
+    costs are non-negative, so a bound's prefix sums are monotone and
+    "abandoned above the threshold" holds exactly when the full bound
+    exceeds it.  ``lb.invocations`` counts *logical stage
+    evaluations* in replay order (one per stage reached per
+    candidate, exactly as the scalar scan charges them); the batched
+    kernel calls themselves are recorded under ``lb.chunk_prefilter``.
     """
 
     def __init__(
@@ -115,27 +133,56 @@ class LowerBoundCascade:
             kernel_set if kernel_set.name != "python" else None
         )
         self.envelope: Envelope = envelope(self.query, band)
+        if self._kernels is not None:
+            # array views of the envelope, converted once: every
+            # chunk-kernel call over the scan reuses them
+            import numpy as np
+
+            self._env_upper = np.asarray(
+                self.envelope.upper, dtype=np.float64
+            )
+            self._env_lower = np.asarray(
+                self.envelope.lower, dtype=np.float64
+            )
+        else:
+            self._env_upper = self._env_lower = None
         self.stats = CascadeStats()
 
     def distance(
-        self, candidate: Sequence[float], best_so_far: float = inf
+        self,
+        candidate: Sequence[float],
+        best_so_far: float = inf,
+        _kim: Optional[float] = None,
+        _keogh: Optional[float] = None,
     ) -> float:
         """cDTW(query, candidate) or ``inf`` if provably > best_so_far.
 
         The returned value is exact whenever it is finite; ``inf``
         means the candidate was pruned (its true distance exceeds
         ``best_so_far``).
+
+        ``_kim``/``_keogh`` let :meth:`nearest` replay precomputed
+        chunk-prefilter bounds; stage counters and decisions are
+        identical either way (see the class notes).
         """
         if len(candidate) != len(self.query):
             raise ValueError("cascade requires equal-length candidates")
         trace = _obs.active_trace()
         if trace is None:
-            return self._distance_impl(candidate, best_so_far)
+            return self._distance_impl(
+                candidate, best_so_far, _kim, _keogh
+            )
         with _obs.span("lb_cascade"):
-            return self._distance_impl(candidate, best_so_far)
+            return self._distance_impl(
+                candidate, best_so_far, _kim, _keogh
+            )
 
     def _distance_impl(
-        self, candidate: Sequence[float], best_so_far: float
+        self,
+        candidate: Sequence[float],
+        best_so_far: float,
+        kim: Optional[float] = None,
+        keogh: Optional[float] = None,
     ) -> float:
         stats = self.stats
         stats.candidates += 1
@@ -144,20 +191,26 @@ class LowerBoundCascade:
         k = self._kernels
 
         _obs.incr("lb.invocations")
-        if k is not None:
-            kim = k.lb_kim(self.query, (candidate,), cost=cost)[0]
-        else:
-            kim = lb_kim(self.query, candidate, cost=cost)
+        if kim is None:
+            if k is not None:
+                kim = k.lb_kim(self.query, (candidate,), cost=cost)[0]
+            else:
+                kim = lb_kim(self.query, candidate, cost=cost)
         if kim > best_so_far:
             stats.pruned_kim += 1
             _obs.incr("lb.pruned_kim")
             return inf
         _obs.incr("lb.invocations")
-        if k is not None:
-            lb = k.lb_keogh(
-                self.envelope, (candidate,),
+        if keogh is not None:
+            # a full bound prunes iff the abandoning scan would have:
+            # gap costs are non-negative, so total > threshold exactly
+            # when some prefix crossed it
+            lb = keogh
+        elif k is not None:
+            lb = float(k.lb_keogh_chunk(
+                self._env_upper, self._env_lower, (candidate,),
                 squared=self.squared, abandon_above=best_so_far,
-            )[0]
+            )[0])
         else:
             lb = lb_keogh(
                 self.envelope, candidate,
@@ -222,19 +275,71 @@ class LowerBoundCascade:
         _obs.incr("lb.full_dtw")
         return result.distance
 
+    def prefilter_bounds(self, candidates: Sequence[Sequence[float]]):
+        """Full (no-abandon) Kim and Keogh bounds for every candidate.
+
+        Returns ``(kims, keoghs)``, two sequences of floats aligned
+        with ``candidates``.  On a vectorised backend both come from
+        one stacked kernel call each (recorded under
+        ``lb.chunk_prefilter``); the pure backend loops the scalar
+        bounds.  Either way each value is bit-identical to what the
+        corresponding cascade stage would compute without a
+        threshold, so :meth:`distance` can replay them with unchanged
+        decisions.
+        """
+        n = len(self.query)
+        for cand in candidates:
+            if len(cand) != n:
+                raise ValueError(
+                    "cascade requires equal-length candidates"
+                )
+        cost = "squared" if self.squared else "abs"
+        k = self._kernels
+        if k is None:
+            kims = [
+                lb_kim(self.query, c, cost=cost) for c in candidates
+            ]
+            keoghs = [
+                lb_keogh(self.envelope, c, squared=self.squared)
+                for c in candidates
+            ]
+            return kims, keoghs
+        _obs.incr("lb.chunk_prefilter")
+        kims = k.lb_kim(self.query, candidates, cost=cost)
+        _obs.incr("lb.chunk_prefilter")
+        keoghs = k.lb_keogh_chunk(
+            self._env_upper, self._env_lower, candidates,
+            squared=self.squared,
+        )
+        return [float(v) for v in kims], [float(v) for v in keoghs]
+
     def nearest(self, candidates: Sequence[Sequence[float]]) -> tuple:
         """Index and distance of the nearest candidate to the query.
 
         Returns ``(index, distance)``; raises ``ValueError`` on an
         empty candidate list.  Exactness follows from the bounds being
         lower bounds: a pruned candidate cannot beat ``best_so_far``.
+
+        On a vectorised backend the Kim/Keogh bounds for the whole
+        scan come from :meth:`prefilter_bounds` up front; the
+        sequential best-so-far replay then makes decisions identical
+        to the candidate-at-a-time scan (see the class notes).
         """
         if not candidates:
             raise ValueError("no candidates to search")
+        pre_kim = pre_keogh = None
+        if self._kernels is not None:
+            pre_kim, pre_keogh = self.prefilter_bounds(candidates)
         best_idx = -1
         best = inf
         for idx, cand in enumerate(candidates):
-            d = self.distance(cand, best_so_far=best)
+            if pre_kim is None:
+                d = self.distance(cand, best_so_far=best)
+            else:
+                d = self.distance(
+                    cand, best_so_far=best,
+                    _kim=pre_kim[idx], _keogh=pre_keogh[idx],
+                )
             if d < best:
                 best, best_idx = d, idx
         if best_idx < 0:

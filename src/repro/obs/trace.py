@@ -41,7 +41,15 @@ counter                      incremented by
 ``lb.abandoned_dtw``         candidates abandoned inside the final DP
 ``lb.full_dtw``              candidates that ran a complete DP
 ``lb.suffix_builds``         cumulative-bound suffix arrays built
+``lb.chunk_prefilter``       stacked bound-kernel calls by the
+                             cascade's chunk prefilter
 ``cumulative.calls``         cumulative-abandon cDTW invocations
+``chunk.groups``             shape-homogeneous groups formed from
+                             scheduled chunks
+``chunk.calls``              stacked chunk-kernel invocations
+``chunk.pairs``              real pairs computed through chunk kernels
+``chunk.pad_rows``           scratch padding rows alongside them
+                             (never read; see the padding contract)
 ``fastdtw.calls``            top-level FastDTW invocations
 ``fastdtw.levels``           FastDTW recursion levels executed
 ``nn.queries``               1-NN searches started

@@ -212,7 +212,11 @@ def executor_benchmark(
     All regimes must produce bit-identical distances and cells (the
     report records the check).  ``cpu_count`` is recorded because the
     parallel rows cannot beat serial on fewer than two cores --
-    interpret speedups against it.
+    interpret speedups against it; on a single-core runner the note
+    says so explicitly.  ``chunk_stats`` records how the numpy warm
+    path exercised the stacked chunk kernels (scheduled chunks,
+    kernel calls, shape groups, stacked pairs, pad waste), taken from
+    one untimed traced call against the warm executor.
     """
     if count < 2:
         raise ValueError("count must be at least 2")
@@ -240,6 +244,7 @@ def executor_benchmark(
     timings: Dict[str, Dict] = {}
     results = {}
     executors = []
+    chunk_stats: Dict[str, float] = {}
     try:
         for backend in ("python", "numpy"):
             seconds, result = _best_of(
@@ -274,6 +279,14 @@ def executor_benchmark(
                 "seconds": seconds,
                 "per_pair_seconds": seconds / pairs,
             }
+            if backend == "numpy":
+                # one untimed probed call against the warm executor to
+                # record how the chunk-kernel path actually ran
+                from ..batch.engine import chunk_probe
+
+                _, chunk_stats = chunk_probe(
+                    lambda: run(backend, workers, executor=exe)
+                )
     finally:
         for exe in executors:
             exe.shutdown()
@@ -290,20 +303,30 @@ def executor_benchmark(
     base = timings["python_serial"]["seconds"]
     numpy_base = timings["numpy_serial"]["seconds"]
     speedups = {
-        label: (base / t["seconds"]) if t["seconds"] > 0 else float("inf")
+        label: float(base / t["seconds"])
+        if t["seconds"] > 0 else float("inf")
         for label, t in timings.items()
         if label != "python_serial"
     }
 
+    cpu_count = os.cpu_count() or 1
+    note = (
+        "warm-vs-cold pool comparison for the repeated-use stack; "
+        "the paper's own timings are executor-free and pinned to "
+        "backend='python'.  Parallel rows need cpu_count >= 2 to "
+        "beat serial."
+    )
+    if cpu_count < 2:
+        note += (
+            f"  This run had cpu_count={cpu_count}: the worker rows "
+            "time-share one core, so warm speedups below 1.0 reflect "
+            "the runner, not the chunk-kernel path."
+        )
+
     return {
         "benchmark": "repro.timing.kernel_bench/executor",
-        "note": (
-            "warm-vs-cold pool comparison for the repeated-use stack; "
-            "the paper's own timings are executor-free and pinned to "
-            "backend='python'.  Parallel rows need cpu_count >= 2 to "
-            "beat serial."
-        ),
-        "cpu_count": os.cpu_count(),
+        "note": note,
+        "cpu_count": cpu_count,
         "workload": {
             "kind": "random_walk",
             "count": count,
@@ -317,16 +340,17 @@ def executor_benchmark(
         },
         "timings": timings,
         "speedups_over_python_serial": speedups,
-        "warm_python_speedup_over_serial": (
+        "warm_python_speedup_over_serial": float(
             base / timings["python_workers_warm"]["seconds"]
             if timings["python_workers_warm"]["seconds"] > 0
             else float("inf")
         ),
-        "warm_numpy_speedup_over_numpy_serial": (
+        "warm_numpy_speedup_over_numpy_serial": float(
             numpy_base / timings["numpy_workers_warm"]["seconds"]
             if timings["numpy_workers_warm"]["seconds"] > 0
             else float("inf")
         ),
+        "chunk_stats": chunk_stats,
         "parity": {
             "distances_identical": distances_identical,
             "cells_identical": cells_identical,
@@ -355,6 +379,16 @@ def format_executor_report(report: Dict) -> str:
         "warm numpy vs numpy serial: "
         f"x{report['warm_numpy_speedup_over_numpy_serial']:.2f}"
     )
+    cs = report.get("chunk_stats")
+    if cs:
+        lines.append(
+            f"  chunks: {cs['sched_chunks']} scheduled, "
+            f"{cs['kernel_calls']} stacked kernel calls over "
+            f"{cs['groups']} shape groups, "
+            f"{cs['stacked_pairs']} pairs stacked "
+            f"({cs['pad_rows']} pad rows, "
+            f"{cs['pad_waste_fraction']:.1%} pad waste)"
+        )
     parity = report["parity"]
     ok = parity["distances_identical"] and parity["cells_identical"]
     lines.append(

@@ -315,11 +315,94 @@ class TestNumpyBackendColumns:
         )
         # worker-invariance is exact within the backend
         assert serial.distances == pooled.distances
-        # cross-backend the sums may differ in final ulps, but each
-        # value must stay a valid lower bound of the true distance
-        for (i, j), np_bound, py_bound in zip(
-            serial.pairs, serial.distances, python.distances
-        ):
-            assert np_bound == pytest.approx(py_bound, rel=1e-12)
+        # the chunk kernel folds gap costs in the scalar order, so the
+        # numpy bounds are bit-identical to the scalar path -- and of
+        # course remain valid lower bounds of the true distance
+        assert serial.distances == python.distances
+        for (i, j), np_bound in zip(serial.pairs, serial.distances):
             true_d = cdtw(series[i], series[j], band=band).distance
             assert np_bound <= true_d + 1e-9
+
+
+class TestChunkKernelPath:
+    """The stacked chunk-kernel route vs per-pair python dispatch.
+
+    ``backend="numpy"`` distance batches collapse chunks into
+    ``dtw_chunk`` calls grouped by ``(n, m, band)``; everything --
+    distances, per-pair cells, order -- must stay bit-identical to the
+    per-pair python path for every worker count and executor regime.
+    """
+
+    def ragged_series(self, seed):
+        rng = random.Random(seed)
+        lengths = [rng.choice((18, 24, 31)) for _ in range(8)]
+        return [
+            [rng.uniform(-3.0, 3.0) for _ in range(n)] for n in lengths
+        ]
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("measure,kwargs", [
+        ("dtw", {}),
+        ("cdtw", {"window": 0.1}),
+        ("cdtw", {"band": 4}),
+    ])
+    def test_ragged_chunked_matches_python(self, workers, measure,
+                                           kwargs):
+        series = self.ragged_series(21)
+        reference = batch_distances(series, measure=measure, **kwargs)
+        chunked = batch_distances(
+            series, measure=measure, backend="numpy", workers=workers,
+            **kwargs,
+        )
+        assert chunked.distances == reference.distances
+        assert chunked.cells_per_pair == reference.cells_per_pair
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_executor_chunked_matches_python(self, workers):
+        from repro.batch.executor import BatchExecutor
+
+        series = self.ragged_series(22)
+        reference = batch_distances(series, measure="cdtw", window=0.1)
+        exe = BatchExecutor(workers=workers, cap=None)
+        try:
+            # twice: the second call hits the warm dataset + contexts
+            for _ in range(2):
+                chunked = batch_distances(
+                    series, measure="cdtw", window=0.1,
+                    backend="numpy", executor=exe,
+                )
+                assert chunked.distances == reference.distances
+                assert (
+                    chunked.cells_per_pair == reference.cells_per_pair
+                )
+        finally:
+            exe.shutdown()
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_normalized_chunked_matches_python(self, workers):
+        series = self.ragged_series(23)
+        reference = batch_distances(
+            series, measure="cdtw", window=0.2, normalize=True
+        )
+        chunked = batch_distances(
+            series, measure="cdtw", window=0.2, normalize=True,
+            backend="numpy", workers=workers,
+        )
+        assert chunked.distances == reference.distances
+        assert chunked.cells == reference.cells
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_lb_chunked_bit_equal_to_scalar(self, workers):
+        from repro.batch import batch_lb_keogh
+        from repro.lowerbounds.envelope import envelope
+        from repro.lowerbounds.lb_keogh import lb_keogh
+
+        series = fuzz_series(24, count=6, length=26)
+        band = 2
+        result = batch_lb_keogh(
+            series, band=band, backend="numpy", workers=workers
+        )
+        for (i, j), bound in zip(result.pairs, result.distances):
+            assert bound == lb_keogh(
+                envelope(series[i], band), series[j]
+            )

@@ -14,8 +14,10 @@ import pytest
 from repro.batch import batch_distances
 from repro.batch.engine import _resolve_chunks, default_chunksize
 from repro.batch.schedule import (
+    chunk_band,
     chunk_cost_summary,
     distance_pair_cost,
+    group_chunk,
     lb_pair_cost,
     plan_chunks,
 )
@@ -178,3 +180,116 @@ class TestChunksizeOptions:
         series = [make_series(16, s) for s in range(3)]
         with pytest.raises(ValueError, match="chunksize"):
             batch_distances(series, workers=2, chunksize="bogus")
+
+
+class TestChunkBand:
+    def test_dtw_is_unconstrained(self):
+        band_for = chunk_band("dtw")
+        assert band_for(10, 20) is None
+
+    def test_fraction_matches_window_geometry(self):
+        # must agree with Window.from_fraction's ceil convention, or a
+        # group's shared Window would disagree with the per-pair path
+        from repro.core.window import Window
+
+        band_for = chunk_band("cdtw", window=0.13)
+        for n, m in ((10, 10), (17, 23), (100, 99), (3, 3)):
+            expected = Window.from_fraction(n, m, 0.13)
+            got = Window.band(n, m, band_for(n, m))
+            assert got.ranges == expected.ranges
+
+    def test_absolute_band_shape_independent(self):
+        band_for = chunk_band("cdtw", band=5)
+        assert band_for(10, 10) == band_for(500, 700) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            chunk_band("cdtw")
+        with pytest.raises(ValueError, match="exactly one"):
+            chunk_band("cdtw", window=0.1, band=3)
+        with pytest.raises(ValueError, match="euclidean"):
+            chunk_band("euclidean", band=3)
+
+
+class TestGroupChunk:
+    LENGTHS = (20, 20, 13, 13, 20, 8)
+
+    def mixed_chunk(self):
+        return [(0, 1), (2, 3), (0, 4), (5, 2), (4, 1), (3, 2), (0, 5)]
+
+    def test_mixed_shapes_produce_multiple_groups(self):
+        groups = group_chunk(self.mixed_chunk(), self.LENGTHS)
+        assert len(groups) >= 2
+
+    def test_no_pair_dropped_or_duplicated(self):
+        chunk = self.mixed_chunk()
+        groups = group_chunk(chunk, self.LENGTHS)
+        positions = sorted(p for g in groups for p in g.positions)
+        assert positions == list(range(len(chunk)))
+        rebuilt = sorted(p for g in groups for p in g.pairs)
+        assert rebuilt == sorted(chunk)
+
+    def test_groups_are_shape_homogeneous(self):
+        band_for = chunk_band("cdtw", window=0.1)
+        for g in group_chunk(
+            self.mixed_chunk(), self.LENGTHS, band_for=band_for
+        ):
+            for i, j in g.pairs:
+                assert (self.LENGTHS[i], self.LENGTHS[j]) == (g.n, g.m)
+                assert band_for(g.n, g.m) == g.band
+
+    def test_first_occurrence_order_and_ascending_positions(self):
+        chunk = self.mixed_chunk()
+        groups = group_chunk(chunk, self.LENGTHS)
+        firsts = [g.positions[0] for g in groups]
+        assert firsts == sorted(firsts)
+        for g in groups:
+            assert list(g.positions) == sorted(g.positions)
+            assert g.pairs == tuple(chunk[t] for t in g.positions)
+
+    def test_band_splits_otherwise_equal_shapes(self):
+        # same (n, m) but different resolved band -> different Window
+        # -> must not share a group
+        chunk = [(0, 1), (0, 1)]
+        groups = group_chunk(
+            chunk, (10, 10),
+            band_for=lambda n, m, _c=iter((1, 2)): next(_c),
+        )
+        assert len(groups) == 2
+
+    def test_cost_totals_preserved(self):
+        # regrouping must not change the cost model's view of a chunk
+        chunk = self.mixed_chunk()
+        cost = distance_pair_cost(self.LENGTHS, "cdtw", window=0.1)
+        groups = group_chunk(
+            chunk, self.LENGTHS,
+            band_for=chunk_band("cdtw", window=0.1),
+        )
+        group_total = sum(
+            sum(cost(i, j) for i, j in g.pairs) for g in groups
+        )
+        assert group_total == sum(cost(i, j) for i, j in chunk)
+
+    def test_reassembly_deterministic_under_any_completion_order(self):
+        # simulate imap_unordered steals: whatever order groups (or
+        # chunks) complete in, writing through `positions` rebuilds
+        # exactly the input order
+        import random as _random
+
+        chunk = self.mixed_chunk()
+        groups = group_chunk(chunk, self.LENGTHS)
+        expected = list(chunk)
+        for seed in range(5):
+            shuffled = list(groups)
+            _random.Random(seed).shuffle(shuffled)
+            out = [None] * len(chunk)
+            for g in shuffled:
+                for pos, pair in zip(g.positions, g.pairs):
+                    out[pos] = pair
+            assert out == expected
+
+    def test_uniform_chunk_is_one_group(self):
+        chunk = [(0, 1), (1, 4), (4, 0)]
+        groups = group_chunk(chunk, self.LENGTHS)
+        assert len(groups) == 1
+        assert groups[0].positions == (0, 1, 2)

@@ -8,7 +8,7 @@ supports.  These are the property tests the ISSUE acceptance names.
 
 import pytest
 
-from repro.batch.engine import batch_distances
+from repro.batch.engine import batch_distances, batch_lb_keogh
 from repro.core.cdtw import cdtw
 from repro.core.fastdtw import fastdtw
 from repro.core.fastdtw_reference import fastdtw_reference
@@ -285,3 +285,142 @@ class TestDisabledTraceUntouched:
         assert traced.distances == plain.distances
         assert trace.counter("dp.cells") == traced.cells
         assert active_trace() is None
+
+
+class TestChunkCounterParity:
+    """The stacked chunk-kernel path: new ``chunk.*`` counters plus
+    unchanged ``dp.*`` parity across workers and executor regimes."""
+
+    def ragged(self):
+        return [make_series(n, s) for s, n in enumerate(
+            (24, 24, 17, 17, 24, 17, 24, 17)
+        )]
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_chunk_counters_and_dp_parity(self, workers):
+        pytest.importorskip("numpy")
+        series = self.ragged()
+        with RunTrace() as trace:
+            result = batch_distances(
+                series, measure="cdtw", window=0.1,
+                backend="numpy", workers=workers,
+            )
+        # every pair passes through exactly one stacked kernel call
+        assert trace.counter("chunk.pairs") == len(result.pairs)
+        assert trace.counter("chunk.groups") >= 1
+        assert trace.counter("chunk.calls") == trace.counter(
+            "chunk.groups"
+        )
+        assert trace.counter("chunk.pad_rows") >= 0
+        # dp.* parity is untouched by the chunked route
+        assert trace.counter("dp.cells") == result.cells
+        assert trace.counter("dp.calls") == len(result.pairs)
+        with RunTrace() as py_trace:
+            batch_distances(
+                series, measure="cdtw", window=0.1, workers=workers
+            )
+        assert trace.counter("dp.cells") == py_trace.counter("dp.cells")
+        assert trace.counter("dp.calls") == py_trace.counter("dp.calls")
+
+    def test_per_pair_python_path_has_no_chunk_counters(self):
+        series = self.ragged()
+        with RunTrace() as trace:
+            batch_distances(series, measure="cdtw", window=0.1)
+        assert trace.counter("chunk.calls") == 0
+        assert trace.counter("chunk.groups") == 0
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_executor_chunk_counters(self, workers):
+        pytest.importorskip("numpy")
+        from repro.batch.executor import BatchExecutor
+
+        series = self.ragged()
+        exe = BatchExecutor(workers=workers, cap=None)
+        try:
+            batch_distances(
+                series, measure="cdtw", window=0.1,
+                backend="numpy", executor=exe,
+            )  # untimed warm-up: attach dataset, build contexts
+            with RunTrace() as trace:
+                result = batch_distances(
+                    series, measure="cdtw", window=0.1,
+                    backend="numpy", executor=exe,
+                )
+        finally:
+            exe.shutdown()
+        assert trace.counter("chunk.pairs") == len(result.pairs)
+        assert trace.counter("chunk.groups") >= 1
+        assert trace.counter("dp.cells") == result.cells
+        assert trace.counter("dp.calls") == len(result.pairs)
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_lb_chunk_counters(self, workers):
+        pytest.importorskip("numpy")
+        series = [make_series(20, s) for s in range(6)]
+        with RunTrace() as trace:
+            result = batch_lb_keogh(
+                series, band=2, backend="numpy", workers=workers
+            )
+        assert trace.counter("chunk.pairs") == len(result.pairs)
+        assert trace.counter("chunk.groups") >= 1
+        assert trace.counter("lb.invocations") == len(result.pairs)
+
+
+class TestCascadeChunkPrefilterParity:
+    """The cascade's chunked prefilter replays the scalar decisions."""
+
+    def workload(self):
+        query = make_series(40, 70)
+        candidates = [make_series(40, s + 71) for s in range(12)]
+        return query, candidates
+
+    def test_stats_identical_across_backends(self):
+        pytest.importorskip("numpy")
+        from repro.runtime import Runtime
+
+        query, candidates = self.workload()
+        outcomes = {}
+        for backend in BACKENDS:
+            cascade = LowerBoundCascade(
+                query, band=3, use_reversed=False,
+                runtime=Runtime(backend=backend),
+            )
+            idx, dist = cascade.nearest(candidates)
+            outcomes[backend] = (idx, float(dist), cascade.stats)
+        assert outcomes["python"] == outcomes["numpy"]
+
+    def test_numpy_trace_reconciles_with_stats(self):
+        pytest.importorskip("numpy")
+        from repro.runtime import Runtime
+
+        query, candidates = self.workload()
+        cascade = LowerBoundCascade(
+            query, band=3, use_reversed=False,
+            runtime=Runtime(backend="numpy"),
+        )
+        with RunTrace() as trace:
+            cascade.nearest(candidates)
+        stats = cascade.stats
+        assert trace.counter("lb.candidates") == stats.candidates
+        assert trace.counter("lb.pruned_kim") == stats.pruned_kim
+        assert trace.counter("lb.pruned_keogh") == stats.pruned_keogh
+        assert trace.counter("lb.abandoned_dtw") == stats.abandoned_dtw
+        assert trace.counter("lb.full_dtw") == stats.full_dtw
+        assert trace.counter("dp.cells") == stats.cells
+        # one stacked kernel call each for the kim and keogh bounds
+        assert trace.counter("lb.chunk_prefilter") == 2
+        # lb.invocations counts logical stage evaluations in replay
+        # order: one kim per candidate plus one keogh per kim survivor
+        expected = stats.candidates + (
+            stats.candidates - stats.pruned_kim
+        )
+        assert trace.counter("lb.invocations") == expected
+
+    def test_python_prefilter_is_scalar_and_uncounted(self):
+        query, candidates = self.workload()
+        cascade = LowerBoundCascade(query, band=3, use_reversed=False)
+        kims, keoghs = cascade.prefilter_bounds(candidates)
+        assert len(kims) == len(keoghs) == len(candidates)
+        with RunTrace() as trace:
+            cascade.prefilter_bounds(candidates)
+        assert trace.counter("lb.chunk_prefilter") == 0

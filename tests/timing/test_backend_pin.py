@@ -28,6 +28,10 @@ FORBIDDEN_TOKENS = (
     "use_backend",
     "set_default_runtime",
     "use_runtime",
+    # the stacked chunk kernels (dtw_chunk, envelope_chunk,
+    # lb_keogh_chunk) are repeated-use machinery; the paper harness
+    # must never route through them
+    "_chunk",
 )
 
 

@@ -1,0 +1,104 @@
+"""Schema smoke test for the executor benchmark report.
+
+``python -m repro kernels --warm`` writes ``BENCH_batch.json`` from
+:func:`repro.timing.kernel_bench.executor_benchmark`; downstream
+tooling (the CI speedup gates, the README table) reads specific keys
+at full float precision, so the emitted schema is a contract.  The
+workload here is tiny -- the timings are meaningless, only the shape
+and types of the report matter.
+"""
+
+import json
+import math
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.timing.kernel_bench import (  # noqa: E402
+    executor_benchmark,
+    format_executor_report,
+)
+
+TIMING_LABELS = (
+    "python_serial", "python_workers_cold", "python_workers_warm",
+    "numpy_serial", "numpy_workers_cold", "numpy_workers_warm",
+)
+
+CHUNK_STAT_KEYS = (
+    "sched_chunks", "kernel_calls", "groups",
+    "stacked_pairs", "pad_rows", "pad_waste_fraction",
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return executor_benchmark(
+        length=32, count=4, window=0.2, workers=2, repeats=1, seed=0
+    )
+
+
+class TestExecutorReportSchema:
+    def test_top_level_keys(self, report):
+        for key in (
+            "benchmark", "note", "cpu_count", "workload", "timings",
+            "speedups_over_python_serial",
+            "warm_python_speedup_over_serial",
+            "warm_numpy_speedup_over_numpy_serial",
+            "chunk_stats", "parity",
+        ):
+            assert key in report
+
+    def test_timing_rows(self, report):
+        assert set(report["timings"]) == set(TIMING_LABELS)
+        for row in report["timings"].values():
+            assert row["seconds"] > 0
+            assert row["per_pair_seconds"] > 0
+
+    def test_warm_speedups_are_full_precision_floats(self, report):
+        for key in (
+            "warm_python_speedup_over_serial",
+            "warm_numpy_speedup_over_numpy_serial",
+        ):
+            value = report[key]
+            assert type(value) is float
+            assert math.isfinite(value) and value > 0
+        for value in report["speedups_over_python_serial"].values():
+            assert type(value) is float
+
+    def test_chunk_stats_schema(self, report):
+        cs = report["chunk_stats"]
+        assert set(cs) == set(CHUNK_STAT_KEYS)
+        pairs = report["workload"]["pairs"]
+        assert cs["stacked_pairs"] == pairs
+        assert cs["kernel_calls"] == cs["groups"] >= 1
+        assert cs["sched_chunks"] >= 1
+        assert cs["pad_rows"] >= 0
+        waste = cs["pad_waste_fraction"]
+        assert 0.0 <= waste < 1.0
+        assert waste == cs["pad_rows"] / (
+            cs["stacked_pairs"] + cs["pad_rows"]
+        )
+
+    def test_cpu_count_recorded(self, report):
+        assert isinstance(report["cpu_count"], int)
+        assert report["cpu_count"] >= 1
+        if report["cpu_count"] < 2:
+            assert "cpu_count=1" in report["note"]
+
+    def test_parity_holds_on_smoke_workload(self, report):
+        assert report["parity"]["distances_identical"] is True
+        assert report["parity"]["cells_identical"] is True
+
+    def test_json_round_trip_preserves_floats(self, report):
+        rebuilt = json.loads(json.dumps(report))
+        assert (
+            rebuilt["warm_numpy_speedup_over_numpy_serial"]
+            == report["warm_numpy_speedup_over_numpy_serial"]
+        )
+        assert rebuilt["chunk_stats"] == report["chunk_stats"]
+
+    def test_format_mentions_chunk_stats(self, report):
+        text = format_executor_report(report)
+        assert "stacked kernel calls" in text
+        assert "pad waste" in text
