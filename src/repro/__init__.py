@@ -40,6 +40,14 @@ from .core import (
     use_backend,
     windowed_dtw,
 )
+from .index import (
+    DatasetIndex,
+    IndexMismatchError,
+    build_index,
+    build_stream_index,
+    load_index,
+    save_index,
+)
 from .obs import RunTrace, TraceSnapshot, active_trace
 from .runtime import (
     Runtime,
@@ -53,8 +61,10 @@ __version__ = "1.0.0"
 __all__ = [
     "BatchExecutor",
     "BatchResult",
+    "DatasetIndex",
     "DtwResult",
     "FastDtwResult",
+    "IndexMismatchError",
     "KernelSet",
     "RunTrace",
     "Runtime",
@@ -65,6 +75,8 @@ __all__ = [
     "approximation_error_percent",
     "available_backends",
     "batch_distances",
+    "build_index",
+    "build_stream_index",
     "cdtw",
     "default_backend",
     "default_runtime",
@@ -73,7 +85,9 @@ __all__ = [
     "fastdtw",
     "get_kernels",
     "halve",
+    "load_index",
     "paa",
+    "save_index",
     "set_default_backend",
     "set_default_runtime",
     "use_backend",

@@ -69,6 +69,7 @@ def find_discord(
     exclusion: Optional[int] = None,
     normalize: bool = True,
     runtime: Optional[Runtime] = None,
+    index=None,
 ) -> Discord:
     """Find the top discord of ``stream`` under banded cDTW.
 
@@ -98,6 +99,17 @@ def find_discord(
         ``start``, ``score`` and ``neighbor_start`` are bit-identical
         in every context; only the ``distance_calls`` provenance
         differs (see :class:`Discord`).
+    index:
+        Optional ahead-of-time index of this stream's windows (built
+        by ``repro.index`` with the same ``window``/``band``/
+        ``step``/``normalize``; fingerprint-verified).  The scan then
+        serves the stored z-normalised windows and every envelope --
+        the candidate's *and* each neighbour's -- from the index and
+        adds the LB_Improved stage.  Scan order, thresholds and
+        ``distance_calls`` are unchanged, so the result is
+        bit-identical to the serial index-free scan.  The indexed
+        path is sequential; a parallel runtime contributes only its
+        backend.
 
     Returns
     -------
@@ -115,11 +127,20 @@ def find_discord(
         raise ValueError("exclusion must be positive")
     validate_series(stream, "stream")
 
-    starts: List[int] = []
-    series: List[List[float]] = []
-    for start, w in sliding_windows(stream, window, step):
-        starts.append(start)
-        series.append(znorm(w) if normalize else w)
+    if index is not None:
+        index.require(
+            kind="windows", band=band, window=window, step=step,
+            normalize=normalize,
+        )
+        index.verify_stream(stream)
+        starts = list(index.starts)
+        series = [list(s) for s in index.series]
+    else:
+        starts = []
+        series = []
+        for start, w in sliding_windows(stream, window, step):
+            starts.append(start)
+            series.append(znorm(w) if normalize else w)
     k = len(series)
     if k < 2:
         raise ValueError("stream too short for two windows")
@@ -133,7 +154,7 @@ def find_discord(
     best_neighbor = -1
     calls = 0
 
-    if rt.parallel:
+    if rt.parallel and index is None:
         dist, calls = _pairwise_distances(series, starts, exclusion,
                                           band, rt)
         for i in range(k):
@@ -150,28 +171,44 @@ def find_discord(
                 best_idx = i
                 best_neighbor = nn_idx
     else:
+        searcher = (
+            index.searcher(runtime=rt) if index is not None else None
+        )
         for i in range(k):
-            cascade = LowerBoundCascade(series[i], band, runtime=rt)
+            if searcher is not None:
+                scan = searcher.scan(series[i], query_index=i)
+                distance_to = scan.distance
+            else:
+                scan = None
+                cascade = LowerBoundCascade(series[i], band, runtime=rt)
+                distance_to = (
+                    lambda j, bound, _c=cascade:
+                    _c.distance(series[j], best_so_far=bound)
+                )
             nn = inf
             nn_idx = -1
-            for j in range(k):
-                if abs(starts[i] - starts[j]) < exclusion:
-                    continue
-                calls += 1
-                d = cascade.distance(series[j], best_so_far=nn)
-                if d < nn:
-                    nn, nn_idx = d, j
-                if nn < best_score:
-                    # outer early abandoning: this candidate's
-                    # neighbour is already closer than the best
-                    # discord's -- it can only get closer, so it
-                    # cannot win
-                    break
-            else:
-                if nn_idx >= 0 and nn > best_score:
-                    best_score = nn
-                    best_idx = i
-                    best_neighbor = nn_idx
+            try:
+                for j in range(k):
+                    if abs(starts[i] - starts[j]) < exclusion:
+                        continue
+                    calls += 1
+                    d = distance_to(j, nn)
+                    if d < nn:
+                        nn, nn_idx = d, j
+                    if nn < best_score:
+                        # outer early abandoning: this candidate's
+                        # neighbour is already closer than the best
+                        # discord's -- it can only get closer, so it
+                        # cannot win
+                        break
+                else:
+                    if nn_idx >= 0 and nn > best_score:
+                        best_score = nn
+                        best_idx = i
+                        best_neighbor = nn_idx
+            finally:
+                if scan is not None:
+                    scan.close()
 
     if best_idx < 0:
         raise ValueError("no discord found (no valid neighbour pairs)")

@@ -120,26 +120,47 @@ class OneNearestNeighbor:
     workers, executor:
         Deprecated per-knob overrides of the corresponding ``runtime``
         fields (each emits a :class:`DeprecationWarning`).
+    index:
+        Optional ahead-of-time index of the training set (built by
+        ``repro.index`` over exactly the series later passed to
+        :meth:`fit`, with the band ``spec.window`` implies).  Only
+        valid for ``measure="cdtw"`` with ``use_lower_bounds``; the
+        indexed scans reuse precomputed envelopes, run best-first
+        with the LB_Improved stage, and share exact distances across
+        leave-one-out queries -- all lossless, so predictions are
+        identical.  Verified by content fingerprint at :meth:`fit`.
 
     Notes
     -----
     ``fit`` stores the training series; ``predict`` performs a linear
     scan per query (the setting of all the paper's experiments -- no
-    indexing, both measures get the same scan).
+    indexing, both measures get the same scan, unless an ``index`` is
+    explicitly supplied).
     """
 
     def __init__(self, spec: DistanceSpec, workers: Optional[int] = None,
-                 executor=None, runtime: Optional[Runtime] = None):
+                 executor=None, runtime: Optional[Runtime] = None,
+                 index=None):
         rt = _resolve_legacy(
             type(self).__name__, runtime, workers=workers,
             executor=executor,
         )
+        if index is not None and not (
+            spec.measure == "cdtw" and spec.use_lower_bounds
+        ):
+            raise ValueError(
+                "index= requires measure='cdtw' with "
+                "use_lower_bounds=True (the index serves the "
+                "lower-bound cascade)"
+            )
         self.spec = spec
         self.runtime = rt.with_backend(spec.backend)
         self.workers = rt.workers
         self.executor = rt.executor
         self._train: List[List[float]] = []
         self._labels: List[object] = []
+        self._index = index
+        self._searcher = None
         self.cells_evaluated = 0
 
     def fit(
@@ -150,6 +171,18 @@ class OneNearestNeighbor:
             raise ValueError("series and labels must have equal length")
         if not series:
             raise ValueError("training set is empty")
+        if self._index is not None:
+            from math import ceil
+
+            n = len(series[0])
+            self._index.require(
+                kind="collection", count=len(series), length=n,
+                band=ceil(self.spec.window * n),
+            )
+            self._index.verify_collection(series)
+            self._searcher = self._index.searcher(
+                runtime=self.runtime, share_exact=True,
+            )
         self._train = [list(s) for s in series]
         self._labels = list(labels)
         return self
@@ -161,6 +194,12 @@ class OneNearestNeighbor:
         """
         if not self._train:
             raise ValueError("classifier is not fitted")
+        if self._searcher is not None:
+            _obs.incr("knn.predictions")
+            with _obs.span("knn"):
+                idx, cells = self._nearest_indexed(query, exclude)
+            self.cells_evaluated += cells
+            return self._labels[idx]
         indices = [
             i for i in range(len(self._train)) if i != exclude
         ]
@@ -203,6 +242,28 @@ class OneNearestNeighbor:
         return self.runtime.parallel and not (
             self.spec.measure == "cdtw" and self.spec.use_lower_bounds
         )
+
+    def _nearest_indexed(self, query, exclude):
+        """(train index, cells) of the nearest series via the index.
+
+        Exclusion happens *inside* the indexed scan, so no candidate
+        subset is materialised and the winner's index addresses the
+        training set directly.  When the query provably *is* the
+        excluded training series (leave-one-out), its stored envelope
+        is reused and its exact distances feed the shared cache --
+        both lossless, see :mod:`repro.lowerbounds.cascade`.
+        """
+        if len(self._train) < 2 and exclude is not None:
+            raise ValueError("no training candidates after exclusion")
+        query_index = None
+        if exclude is not None and [
+            float(v) for v in query
+        ] == list(self._index.series[exclude]):
+            query_index = exclude
+        hit = self._searcher.nearest(
+            query, exclude=exclude, query_index=query_index,
+        )
+        return hit.index, hit.stats.cells
 
     def _nearest(self, query, candidates):
         if self._use_batch_engine():

@@ -24,6 +24,7 @@ def loocv_error(
     workers: Optional[int] = None,
     executor=None,
     runtime: Optional[Runtime] = None,
+    index=None,
 ) -> float:
     """Leave-one-out 1-NN error of ``spec`` on a labelled dataset.
 
@@ -37,6 +38,13 @@ def loocv_error(
     pool startup and dataset shipping across all of them.
     ``workers=``/``executor=`` are deprecated per-knob overrides of
     the corresponding runtime fields.
+
+    ``index`` accepts an ahead-of-time index of ``series`` (see
+    :class:`~repro.classify.knn.OneNearestNeighbor`); LOOCV is the
+    index's best case -- every scan hits the same collection, each
+    query reuses its own stored envelope, and the shared
+    exact-distance cache feeds later queries' thresholds.  The error
+    is identical with or without it.
     """
     rt = _resolve_legacy(
         "loocv_error", runtime, workers=workers, executor=executor
@@ -45,7 +53,7 @@ def loocv_error(
         raise ValueError("series and labels must have equal length")
     if len(series) < 2:
         raise ValueError("need at least two series for LOOCV")
-    clf = OneNearestNeighbor(spec, runtime=rt).fit(series, labels)
+    clf = OneNearestNeighbor(spec, runtime=rt, index=index).fit(series, labels)
     wrong = 0
     for i, (s, lab) in enumerate(zip(series, labels)):
         if clf.predict_one(s, exclude=i) != lab:

@@ -10,6 +10,9 @@ Usage::
     python -m repro batch --workers 4         # batch engine demo
     python -m repro trace --workload fastdtw  # instrumented run -> JSON
     python -m repro runtime --workers 4       # resolved execution context
+    python -m repro index build --out d0.idx  # ahead-of-time search index
+    python -m repro index stat d0.idx         # verify + summarise an index
+    python -m repro index bench               # pruning power -> BENCH_index.json
 
 Each experiment id matches DESIGN.md §3 and the module registry in
 :mod:`repro.experiments`.
@@ -157,6 +160,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--warping", type=float, required=True,
         help="natural warping amount W as a fraction of N (e.g. 0.04)",
     )
+
+    index = sub.add_parser(
+        "index",
+        help="build, inspect or benchmark an ahead-of-time search index",
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+
+    index_build = index_sub.add_parser(
+        "build",
+        help="build an index over a synthetic-archive dataset and "
+             "save it (repro.index/v1)",
+    )
+    index_build.add_argument("--out", required=True,
+                             help="output index path")
+    index_build.add_argument("--dataset", type=int, default=0,
+                             help="synthetic-archive dataset number "
+                                  "(default 0)")
+    index_build.add_argument("--n-datasets", type=int, default=3,
+                             help="archive size to generate (default 3)")
+    index_build.add_argument("--window", type=float, default=0.1,
+                             help="band as a fraction of length "
+                                  "(default 0.1)")
+    index_build.add_argument("--seed", type=int, default=0,
+                             help="archive seed (default 0)")
+
+    index_stat = index_sub.add_parser(
+        "stat",
+        help="load an index (verifying its fingerprint) and print "
+             "its summary as JSON",
+    )
+    index_stat.add_argument("path", help="index file to inspect")
+
+    index_bench = index_sub.add_parser(
+        "bench",
+        help="pruning-power benchmark: indexed vs unindexed, "
+             "LB_Keogh vs +LB_Improved (default output "
+             "BENCH_index.json)",
+    )
+    index_bench.add_argument("--n-datasets", type=int, default=3,
+                             help="archive size (default 3)")
+    index_bench.add_argument("--per-class", type=int, default=5,
+                             help="series per class per dataset "
+                                  "(default 5)")
+    index_bench.add_argument("--window", type=float, default=0.1,
+                             help="band fraction (default 0.1)")
+    index_bench.add_argument("--seed", type=int, default=0,
+                             help="archive seed (default 0)")
+    index_bench.add_argument("--backend", default=None,
+                             help="kernel backend (default: process "
+                                  "default)")
+    index_bench.add_argument("--out", default="BENCH_index.json",
+                             help="output JSON path ('-' to skip "
+                                  "writing; default BENCH_index.json)")
 
     runtime = sub.add_parser(
         "runtime",
@@ -387,6 +443,76 @@ def cmd_runtime(args) -> int:
     return 0
 
 
+def cmd_index(args) -> int:
+    import json
+
+    from .index import (
+        IndexMismatchError,
+        build_index,
+        format_index_report,
+        index_benchmark,
+        load_index,
+        save_index,
+    )
+
+    if args.index_command == "build":
+        from math import ceil
+
+        from .datasets.synthetic_archive import synthetic_archive
+
+        entries = synthetic_archive(
+            n_datasets=args.n_datasets, seed=args.seed,
+        )
+        if not 0 <= args.dataset < len(entries):
+            print(
+                f"error: --dataset must be in [0, {len(entries) - 1}]",
+                file=sys.stderr,
+            )
+            return 2
+        dataset = entries[args.dataset].dataset
+        band = ceil(args.window * dataset.length)
+        index = build_index([list(s) for s in dataset.series], band)
+        header = save_index(index, args.out)
+        print(json.dumps(
+            {
+                "path": args.out,
+                "dataset": dataset.name,
+                "count": header["count"],
+                "length": header["length"],
+                "band": header["band"],
+                "source_fingerprint": header["source_fingerprint"],
+            },
+            indent=2,
+        ))
+        return 0
+
+    if args.index_command == "stat":
+        try:
+            index = load_index(args.path)
+        except (OSError, IndexMismatchError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(json.dumps(index.describe(), indent=2))
+        return 0
+
+    # args.index_command == "bench"
+    from .runtime import Runtime
+
+    runtime = Runtime(backend=args.backend) if args.backend else None
+    report = index_benchmark(
+        n_datasets=args.n_datasets, per_class=args.per_class,
+        window=args.window, seed=args.seed, runtime=runtime,
+    )
+    for line in format_index_report(report):
+        print(line)
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"  wrote {args.out}")
+    return 0 if report["agree"] and report["improved_fewer_dtw_calls"] else 1
+
+
 def cmd_verdicts() -> int:
     from .experiments.verdicts import collect_verdicts, format_verdicts
 
@@ -414,4 +540,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_trace(args)
     if args.command == "runtime":
         return cmd_runtime(args)
+    if args.command == "index":
+        return cmd_index(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,190 @@
+"""The query driver consumers get from ``DatasetIndex.searcher()``.
+
+:class:`IndexSearcher` marries a :class:`~repro.index.DatasetIndex`'s
+precomputed artifacts to the :class:`~repro.lowerbounds.cascade.
+CascadeBatch` machinery: candidate envelopes are served from the index
+instead of rebuilt, every query scans candidates best-first by their
+cheapest bound, the LB_Improved stage is on by default, and self-join
+workloads (LOOCV, discords, motifs) can share exact distances across
+queries.  All of it is lossless -- the neighbour and distance returned
+are bit-identical to the index-free scan (see the cascade module's
+proofs) -- so consumers treat the searcher as a drop-in fast path.
+
+Observability: each search increments ``index.hits``; precomputed
+artifacts served instead of recomputed accumulate under
+``index.artifacts_reused``; candidates pruned by the LB_Improved stage
+under ``index.lb_improved_prunes``; cache-served exact distances under
+``index.reused_exact``.  The counters are derived from the same
+:class:`~repro.lowerbounds.cascade.CascadeStats` the result carries,
+so trace snapshots and returned stats can be parity-checked.
+"""
+
+from __future__ import annotations
+
+from math import inf
+from typing import Optional, Sequence
+
+from ..lowerbounds.cascade import BatchNearest, CascadeBatch, LowerBoundCascade
+from ..obs import trace as _obs
+from ..runtime import Runtime
+
+__all__ = ["IndexScan", "IndexSearcher"]
+
+
+class IndexSearcher:
+    """Repeated exact 1-NN over one index (see the module notes).
+
+    Parameters
+    ----------
+    index:
+        The :class:`~repro.index.DatasetIndex` to serve.
+    runtime:
+        Execution context, per :mod:`repro.runtime` (``None`` = the
+        process default, resolved *now*).  Searches are inherently
+        sequential (best-so-far pruning), so only the backend
+        matters; it is pinned at construction exactly like
+        :class:`~repro.lowerbounds.cascade.LowerBoundCascade` pins
+        its own.
+    use_improved:
+        Run the LB_Improved stage (default on: with envelopes
+        precomputed, the second Lemire pass is cheap relative to the
+        DPs it prunes).
+    best_first:
+        Scan candidates cheapest-bound-first (lossless; default on).
+    share_exact:
+        Keep a symmetric exact-distance cache across self-join
+        queries (callers must then pass ``query_index``).
+    """
+
+    def __init__(
+        self,
+        index,
+        runtime: Optional[Runtime] = None,
+        use_improved: bool = True,
+        best_first: bool = True,
+        share_exact: bool = False,
+    ):
+        self.index = index
+        self.runtime = Runtime.resolve(runtime).serial()
+        self._batch = CascadeBatch(
+            index.series, index.band,
+            use_improved=use_improved,
+            best_first=best_first,
+            share_exact=share_exact,
+            runtime=self.runtime,
+            candidate_envelopes=index.candidate_envelopes(),
+        )
+
+    def nearest(
+        self,
+        query: Sequence[float],
+        exclude: Optional[int] = None,
+        query_index: Optional[int] = None,
+    ) -> BatchNearest:
+        """Exact nearest indexed series to ``query``.
+
+        ``exclude`` skips one candidate (leave-one-out);
+        ``query_index`` declares that ``query`` *is* indexed series
+        number ``query_index`` (its stored envelope is reused and,
+        with ``share_exact``, its distances feed the cache).  The
+        result's ``index`` addresses the indexed collection -- map
+        through ``index.starts`` for stream offsets.
+        """
+        query_envelope = (
+            self.index.envelope(query_index)
+            if query_index is not None else None
+        )
+        result = self._batch.nearest(
+            query, query_envelope=query_envelope,
+            query_index=query_index, exclude=exclude,
+        )
+        self._record(result.artifacts_reused, result.stats)
+        return result
+
+    def scan(
+        self,
+        query: Sequence[float],
+        query_index: Optional[int] = None,
+    ) -> "IndexScan":
+        """A candidate-at-a-time view for callers that drive their own
+        loop (top-k, discords, motifs); see :class:`IndexScan`."""
+        return IndexScan(self, query, query_index=query_index)
+
+    def _record(self, artifacts_reused: int, stats) -> None:
+        _obs.incr("index.hits")
+        if artifacts_reused:
+            _obs.incr("index.artifacts_reused", artifacts_reused)
+        if stats.pruned_improved:
+            _obs.incr("index.lb_improved_prunes", stats.pruned_improved)
+        if stats.reused_exact:
+            _obs.incr("index.reused_exact", stats.reused_exact)
+
+
+class IndexScan:
+    """One query's pruned distances to indexed series, on demand.
+
+    Wraps a :class:`~repro.lowerbounds.cascade.LowerBoundCascade` whose
+    query envelope (for self-join queries) and candidate envelopes all
+    come from the index.  :meth:`distance` follows the cascade
+    contract: the value is the exact cDTW distance when finite, and
+    ``inf`` exactly when the candidate provably exceeds
+    ``best_so_far``.  Decisions are bit-identical to an index-free
+    cascade with the same flags, so scan-order-sensitive consumers
+    (discord's doubly-abandoning loops, top-k's heap threshold) keep
+    their exact results.
+
+    The per-query ``index.*`` counters are recorded when the scan is
+    garbage collected or :meth:`close` is called explicitly.
+    """
+
+    def __init__(
+        self,
+        searcher: IndexSearcher,
+        query: Sequence[float],
+        query_index: Optional[int] = None,
+    ):
+        self._searcher = searcher
+        batch = searcher._batch
+        query_envelope = (
+            searcher.index.envelope(query_index)
+            if query_index is not None else None
+        )
+        self._cascade: LowerBoundCascade = batch.cascade_for(
+            query, query_envelope=query_envelope
+        )
+        self._batch = batch
+        self._closed = False
+
+    @property
+    def stats(self):
+        """The scan's :class:`~repro.lowerbounds.cascade.CascadeStats`."""
+        return self._cascade.stats
+
+    def distance(self, index: int, best_so_far: float = inf) -> float:
+        """cDTW(query, indexed series ``index``), or ``inf`` if it
+        provably exceeds ``best_so_far``."""
+        return self._cascade.distance(
+            self._batch.candidates[index], best_so_far=best_so_far,
+            _candidate_envelope=self._batch.candidate_envelope(index),
+        )
+
+    def close(self) -> None:
+        """Flush this scan's ``index.*`` counters (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._searcher._record(
+            self._cascade.artifacts_reused, self._cascade.stats
+        )
+
+    def __enter__(self) -> "IndexScan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

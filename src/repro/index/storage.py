@@ -1,0 +1,203 @@
+"""Versioned on-disk format for :class:`~repro.index.DatasetIndex`.
+
+Layout (``repro.index/v1``)::
+
+    <one JSON header line, UTF-8, "\\n"-terminated>
+    <payload: the float64 blocks, concatenated row-major>
+
+The header records the build parameters, the block table, the machine
+byte order, the **source fingerprint** (blake2b of the bytes the index
+was built from, via :func:`repro.batch.shm.pack_dataset`) and a
+**payload fingerprint** (blake2b of the float block bytes as written).
+:func:`load_index` recomputes the payload hash and refuses a file
+whose bytes do not match -- a flipped bit, truncation, or a header
+transplanted onto foreign data all fail loudly with
+:class:`~repro.index.IndexMismatchError` rather than silently serving
+wrong envelopes.  The source fingerprint travels with the index so a
+loaded copy can still prove, against live data, which bytes it claims
+to describe (:meth:`DatasetIndex.verify_collection` /
+:meth:`~repro.index.DatasetIndex.verify_stream`).
+
+Everything is stdlib: :mod:`json` for the header, :class:`array.array`
+for the payload.  ``array("d")`` writes native-endian IEEE doubles, so
+the header pins ``sys.byteorder`` and loading on a machine of the
+other endianness is rejected (correct, if unexciting: the format is a
+cache, and rebuilding is cheap).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+from array import array
+from typing import Optional, Tuple, Union
+
+from .dataset_index import DatasetIndex, IndexMismatchError
+
+__all__ = ["FORMAT", "load_index", "save_index"]
+
+FORMAT = "repro.index/v1"
+
+#: (name, columns) of every payload block, in on-disk order.  Each
+#: block has one row per indexed series.
+_BLOCKS = (
+    ("series", None),  # None = the index's series length
+    ("upper", None),
+    ("lower", None),
+    ("kim", 2),
+    ("moments", 2),
+)
+
+
+def _payload_fingerprint(payload: bytes) -> str:
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+def _pack_block(rows, columns: int) -> bytes:
+    buf = array("d")
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("ragged block row")  # pragma: no cover
+        buf.extend(float(v) for v in row)
+    return buf.tobytes()
+
+
+def save_index(index: DatasetIndex, path: Union[str, os.PathLike]) -> dict:
+    """Write ``index`` to ``path`` in the ``repro.index/v1`` format.
+
+    Returns the header dict that was written (handy for logging and
+    the CLI).  The write is atomic-ish: a temporary sibling file is
+    written in full and then replaced over ``path``.
+    """
+    n = index.length
+    payload_parts = []
+    for name, columns in _BLOCKS:
+        payload_parts.append(
+            _pack_block(getattr(index, name), columns or n)
+        )
+    payload = b"".join(payload_parts)
+    header = {
+        "format": FORMAT,
+        "kind": index.kind,
+        "band": index.band,
+        "normalize": index.normalize,
+        "step": index.step,
+        "window": index.window,
+        "starts": list(index.starts),
+        "count": len(index),
+        "length": n,
+        "byteorder": sys.byteorder,
+        "blocks": [name for name, _ in _BLOCKS],
+        "source_fingerprint": index.source_fingerprint,
+        "payload_fingerprint": _payload_fingerprint(payload),
+    }
+    blob = json.dumps(header, sort_keys=True).encode("utf-8") + b"\n" + payload
+    tmp = os.fspath(path) + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+    os.replace(tmp, os.fspath(path))
+    return header
+
+
+def _read_header(blob: bytes, path: str) -> Tuple[dict, bytes]:
+    newline = blob.find(b"\n")
+    if newline < 0:
+        raise IndexMismatchError(
+            f"{path}: not a repro.index file (no header line)"
+        )
+    try:
+        header = json.loads(blob[:newline].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise IndexMismatchError(
+            f"{path}: not a repro.index file (unreadable header: {exc})"
+        ) from None
+    if not isinstance(header, dict) or header.get("format") != FORMAT:
+        raise IndexMismatchError(
+            f"{path}: unsupported index format "
+            f"{header.get('format') if isinstance(header, dict) else header!r}"
+            f" (this build reads {FORMAT})"
+        )
+    return header, blob[newline + 1:]
+
+
+def load_index(
+    path: Union[str, os.PathLike],
+    expected_fingerprint: Optional[str] = None,
+) -> DatasetIndex:
+    """Load and *verify* an index written by :func:`save_index`.
+
+    The payload hash is always rechecked; ``expected_fingerprint``
+    additionally pins the **source** fingerprint (pass the value from
+    :func:`repro.batch.shm.pack_dataset` over the live data, or a
+    recorded one).  Either mismatch raises
+    :class:`~repro.index.IndexMismatchError` with the two hashes, so a
+    stale or foreign index can never be consulted silently.
+    """
+    path_str = os.fspath(path)
+    with open(path_str, "rb") as fh:
+        blob = fh.read()
+    header, payload = _read_header(blob, path_str)
+
+    if header.get("byteorder") != sys.byteorder:
+        raise IndexMismatchError(
+            f"{path_str}: index written on a {header.get('byteorder')}"
+            f"-endian machine cannot be read on a {sys.byteorder}"
+            f"-endian one; rebuild it here"
+        )
+    recorded = header.get("payload_fingerprint")
+    actual = _payload_fingerprint(payload)
+    if actual != recorded:
+        raise IndexMismatchError(
+            f"{path_str}: index payload fingerprint mismatch "
+            f"(header says {recorded}, payload hashes to {actual}); "
+            f"the file is corrupted or was tampered with -- rebuild "
+            f"the index"
+        )
+    if (
+        expected_fingerprint is not None
+        and header.get("source_fingerprint") != expected_fingerprint
+    ):
+        raise IndexMismatchError(
+            f"{path_str}: index describes source "
+            f"{header.get('source_fingerprint')} but the caller "
+            f"expects {expected_fingerprint}; it was built from "
+            f"different data"
+        )
+
+    count = int(header["count"])
+    n = int(header["length"])
+    doubles = array("d")
+    doubles.frombytes(payload)
+    expected_len = sum(count * (columns or n) for _, columns in _BLOCKS)
+    if len(doubles) != expected_len:
+        raise IndexMismatchError(
+            f"{path_str}: payload holds {len(doubles)} doubles, "
+            f"expected {expected_len}"
+        )
+
+    blocks = {}
+    offset = 0
+    for name, columns in _BLOCKS:
+        width = columns or n
+        rows = []
+        for _ in range(count):
+            rows.append(tuple(doubles[offset:offset + width]))
+            offset += width
+        blocks[name] = tuple(rows)
+
+    return DatasetIndex(
+        kind=header["kind"],
+        band=int(header["band"]),
+        normalize=bool(header["normalize"]),
+        step=int(header["step"]),
+        window=int(header["window"]),
+        starts=tuple(int(s) for s in header["starts"]),
+        source_fingerprint=header["source_fingerprint"],
+        series=blocks["series"],
+        upper=blocks["upper"],
+        lower=blocks["lower"],
+        kim=blocks["kim"],
+        moments=blocks["moments"],
+    )

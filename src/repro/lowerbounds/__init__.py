@@ -7,16 +7,21 @@ bounding (plus early abandoning) applies *only* to exact cDTW -- not to
 FastDTW -- and buys "a further two to five orders of magnitude".
 """
 
-from .cascade import CascadeStats, LowerBoundCascade
+from .cascade import BatchNearest, CascadeBatch, CascadeStats, LowerBoundCascade
 from .envelope import Envelope, envelope
+from .lb_improved import clip_to_envelope, lb_improved
 from .lb_keogh import lb_keogh, lb_keogh_reversed
 from .lb_kim import lb_kim
 
 __all__ = [
+    "BatchNearest",
+    "CascadeBatch",
     "CascadeStats",
     "Envelope",
     "LowerBoundCascade",
+    "clip_to_envelope",
     "envelope",
+    "lb_improved",
     "lb_keogh",
     "lb_keogh_reversed",
     "lb_kim",

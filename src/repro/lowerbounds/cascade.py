@@ -4,25 +4,39 @@ Bounds are applied cheapest-first against a best-so-far threshold:
 
 1. ``LB_Kim``          -- O(1);
 2. ``LB_Keogh``        -- O(n), query envelope precomputed once;
-3. ``LB_Keogh`` reversed -- O(n) plus an envelope build;
-4. early-abandoning cDTW -- the full DP, only for survivors.
+3. ``LB_Improved``     -- optional second Lemire pass, reusing the
+   LB_Keogh value (off by default; the indexed search enables it);
+4. ``LB_Keogh`` reversed -- O(n) plus an envelope build (or a
+   precomputed one, via ``_candidate_envelope``);
+5. early-abandoning cDTW -- the full DP, only for survivors.
 
 Every stage is provably ``<=`` the true cDTW distance, so pruning is
 lossless: the search returns exactly the nearest neighbour, just
 faster.  :class:`CascadeStats` records where each candidate was pruned,
 which the repeated-use benchmark reports alongside the timings.
+
+:class:`CascadeBatch` drives many queries against one fixed candidate
+set: candidate envelopes are built (or accepted precomputed, e.g. from
+a :class:`repro.index.DatasetIndex`) once for the whole batch,
+candidates are ordered best-first by their cheapest bound so the
+best-so-far tightens early, and -- for self-join batches -- exact
+distances computed for earlier queries seed later queries' thresholds
+through a symmetric cache.  All three tricks are lossless: the
+reported neighbour and distance are bit-identical to the plain serial
+scan.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from math import inf
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..core.cdtw import cdtw
 from ..obs import trace as _obs
 from ..runtime import Runtime, _resolve_legacy
 from .envelope import Envelope, envelope
+from .lb_improved import lb_improved
 from .lb_keogh import lb_keogh, lb_keogh_reversed
 from .lb_kim import lb_kim
 
@@ -38,12 +52,15 @@ class CascadeStats:
     abandoned_dtw: int = 0
     full_dtw: int = 0
     cells: int = 0  # DP lattice cells actually evaluated
+    pruned_improved: int = 0  # LB_Improved stage (when enabled)
+    reused_exact: int = 0  # answered from a shared exact-distance cache
 
     def pruned_total(self) -> int:
         """Candidates rejected before a complete DTW computation."""
         return (
             self.pruned_kim
             + self.pruned_keogh
+            + self.pruned_improved
             + self.pruned_keogh_reversed
             + self.abandoned_dtw
         )
@@ -112,6 +129,8 @@ class LowerBoundCascade:
         use_cumulative: bool = True,
         backend: Optional[str] = None,
         runtime: Optional[Runtime] = None,
+        use_improved: bool = False,
+        query_envelope: Optional[Envelope] = None,
     ):
         if band < 0:
             raise ValueError("band must be non-negative")
@@ -127,12 +146,27 @@ class LowerBoundCascade:
         self.squared = squared
         self.use_reversed = use_reversed
         self.use_cumulative = use_cumulative
+        self.use_improved = use_improved
         self.backend = rt.backend_name
         kernel_set = rt.kernels()
         self._kernels = (
             kernel_set if kernel_set.name != "python" else None
         )
-        self.envelope: Envelope = envelope(self.query, band)
+        # precomputed artifacts served instead of recomputation, for
+        # the ``index.artifacts_reused`` accounting of indexed search
+        self.artifacts_reused = 0
+        if query_envelope is not None:
+            if (
+                query_envelope.band != band
+                or len(query_envelope) != len(self.query)
+            ):
+                raise ValueError(
+                    "query_envelope does not match query and band"
+                )
+            self.envelope: Envelope = query_envelope
+            self.artifacts_reused += 1
+        else:
+            self.envelope = envelope(self.query, band)
         if self._kernels is not None:
             # array views of the envelope, converted once: every
             # chunk-kernel call over the scan reuses them
@@ -154,6 +188,7 @@ class LowerBoundCascade:
         best_so_far: float = inf,
         _kim: Optional[float] = None,
         _keogh: Optional[float] = None,
+        _candidate_envelope=None,
     ) -> float:
         """cDTW(query, candidate) or ``inf`` if provably > best_so_far.
 
@@ -164,17 +199,22 @@ class LowerBoundCascade:
         ``_kim``/``_keogh`` let :meth:`nearest` replay precomputed
         chunk-prefilter bounds; stage counters and decisions are
         identical either way (see the class notes).
+        ``_candidate_envelope`` (an ``(upper, lower)`` pair with the
+        cascade's band) serves the reversed stage from a precomputed
+        artifact instead of building an envelope per call.
         """
         if len(candidate) != len(self.query):
             raise ValueError("cascade requires equal-length candidates")
         trace = _obs.active_trace()
         if trace is None:
             return self._distance_impl(
-                candidate, best_so_far, _kim, _keogh
+                candidate, best_so_far, _kim, _keogh,
+                _candidate_envelope,
             )
         with _obs.span("lb_cascade"):
             return self._distance_impl(
-                candidate, best_so_far, _kim, _keogh
+                candidate, best_so_far, _kim, _keogh,
+                _candidate_envelope,
             )
 
     def _distance_impl(
@@ -183,6 +223,7 @@ class LowerBoundCascade:
         best_so_far: float,
         kim: Optional[float] = None,
         keogh: Optional[float] = None,
+        cand_env=None,
     ) -> float:
         stats = self.stats
         stats.candidates += 1
@@ -220,9 +261,47 @@ class LowerBoundCascade:
             stats.pruned_keogh += 1
             _obs.incr("lb.pruned_keogh")
             return inf
-        if self.use_reversed:
+        if self.use_improved:
+            # Lemire's second pass on top of the forward-Keogh value
+            # (``lb`` is the full bound here: the abandoning scan only
+            # returns a finite value when it summed every gap)
             _obs.incr("lb.invocations")
             if k is not None:
+                imp = float(k.lb_improved_chunk(
+                    self._env_upper, self._env_lower, (candidate,),
+                    self.query, self.band, squared=self.squared,
+                    keogh=(lb,), abandon_above=best_so_far,
+                )[0])
+            else:
+                imp = lb_improved(
+                    self.query, candidate, self.band,
+                    squared=self.squared, abandon_above=best_so_far,
+                    query_envelope=self.envelope, keogh=lb,
+                )
+            if imp > best_so_far:
+                stats.pruned_improved += 1
+                _obs.incr("lb.pruned_improved")
+                return inf
+        if self.use_reversed:
+            _obs.incr("lb.invocations")
+            if cand_env is not None:
+                # precomputed candidate envelope: the reversed bound
+                # is a plain forward LB_Keogh of the query against it,
+                # through the bit-identical chunk kernel on vectorised
+                # backends
+                self.artifacts_reused += 1
+                up, lo = cand_env
+                if k is not None:
+                    lb = float(k.lb_keogh_chunk(
+                        up, lo, (self.query,),
+                        squared=self.squared, abandon_above=best_so_far,
+                    )[0])
+                else:
+                    lb = lb_keogh(
+                        Envelope(self.band, up, lo), self.query,
+                        squared=self.squared, abandon_above=best_so_far,
+                    )
+            elif k is not None:
                 lb = k.lb_keogh_reversed(
                     self.query, (candidate,), self.band,
                     squared=self.squared, abandon_above=best_so_far,
@@ -350,3 +429,223 @@ class LowerBoundCascade:
                 self.query, candidates[0], band=self.band
             ).distance
         return best_idx, best
+
+
+@dataclass(frozen=True)
+class BatchNearest:
+    """One query's outcome from a :class:`CascadeBatch` scan.
+
+    ``index`` addresses the *original* candidate list (exclusions and
+    best-first reordering notwithstanding); ``stats`` are the query's
+    own cascade counters; ``artifacts_reused`` counts precomputed
+    artifacts served instead of recomputed (query envelope plus every
+    candidate envelope the reversed stage consumed).
+    """
+
+    index: int
+    distance: float
+    stats: CascadeStats
+    artifacts_reused: int
+
+
+class CascadeBatch:
+    """Many-query cascade driver over one fixed candidate set.
+
+    Shares the per-candidate work a query-at-a-time scan repeats:
+
+    * **precomputed artifacts** -- candidate envelopes are built once
+      for the whole batch (or accepted ready-made via
+      ``candidate_envelopes``, e.g. from a
+      :class:`repro.index.DatasetIndex`) and served to every query's
+      reversed stage;
+    * **best-first ordering** -- each query scans candidates in
+      ascending order of their cheapest bound (full LB_Kim, O(1) per
+      candidate), so the best-so-far threshold tightens as early as
+      possible and the later, expensive stages prune more;
+    * **best-so-far sharing** -- for *self-join* batches (each query
+      is itself a member of the candidate set, declared via
+      ``query_index``), every exact distance computed for an earlier
+      query seeds the later query's threshold through a symmetric
+      cache: cDTW is symmetric, so ``d(q_i, c_j)`` is an exact upper
+      bound on query ``j``'s nearest-neighbour distance.
+
+    All three are lossless.  Pruning only ever discards candidates
+    whose true distance provably exceeds a valid threshold, and the
+    winner tie-break is explicit -- smallest original index among the
+    equally-nearest -- which is exactly the first-wins winner of the
+    serial in-order scan, so :meth:`nearest` returns a bit-identical
+    ``(index, distance)`` for any ordering, seeding or backend.
+
+    Parameters mirror :class:`LowerBoundCascade`; ``use_improved``
+    defaults to ``True`` here because the batch's precomputed
+    envelopes make the second Lemire pass cheap relative to the DPs
+    it prunes.
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[Sequence[float]],
+        band: int,
+        squared: bool = True,
+        use_reversed: bool = True,
+        use_cumulative: bool = True,
+        use_improved: bool = True,
+        best_first: bool = True,
+        share_exact: bool = False,
+        runtime: Optional[Runtime] = None,
+        candidate_envelopes: Optional[Tuple[Sequence, Sequence]] = None,
+    ):
+        if band < 0:
+            raise ValueError("band must be non-negative")
+        if not candidates:
+            raise ValueError("no candidates to search")
+        rt = Runtime.resolve(runtime).serial()
+        rt = rt.replace(backend=rt.backend_name)
+        self.runtime = rt
+        self.band = band
+        self.squared = squared
+        self.use_reversed = use_reversed
+        self.use_cumulative = use_cumulative
+        self.use_improved = use_improved
+        self.best_first = best_first
+        self.candidates = [list(c) for c in candidates]
+        n = len(self.candidates[0])
+        if any(len(c) != n for c in self.candidates):
+            raise ValueError("cascade requires equal-length candidates")
+        kernel_set = rt.kernels()
+        self._vectorised = kernel_set.name != "python"
+        self._kernel_set = kernel_set
+        self._cache: Optional[Dict[int, Dict[int, float]]] = (
+            {} if share_exact else None
+        )
+        self._env_upper = self._env_lower = None
+        self._provided_envelopes = candidate_envelopes is not None
+        if use_reversed:
+            if candidate_envelopes is not None:
+                up, lo = candidate_envelopes
+                if len(up) != len(self.candidates) or len(lo) != len(up):
+                    raise ValueError(
+                        "candidate_envelopes must cover every candidate"
+                    )
+            else:
+                up, lo = kernel_set.envelope_chunk(self.candidates, band)
+            if self._vectorised:
+                import numpy as np
+
+                up = np.ascontiguousarray(up, dtype=np.float64)
+                lo = np.ascontiguousarray(lo, dtype=np.float64)
+            self._env_upper, self._env_lower = up, lo
+
+    def cascade_for(
+        self,
+        query: Sequence[float],
+        query_envelope: Optional[Envelope] = None,
+    ) -> LowerBoundCascade:
+        """A cascade over this batch's configuration for one query."""
+        return LowerBoundCascade(
+            query, self.band, squared=self.squared,
+            use_reversed=self.use_reversed,
+            use_cumulative=self.use_cumulative,
+            use_improved=self.use_improved,
+            runtime=self.runtime, query_envelope=query_envelope,
+        )
+
+    def candidate_envelope(self, index: int):
+        """The ``(upper, lower)`` envelope of one candidate, or
+        ``None`` when the reversed stage is off (no envelopes kept)."""
+        if self._env_upper is None:
+            return None
+        return self._env_upper[index], self._env_lower[index]
+
+    def nearest(
+        self,
+        query: Sequence[float],
+        query_envelope: Optional[Envelope] = None,
+        query_index: Optional[int] = None,
+        exclude: Optional[int] = None,
+    ) -> BatchNearest:
+        """Exact nearest candidate to ``query`` (see the class notes).
+
+        ``query_index`` declares a self-join membership (``query`` is
+        ``candidates[query_index]``), enabling the symmetric
+        exact-distance cache when the batch was built with
+        ``share_exact=True``.  ``exclude`` skips one candidate index
+        (leave-one-out).
+        """
+        cascade = self.cascade_for(query, query_envelope=query_envelope)
+        admissible = [
+            j for j in range(len(self.candidates)) if j != exclude
+        ]
+        if not admissible:
+            raise ValueError("no candidates to search")
+        cost = "squared" if self.squared else "abs"
+        subset = [self.candidates[j] for j in admissible]
+        if self._vectorised:
+            pre_kim, pre_keogh = cascade.prefilter_bounds(subset)
+        else:
+            pre_kim = [
+                lb_kim(cascade.query, c, cost=cost) for c in subset
+            ]
+            pre_keogh = None
+        if self.best_first:
+            # cheapest bound first; ties by original position keep the
+            # scan deterministic
+            order = sorted(
+                range(len(admissible)),
+                key=lambda t: (pre_kim[t], admissible[t]),
+            )
+        else:
+            order = range(len(admissible))
+
+        best, best_idx = inf, -1
+        known: Optional[Dict[int, float]] = None
+        if self._cache is not None and query_index is not None:
+            known = self._cache.setdefault(query_index, {})
+            for j, d in known.items():
+                # every cached value is an exact distance, hence a
+                # valid threshold; seeding cannot change the winner
+                # because the seeded candidate is rescanned below
+                if j == exclude:
+                    continue
+                if d < best or (d == best and (best_idx < 0 or j < best_idx)):
+                    best, best_idx = d, j
+
+        stats = cascade.stats
+        for t in order:
+            j = admissible[t]
+            cached = known.get(j) if known is not None else None
+            if cached is not None:
+                d = cached
+                stats.candidates += 1
+                stats.reused_exact += 1
+                _obs.incr("lb.candidates")
+                _obs.incr("lb.reused_exact")
+            else:
+                d = cascade.distance(
+                    self.candidates[j], best_so_far=best,
+                    _kim=pre_kim[t],
+                    _keogh=None if pre_keogh is None else pre_keogh[t],
+                    _candidate_envelope=self.candidate_envelope(j),
+                )
+                if (
+                    d != inf
+                    and known is not None
+                ):
+                    known[j] = d
+                    self._cache.setdefault(j, {})[query_index] = d
+            # smallest original index among the equally nearest: the
+            # first-wins winner of the in-order serial scan
+            if d < best or (d == best and (best_idx < 0 or j < best_idx)):
+                best, best_idx = d, j
+        if best_idx < 0:
+            # all infinite distances (possible only with inf inputs);
+            # mirror :meth:`LowerBoundCascade.nearest`'s fallback on
+            # the first admissible candidate
+            best_idx = admissible[0]
+            best = cdtw(
+                cascade.query, self.candidates[best_idx], band=self.band
+            ).distance
+        return BatchNearest(
+            index=best_idx, distance=best, stats=stats,
+            artifacts_reused=cascade.artifacts_reused,
+        )

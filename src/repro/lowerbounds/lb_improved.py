@@ -1,0 +1,136 @@
+"""LB_Improved: Lemire's two-pass envelope lower bound.
+
+LB_Keogh charges each candidate sample its gap to the query envelope
+and nothing more.  Lemire (2009, "Faster retrieval with a two-pass
+dynamic-time-warping lower bound") observed that after paying those
+gaps, the candidate may as well have been *projected onto* the
+envelope -- and the projection's own DTW distance to the query is
+still unpaid.  Bounding that remainder with a second LB_Keogh pass
+(envelope built over the projection) gives
+
+    LB_Improved(q, c) = LB_Keogh(env(q), c) + LB_Keogh(env(h), q),
+
+where ``h`` clips ``c`` into the query envelope.  The bound dominates
+LB_Keogh (the second term is non-negative) and stays admissible.
+
+Admissibility sketch (squared or absolute cost, band ``r``): fix any
+warping path of ``cDTW_r(q, c)`` and a matched pair ``(i, j)`` (so
+``|i - j| <= r``).  If ``c_j`` lies inside the query envelope then
+``h_j = c_j`` and the pair's cost is at least ``d(q_i, h_j)``.
+Otherwise ``c_j`` is, say, above: ``c_j > U_j >= q_i`` and
+``h_j = U_j`` sits between them, so
+
+    |q_i - c_j| = (c_j - U_j) + (U_j - q_i) = gap_j(c) + |q_i - h_j|
+
+exactly, and squaring only adds a non-negative cross term.  Summing a
+per-``j`` selection (each ``j``'s cheapest matched pair) yields the
+first pass; summing a per-``i`` selection of the ``d(q_i, h_j)``
+remainders -- each at least ``q_i``'s gap to the band-``r`` envelope
+of ``h`` -- yields the second.  The two selections charge disjoint
+cost components of the same path, so their sum is a lower bound
+(property-tested against the exact DP in
+``tests/lowerbounds/test_lb_improved.py``).
+"""
+
+from __future__ import annotations
+
+from math import inf
+from typing import List, Optional, Sequence
+
+from .envelope import Envelope, envelope
+from .lb_keogh import _gap_cost, lb_keogh
+
+__all__ = ["clip_to_envelope", "lb_improved"]
+
+
+def clip_to_envelope(
+    candidate: Sequence[float], env: Envelope
+) -> List[float]:
+    """Project ``candidate`` onto ``env``: clip each sample into
+    ``[lower[i], upper[i]]``.
+
+    The projection is a pure per-sample selection (no arithmetic), so
+    it is bit-identical to ``numpy.clip`` on the same inputs.
+    """
+    if len(candidate) != len(env):
+        raise ValueError(
+            f"candidate length {len(candidate)} != envelope length "
+            f"{len(env)}"
+        )
+    upper = env.upper
+    lower = env.lower
+    out: List[float] = []
+    for i, v in enumerate(candidate):
+        hi = upper[i]
+        lo = lower[i]
+        out.append(hi if v > hi else (lo if v < lo else v))
+    return out
+
+
+def lb_improved(
+    query: Sequence[float],
+    candidate: Sequence[float],
+    band: int,
+    squared: bool = True,
+    abandon_above: Optional[float] = None,
+    query_envelope: Optional[Envelope] = None,
+    keogh: Optional[float] = None,
+) -> float:
+    """Two-pass lower bound on ``cdtw(query, candidate, band=band)``.
+
+    Parameters
+    ----------
+    query, candidate:
+        Equal-length series.
+    band:
+        Sakoe-Chiba half-width of the cDTW being bounded (both passes
+        use it for their envelopes).
+    squared:
+        Squared (default) or absolute per-point gap cost, matching the
+        DTW local cost.
+    abandon_above:
+        Early-abandon once the running total provably exceeds this
+        threshold (returns ``inf``).  Gap costs are non-negative and
+        IEEE addition is monotone, so the decision is identical to
+        comparing the full bound against the threshold.
+    query_envelope:
+        Precomputed band-``band`` envelope of ``query`` (e.g. from a
+        :class:`repro.index.DatasetIndex`); built here when ``None``.
+    keogh:
+        The already-known first pass ``LB_Keogh(env(query),
+        candidate)`` -- the cascade reuses its forward-Keogh stage
+        value.  Must be the *full* (non-abandoned) bound.
+
+    Returns
+    -------
+    float
+        ``LB_Keogh + second pass``, or ``inf`` if abandoned.  Always
+        ``>= LB_Keogh`` and ``<= cDTW``.
+    """
+    if len(candidate) != len(query):
+        raise ValueError("lb_improved requires equal-length series")
+    if query_envelope is None:
+        query_envelope = envelope(query, band)
+    elif query_envelope.band != band or len(query_envelope) != len(query):
+        raise ValueError("query_envelope does not match query and band")
+
+    if keogh is None:
+        keogh = lb_keogh(
+            query_envelope, candidate,
+            squared=squared, abandon_above=abandon_above,
+        )
+    if keogh == inf:
+        return inf
+    if abandon_above is not None and keogh > abandon_above:
+        return inf
+
+    h = clip_to_envelope(candidate, query_envelope)
+    env_h = envelope(h, band)
+    upper = env_h.upper
+    lower = env_h.lower
+    second = 0.0
+    for i, v in enumerate(query):
+        second += _gap_cost(v, lower[i], upper[i], squared)
+        if abandon_above is not None and keogh + second > abandon_above:
+            return inf
+    return keogh + second

@@ -57,6 +57,7 @@ def find_motif(
     exclusion: Optional[int] = None,
     normalize: bool = True,
     runtime: Optional[Runtime] = None,
+    index=None,
 ) -> Motif:
     """Find the closest non-overlapping window pair under cDTW.
 
@@ -68,6 +69,12 @@ def find_motif(
     cascade scan (whose pruning is lossless).  ``exclusion`` (default
     ``window``) keeps trivial self-matches of overlapping windows
     out.
+
+    ``index`` accepts an ahead-of-time index of this stream's windows
+    (as in :func:`repro.anomaly.discord.find_discord`): the all-pairs
+    scan then reuses the stored windows and envelopes and adds the
+    LB_Improved stage -- scan order, thresholds and
+    ``distance_calls`` unchanged, result bit-identical.
 
     Returns
     -------
@@ -85,11 +92,20 @@ def find_motif(
         raise ValueError("exclusion must be positive")
     validate_series(stream, "stream")
 
-    starts: List[int] = []
-    series: List[List[float]] = []
-    for start, w in sliding_windows(stream, window, step):
-        starts.append(start)
-        series.append(znorm(w) if normalize else w)
+    if index is not None:
+        index.require(
+            kind="windows", band=band, window=window, step=step,
+            normalize=normalize,
+        )
+        index.verify_stream(stream)
+        starts = list(index.starts)
+        series = [list(s) for s in index.series]
+    else:
+        starts = []
+        series = []
+        for start, w in sliding_windows(stream, window, step):
+            starts.append(start)
+            series.append(znorm(w) if normalize else w)
     k = len(series)
     if k < 2 or starts[-1] - starts[0] < exclusion:
         raise ValueError("stream too short for two non-overlapping windows")
@@ -97,7 +113,7 @@ def find_motif(
     best = inf
     best_pair = (-1, -1)
     calls = 0
-    if rt.parallel:
+    if rt.parallel and index is None:
         from ..batch.engine import batch_distances
 
         pairs = [
@@ -119,16 +135,32 @@ def find_motif(
                     best = d
                     best_pair = (i, j)
     else:
+        searcher = (
+            index.searcher(runtime=rt) if index is not None else None
+        )
         for i in range(k):
-            cascade = LowerBoundCascade(series[i], band, runtime=rt)
-            for j in range(i + 1, k):
-                if starts[j] - starts[i] < exclusion:
-                    continue
-                calls += 1
-                d = cascade.distance(series[j], best_so_far=best)
-                if d < best:
-                    best = d
-                    best_pair = (i, j)
+            if searcher is not None:
+                scan = searcher.scan(series[i], query_index=i)
+                distance_to = scan.distance
+            else:
+                scan = None
+                cascade = LowerBoundCascade(series[i], band, runtime=rt)
+                distance_to = (
+                    lambda j, bound, _c=cascade:
+                    _c.distance(series[j], best_so_far=bound)
+                )
+            try:
+                for j in range(i + 1, k):
+                    if starts[j] - starts[i] < exclusion:
+                        continue
+                    calls += 1
+                    d = distance_to(j, best)
+                    if d < best:
+                        best = d
+                        best_pair = (i, j)
+            finally:
+                if scan is not None:
+                    scan.close()
     if best_pair[0] < 0:
         raise ValueError("no admissible window pairs")
     return Motif(

@@ -57,6 +57,7 @@ def nearest_neighbor(
     workers: Optional[int] = None,
     backend: Optional[str] = None,
     executor=None,
+    index=None,
 ) -> NnResult:
     """Find the candidate nearest to ``query``.
 
@@ -86,6 +87,16 @@ def nearest_neighbor(
     workers, backend, executor:
         Deprecated per-knob overrides of the corresponding ``runtime``
         fields (each call emits a :class:`DeprecationWarning`).
+    index:
+        Optional ahead-of-time index of ``candidates`` (built by
+        ``repro.index``); ``"cdtw+lb"`` only.  The index must prove --
+        by content fingerprint -- that it was built from exactly
+        these candidates with this band, and the search then reuses
+        its precomputed envelopes, scans best-first and runs the
+        LB_Improved stage.  All of that is lossless: the returned
+        neighbour and distance are bit-identical to the index-free
+        path.  The resolved ``runtime`` still governs the backend
+        (``index=`` rides on, not around, ``Runtime.resolve``).
 
     Returns
     -------
@@ -99,22 +110,26 @@ def nearest_neighbor(
         raise ValueError(f"unknown strategy {strategy!r}; pick from {STRATEGIES}")
     if not candidates:
         raise ValueError("no candidates to search")
+    if index is not None and strategy != "cdtw+lb":
+        raise ValueError(
+            "index= applies only to the 'cdtw+lb' strategy"
+        )
 
     trace = _obs.active_trace()
     if trace is None:
         return _nearest_neighbor_impl(
-            query, candidates, strategy, band, window, radius, rt,
+            query, candidates, strategy, band, window, radius, rt, index,
         )
     trace.incr("nn.queries")
     trace.incr("nn.candidates", len(candidates))
     with _obs.span("nn_search"):
         return _nearest_neighbor_impl(
-            query, candidates, strategy, band, window, radius, rt,
+            query, candidates, strategy, band, window, radius, rt, index,
         )
 
 
 def _nearest_neighbor_impl(
-    query, candidates, strategy, band, window, radius, rt,
+    query, candidates, strategy, band, window, radius, rt, index=None,
 ) -> NnResult:
     """The strategy dispatch behind :func:`nearest_neighbor`.
 
@@ -166,12 +181,19 @@ def _nearest_neighbor_impl(
         return NnResult(best_idx, best, strategy, cells=cells)
 
     # strategy == "cdtw+lb"
+    if index is not None:
+        index.require(
+            kind="collection", band=band_cells_,
+            length=len(query), count=len(candidates),
+        )
+        index.verify_collection(candidates)
+        hit = index.searcher(runtime=rt).nearest(query)
+        return NnResult(
+            hit.index, hit.distance, strategy,
+            cells=hit.stats.cells, stats=hit.stats,
+        )
     cascade = LowerBoundCascade(query, band_cells_, runtime=rt)
-    best_idx, best = 0, inf
-    for idx, cand in enumerate(candidates):
-        d = cascade.distance(cand, best_so_far=best)
-        if d < best:
-            best, best_idx = d, idx
+    best_idx, best = cascade.nearest(candidates)
     return NnResult(
         best_idx, best, strategy,
         cells=cascade.stats.cells, stats=cascade.stats,

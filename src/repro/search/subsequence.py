@@ -55,6 +55,7 @@ def subsequence_search(
     step: int = 1,
     normalize: bool = True,
     runtime: Optional[Runtime] = None,
+    index=None,
 ) -> SubsequenceMatch:
     """Exact banded-DTW subsequence search of ``query`` in ``stream``.
 
@@ -81,6 +82,17 @@ def subsequence_search(
         bit-identical either way.  Only the ``stats`` provenance
         differs: the batched path never prunes, so it reports every
         window as a full DP.
+    index:
+        Optional ahead-of-time index of this stream's windows (built
+        by ``repro.index`` with the same ``band``/``step``/
+        ``normalize``); must prove by content fingerprint that it
+        describes exactly this stream.  The indexed scan serves the
+        precomputed z-normalised windows and envelopes, orders them
+        best-first and runs the LB_Improved stage -- all lossless, so
+        ``start`` and ``distance`` are bit-identical to the serial
+        index-free scan.  The indexed path is sequential (it *is* the
+        pruned cascade), so a parallel runtime contributes only its
+        backend.
 
     Returns
     -------
@@ -99,6 +111,17 @@ def subsequence_search(
     validate_series(stream, "stream")
 
     q = znorm(query) if normalize else list(query)
+
+    if index is not None:
+        index.require(
+            kind="windows", band=band, window=m, step=step,
+            normalize=normalize,
+        )
+        index.verify_stream(stream)
+        hit = index.searcher(runtime=rt).nearest(q)
+        return SubsequenceMatch(
+            index.starts[hit.index], hit.distance, len(index), hit.stats,
+        )
 
     if rt.parallel:
         starts, distances, cells = _batched_window_distances(
@@ -134,6 +157,7 @@ def subsequence_search_topk(
     exclusion: Optional[int] = None,
     normalize: bool = True,
     runtime: Optional[Runtime] = None,
+    index=None,
 ) -> List["SubsequenceMatch"]:
     """The ``k`` best *non-overlapping* matches of ``query`` in ``stream``.
 
@@ -148,6 +172,13 @@ def subsequence_search_topk(
     chosen offsets and distances are identical to the serial scan
     (the heap prune is lossless: it only drops windows that provably
     cannot reach the final top-k).
+
+    ``index`` accepts an ahead-of-time index of this stream's windows
+    (as in :func:`subsequence_search`): the scan then reuses the
+    stored windows and envelopes and adds the LB_Improved stage.  Any
+    bound only ever drops windows whose exact distance exceeds the
+    current heap threshold -- windows the selection below could never
+    choose -- so the returned offsets and distances are identical.
 
     Returns at most ``k`` matches, best first; fewer if the exclusion
     zone exhausts the stream.
@@ -170,6 +201,18 @@ def subsequence_search_topk(
 
     q = znorm(query) if normalize else list(query)
 
+    if index is not None:
+        index.require(
+            kind="windows", band=band, window=m, step=step,
+            normalize=normalize,
+        )
+        index.verify_stream(stream)
+        with index.searcher(runtime=rt).scan(q) as scan:
+            return _topk_select(
+                lambda j, bound: scan.distance(j, best_so_far=bound),
+                index.starts, k, step, exclusion, scan.stats,
+            )
+
     if rt.parallel:
         starts, distances, cells = _batched_window_distances(
             q, stream, band, step, normalize, rt
@@ -189,24 +232,44 @@ def subsequence_search_topk(
         return chosen
 
     cascade = LowerBoundCascade(q, band, runtime=rt)
+    starts = list(range(0, len(stream) - m + 1, step))
 
-    # exact distance for every window, pruned against a conservative
-    # threshold: each of the final k matches suppresses at most
-    # 2*(exclusion/step) overlapping windows, so any window ranked
-    # worse than the heap bound below provably cannot reach the final
-    # top-k and may be pruned
+    def window_distance(j: int, bound: float) -> float:
+        w = stream[starts[j]:starts[j] + m]
+        w = znorm(w) if normalize else list(w)
+        return cascade.distance(w, best_so_far=bound)
+
+    return _topk_select(
+        window_distance, starts, k, step, exclusion, cascade.stats,
+    )
+
+
+def _topk_select(
+    distance_fn,
+    starts: Sequence[int],
+    k: int,
+    step: int,
+    exclusion: int,
+    stats: CascadeStats,
+) -> List[SubsequenceMatch]:
+    """The pruned scoring + greedy selection behind top-k search.
+
+    ``distance_fn(j, bound)`` must return window ``j``'s exact
+    distance, or ``inf`` exactly when it provably exceeds ``bound``
+    (the cascade contract).  Exact distance for every window, pruned
+    against a conservative threshold: each of the final k matches
+    suppresses at most 2*(exclusion/step) overlapping windows, so any
+    window ranked worse than the heap bound below provably cannot
+    reach the final top-k and may be pruned.
+    """
     import heapq
 
     heap_bound = k * (2 * (exclusion // step) + 2)
     kth_best = inf
     worst_heap: List[float] = []  # max-heap via negatives
     scored: List[Tuple[float, int]] = []
-    windows = 0
-    for start in range(0, len(stream) - m + 1, step):
-        w = stream[start:start + m]
-        w = znorm(w) if normalize else list(w)
-        windows += 1
-        d = cascade.distance(w, best_so_far=kth_best)
+    for j, start in enumerate(starts):
+        d = distance_fn(j, kth_best)
         if d == inf:
             continue
         scored.append((d, start))
@@ -225,7 +288,7 @@ def subsequence_search_topk(
             continue
         taken.append(start)
         chosen.append(
-            SubsequenceMatch(start, d, windows, cascade.stats)
+            SubsequenceMatch(start, d, len(starts), stats)
         )
     return chosen
 

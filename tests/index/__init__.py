@@ -1,0 +1,1 @@
+"""Tests for the ahead-of-time DatasetIndex (repro.index)."""

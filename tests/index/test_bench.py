@@ -1,0 +1,114 @@
+"""Schema smoke test for the index pruning-power benchmark.
+
+``python -m repro index bench`` writes ``BENCH_index.json`` from
+:func:`repro.index.bench.index_benchmark`; the CI gate and the README
+table read specific keys, so the shape is a contract.  The tiny
+workload here makes the timings meaningless -- only the schema, the
+agreement flag and the counter arithmetic matter -- while the
+checked-in ``BENCH_index.json`` carries the acceptance claim itself:
+LB_Improved makes strictly fewer DTW calls than LB_Keogh alone.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+import repro
+from repro.index import format_index_report, index_benchmark
+from repro.index.bench import SCHEMA
+
+VARIANTS = ("unindexed_keogh", "indexed_keogh", "indexed_improved")
+
+VARIANT_KEYS = (
+    "variant", "queries", "candidates", "dtw_calls",
+    "dtw_calls_per_query", "full_dtw", "abandoned_dtw", "cells",
+    "cells_per_query", "pruned_kim", "pruned_keogh", "pruned_improved",
+    "pruned_keogh_reversed", "prune_rate", "seconds",
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return index_benchmark(
+        n_datasets=1, length_range=(24, 25), classes=2, per_class=3,
+        window=0.1, seed=0,
+    )
+
+
+class TestReportSchema:
+    def test_top_level_keys(self, report):
+        assert report["benchmark"] == SCHEMA
+        for key in ("note", "workload", "variants", "agree",
+                    "improved_fewer_dtw_calls"):
+            assert key in report
+
+    def test_variant_rows(self, report):
+        assert set(report["variants"]) == set(VARIANTS)
+        for row in report["variants"].values():
+            assert set(row) == set(VARIANT_KEYS)
+
+    def test_variants_agree_on_the_neighbours(self, report):
+        assert report["agree"] is True
+
+    def test_counter_arithmetic(self, report):
+        for row in report["variants"].values():
+            assert row["dtw_calls"] == row["full_dtw"] + row["abandoned_dtw"]
+            assert row["dtw_calls_per_query"] == (
+                row["dtw_calls"] / row["queries"]
+            )
+            assert 0.0 <= row["prune_rate"] <= 1.0
+
+    def test_improved_never_makes_more_dtw_calls(self, report):
+        # an extra admissible stage can only prune more, never less
+        improved = report["variants"]["indexed_improved"]
+        keogh = report["variants"]["indexed_keogh"]
+        assert improved["dtw_calls"] <= keogh["dtw_calls"]
+
+    def test_json_round_trips(self, report):
+        rebuilt = json.loads(json.dumps(report))
+        assert rebuilt["variants"] == report["variants"]
+
+    def test_format_report_lines(self, report):
+        text = "\n".join(format_index_report(report))
+        assert "dtw_calls/query" in text
+        assert "neighbours identical across variants" in text
+        assert "LB_Improved reduces DTW calls" in text
+
+    def test_note_pins_the_harness_out(self, report):
+        assert "never uses the index" in report["note"]
+
+
+class TestCheckedInReport:
+    """The repo-root ``BENCH_index.json`` carries the acceptance
+    numbers: strictly fewer DTW calls per query with LB_Improved."""
+
+    @pytest.fixture(scope="class")
+    def checked_in(self):
+        path = (
+            pathlib.Path(repro.__file__).resolve().parents[2]
+            / "BENCH_index.json"
+        )
+        if not path.is_file():
+            pytest.skip("BENCH_index.json not present")
+        return json.loads(path.read_text())
+
+    def test_schema_and_agreement(self, checked_in):
+        assert checked_in["benchmark"] == SCHEMA
+        assert checked_in["agree"] is True
+        assert set(checked_in["variants"]) == set(VARIANTS)
+
+    def test_improved_strictly_fewer_dtw_calls(self, checked_in):
+        assert checked_in["improved_fewer_dtw_calls"] is True
+        improved = checked_in["variants"]["indexed_improved"]
+        keogh = checked_in["variants"]["indexed_keogh"]
+        assert improved["dtw_calls"] < keogh["dtw_calls"]
+        assert (
+            improved["dtw_calls_per_query"]
+            < keogh["dtw_calls_per_query"]
+        )
+
+    def test_index_beats_unindexed_on_dtw_calls(self, checked_in):
+        unindexed = checked_in["variants"]["unindexed_keogh"]
+        keogh = checked_in["variants"]["indexed_keogh"]
+        assert keogh["dtw_calls"] < unindexed["dtw_calls"]

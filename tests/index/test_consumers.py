@@ -1,0 +1,236 @@
+"""Indexed vs index-free consumers: bit-identical results everywhere.
+
+The ``index=`` fast path must be invisible in every consumer's output:
+same neighbour, same distance, same discord, same motif, same LOOCV
+error -- across worker counts, backends and the persistent executor.
+The acceptance grid (workers 1/2/4 x python/numpy x executor) runs
+here; the mismatch gates (wrong band, mutated data, wrong kind) prove
+a stale index can never be consulted silently.
+"""
+
+import math
+
+import pytest
+
+from repro.anomaly.discord import find_discord
+from repro.classify.knn import DistanceSpec, OneNearestNeighbor
+from repro.classify.loocv import loocv_error
+from repro.index import IndexMismatchError, build_index, build_stream_index
+from repro.motifs.discovery import find_motif
+from repro.runtime import Runtime
+from repro.search.nn_search import nearest_neighbor
+from repro.search.subsequence import (
+    subsequence_search,
+    subsequence_search_topk,
+)
+from tests.conftest import make_series
+
+BAND = 2
+QUERY = make_series(20, seed=500)
+CANDS = [make_series(20, seed=501 + i) for i in range(8)]
+STREAM = make_series(80, seed=520)
+WINDOW = 12
+LABELS = ["a", "b"] * 4
+
+RUNTIMES = [
+    pytest.param(None, id="default"),
+    pytest.param(Runtime(workers=1, backend="python"), id="w1-python"),
+    pytest.param(Runtime(workers=2, backend="python"), id="w2-python"),
+    pytest.param(Runtime(workers=4, backend="python"), id="w4-python"),
+    pytest.param(Runtime(workers=1, backend="numpy"), id="w1-numpy"),
+    pytest.param(Runtime(workers=2, backend="numpy"), id="w2-numpy"),
+    pytest.param(Runtime(workers=4, backend="numpy"), id="w4-numpy"),
+    pytest.param(
+        Runtime(workers=4, backend="numpy", executor="default"),
+        id="w4-numpy-executor",
+    ),
+]
+
+
+def _skip_if_numpy_missing(rt):
+    if rt is not None and rt.backend_name == "numpy":
+        pytest.importorskip("numpy")
+
+
+@pytest.fixture(scope="module")
+def coll_index():
+    return build_index(CANDS, band=BAND)
+
+
+@pytest.fixture(scope="module")
+def stream_index():
+    return build_stream_index(STREAM, window=WINDOW, band=BAND)
+
+
+class TestNearestNeighbor:
+    @pytest.mark.parametrize("rt", RUNTIMES)
+    def test_indexed_matches_unindexed(self, rt, coll_index):
+        _skip_if_numpy_missing(rt)
+        plain = nearest_neighbor(QUERY, CANDS, band=BAND)
+        fast = nearest_neighbor(
+            QUERY, CANDS, band=BAND, runtime=rt, index=coll_index
+        )
+        assert (fast.index, fast.distance) == (plain.index, plain.distance)
+        assert fast.stats is not None
+        assert fast.cells == fast.stats.cells
+
+    def test_index_restricted_to_cdtw_lb(self, coll_index):
+        with pytest.raises(ValueError, match="cdtw\\+lb"):
+            nearest_neighbor(
+                QUERY, CANDS, strategy="cdtw", band=BAND, index=coll_index
+            )
+
+    def test_wrong_band_rejected(self, coll_index):
+        with pytest.raises(IndexMismatchError, match="band"):
+            nearest_neighbor(QUERY, CANDS, band=BAND + 1, index=coll_index)
+
+    def test_mutated_candidates_rejected(self, coll_index):
+        mutated = [list(c) for c in CANDS]
+        mutated[0][0] += 1.0
+        with pytest.raises(IndexMismatchError, match="fingerprint"):
+            nearest_neighbor(QUERY, mutated, band=BAND, index=coll_index)
+
+    def test_wrong_kind_rejected(self, stream_index):
+        wins = [list(s) for s in stream_index.series]
+        with pytest.raises(IndexMismatchError, match="kind"):
+            nearest_neighbor(
+                wins[0], wins[1:], band=BAND, index=stream_index
+            )
+
+
+class TestSubsequence:
+    @pytest.mark.parametrize("rt", RUNTIMES)
+    def test_search_indexed_matches_unindexed(self, rt, stream_index):
+        _skip_if_numpy_missing(rt)
+        q = make_series(WINDOW, seed=530)
+        plain = subsequence_search(q, STREAM, band=BAND)
+        fast = subsequence_search(
+            q, STREAM, band=BAND, runtime=rt, index=stream_index
+        )
+        assert (fast.start, fast.distance, fast.windows) == (
+            plain.start, plain.distance, plain.windows
+        )
+
+    @pytest.mark.parametrize("rt", RUNTIMES)
+    def test_topk_indexed_matches_unindexed(self, rt, stream_index):
+        _skip_if_numpy_missing(rt)
+        q = make_series(WINDOW, seed=531)
+        plain = subsequence_search_topk(q, STREAM, band=BAND, k=3)
+        fast = subsequence_search_topk(
+            q, STREAM, band=BAND, k=3, runtime=rt, index=stream_index
+        )
+        assert [(m.start, m.distance) for m in fast] == [
+            (m.start, m.distance) for m in plain
+        ]
+
+    def test_step_mismatch_rejected(self, stream_index):
+        q = make_series(WINDOW, seed=532)
+        with pytest.raises(IndexMismatchError, match="step"):
+            subsequence_search(
+                q, STREAM, band=BAND, step=2, index=stream_index
+            )
+
+    def test_normalize_mismatch_rejected(self, stream_index):
+        q = make_series(WINDOW, seed=533)
+        with pytest.raises(IndexMismatchError, match="normalize"):
+            subsequence_search(
+                q, STREAM, band=BAND, normalize=False, index=stream_index
+            )
+
+    def test_mutated_stream_rejected(self, stream_index):
+        q = make_series(WINDOW, seed=534)
+        other = list(STREAM)
+        other[10] += 0.5
+        with pytest.raises(IndexMismatchError, match="fingerprint"):
+            subsequence_search(q, other, band=BAND, index=stream_index)
+
+
+class TestClassification:
+    @pytest.mark.parametrize("rt", RUNTIMES)
+    def test_loocv_error_identical(self, rt, coll_index):
+        _skip_if_numpy_missing(rt)
+        spec = DistanceSpec("cdtw", window=BAND / 20, use_lower_bounds=True)
+        plain = loocv_error(CANDS, LABELS, spec)
+        fast = loocv_error(
+            CANDS, LABELS, spec, runtime=rt, index=coll_index
+        )
+        assert fast == plain
+
+    def test_predictions_identical(self, coll_index):
+        spec = DistanceSpec("cdtw", window=BAND / 20, use_lower_bounds=True)
+        plain = OneNearestNeighbor(spec).fit(CANDS, LABELS)
+        fast = OneNearestNeighbor(spec, index=coll_index).fit(
+            CANDS, LABELS
+        )
+        queries = [make_series(20, seed=540 + i) for i in range(4)]
+        assert fast.predict(queries) == plain.predict(queries)
+
+    def test_index_requires_lower_bounded_cdtw(self, coll_index):
+        with pytest.raises(ValueError, match="cdtw"):
+            OneNearestNeighbor(
+                DistanceSpec("fastdtw", radius=1), index=coll_index
+            )
+        with pytest.raises(ValueError, match="use_lower_bounds"):
+            OneNearestNeighbor(
+                DistanceSpec(
+                    "cdtw", window=0.1, use_lower_bounds=False
+                ),
+                index=coll_index,
+            )
+
+    def test_fit_rejects_foreign_training_set(self, coll_index):
+        spec = DistanceSpec("cdtw", window=BAND / 20, use_lower_bounds=True)
+        other = [make_series(20, seed=550 + i) for i in range(8)]
+        with pytest.raises(IndexMismatchError, match="fingerprint"):
+            OneNearestNeighbor(spec, index=coll_index).fit(other, LABELS)
+
+
+class TestAnomalyAndMotifs:
+    @pytest.mark.parametrize("rt", RUNTIMES)
+    def test_discord_identical_including_call_count(
+        self, rt, stream_index
+    ):
+        _skip_if_numpy_missing(rt)
+        plain = find_discord(STREAM, window=WINDOW, band=BAND)
+        fast = find_discord(
+            STREAM, window=WINDOW, band=BAND, runtime=rt,
+            index=stream_index,
+        )
+        # the indexed scan keeps the serial loop structure, so even
+        # distance_calls must match the serial reference
+        assert fast == plain
+
+    @pytest.mark.parametrize("rt", RUNTIMES)
+    def test_motif_identical_including_call_count(self, rt, stream_index):
+        _skip_if_numpy_missing(rt)
+        plain = find_motif(STREAM, window=WINDOW, band=BAND)
+        fast = find_motif(
+            STREAM, window=WINDOW, band=BAND, runtime=rt,
+            index=stream_index,
+        )
+        assert fast == plain
+
+    def test_discord_window_mismatch_rejected(self, stream_index):
+        with pytest.raises(IndexMismatchError, match="window"):
+            find_discord(
+                STREAM, window=WINDOW + 1, band=BAND, index=stream_index
+            )
+
+    def test_motif_band_mismatch_rejected(self, stream_index):
+        with pytest.raises(IndexMismatchError, match="band"):
+            find_motif(
+                STREAM, window=WINDOW, band=BAND + 2, index=stream_index
+            )
+
+
+class TestLoadedIndexServesConsumers:
+    def test_round_tripped_index_gives_identical_results(self, tmp_path):
+        from repro.index import load_index, save_index
+
+        idx = build_index(CANDS, band=BAND)
+        path = tmp_path / "nn.idx"
+        save_index(idx, path)
+        loaded = load_index(path)
+        plain = nearest_neighbor(QUERY, CANDS, band=BAND)
+        fast = nearest_neighbor(QUERY, CANDS, band=BAND, index=loaded)
+        assert (fast.index, fast.distance) == (plain.index, plain.distance)

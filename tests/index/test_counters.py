@@ -1,0 +1,178 @@
+"""``index.*`` observability counters: derived, flushed, and invariant.
+
+The searcher's counters are *derived* from the same CascadeStats the
+results carry, so a trace snapshot and the returned stats must
+reconcile exactly, and the whole counter set must be identical across
+worker counts, backends and the persistent executor (the indexed scan
+is sequential; the runtime only contributes its backend, and every
+stage it counts is bit-identical by construction).
+"""
+
+from dataclasses import astuple
+
+import pytest
+
+from repro.index import build_index, build_stream_index
+from repro.obs import RunTrace
+from repro.runtime import Runtime
+from repro.search.nn_search import nearest_neighbor
+from repro.search.subsequence import subsequence_search_topk
+from tests.conftest import make_series
+
+BAND = 2
+QUERY = make_series(20, seed=600)
+CANDS = [make_series(20, seed=601 + i) for i in range(8)]
+STREAM = make_series(64, seed=620)
+WINDOW = 12
+
+INDEX_COUNTERS = (
+    "index.hits",
+    "index.artifacts_reused",
+    "index.lb_improved_prunes",
+    "index.reused_exact",
+)
+
+RUNTIMES = [
+    pytest.param(Runtime(workers=1, backend="python"), id="w1-python"),
+    pytest.param(Runtime(workers=2, backend="python"), id="w2-python"),
+    pytest.param(Runtime(workers=4, backend="python"), id="w4-python"),
+    pytest.param(Runtime(workers=1, backend="numpy"), id="w1-numpy"),
+    pytest.param(Runtime(workers=2, backend="numpy"), id="w2-numpy"),
+    pytest.param(Runtime(workers=4, backend="numpy"), id="w4-numpy"),
+    pytest.param(
+        Runtime(workers=4, backend="numpy", executor="default"),
+        id="w4-numpy-executor",
+    ),
+]
+
+
+def _skip_if_numpy_missing(rt):
+    if rt.backend_name == "numpy":
+        pytest.importorskip("numpy")
+
+
+def _snapshot(trace):
+    return {name: trace.counter(name) for name in INDEX_COUNTERS}
+
+
+def _loocv_counters(rt):
+    idx = build_index(CANDS, band=BAND)
+    searcher = idx.searcher(runtime=rt, share_exact=True)
+    stats_totals = {"pruned_improved": 0, "reused_exact": 0,
+                    "artifacts": 0}
+    with RunTrace() as trace:
+        for i, q in enumerate(CANDS):
+            hit = searcher.nearest(q, exclude=i, query_index=i)
+            stats_totals["pruned_improved"] += hit.stats.pruned_improved
+            stats_totals["reused_exact"] += hit.stats.reused_exact
+            stats_totals["artifacts"] += hit.artifacts_reused
+    return _snapshot(trace), stats_totals
+
+
+class TestCountersReconcile:
+    def test_counters_derive_from_returned_stats(self):
+        counters, totals = _loocv_counters(
+            Runtime(workers=1, backend="python")
+        )
+        assert counters["index.hits"] == len(CANDS)
+        assert counters["index.artifacts_reused"] == totals["artifacts"]
+        assert (
+            counters["index.lb_improved_prunes"]
+            == totals["pruned_improved"]
+        )
+        assert counters["index.reused_exact"] == totals["reused_exact"]
+        # the workload actually exercises the counters it checks
+        assert totals["artifacts"] > 0
+        assert totals["reused_exact"] > 0
+
+    @pytest.mark.parametrize("rt", RUNTIMES)
+    def test_counters_invariant_across_runtimes(self, rt):
+        _skip_if_numpy_missing(rt)
+        reference, _ = _loocv_counters(
+            Runtime(workers=1, backend="python")
+        )
+        got, _ = _loocv_counters(rt)
+        assert got == reference
+
+    def test_nearest_neighbor_indexed_increments_hits(self):
+        idx = build_index(CANDS, band=BAND)
+        with RunTrace() as trace:
+            nearest_neighbor(QUERY, CANDS, band=BAND, index=idx)
+        assert trace.counter("index.hits") == 1
+        assert trace.counter("index.artifacts_reused") > 0
+
+    def test_scan_close_flushes_once(self):
+        idx = build_stream_index(STREAM, window=WINDOW, band=BAND)
+        searcher = idx.searcher()
+        q = make_series(WINDOW, seed=630)
+        with RunTrace() as trace:
+            scan = searcher.scan(q)
+            scan.distance(0)
+            scan.close()
+            scan.close()  # idempotent: no double counting
+        assert trace.counter("index.hits") == 1
+
+    def test_topk_scan_flushes_through_context_manager(self):
+        idx = build_stream_index(STREAM, window=WINDOW, band=BAND)
+        q = make_series(WINDOW, seed=631)
+        with RunTrace() as trace:
+            subsequence_search_topk(
+                q, STREAM, band=BAND, k=2, index=idx
+            )
+        assert trace.counter("index.hits") == 1
+        assert trace.counter("index.artifacts_reused") > 0
+
+
+class TestNnStatsParity:
+    """Satellite: ``NnResult.stats`` is populated -- identically -- on
+    every ``"cdtw+lb"`` path, including the chunk-prefilter one."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_stats_populated_and_tuple_equal_across_workers(
+        self, workers, backend
+    ):
+        if backend == "numpy":
+            pytest.importorskip("numpy")
+        reference = nearest_neighbor(
+            QUERY, CANDS, band=BAND,
+            runtime=Runtime(workers=1, backend=backend),
+        )
+        assert reference.stats is not None
+        got = nearest_neighbor(
+            QUERY, CANDS, band=BAND,
+            runtime=Runtime(workers=workers, backend=backend),
+        )
+        assert got.stats is not None
+        assert astuple(got.stats) == astuple(reference.stats)
+        assert (got.index, got.distance, got.cells) == (
+            reference.index, reference.distance, reference.cells
+        )
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_indexed_stats_tuple_equal_across_runtimes(self, backend):
+        if backend == "numpy":
+            pytest.importorskip("numpy")
+        idx = build_index(CANDS, band=BAND)
+        reference = nearest_neighbor(
+            QUERY, CANDS, band=BAND, index=idx,
+            runtime=Runtime(workers=1, backend="python"),
+        )
+        got = nearest_neighbor(
+            QUERY, CANDS, band=BAND, index=idx,
+            runtime=Runtime(workers=4, backend=backend,
+                            executor="default"),
+        )
+        assert astuple(got.stats) == astuple(reference.stats)
+        assert (got.index, got.distance, got.cells) == (
+            reference.index, reference.distance, reference.cells
+        )
+
+    def test_stats_counters_account_every_candidate(self):
+        result = nearest_neighbor(QUERY, CANDS, band=BAND)
+        s = result.stats
+        assert s.candidates == len(CANDS)
+        assert (
+            s.pruned_total() + s.full_dtw + s.reused_exact
+            == s.candidates
+        )

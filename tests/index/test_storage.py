@@ -1,0 +1,144 @@
+"""The ``repro.index/v1`` on-disk format: round trips and refusals.
+
+A cache that can silently serve wrong envelopes is worse than no
+cache, so the loader's paranoia is the contract under test: the
+payload hash is always rechecked, the source fingerprint can be
+pinned, and anything that is not byte-for-byte an index file fails
+loudly with :class:`IndexMismatchError`.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.index import (
+    IndexMismatchError,
+    build_index,
+    build_stream_index,
+    load_index,
+    save_index,
+)
+from repro.index.storage import FORMAT
+from tests.conftest import make_series
+
+SERIES = [make_series(16, seed=400 + i) for i in range(5)]
+STREAM = make_series(48, seed=410)
+
+
+@pytest.fixture
+def saved(tmp_path):
+    idx = build_index(SERIES, band=2)
+    path = tmp_path / "collection.idx"
+    header = save_index(idx, path)
+    return idx, path, header
+
+
+class TestRoundTrip:
+    def test_collection_round_trips_exactly(self, saved):
+        idx, path, _ = saved
+        assert load_index(path) == idx
+
+    def test_stream_round_trips_exactly(self, tmp_path):
+        idx = build_stream_index(STREAM, window=10, band=2, step=2)
+        path = tmp_path / "stream.idx"
+        save_index(idx, path)
+        loaded = load_index(path)
+        assert loaded == idx
+        assert loaded.starts == idx.starts
+
+    def test_header_records_the_contract(self, saved):
+        idx, _, header = saved
+        assert header["format"] == FORMAT
+        assert header["kind"] == "collection"
+        assert header["band"] == 2
+        assert header["count"] == len(idx)
+        assert header["length"] == idx.length
+        assert header["source_fingerprint"] == idx.source_fingerprint
+        assert "payload_fingerprint" in header
+
+    def test_save_is_atomic_ish(self, saved):
+        _, path, _ = saved
+        assert not os.path.exists(str(path) + ".tmp")
+
+    def test_expected_fingerprint_accepts_the_source(self, saved):
+        idx, path, _ = saved
+        assert (
+            load_index(path, expected_fingerprint=idx.source_fingerprint)
+            == idx
+        )
+
+    def test_loaded_index_still_verifies_live_data(self, saved):
+        _, path, _ = saved
+        loaded = load_index(path)
+        assert loaded.verify_collection(SERIES) is loaded
+
+
+class TestRefusals:
+    def test_flipped_payload_byte_rejected(self, saved):
+        _, path, _ = saved
+        blob = bytearray(path.read_bytes())
+        blob[-5] ^= 0x40
+        path.write_bytes(bytes(blob))
+        with pytest.raises(IndexMismatchError,
+                           match="payload fingerprint mismatch"):
+            load_index(path)
+
+    def test_truncated_payload_rejected(self, saved):
+        _, path, _ = saved
+        path.write_bytes(path.read_bytes()[:-16])
+        with pytest.raises(IndexMismatchError,
+                           match="payload fingerprint mismatch"):
+            load_index(path)
+
+    def test_wrong_source_fingerprint_rejected(self, saved):
+        _, path, _ = saved
+        with pytest.raises(IndexMismatchError,
+                           match="different data"):
+            load_index(path, expected_fingerprint="deadbeef" * 4)
+
+    def test_not_an_index_file(self, tmp_path):
+        path = tmp_path / "garbage.idx"
+        path.write_bytes(b"\x00\x01\x02\x03" * 8)
+        with pytest.raises(IndexMismatchError, match="not a repro.index"):
+            load_index(path)
+
+    def test_unreadable_header(self, tmp_path):
+        path = tmp_path / "badheader.idx"
+        path.write_bytes(b"{not json\n" + b"\x00" * 16)
+        with pytest.raises(IndexMismatchError, match="not a repro.index"):
+            load_index(path)
+
+    def test_unsupported_format_version(self, saved):
+        _, path, _ = saved
+        blob = path.read_bytes()
+        newline = blob.find(b"\n")
+        header = json.loads(blob[:newline])
+        header["format"] = "repro.index/v99"
+        path.write_bytes(
+            json.dumps(header, sort_keys=True).encode()
+            + b"\n" + blob[newline + 1:]
+        )
+        with pytest.raises(IndexMismatchError,
+                           match="unsupported index format"):
+            load_index(path)
+
+    def test_foreign_endianness_rejected(self, saved):
+        import sys
+
+        _, path, _ = saved
+        other = "big" if sys.byteorder == "little" else "little"
+        blob = path.read_bytes()
+        newline = blob.find(b"\n")
+        header = json.loads(blob[:newline])
+        header["byteorder"] = other
+        path.write_bytes(
+            json.dumps(header, sort_keys=True).encode()
+            + b"\n" + blob[newline + 1:]
+        )
+        with pytest.raises(IndexMismatchError, match="endian"):
+            load_index(path)
+
+    def test_missing_file_is_an_os_error(self, tmp_path):
+        with pytest.raises(OSError):
+            load_index(tmp_path / "nope.idx")

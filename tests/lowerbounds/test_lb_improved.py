@@ -1,0 +1,241 @@
+"""LB_Improved: admissibility, dominance, and chunk-kernel parity.
+
+Lemire's two-pass bound is the new cascade stage the ahead-of-time
+index enables by default, so its contract gets the same adversarial
+coverage as the older bounds: property-tested ``<= cDTW``, provably
+``>= LB_Keogh``, and the stacked chunk kernel bit-identical to the
+scalar on every backend (values *and* abandon decisions).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cdtw import cdtw
+from repro.core.kernels import get_kernels
+from repro.lowerbounds.envelope import Envelope, envelope
+from repro.lowerbounds.lb_improved import clip_to_envelope, lb_improved
+from repro.lowerbounds.lb_keogh import lb_keogh
+from tests.conftest import make_series
+
+finite = st.floats(
+    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+)
+pair_and_band = st.integers(min_value=1, max_value=18).flatmap(
+    lambda n: st.tuples(
+        st.lists(finite, min_size=n, max_size=n),
+        st.lists(finite, min_size=n, max_size=n),
+        st.integers(min_value=0, max_value=n),
+    )
+)
+
+
+@settings(deadline=None, max_examples=60)
+@given(pair_and_band)
+def test_lb_improved_below_banded_dtw(args):
+    x, y, band = args
+    assert lb_improved(x, y, band) <= cdtw(x, y, band=band).distance + 1e-9
+
+
+@settings(deadline=None, max_examples=60)
+@given(pair_and_band)
+def test_lb_improved_below_banded_dtw_abs_cost(args):
+    x, y, band = args
+    assert (
+        lb_improved(x, y, band, squared=False)
+        <= cdtw(x, y, band=band, cost="abs").distance + 1e-9
+    )
+
+
+@settings(deadline=None, max_examples=60)
+@given(pair_and_band)
+def test_lb_improved_dominates_lb_keogh(args):
+    x, y, band = args
+    keogh = lb_keogh(envelope(x, band), y)
+    assert lb_improved(x, y, band) >= keogh
+
+
+class TestClipToEnvelope:
+    def test_inside_values_unchanged(self):
+        env = Envelope(1, [2.0, 3.0, 4.0], [0.0, 1.0, 2.0])
+        assert clip_to_envelope([1.0, 2.0, 3.0], env) == [1.0, 2.0, 3.0]
+
+    def test_outside_values_clamped(self):
+        env = Envelope(0, [1.0, 1.0], [-1.0, -1.0])
+        assert clip_to_envelope([5.0, -5.0], env) == [1.0, -1.0]
+
+    def test_length_mismatch_raises(self):
+        env = Envelope(0, [1.0], [0.0])
+        with pytest.raises(ValueError, match="length"):
+            clip_to_envelope([1.0, 2.0], env)
+
+    def test_matches_numpy_clip_bit_for_bit(self):
+        np = pytest.importorskip("numpy")
+        x = make_series(40, seed=1)
+        env = envelope(make_series(40, seed=2), 3)
+        scalar = clip_to_envelope(x, env)
+        vector = np.clip(
+            np.asarray(x), np.asarray(env.lower), np.asarray(env.upper)
+        )
+        assert scalar == list(vector)
+
+
+class TestScalarSemantics:
+    def test_equals_keogh_plus_second_pass(self):
+        # the two passes combine with one addition; reusing a
+        # precomputed first pass must not change the value
+        x = make_series(30, seed=5)
+        y = make_series(30, seed=6)
+        band = 3
+        env = envelope(x, band)
+        keogh = lb_keogh(env, y)
+        full = lb_improved(x, y, band)
+        assert full == lb_improved(x, y, band, keogh=keogh)
+        assert full == lb_improved(x, y, band, query_envelope=env)
+        assert full >= keogh
+
+    def test_identical_series_bound_is_zero(self):
+        x = make_series(20, seed=7)
+        assert lb_improved(x, x, 2) == 0.0
+
+    def test_constant_series(self):
+        # degenerate envelope: upper == lower == the constant
+        q = [2.5] * 8
+        c = make_series(8, seed=8)
+        band = 2
+        got = lb_improved(q, c, band)
+        assert got <= cdtw(q, c, band=band).distance + 1e-9
+        assert got >= lb_keogh(envelope(q, band), c)
+
+    def test_length_two_series(self):
+        q = [0.0, 1.0]
+        c = [3.0, -2.0]
+        for band in (0, 1, 2):
+            got = lb_improved(q, c, band)
+            assert got <= cdtw(q, c, band=band).distance + 1e-9
+
+    def test_band_wider_than_series_still_admissible(self):
+        x = make_series(10, seed=9)
+        y = make_series(10, seed=10)
+        assert lb_improved(x, y, 50) <= cdtw(x, y, band=50).distance + 1e-9
+
+    def test_band_zero_reduces_to_pointwise(self):
+        # band 0 envelopes are the series themselves: the first pass is
+        # the full squared distance and the second pass adds nothing
+        x = make_series(12, seed=11)
+        y = make_series(12, seed=12)
+        pointwise = sum((a - b) ** 2 for a, b in zip(x, y))
+        assert lb_improved(x, y, 0) == pointwise
+
+    def test_abandon_decision_matches_full_bound(self):
+        x = make_series(25, seed=13)
+        y = make_series(25, seed=14)
+        full = lb_improved(x, y, 2)
+        assert full > 0
+        # threshold == bound: not provably above, must not abandon
+        assert lb_improved(x, y, 2, abandon_above=full) == full
+        # threshold just below: must abandon
+        assert lb_improved(x, y, 2, abandon_above=full * 0.999) == math.inf
+
+    def test_unequal_lengths_raise(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            lb_improved([1.0, 2.0], [1.0, 2.0, 3.0], 1)
+
+    def test_mismatched_query_envelope_raises(self):
+        x = make_series(10, seed=15)
+        with pytest.raises(ValueError, match="query_envelope"):
+            lb_improved(x, x, 2, query_envelope=envelope(x, 3))
+        with pytest.raises(ValueError, match="query_envelope"):
+            lb_improved(x, x, 2, query_envelope=envelope(x[:5], 2))
+
+
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+class TestChunkKernelParity:
+    """``lb_improved_chunk`` must be bit-identical to the scalar."""
+
+    def _kernels(self, backend):
+        if backend == "numpy":
+            pytest.importorskip("numpy")
+        return get_kernels(backend)
+
+    def test_stack_matches_scalar(self, backend):
+        k = self._kernels(backend)
+        q = make_series(24, seed=20)
+        cands = [make_series(24, seed=21 + i) for i in range(6)]
+        band = 3
+        env = envelope(q, band)
+        got = k.lb_improved_chunk(env.upper, env.lower, cands, q, band)
+        want = [
+            lb_improved(q, c, band, query_envelope=env) for c in cands
+        ]
+        assert [float(v) for v in got] == want
+
+    def test_precomputed_keogh_reused(self, backend):
+        k = self._kernels(backend)
+        q = make_series(20, seed=30)
+        cands = [make_series(20, seed=31 + i) for i in range(4)]
+        band = 2
+        env = envelope(q, band)
+        keoghs = [lb_keogh(env, c) for c in cands]
+        got = k.lb_improved_chunk(
+            env.upper, env.lower, cands, q, band, keogh=keoghs
+        )
+        plain = k.lb_improved_chunk(env.upper, env.lower, cands, q, band)
+        assert [float(v) for v in got] == [float(v) for v in plain]
+
+    def test_abandon_decisions_match_scalar(self, backend):
+        k = self._kernels(backend)
+        q = make_series(24, seed=40)
+        cands = [make_series(24, seed=41 + i) for i in range(8)]
+        band = 2
+        env = envelope(q, band)
+        full = [lb_improved(q, c, band, query_envelope=env) for c in cands]
+        threshold = sorted(full)[len(full) // 2]
+        got = k.lb_improved_chunk(
+            env.upper, env.lower, cands, q, band,
+            abandon_above=threshold,
+        )
+        want = [
+            lb_improved(
+                q, c, band, query_envelope=env, abandon_above=threshold
+            )
+            for c in cands
+        ]
+        assert [float(v) for v in got] == want
+        assert math.inf in want  # the threshold actually bites
+
+    def test_count_drops_pad_rows(self, backend):
+        k = self._kernels(backend)
+        q = make_series(16, seed=50)
+        real = [make_series(16, seed=51 + i) for i in range(3)]
+        padded = real + [[0.0] * 16]
+        band = 2
+        env = envelope(q, band)
+        got = k.lb_improved_chunk(
+            env.upper, env.lower, padded, q, band, count=3
+        )
+        assert len(got) == 3
+        assert [float(v) for v in got] == [
+            lb_improved(q, c, band, query_envelope=env) for c in real
+        ]
+
+    def test_per_row_envelope_stacks(self, backend):
+        # 2-D envelope stacks: row t is candidate t's own envelope
+        k = self._kernels(backend)
+        q = make_series(18, seed=60)
+        cands = [make_series(18, seed=61 + i) for i in range(3)]
+        band = 2
+        envs = [
+            envelope(make_series(18, seed=70 + i), band)
+            for i in range(3)
+        ]
+        got = k.lb_improved_chunk(
+            [e.upper for e in envs], [e.lower for e in envs],
+            cands, q, band,
+        )
+        want = [
+            lb_improved(q, c, band, query_envelope=e)
+            for c, e in zip(cands, envs)
+        ]
+        assert [float(v) for v in got] == want

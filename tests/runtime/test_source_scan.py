@@ -39,6 +39,35 @@ CONSUMER_MODULES = (
     "cluster/kmeans.py",
     "anomaly/discord.py",
     "motifs/discovery.py",
+    "index/dataset_index.py",
+    "index/search.py",
+    "index/bench.py",
+)
+
+# modules that accept an ahead-of-time index as an opaque ``index=``
+# argument; they may only *call its methods*, never construct or load
+# index internals themselves -- otherwise the fingerprint-verification
+# gate could be bypassed by a consumer building its own stale copy
+INDEX_CONSUMER_MODULES = (
+    "search/nn_search.py",
+    "search/subsequence.py",
+    "classify/knn.py",
+    "classify/loocv.py",
+    "anomaly/discord.py",
+    "motifs/discovery.py",
+)
+
+FORBIDDEN_INDEX_NAMES = frozenset(
+    {
+        "DatasetIndex",
+        "IndexSearcher",
+        "IndexScan",
+        "CascadeBatch",
+        "build_index",
+        "build_stream_index",
+        "load_index",
+        "save_index",
+    }
 )
 
 # single-name tokens a consumer must never use in code
@@ -101,6 +130,20 @@ def test_no_rederived_parallel_checks(module):
     assert not hits, (
         f"{module} re-derives the execution mode {hits}; "
         "use Runtime.parallel"
+    )
+
+
+@pytest.mark.parametrize("module", INDEX_CONSUMER_MODULES)
+def test_index_consumers_stay_duck_typed(module):
+    offending = [
+        (tok.start[0], tok.string)
+        for tok in _code_tokens(SRC / module)
+        if tok.type == tokenize.NAME
+        and tok.string in FORBIDDEN_INDEX_NAMES
+    ]
+    assert not offending, (
+        f"{module} constructs index internals itself {offending}; "
+        "consumers drive the opaque index= object's methods only"
     )
 
 

@@ -86,6 +86,35 @@ def test_kernel_backend_block():
     assert per_call.cells == scoped.cells == pure.cells
 
 
+def test_index_block(tmp_path):
+    from repro import build_index, load_index, save_index
+    from repro.datasets.random_walk import random_walks
+    from repro.search.nn_search import nearest_neighbor
+
+    walks = random_walks(7, 48, seed=3)
+    candidates, query = walks[:-1], walks[-1]
+
+    idx = build_index(candidates, band=4)
+    save_index(idx, tmp_path / "dataset.idx")
+
+    idx = load_index(tmp_path / "dataset.idx")  # payload hash rechecked
+    hit = nearest_neighbor(query, candidates, band=4, index=idx)
+
+    # the README's losslessness claim: bit-identical to the index-free
+    # scan, and a stale index fails loudly instead of silently
+    plain = nearest_neighbor(query, candidates, band=4)
+    assert (hit.index, hit.distance) == (plain.index, plain.distance)
+
+    import pytest
+
+    from repro import IndexMismatchError
+
+    stale = list(candidates)
+    stale[0] = [v + 1e-9 for v in stale[0]]
+    with pytest.raises(IndexMismatchError):
+        nearest_neighbor(query, stale, band=4, index=idx)
+
+
 def test_readme_pinned_harness_claim():
     import pytest
 

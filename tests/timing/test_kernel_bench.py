@@ -86,6 +86,25 @@ class TestExecutorReportSchema:
         if report["cpu_count"] < 2:
             assert "cpu_count=1" in report["note"]
 
+    def test_single_core_note_round_trips(self, monkeypatch):
+        """The cpu_count<2 limitation note survives the JSON contract.
+
+        On a single-core runner the worker rows time-share one core, so
+        the report appends an explanatory sentence to ``note``; the CLI
+        writes the report verbatim, so the sentence must survive a JSON
+        round trip byte-for-byte for downstream readers.
+        """
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        report = executor_benchmark(
+            length=32, count=4, window=0.2, workers=2, repeats=1, seed=0
+        )
+        assert report["cpu_count"] == 1
+        assert "This run had cpu_count=1" in report["note"]
+        assert "time-share one core" in report["note"]
+        rebuilt = json.loads(json.dumps(report))
+        assert rebuilt["note"] == report["note"]
+        assert rebuilt["cpu_count"] == 1
+
     def test_parity_holds_on_smoke_workload(self, report):
         assert report["parity"]["distances_identical"] is True
         assert report["parity"]["cells_identical"] is True
