@@ -177,7 +177,7 @@ class OneNearestNeighbor:
             n = len(series[0])
             self._index.require(
                 kind="collection", count=len(series), length=n,
-                band=ceil(self.spec.window * n),
+                band=ceil(self.spec.window * n), normalize=False,
             )
             self._index.verify_collection(series)
             self._searcher = self._index.searcher(

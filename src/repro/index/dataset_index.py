@@ -137,6 +137,18 @@ class DatasetIndex:
             raise ValueError("kim features do not cover every series")
         if len(self.moments) != len(self.series):
             raise ValueError("moments do not cover every series")
+        if self.kind == "windows":
+            if len(self.starts) != len(self.series):
+                raise ValueError("starts do not cover every window")
+            if any(
+                b - a != self.step
+                for a, b in zip(self.starts, self.starts[1:])
+            ):
+                raise ValueError(
+                    "window starts must advance by exactly step"
+                )
+        elif self.starts:
+            raise ValueError("collection indexes carry no starts")
 
     def __len__(self) -> int:
         return len(self.series)

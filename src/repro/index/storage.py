@@ -8,12 +8,16 @@ Layout (``repro.index/v1``)::
 The header records the build parameters, the block table, the machine
 byte order, the **source fingerprint** (blake2b of the bytes the index
 was built from, via :func:`repro.batch.shm.pack_dataset`) and a
-**payload fingerprint** (blake2b of the float block bytes as written).
-:func:`load_index` recomputes the payload hash and refuses a file
-whose bytes do not match -- a flipped bit, truncation, or a header
-transplanted onto foreign data all fail loudly with
+**payload fingerprint** -- blake2b over the *canonical header itself*
+(minus the fingerprint field, JSON with sorted keys) followed by the
+float block bytes as written, so the semantic fields (``band``,
+``normalize``, ``kind``, ``step``, ``window``, ``starts``, ...) are
+tamper-evident, not just the numbers.  :func:`load_index` recomputes
+the hash and refuses a file whose bytes do not match -- a flipped
+payload bit, truncation, an edited header over an intact payload, or
+a header transplanted onto foreign data all fail loudly with
 :class:`~repro.index.IndexMismatchError` rather than silently serving
-wrong envelopes.  The source fingerprint travels with the index so a
+wrong envelopes or offsets.  The source fingerprint travels with the index so a
 loaded copy can still prove, against live data, which bytes it claims
 to describe (:meth:`DatasetIndex.verify_collection` /
 :meth:`~repro.index.DatasetIndex.verify_stream`).
@@ -51,8 +55,24 @@ _BLOCKS = (
 )
 
 
-def _payload_fingerprint(payload: bytes) -> str:
-    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+def _fingerprint(header: dict, payload: bytes) -> str:
+    """Hash of the canonical header (minus the fingerprint field
+    itself) and the payload bytes, in that order.
+
+    Covering the header makes every semantic field tamper-evident:
+    an edited ``band``/``normalize``/``starts`` over an intact payload
+    changes the hash just as surely as a flipped payload byte.
+    """
+    canonical = {
+        key: value
+        for key, value in header.items()
+        if key != "payload_fingerprint"
+    }
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(json.dumps(canonical, sort_keys=True).encode("utf-8"))
+    digest.update(b"\n")
+    digest.update(payload)
+    return digest.hexdigest()
 
 
 def _pack_block(rows, columns: int) -> bytes:
@@ -91,8 +111,8 @@ def save_index(index: DatasetIndex, path: Union[str, os.PathLike]) -> dict:
         "byteorder": sys.byteorder,
         "blocks": [name for name, _ in _BLOCKS],
         "source_fingerprint": index.source_fingerprint,
-        "payload_fingerprint": _payload_fingerprint(payload),
     }
+    header["payload_fingerprint"] = _fingerprint(header, payload)
     blob = json.dumps(header, sort_keys=True).encode("utf-8") + b"\n" + payload
     tmp = os.fspath(path) + ".tmp"
     with open(tmp, "wb") as fh:
@@ -147,13 +167,13 @@ def load_index(
             f"-endian one; rebuild it here"
         )
     recorded = header.get("payload_fingerprint")
-    actual = _payload_fingerprint(payload)
+    actual = _fingerprint(header, payload)
     if actual != recorded:
         raise IndexMismatchError(
             f"{path_str}: index payload fingerprint mismatch "
-            f"(header says {recorded}, payload hashes to {actual}); "
-            f"the file is corrupted or was tampered with -- rebuild "
-            f"the index"
+            f"(header says {recorded}, header+payload hash to "
+            f"{actual}); the file is corrupted or was tampered with "
+            f"-- rebuild the index"
         )
     if (
         expected_fingerprint is not None

@@ -426,7 +426,8 @@ class LowerBoundCascade:
             # fall back to the first candidate for determinism.
             best_idx = 0
             best = cdtw(
-                self.query, candidates[0], band=self.band
+                self.query, candidates[0], band=self.band,
+                cost="squared" if self.squared else "abs",
             ).distance
         return best_idx, best
 
@@ -643,7 +644,8 @@ class CascadeBatch:
             # the first admissible candidate
             best_idx = admissible[0]
             best = cdtw(
-                cascade.query, self.candidates[best_idx], band=self.band
+                cascade.query, self.candidates[best_idx], band=self.band,
+                cost="squared" if self.squared else "abs",
             ).distance
         return BatchNearest(
             index=best_idx, distance=best, stats=stats,

@@ -183,7 +183,7 @@ def _nearest_neighbor_impl(
     # strategy == "cdtw+lb"
     if index is not None:
         index.require(
-            kind="collection", band=band_cells_,
+            kind="collection", band=band_cells_, normalize=False,
             length=len(query), count=len(candidates),
         )
         index.verify_collection(candidates)

@@ -97,6 +97,15 @@ class TestNearestNeighbor:
                 wins[0], wins[1:], band=BAND, index=stream_index
             )
 
+    def test_normalized_index_rejected(self):
+        # a normalize=True index over the same raw candidates shares
+        # their source fingerprint, so only the normalize pin stands
+        # between the scan and z-normalised series the index-free
+        # path never compares
+        normed = build_index(CANDS, band=BAND, normalize=True)
+        with pytest.raises(IndexMismatchError, match="normalize"):
+            nearest_neighbor(QUERY, CANDS, band=BAND, index=normed)
+
 
 class TestSubsequence:
     @pytest.mark.parametrize("rt", RUNTIMES)
@@ -183,6 +192,14 @@ class TestClassification:
         other = [make_series(20, seed=550 + i) for i in range(8)]
         with pytest.raises(IndexMismatchError, match="fingerprint"):
             OneNearestNeighbor(spec, index=coll_index).fit(other, LABELS)
+
+    def test_fit_rejects_normalized_index(self):
+        # same fingerprint as the raw training set, but the stored
+        # series are z-normalised views; fit must pin normalize=False
+        spec = DistanceSpec("cdtw", window=BAND / 20, use_lower_bounds=True)
+        normed = build_index(CANDS, band=BAND, normalize=True)
+        with pytest.raises(IndexMismatchError, match="normalize"):
+            OneNearestNeighbor(spec, index=normed).fit(CANDS, LABELS)
 
 
 class TestAnomalyAndMotifs:

@@ -91,6 +91,40 @@ class TestRefusals:
                            match="payload fingerprint mismatch"):
             load_index(path)
 
+    def test_edited_header_field_rejected(self, saved):
+        # the fingerprint covers the canonical header too, so editing
+        # a semantic field over an intact payload cannot load
+        _, path, _ = saved
+        blob = path.read_bytes()
+        newline = blob.find(b"\n")
+        header = json.loads(blob[:newline])
+        header["normalize"] = True
+        path.write_bytes(
+            json.dumps(header, sort_keys=True).encode()
+            + b"\n" + blob[newline + 1:]
+        )
+        with pytest.raises(IndexMismatchError,
+                           match="fingerprint mismatch"):
+            load_index(path)
+
+    def test_edited_starts_rejected(self, tmp_path):
+        # subsequence/discord offsets are consumed straight from the
+        # header, so starts must be tamper-evident as well
+        idx = build_stream_index(STREAM, window=10, band=2, step=2)
+        path = tmp_path / "stream.idx"
+        save_index(idx, path)
+        blob = path.read_bytes()
+        newline = blob.find(b"\n")
+        header = json.loads(blob[:newline])
+        header["starts"] = [s + 1 for s in header["starts"]]
+        path.write_bytes(
+            json.dumps(header, sort_keys=True).encode()
+            + b"\n" + blob[newline + 1:]
+        )
+        with pytest.raises(IndexMismatchError,
+                           match="fingerprint mismatch"):
+            load_index(path)
+
     def test_wrong_source_fingerprint_rejected(self, saved):
         _, path, _ = saved
         with pytest.raises(IndexMismatchError,
