@@ -82,6 +82,7 @@ class ExecutorStats:
 
     pools_created: int = 0
     pools_reused: int = 0
+    pools_poisoned: int = 0
     datasets_shipped: int = 0
     bytes_shipped: int = 0
     chunks: int = 0
@@ -95,8 +96,16 @@ def _resolve_workers(workers: Optional[int], cap: Optional[str]) -> int:
     cpus = os.cpu_count() or 1
     if workers is None:
         return cpus
+    # an explicit request must be a genuine positive int: bools and
+    # floats would otherwise slip through the comparisons below and
+    # silently build a degenerate (serial or fractional) pool under
+    # either cap policy
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ValueError(
+            f"workers must be an int >= 1, got {workers!r}"
+        )
     if workers < 1:
-        raise ValueError("workers must be >= 1")
+        raise ValueError(f"workers must be >= 1, got {workers!r}")
     if cap == "cpu":
         return min(workers, cpus)
     return min(workers, cpus * MAX_OVERSUBSCRIPTION)
@@ -330,20 +339,46 @@ class BatchExecutor:
             results: List[Optional[tuple]] = [None] * len(tasks)
             max_seen = -1
             steals = 0
-            for index, out, delta, snapshot in pool.imap_unordered(
-                _exec_task, tasks
-            ):
-                if index < max_seen:
-                    steals += 1
-                else:
-                    max_seen = index
-                results[index] = (out, delta, snapshot)
+            try:
+                for index, out, delta, snapshot in pool.imap_unordered(
+                    _exec_task, tasks
+                ):
+                    if index < max_seen:
+                        steals += 1
+                    else:
+                        max_seen = index
+                    results[index] = (out, delta, snapshot)
+            except BaseException:
+                # A worker exception (or a KeyboardInterrupt in this
+                # process) abandons the job mid-drain, leaving tasks
+                # in flight and results uncollected -- a poisoned
+                # pool that the next job would inherit.  Terminate it
+                # and let the next job lazily build a fresh one; the
+                # shm dataset registry is untouched, so residency
+                # (and the ship-once amortisation) survives.
+                self._recycle_pool()
+                raise
             self.stats.jobs += 1
             self.stats.chunks += len(tasks)
             self.stats.steals += steals
             _obs.incr("sched.chunks", len(tasks))
             _obs.incr("sched.steals", steals)
             return results  # fully populated: imap_unordered yielded all
+
+    def _recycle_pool(self) -> None:
+        """Terminate the warm pool after a failed job (caller locked).
+
+        Dataset residency is deliberately preserved: only the pool is
+        rebuilt, so the error path costs one pool start, not a
+        re-ship of every resident dataset.
+        """
+        pool = self._state.get("pool")
+        self._state["pool"] = None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+            self.stats.pools_poisoned += 1
+            _obs.incr("pool.poisoned")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         mode = "shm" if self.use_shm else "inline"
@@ -357,6 +392,7 @@ class BatchExecutor:
 # -- module-level default executor ----------------------------------------
 
 _DEFAULT: Optional[BatchExecutor] = None
+_DEFAULT_PID: Optional[int] = None
 _DEFAULT_LOCK = threading.Lock()
 
 
@@ -366,21 +402,37 @@ def default_executor() -> BatchExecutor:
     Sized to ``os.cpu_count()``.  Explicitly reclaim it with
     :func:`shutdown_default_executor`; a shut-down default is
     replaced on the next call.
+
+    The singleton is keyed by pid: a forked child that inherited the
+    parent's module globals gets a fresh executor of its own instead
+    of the parent's handle (whose pool fds and ``/dev/shm`` segments
+    belong to the parent), mirroring the per-instance fork guard in
+    :meth:`BatchExecutor._check_usable`.
     """
-    global _DEFAULT
+    global _DEFAULT, _DEFAULT_PID
     with _DEFAULT_LOCK:
-        if _DEFAULT is None or _DEFAULT.closed:
+        if (
+            _DEFAULT is None
+            or _DEFAULT.closed
+            or _DEFAULT_PID != os.getpid()
+        ):
             _DEFAULT = BatchExecutor()
+            _DEFAULT_PID = os.getpid()
         return _DEFAULT
 
 
 def shutdown_default_executor() -> None:
-    """Shut down and drop the process-wide default executor."""
-    global _DEFAULT
+    """Shut down and drop the process-wide default executor.
+
+    In a forked child that inherited the parent's singleton this
+    drops the reference without touching the parent's pool or
+    segments (``shutdown`` is pid-guarded)."""
+    global _DEFAULT, _DEFAULT_PID
     with _DEFAULT_LOCK:
         if _DEFAULT is not None:
             _DEFAULT.shutdown()
             _DEFAULT = None
+            _DEFAULT_PID = None
 
 
 def resolve_executor(executor) -> Optional[BatchExecutor]:

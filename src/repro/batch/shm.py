@@ -40,6 +40,7 @@ only the creating executor ever unlinks.
 from __future__ import annotations
 
 import hashlib
+import os
 from array import array
 from typing import List, Optional, Sequence, Tuple
 
@@ -158,6 +159,7 @@ class ShmDataset:
                                                 size=len(payload))
         self._shm.buf[: len(payload)] = payload
         self.name = self._shm.name
+        self._owner_pid = os.getpid()
         self._closed = False
 
     def descriptor(self) -> ShmDescriptor:
@@ -165,17 +167,25 @@ class ShmDataset:
         return ("shm", self.fingerprint, self.name, self.lengths)
 
     def close(self) -> None:
-        """Close the mapping and unlink the segment (idempotent)."""
+        """Close the mapping and unlink the segment (idempotent).
+
+        Only the creating *process* unlinks: a forked child that
+        inherited this handle (e.g. through an executor's dataset
+        registry) merely detaches its copy of the mapping, so the
+        parent's live segment cannot be unlinked out from under it
+        when the child's globals are garbage collected.
+        """
         if self._closed:
             return
         self._closed = True
         try:
             self._shm.close()
         finally:
-            try:
-                self._shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+            if os.getpid() == self._owner_pid:
+                try:
+                    self._shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - gone
+                    pass
 
     def __del__(self):  # pragma: no cover - GC safety net
         try:

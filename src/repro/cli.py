@@ -13,6 +13,8 @@ Usage::
     python -m repro index build --out d0.idx  # ahead-of-time search index
     python -m repro index stat d0.idx         # verify + summarise an index
     python -m repro index bench               # pruning power -> BENCH_index.json
+    python -m repro serve                     # micro-batching query service
+    python -m repro serve --self-test         # parity + telemetry smoke
 
 Each experiment id matches DESIGN.md §3 and the module registry in
 :mod:`repro.experiments`.
@@ -213,6 +215,33 @@ def build_parser() -> argparse.ArgumentParser:
     index_bench.add_argument("--out", default="BENCH_index.json",
                              help="output JSON path ('-' to skip "
                                   "writing; default BENCH_index.json)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the micro-batching query service "
+             "(newline-delimited JSON over TCP)",
+    )
+    serve.add_argument(
+        "--self-test", action="store_true",
+        help="run the deployable-system check instead of serving: "
+             "mixed burst, parity vs sequential, telemetry "
+             "reconciliation, shm hygiene (nonzero exit on any "
+             "failure)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="bind port (default 8787)")
+    serve.add_argument("--window-ms", type=float, default=5.0,
+                       help="micro-batch collection window in "
+                            "milliseconds (default 5.0)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="query-execution workers (default: the "
+                            "process-default runtime)")
+    serve.add_argument("--backend", default=None,
+                       help="kernel backend (default: process default)")
+    serve.add_argument("--no-index", action="store_true",
+                       help="disable the DatasetIndex fast path")
 
     runtime = sub.add_parser(
         "runtime",
@@ -521,6 +550,29 @@ def cmd_verdicts() -> int:
     return 0 if all(v.holds for v in verdicts) else 1
 
 
+def cmd_serve(args) -> int:
+    from .runtime import Runtime
+    from .serve import run_self_test, run_server
+
+    if args.self_test:
+        return run_self_test(
+            workers=args.workers or 2, window_ms=args.window_ms
+        )
+    runtime = Runtime.resolve(
+        None, workers=args.workers, backend=args.backend
+    )
+    print(
+        f"serving on {args.host}:{args.port} "
+        f"(window {args.window_ms}ms, workers {runtime.workers}, "
+        f"index {'off' if args.no_index else 'on'}) -- ctrl-c to stop"
+    )
+    run_server(
+        host=args.host, port=args.port, window_ms=args.window_ms,
+        runtime=runtime, use_index=not args.no_index,
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -542,4 +594,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_runtime(args)
     if args.command == "index":
         return cmd_index(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")

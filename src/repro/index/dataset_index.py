@@ -127,6 +127,16 @@ class DatasetIndex:
         if not self.series:
             raise ValueError("index holds no series")
         n = len(self.series[0])
+        if self.window != n:
+            # the header's window field is what require(window=...)
+            # checks a query's length against, so it must agree with
+            # the stored series -- otherwise a query of the "right"
+            # window length would reuse envelopes of a different
+            # length (silently wrong bounds)
+            raise ValueError(
+                f"stored series have length {n} but the header "
+                f"claims window={self.window}"
+            )
         for block_name in ("series", "upper", "lower"):
             block = getattr(self, block_name)
             if len(block) != len(self.series) or any(

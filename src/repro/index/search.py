@@ -27,6 +27,7 @@ from typing import Optional, Sequence
 from ..lowerbounds.cascade import BatchNearest, CascadeBatch, LowerBoundCascade
 from ..obs import trace as _obs
 from ..runtime import Runtime
+from .dataset_index import IndexMismatchError
 
 __all__ = ["IndexScan", "IndexSearcher"]
 
@@ -90,6 +91,7 @@ class IndexSearcher:
         result's ``index`` addresses the indexed collection -- map
         through ``index.starts`` for stream offsets.
         """
+        self._check_query_length(query)
         query_envelope = (
             self.index.envelope(query_index)
             if query_index is not None else None
@@ -108,7 +110,26 @@ class IndexSearcher:
     ) -> "IndexScan":
         """A candidate-at-a-time view for callers that drive their own
         loop (top-k, discords, motifs); see :class:`IndexScan`."""
+        self._check_query_length(query)
         return IndexScan(self, query, query_index=query_index)
+
+    def _check_query_length(self, query: Sequence[float]) -> None:
+        """Refuse a query whose length disagrees with the index.
+
+        The stored envelopes are band-``band`` envelopes of
+        ``index.length``-point series, so a differently sized query
+        would be bounded against envelopes of the wrong length --
+        plausible-looking, silently wrong results.  Length is the one
+        ``require()`` precondition a searcher can check on its own,
+        so it does (stride/step mismatches still need ``require``).
+        """
+        if len(query) != self.index.length:
+            raise IndexMismatchError(
+                f"query has length {len(query)} but the index stores "
+                f"series of length {self.index.length}; envelopes "
+                "cannot be reused across lengths -- rebuild the index "
+                "or fix the query"
+            )
 
     def _record(self, artifacts_reused: int, stats) -> None:
         _obs.incr("index.hits")

@@ -1,0 +1,61 @@
+"""repro.serve: the repeated-search stack as a long-running service.
+
+The paper's case against FastDTW is an *amortisation* argument: exact
+banded DTW wins because repeated use lets lower bounds, warm pools and
+precomputed artifacts carry the cost of the first query into the
+thousandth (Wu & Keogh, ICDE 2021).  PRs 1-7 built that machinery --
+the warm :class:`~repro.batch.executor.BatchExecutor`, shm dataset
+residency, the :class:`~repro.index.DatasetIndex` cascade -- and this
+package is its front door: a service where the Nth user's query is
+measurably cheaper than the 1st.
+
+Layers (each usable on its own):
+
+* :class:`QueryService` -- the synchronous in-process core: register
+  datasets, execute requests, everything cached by content
+  fingerprint;
+* :class:`MicroBatcher` / :class:`AsyncQueryService` -- latency-
+  budgeted cross-request micro-batching over asyncio;
+* :func:`run_server` -- the newline-delimited-JSON socket server
+  behind ``python -m repro serve``;
+* :func:`run_self_test` -- the deployable-system check behind
+  ``python -m repro serve --self-test`` (parity, telemetry
+  reconciliation, amortisation, shm hygiene).
+
+The paper harness (:mod:`repro.timing`, :mod:`repro.experiments`)
+never imports this package -- the reproduced numbers stay serial and
+pure-python, enforced by the source-scan pin tests.
+"""
+
+from .batcher import MicroBatcher
+from .protocol import (
+    OPS,
+    ProtocolError,
+    QueryRequest,
+    QueryResponse,
+    Telemetry,
+    parse_request,
+)
+from .registry import ArtifactCache, DatasetRegistry, RegisteredDataset
+from .selftest import run_self_test
+from .server import AsyncQueryService, run_server, serve
+from .service import QueryService, ServiceStats
+
+__all__ = [
+    "OPS",
+    "ArtifactCache",
+    "AsyncQueryService",
+    "DatasetRegistry",
+    "MicroBatcher",
+    "ProtocolError",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "RegisteredDataset",
+    "ServiceStats",
+    "Telemetry",
+    "parse_request",
+    "run_self_test",
+    "run_server",
+    "serve",
+]

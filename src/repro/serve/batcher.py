@@ -1,0 +1,128 @@
+"""Latency-budgeted micro-batching for the asyncio front door.
+
+Window semantics: the first request to arrive while the batcher is
+idle *opens* a collection window of ``window_ms`` milliseconds; every
+request submitted before it elapses joins the same batch (bounded by
+``max_batch`` -- overflow rolls into the next window).  When the
+window closes, the whole batch executes as **one**
+:meth:`~repro.serve.service.QueryService.execute_batch` call on a
+worker thread, and each submitter's future resolves with its own
+response.  The trade is explicit and configurable: a request waits at
+most ``window_ms`` for batch-mates in exchange for coalesced
+execution (one lock acquisition, one warm-pool dispatch, fused
+same-dataset 1-NN jobs).
+
+Execution is strictly one batch at a time -- ``repro.obs`` traces are
+process-global, so batches never interleave; while one runs, new
+arrivals accumulate into the next window.
+
+Error isolation: per-request failures come back as ``ok=False``
+responses from the service (never exceptions); only a failure of the
+batch machinery itself rejects the in-flight futures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, List, Mapping, Sequence, Tuple, Union
+
+from .protocol import QueryRequest, QueryResponse
+
+__all__ = ["MicroBatcher"]
+
+RawRequest = Union[QueryRequest, Mapping[str, Any]]
+
+
+class MicroBatcher:
+    """Coalesce concurrent submissions into service-sized batches.
+
+    Parameters
+    ----------
+    runner:
+        The synchronous batch executor -- normally a bound
+        :meth:`QueryService.execute_batch`.  Called on a worker
+        thread with a list of requests; must return one response per
+        request, in order.
+    window_ms:
+        Collection window in milliseconds (the per-request latency
+        budget; 2-10 ms is the intended range).
+    max_batch:
+        Ceiling on requests per executed batch.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[List[RawRequest]], Sequence[QueryResponse]],
+        window_ms: float = 5.0,
+        max_batch: int = 64,
+    ):
+        if window_ms < 0:
+            raise ValueError("window_ms must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._runner = runner
+        self._window = window_ms / 1000.0
+        self._max_batch = max_batch
+        self._pending: List[Tuple[RawRequest, "asyncio.Future"]] = []
+        self._drainer: "asyncio.Task | None" = None
+        self._closed = False
+        self.batches = 0
+        self.requests = 0
+        self.largest_batch = 0
+
+    async def submit(self, request: RawRequest) -> QueryResponse:
+        """Queue one request; resolves when its batch has executed."""
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        self._pending.append((request, future))
+        self.requests += 1
+        if self._drainer is None or self._drainer.done():
+            self._drainer = loop.create_task(self._drain())
+        return await future
+
+    async def _drain(self) -> None:
+        """Run windows until the queue is empty (one batch at a time)."""
+        while self._pending:
+            if self._window > 0:
+                await asyncio.sleep(self._window)
+            else:  # window 0: still yield once so peers can enqueue
+                await asyncio.sleep(0)
+            batch = self._pending[: self._max_batch]
+            del self._pending[: len(batch)]
+            if not batch:
+                continue
+            requests = [request for request, _ in batch]
+            try:
+                responses = await asyncio.to_thread(
+                    self._runner, requests
+                )
+                if len(responses) != len(requests):
+                    raise RuntimeError(
+                        "runner returned "
+                        f"{len(responses)} responses for "
+                        f"{len(requests)} requests"
+                    )
+            except BaseException as exc:
+                for _, future in batch:
+                    if not future.done():
+                        future.set_exception(
+                            RuntimeError(f"batch execution failed: {exc}")
+                        )
+                continue
+            self.batches += 1
+            self.largest_batch = max(self.largest_batch, len(batch))
+            for (_, future), response in zip(batch, responses):
+                if not future.done():
+                    future.set_result(response)
+
+    async def close(self) -> None:
+        """Refuse new submissions, then drain everything in flight."""
+        self._closed = True
+        while self._drainer is not None and not self._drainer.done():
+            await asyncio.shield(self._drainer)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

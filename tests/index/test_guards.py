@@ -1,0 +1,73 @@
+"""Tamper-style regression tests for the query-length guards.
+
+The hole these pin shut: a stream index built with ``step != 1``
+validated its window *starts* structurally, but nothing checked a
+queried subsequence's length against the indexed window length before
+reusing the stored envelopes -- a query of the wrong length would be
+bounded against envelopes of a different length and return
+plausible-looking, silently wrong results.  Two layers now refuse:
+
+* ``DatasetIndex.__post_init__`` rejects a header whose ``window``
+  disagrees with the stored series length (covers tampered/corrupted
+  headers arriving through ``load_index``);
+* ``IndexSearcher`` raises :class:`IndexMismatchError` for any query
+  whose length differs from ``index.length``, on both the ``nearest``
+  and ``scan`` entry points.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.index import (
+    DatasetIndex,
+    IndexMismatchError,
+    build_index,
+    build_stream_index,
+)
+from tests.conftest import make_series
+
+SERIES = [make_series(16, seed=500 + i) for i in range(5)]
+STREAM = make_series(64, seed=510)
+
+
+class TestSearcherQueryLength:
+    @pytest.mark.parametrize("step", [1, 2, 3])
+    @pytest.mark.parametrize("wrong", [11, 13, 1])
+    def test_stream_nearest_rejects_wrong_length(self, step, wrong):
+        idx = build_stream_index(STREAM, window=12, band=2, step=step)
+        searcher = idx.searcher()
+        with pytest.raises(IndexMismatchError, match="length"):
+            searcher.nearest(make_series(wrong, seed=520))
+
+    def test_stream_scan_rejects_wrong_length(self):
+        idx = build_stream_index(STREAM, window=12, band=2, step=2)
+        with pytest.raises(IndexMismatchError, match="length"):
+            idx.searcher().scan(make_series(13, seed=521))
+
+    def test_collection_searcher_rejects_wrong_length(self):
+        idx = build_index(SERIES, band=2)
+        with pytest.raises(IndexMismatchError, match="length"):
+            idx.searcher().nearest(make_series(15, seed=522))
+
+    def test_right_length_still_served(self):
+        idx = build_stream_index(STREAM, window=12, band=2, step=2)
+        result = idx.searcher().nearest(make_series(12, seed=523))
+        assert result.distance >= 0.0
+
+
+class TestHeaderWindowConsistency:
+    def test_tampered_window_field_refused(self):
+        idx = build_stream_index(STREAM, window=12, band=2, step=2)
+        with pytest.raises(ValueError, match="window"):
+            dataclasses.replace(idx, window=10)
+
+    def test_tampered_collection_window_refused(self):
+        idx = build_index(SERIES, band=2)
+        with pytest.raises(ValueError, match="window"):
+            dataclasses.replace(idx, window=idx.window + 1)
+
+    def test_consistent_replace_still_allowed(self):
+        idx = build_index(SERIES, band=2)
+        clone = dataclasses.replace(idx)
+        assert clone.window == idx.window

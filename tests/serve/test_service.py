@@ -1,0 +1,262 @@
+"""QueryService: determinism, coalescing, telemetry, lifecycle.
+
+The central property: **the execution configuration is invisible in
+the answers**.  One canonical reference (serial, pure python, no
+index, one request at a time) pins every (workers x backend x index)
+configuration of the micro-batched path -- all answers must be
+bit-identical, per the engine/cascade invariants the service builds
+on.
+"""
+
+import os
+
+import pytest
+
+from repro.runtime import Runtime
+from repro.serve import QueryService
+from tests.conftest import make_series
+
+SERIES = [make_series(20, seed=800 + i) for i in range(6)]
+STREAM = make_series(60, seed=810)
+QUERIES = [make_series(20, seed=820 + i) for i in range(3)]
+
+
+def _burst():
+    return [
+        {"op": "1nn", "dataset": "coll", "band": 3,
+         "query": QUERIES[0]},
+        {"op": "1nn", "dataset": "coll", "band": 3,
+         "query": QUERIES[1], "index": False},
+        {"op": "1nn", "dataset": "coll", "band": 3,
+         "query": QUERIES[2], "index": False},
+        {"op": "knn", "dataset": "coll", "band": 3, "k": 3,
+         "query": QUERIES[0]},
+        {"op": "subsequence", "dataset": "stream", "band": 2,
+         "query": QUERIES[1][:10]},
+        {"op": "subsequence", "dataset": "stream", "band": 2, "k": 2,
+         "query": QUERIES[1][:10]},
+        {"op": "discord", "dataset": "stream", "window": 10, "band": 2},
+        {"op": "motif", "dataset": "stream", "window": 10, "band": 2},
+    ]
+
+
+def _service(**kwargs) -> QueryService:
+    service = QueryService(**kwargs)
+    service.register("coll", SERIES)
+    service.register_stream("stream", STREAM)
+    return service
+
+
+@pytest.fixture(scope="module")
+def canonical():
+    """Serial / python-backend / index-free / one-at-a-time answers."""
+    with _service(
+        runtime=Runtime(workers=1, backend="python"), use_index=False,
+        cache_results=False,
+    ) as service:
+        return [service.execute(r).answer for r in _burst()]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    @pytest.mark.parametrize("use_index", [True, False])
+    def test_batched_bit_identical_to_canonical(
+        self, canonical, workers, backend, use_index
+    ):
+        with _service(
+            runtime=Runtime(workers=workers, backend=backend),
+            use_index=use_index,
+        ) as service:
+            responses = service.execute_batch(_burst())
+        assert all(r.ok for r in responses), [
+            r.error for r in responses if not r.ok
+        ]
+        assert [r.answer for r in responses] == canonical
+
+    def test_batched_equals_one_at_a_time_same_service(self, canonical):
+        with _service(
+            runtime=Runtime(workers=2), cache_results=False
+        ) as service:
+            singles = [service.execute(r).answer for r in _burst()]
+            batched = [
+                r.answer for r in service.execute_batch(_burst())
+            ]
+        assert singles == batched == canonical
+
+    def test_result_cache_answers_identical(self, canonical):
+        with _service(runtime=Runtime(workers=2)) as service:
+            cold = [r.answer for r in service.execute_batch(_burst())]
+            warm = [r.answer for r in service.execute_batch(_burst())]
+        assert cold == warm == canonical
+
+
+class TestCoalescing:
+    def test_same_dataset_1nn_requests_fuse(self, canonical):
+        burst = [
+            {"op": "1nn", "dataset": "coll", "band": 3,
+             "query": q, "index": False}
+            for q in QUERIES
+        ]
+        with _service(
+            runtime=Runtime(workers=2), cache_results=False
+        ) as service:
+            responses = service.execute_batch(burst)
+            stats = service.stats()
+        assert stats.coalesced_requests == len(QUERIES)
+        assert [r.answer for r in responses] == [
+            canonical[0], canonical[1], canonical[2]
+        ]
+        for r in responses:
+            assert r.telemetry.batched_with == len(QUERIES)
+            assert r.telemetry.dtw_calls == len(SERIES)
+
+    def test_serial_runtime_never_coalesces(self):
+        burst = [
+            {"op": "1nn", "dataset": "coll", "band": 3,
+             "query": q, "index": False}
+            for q in QUERIES
+        ]
+        with _service(
+            runtime=Runtime(workers=1, backend="python"),
+            cache_results=False,
+        ) as service:
+            service.execute_batch(burst)
+            assert service.stats().coalesced_requests == 0
+
+    def test_mixed_bands_fuse_separately(self):
+        burst = [
+            {"op": "1nn", "dataset": "coll", "band": 3,
+             "query": QUERIES[0], "index": False},
+            {"op": "1nn", "dataset": "coll", "band": 3,
+             "query": QUERIES[1], "index": False},
+            {"op": "1nn", "dataset": "coll", "band": 4,
+             "query": QUERIES[2], "index": False},
+        ]
+        with _service(
+            runtime=Runtime(workers=2), cache_results=False
+        ) as service:
+            responses = service.execute_batch(burst)
+            # only the band-3 pair fuses; band-4 runs alone
+            assert service.stats().coalesced_requests == 2
+        assert all(r.ok for r in responses)
+
+    def test_error_isolated_from_batch_mates(self, canonical):
+        burst = [
+            {"op": "1nn", "dataset": "coll", "band": 3,
+             "query": QUERIES[0]},
+            {"op": "1nn", "dataset": "missing", "band": 3,
+             "query": QUERIES[0]},
+            {"op": "nonsense", "dataset": "coll"},
+            {"op": "1nn", "dataset": "coll", "band": 3,
+             "query": QUERIES[0][:5]},  # wrong length
+            {"op": "discord", "dataset": "stream", "window": 10,
+             "band": 2},
+        ]
+        with _service(runtime=Runtime(workers=2)) as service:
+            responses = service.execute_batch(burst)
+            stats = service.stats()
+        assert responses[0].ok and responses[0].answer == canonical[0]
+        assert not responses[1].ok and "missing" in responses[1].error
+        assert not responses[2].ok and "op" in responses[2].error
+        assert not responses[3].ok and "length" in responses[3].error
+        assert responses[4].ok and responses[4].answer == canonical[6]
+        assert stats.errors == 3
+
+
+class TestTelemetry:
+    def test_per_request_counters_reconcile(self):
+        with _service(runtime=Runtime(workers=2)) as service:
+            responses = service.execute_batch(_burst())
+            responses += service.execute_batch(_burst())  # cached round
+            stats = service.stats()
+        calls = sum(r.telemetry.dtw_calls for r in responses if r.ok)
+        cells = sum(r.telemetry.dp_cells for r in responses if r.ok)
+        assert calls == stats.dtw_calls
+        assert cells == stats.dp_cells
+
+    def test_cached_repeat_is_free_and_flagged(self):
+        with _service(runtime=Runtime(workers=1)) as service:
+            first = service.execute(_burst()[0])
+            again = service.execute(_burst()[0])
+        assert not first.telemetry.cached
+        assert again.telemetry.cached
+        assert again.telemetry.dtw_calls == 0
+        assert again.answer == first.answer
+
+    def test_index_builds_amortised(self):
+        with _service(
+            runtime=Runtime(workers=1), cache_results=False
+        ) as service:
+            first = service.execute(_burst()[0])
+            warm = service.execute({
+                "op": "1nn", "dataset": "coll", "band": 3,
+                "query": QUERIES[1],
+            })
+        assert first.telemetry.index_builds == 1
+        assert warm.telemetry.index_builds == 0
+
+    def test_latency_percentiles_populated(self):
+        with _service(runtime=Runtime(workers=1)) as service:
+            service.execute_batch(_burst())
+            stats = service.stats()
+        assert stats.p99_latency_ms >= stats.p50_latency_ms > 0.0
+        payload = stats.to_dict()
+        assert {"p50_latency_ms", "p99_latency_ms"} <= payload.keys()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_final(self):
+        service = _service(runtime=Runtime(workers=2))
+        service.execute(_burst()[0])
+        service.close()
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.execute(_burst()[0])
+        with pytest.raises(RuntimeError, match="closed"):
+            service.register("x", SERIES)
+
+    def test_owned_executor_shm_reclaimed(self):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        before = set(os.listdir("/dev/shm"))
+        service = _service(runtime=Runtime(workers=2))
+        service.execute_batch([
+            {"op": "1nn", "dataset": "coll", "band": 3,
+             "query": q, "index": False}
+            for q in QUERIES
+        ])
+        service.close()
+        assert not (set(os.listdir("/dev/shm")) - before)
+
+    def test_reregistration_invalidates_by_fingerprint(self):
+        with _service(runtime=Runtime(workers=1)) as service:
+            service.execute(_burst()[0])
+            assert service.artifacts.stats.index_builds == 1
+            mutated = [list(s) for s in SERIES]
+            mutated[0][0] += 1.0
+            service.register("coll", mutated)
+            response = service.execute(_burst()[0])
+            # new content: index rebuilt, result recomputed
+            assert service.artifacts.stats.index_builds == 2
+            assert not response.telemetry.cached
+
+    def test_identical_reregistration_keeps_artifacts(self):
+        with _service(runtime=Runtime(workers=1)) as service:
+            service.execute(_burst()[0])
+            service.register("coll", [list(s) for s in SERIES])
+            warm = service.execute({
+                "op": "1nn", "dataset": "coll", "band": 3,
+                "query": QUERIES[1],
+            })
+            assert service.artifacts.stats.index_builds == 1
+            assert warm.telemetry.index_builds == 0
+
+    def test_explicit_executor_not_shut_down(self):
+        from repro.batch import BatchExecutor
+
+        with BatchExecutor(workers=2, cap=None) as exe:
+            service = _service(runtime=Runtime(executor=exe))
+            service.execute(_burst()[1])
+            service.close()
+            assert not exe.closed

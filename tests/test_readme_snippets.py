@@ -124,3 +124,30 @@ def test_readme_pinned_harness_claim():
     series = random_walks(4, 32, seed=2)
     with pytest.raises(ValueError):
         batch_pairwise_experiment(series, band=2, backend="numpy")
+
+
+def test_serving_block():
+    from repro import Runtime
+    from repro.datasets.random_walk import random_walks
+    from repro.serve import QueryService
+
+    walks = random_walks(7, 48, seed=4)
+    candidates, query = walks[:-1], walks[-1]
+
+    service = QueryService(runtime=Runtime(workers=2))
+    service.register("walks", candidates)
+
+    response = service.execute(
+        {"op": "1nn", "dataset": "walks", "band": 4, "query": query}
+    )
+    assert response.ok
+    assert response.telemetry.dtw_calls >= 1
+    service.close()
+
+    # the README's parity claim: the service answer is bit-identical
+    # to calling the consumer directly, serial and index-free
+    from repro.search.nn_search import nearest_neighbor
+
+    plain = nearest_neighbor(query, candidates, band=4)
+    assert response.answer["index"] == plain.index
+    assert response.answer["distance"] == plain.distance

@@ -42,6 +42,14 @@ FORBIDDEN_TOKENS = (
     "build_stream_index",
     "load_index",
     "save_index",
+    # the serving layer is the repeated-use machine's front door --
+    # micro-batching, artifact caches, warm executors.  The paper's
+    # timings must never ride it, so the harness can't import the
+    # package or name its entry classes
+    "repro.serve",
+    "QueryService",
+    "MicroBatcher",
+    "AsyncQueryService",
 )
 
 
