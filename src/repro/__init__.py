@@ -24,6 +24,7 @@ from .core import (
     DtwResult,
     FastDtwResult,
     KernelSet,
+    RleSeries,
     WarpingPath,
     Window,
     approximation_error_percent,
@@ -36,6 +37,8 @@ from .core import (
     get_kernels,
     halve,
     paa,
+    rle_cdtw,
+    rle_dtw,
     set_default_backend,
     use_backend,
     windowed_dtw,
@@ -66,6 +69,7 @@ __all__ = [
     "FastDtwResult",
     "IndexMismatchError",
     "KernelSet",
+    "RleSeries",
     "RunTrace",
     "Runtime",
     "TraceSnapshot",
@@ -87,6 +91,8 @@ __all__ = [
     "halve",
     "load_index",
     "paa",
+    "rle_cdtw",
+    "rle_dtw",
     "save_index",
     "set_default_backend",
     "set_default_runtime",

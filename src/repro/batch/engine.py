@@ -49,7 +49,12 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..core.cost import CostLike
-from ..core.measures import MEASURES, measure_fn, split_result
+from ..core.measures import (
+    MEASURES,
+    RLE_MEASURES,
+    measure_fn,
+    split_result,
+)
 from ..lowerbounds.lb_keogh import lb_keogh
 from ..obs import trace as _obs
 from ..runtime import Runtime
@@ -727,11 +732,21 @@ def batch_distances(
         exe = rt.resolved_executor()
         effective = exe.workers if exe is not None else rt.workers
         lengths = tuple(len(s) for s in series_t)
+        run_counts = None
+        if spec.measure in RLE_MEASURES:
+            # the k*m + l*n cost model needs each series' run count;
+            # one O(n) encoding pass per series prices the whole plan
+            from ..core.rle import RleSeries
+
+            run_counts = tuple(
+                RleSeries.encode(s).run_count for s in series_t
+            )
         chunks = _resolve_chunks(
             task_list, effective, rt.chunksize,
             distance_pair_cost(
                 lengths, spec.measure, window=spec.window,
                 band=spec.band, radius=spec.radius,
+                run_counts=run_counts,
             ),
             # the stacked chunk kernels amortise their per-wavefront
             # Python dispatch over every pair in the chunk, so the

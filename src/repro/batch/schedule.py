@@ -36,63 +36,33 @@ Pair = Tuple[int, int]
 #: staying coarse enough to amortise per-chunk IPC.
 OVERSUBSCRIBE = 4
 
-# Lazily bound cost models (imported on first use: repro.timing's
-# package __init__ pulls the harness modules, which the batch layer
-# must not load as an import side effect).
-_MODELS: Dict[str, Callable] = {}
-
-
-def _models() -> Dict[str, Callable]:
-    if not _MODELS:
-        from ..core.cdtw import band_cells
-        from ..timing.cells import fastdtw_cell_model
-
-        _MODELS["band_cells"] = band_cells
-        _MODELS["fastdtw_cells"] = fastdtw_cell_model
-    return _MODELS
-
-
 def distance_pair_cost(
     lengths: Sequence[int],
     measure: str,
     window=None,
     band=None,
     radius: int = 1,
+    run_counts: Optional[Sequence[int]] = None,
 ) -> Callable[[int, int], int]:
     """Per-pair cost function (predicted DP cells) for one spec.
 
-    For ``dtw``/``cdtw`` the prediction is *exact* -- it is the same
-    :class:`~repro.core.window.Window` geometry the DP evaluates, so
-    the planner's notion of work and the engine's reported
-    ``cells_per_pair`` agree cell-for-cell.  The fastdtw measures use
-    Salvador & Chan's own ``N * (8r + 14)`` accounting; Euclidean
-    costs one cell-equivalent per sample.
+    Delegates to :func:`repro.core.measures.pair_cost_model`, the
+    registry beside the measure list itself: every measure has a
+    declared price there (exact window geometry for ``dtw``/``cdtw``,
+    Salvador & Chan's accounting for the fastdtw measures,
+    ``k*m + l*n`` boundary cells for the rle measures via
+    ``run_counts``), and an unknown measure raises instead of
+    silently falling back to a wrong model.
 
-    Costs are memoized per ``(n, m)`` shape, so planning a large
-    batch over equal-length series prices one shape once.
+    Costs are memoized per shape, so planning a large batch over
+    equal-length series prices one shape once.
     """
-    cache: Dict[Tuple[int, int], int] = {}
+    from ..core.measures import pair_cost_model
 
-    def cost(i: int, j: int) -> int:
-        n, m = lengths[i], lengths[j]
-        key = (n, m)
-        cells = cache.get(key)
-        if cells is None:
-            if measure == "dtw":
-                cells = n * m
-            elif measure == "cdtw":
-                cells = _models()["band_cells"](
-                    n, m, window=window, band=band
-                )
-            elif measure in ("fastdtw", "fastdtw_reference"):
-                cells = _models()["fastdtw_cells"](max(n, m), radius)
-            else:  # euclidean and anything linear
-                cells = min(n, m)
-            cells = max(1, cells)
-            cache[key] = cells
-        return cells
-
-    return cost
+    return pair_cost_model(
+        measure, lengths, window=window, band=band, radius=radius,
+        run_counts=run_counts,
+    )
 
 
 def lb_pair_cost(lengths: Sequence[int]) -> Callable[[int, int], int]:

@@ -46,7 +46,8 @@ class DistanceSpec:
     measure:
         One of :data:`repro.core.measures.MEASURES`.
     window:
-        cDTW band as a fraction of length (``measure="cdtw"`` only).
+        Band as a fraction of length (``measure="cdtw"`` and
+        ``measure="rle_cdtw"``).
     radius:
         FastDTW radius (the fastdtw measures only).
     use_lower_bounds:
@@ -72,11 +73,16 @@ class DistanceSpec:
             )
         if self.backend is not None:
             Runtime(backend=self.backend)  # validates the name
-        if self.measure == "cdtw":
+        if self.measure in ("cdtw", "rle_cdtw"):
             if self.window is None or not 0.0 <= self.window <= 1.0:
-                raise ValueError("cdtw needs window= in [0, 1]")
+                raise ValueError(
+                    f"{self.measure} needs window= in [0, 1]"
+                )
         elif self.window is not None:
-            raise ValueError("window= only applies to measure='cdtw'")
+            raise ValueError(
+                "window= only applies to the banded measures "
+                "('cdtw', 'rle_cdtw')"
+            )
         if self.measure in _FASTDTW_MEASURES:
             if self.radius is None or self.radius < 0:
                 raise ValueError(f"{self.measure} needs radius >= 0")
@@ -93,6 +99,10 @@ class DistanceSpec:
             return "Full DTW"
         if self.measure == "cdtw":
             return f"cDTW_{round(self.window * 100)}"
+        if self.measure == "rle_dtw":
+            return "RLE-DTW"
+        if self.measure == "rle_cdtw":
+            return f"RLE-cDTW_{round(self.window * 100)}"
         if self.measure == "fastdtw_reference":
             return f"FastDTW-ref_{self.radius}"
         return f"FastDTW_{self.radius}"
@@ -411,7 +421,7 @@ def _spec_kwargs(spec: DistanceSpec) -> dict:
     set, was folded in at construction).
     """
     kwargs: dict = {"measure": spec.measure}
-    if spec.measure == "cdtw":
+    if spec.measure in ("cdtw", "rle_cdtw"):
         kwargs["window"] = spec.window
     if spec.measure in _FASTDTW_MEASURES:
         kwargs["radius"] = spec.radius
@@ -426,6 +436,17 @@ def _kernel_fn(spec: DistanceSpec, rt: Runtime):
     registry existed; only the exact DP measures on a non-python
     backend divert through :func:`repro.core.measures.measure_fn`.
     """
+    from ..core.measures import RLE_MEASURES
+
+    if spec.measure in RLE_MEASURES:
+        # always dispatched through the registry: the compressed-domain
+        # DP has no reference twin among the serial branches below
+        from ..core.measures import measure_fn
+
+        rt = rt.with_backend(spec.backend)
+        return measure_fn(
+            spec.measure, window=spec.window, backend=rt.backend_name
+        )
     if spec.measure not in ("dtw", "cdtw"):
         return None
     rt = rt.with_backend(spec.backend)

@@ -13,6 +13,7 @@ Usage::
     python -m repro index build --out d0.idx  # ahead-of-time search index
     python -m repro index stat d0.idx         # verify + summarise an index
     python -m repro index bench               # pruning power -> BENCH_index.json
+    python -m repro rle bench                 # compression curve -> BENCH_rle.json
     python -m repro serve                     # micro-batching query service
     python -m repro serve --self-test         # parity + telemetry smoke
 
@@ -215,6 +216,38 @@ def build_parser() -> argparse.ArgumentParser:
     index_bench.add_argument("--out", default="BENCH_index.json",
                              help="output JSON path ('-' to skip "
                                   "writing; default BENCH_index.json)")
+
+    rle = sub.add_parser(
+        "rle",
+        help="benchmark the compressed-domain (run-length encoded) "
+             "exact DTW fast path",
+    )
+    rle_sub = rle.add_subparsers(dest="rle_command", required=True)
+    rle_bench = rle_sub.add_parser(
+        "bench",
+        help="compression-ratio-vs-speedup curve on quantized power "
+             "traces; exits nonzero unless distances are bit-exact "
+             "and the compressed path wins at high compression "
+             "(default output BENCH_rle.json)",
+    )
+    rle_bench.add_argument("--length", type=int, default=450,
+                           help="trace length (default 450)")
+    rle_bench.add_argument("--n-pairs", type=int, default=2,
+                           help="trace pairs per quantization level "
+                                "(default 2)")
+    rle_bench.add_argument("--repeats", type=int, default=3,
+                           help="timing repeats, best-of (default 3)")
+    rle_bench.add_argument("--window", type=float, default=0.1,
+                           help="band fraction for the banded variant "
+                                "(default 0.1)")
+    rle_bench.add_argument("--seed", type=int, default=0,
+                           help="trace seed (default 0)")
+    rle_bench.add_argument("--backend", default=None,
+                           help="kernel backend (default: process "
+                                "default)")
+    rle_bench.add_argument("--out", default="BENCH_rle.json",
+                           help="output JSON path ('-' to skip "
+                                "writing; default BENCH_rle.json)")
 
     serve = sub.add_parser(
         "serve",
@@ -542,6 +575,28 @@ def cmd_index(args) -> int:
     return 0 if report["agree"] and report["improved_fewer_dtw_calls"] else 1
 
 
+def cmd_rle(args) -> int:
+    import json
+
+    from .core.rle_bench import format_rle_report, rle_benchmark
+    from .runtime import Runtime
+
+    runtime = Runtime(backend=args.backend) if args.backend else None
+    report = rle_benchmark(
+        length=args.length, n_pairs=args.n_pairs,
+        repeats=args.repeats, window=args.window, seed=args.seed,
+        runtime=runtime,
+    )
+    for line in format_rle_report(report):
+        print(line)
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"  wrote {args.out}")
+    return 0 if report["passed"] else 1
+
+
 def cmd_verdicts() -> int:
     from .experiments.verdicts import collect_verdicts, format_verdicts
 
@@ -594,6 +649,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_runtime(args)
     if args.command == "index":
         return cmd_index(args)
+    if args.command == "rle":
+        return cmd_rle(args)
     if args.command == "serve":
         return cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -34,7 +34,9 @@ from .matrix import DistanceMatrix, distance_matrix
 from .measures import (
     CELL_COUNTED_MEASURES,
     MEASURES,
+    RLE_MEASURES,
     measure_fn,
+    pair_cost_model,
     split_result,
     validate_measure,
 )
@@ -52,6 +54,7 @@ from .numpy_backend import dtw_numpy, pairwise_matrix_numpy
 from .validate import validate_pair, validate_series
 from .paa import halve, paa, paa_factor
 from .path import InvalidPathError, WarpingPath, diagonal_path
+from .rle import RleSeries, as_rle, rle_cdtw, rle_dtw
 from .window import Window
 
 __all__ = [
@@ -65,11 +68,14 @@ __all__ = [
     "FastDtwResult",
     "InvalidPathError",
     "KernelSet",
+    "RLE_MEASURES",
+    "RleSeries",
     "WarpingPath",
     "Window",
     "absolute_cost",
     "approximation_error",
     "approximation_error_percent",
+    "as_rle",
     "available_backends",
     "band_cells",
     "cdtw",
@@ -96,8 +102,11 @@ __all__ = [
     "measure_fn",
     "paa",
     "paa_factor",
+    "pair_cost_model",
     "pairwise_matrix_numpy",
     "resolve_backend",
+    "rle_cdtw",
+    "rle_dtw",
     "resolve_cost",
     "set_default_backend",
     "split_result",

@@ -96,6 +96,12 @@ class KernelSet:
         :func:`repro.lowerbounds.lb_keogh.lb_keogh` (unlike
         ``lb_keogh``, whose batched reduction may differ in final
         ulps).  Envelopes may be shared (1-D) or stacked per row.
+    rle_block:
+        ``rle_block(T, L, c, h, w) -> (B, R)`` -- bottom row and
+        right column of one constant-cost RLE-DTW block from its
+        boundary arrays (the O(h + w) recurrence of
+        :mod:`repro.core.rle`).  Both backends are bit-identical for
+        all inputs.
     lb_improved_chunk:
         ``lb_improved_chunk(upper, lower, candidates, query, band,
         squared=True, keogh=None, abandon_above=None, count=None)`` ->
@@ -117,6 +123,7 @@ class KernelSet:
     envelope_chunk: Callable
     lb_keogh_chunk: Callable
     lb_improved_chunk: Callable
+    rle_block: Callable
 
 
 def _build_python() -> KernelSet:
@@ -125,6 +132,7 @@ def _build_python() -> KernelSet:
     from ..lowerbounds.lb_kim import lb_kim
     from ..search.cumulative import suffix_gap_bounds
     from .engine import dp_over_window
+    from .rle import rle_block_python
 
     def lb_kim_each(query, candidates, cost="squared", tiers=2):
         return [lb_kim(query, c, cost=cost, tiers=tiers)
@@ -223,12 +231,14 @@ def _build_python() -> KernelSet:
         envelope_chunk=envelope_chunk_each,
         lb_keogh_chunk=lb_keogh_chunk_each,
         lb_improved_chunk=lb_improved_chunk_each,
+        rle_block=rle_block_python,
     )
 
 
 def _build_numpy() -> KernelSet:
     from ..obs import trace as _obs
     from . import numpy_backend as nb
+    from .rle_numpy import rle_block_numpy
 
     def dtw(x, y, window, cost="squared", return_path=False,
             abandon_above=None, suffix_bound=None):
@@ -273,6 +283,7 @@ def _build_numpy() -> KernelSet:
         envelope_chunk=nb.envelope_chunk,
         lb_keogh_chunk=nb.lb_keogh_chunk,
         lb_improved_chunk=nb.lb_improved_chunk,
+        rle_block=rle_block_numpy,
     )
 
 

@@ -22,11 +22,19 @@ from .fastdtw import fastdtw
 from .fastdtw_reference import fastdtw_reference
 
 #: The canonical registry: every pairwise measure the package compares.
-MEASURES = ("dtw", "cdtw", "fastdtw", "fastdtw_reference", "euclidean")
+MEASURES = (
+    "dtw", "cdtw", "fastdtw", "fastdtw_reference", "euclidean",
+    "rle_dtw", "rle_cdtw",
+)
 
 #: Measures whose results carry DP-cell provenance (Euclidean is O(n),
 #: no lattice, and always reports zero cells).
-CELL_COUNTED_MEASURES = ("dtw", "cdtw", "fastdtw", "fastdtw_reference")
+CELL_COUNTED_MEASURES = (
+    "dtw", "cdtw", "fastdtw", "fastdtw_reference", "rle_dtw", "rle_cdtw",
+)
+
+#: The compressed-domain exact measures (run-length encoded input).
+RLE_MEASURES = ("rle_dtw", "rle_cdtw")
 
 PairwiseFn = Callable[[Sequence[float], Sequence[float]], object]
 
@@ -53,7 +61,8 @@ def measure_fn(
     measure:
         One of :data:`MEASURES`.
     window, band:
-        cDTW constraint (exactly one, for ``measure="cdtw"``).
+        cDTW constraint (exactly one, for ``measure="cdtw"`` and
+        ``measure="rle_cdtw"``).
     radius:
         FastDTW radius (for the fastdtw measures).
     cost:
@@ -62,7 +71,8 @@ def measure_fn(
         Ask the exact measures to also recover the warping path (the
         fastdtw measures always return one; Euclidean has none).
     backend:
-        Kernel backend for the exact DP measures (``"dtw"``/``"cdtw"``),
+        Kernel backend for the exact DP measures (``"dtw"``/``"cdtw"``
+        and the rle measures),
         resolved via :func:`repro.core.kernels.resolve_backend`
         (``None`` = the process default).  The fastdtw measures and
         Euclidean always run their reference implementations; the
@@ -79,6 +89,19 @@ def measure_fn(
     from .kernels import resolve_backend
 
     resolved = resolve_backend(backend)
+    if measure in RLE_MEASURES:
+        from .rle import rle_cdtw, rle_dtw
+
+        if measure == "rle_dtw":
+            return lambda x, y: rle_dtw(
+                x, y, cost=cost, return_path=return_path, backend=resolved
+            )
+        if (window is None) == (band is None):
+            raise ValueError("specify exactly one of window= or band=")
+        return lambda x, y: rle_cdtw(
+            x, y, window=window, band=band, cost=cost,
+            return_path=return_path, backend=resolved,
+        )
     if resolved != "python" and measure in ("dtw", "cdtw"):
         return _kernel_measure_fn(
             measure, resolved, window, band, cost, return_path
@@ -143,6 +166,75 @@ def _kernel_measure_fn(
             win = banded_window(n, m, band)
         return kernels.dtw(x, y, win, cost=cost, return_path=return_path)
     return banded_fn
+
+
+def pair_cost_model(
+    measure: str,
+    lengths: Sequence[int],
+    window: Optional[float] = None,
+    band: Optional[int] = None,
+    radius: int = 1,
+    run_counts: Optional[Sequence[int]] = None,
+) -> Callable[[int, int], int]:
+    """Per-pair predicted DP-cell cost function for one measure spec.
+
+    This is the scheduler's cost model, kept beside the measure
+    registry so a measure cannot exist without a declared price:
+    unknown measures raise instead of silently falling back to a wrong
+    model (the bug the old hardcoded dtw/cdtw/fastdtw branch had).
+
+    Prices per pair ``(i, j)`` with ``n = lengths[i]``,
+    ``m = lengths[j]``:
+
+    * ``dtw`` -- ``n * m`` (the full lattice, exact);
+    * ``cdtw`` -- :func:`repro.core.cdtw.band_cells` (exact window
+      geometry, corner clipping included);
+    * ``fastdtw``/``fastdtw_reference`` -- Salvador & Chan's own
+      ``N * (8r + 14)`` accounting;
+    * ``euclidean`` -- ``min(n, m)`` (one cell-equivalent per sample);
+    * ``rle_dtw``/``rle_cdtw`` -- ``k*m + l*n`` with ``k``/``l`` the
+      run counts from ``run_counts`` (required for these measures;
+      the exact boundary-cell count of the block DP).
+
+    Costs are memoized per shape, so planning a large batch over
+    equal-length series prices each shape once.
+    """
+    validate_measure(measure)
+    if measure in RLE_MEASURES and run_counts is None:
+        raise ValueError(
+            f"measure {measure!r} needs run_counts= to be priced "
+            "(the k*m + l*n cost model)"
+        )
+    cache: dict = {}
+
+    def cost(i: int, j: int) -> int:
+        n, m = lengths[i], lengths[j]
+        if measure in RLE_MEASURES:
+            key = (n, m, run_counts[i], run_counts[j])
+        else:
+            key = (n, m)
+        cells = cache.get(key)
+        if cells is None:
+            if measure == "dtw":
+                cells = n * m
+            elif measure == "cdtw":
+                from .cdtw import band_cells
+
+                cells = band_cells(n, m, window=window, band=band)
+            elif measure in ("fastdtw", "fastdtw_reference"):
+                from ..timing.cells import fastdtw_cell_model
+
+                cells = fastdtw_cell_model(max(n, m), radius)
+            elif measure in RLE_MEASURES:
+                k, l = run_counts[i], run_counts[j]
+                cells = k * m + l * n
+            else:  # euclidean: linear, no lattice
+                cells = min(n, m)
+            cells = max(1, cells)
+            cache[key] = cells
+        return cells
+
+    return cost
 
 
 def split_result(result: object) -> Tuple[float, int, object]:

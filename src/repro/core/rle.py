@@ -1,0 +1,573 @@
+"""Run-length-encoded exact DTW: the compressed-domain fast path.
+
+Step-like series (smart-meter traces, quantised telemetry, on/off
+signals) compress losslessly into runs ``(value, length)``.  Froese et
+al. ("Fast Exact Dynamic Time Warping on Run-Length Encoded Time
+Series", arXiv:1903.03003) show the DTW lattice of two such series
+decomposes into ``k x l`` constant-cost *blocks* (one per run pair),
+and that the DP only ever needs the *boundary* of each block: the
+optimal distance is computable exactly in ``O(k*m + l*n)`` instead of
+``O(n*m)``, where ``k``/``l`` are the run counts.  For heavily
+compressed series this is orders of magnitude cheaper -- and still
+**exact**, which is this repo's whole thesis: engineering exact DTW
+beats approximating it.
+
+The block recurrence
+--------------------
+Every cell of block ``(p, q)`` (spanning ``h = n_p`` rows and
+``w = m_q`` columns) has the same local cost ``c = cost(v_p, w_q)``.
+A cheapest monotone path from a boundary entry to an interior cell of
+the block is then any *staircase* with the fewest cells; a path
+entering from the top boundary at relative column ``b`` and leaving at
+relative cell ``(r, s)`` (1-indexed) costs ``c * max(r, s - b)``
+beyond the entry value, and symmetrically ``c * max(r - a, s)`` from a
+left entry at row ``a``.  The bottom row of a block therefore is, for
+``s = 1..w`` (``T``/``L`` the incoming top/left boundary arrays,
+``T[0] == L[0]`` the corner)::
+
+    B[s] = min( min_{b in [max(0,s-h)..s]} T[b] + c*h,        # g1
+                c*s + min_{b <= s-h-1}    (T[b] - c*b),       # g2
+                min_{a in [0..h-s]}        L[a] + c*(h-a),    # g3
+                c*s + min_{a >= max(0,h-s+1)} L[a] )          # g4
+
+computable in ``O(h + w)`` per block with a monotone deque (g1) and
+running prefix/suffix minima (g2-g4); the right column is the same
+computation with roles swapped.  The corner cell belongs to both; this
+implementation canonically assigns it the bottom-row expression so
+propagation is deterministic and backend-invariant.
+
+Exactness regime
+----------------
+The block form evaluates ``c * <integer>`` where the dense engine sums
+``c`` repeatedly.  Whenever the arithmetic is exactly representable --
+e.g. values on a dyadic grid (multiples of ``2**-10``, magnitudes
+below ``2**6``, lengths below ``2**13`` keep every partial sum within
+float64's 53 bits) -- both forms are **bit-identical**, and the
+property suites pin that down.  For arbitrary floats the two forms may
+differ in final ulps (documented, and why the serve layer only
+auto-routes datasets whose samples sit on such a grid, see
+``RleSeries.exactness_grid``); the *python vs numpy* block kernels are
+bit-identical for all inputs because they evaluate the same elementary
+expressions.
+
+Windowed variant
+----------------
+:func:`rle_cdtw` applies a :class:`~repro.core.window.Window`:
+fully-admitted blocks use the boundary recurrence, fully-excluded
+blocks propagate ``inf``, and blocks straddling the band boundary fall
+back to a dense mini-DP over their admitted cells -- bit-identical to
+the dense engine's treatment of those cells for *all* inputs.
+
+Cell accounting: a full block charges ``h + w`` cells (its computed
+boundary), a straddling block its admitted cells, an excluded block
+zero -- summing to exactly ``k*m + l*n`` for the unwindowed case,
+which is also the :func:`repro.core.measures.pair_cost_model` price
+the batch scheduler uses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from math import copysign, inf, isfinite
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..obs import trace as _obs
+from .cost import CostLike, cost_name, resolve_cost
+from .engine import DtwResult
+from .path import WarpingPath
+from .window import Window
+
+__all__ = [
+    "RleSeries",
+    "as_rle",
+    "rle_dtw",
+    "rle_cdtw",
+    "rle_block_python",
+]
+
+
+@dataclass(frozen=True)
+class RleSeries:
+    """A run-length-encoded series: parallel ``(value, length)`` runs.
+
+    Immutable and validated: every run value is finite, every run
+    length a positive integer.  With ``tolerance=0`` (the default),
+    :meth:`encode` followed by :meth:`decode` is a bit-exact float64
+    round-trip -- ``-0.0`` and ``0.0`` start separate runs, so even
+    signed zeros survive.
+    """
+
+    values: Tuple[float, ...]
+    lengths: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        values = tuple(float(v) for v in self.values)
+        lengths = tuple(self.lengths)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "lengths", lengths)
+        if len(values) != len(lengths):
+            raise ValueError(
+                f"{len(values)} run values but {len(lengths)} run lengths"
+            )
+        if not values:
+            raise ValueError("series is empty")
+        for i, v in enumerate(values):
+            if not isfinite(v):
+                raise ValueError(f"run {i}: value is not finite ({v!r})")
+        for i, r in enumerate(lengths):
+            if isinstance(r, bool) or not isinstance(r, int) or r < 1:
+                raise ValueError(
+                    f"run {i}: length must be a positive int, got {r!r}"
+                )
+
+    # -- codec ---------------------------------------------------------
+
+    @classmethod
+    def encode(
+        cls,
+        x: Sequence[float],
+        tolerance: float = 0.0,
+        name: str = "series",
+    ) -> "RleSeries":
+        """Encode a raw series into runs.
+
+        ``tolerance=0`` (default) is exact: a run extends only over
+        bit-identical float64 samples (``==`` plus matching zero
+        signs).  A positive tolerance merges samples within
+        ``tolerance`` of the run's *first* sample (lossy; decoding
+        reproduces that anchor).
+
+        Rejects empty series and non-finite samples with the same
+        errors as :func:`repro.core.validate.validate_series`.
+        """
+        if tolerance < 0.0:
+            raise ValueError("tolerance must be non-negative")
+        if len(x) == 0:
+            raise ValueError(f"{name} is empty")
+        values: List[float] = []
+        lengths: List[int] = []
+        anchor = 0.0
+        for i, raw in enumerate(x):
+            v = float(raw)
+            if not isfinite(v):
+                raise ValueError(
+                    f"{name}: sample {i} is not finite ({raw!r})"
+                )
+            if values and _same_run(v, anchor, tolerance):
+                lengths[-1] += 1
+            else:
+                values.append(v)
+                lengths.append(1)
+                anchor = v
+        return cls(tuple(values), tuple(lengths))
+
+    def decode(self) -> List[float]:
+        """Expand back to a raw sample list."""
+        return [v for v, r in zip(self.values, self.lengths) for _ in range(r)]
+
+    # -- shape ---------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Decoded length (sum of run lengths)."""
+        return sum(self.lengths)
+
+    @property
+    def run_count(self) -> int:
+        """Number of runs (``k`` in the O(k*m + l*n) bound)."""
+        return len(self.values)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Decoded length over run count (1.0 = incompressible)."""
+        return self.n / self.run_count
+
+    def exactness_grid(
+        self, fraction_bits: int = 10, magnitude: float = 64.0
+    ) -> bool:
+        """Whether every value sits on a dyadic grid safe for bit-exactness.
+
+        True iff each run value is an exact multiple of
+        ``2**-fraction_bits`` with ``|v| <= magnitude``.  On such data
+        every partial sum the dense DP forms is exactly representable,
+        so the block DP's multiplication form is bit-identical to the
+        dense engine (see the module docstring); the serve layer only
+        auto-routes datasets passing this check.
+        """
+        scale = float(1 << fraction_bits)
+        for v in self.values:
+            if abs(v) > magnitude:
+                return False
+            scaled = v * scale
+            if scaled != int(scaled):
+                return False
+        return True
+
+    def __len__(self) -> int:
+        return self.n
+
+
+def _same_run(v: float, anchor: float, tolerance: float) -> bool:
+    if tolerance == 0.0:
+        return v == anchor and copysign(1.0, v) == copysign(1.0, anchor)
+    return abs(v - anchor) <= tolerance
+
+
+RleLike = Union[RleSeries, Sequence[float]]
+
+
+def as_rle(x: RleLike, name: str = "series") -> RleSeries:
+    """Coerce raw samples to :class:`RleSeries` (pass-through if already)."""
+    if isinstance(x, RleSeries):
+        return x
+    return RleSeries.encode(x, name=name)
+
+
+# -- the O(h + w) block boundary kernel (pure python) ----------------------
+
+
+def rle_block_python(
+    T: Sequence[float], L: Sequence[float], c: float, h: int, w: int
+) -> Tuple[List[float], List[float]]:
+    """Bottom row ``B`` and right column ``R`` of one constant-cost block.
+
+    ``T`` (length ``w + 1``) and ``L`` (length ``h + 1``) are the
+    incoming top/left boundary arrays (``T[0] == L[0]`` is the shared
+    corner); ``c`` the block's local cost.  Returns ``(B, R)`` with
+    ``B[s-1] = D(h, s)`` and ``R[r-1] = D(r, w)`` in block-relative
+    coordinates.  The corner ``R[h-1]`` is canonically assigned
+    ``B[w-1]``.  This is the ``KernelSet.rle_block`` contract; the
+    NumPy twin is bit-identical for all inputs.
+    """
+    B = _boundary_row(T, L, c, h, w)
+    R = _boundary_row(L, T, c, w, h)
+    R[h - 1] = B[w - 1]
+    return B, R
+
+
+def _boundary_row(
+    T: Sequence[float], L: Sequence[float], c: float, h: int, w: int
+) -> List[float]:
+    """``B[s-1] = min(g1, g2, g3, g4)`` per the module docstring."""
+    ch = c * h
+    # g3: prefix minima of L[a] + c*(h-a)
+    pp = [inf] * (h + 1)
+    best = inf
+    for a in range(h + 1):
+        v = L[a] + c * (h - a)
+        if v < best:
+            best = v
+        pp[a] = best
+    # g4: suffix minima of L
+    sl = [inf] * (h + 2)
+    for a in range(h, -1, -1):
+        la = L[a]
+        sl[a] = la if la < sl[a + 1] else sl[a + 1]
+    out = [inf] * w
+    dq = deque([0])  # g1 window indices, T-values increasing
+    g2min = inf  # exact prefix min of T[b] - c*b over b <= s-h-1
+    nxt = 0  # next index to fold into g2min
+    for s in range(1, w + 1):
+        hi_gone = s - h - 1
+        while nxt <= hi_gone:
+            v = T[nxt] - c * nxt
+            if v < g2min:
+                g2min = v
+            nxt += 1
+        lo_b = s - h
+        while dq and dq[0] < lo_b:
+            dq.popleft()
+        tb = T[s]
+        while dq and T[dq[-1]] >= tb:
+            dq.pop()
+        dq.append(s)
+        val = T[dq[0]] + ch
+        g2 = c * s + g2min
+        if g2 < val:
+            val = g2
+        if s <= h:
+            g3 = pp[h - s]
+            if g3 < val:
+                val = g3
+            g4 = c * s + sl[h - s + 1]
+        else:
+            g4 = c * s + sl[0]
+        if g4 < val:
+            val = g4
+        out[s - 1] = val
+    return out
+
+
+# -- the global block DP ---------------------------------------------------
+
+
+def _rle_dp(
+    rx: RleSeries,
+    ry: RleSeries,
+    cost_fn,
+    window: Optional[Window],
+    block_fn,
+    keep_blocks: bool,
+):
+    """Sweep all ``k x l`` blocks; returns ``(distance, cells, blocks)``.
+
+    ``row_bound`` carries ``D(row-1, col)`` for ``col = -1..m-1``
+    across block rows (index 0 is the virtual column ``-1``:
+    ``D(-1,-1) = 0``, everything else ``inf`` -- exactly the dense
+    engine's implicit boundary).  ``blocks`` maps ``(p, q)`` to the
+    stored boundary state for path recovery (full windows only).
+    """
+    xv, xl = rx.values, rx.lengths
+    yv, yl = ry.values, ry.lengths
+    k, l = len(xv), len(yv)
+    m = ry.n
+    ranges = window.ranges if window is not None else None
+    row_bound: List[float] = [0.0] + [inf] * m
+    cells = 0
+    blocks: Optional[Dict] = {} if keep_blocks else None
+    top = 0
+    for p in range(k):
+        h = xl[p]
+        vp = xv[p]
+        new_row: List[float] = [inf] * (m + 1)
+        L: List[float] = []
+        left = 0
+        for q in range(l):
+            w = yl[q]
+            c = cost_fn(vp, yv[q])
+            if not c >= 0.0:  # catches negatives and NaN
+                raise ValueError(
+                    "rle measures require finite non-negative local "
+                    f"costs, got {c!r}"
+                )
+            T = row_bound[left:left + w + 1]
+            if q == 0:
+                L = [row_bound[0]] + [inf] * h
+            if ranges is None:
+                B, R = block_fn(T, L, c, h, w)
+                B, R = list(B), list(R)
+                cells += h + w
+            else:
+                right = left + w - 1
+                admitted = 0
+                full = True
+                for i in range(top, top + h):
+                    lo_i, hi_i = ranges[i]
+                    a0 = lo_i if lo_i > left else left
+                    a1 = hi_i if hi_i < right else right
+                    if a0 > left or a1 < right:
+                        full = False
+                    if a1 >= a0:
+                        admitted += a1 - a0 + 1
+                if full:
+                    B, R = block_fn(T, L, c, h, w)
+                    B, R = list(B), list(R)
+                    cells += h + w
+                elif admitted == 0:
+                    B = [inf] * w
+                    R = [inf] * h
+                else:
+                    B, R = _straddle_dp(T, L, c, h, w, ranges, top, left)
+                    cells += admitted
+            if keep_blocks:
+                blocks[(p, q)] = (T, L, c, h, w, top, left)
+            new_row[left + 1:left + w + 1] = B
+            L = [T[w]] + R
+            left += w
+        row_bound = new_row
+        top += h
+    return row_bound[m], cells, blocks
+
+
+def _straddle_dp(T, L, c, h, w, ranges, top, left):
+    """Dense mini-DP over a block straddling the window boundary.
+
+    Evaluates exactly the admitted cells with the standard three-way
+    recurrence, seeded from the block's boundary arrays -- cell for
+    cell the computation the dense engine performs there, so the
+    values are bit-identical for arbitrary inputs (``c + best``
+    matches the engine's ``local + best``).
+    """
+    prev = list(T)
+    R = [inf] * h
+    for a in range(1, h + 1):
+        lo_i, hi_i = ranges[top + a - 1]
+        cur = [inf] * (w + 1)
+        cur[0] = L[a]
+        for s in range(1, w + 1):
+            j = left + s - 1
+            if lo_i <= j <= hi_i:
+                best = prev[s - 1]
+                if prev[s] < best:
+                    best = prev[s]
+                if cur[s - 1] < best:
+                    best = cur[s - 1]
+                cur[s] = c + best
+        R[a - 1] = cur[w]
+        prev = cur
+    return prev[1:], R
+
+
+# -- path recovery ---------------------------------------------------------
+
+
+def _blocks_path(blocks: Dict, rx: RleSeries, ry: RleSeries) -> WarpingPath:
+    """Backtrack a global optimal path through the stored block boundaries.
+
+    At each visited block the entry minimising ``T[b] + c*max(r, s-b)``
+    / ``L[a] + c*max(r-a, s)`` is rescanned (direct expressions -- no
+    float equality against the stored exit value, whose expression
+    form may differ in ulps), then the diagonal-first staircase from
+    the entry to the exit is emitted.  Diagonal-first keeps every
+    emitted cell interior to the block for all three entry kinds.
+    """
+    k, l = rx.run_count, ry.run_count
+    rev: List[Tuple[int, int]] = []
+    p, q = k - 1, l - 1
+    r, s = rx.lengths[p], ry.lengths[q]
+    while True:
+        T, L, c, h, w, top, left = blocks[(p, q)]
+        kind, idx, best = "", -1, inf
+        for b in range(s + 1):
+            rem = s - b
+            v = T[b] + c * (r if r >= rem else rem)
+            if v < best:
+                best, kind, idx = v, "T", b
+        for a in range(r + 1):
+            rem = r - a
+            v = L[a] + c * (rem if rem >= s else s)
+            if v < best:
+                best, kind, idx = v, "L", a
+        if not kind:
+            raise RuntimeError("rle backtracking escaped the lattice")
+        r0, s0 = (0, idx) if kind == "T" else (idx, 0)
+        d = r - r0 if r - r0 < s - s0 else s - s0
+        stair = [(r0 + t, s0 + t) for t in range(1, d + 1)]
+        if r > r0 + d:
+            stair += [(t, s) for t in range(r0 + d + 1, r + 1)]
+        elif s > s0 + d:
+            stair += [(r, u) for u in range(s0 + d + 1, s + 1)]
+        for rr, ss in reversed(stair):
+            rev.append((top + rr - 1, left + ss - 1))
+        if idx == 0:  # corner entry: diagonal block step (or done)
+            if p == 0 and q == 0:
+                break
+            if p == 0 or q == 0:
+                raise RuntimeError("rle backtracking escaped the lattice")
+            p, q = p - 1, q - 1
+            r, s = rx.lengths[p], ry.lengths[q]
+        elif kind == "T":
+            p -= 1
+            r, s = rx.lengths[p], idx
+        else:
+            q -= 1
+            r, s = idx, ry.lengths[q]
+    rev.reverse()
+    return WarpingPath(rev)
+
+
+# -- public measures -------------------------------------------------------
+
+
+def _block_kernel(backend: Optional[str]):
+    from .kernels import get_kernels
+
+    return get_kernels(backend).rle_block
+
+
+def rle_dtw(
+    x: RleLike,
+    y: RleLike,
+    cost: CostLike = "squared",
+    return_path: bool = False,
+    backend: Optional[str] = None,
+) -> DtwResult:
+    """Exact full DTW on run-length-encoded series in O(k*m + l*n).
+
+    Accepts raw sample sequences (encoded on the fly, tolerance 0) or
+    pre-encoded :class:`RleSeries`.  The distance equals
+    :func:`repro.core.dtw.dtw` on the decoded series -- bit-identical
+    whenever the arithmetic is exactly representable (see the module
+    docstring's exactness regime), within ulps otherwise.  ``cells``
+    counts the boundary cells actually computed, ``k*m + l*n``.
+
+    The local cost must be non-negative (true of the built-ins); a
+    negative custom cost would break the staircase optimality the
+    block recurrence rests on, so it is rejected.
+    """
+    rx, ry = as_rle(x, "series x"), as_rle(y, "series y")
+    block_fn = _block_kernel(backend)
+    trace = _obs._ACTIVE
+    if trace is None:
+        return _rle_dtw_impl(rx, ry, cost, return_path, block_fn)
+    with _obs.span("dp"):
+        result = _rle_dtw_impl(rx, ry, cost, return_path, block_fn)
+    _obs.record_dp(trace, result)
+    trace.incr("rle.runs", rx.run_count + ry.run_count)
+    trace.incr("rle.block_cells", result.cells)
+    return result
+
+
+def _rle_dtw_impl(rx, ry, cost, return_path, block_fn):
+    fn = resolve_cost(cost)
+    distance, cells, blocks = _rle_dp(rx, ry, fn, None, block_fn, return_path)
+    path = _blocks_path(blocks, rx, ry) if return_path else None
+    return DtwResult(distance, path, cells, cost_name(cost))
+
+
+def rle_cdtw(
+    x: RleLike,
+    y: RleLike,
+    window: Optional[float] = None,
+    band: Optional[int] = None,
+    cost: CostLike = "squared",
+    return_path: bool = False,
+    backend: Optional[str] = None,
+) -> DtwResult:
+    """Windowed (Sakoe-Chiba) exact DTW on run-length-encoded series.
+
+    Same constraint convention as :func:`repro.core.cdtw.cdtw`:
+    exactly one of ``window=`` (fraction) or ``band=`` (cells).
+    Blocks fully inside the band use the O(h + w) boundary recurrence;
+    straddling blocks run a dense mini-DP over their admitted cells
+    (bit-identical to the dense engine there for all inputs).
+
+    ``return_path=True`` recovers the path with a dense banded DP over
+    the decoded series (native banded backtracking is not implemented;
+    the distance and cells still come from the block DP).
+    """
+    if (window is None) == (band is None):
+        raise ValueError("specify exactly one of window= or band=")
+    rx, ry = as_rle(x, "series x"), as_rle(y, "series y")
+    from .kernels import banded_window, fraction_window
+
+    n, m = rx.n, ry.n
+    if window is not None:
+        win = fraction_window(n, m, window)
+    else:
+        win = banded_window(n, m, band)
+    block_fn = _block_kernel(backend)
+    trace = _obs._ACTIVE
+    if trace is None:
+        return _rle_cdtw_impl(rx, ry, win, cost, return_path, block_fn)
+    with _obs.span("dp"):
+        result = _rle_cdtw_impl(rx, ry, win, cost, return_path, block_fn)
+    _obs.record_dp(trace, result)
+    trace.incr("rle.runs", rx.run_count + ry.run_count)
+    trace.incr("rle.block_cells", result.cells)
+    return result
+
+
+def _rle_cdtw_impl(rx, ry, win, cost, return_path, block_fn):
+    fn = resolve_cost(cost)
+    distance, cells, _ = _rle_dp(rx, ry, fn, win, block_fn, False)
+    path = None
+    if return_path:
+        from .engine import _dp_over_window
+
+        dense = _dp_over_window(
+            rx.decode(), ry.decode(), win, cost, True, None, None
+        )
+        path = dense.path
+    return DtwResult(distance, path, cells, cost_name(cost))

@@ -1,0 +1,71 @@
+"""NumPy twin of the RLE block boundary kernel.
+
+Evaluates exactly the same elementary expressions as
+:func:`repro.core.rle.rle_block_python` -- ``T[b] - c*b`` prefix
+minima, ``L[a] + c*(h-a)`` prefix minima, ``L`` suffix minima, and a
+two-pass reshape sliding-window minimum for the in-window group -- so
+the two backends are bit-identical for *all* float inputs: minima are
+rounding-free and every add/multiply appears in the same form on both
+sides (the parity property suite pins this down).
+"""
+
+from __future__ import annotations
+
+from math import inf
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def rle_block_numpy(
+    T: Sequence[float], L: Sequence[float], c: float, h: int, w: int
+) -> Tuple[List[float], List[float]]:
+    """The ``KernelSet.rle_block`` contract, vectorised.
+
+    See :func:`repro.core.rle.rle_block_python` for semantics; returns
+    plain-float lists so downstream consumers (serve JSON answers)
+    never see ``np.float64``.
+    """
+    Ta = np.asarray(T, dtype=np.float64)
+    La = np.asarray(L, dtype=np.float64)
+    B = _boundary_row_numpy(Ta, La, c, h, w)
+    R = _boundary_row_numpy(La, Ta, c, w, h)
+    R[h - 1] = B[w - 1]
+    return B.tolist(), R.tolist()
+
+
+def _boundary_row_numpy(
+    T: np.ndarray, L: np.ndarray, c: float, h: int, w: int
+) -> np.ndarray:
+    s = np.arange(1, w + 1)
+    # g1: sliding min of T over windows [max(0, s-h) .. s], + c*h
+    padded = np.concatenate([np.full(h, inf), T])
+    g1 = _sliding_min(padded, h + 1)[1:] + c * h
+    # g2: c*s + prefix min of T[b] - c*b over b <= s-h-1
+    pm = np.minimum.accumulate(T - c * np.arange(w + 1))
+    g2 = np.full(w, inf)
+    far = s >= h + 1
+    if far.any():
+        g2[far] = c * s[far] + pm[s[far] - h - 1]
+    # g3: prefix min of L[a] + c*(h-a), evaluated at a = h-s
+    pp = np.minimum.accumulate(L + c * (h - np.arange(h + 1)))
+    g3 = np.full(w, inf)
+    near = s <= h
+    if near.any():
+        g3[near] = pp[h - s[near]]
+    # g4: c*s + suffix min of L from max(0, h-s+1)
+    sl = np.minimum.accumulate(L[::-1])[::-1]
+    g4 = c * s + sl[np.where(near, h - s + 1, 0)]
+    return np.minimum.reduce([g1, g2, g3, g4])
+
+
+def _sliding_min(a: np.ndarray, width: int) -> np.ndarray:
+    """Minima of every length-``width`` window of ``a`` (two-pass trick)."""
+    n = a.size
+    nblocks = -(-n // width)
+    padded = np.full(nblocks * width, inf)
+    padded[:n] = a
+    tiles = padded.reshape(nblocks, width)
+    pre = np.minimum.accumulate(tiles, axis=1).ravel()
+    suf = np.minimum.accumulate(tiles[:, ::-1], axis=1)[:, ::-1].ravel()
+    return np.minimum(suf[:n - width + 1], pre[width - 1:n])

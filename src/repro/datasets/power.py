@@ -10,13 +10,22 @@ timing shifts night to night.  The paper estimates ``W`` from the
 :func:`midnight_hour_pair` generates such a pair with exactly those
 offsets by default, and :func:`estimate_warping` recovers the estimate
 the way the paper does (peak matching), closing the loop in tests.
+
+Real power meters report on a coarse grid (a dishwasher draws one of
+a handful of wattages), which makes demand traces *step-like*: long
+runs of repeated values.  ``quantize=`` snaps each sample to a value
+grid, turning the synthetic traces into exactly that shape -- the
+natural workload for the compressed-domain measures in
+:mod:`repro.core.rle` -- and :meth:`PowerPair.run_counts` /
+:meth:`PowerPair.compression_ratio` report how compressible the
+result is.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .warping import add_noise, gaussian_bump
 
@@ -33,6 +42,24 @@ class PowerPair:
     @property
     def length(self) -> int:
         return len(self.night_a)
+
+    def run_counts(self) -> Tuple[int, int]:
+        """Tolerance-zero RLE run counts of the two nights."""
+        from ..core.rle import RleSeries
+
+        return (
+            RleSeries.encode(self.night_a).run_count,
+            RleSeries.encode(self.night_b).run_count,
+        )
+
+    def compression_ratio(self) -> float:
+        """Samples per run across both nights (1.0 = incompressible).
+
+        The routing statistic the serve layer thresholds on: the
+        block DP wins once runs are several samples long on average.
+        """
+        ka, kb = self.run_counts()
+        return (len(self.night_a) + len(self.night_b)) / (ka + kb)
 
     def max_peak_offset(self) -> int:
         """Largest timing difference between corresponding peaks."""
@@ -52,15 +79,25 @@ def midnight_hour_pair(
     base_load: float = 0.25,
     noise_sigma: float = 0.02,
     seed: int = 0,
+    quantize: Optional[float] = None,
 ) -> PowerPair:
     """A pair of synthetic dishwasher-night traces.
 
     The default peak positions give a third-pair offset of 153 samples
     out of 450 -- the paper's ``W = 34%`` estimate.  Peaks are heating
     spikes over a small base load with measurement noise.
+
+    ``quantize`` snaps every sample to the nearest multiple of that
+    step (``None``, the default, leaves the traces continuous and the
+    existing harness behaviour untouched).  A dyadic step such as
+    ``2**-6`` lands every value on a grid where the RLE block DP is
+    provably bit-exact against the dense engine -- see
+    :meth:`repro.core.rle.RleSeries.exactness_grid`.
     """
     if length < 10:
         raise ValueError("length must be at least 10")
+    if quantize is not None and not quantize > 0.0:
+        raise ValueError("quantize step must be positive")
     if len(peaks_a) != len(peaks_b):
         raise ValueError("both nights need the same number of peaks")
     for peaks in (peaks_a, peaks_b):
@@ -77,7 +114,10 @@ def midnight_hour_pair(
             bump = gaussian_bump(length, p, peak_width, peak_height)
             for i in range(length):
                 out[i] += bump[i]
-        return add_noise(out, noise_sigma, r)
+        out = add_noise(out, noise_sigma, r)
+        if quantize is not None:
+            out = [round(v / quantize) * quantize for v in out]
+        return out
 
     return PowerPair(
         night_a=trace(peaks_a, rng.randrange(2**31)),

@@ -52,6 +52,10 @@ counter                      incremented by
                              (never read; see the padding contract)
 ``fastdtw.calls``            top-level FastDTW invocations
 ``fastdtw.levels``           FastDTW recursion levels executed
+``rle.runs``                 total input runs (k + l) seen by the
+                             compressed-domain DP
+``rle.block_cells``          boundary cells the RLE block DP evaluated
+                             (also folded into ``dp.cells``)
 ``nn.queries``               1-NN searches started
 ``nn.candidates``            candidates scanned by 1-NN searches
 ``knn.predictions``          classifier predictions issued

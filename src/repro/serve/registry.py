@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from ..batch.shm import pack_dataset
+from ..core.rle import RleSeries
 from ..core.validate import validate_series
 from ..index import DatasetIndex, build_index, build_stream_index
 from .protocol import ProtocolError
@@ -34,17 +35,37 @@ __all__ = ["ArtifactCache", "DatasetRegistry", "RegisteredDataset"]
 
 @dataclass(frozen=True)
 class RegisteredDataset:
-    """One named dataset: a collection of series, or a single stream."""
+    """One named dataset: a collection of series, or a single stream.
+
+    Registration also profiles the content for the compressed-domain
+    fast path (:mod:`repro.core.rle`): ``run_counts`` holds each
+    series' tolerance-zero run count, ``compression_ratio`` the
+    samples-per-run average the service thresholds on, and
+    ``rle_exact`` whether every value sits on the dyadic grid where
+    the block DP is provably bit-identical to the dense engine
+    (:meth:`repro.core.rle.RleSeries.exactness_grid`).
+    """
 
     name: str
     kind: str  # "collection" | "stream"
     series: Tuple[Tuple[float, ...], ...]
     fingerprint: str
+    run_counts: Tuple[int, ...] = ()
+    compression_ratio: float = 1.0
+    rle_exact: bool = False
 
     @property
     def stream(self) -> Tuple[float, ...]:
         """The stream values (``stream`` kind only)."""
         return self.series[0]
+
+
+def _rle_profile(rows) -> Tuple[Tuple[int, ...], float, bool]:
+    """(run counts, samples per run, on-the-exactness-grid?) of rows."""
+    encoded = [RleSeries.encode(row) for row in rows]
+    runs = tuple(e.run_count for e in encoded)
+    ratio = sum(len(row) for row in rows) / sum(runs)
+    return runs, ratio, all(e.exactness_grid() for e in encoded)
 
 
 class DatasetRegistry:
@@ -69,9 +90,11 @@ class DatasetRegistry:
         for i, row in enumerate(rows):
             validate_series(row, f"series {i}")
         _, _, fingerprint = pack_dataset(rows)
+        runs, ratio, exact = _rle_profile(rows)
         entry = RegisteredDataset(
             name=name, kind="collection", series=tuple(rows),
-            fingerprint=fingerprint,
+            fingerprint=fingerprint, run_counts=runs,
+            compression_ratio=ratio, rle_exact=exact,
         )
         self._datasets[name] = entry
         return entry
@@ -83,9 +106,11 @@ class DatasetRegistry:
         row = tuple(float(v) for v in values)
         validate_series(row, "stream")
         _, _, fingerprint = pack_dataset([row])
+        runs, ratio, exact = _rle_profile([row])
         entry = RegisteredDataset(
             name=name, kind="stream", series=(row,),
-            fingerprint=fingerprint,
+            fingerprint=fingerprint, run_counts=runs,
+            compression_ratio=ratio, rle_exact=exact,
         )
         self._datasets[name] = entry
         return entry

@@ -27,6 +27,8 @@ MEASURE_CONFIGS = {
     "fastdtw": {"radius": 1},
     "fastdtw_reference": {"radius": 1},
     "euclidean": {},
+    "rle_dtw": {},
+    "rle_cdtw": {"window": 0.2},
 }
 
 

@@ -31,6 +31,8 @@ MATRIX_KWARGS = {
     "fastdtw": {"radius": 1},
     "fastdtw_reference": {"radius": 1},
     "euclidean": {},
+    "rle_dtw": {},
+    "rle_cdtw": {"window": 0.2},
 }
 
 
@@ -60,6 +62,8 @@ class TestClassification:
         DistanceSpec("cdtw", window=0.15),
         DistanceSpec("fastdtw", radius=1),
         DistanceSpec("fastdtw_reference", radius=1),
+        DistanceSpec("rle_dtw"),
+        DistanceSpec("rle_cdtw", window=0.15),
     ], ids=lambda s: s.describe())
     def test_1nn_labels_and_cells(self, spec):
         series, labels = labelled_set()

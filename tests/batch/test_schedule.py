@@ -72,6 +72,45 @@ class TestDistancePairCost:
         assert cost(2, 0) == 10
 
 
+class TestRegistryCostModel:
+    """The planner prices from the measure registry (no fallback)."""
+
+    def test_unknown_measure_raises(self):
+        # the old hardcoded branch silently fell back to a wrong
+        # model; unknown measures must now fail loudly
+        with pytest.raises(ValueError, match="unknown measure"):
+            distance_pair_cost((10, 10), "edr")
+
+    def test_rle_requires_run_counts(self):
+        with pytest.raises(ValueError, match="run_counts"):
+            distance_pair_cost((10, 10), "rle_dtw")
+
+    def test_rle_cost_is_boundary_cells(self):
+        cost = distance_pair_cost(
+            (100, 80), "rle_dtw", run_counts=(5, 4)
+        )
+        assert cost(0, 1) == 5 * 80 + 4 * 100
+
+    def test_rle_cost_equals_reported_cells(self):
+        from repro.core.rle import RleSeries
+
+        series = [
+            [0.0] * 6 + [1.0] * 8 + [2.0] * 4,
+            [1.0] * 9 + [0.5] * 9,
+            [0.0] * 3 + [2.0] * 3 + [0.0] * 12,
+        ]
+        lengths = tuple(len(s) for s in series)
+        run_counts = tuple(
+            RleSeries.encode(s).run_count for s in series
+        )
+        result = batch_distances(series, measure="rle_dtw")
+        cost = distance_pair_cost(
+            lengths, "rle_dtw", run_counts=run_counts
+        )
+        for (i, j), cells in zip(result.pairs, result.cells_per_pair):
+            assert cost(i, j) == cells
+
+
 class TestPlanChunks:
     def test_flatten_preserves_input_order(self):
         pairs = [(i, j) for i in range(8) for j in range(i + 1, 8)]

@@ -33,7 +33,7 @@ class TestDistanceMatrix:
     @pytest.mark.parametrize("measure", MEASURES)
     def test_all_measures_run(self, series, measure):
         kwargs = {}
-        if measure == "cdtw":
+        if measure in ("cdtw", "rle_cdtw"):
             kwargs["band"] = 2
         if measure.startswith("fastdtw"):
             kwargs["radius"] = 2

@@ -20,6 +20,8 @@ MEASURE_KWARGS = {
     "fastdtw": {"radius": 1},
     "fastdtw_reference": {"radius": 1},
     "euclidean": {},
+    "rle_dtw": {},
+    "rle_cdtw": {"window": 0.25},
 }
 
 

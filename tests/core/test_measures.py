@@ -34,7 +34,7 @@ class TestRegistryAgreement:
         # the classifier must actually support everything it claims
         for measure in MEASURES:
             kwargs = {}
-            if measure == "cdtw":
+            if measure in ("cdtw", "rle_cdtw"):
                 kwargs["window"] = 0.1
             elif measure in ("fastdtw", "fastdtw_reference"):
                 kwargs["radius"] = 1

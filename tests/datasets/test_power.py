@@ -45,6 +45,61 @@ class TestMidnightHourPair:
             midnight_hour_pair(peaks_a=(20, 10, 30))
 
 
+class TestQuantize:
+    """``quantize=`` snaps traces onto the RLE exactness grid."""
+
+    def test_default_none_is_the_original_trace(self):
+        plain = midnight_hour_pair(seed=5)
+        explicit = midnight_hour_pair(seed=5, quantize=None)
+        assert plain.night_a == explicit.night_a
+        assert plain.night_b == explicit.night_b
+
+    def test_samples_land_on_multiples_of_the_step(self):
+        step = 2.0 ** -6
+        pair = midnight_hour_pair(seed=5, quantize=step)
+        for trace in (pair.night_a, pair.night_b):
+            for v in trace:
+                assert v == round(v / step) * step
+
+    def test_quantized_traces_sit_on_the_exactness_grid(self):
+        from repro.core.rle import RleSeries
+
+        pair = midnight_hour_pair(seed=5, quantize=2.0 ** -6)
+        for trace in (pair.night_a, pair.night_b):
+            assert RleSeries.encode(trace).exactness_grid()
+
+    def test_coarser_grids_compress_better(self):
+        fine = midnight_hour_pair(seed=5, quantize=2.0 ** -8)
+        coarse = midnight_hour_pair(seed=5, quantize=2.0 ** -2)
+        assert (
+            coarse.compression_ratio() > fine.compression_ratio() >= 1.0
+        )
+
+    def test_run_counts_match_the_encoder(self):
+        from repro.core.rle import RleSeries
+
+        pair = midnight_hour_pair(seed=5, quantize=2.0 ** -4)
+        assert pair.run_counts() == (
+            RleSeries.encode(pair.night_a).run_count,
+            RleSeries.encode(pair.night_b).run_count,
+        )
+
+    def test_unquantized_noise_barely_compresses(self):
+        # continuous noise means runs of length ~1 everywhere
+        pair = midnight_hour_pair(seed=5)
+        assert pair.compression_ratio() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_steps_rejected(self):
+        for bad in (0.0, -0.5):
+            with pytest.raises(ValueError, match="positive"):
+                midnight_hour_pair(quantize=bad)
+
+    def test_quantized_peaks_still_recoverable(self):
+        # quantization must not destroy the Fig. 3 structure
+        pair = midnight_hour_pair(quantize=2.0 ** -4)
+        assert estimate_warping(pair) == pytest.approx(0.34, abs=0.01)
+
+
 class TestFindPeaks:
     def test_recovers_planted_peaks(self):
         pair = midnight_hour_pair()

@@ -1,0 +1,203 @@
+"""Serve-layer auto-RLE routing: invisible in answers, visible in work.
+
+The service profiles every collection at registration (run counts,
+compression ratio, exactness-grid membership) and routes 1-NN / k-NN
+through the compressed-domain measure when the dataset is step-like
+enough.  The central property mirrors the rest of the serve suite:
+**routing must be invisible in the answers** -- forced on, forced off
+and auto-decided paths all return bit-identical results, and forcing
+the compressed path on an off-grid dataset is an explicit protocol
+error, never a silent drift risk.
+"""
+
+import random
+from typing import List
+
+import pytest
+
+from repro.core.rle import RleSeries
+from repro.runtime import Runtime
+from repro.serve import QueryService
+from repro.serve.protocol import ProtocolError, parse_request
+
+GRID = 2.0 ** -4
+
+
+def step_series(seed: int, length: int = 24) -> List[float]:
+    """A step-like trace on the dyadic exactness grid."""
+    rng = random.Random(seed)
+    out: List[float] = []
+    while len(out) < length:
+        value = rng.randrange(-32, 33) * GRID
+        out.extend([value] * rng.randrange(4, 9))
+    return out[:length]
+
+
+STEPS = [step_series(900 + i) for i in range(6)]
+def _noise_series(seed: int, length: int = 24) -> List[float]:
+    rng = random.Random(seed)
+    return [rng.uniform(-1, 1) for _ in range(length)]
+
+
+OFFGRID = [_noise_series(910 + i) for i in range(4)]
+QUERIES = [step_series(920 + i) for i in range(3)]
+
+
+def _service(**kwargs) -> QueryService:
+    service = QueryService(cache_results=False, **kwargs)
+    service.register("steps", STEPS)
+    service.register("offgrid", OFFGRID)
+    return service
+
+
+class TestRegistryProfile:
+    def test_step_dataset_profiles_compressible_and_exact(self):
+        with _service() as service:
+            entry = service.registry.get("steps")
+        assert entry.rle_exact is True
+        assert entry.compression_ratio >= 4.0
+        assert entry.run_counts == tuple(
+            RleSeries.encode(s).run_count for s in STEPS
+        )
+
+    def test_offgrid_dataset_profiles_incompressible(self):
+        with _service() as service:
+            entry = service.registry.get("offgrid")
+        assert entry.rle_exact is False
+        # uniform noise never repeats: one run per sample
+        assert entry.compression_ratio == 1.0
+        assert entry.run_counts == tuple(len(s) for s in OFFGRID)
+
+    def test_stream_datasets_are_profiled_too(self):
+        with QueryService(cache_results=False) as service:
+            service.register_stream("stream", step_series(930, 64))
+            entry = service.registry.get("stream")
+        assert entry.rle_exact is True
+        assert len(entry.run_counts) == 1
+
+
+class TestRoutingParity:
+    """Forced-on, forced-off and auto answers are bit-identical."""
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_1nn_parity(self, backend, workers):
+        runtime = Runtime(workers=workers, backend=backend)
+        with _service(runtime=runtime) as service:
+            for query in QUERIES:
+                base = {"op": "1nn", "dataset": "steps", "band": 3,
+                        "query": query}
+                on = service.execute(
+                    {**base, "rle": True, "index": False}
+                )
+                off = service.execute({**base, "rle": False})
+                auto = service.execute(base)
+                assert on.ok and off.ok and auto.ok
+                assert on.answer == off.answer == auto.answer
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_knn_parity(self, backend):
+        runtime = Runtime(workers=1, backend=backend)
+        with _service(runtime=runtime) as service:
+            base = {"op": "knn", "dataset": "steps", "band": 3,
+                    "k": 3, "query": QUERIES[0]}
+            on = service.execute({**base, "rle": True})
+            off = service.execute({**base, "rle": False})
+            assert on.ok and off.ok
+            assert on.answer == off.answer
+
+    def test_routed_coalesced_group_matches_serial(self):
+        burst = [
+            {"op": "1nn", "dataset": "steps", "band": 3, "query": q}
+            for q in QUERIES
+        ]
+        with _service(runtime=Runtime(workers=1)) as service:
+            serial = [service.execute(r).answer for r in burst]
+        with _service(runtime=Runtime(workers=2)) as service:
+            responses = service.execute_batch(burst)
+            stats = service.stats()
+        assert all(r.ok for r in responses)
+        assert [r.answer for r in responses] == serial
+        # the routed requests fused into one compressed-domain job:
+        # auto-routing supersedes the index fast path
+        assert stats.coalesced_requests == len(QUERIES)
+
+    def test_routed_and_unrouted_never_share_a_bucket(self):
+        # same dataset, same band -- but one request suppresses RLE,
+        # so it must not fuse with the routed pair (one job, one
+        # measure)
+        burst = [
+            {"op": "1nn", "dataset": "steps", "band": 3,
+             "query": QUERIES[0]},
+            {"op": "1nn", "dataset": "steps", "band": 3,
+             "query": QUERIES[1]},
+            {"op": "1nn", "dataset": "steps", "band": 3,
+             "query": QUERIES[2], "rle": False, "index": False},
+        ]
+        with _service(runtime=Runtime(workers=2)) as service:
+            parsed = [parse_request(r) for r in burst]
+            groups = service._coalesce_groups(parsed)
+        assert groups == [[0, 1]]
+
+
+class TestRoutingPolicy:
+    def test_forcing_rle_off_grid_is_rejected(self):
+        with _service() as service:
+            response = service.execute({
+                "op": "1nn", "dataset": "offgrid", "band": 3,
+                "rle": True, "query": OFFGRID[0],
+            })
+        assert not response.ok
+        assert "exactness grid" in response.error
+
+    def test_auto_routing_skips_offgrid_datasets(self):
+        with _service() as service:
+            response = service.execute({
+                "op": "1nn", "dataset": "offgrid", "band": 3,
+                "query": OFFGRID[0],
+            })
+        assert response.ok
+
+    def test_use_rle_false_disables_auto_routing(self):
+        with _service(use_rle=False) as service:
+            entry = service.registry.get("steps")
+            request = parse_request({
+                "op": "1nn", "dataset": "steps", "band": 3,
+                "query": QUERIES[0],
+            })
+            assert service._rle_routed(request, entry) is False
+            # the explicit request flag still wins
+            forced = parse_request({
+                "op": "1nn", "dataset": "steps", "band": 3,
+                "rle": True, "query": QUERIES[0],
+            })
+            assert service._rle_routed(forced, entry) is True
+
+    def test_threshold_gates_auto_routing(self):
+        with _service(rle_threshold=1000.0) as service:
+            entry = service.registry.get("steps")
+            request = parse_request({
+                "op": "1nn", "dataset": "steps", "band": 3,
+                "query": QUERIES[0],
+            })
+            assert service._rle_routed(request, entry) is False
+
+    def test_threshold_below_one_is_rejected(self):
+        with pytest.raises(ValueError, match="rle_threshold"):
+            QueryService(rle_threshold=0.5)
+
+
+class TestProtocol:
+    def test_rle_must_be_a_bool(self):
+        with pytest.raises(ProtocolError, match="rle must be a bool"):
+            parse_request({
+                "op": "1nn", "dataset": "steps", "band": 3,
+                "rle": 1, "query": QUERIES[0],
+            })
+
+    def test_rle_only_on_nn_ops(self):
+        with pytest.raises(ProtocolError, match="rle"):
+            parse_request({
+                "op": "subsequence", "dataset": "stream", "band": 2,
+                "rle": True, "query": QUERIES[0][:10],
+            })

@@ -151,3 +151,37 @@ def test_serving_block():
     plain = nearest_neighbor(query, candidates, band=4)
     assert response.answer["index"] == plain.index
     assert response.answer["distance"] == plain.distance
+
+
+def test_rle_block():
+    from repro import RleSeries, rle_dtw
+    from repro.core import dtw
+
+    x = [0.0] * 40 + [1.5] * 40 + [0.25] * 40
+    y = [0.0] * 30 + [1.5] * 55 + [0.25] * 35
+
+    compressed = RleSeries.encode(x)            # 3 runs, lossless
+    assert compressed.decode() == x
+    assert compressed.compression_ratio == 40.0
+
+    fast = rle_dtw(x, y)
+    assert fast.distance == dtw(x, y).distance  # bit-identical
+    assert fast.cells < dtw(x, y).cells         # far fewer cells
+
+    # the README's routing claim: auto-routed serve answers are
+    # identical to the dense path
+    from repro.serve import QueryService
+
+    with QueryService(cache_results=False) as service:
+        service.register("steps", [x, y])
+        entry = service.registry.get("steps")
+        assert entry.rle_exact and entry.compression_ratio >= 4.0
+        routed = service.execute(
+            {"op": "1nn", "dataset": "steps", "band": 6, "query": x}
+        )
+        dense = service.execute(
+            {"op": "1nn", "dataset": "steps", "band": 6, "query": x,
+             "rle": False}
+        )
+    assert routed.ok and dense.ok
+    assert routed.answer == dense.answer
