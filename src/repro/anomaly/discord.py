@@ -27,7 +27,7 @@ from typing import List, Optional, Sequence
 
 from ..core.validate import validate_series
 from ..lowerbounds.cascade import LowerBoundCascade
-from ..preprocess.normalize import znorm
+from ..preprocess.normalize import znorm, znorm_nd
 from ..preprocess.sliding import sliding_windows
 from ..runtime import Runtime
 
@@ -126,21 +126,30 @@ def find_discord(
     if exclusion < 1:
         raise ValueError("exclusion must be positive")
     validate_series(stream, "stream")
+    # multivariate streams scan under the dependent measure (cdtw_d
+    # semantics: one DP over vector samples), windows z-normalised
+    # per channel
+    nd = bool(stream) and hasattr(stream[0], "__len__")
 
     if index is not None:
         index.require(
             kind="windows", band=band, window=window, step=step,
             normalize=normalize,
+            dims=len(stream[0]) if nd else 1,
         )
         index.verify_stream(stream)
         starts = list(index.starts)
-        series = [list(s) for s in index.series]
+        series = [list(s) for s in index.candidate_series()]
     else:
         starts = []
         series = []
         for start, w in sliding_windows(stream, window, step):
             starts.append(start)
-            series.append(znorm(w) if normalize else w)
+            if nd:
+                vw = [tuple(float(c) for c in v) for v in w]
+                series.append(znorm_nd(vw) if normalize else vw)
+            else:
+                series.append(znorm(w) if normalize else w)
     k = len(series)
     if k < 2:
         raise ValueError("stream too short for two windows")
@@ -225,12 +234,14 @@ def _pairwise_distances(series, starts, exclusion, band, rt):
     """Exact cDTW for every admissible unordered window pair, batched.
 
     cDTW with a symmetric local cost is symmetric under argument
-    transposition (the DP recurrence transposes exactly), so each
+    transposition (the DP recurrence transposes exactly; the vector
+    squared cost of ``cdtw_d`` is just as symmetric), so each
     unordered pair is computed once and serves both scan directions.
     """
     from ..batch.engine import batch_distances
 
     k = len(series)
+    nd = bool(series[0]) and hasattr(series[0][0], "__len__")
     pairs = [
         (i, j)
         for i in range(k)
@@ -240,6 +251,7 @@ def _pairwise_distances(series, starts, exclusion, band, rt):
     if not pairs:
         return {}, 0
     result = batch_distances(
-        series, pairs=pairs, measure="cdtw", band=band, runtime=rt,
+        series, pairs=pairs, measure="cdtw_d" if nd else "cdtw",
+        band=band, runtime=rt,
     )
     return dict(zip(pairs, result.distances)), len(pairs)

@@ -68,9 +68,17 @@ class SeriesCache:
     def __init__(self, series: Sequence[Sequence[float]]):
         if not series:
             raise ValueError("need at least one series")
-        self._series: List[List[float]] = [
-            [float(v) for v in s] for s in series
-        ]
+        from .shm import dataset_dims
+
+        self.dims = dataset_dims(series)
+        if self.dims is None:
+            self._series: List[List[float]] = [
+                [float(v) for v in s] for s in series
+            ]
+        else:
+            self._series = [
+                [tuple(float(c) for c in v) for v in s] for s in series
+            ]
         self._znorm: Dict[int, List[float]] = {}
         self._envelopes: Dict[Tuple[int, int], Envelope] = {}
         self._envelope_hits = 0
@@ -86,18 +94,33 @@ class SeriesCache:
         return self._series[i]
 
     def normalized(self, i: int) -> List[float]:
-        """Z-normalised copy of series ``i``, computed at most once."""
+        """Z-normalised copy of series ``i``, computed at most once.
+
+        Multivariate series normalise per channel
+        (:func:`repro.preprocess.normalize.znorm_nd`).
+        """
         cached = self._znorm.get(i)
         if cached is not None:
             self._znorm_hits += 1
             return cached
         self._znorm_misses += 1
-        out = znorm(self._series[i])
+        if self.dims is None:
+            out = znorm(self._series[i])
+        else:
+            from ..preprocess.normalize import znorm_nd
+
+            out = znorm_nd(self._series[i])
         self._znorm[i] = out
         return out
 
     def envelope(self, i: int, band: int) -> Envelope:
         """LB_Keogh envelope of series ``i``, memoized per band."""
+        if self.dims is not None:
+            raise ValueError(
+                "scalar envelopes are undefined for multivariate "
+                "series; use the per-channel envelopes of "
+                "repro.lowerbounds.nd instead"
+            )
         key = (i, band)
         cached = self._envelopes.get(key)
         if cached is not None:

@@ -51,6 +51,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from ..core.cost import CostLike
 from ..core.measures import (
     MEASURES,
+    ND_MEASURES,
     RLE_MEASURES,
     measure_fn,
     split_result,
@@ -108,10 +109,14 @@ class BatchSpec:
         True for distance-only dtw/cdtw batches on the numpy backend
         with a named cost -- the configurations where
         :func:`repro.core.numpy_backend.dtw_numpy_batch` applies.
+        The dependent multivariate measures (``dtw_d``/``cdtw_d``) run
+        one DP per pair over vector samples, so they stack the same
+        way (via ``dtw_nd_chunk``); the independent measures are sums
+        of per-channel scalar DPs and stay on the per-pair path.
         """
         return (
             self.backend == "numpy"
-            and self.measure in ("dtw", "cdtw")
+            and self.measure in ("dtw", "cdtw", "dtw_d", "cdtw_d")
             and not self.return_paths
             and isinstance(self.cost, str)
         )
@@ -272,7 +277,7 @@ class _NpArtifacts:
     def series(self, i: int):
         arr = self._series.get(i)
         if arr is None:
-            from ..core.numpy_backend import _as_series
+            from ..core.numpy_backend import _as_series, _as_series_nd
 
             ctx = self._ctx
             if ctx.spec is not None and ctx.spec.normalize:
@@ -281,7 +286,10 @@ class _NpArtifacts:
                 raw = ctx.arrays[i]
             else:
                 raw = ctx.cache.raw(i)
-            arr = self._series[i] = _as_series(raw, str(i))
+            convert = (
+                _as_series if ctx.cache.dims is None else _as_series_nd
+            )
+            arr = self._series[i] = convert(raw, str(i))
         return arr
 
     def envelope(self, i: int, band: int):
@@ -299,15 +307,15 @@ class _NpArtifacts:
             )
         return pair
 
-    def _scratch_for(self, role: str, width: int, rows: int):
+    def _scratch_for(self, role: str, shape, rows: int):
         import numpy as np
 
-        key = (role, width)
+        key = (role,) + tuple(shape)
         buf = self._scratch.get(key)
         if buf is None or buf.shape[0] < rows:
             cap = 1 << max(0, rows - 1).bit_length()
             buf = self._scratch[key] = np.full(
-                (cap, width), np.nan, dtype=np.float64
+                (cap,) + tuple(shape), np.nan, dtype=np.float64
             )
         return buf
 
@@ -316,11 +324,14 @@ class _NpArtifacts:
 
         Returns ``(stack, pad_rows)``: only the first ``len(indices)``
         rows are real; the rest is the poisoned padding the chunk
-        kernels must never read.
+        kernels must never read.  Multivariate contexts stack
+        ``(count, width, dims)`` instead of ``(count, width)``.
         """
-        buf = self._scratch_for(role, width, len(indices))
+        dims = self._ctx.cache.dims
+        shape = (width,) if dims is None else (width, dims)
+        buf = self._scratch_for(role, shape, len(indices))
         for t, idx in enumerate(indices):
-            buf[t, :] = self.series(idx)
+            buf[t, ...] = self.series(idx)
         return buf, buf.shape[0] - len(indices)
 
     def stack_pairs(self, pairs, n: int, m: int):
@@ -368,7 +379,7 @@ def _compute_pair(ctx: _WorkerContext, i: int, j: int):
 def _spec_window(spec: BatchSpec, n: int, m: int):
     from ..core.kernels import banded_window, fraction_window, full_window
 
-    if spec.measure == "dtw":
+    if spec.measure in ("dtw", "dtw_d"):
         return full_window(n, m)
     if (spec.window is None) == (spec.band is None):
         raise ValueError("specify exactly one of window= or band=")
@@ -403,12 +414,16 @@ def _compute_chunk_vectorized(ctx: _WorkerContext, chunk: Sequence[Pair]):
         band_for=chunk_band(spec.measure, spec.window, spec.band),
     )
     _obs.incr("chunk.groups", len(groups))
+    chunk_kernel = (
+        kernels.dtw_chunk if ctx.cache.dims is None
+        else kernels.dtw_nd_chunk
+    )
     out = [None] * len(chunk)
     for group in groups:
         win = _spec_window(spec, group.n, group.m)
         cells = win.cell_count()
         xs, ys, pad = arts.stack_pairs(group.pairs, group.n, group.m)
-        distances = kernels.dtw_chunk(
+        distances = chunk_kernel(
             xs, ys, win, cost=spec.cost, count=len(group.pairs)
         )
         _obs.incr("chunk.calls")
@@ -560,6 +575,39 @@ def _pick_context(start_method: Optional[str]):
     )
 
 
+def _canonical_series(series):
+    """Materialise the input series once, detecting dimensionality.
+
+    Returns ``(series_t, dims)``: scalar datasets canonicalise to
+    tuples of floats (``dims is None``, byte-identical to the historic
+    form), multivariate ``(length, dims)`` datasets to tuples of
+    float tuples.  Mixed or ragged-dims datasets are rejected by
+    :func:`repro.batch.shm.dataset_dims` before any arithmetic runs.
+    """
+    from .shm import dataset_dims
+
+    dims = dataset_dims(series)
+    if dims is None:
+        return tuple(tuple(float(v) for v in s) for s in series), None
+    return tuple(
+        tuple(tuple(float(c) for c in v) for v in s) for s in series
+    ), dims
+
+
+def _check_measure_dims(measure: str, dims: Optional[int]) -> None:
+    if dims is not None and measure not in ND_MEASURES:
+        raise ValueError(
+            f"measure {measure!r} is univariate; multivariate "
+            f"(length, dims) series need one of {ND_MEASURES}"
+        )
+    if dims is None and measure in ND_MEASURES:
+        raise ValueError(
+            f"measure {measure!r} is multivariate; flat scalar series "
+            "need a scalar measure (reshape to (length, 1) samples to "
+            "force the multivariate path)"
+        )
+
+
 def _validated_pairs(
     pairs: Optional[Iterable[Pair]], k: int
 ) -> List[Pair]:
@@ -708,7 +756,8 @@ def batch_distances(
         backend=rt.backend_name,
     )
     task_list = _validated_pairs(pairs, len(series))
-    series_t = tuple(tuple(float(v) for v in s) for s in series)
+    series_t, dims = _canonical_series(series)
+    _check_measure_dims(spec.measure, dims)
     trace = _obs.active_trace()
     if trace is not None:
         trace.incr("batch.jobs")
@@ -747,6 +796,7 @@ def batch_distances(
                 lengths, spec.measure, window=spec.window,
                 band=spec.band, radius=spec.radius,
                 run_counts=run_counts,
+                dims=1 if dims is None else dims,
             ),
             # the stacked chunk kernels amortise their per-wavefront
             # Python dispatch over every pair in the chunk, so the
@@ -838,7 +888,12 @@ def batch_lb_keogh(
         raise ValueError("need at least one series")
     lb_backend = rt.backend_name
     task_list = _validated_pairs(pairs, len(series))
-    series_t = tuple(tuple(float(v) for v in s) for s in series)
+    series_t, dims = _canonical_series(series)
+    if dims is not None:
+        raise ValueError(
+            "batch_lb_keogh is univariate; sum the per-channel bounds "
+            "of repro.lowerbounds.nd for (length, dims) series"
+        )
     trace = _obs.active_trace()
     if trace is not None:
         trace.incr("batch.jobs")

@@ -64,6 +64,7 @@ from .shm import (
     AttachedDataset,
     InlineDataset,
     ShmDataset,
+    dataset_dims,
     pack_dataset,
     shm_available,
 )
@@ -255,7 +256,10 @@ class BatchExecutor:
         if self.use_shm:
             dataset = state["datasets"].get(fingerprint)
             if dataset is None:
-                dataset = ShmDataset(payload, lengths, fingerprint)
+                dataset = ShmDataset(
+                    payload, lengths, fingerprint,
+                    dims=dataset_dims(series),
+                )
                 state["datasets"][fingerprint] = dataset
                 self.stats.datasets_shipped += 1
                 self.stats.bytes_shipped += dataset.nbytes

@@ -43,6 +43,7 @@ def distance_pair_cost(
     band=None,
     radius: int = 1,
     run_counts: Optional[Sequence[int]] = None,
+    dims: int = 1,
 ) -> Callable[[int, int], int]:
     """Per-pair cost function (predicted DP cells) for one spec.
 
@@ -51,7 +52,8 @@ def distance_pair_cost(
     declared price there (exact window geometry for ``dtw``/``cdtw``,
     Salvador & Chan's accounting for the fastdtw measures,
     ``k*m + l*n`` boundary cells for the rle measures via
-    ``run_counts``), and an unknown measure raises instead of
+    ``run_counts``, ``dims x`` the window geometry for the
+    multivariate measures), and an unknown measure raises instead of
     silently falling back to a wrong model.
 
     Costs are memoized per shape, so planning a large batch over
@@ -61,7 +63,7 @@ def distance_pair_cost(
 
     return pair_cost_model(
         measure, lengths, window=window, band=band, radius=radius,
-        run_counts=run_counts,
+        run_counts=run_counts, dims=dims,
     )
 
 
@@ -170,9 +172,9 @@ def chunk_band(
     same :class:`ChunkGroup` only when this function agrees on them,
     so every group shares one Window.
     """
-    if measure == "dtw":
+    if measure in ("dtw", "dtw_d"):
         return lambda n, m: None
-    if measure != "cdtw":
+    if measure not in ("cdtw", "cdtw_d"):
         raise ValueError(
             f"no banded-window geometry for measure {measure!r}"
         )

@@ -49,7 +49,10 @@ try:  # pragma: no cover - import guard exercised via shm_available()
 except ImportError:  # pragma: no cover - ancient/embedded pythons
     _shared_memory = None
 
-#: Descriptor tuple shape: ``(kind, fingerprint, segment_name, lengths)``.
+#: Descriptor tuple shape: ``(kind, fingerprint, segment_name, lengths)``
+#: for univariate datasets; multivariate descriptors append the sample
+#: dimensionality as a fifth element (old readers, which unpack exactly
+#: four, fail loudly on them instead of misreading the buffer).
 ShmDescriptor = Tuple[str, str, str, Tuple[int, ...]]
 
 
@@ -58,12 +61,55 @@ def shm_available() -> bool:
     return _shared_memory is not None
 
 
-def fingerprint_bytes(payload: bytes, lengths: Sequence[int]) -> str:
-    """Content hash of a packed buffer + its offsets table."""
+def fingerprint_bytes(
+    payload: bytes, lengths: Sequence[int], dims: Optional[int] = None,
+) -> str:
+    """Content hash of a packed buffer + its offsets table.
+
+    ``dims`` is ``None`` for univariate datasets (the historical
+    preamble, byte-for-byte) and the sample dimensionality for
+    multivariate ones -- a distinct preamble, so an nd dataset can
+    never collide with the univariate dataset of its flattened values.
+    """
     h = hashlib.blake2b(digest_size=16)
-    h.update(repr(tuple(lengths)).encode())
+    if dims is None:
+        h.update(repr(tuple(lengths)).encode())
+    else:
+        h.update(repr(("nd", dims, tuple(lengths))).encode())
     h.update(payload)
     return h.hexdigest()
+
+
+def dataset_dims(series: Sequence[Sequence[float]]) -> Optional[int]:
+    """The shared sample dimensionality of a dataset.
+
+    ``None`` when every series is univariate (scalar samples); the
+    common ``dims >= 1`` when every series is multivariate (samples
+    are equal-length tuples/lists -- shape ``(length, dims)``).  A mix
+    of the two, or differing dimensionalities, is always a caller bug
+    and raises.
+    """
+    dims: Optional[int] = None
+    first_vector = False
+    for i, s in enumerate(series):
+        if len(s) == 0:
+            raise ValueError(f"series {i} is empty")
+        vector = isinstance(s[0], (tuple, list))
+        if i == 0:
+            first_vector = vector
+            dims = len(s[0]) if vector else None
+        elif vector != first_vector:
+            raise ValueError(
+                f"series {i} is {'multivariate' if vector else 'univariate'} "
+                f"but series 0 is {'multivariate' if first_vector else 'univariate'}; "
+                "a dataset must be all-scalar or all (length, dims)"
+            )
+        elif vector and len(s[0]) != dims:
+            raise ValueError(
+                f"series {i} has {len(s[0])}-dimensional samples but "
+                f"series 0 has {dims}-dimensional samples"
+            )
+    return dims
 
 
 def pack_dataset(
@@ -76,6 +122,13 @@ def pack_dataset(
     fingerprint hashes both, so datasets differing only in how the
     same values are split into series hash differently.
 
+    Multivariate series (samples are equal-length vectors) flatten
+    sample-major -- series ``[(x0, y0), (x1, y1)]`` packs as
+    ``x0 y0 x1 y1`` -- with ``lengths`` still counting *samples*, and
+    the fingerprint carries the dimensionality (see
+    :func:`fingerprint_bytes`); univariate payloads and fingerprints
+    are byte-for-byte what they always were.
+
     >>> payload, lengths, fp = pack_dataset([(0.0, 1.0), (2.0,)])
     >>> lengths
     (2, 1)
@@ -83,16 +136,31 @@ def pack_dataset(
     24
     >>> fp == pack_dataset([[0.0, 1.0], [2.0]])[2]
     True
+    >>> nd_payload, nd_lengths, nd_fp = pack_dataset([[(0.0, 1.0)], [(2.0, 3.0)]])
+    >>> nd_lengths
+    (1, 1)
+    >>> len(nd_payload)
+    32
+    >>> nd_fp == pack_dataset([[0.0, 1.0], [2.0, 3.0]])[2]
+    False
     """
+    dims = dataset_dims(series)
     flat = array("d")
     lengths: List[int] = []
-    for s in series:
-        flat.extend(s)
-        lengths.append(len(s))
+    if dims is None:
+        for s in series:
+            flat.extend(s)
+            lengths.append(len(s))
+    else:
+        for s in series:
+            for v in s:
+                flat.extend(v)
+            lengths.append(len(s))
     if flat.itemsize != 8:  # pragma: no cover - no such platform today
         raise RuntimeError("array('d') is not 64-bit on this platform")
     payload = flat.tobytes()
-    return payload, tuple(lengths), fingerprint_bytes(payload, lengths)
+    return payload, tuple(lengths), fingerprint_bytes(payload, lengths,
+                                                      dims=dims)
 
 
 def _offsets(lengths: Sequence[int]) -> List[Tuple[int, int]]:
@@ -145,7 +213,7 @@ class ShmDataset:
     """
 
     def __init__(self, payload: bytes, lengths: Tuple[int, ...],
-                 fingerprint: str):
+                 fingerprint: str, dims: Optional[int] = None):
         if _shared_memory is None:
             raise RuntimeError("multiprocessing.shared_memory unavailable")
         if not payload:
@@ -154,6 +222,7 @@ class ShmDataset:
             raise ValueError("cannot ship an empty dataset")
         self.fingerprint = fingerprint
         self.lengths = lengths
+        self.dims = dims
         self.nbytes = len(payload)
         self._shm = _shared_memory.SharedMemory(create=True,
                                                 size=len(payload))
@@ -163,8 +232,16 @@ class ShmDataset:
         self._closed = False
 
     def descriptor(self) -> ShmDescriptor:
-        """The picklable per-task reference to this dataset."""
-        return ("shm", self.fingerprint, self.name, self.lengths)
+        """The picklable per-task reference to this dataset.
+
+        Univariate datasets keep the historical 4-tuple; multivariate
+        ones append ``dims``, so a reader that unpacks exactly four
+        elements fails loudly instead of misreading an nd buffer.
+        """
+        if self.dims is None:
+            return ("shm", self.fingerprint, self.name, self.lengths)
+        return ("shm", self.fingerprint, self.name, self.lengths,
+                self.dims)
 
     def close(self) -> None:
         """Close the mapping and unlink the segment (idempotent).
@@ -207,27 +284,52 @@ class AttachedDataset:
     """
 
     def __init__(self, descriptor: ShmDescriptor):
-        kind, fingerprint, name, lengths = descriptor
+        if len(descriptor) == 4:
+            kind, fingerprint, name, lengths = descriptor
+            dims: Optional[int] = None
+        else:
+            kind, fingerprint, name, lengths, dims = descriptor
         if kind != "shm":
             raise ValueError(f"not an shm descriptor: {kind!r}")
         if _shared_memory is None:
             raise RuntimeError("multiprocessing.shared_memory unavailable")
         self.fingerprint = fingerprint
         self.lengths = tuple(lengths)
+        self.dims = dims
         with _suppress_tracking():
             self._shm = _shared_memory.SharedMemory(name=name)
-        count = sum(self.lengths)
+        count = sum(self.lengths) * (1 if dims is None else dims)
         self._view = memoryview(self._shm.buf)[: count * 8].cast("d")
-        self._bounds = _offsets(self.lengths)
+        # element offsets: ``lengths`` counts samples, the buffer
+        # holds ``dims`` doubles per sample (sample-major)
+        scale = 1 if dims is None else dims
+        self._bounds = [
+            (a * scale, b * scale) for a, b in _offsets(self.lengths)
+        ]
         self._series: Optional[Tuple[List[float], ...]] = None
         self._closed = False
 
     def series(self) -> Tuple[List[float], ...]:
-        """All series as lists of built-in floats (computed once)."""
+        """All series as built-in floats (computed once).
+
+        Univariate: a list of floats per series.  Multivariate: a list
+        of ``dims``-tuples per series (sample-major, bit-exact).
+        """
         if self._series is None:
-            self._series = tuple(
-                self._view[a:b].tolist() for a, b in self._bounds
-            )
+            if self.dims is None:
+                self._series = tuple(
+                    self._view[a:b].tolist() for a, b in self._bounds
+                )
+            else:
+                d = self.dims
+                out = []
+                for a, b in self._bounds:
+                    flat = self._view[a:b].tolist()
+                    out.append([
+                        tuple(flat[i:i + d])
+                        for i in range(0, len(flat), d)
+                    ])
+                self._series = tuple(out)
         return self._series
 
     def arrays(self):
@@ -235,12 +337,17 @@ class AttachedDataset:
 
         Requires NumPy; raises ``ImportError`` otherwise.  The views
         alias the shared segment -- treat them as read-only.
+        Multivariate series come back as ``(length, dims)`` views.
         """
         import numpy as np
 
-        base = np.frombuffer(self._shm.buf, dtype=np.float64,
-                             count=sum(self.lengths))
-        return tuple(base[a:b] for a, b in self._bounds)
+        count = sum(self.lengths) * (1 if self.dims is None else self.dims)
+        base = np.frombuffer(self._shm.buf, dtype=np.float64, count=count)
+        if self.dims is None:
+            return tuple(base[a:b] for a, b in self._bounds)
+        return tuple(
+            base[a:b].reshape(-1, self.dims) for a, b in self._bounds
+        )
 
     def close(self) -> None:
         """Release the local mapping (never unlinks -- parent owns)."""
@@ -270,6 +377,7 @@ class InlineDataset:
                  fingerprint: str):
         self.fingerprint = fingerprint
         self.lengths = tuple(len(s) for s in series)
+        self.dims = dataset_dims(series)
         self._series = tuple(list(s) for s in series)
 
     def series(self) -> Tuple[List[float], ...]:

@@ -35,6 +35,7 @@ from ..runtime import Runtime, _resolve_legacy
 from ..search.nn_search import nearest_neighbor
 
 _FASTDTW_MEASURES = ("fastdtw", "fastdtw_reference")
+_BANDED_MEASURES = ("cdtw", "rle_cdtw", "cdtw_d", "cdtw_i")
 
 
 @dataclass(frozen=True)
@@ -73,7 +74,7 @@ class DistanceSpec:
             )
         if self.backend is not None:
             Runtime(backend=self.backend)  # validates the name
-        if self.measure in ("cdtw", "rle_cdtw"):
+        if self.measure in _BANDED_MEASURES:
             if self.window is None or not 0.0 <= self.window <= 1.0:
                 raise ValueError(
                     f"{self.measure} needs window= in [0, 1]"
@@ -81,7 +82,7 @@ class DistanceSpec:
         elif self.window is not None:
             raise ValueError(
                 "window= only applies to the banded measures "
-                "('cdtw', 'rle_cdtw')"
+                f"{_BANDED_MEASURES}"
             )
         if self.measure in _FASTDTW_MEASURES:
             if self.radius is None or self.radius < 0:
@@ -103,6 +104,14 @@ class DistanceSpec:
             return "RLE-DTW"
         if self.measure == "rle_cdtw":
             return f"RLE-cDTW_{round(self.window * 100)}"
+        if self.measure == "dtw_d":
+            return "DTW-D"
+        if self.measure == "dtw_i":
+            return "DTW-I"
+        if self.measure == "cdtw_d":
+            return f"cDTW-D_{round(self.window * 100)}"
+        if self.measure == "cdtw_i":
+            return f"cDTW-I_{round(self.window * 100)}"
         if self.measure == "fastdtw_reference":
             return f"FastDTW-ref_{self.radius}"
         return f"FastDTW_{self.radius}"
@@ -156,10 +165,10 @@ class OneNearestNeighbor:
             executor=executor,
         )
         if index is not None and not (
-            spec.measure == "cdtw" and spec.use_lower_bounds
+            spec.measure in ("cdtw", "cdtw_d") and spec.use_lower_bounds
         ):
             raise ValueError(
-                "index= requires measure='cdtw' with "
+                "index= requires measure='cdtw' (or 'cdtw_d') with "
                 "use_lower_bounds=True (the index serves the "
                 "lower-bound cascade)"
             )
@@ -250,7 +259,8 @@ class OneNearestNeighbor:
 
     def _use_batch_engine(self) -> bool:
         return self.runtime.parallel and not (
-            self.spec.measure == "cdtw" and self.spec.use_lower_bounds
+            self.spec.measure in ("cdtw", "cdtw_d")
+            and self.spec.use_lower_bounds
         )
 
     def _nearest_indexed(self, query, exclude):
@@ -266,10 +276,15 @@ class OneNearestNeighbor:
         if len(self._train) < 2 and exclude is not None:
             raise ValueError("no training candidates after exclusion")
         query_index = None
-        if exclude is not None and [
-            float(v) for v in query
-        ] == list(self._index.series[exclude]):
-            query_index = exclude
+        if exclude is not None:
+            # index rows are flat sample-major floats; flatten a
+            # multivariate query the same way before comparing
+            if query and hasattr(query[0], "__len__"):
+                probe = [float(c) for v in query for c in v]
+            else:
+                probe = [float(v) for v in query]
+            if probe == list(self._index.series[exclude]):
+                query_index = exclude
         hit = self._searcher.nearest(
             query, exclude=exclude, query_index=query_index,
         )
@@ -421,7 +436,7 @@ def _spec_kwargs(spec: DistanceSpec) -> dict:
     set, was folded in at construction).
     """
     kwargs: dict = {"measure": spec.measure}
-    if spec.measure in ("cdtw", "rle_cdtw"):
+    if spec.measure in _BANDED_MEASURES:
         kwargs["window"] = spec.window
     if spec.measure in _FASTDTW_MEASURES:
         kwargs["radius"] = spec.radius
@@ -436,11 +451,12 @@ def _kernel_fn(spec: DistanceSpec, rt: Runtime):
     registry existed; only the exact DP measures on a non-python
     backend divert through :func:`repro.core.measures.measure_fn`.
     """
-    from ..core.measures import RLE_MEASURES
+    from ..core.measures import ND_MEASURES, RLE_MEASURES
 
-    if spec.measure in RLE_MEASURES:
-        # always dispatched through the registry: the compressed-domain
-        # DP has no reference twin among the serial branches below
+    if spec.measure in RLE_MEASURES or spec.measure in ND_MEASURES:
+        # always dispatched through the registry: neither the
+        # compressed-domain DP nor the multivariate measures have a
+        # reference twin among the serial branches below
         from ..core.measures import measure_fn
 
         rt = rt.with_backend(spec.backend)
@@ -489,7 +505,7 @@ def _nearest_batched(spec: DistanceSpec, query, candidates, rt: Runtime):
 
 def _nearest_impl(spec: DistanceSpec, query, candidates, rt: Runtime):
     """Index, distance and DP cells of the nearest candidate."""
-    if spec.measure == "cdtw" and spec.use_lower_bounds:
+    if spec.measure in ("cdtw", "cdtw_d") and spec.use_lower_bounds:
         res = nearest_neighbor(
             query, candidates, strategy="cdtw+lb", window=spec.window,
             runtime=rt.with_backend(spec.backend),

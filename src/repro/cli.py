@@ -106,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="benchmark the persistent BatchExecutor "
                               "warm-vs-cold instead of the backends "
                               "(default output BENCH_batch.json)")
+    kernels.add_argument("--nd", action="store_true",
+                         help="benchmark the multivariate (DTW_D) "
+                              "kernels instead of the scalar ones "
+                              "(default output BENCH_multivariate.json)")
+    kernels.add_argument("--dims", type=int, default=3,
+                         help="channel count for --nd (default 3)")
     kernels.add_argument("--min-warm-speedup", type=float, default=None,
                          help="with --warm: fail (exit 1) if warm "
                               "python_workers speedup over serial is "
@@ -378,8 +384,13 @@ def cmd_kernels(args) -> int:
         format_executor_report,
         format_report,
         kernel_benchmark,
+        multivariate_benchmark,
     )
 
+    if args.warm and args.nd:
+        print("error: --warm and --nd are mutually exclusive",
+              file=sys.stderr)
+        return 2
     if args.smoke:
         count = args.count if args.count is not None else SMOKE_COUNT
         length = args.length if args.length is not None else SMOKE_LENGTH
@@ -392,10 +403,17 @@ def cmd_kernels(args) -> int:
     out = args.out
     if out is None:
         out = "BENCH_batch.json" if args.warm else "BENCH_kernels.json"
+    extra = {}
+    if args.nd:
+        bench = multivariate_benchmark
+        extra["dims"] = args.dims
+        if args.out is None:
+            out = "BENCH_multivariate.json"
     try:
         report = bench(
             length=length, count=count, window=args.window,
             workers=args.workers, repeats=repeats, seed=args.seed,
+            **extra,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -12,7 +12,7 @@ from typing import Optional, Sequence
 
 from .cost import CostLike
 from .engine import DtwResult, dp_over_window
-from .validate import validate_pair
+from .validate import ensure_univariate_pair, validate_pair
 from .window import Window
 
 
@@ -50,6 +50,7 @@ def dtw(
     0.0
     """
     validate_pair(x, y)
+    ensure_univariate_pair(x, y, "dtw()")
     window = Window.full(len(x), len(y))
     return dp_over_window(
         x, y, window, cost=cost, return_path=return_path,

@@ -44,6 +44,12 @@ def euclidean(
         )
     if not len(x):
         raise ValueError("cannot compare empty series")
+    if isinstance(x[0], (tuple, list)) or isinstance(y[0], (tuple, list)):
+        raise ValueError(
+            "euclidean() is a univariate measure but the input is "
+            "multivariate (shaped (length, dims)); use cdtw_d with "
+            "band=0 or sum per-channel euclidean distances instead"
+        )
     if cost == "squared":
         total = 0.0
         if abandon_above is None:

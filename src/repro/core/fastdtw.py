@@ -33,7 +33,7 @@ from .dtw import dtw
 from .engine import DtwResult, dp_over_window
 from .paa import halve
 from .path import WarpingPath
-from .validate import validate_pair
+from .validate import ensure_univariate_pair, validate_pair
 from .window import Window
 
 
@@ -78,6 +78,7 @@ class FastDtwResult:
     cost: str
     radius: int
     levels: Optional[Tuple[FastDtwLevel, ...]] = None
+    abandoned: bool = False
 
     def root(self) -> float:
         """``sqrt(distance)``, matching :meth:`DtwResult.root`."""
@@ -92,6 +93,7 @@ def fastdtw(
     radius: int = 1,
     cost: CostLike = "squared",
     keep_levels: bool = False,
+    abandon_above: Optional[float] = None,
 ) -> FastDtwResult:
     """Approximate DTW distance via Salvador & Chan's FastDTW.
 
@@ -110,6 +112,12 @@ def fastdtw(
     keep_levels:
         Record a :class:`FastDtwLevel` per recursion level (coarsest
         first) for post-hoc analysis.
+    abandon_above:
+        Early-abandon the final refinement DP (the one that produces
+        the returned distance) once every cell of a row exceeds this
+        threshold; coarser levels still run in full (their paths seed
+        the refinement window).  An abandoned result has
+        ``distance=inf``, no path and ``abandoned=True``.
 
     Returns
     -------
@@ -120,11 +128,12 @@ def fastdtw(
     if radius < 0:
         raise ValueError("radius must be non-negative")
     validate_pair(x, y)
+    ensure_univariate_pair(x, y, "fastdtw()")
     trace: Optional[List[FastDtwLevel]] = [] if keep_levels else None
     _obs.incr("fastdtw.calls")
     with _obs.span("fastdtw"):
         result, total_cells = _fastdtw_rec(
-            list(x), list(y), radius, cost, trace
+            list(x), list(y), radius, cost, trace, abandon_above
         )
     return FastDtwResult(
         distance=result.distance,
@@ -133,6 +142,7 @@ def fastdtw(
         cost=cost_name(cost),
         radius=radius,
         levels=tuple(trace) if trace is not None else None,
+        abandoned=result.abandoned,
     )
 
 
@@ -142,13 +152,20 @@ def _fastdtw_rec(
     radius: int,
     cost: CostLike,
     trace: Optional[List[FastDtwLevel]],
+    abandon_above: Optional[float] = None,
 ) -> Tuple[DtwResult, int]:
+    # ``abandon_above`` applies only to this level's final DP; the
+    # recursive call omits it because the coarse path must be complete
+    # to seed the refinement window
     n, m = len(x), len(y)
     min_size = radius + 2
     _obs.incr("fastdtw.levels")
 
     if n <= min_size or m <= min_size:
-        base = dtw(x, y, cost=cost, return_path=True)
+        base = dtw(
+            x, y, cost=cost, return_path=True,
+            abandon_above=abandon_above,
+        )
         if trace is not None:
             trace.append(
                 FastDtwLevel(n, m, base.cells, base.path, base.distance)
@@ -160,7 +177,10 @@ def _fastdtw_rec(
     coarse, coarse_cells = _fastdtw_rec(sx, sy, radius, cost, trace)
     with _obs.span("window"):
         window = Window.expand_path(coarse.path, n, m, radius)
-    refined = dp_over_window(x, y, window, cost=cost, return_path=True)
+    refined = dp_over_window(
+        x, y, window, cost=cost, return_path=True,
+        abandon_above=abandon_above,
+    )
     if trace is not None:
         trace.append(
             FastDtwLevel(n, m, refined.cells, refined.path, refined.distance)

@@ -110,6 +110,28 @@ class KernelSet:
         (values and abandon decisions).  ``keogh`` optionally supplies
         the full first-pass bounds so a cascade can reuse its
         forward-Keogh stage.
+    dtw_nd:
+        ``dtw_nd(x, y, window, cost="squared", return_path=False,
+        abandon_above=None) -> DtwResult`` -- the windowed *dependent*
+        multivariate DP over ``(length, dims)`` series, bit-identical
+        to :func:`repro.core.engine.dp_over_window` with the resolved
+        vector cost of :mod:`repro.core.multivariate` (channels
+        accumulate sequentially per lattice cell).
+    dtw_nd_chunk:
+        ``dtw_nd_chunk(xs, ys, window, cost="squared", count=None)``
+        -> per-pair dependent distances for one shape-homogeneous
+        ``(chunk, length, dims)`` stack; rows at index ``count`` and
+        beyond are padding and are never read.
+    envelope_nd_chunk:
+        ``envelope_nd_chunk(series, band, count=None)`` ->
+        ``(upper, lower)`` per-channel envelope stacks shaped
+        ``(count, length, dims)``; row ``t`` channel ``k`` is
+        value-identical to ``envelope(series[t][:, k], band)``.
+    lb_keogh_nd_chunk:
+        ``lb_keogh_nd_chunk(upper, lower, candidates, squared=True,
+        abandon_above=None, count=None)`` -> per-candidate summed
+        per-channel LB_Keogh bounds, admissible for both ``cdtw_i``
+        and ``cdtw_d`` and bit-identical across backends.
     """
 
     name: str
@@ -124,6 +146,10 @@ class KernelSet:
     lb_keogh_chunk: Callable
     lb_improved_chunk: Callable
     rle_block: Callable
+    dtw_nd: Callable
+    dtw_nd_chunk: Callable
+    envelope_nd_chunk: Callable
+    lb_keogh_nd_chunk: Callable
 
 
 def _build_python() -> KernelSet:
@@ -219,6 +245,74 @@ def _build_python() -> KernelSet:
             out.append(total)
         return out
 
+    def dtw_nd_one(x, y, window, cost="squared", return_path=False,
+                   abandon_above=None):
+        from .multivariate import _resolve_vector_cost
+
+        return dp_over_window(
+            x, y, window, cost=_resolve_vector_cost(cost),
+            return_path=return_path, abandon_above=abandon_above,
+        )
+
+    def dtw_nd_chunk_each(xs, ys, window, cost="squared", count=None):
+        from .multivariate import _resolve_vector_cost
+
+        vcost = _resolve_vector_cost(cost)
+        xr, yr = _real_rows(xs, count), _real_rows(ys, count)
+        return [
+            float(dp_over_window(x, y, window, cost=vcost).distance)
+            for x, y in zip(xr, yr)
+        ]
+
+    def envelope_nd_chunk_each(series, band, count=None):
+        uppers, lowers = [], []
+        for s in _real_rows(series, count):
+            dims = len(s[0])
+            envs = [
+                envelope([float(v[k]) for v in s], band)
+                for k in range(dims)
+            ]
+            uppers.append(
+                [tuple(e.upper[i] for e in envs) for i in range(len(s))]
+            )
+            lowers.append(
+                [tuple(e.lower[i] for e in envs) for i in range(len(s))]
+            )
+        return uppers, lowers
+
+    def lb_keogh_nd_chunk_each(upper, lower, candidates, squared=True,
+                               abandon_above=None, count=None):
+        from ..lowerbounds.lb_keogh import _gap_cost
+
+        rows = _real_rows(candidates, count)
+        # a (length, dims) envelope (first sample's first component is
+        # a scalar) is shared by every candidate; otherwise it is a
+        # per-row (chunk, length, dims) stack
+        shared = (
+            len(upper) > 0 and not hasattr(upper[0][0], "__len__")
+        )
+        out = []
+        for t, cand in enumerate(rows):
+            up = upper if shared else upper[t]
+            lo = lower if shared else lower[t]
+            if len(cand) != len(up):
+                raise ValueError(
+                    f"candidate length {len(cand)} != envelope length "
+                    f"{len(up)}"
+                )
+            total = 0.0
+            for k in range(len(cand[0])):
+                channel = 0.0
+                for i, v in enumerate(cand):
+                    channel += _gap_cost(
+                        v[k], lo[i][k], up[i][k], squared
+                    )
+                total += channel
+            if abandon_above is not None and total > abandon_above:
+                total = float("inf")
+            out.append(total)
+        return out
+
     return KernelSet(
         name="python",
         dtw=dp_over_window,
@@ -232,6 +326,10 @@ def _build_python() -> KernelSet:
         lb_keogh_chunk=lb_keogh_chunk_each,
         lb_improved_chunk=lb_improved_chunk_each,
         rle_block=rle_block_python,
+        dtw_nd=dtw_nd_one,
+        dtw_nd_chunk=dtw_nd_chunk_each,
+        envelope_nd_chunk=envelope_nd_chunk_each,
+        lb_keogh_nd_chunk=lb_keogh_nd_chunk_each,
     )
 
 
@@ -271,6 +369,33 @@ def _build_numpy() -> KernelSet:
         _obs.incr("dp.cells", window.cell_count() * len(distances))
         return distances
 
+    def dtw_nd(x, y, window, cost="squared", return_path=False,
+               abandon_above=None):
+        # same observability mirror as the scalar ``dtw`` wrapper
+        trace = _obs._ACTIVE
+        if trace is None:
+            return nb.dtw_nd_numpy(
+                x, y, window=window, cost=cost, return_path=return_path,
+                abandon_above=abandon_above,
+            )
+        with _obs.span("dp"):
+            result = nb.dtw_nd_numpy(
+                x, y, window=window, cost=cost, return_path=return_path,
+                abandon_above=abandon_above,
+            )
+        _obs.record_dp(trace, result)
+        return result
+
+    def dtw_nd_chunk(xs, ys, window, cost="squared", count=None):
+        # same counter-parity accounting as the scalar ``dtw_chunk``
+        with _obs.span("dp"):
+            distances = nb.dtw_nd_chunk(
+                xs, ys, window, cost=cost, count=count
+            )
+        _obs.incr("dp.calls", len(distances))
+        _obs.incr("dp.cells", window.cell_count() * len(distances))
+        return distances
+
     return KernelSet(
         name="numpy",
         dtw=dtw,
@@ -284,6 +409,10 @@ def _build_numpy() -> KernelSet:
         lb_keogh_chunk=nb.lb_keogh_chunk,
         lb_improved_chunk=nb.lb_improved_chunk,
         rle_block=rle_block_numpy,
+        dtw_nd=dtw_nd,
+        dtw_nd_chunk=dtw_nd_chunk,
+        envelope_nd_chunk=nb.envelope_nd_chunk,
+        lb_keogh_nd_chunk=nb.lb_keogh_nd_chunk,
     )
 
 

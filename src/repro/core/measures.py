@@ -25,16 +25,28 @@ from .fastdtw_reference import fastdtw_reference
 MEASURES = (
     "dtw", "cdtw", "fastdtw", "fastdtw_reference", "euclidean",
     "rle_dtw", "rle_cdtw",
+    "dtw_d", "cdtw_d", "dtw_i", "cdtw_i",
 )
 
 #: Measures whose results carry DP-cell provenance (Euclidean is O(n),
 #: no lattice, and always reports zero cells).
 CELL_COUNTED_MEASURES = (
     "dtw", "cdtw", "fastdtw", "fastdtw_reference", "rle_dtw", "rle_cdtw",
+    "dtw_d", "cdtw_d", "dtw_i", "cdtw_i",
 )
 
 #: The compressed-domain exact measures (run-length encoded input).
 RLE_MEASURES = ("rle_dtw", "rle_cdtw")
+
+#: The multivariate measures: input series are shaped ``(length,
+#: dims)`` (every sample an equal-length vector).  ``_d`` is dependent
+#: DTW (one DP, per-sample squared-Euclidean local cost); ``_i`` is
+#: independent DTW (per-channel scalar DTWs summed, so
+#: ``DTW_I <= DTW_D`` for the squared cost).
+ND_MEASURES = ("dtw_d", "cdtw_d", "dtw_i", "cdtw_i")
+
+#: The nd measures that take a band (exactly one of window=/band=).
+ND_BANDED_MEASURES = ("cdtw_d", "cdtw_i")
 
 PairwiseFn = Callable[[Sequence[float], Sequence[float]], object]
 
@@ -102,6 +114,10 @@ def measure_fn(
             x, y, window=window, band=band, cost=cost,
             return_path=return_path, backend=resolved,
         )
+    if measure in ND_MEASURES:
+        return _nd_measure_fn(
+            measure, resolved, window, band, cost, return_path
+        )
     if resolved != "python" and measure in ("dtw", "cdtw"):
         return _kernel_measure_fn(
             measure, resolved, window, band, cost, return_path
@@ -168,6 +184,96 @@ def _kernel_measure_fn(
     return banded_fn
 
 
+def _nd_measure_fn(
+    measure: str,
+    backend: str,
+    window: Optional[float],
+    band: Optional[int],
+    cost: CostLike,
+    return_path: bool,
+) -> PairwiseFn:
+    """The multivariate measure callable for one backend.
+
+    The dependent measures (``dtw_d``/``cdtw_d``) run one DP with the
+    per-sample vector cost: the pure engine via
+    :mod:`repro.core.multivariate` on the ``"python"`` backend, the
+    backend's stacked ``dtw_nd`` kernel otherwise (bit-identical by
+    the nd kernel-parity contract).  The independent measures
+    (``dtw_i``/``cdtw_i``) are per-channel *scalar* DTWs summed in
+    channel order, so they dispatch each channel through the backend's
+    scalar ``dtw`` kernel -- the sum of bit-identical terms is
+    bit-identical.
+    """
+    from .kernels import banded_window, fraction_window, full_window, get_kernels
+    from .multivariate import (
+        _as_vectors,
+        _check_same_dim,
+        cdtw_i,
+        cdtw_nd,
+        dtw_i,
+        dtw_nd,
+        independent_nd,
+    )
+
+    if measure in ND_BANDED_MEASURES:
+        if (window is None) == (band is None):
+            raise ValueError("specify exactly one of window= or band=")
+    elif window is not None or band is not None:
+        raise ValueError(
+            f"measure {measure!r} takes no window=/band= "
+            "(it is unconstrained; use cdtw_d/cdtw_i for banded)"
+        )
+
+    if backend == "python":
+        if measure == "dtw_d":
+            return lambda x, y: dtw_nd(
+                x, y, cost=cost, return_path=return_path
+            )
+        if measure == "cdtw_d":
+            return lambda x, y: cdtw_nd(
+                x, y, window=window, band=band, cost=cost,
+                return_path=return_path,
+            )
+        if measure == "dtw_i":
+            return lambda x, y: dtw_i(
+                x, y, cost=cost, return_path=return_path
+            )
+        return lambda x, y: cdtw_i(
+            x, y, window=window, band=band, cost=cost,
+            return_path=return_path,
+        )
+
+    kernels = get_kernels(backend)
+
+    def _win(n: int, m: int):
+        if measure in ("dtw_d", "dtw_i"):
+            return full_window(n, m)
+        if window is not None:
+            return fraction_window(n, m, window)
+        return banded_window(n, m, band)
+
+    if measure in ("dtw_d", "cdtw_d"):
+        def dependent_fn(x, y):
+            vx = _as_vectors(x, "series x")
+            vy = _as_vectors(y, "series y")
+            _check_same_dim(vx, vy)
+            return kernels.dtw_nd(
+                vx, vy, _win(len(vx), len(vy)), cost=cost,
+                return_path=return_path,
+            )
+        return dependent_fn
+
+    def channel(cx, cy, ab):
+        return kernels.dtw(
+            cx, cy, _win(len(cx), len(cy)), cost=cost,
+            return_path=return_path, abandon_above=ab,
+        )
+
+    return lambda x, y: independent_nd(
+        x, y, channel, cost=cost, return_path=return_path
+    )
+
+
 def pair_cost_model(
     measure: str,
     lengths: Sequence[int],
@@ -175,6 +281,7 @@ def pair_cost_model(
     band: Optional[int] = None,
     radius: int = 1,
     run_counts: Optional[Sequence[int]] = None,
+    dims: int = 1,
 ) -> Callable[[int, int], int]:
     """Per-pair predicted DP-cell cost function for one measure spec.
 
@@ -194,7 +301,13 @@ def pair_cost_model(
     * ``euclidean`` -- ``min(n, m)`` (one cell-equivalent per sample);
     * ``rle_dtw``/``rle_cdtw`` -- ``k*m + l*n`` with ``k``/``l`` the
       run counts from ``run_counts`` (required for these measures;
-      the exact boundary-cell count of the block DP).
+      the exact boundary-cell count of the block DP);
+    * ``dtw_d``/``dtw_i`` -- ``dims * n * m`` and ``cdtw_d``/
+      ``cdtw_i`` -- ``dims *`` :func:`~repro.core.cdtw.band_cells`
+      (the dependent DP does ``dims`` subtractions per lattice cell;
+      the independent measures run ``dims`` scalar DPs over the same
+      geometry -- the same total either way).  ``dims`` must be the
+      dataset's sample dimensionality for these measures.
 
     Costs are memoized per shape, so planning a large batch over
     equal-length series prices each shape once.
@@ -205,6 +318,8 @@ def pair_cost_model(
             f"measure {measure!r} needs run_counts= to be priced "
             "(the k*m + l*n cost model)"
         )
+    if dims < 1:
+        raise ValueError(f"dims must be >= 1, got {dims}")
     cache: dict = {}
 
     def cost(i: int, j: int) -> int:
@@ -228,6 +343,12 @@ def pair_cost_model(
             elif measure in RLE_MEASURES:
                 k, l = run_counts[i], run_counts[j]
                 cells = k * m + l * n
+            elif measure in ("dtw_d", "dtw_i"):
+                cells = dims * n * m
+            elif measure in ND_BANDED_MEASURES:
+                from .cdtw import band_cells
+
+                cells = dims * band_cells(n, m, window=window, band=band)
             else:  # euclidean: linear, no lattice
                 cells = min(n, m)
             cells = max(1, cells)

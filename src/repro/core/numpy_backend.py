@@ -61,6 +61,10 @@ __all__ = [
     "dtw_numpy",
     "dtw_numpy_batch",
     "dtw_chunk",
+    "dtw_nd_numpy",
+    "dtw_nd_chunk",
+    "envelope_nd_chunk",
+    "lb_keogh_nd_chunk",
     "pairwise_matrix_numpy",
     "envelope_numpy",
     "envelope_chunk",
@@ -180,8 +184,11 @@ def _antidiag_block(X, Y, n, m, istart, iend, I, J, named) -> np.ndarray:
         np.multiply(LS, LS, out=LS)
     else:
         np.abs(LS, out=LS)
+    return _antidiag_sweep(LS, n, m, istart, iend)
 
-    p = X.shape[0]
+
+def _antidiag_sweep(LS, n, m, istart, iend) -> np.ndarray:
+    p = LS.shape[0]
     starts = istart.tolist()
     ends = iend.tolist()
     # three rotating wavefront buffers over absolute row indices with a
@@ -322,7 +329,34 @@ def dtw_numpy(
 
     wmax = max(hi - lo + 1 for lo, hi in ranges)
     L = _local_cost_matrix(xa, ya, ranges, wmax, named)
+    abandoned, cells, rows, bufp = _row_sweep(
+        L, ranges, m, return_path, abandon_above, suffix_bound
+    )
 
+    if abandoned:
+        return DtwResult(inf, None, cells, cost_name(cost), abandoned=True)
+    distance = float(bufp[m])
+    path = _backtrack(rows, ranges) if return_path else None
+    return DtwResult(distance, path, cells, cost_name(cost))
+
+
+def _row_sweep(
+    L: np.ndarray,
+    ranges,
+    m: int,
+    return_path: bool,
+    abandon_above: Optional[float],
+    suffix_bound: Optional[Sequence[float]],
+) -> Tuple[bool, int, List[np.ndarray], np.ndarray]:
+    """The row-major DP over a rectangularised local-cost matrix.
+
+    Shared by the scalar and multivariate row-sweep paths (only the
+    local-cost computation differs between them).  Returns
+    ``(abandoned, cells, rows, final_buf)``; on completion the final
+    row's value for column ``m - 1`` sits at ``final_buf[m]`` (one
+    guard slot on the left).
+    """
+    n = len(ranges)
     # Ping-pong row buffers over absolute columns, with one guard slot
     # on the left: buffer index j+1 holds column j, index 0 stays inf.
     bufp = np.full(m + 2, _INF)
@@ -339,7 +373,6 @@ def dtw_numpy(
     cells += w0
     prev_write = (lo0, hi0)
     stale = (lo0, hi0)  # extent currently sitting in bufc
-    i_stop = 0
 
     if abandon_above is not None:
         floor = acc.min()
@@ -363,7 +396,6 @@ def dtw_numpy(
             np.minimum(bufp[lo:hi + 1], bufp[lo + 1:hi + 2], out=acc)
             acc += Lrow
             _relax_row(acc, Lrow)
-            i_stop = i
             if abandon_above is not None:
                 floor = acc.min()
                 if suffix_bound is not None:
@@ -376,13 +408,7 @@ def dtw_numpy(
             stale = prev_write
             prev_write = (lo, hi)
             bufp, bufc = bufc, bufp
-
-    from .cost import cost_name
-    if abandoned:
-        return DtwResult(inf, None, cells, cost_name(cost), abandoned=True)
-    distance = float(bufp[m])
-    path = _backtrack(rows, ranges) if return_path else None
-    return DtwResult(distance, path, cells, cost_name(cost))
+    return abandoned, cells, rows, bufp
 
 
 def dtw_numpy_batch(
@@ -943,6 +969,343 @@ def lb_kim_batch(
             d(q[-2], C[:, -2]),
         )
     return bound
+
+
+# -- multivariate (nd) kernels -------------------------------------------
+#
+# A multivariate series is shaped ``(length, dims)``.  The dependent
+# DP's local cost is the per-sample squared-Euclidean (or L1) distance,
+# accumulated **per channel in channel order** -- a strict left fold
+# from 0.0, exactly like :func:`repro.core.multivariate.vector_squared_cost`
+# -- so every lattice value (and hence every distance, cell count, path
+# and abandon decision) is bit-identical to the pure engine.  A
+# ``np.sum(..., axis=-1)`` over channels would NOT be: NumPy's pairwise
+# reduction reassociates the additions.
+
+
+def _as_series_nd(x, name: str) -> np.ndarray:
+    arr = np.ascontiguousarray(x, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise ValueError(
+            f"{name} must be a non-empty multivariate series shaped "
+            "(length, dims)"
+        )
+    if not np.isfinite(arr).all():
+        i, k = np.argwhere(~np.isfinite(arr))[0]
+        raise ValueError(
+            f"series {name}: sample {i} component {k} is not finite "
+            f"({arr[i, k]!r})"
+        )
+    return arr
+
+
+def _nd_result_cost(named: str) -> str:
+    # the pure engine names nd results after the resolved vector-cost
+    # callable; mirror it so result objects match field for field
+    return "vector_squared_cost" if named == "squared" else "vector_abs_cost"
+
+
+def _local_cost_matrix_nd(X: np.ndarray, Y: np.ndarray, ranges,
+                          wmax: int, named: str) -> np.ndarray:
+    """Rectangularised per-cell vector costs for the nd row sweep.
+
+    ``L[i, k]`` is the vector cost of cell ``(i, lo_i + k)``; channels
+    accumulate sequentially from 0.0 (the left-fold identity), never
+    via a pairwise reduction.
+    """
+    n, m = X.shape[0], Y.shape[0]
+    lo = np.fromiter((r[0] for r in ranges), dtype=np.int64, count=n)
+    cols = lo[:, None] + np.arange(wmax, dtype=np.int64)[None, :]
+    np.minimum(cols, m - 1, out=cols)
+    L = np.zeros((n, wmax), dtype=np.float64)
+    for k in range(X.shape[1]):
+        D = X[:, k][:, None] - Y[cols, k]
+        if named == "squared":
+            np.multiply(D, D, out=D)
+        else:
+            np.abs(D, out=D)
+        L += D
+    return L
+
+
+def _antidiag_block_nd(X, Y, n, m, istart, iend, I, J, named) -> np.ndarray:
+    # per-channel sequential accumulation of the skewed local costs;
+    # the wavefront sweep itself is channel-agnostic
+    p = X.shape[0]
+    LS = np.zeros((p,) + I.shape, dtype=np.float64)
+    for k in range(X.shape[2]):
+        D = X[:, :, k][:, I] - Y[:, :, k][:, J]
+        if named == "squared":
+            np.multiply(D, D, out=D)
+        else:
+            np.abs(D, out=D)
+        LS += D
+    return _antidiag_sweep(LS, n, m, istart, iend)
+
+
+def _dtw_antidiag_nd(X: np.ndarray, Y: np.ndarray, window: Window,
+                     named: str) -> np.ndarray:
+    """Distances for a ``(p, n, dims) x (p, m, dims)`` pair stack by
+    wavefront sweep, bit-identical to the pure engine with the vector
+    cost."""
+    p, dims = X.shape[0], X.shape[2]
+    n, m = window.n, window.m
+    istart, iend, I, J = _antidiag_layout(window)
+    out = np.empty(p, dtype=np.float64)
+    block = max(1, _BLOCK_BUDGET_CELLS // (I.size * dims))
+    for start in range(0, p, block):
+        sl = slice(start, min(start + block, p))
+        out[sl] = _antidiag_block_nd(X[sl], Y[sl], n, m, istart, iend,
+                                     I, J, named)
+    return out
+
+
+def dtw_nd_numpy(
+    x,
+    y,
+    window: Optional[Window] = None,
+    band: Optional[int] = None,
+    cost: CostLike = "squared",
+    return_path: bool = False,
+    abandon_above: Optional[float] = None,
+) -> DtwResult:
+    """NumPy windowed dependent DTW over ``(length, dims)`` series.
+
+    Bit-identical (distance, ``cells``, path, abandon decisions, and
+    the result's ``cost`` name) to
+    :func:`repro.core.engine.dp_over_window` with the resolved vector
+    cost of :mod:`repro.core.multivariate` -- the contract
+    ``tests/core/test_nd_kernels.py`` fuzzes.  Parameters mirror
+    :func:`dtw_numpy`; ``cost`` names the per-channel local cost
+    (``"squared"`` -> per-sample squared Euclidean, ``"abs"`` -> L1).
+    """
+    named = _require_named_cost(cost)
+    xa = _as_series_nd(x, "x")
+    ya = _as_series_nd(y, "y")
+    if xa.shape[1] != ya.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: {xa.shape[1]} vs {ya.shape[1]}"
+        )
+    n, m = xa.shape[0], ya.shape[0]
+    win = _resolve_window(n, m, window, band)
+    if (n, m) != (win.n, win.m):
+        raise ValueError(
+            f"window is {win.n}x{win.m} but series are {n}x{m}"
+        )
+    ranges = win.ranges
+    if ranges[0][0] != 0:
+        raise ValueError(
+            f"window row 0 starts at column {ranges[0][0]}, excluding "
+            "the mandatory path start (0, 0)"
+        )
+
+    name = _nd_result_cost(named)
+    if abandon_above is None and not return_path:
+        dist = _dtw_antidiag_nd(xa[None], ya[None], win, named)
+        cells = sum(hi - lo + 1 for lo, hi in ranges)
+        return DtwResult(float(dist[0]), None, cells, name)
+
+    wmax = max(hi - lo + 1 for lo, hi in ranges)
+    L = _local_cost_matrix_nd(xa, ya, ranges, wmax, named)
+    abandoned, cells, rows, bufp = _row_sweep(
+        L, ranges, m, return_path, abandon_above, None
+    )
+    if abandoned:
+        return DtwResult(inf, None, cells, name, abandoned=True)
+    distance = float(bufp[m])
+    path = _backtrack(rows, ranges) if return_path else None
+    return DtwResult(distance, path, cells, name)
+
+
+def dtw_nd_chunk(
+    xs,
+    ys,
+    window: Window,
+    cost: CostLike = "squared",
+    count: Optional[int] = None,
+) -> np.ndarray:
+    """Dependent-DTW distances for one shape-homogeneous nd chunk.
+
+    The multivariate face of :func:`dtw_chunk`: pairs arrive stacked
+    as ``(chunk, n, dims)`` / ``(chunk, m, dims)`` arrays and every
+    pair advances through the anti-diagonal wavefront together.  The
+    ``count=`` padding contract is identical -- rows at index
+    ``count`` and beyond are **never read** and may hold NaN/inf
+    garbage; real rows are sliced off before any arithmetic or
+    validation.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(count,)`` distances; entry ``t`` is bit-identical to
+        ``dtw_nd_numpy(xs[t], ys[t], window=window, cost=cost)`` (and
+        hence to the pure engine with the vector cost).
+    """
+    named = _require_named_cost(cost)
+    X = np.ascontiguousarray(xs, dtype=np.float64)
+    Y = np.ascontiguousarray(ys, dtype=np.float64)
+    if X.ndim != 3 or Y.ndim != 3 or X.shape[0] != Y.shape[0]:
+        raise ValueError(
+            "xs and ys must be 3-D (chunk, length, dims) stacks with "
+            "matching pair counts"
+        )
+    if X.shape[2] != Y.shape[2]:
+        raise ValueError(
+            f"dimension mismatch: {X.shape[2]} vs {Y.shape[2]}"
+        )
+    rows = _chunk_rows(X.shape[0], count)
+    # slice the real rows *before* any arithmetic or checks: padding
+    # must be unable to affect results, warnings or validation
+    X, Y = X[:rows], Y[:rows]
+    n, m = X.shape[1], Y.shape[1]
+    if (n, m) != (window.n, window.m):
+        raise ValueError(
+            f"window is {window.n}x{window.m} but series are {n}x{m}"
+        )
+    if window.ranges[0][0] != 0:
+        raise ValueError(
+            f"window row 0 starts at column {window.ranges[0][0]}, "
+            "excluding the mandatory path start (0, 0)"
+        )
+    if rows == 0:
+        return np.empty(0, dtype=np.float64)
+    for name, A in (("xs", X), ("ys", Y)):
+        if not np.isfinite(A).all():
+            t, i, k = np.argwhere(~np.isfinite(A))[0]
+            raise ValueError(
+                f"chunk {name} row {t}: sample {i} component {k} is "
+                f"not finite ({A[t, i, k]!r})"
+            )
+    return _dtw_antidiag_nd(X, Y, window, named)
+
+
+def envelope_nd_chunk(
+    series,
+    band: int,
+    count: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-channel Lemire envelopes for a stacked nd chunk.
+
+    Each channel's envelope is computed independently (the
+    multivariate bounds charge gap costs per channel and sum), so row
+    ``t`` channel ``k`` of the output is value-identical to
+    :func:`repro.lowerbounds.envelope.envelope` of
+    ``series[t][:, k]``.
+
+    Parameters
+    ----------
+    series:
+        ``(chunk, n, dims)`` stack (a single ``(n, dims)`` series is
+        promoted to one row).
+    band:
+        Envelope half-width in samples.
+    count:
+        Real leading rows, as in :func:`dtw_chunk`; pad rows are never
+        read.
+
+    Returns
+    -------
+    (numpy.ndarray, numpy.ndarray)
+        ``(upper, lower)`` stacks of shape ``(count, n, dims)`` --
+        sample-major, like the series themselves.
+    """
+    if band < 0:
+        raise ValueError("band must be non-negative")
+    arr = np.ascontiguousarray(series, dtype=np.float64)
+    if arr.ndim == 2:
+        arr = arr[None]
+    if arr.ndim != 3 or arr.shape[1] == 0 or arr.shape[2] == 0:
+        raise ValueError(
+            "series must stack as a non-empty (chunk, length, dims) "
+            "3-D chunk"
+        )
+    rows = _chunk_rows(arr.shape[0], count)
+    arr = arr[:rows]
+    # the sliding extreme runs over the last axis; put length there
+    swapped = np.ascontiguousarray(arr.swapaxes(1, 2))
+    upper = _sliding_extreme(swapped, band, np.maximum, -_INF)
+    lower = _sliding_extreme(swapped, band, np.minimum, _INF)
+    return upper.swapaxes(1, 2), lower.swapaxes(1, 2)
+
+
+def lb_keogh_nd_chunk(
+    upper,
+    lower,
+    candidates,
+    squared: bool = True,
+    abandon_above: Optional[float] = None,
+    count: Optional[int] = None,
+) -> np.ndarray:
+    """Multivariate LB_Keogh over a stacked chunk: per-channel scalar
+    LB_Keogh values summed in channel order.
+
+    The summed bound lower-bounds **both** multivariate measures: it
+    is admissible for ``cdtw_i`` per channel, and
+    ``cdtw_i <= cdtw_d`` (the dependent optimum's shared path is
+    admissible for every channel).  Bit-identical to the pure-python
+    twin: each channel accumulates with ``np.cumsum`` (a strict
+    left-to-right fold) and channels accumulate sequentially from 0.0.
+
+    Parameters
+    ----------
+    upper, lower:
+        Query envelope(s): ``(n, dims)`` arrays shared by every
+        candidate, or ``(chunk, n, dims)`` stacks with one envelope
+        per row (e.g. from :func:`envelope_nd_chunk`).
+    candidates:
+        ``(chunk, n, dims)`` candidate stack (a single series
+        promotes to one row).
+    squared:
+        Squared (default) or absolute per-point gap cost.
+    abandon_above:
+        Bounds exceeding this report ``inf``.  Gap costs are
+        non-negative, so the decision equals the sequential
+        early-abandon's.
+    count:
+        Real leading rows, as in :func:`dtw_chunk`; pad rows (of the
+        candidates *and* of stacked envelopes) are never read.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(count,)`` bounds.
+    """
+    C = np.ascontiguousarray(candidates, dtype=np.float64)
+    if C.ndim == 2:
+        C = C[None]
+    if C.ndim != 3:
+        raise ValueError(
+            "candidates must stack as a (chunk, length, dims) 3-D chunk"
+        )
+    rows = _chunk_rows(C.shape[0], count)
+    C = C[:rows]
+    up = np.asarray(upper, dtype=np.float64)
+    lo = np.asarray(lower, dtype=np.float64)
+    if up.shape != lo.shape:
+        raise ValueError("upper and lower envelopes must match in shape")
+    if up.ndim == 3:
+        up, lo = up[:rows], lo[:rows]
+    elif up.ndim != 2:
+        raise ValueError(
+            "envelopes must be (length, dims) or a (chunk, length, "
+            "dims) stack"
+        )
+    if up.shape[-2:] != C.shape[1:]:
+        raise ValueError(
+            f"candidate shape {C.shape[1:]} != envelope shape "
+            f"{up.shape[-2:]}"
+        )
+    if rows == 0:
+        return np.empty(0, dtype=np.float64)
+    totals = np.zeros(rows, dtype=np.float64)
+    for k in range(C.shape[2]):
+        gaps = _gap_costs(C[..., k], lo[..., k], up[..., k], squared)
+        # cumsum adds strictly left to right; its last column is the
+        # scalar loop's per-channel total, operand for operand
+        totals += np.cumsum(gaps, axis=1)[:, -1]
+    if abandon_above is not None:
+        totals[totals > abandon_above] = _INF
+    return totals
 
 
 def suffix_gap_bounds_numpy(x, y_envelope, squared: bool = True) -> List[float]:

@@ -6,16 +6,70 @@ so the public API rejects non-finite input up front with a pointed
 error instead of propagating NaNs through thousands of DP cells.
 Validation is O(n) against the DP's O(n*w) and is skipped by internal
 recursion (FastDTW validates once at the boundary, not per level).
+
+The contract is dims-aware: a series is either **univariate** (scalar
+samples) or **multivariate** (every sample a same-length vector --
+shape ``(length, dims)``).  :func:`series_dims` classifies a series
+under that contract, :func:`validate_series` enforces it per series
+(mixed scalar/vector samples and ragged sample widths are rejected,
+not just non-finite values), and :func:`validate_pair` additionally
+refuses to compare series of different dimensionality.
 """
 
 from __future__ import annotations
 
 from math import isfinite
-from typing import Sequence
+from typing import Optional, Sequence
+
+
+def series_dims(
+    x: Sequence[float], name: str = "series"
+) -> Optional[int]:
+    """The series' sample dimensionality under the dims contract.
+
+    Returns ``None`` for a univariate series (scalar samples) and
+    ``dims >= 1`` for a multivariate one (every sample a length-
+    ``dims`` vector).  Only the *shape* is checked here; finiteness is
+    :func:`validate_series`'s job.
+
+    Raises
+    ------
+    ValueError
+        Empty series, zero-length samples, ragged sample widths, or a
+        mix of scalar and vector samples -- each named explicitly, so
+        a flat series handed to a multivariate consumer (or vice
+        versa) fails with the expected ``(length, dims)`` shape in the
+        message instead of an opaque ``TypeError``.
+    """
+    if len(x) == 0:
+        raise ValueError(f"{name} is empty")
+    first_vector = isinstance(x[0], (tuple, list))
+    dims = len(x[0]) if first_vector else None
+    if first_vector and dims == 0:
+        raise ValueError(
+            f"{name}: sample 0 is zero-dimensional; multivariate "
+            "series must be shaped (length, dims) with dims >= 1"
+        )
+    for i, v in enumerate(x):
+        if isinstance(v, (tuple, list)) != first_vector:
+            raise ValueError(
+                f"{name}: sample {i} is "
+                f"{'a vector' if not first_vector else 'a scalar'} but "
+                f"sample 0 is {'a vector' if first_vector else 'a scalar'}; "
+                "a series must be all-scalar (univariate) or shaped "
+                "(length, dims) with equal-length sample vectors"
+            )
+        if first_vector and len(v) != dims:
+            raise ValueError(
+                f"{name}: inconsistent dimensionality (sample {i} has "
+                f"{len(v)} components but sample 0 has {dims}); "
+                "multivariate series must be shaped (length, dims)"
+            )
+    return dims
 
 
 def validate_series(x: Sequence[float], name: str = "series") -> None:
-    """Reject empty series and non-finite samples.
+    """Reject empty series, shape violations and non-finite samples.
 
     Raises
     ------
@@ -23,8 +77,7 @@ def validate_series(x: Sequence[float], name: str = "series") -> None:
         With the offending index, e.g.
         ``"series y: sample 3 is not finite (nan)"``.
     """
-    if len(x) == 0:
-        raise ValueError(f"{name} is empty")
+    series_dims(x, name)
     for i, v in enumerate(x):
         if isinstance(v, (tuple, list)):  # multivariate sample
             for k, c in enumerate(v):
@@ -39,9 +92,43 @@ def validate_series(x: Sequence[float], name: str = "series") -> None:
             )
 
 
+def ensure_univariate_pair(
+    x: Sequence[float], y: Sequence[float], where: str,
+) -> None:
+    """Refuse multivariate input to a scalar-only measure.
+
+    The scalar measures' DP loops subtract samples directly, so a
+    vector sample would die in arithmetic; this names the fix instead.
+    """
+    if (
+        series_dims(x, "series x") is not None
+        or series_dims(y, "series y") is not None
+    ):
+        raise ValueError(
+            f"{where} is a univariate measure but the input is "
+            "multivariate (shaped (length, dims)); use the "
+            "multivariate measures instead (dtw_d/dtw_i for full DTW, "
+            "cdtw_d/cdtw_i for banded)"
+        )
+
+
 def validate_pair(
     x: Sequence[float], y: Sequence[float],
 ) -> None:
-    """Validate both operands of a distance computation."""
+    """Validate both operands of a distance computation.
+
+    Beyond the per-series checks, the two series must agree on
+    dimensionality: comparing a univariate series against a
+    multivariate one (or 3-axis against 2-axis) is always a caller
+    bug, caught here rather than deep in a DP loop.
+    """
     validate_series(x, "series x")
     validate_series(y, "series y")
+    dx = series_dims(x, "series x")
+    dy = series_dims(y, "series y")
+    if dx != dy:
+        fmt = lambda d: "univariate" if d is None else f"{d}-dimensional"
+        raise ValueError(
+            f"dimensionality mismatch: series x is {fmt(dx)} but "
+            f"series y is {fmt(dy)}"
+        )

@@ -37,10 +37,10 @@ from dataclasses import dataclass
 from math import sqrt
 from typing import Optional, Sequence, Tuple
 
-from ..batch.shm import pack_dataset
+from ..batch.shm import dataset_dims, pack_dataset
 from ..core.validate import validate_series
 from ..lowerbounds.envelope import Envelope
-from ..preprocess.normalize import znorm
+from ..preprocess.normalize import znorm, znorm_nd
 from ..preprocess.sliding import sliding_windows
 from ..runtime import Runtime
 
@@ -100,10 +100,19 @@ class DatasetIndex:
         Per-series ``(first, last)`` endpoint features (the LB_Kim
         inputs).
     moments:
-        Per-series ``(mean, std)`` of the *raw* values, using the
-        same formulas as :func:`repro.preprocess.normalize.znorm`
-        (``std`` is stored as 0.0 for constant series, which znorm
-        maps to all-zeros).
+        Per-series, per-channel ``(mean, std)`` of the *raw* values,
+        using the same formulas as
+        :func:`repro.preprocess.normalize.znorm` (``std`` is stored
+        as 0.0 for constant series, which znorm maps to all-zeros).
+    dims:
+        Sample dimensionality.  ``1`` is the univariate case (rows
+        are plain series).  For multivariate collections every row --
+        series, envelopes, kim features, moments -- is stored *flat*,
+        sample-major: row ``i`` of ``series`` holds
+        ``length * dims`` floats laid out
+        ``(v[0][0], ..., v[0][dims-1], v[1][0], ...)``, ``kim`` holds
+        the first and last sample (``2 * dims`` floats), ``moments``
+        one ``(mean, std)`` pair per channel.
     """
 
     kind: str
@@ -116,36 +125,43 @@ class DatasetIndex:
     series: Tuple[Tuple[float, ...], ...]
     upper: Tuple[Tuple[float, ...], ...]
     lower: Tuple[Tuple[float, ...], ...]
-    kim: Tuple[Tuple[float, float], ...]
-    moments: Tuple[Tuple[float, float], ...]
+    kim: Tuple[Tuple[float, ...], ...]
+    moments: Tuple[Tuple[float, ...], ...]
+    dims: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(f"unknown index kind {self.kind!r}")
         if self.band < 0:
             raise ValueError("band must be non-negative")
+        if self.dims < 1:
+            raise ValueError("dims must be at least 1")
         if not self.series:
             raise ValueError("index holds no series")
-        n = len(self.series[0])
-        if self.window != n:
+        flat = len(self.series[0])
+        if self.window * self.dims != flat:
             # the header's window field is what require(window=...)
             # checks a query's length against, so it must agree with
             # the stored series -- otherwise a query of the "right"
             # window length would reuse envelopes of a different
             # length (silently wrong bounds)
             raise ValueError(
-                f"stored series have length {n} but the header "
-                f"claims window={self.window}"
+                f"stored series hold {flat} values but the header "
+                f"claims window={self.window} x dims={self.dims}"
             )
         for block_name in ("series", "upper", "lower"):
             block = getattr(self, block_name)
             if len(block) != len(self.series) or any(
-                len(row) != n for row in block
+                len(row) != flat for row in block
             ):
                 raise ValueError(f"ragged index block {block_name!r}")
-        if len(self.kim) != len(self.series):
+        if len(self.kim) != len(self.series) or any(
+            len(row) != 2 * self.dims for row in self.kim
+        ):
             raise ValueError("kim features do not cover every series")
-        if len(self.moments) != len(self.series):
+        if len(self.moments) != len(self.series) or any(
+            len(row) != 2 * self.dims for row in self.moments
+        ):
             raise ValueError("moments do not cover every series")
         if self.kind == "windows":
             if len(self.starts) != len(self.series):
@@ -165,20 +181,46 @@ class DatasetIndex:
 
     @property
     def length(self) -> int:
-        """Length of every stored series."""
-        return len(self.series[0])
+        """Length (sample count) of every stored series."""
+        return len(self.series[0]) // self.dims
 
-    def envelope(self, index: int) -> Envelope:
-        """The stored Keogh envelope of one series, as an
-        :class:`~repro.lowerbounds.envelope.Envelope`."""
-        return Envelope(
-            self.band, list(self.upper[index]), list(self.lower[index])
+    def _vectors(self, row: Sequence[float]) -> Tuple[Tuple[float, ...], ...]:
+        """Regroup one flat sample-major row into ``dims``-tuples."""
+        d = self.dims
+        return tuple(
+            tuple(row[i:i + d]) for i in range(0, len(row), d)
+        )
+
+    def candidate_series(self):
+        """The stored series in the shape search consumers feed to the
+        cascade: flat rows when univariate, ``(length, dims)`` nested
+        rows when multivariate."""
+        if self.dims == 1:
+            return self.series
+        return tuple(self._vectors(row) for row in self.series)
+
+    def envelope(self, index: int):
+        """The stored Keogh envelope of one series: an
+        :class:`~repro.lowerbounds.envelope.Envelope` when univariate,
+        the per-channel tuple of them (``envelopes_nd`` form) when
+        multivariate."""
+        if self.dims == 1:
+            return Envelope(
+                self.band, list(self.upper[index]), list(self.lower[index])
+            )
+        up, lo = self.upper[index], self.lower[index]
+        return tuple(
+            Envelope(self.band, list(up[k::self.dims]), list(lo[k::self.dims]))
+            for k in range(self.dims)
         )
 
     def candidate_envelopes(self):
-        """All envelopes as the ``(upper, lower)`` stacks the cascade
-        batch driver consumes."""
-        return self.upper, self.lower
+        """All envelopes in the form the cascade batch driver consumes:
+        ``(upper, lower)`` stacks when univariate, one per-channel
+        :class:`Envelope` tuple per candidate when multivariate."""
+        if self.dims == 1:
+            return self.upper, self.lower
+        return tuple(self.envelope(i) for i in range(len(self)))
 
     # ------------------------------------------------------------------
     # verification: an index must *prove* it matches the caller's data
@@ -190,7 +232,7 @@ class DatasetIndex:
         ``index.require(kind="windows", band=5, window=32)`` raises
         :class:`IndexMismatchError` naming the first differing field.
         Recognised keys: ``kind``, ``band``, ``normalize``, ``step``,
-        ``window``, ``length``, ``count``.
+        ``window``, ``length``, ``count``, ``dims``.
         """
         actual = {
             "kind": self.kind,
@@ -200,6 +242,7 @@ class DatasetIndex:
             "window": self.window,
             "length": self.length,
             "count": len(self),
+            "dims": self.dims,
         }
         for key, want in expected.items():
             if key not in actual:
@@ -276,6 +319,7 @@ class DatasetIndex:
             "window": self.window,
             "count": len(self),
             "length": self.length,
+            "dims": self.dims,
             "source_fingerprint": self.source_fingerprint,
             "artifacts": ["series", "upper", "lower", "kim", "moments"],
         }
@@ -290,6 +334,21 @@ def _moments(raw: Sequence[float], epsilon: float = 1e-12) -> Tuple[float, float
     return (mean, 0.0 if std < epsilon else std)
 
 
+def _moments_nd(raw: Sequence[Sequence[float]]) -> Tuple[float, ...]:
+    """Per-channel (mean, std) pairs of one nd series, channel-major
+    (matching :func:`znorm_nd`'s per-axis statistics)."""
+    dims = len(raw[0])
+    out = []
+    for k in range(dims):
+        out.extend(_moments([float(v[k]) for v in raw]))
+    return tuple(out)
+
+
+def _flat(row) -> Tuple[float, ...]:
+    """One ``(n, dims)`` row flattened sample-major."""
+    return tuple(float(c) for v in row for c in v)
+
+
 def _assemble(
     kind: str,
     band: int,
@@ -301,9 +360,29 @@ def _assemble(
     prepared: Sequence[Sequence[float]],
     raw: Sequence[Sequence[float]],
     runtime: Optional[Runtime],
+    dims: int = 1,
 ) -> DatasetIndex:
     rt = Runtime.resolve(runtime).serial()
-    upper, lower = rt.kernels().envelope_chunk(prepared, band)
+    if dims == 1:
+        upper, lower = rt.kernels().envelope_chunk(prepared, band)
+        return DatasetIndex(
+            kind=kind,
+            band=band,
+            normalize=normalize,
+            step=step,
+            window=window,
+            starts=tuple(int(s) for s in starts),
+            source_fingerprint=source_fingerprint,
+            series=tuple(tuple(float(v) for v in s) for s in prepared),
+            upper=tuple(tuple(float(v) for v in row) for row in upper),
+            lower=tuple(tuple(float(v) for v in row) for row in lower),
+            kim=tuple((float(s[0]), float(s[-1])) for s in prepared),
+            moments=tuple(_moments(s) for s in raw),
+        )
+    # multivariate: per-channel envelopes come back sample-major
+    # (chunk, n, dims) from envelope_nd_chunk, exactly the layout the
+    # flat rows persist
+    upper, lower = rt.kernels().envelope_nd_chunk(prepared, band)
     return DatasetIndex(
         kind=kind,
         band=band,
@@ -312,11 +391,15 @@ def _assemble(
         window=window,
         starts=tuple(int(s) for s in starts),
         source_fingerprint=source_fingerprint,
-        series=tuple(tuple(float(v) for v in s) for s in prepared),
-        upper=tuple(tuple(float(v) for v in row) for row in upper),
-        lower=tuple(tuple(float(v) for v in row) for row in lower),
-        kim=tuple((float(s[0]), float(s[-1])) for s in prepared),
-        moments=tuple(_moments(s) for s in raw),
+        series=tuple(_flat(s) for s in prepared),
+        upper=tuple(_flat(row) for row in upper),
+        lower=tuple(_flat(row) for row in lower),
+        kim=tuple(
+            tuple(float(c) for c in s[0]) + tuple(float(c) for c in s[-1])
+            for s in prepared
+        ),
+        moments=tuple(_moments_nd(s) for s in raw),
+        dims=dims,
     )
 
 
@@ -338,6 +421,11 @@ def build_index(
     their values are pure sliding-extreme selections, hence
     bit-identical across backends, so the *same index file* serves
     every backend.
+
+    Multivariate ``(length, dims)`` collections index transparently:
+    per-channel envelopes and moments are stored (``znorm_nd`` when
+    normalising), and the resulting index serves the multivariate
+    cascade (``cdtw_d`` / ``cdtw_i`` search).
     """
     if band < 0:
         raise ValueError("band must be non-negative")
@@ -354,13 +442,23 @@ def build_index(
         raise ValueError("cannot index empty series")
     for i, s in enumerate(series):
         validate_series(s, f"series[{i}]")
+    dims = dataset_dims(series)
     _, _, fingerprint = pack_dataset(series)
-    raw = [list(s) for s in series]
-    prepared = [znorm(s) if normalize else list(s) for s in raw]
+    if dims is None:
+        raw = [list(s) for s in series]
+        prepared = [znorm(s) if normalize else list(s) for s in raw]
+    else:
+        raw = [
+            [tuple(float(c) for c in v) for v in s] for s in series
+        ]
+        prepared = [
+            znorm_nd(s) if normalize else list(s) for s in raw
+        ]
     return _assemble(
         kind="collection", band=band, normalize=normalize, step=1,
         window=n, starts=(), source_fingerprint=fingerprint,
         prepared=prepared, raw=raw, runtime=runtime,
+        dims=1 if dims is None else dims,
     )
 
 
@@ -387,16 +485,23 @@ def build_stream_index(
     validate_series(stream, "stream")
     if len(stream) < window:
         raise ValueError("stream shorter than window")
+    dims = dataset_dims([stream])
     _, _, fingerprint = pack_dataset([stream])
     starts = []
     raw = []
     prepared = []
     for start, w in sliding_windows(stream, window, step):
         starts.append(start)
-        raw.append(w)
-        prepared.append(znorm(w) if normalize else list(w))
+        if dims is None:
+            raw.append(w)
+            prepared.append(znorm(w) if normalize else list(w))
+        else:
+            vw = [tuple(float(c) for c in v) for v in w]
+            raw.append(vw)
+            prepared.append(znorm_nd(vw) if normalize else list(vw))
     return _assemble(
         kind="windows", band=band, normalize=normalize, step=step,
         window=window, starts=starts, source_fingerprint=fingerprint,
         prepared=prepared, raw=raw, runtime=runtime,
+        dims=1 if dims is None else dims,
     )

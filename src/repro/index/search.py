@@ -68,7 +68,7 @@ class IndexSearcher:
         self.index = index
         self.runtime = Runtime.resolve(runtime).serial()
         self._batch = CascadeBatch(
-            index.series, index.band,
+            index.candidate_series(), index.band,
             use_improved=use_improved,
             best_first=best_first,
             share_exact=share_exact,
@@ -129,6 +129,16 @@ class IndexSearcher:
                 f"series of length {self.index.length}; envelopes "
                 "cannot be reused across lengths -- rebuild the index "
                 "or fix the query"
+            )
+        nested = bool(query) and hasattr(query[0], "__len__")
+        query_dims = len(query[0]) if nested else 1
+        if query_dims != self.index.dims:
+            raise IndexMismatchError(
+                f"query has {query_dims} channel(s) but the index "
+                f"stores {self.index.dims}-dimensional series; "
+                "per-channel envelopes cannot be reused across "
+                "dimensionalities -- rebuild the index or fix the "
+                "query"
             )
 
     def _record(self, artifacts_reused: int, stats) -> None:

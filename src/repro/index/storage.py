@@ -40,9 +40,19 @@ from typing import Optional, Tuple, Union
 
 from .dataset_index import DatasetIndex, IndexMismatchError
 
-__all__ = ["FORMAT", "load_index", "save_index"]
+__all__ = ["FORMAT", "FORMAT_ND", "load_index", "save_index"]
 
 FORMAT = "repro.index/v1"
+
+#: Multivariate extension: identical layout, but every row is
+#: ``dims`` times wider (flat sample-major; ``kim``/``moments`` hold
+#: ``2 * dims`` values) and the header carries a ``dims`` field.  A
+#: distinct format string keeps the contract honest in *both*
+#: directions: dims-1 indexes still write plain ``repro.index/v1``
+#: byte-for-byte, and readers that predate multivariate support
+#: refuse an nd file loudly ("unsupported index format") instead of
+#: mis-slicing its payload into scalar envelopes.
+FORMAT_ND = "repro.index/v1+nd"
 
 #: (name, columns) of every payload block, in on-disk order.  Each
 #: block has one row per indexed series.
@@ -95,11 +105,11 @@ def save_index(index: DatasetIndex, path: Union[str, os.PathLike]) -> dict:
     payload_parts = []
     for name, columns in _BLOCKS:
         payload_parts.append(
-            _pack_block(getattr(index, name), columns or n)
+            _pack_block(getattr(index, name), (columns or n) * index.dims)
         )
     payload = b"".join(payload_parts)
     header = {
-        "format": FORMAT,
+        "format": FORMAT if index.dims == 1 else FORMAT_ND,
         "kind": index.kind,
         "band": index.band,
         "normalize": index.normalize,
@@ -112,6 +122,10 @@ def save_index(index: DatasetIndex, path: Union[str, os.PathLike]) -> dict:
         "blocks": [name for name, _ in _BLOCKS],
         "source_fingerprint": index.source_fingerprint,
     }
+    if index.dims != 1:
+        # dims-1 headers stay byte-identical to pre-multivariate
+        # builds (no new key), so existing v1 files round-trip
+        header["dims"] = index.dims
     header["payload_fingerprint"] = _fingerprint(header, payload)
     blob = json.dumps(header, sort_keys=True).encode("utf-8") + b"\n" + payload
     tmp = os.fspath(path) + ".tmp"
@@ -133,11 +147,13 @@ def _read_header(blob: bytes, path: str) -> Tuple[dict, bytes]:
         raise IndexMismatchError(
             f"{path}: not a repro.index file (unreadable header: {exc})"
         ) from None
-    if not isinstance(header, dict) or header.get("format") != FORMAT:
+    if not isinstance(header, dict) or header.get("format") not in (
+        FORMAT, FORMAT_ND,
+    ):
         raise IndexMismatchError(
             f"{path}: unsupported index format "
             f"{header.get('format') if isinstance(header, dict) else header!r}"
-            f" (this build reads {FORMAT})"
+            f" (this build reads {FORMAT} and {FORMAT_ND})"
         )
     return header, blob[newline + 1:]
 
@@ -188,9 +204,22 @@ def load_index(
 
     count = int(header["count"])
     n = int(header["length"])
+    dims = int(header.get("dims", 1))
+    if header.get("format") == FORMAT and "dims" in header:
+        raise IndexMismatchError(
+            f"{path_str}: a {FORMAT} header must not carry a dims "
+            f"field (multivariate indexes declare {FORMAT_ND})"
+        )
+    if header.get("format") == FORMAT_ND and dims < 2:
+        raise IndexMismatchError(
+            f"{path_str}: {FORMAT_ND} header declares dims={dims}; "
+            f"univariate indexes use {FORMAT}"
+        )
     doubles = array("d")
     doubles.frombytes(payload)
-    expected_len = sum(count * (columns or n) for _, columns in _BLOCKS)
+    expected_len = sum(
+        count * (columns or n) * dims for _, columns in _BLOCKS
+    )
     if len(doubles) != expected_len:
         raise IndexMismatchError(
             f"{path_str}: payload holds {len(doubles)} doubles, "
@@ -200,7 +229,7 @@ def load_index(
     blocks = {}
     offset = 0
     for name, columns in _BLOCKS:
-        width = columns or n
+        width = (columns or n) * dims
         rows = []
         for _ in range(count):
             rows.append(tuple(doubles[offset:offset + width]))
@@ -220,4 +249,5 @@ def load_index(
         lower=blocks["lower"],
         kim=blocks["kim"],
         moments=blocks["moments"],
+        dims=dims,
     )

@@ -12,6 +12,13 @@ from .envelope import Envelope, envelope
 from .lb_improved import clip_to_envelope, lb_improved
 from .lb_keogh import lb_keogh, lb_keogh_reversed
 from .lb_kim import lb_kim
+from .nd import (
+    envelopes_nd,
+    lb_improved_nd,
+    lb_keogh_nd,
+    lb_keogh_reversed_nd,
+    lb_kim_nd,
+)
 
 __all__ = [
     "BatchNearest",
@@ -21,8 +28,13 @@ __all__ = [
     "LowerBoundCascade",
     "clip_to_envelope",
     "envelope",
+    "envelopes_nd",
     "lb_improved",
+    "lb_improved_nd",
     "lb_keogh",
+    "lb_keogh_nd",
     "lb_keogh_reversed",
+    "lb_keogh_reversed_nd",
     "lb_kim",
+    "lb_kim_nd",
 ]

@@ -152,9 +152,37 @@ class LowerBoundCascade:
         self._kernels = (
             kernel_set if kernel_set.name != "python" else None
         )
+        # multivariate queries take the summed per-channel bound
+        # stages of :mod:`repro.lowerbounds.nd` (admissible for both
+        # DTW_I and DTW_D) and the dependent DP as the exact stage
+        self.dims = (
+            len(self.query[0])
+            if self.query and hasattr(self.query[0], "__len__")
+            else None
+        )
         # precomputed artifacts served instead of recomputation, for
         # the ``index.artifacts_reused`` accounting of indexed search
         self.artifacts_reused = 0
+        if self.dims is not None:
+            from .nd import envelopes_nd
+
+            if query_envelope is not None:
+                envs = tuple(query_envelope)
+                if len(envs) != self.dims or any(
+                    e.band != band or len(e) != len(self.query)
+                    for e in envs
+                ):
+                    raise ValueError(
+                        "query_envelope does not match query and band"
+                    )
+                self.envelopes_nd = envs
+                self.artifacts_reused += 1
+            else:
+                self.envelopes_nd = envelopes_nd(self.query, band)
+            self.envelope = None
+            self._env_upper = self._env_lower = None
+            self.stats = CascadeStats()
+            return
         if query_envelope is not None:
             if (
                 query_envelope.band != band
@@ -225,6 +253,10 @@ class LowerBoundCascade:
         keogh: Optional[float] = None,
         cand_env=None,
     ) -> float:
+        if self.dims is not None:
+            return self._distance_impl_nd(
+                candidate, best_so_far, kim, keogh, cand_env
+            )
         stats = self.stats
         stats.candidates += 1
         _obs.incr("lb.candidates")
@@ -354,6 +386,114 @@ class LowerBoundCascade:
         _obs.incr("lb.full_dtw")
         return result.distance
 
+    def _distance_impl_nd(
+        self,
+        candidate: Sequence[Sequence[float]],
+        best_so_far: float,
+        kim: Optional[float] = None,
+        keogh: Optional[float] = None,
+        cand_env=None,
+    ) -> float:
+        """The multivariate stage sequence (same structure, same
+        counters, same lossless guarantees as the scalar path).
+
+        Each bound is a summed per-channel scalar bound, admissible
+        for both DTW_I and DTW_D (see :mod:`repro.lowerbounds.nd`);
+        the exact stage runs the dependent DP.  The cumulative-suffix
+        stage is scalar-only and does not apply to vector samples, so
+        the exact stage falls back to plain early abandoning.
+        ``cand_env`` here is the candidate's per-channel
+        :class:`Envelope` tuple (as built by
+        :func:`repro.lowerbounds.nd.envelopes_nd`).
+        """
+        from .nd import (
+            lb_improved_nd,
+            lb_keogh_nd,
+            lb_keogh_reversed_nd,
+            lb_kim_nd,
+        )
+
+        stats = self.stats
+        stats.candidates += 1
+        _obs.incr("lb.candidates")
+        cost = "squared" if self.squared else "abs"
+
+        _obs.incr("lb.invocations")
+        if kim is None:
+            kim = lb_kim_nd(self.query, candidate, cost=cost)
+        if kim > best_so_far:
+            stats.pruned_kim += 1
+            _obs.incr("lb.pruned_kim")
+            return inf
+        _obs.incr("lb.invocations")
+        if keogh is not None:
+            lb = keogh
+        else:
+            lb = lb_keogh_nd(
+                self.envelopes_nd, candidate,
+                squared=self.squared, abandon_above=best_so_far,
+            )
+        if lb > best_so_far:
+            stats.pruned_keogh += 1
+            _obs.incr("lb.pruned_keogh")
+            return inf
+        if self.use_improved:
+            _obs.incr("lb.invocations")
+            imp = lb_improved_nd(
+                self.query, candidate, self.band,
+                squared=self.squared, abandon_above=best_so_far,
+                query_envelopes=self.envelopes_nd,
+            )
+            if imp > best_so_far:
+                stats.pruned_improved += 1
+                _obs.incr("lb.pruned_improved")
+                return inf
+        if self.use_reversed:
+            _obs.incr("lb.invocations")
+            if cand_env is not None:
+                self.artifacts_reused += 1
+                lb = lb_keogh_nd(
+                    cand_env, self.query,
+                    squared=self.squared, abandon_above=best_so_far,
+                )
+            else:
+                lb = lb_keogh_reversed_nd(
+                    self.query, candidate, self.band,
+                    squared=self.squared, abandon_above=best_so_far,
+                )
+            if lb > best_so_far:
+                stats.pruned_keogh_reversed += 1
+                _obs.incr("lb.pruned_keogh_reversed")
+                return inf
+
+        threshold = best_so_far if best_so_far != inf else None
+        k = self._kernels
+        if k is not None:
+            from ..core.kernels import banded_window
+
+            result = k.dtw_nd(
+                self.query, candidate,
+                banded_window(
+                    len(self.query), len(candidate), self.band
+                ),
+                cost=cost, abandon_above=threshold,
+            )
+        else:
+            from ..core.multivariate import cdtw_nd
+
+            result = cdtw_nd(
+                self.query, candidate, band=self.band, cost=cost,
+                abandon_above=threshold,
+            )
+        stats.cells += result.cells
+        if result.abandoned:
+            stats.abandoned_dtw += 1
+            _obs.incr("lb.abandoned_dtw")
+            return inf
+        stats.full_dtw += 1
+        _obs.incr("lb.full_dtw")
+        return result.distance
+
     def prefilter_bounds(self, candidates: Sequence[Sequence[float]]):
         """Full (no-abandon) Kim and Keogh bounds for every candidate.
 
@@ -373,6 +513,19 @@ class LowerBoundCascade:
                     "cascade requires equal-length candidates"
                 )
         cost = "squared" if self.squared else "abs"
+        if self.dims is not None:
+            # the summed per-channel bounds are pure-python on every
+            # backend; full (no-abandon) values replay identically
+            from .nd import lb_keogh_nd, lb_kim_nd
+
+            kims = [
+                lb_kim_nd(self.query, c, cost=cost) for c in candidates
+            ]
+            keoghs = [
+                lb_keogh_nd(self.envelopes_nd, c, squared=self.squared)
+                for c in candidates
+            ]
+            return kims, keoghs
         k = self._kernels
         if k is None:
             kims = [
@@ -425,11 +578,21 @@ class LowerBoundCascade:
             # all infinite distances (possible only with inf inputs);
             # fall back to the first candidate for determinism.
             best_idx = 0
-            best = cdtw(
-                self.query, candidates[0], band=self.band,
-                cost="squared" if self.squared else "abs",
-            ).distance
+            best = self._exact_unpruned(candidates[0])
         return best_idx, best
+
+    def _exact_unpruned(self, candidate) -> float:
+        """The exact distance with no threshold (fallback path)."""
+        cost = "squared" if self.squared else "abs"
+        if self.dims is not None:
+            from ..core.multivariate import cdtw_nd
+
+            return cdtw_nd(
+                self.query, candidate, band=self.band, cost=cost,
+            ).distance
+        return cdtw(
+            self.query, candidate, band=self.band, cost=cost,
+        ).distance
 
 
 @dataclass(frozen=True)
@@ -513,6 +676,12 @@ class CascadeBatch:
         n = len(self.candidates[0])
         if any(len(c) != n for c in self.candidates):
             raise ValueError("cascade requires equal-length candidates")
+        self.dims = (
+            len(self.candidates[0][0])
+            if self.candidates[0]
+            and hasattr(self.candidates[0][0], "__len__")
+            else None
+        )
         kernel_set = rt.kernels()
         self._vectorised = kernel_set.name != "python"
         self._kernel_set = kernel_set
@@ -520,8 +689,25 @@ class CascadeBatch:
             {} if share_exact else None
         )
         self._env_upper = self._env_lower = None
+        self._envelopes_nd = None
         self._provided_envelopes = candidate_envelopes is not None
-        if use_reversed:
+        if use_reversed and self.dims is not None:
+            # per-candidate tuples of per-channel envelopes (the form
+            # envelopes_nd produces and the nd index persists)
+            from .nd import envelopes_nd
+
+            if candidate_envelopes is not None:
+                envs = tuple(tuple(e) for e in candidate_envelopes)
+                if len(envs) != len(self.candidates):
+                    raise ValueError(
+                        "candidate_envelopes must cover every candidate"
+                    )
+            else:
+                envs = tuple(
+                    envelopes_nd(c, band) for c in self.candidates
+                )
+            self._envelopes_nd = envs
+        elif use_reversed:
             if candidate_envelopes is not None:
                 up, lo = candidate_envelopes
                 if len(up) != len(self.candidates) or len(lo) != len(up):
@@ -552,8 +738,12 @@ class CascadeBatch:
         )
 
     def candidate_envelope(self, index: int):
-        """The ``(upper, lower)`` envelope of one candidate, or
-        ``None`` when the reversed stage is off (no envelopes kept)."""
+        """The ``(upper, lower)`` envelope of one candidate -- or its
+        per-channel :class:`Envelope` tuple for multivariate batches
+        -- or ``None`` when the reversed stage is off (no envelopes
+        kept)."""
+        if self._envelopes_nd is not None:
+            return self._envelopes_nd[index]
         if self._env_upper is None:
             return None
         return self._env_upper[index], self._env_lower[index]
@@ -583,6 +773,13 @@ class CascadeBatch:
         subset = [self.candidates[j] for j in admissible]
         if self._vectorised:
             pre_kim, pre_keogh = cascade.prefilter_bounds(subset)
+        elif self.dims is not None:
+            from .nd import lb_kim_nd
+
+            pre_kim = [
+                lb_kim_nd(cascade.query, c, cost=cost) for c in subset
+            ]
+            pre_keogh = None
         else:
             pre_kim = [
                 lb_kim(cascade.query, c, cost=cost) for c in subset
@@ -643,10 +840,7 @@ class CascadeBatch:
             # mirror :meth:`LowerBoundCascade.nearest`'s fallback on
             # the first admissible candidate
             best_idx = admissible[0]
-            best = cdtw(
-                cascade.query, self.candidates[best_idx], band=self.band,
-                cost="squared" if self.squared else "abs",
-            ).distance
+            best = cascade._exact_unpruned(self.candidates[best_idx])
         return BatchNearest(
             index=best_idx, distance=best, stats=stats,
             artifacts_reused=cascade.artifacts_reused,

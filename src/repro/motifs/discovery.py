@@ -19,7 +19,7 @@ from typing import List, Optional, Sequence
 
 from ..core.validate import validate_series
 from ..lowerbounds.cascade import LowerBoundCascade
-from ..preprocess.normalize import znorm
+from ..preprocess.normalize import znorm, znorm_nd
 from ..preprocess.sliding import sliding_windows
 from ..runtime import Runtime
 
@@ -91,21 +91,29 @@ def find_motif(
     if exclusion < 1:
         raise ValueError("exclusion must be positive")
     validate_series(stream, "stream")
+    # multivariate streams pair up under the dependent measure
+    # (cdtw_d), per-channel z-normalised -- mirroring find_discord
+    nd = bool(stream) and hasattr(stream[0], "__len__")
 
     if index is not None:
         index.require(
             kind="windows", band=band, window=window, step=step,
             normalize=normalize,
+            dims=len(stream[0]) if nd else 1,
         )
         index.verify_stream(stream)
         starts = list(index.starts)
-        series = [list(s) for s in index.series]
+        series = [list(s) for s in index.candidate_series()]
     else:
         starts = []
         series = []
         for start, w in sliding_windows(stream, window, step):
             starts.append(start)
-            series.append(znorm(w) if normalize else w)
+            if nd:
+                vw = [tuple(float(c) for c in v) for v in w]
+                series.append(znorm_nd(vw) if normalize else vw)
+            else:
+                series.append(znorm(w) if normalize else w)
     k = len(series)
     if k < 2 or starts[-1] - starts[0] < exclusion:
         raise ValueError("stream too short for two non-overlapping windows")
@@ -124,8 +132,8 @@ def find_motif(
         ]
         if pairs:
             result = batch_distances(
-                series, pairs=pairs, measure="cdtw", band=band,
-                runtime=rt,
+                series, pairs=pairs, measure="cdtw_d" if nd else "cdtw",
+                band=band, runtime=rt,
             )
             calls = len(pairs)
             # identical selection to the serial scan: pairs are

@@ -36,6 +36,30 @@ def znorm(x: Sequence[float], epsilon: float = 1e-12) -> List[float]:
     return [(v - mean) / std for v in x]
 
 
+def znorm_nd(
+    x: Sequence[Sequence[float]], epsilon: float = 1e-12,
+) -> List[tuple]:
+    """Z-normalise a multivariate series per channel.
+
+    Each channel of a ``(length, dims)`` series is normalised
+    independently with :func:`znorm` (the convention of multivariate
+    archives like UWave: per-axis statistics), then the channels are
+    recombined sample-major.
+
+    >>> znorm_nd([(1.0, 30.0), (2.0, 20.0), (3.0, 10.0)])[0]
+    (-1.224744871391589, 1.224744871391589)
+    """
+    n = len(x)
+    if n == 0:
+        raise ValueError("cannot normalise an empty series")
+    dims = len(x[0])
+    channels = [
+        znorm([float(v[k]) for v in x], epsilon=epsilon)
+        for k in range(dims)
+    ]
+    return [tuple(c[i] for c in channels) for i in range(n)]
+
+
 class RunningStats:
     """Streaming mean/std over a sliding window of fixed length.
 

@@ -135,10 +135,25 @@ def _nearest_neighbor_impl(
 
     Split out so the public entry point's observability hook costs one
     module-global read when no :class:`repro.obs.RunTrace` is active.
+
+    Multivariate ``(length, dims)`` queries route the exact
+    strategies to the *dependent* measure (one DP over vector
+    samples, ``cdtw_d`` semantics) and ``"fastdtw"`` to
+    :func:`repro.core.multivariate.fastdtw_nd`, so ``"cdtw"`` and
+    ``"cdtw+lb"`` still return identical neighbours on vector data.
     """
-    if rt.parallel and strategy != "cdtw+lb":
+    nd = bool(query) and hasattr(query[0], "__len__")
+    if nd and strategy == "euclidean":
+        raise ValueError(
+            "strategy 'euclidean' is univariate; multivariate "
+            "(length, dims) series need a DTW strategy (cdtw, "
+            "cdtw+lb, fastdtw)"
+        )
+    if rt.parallel and strategy != "cdtw+lb" and not (
+        nd and strategy == "fastdtw"
+    ):
         return _nearest_neighbor_batched(
-            query, candidates, strategy, band, window, radius, rt,
+            query, candidates, strategy, band, window, radius, rt, nd,
         )
 
     if strategy == "euclidean":
@@ -150,9 +165,13 @@ def _nearest_neighbor_impl(
         return NnResult(best_idx, best, strategy, cells=0)
 
     if strategy == "fastdtw":
+        if nd:
+            from ..core.multivariate import fastdtw_nd as fast_fn
+        else:
+            fast_fn = fastdtw
         best_idx, best, cells = 0, inf, 0
         for idx, cand in enumerate(candidates):
-            result = fastdtw(query, cand, radius=radius)
+            result = fast_fn(query, cand, radius=radius)
             cells += result.cells
             if result.distance < best:
                 best, best_idx = result.distance, idx
@@ -161,11 +180,12 @@ def _nearest_neighbor_impl(
     band_cells_ = _resolve_band(len(query), band, window)
 
     if strategy == "cdtw":
-        if rt.backend_name != "python":
+        if nd or rt.backend_name != "python":
             from ..core.measures import measure_fn
 
             fn = measure_fn(
-                "cdtw", band=band_cells_, backend=rt.backend_name
+                "cdtw_d" if nd else "cdtw",
+                band=band_cells_, backend=rt.backend_name,
             )
         else:
             fn = None
@@ -185,6 +205,7 @@ def _nearest_neighbor_impl(
         index.require(
             kind="collection", band=band_cells_, normalize=False,
             length=len(query), count=len(candidates),
+            dims=len(query[0]) if nd else 1,
         )
         index.verify_collection(candidates)
         hit = index.searcher(runtime=rt).nearest(query)
@@ -201,18 +222,20 @@ def _nearest_neighbor_impl(
 
 
 def _nearest_neighbor_batched(
-    query, candidates, strategy, band, window, radius, rt,
+    query, candidates, strategy, band, window, radius, rt, nd=False,
 ) -> NnResult:
     """Fan the candidate scan out over the batch engine.
 
     Computes every candidate's distance in full (exactly what the
     serial loops of the non-pruned strategies do) and applies the same
     first-wins tie-break, so the result is identical to the serial
-    context.
+    context.  Multivariate scans swap ``"cdtw"`` for the batch
+    engine's ``"cdtw_d"`` measure (there is no batched nd fastdtw;
+    that combination stays serial).
     """
     from ..batch.engine import argmin_first, batch_distances
 
-    kwargs: dict = {"measure": strategy}
+    kwargs: dict = {"measure": "cdtw_d" if nd else strategy}
     if strategy == "cdtw":
         kwargs["band"] = _resolve_band(len(query), band, window)
     elif strategy == "fastdtw":

@@ -22,8 +22,24 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..core.validate import validate_series
 from ..lowerbounds.cascade import CascadeStats, LowerBoundCascade
-from ..preprocess.normalize import znorm
+from ..preprocess.normalize import znorm, znorm_nd
 from ..runtime import Runtime
+
+
+def _check_nd(query, stream) -> bool:
+    """Whether this is a multivariate search; both sides must agree.
+
+    Multivariate queries scan under the dependent measure (``cdtw_d``
+    semantics via the nd cascade), windows z-normalised per channel.
+    """
+    query_nd = bool(query) and hasattr(query[0], "__len__")
+    stream_nd = bool(stream) and hasattr(stream[0], "__len__")
+    if query_nd != stream_nd:
+        raise ValueError(
+            "query and stream must both be univariate or both "
+            "multivariate (length, dims) series"
+        )
+    return query_nd
 
 
 @dataclass(frozen=True)
@@ -109,13 +125,18 @@ def subsequence_search(
         raise ValueError("step must be positive")
     validate_series(query, "query")
     validate_series(stream, "stream")
+    nd = _check_nd(query, stream)
 
-    q = znorm(query) if normalize else list(query)
+    if nd:
+        q = znorm_nd(query) if normalize else list(query)
+    else:
+        q = znorm(query) if normalize else list(query)
 
     if index is not None:
         index.require(
             kind="windows", band=band, window=m, step=step,
             normalize=normalize,
+            dims=len(query[0]) if nd else 1,
         )
         index.verify_stream(stream)
         hit = index.searcher(runtime=rt).nearest(q)
@@ -125,7 +146,7 @@ def subsequence_search(
 
     if rt.parallel:
         starts, distances, cells = _batched_window_distances(
-            q, stream, band, step, normalize, rt
+            q, stream, band, step, normalize, rt, nd
         )
         from ..batch.engine import argmin_first
 
@@ -140,7 +161,10 @@ def subsequence_search(
     windows = 0
     for start in range(0, len(stream) - m + 1, step):
         window = stream[start:start + m]
-        w = znorm(window) if normalize else list(window)
+        if nd:
+            w = znorm_nd(window) if normalize else list(window)
+        else:
+            w = znorm(window) if normalize else list(window)
         windows += 1
         d = cascade.distance(w, best_so_far=best)
         if d < best:
@@ -198,13 +222,18 @@ def subsequence_search_topk(
         raise ValueError("exclusion must be positive")
     validate_series(query, "query")
     validate_series(stream, "stream")
+    nd = _check_nd(query, stream)
 
-    q = znorm(query) if normalize else list(query)
+    if nd:
+        q = znorm_nd(query) if normalize else list(query)
+    else:
+        q = znorm(query) if normalize else list(query)
 
     if index is not None:
         index.require(
             kind="windows", band=band, window=m, step=step,
             normalize=normalize,
+            dims=len(query[0]) if nd else 1,
         )
         index.verify_stream(stream)
         with index.searcher(runtime=rt).scan(q) as scan:
@@ -215,7 +244,7 @@ def subsequence_search_topk(
 
     if rt.parallel:
         starts, distances, cells = _batched_window_distances(
-            q, stream, band, step, normalize, rt
+            q, stream, band, step, normalize, rt, nd
         )
         windows = len(starts)
         stats = _full_compute_stats(windows, cells)
@@ -236,7 +265,10 @@ def subsequence_search_topk(
 
     def window_distance(j: int, bound: float) -> float:
         w = stream[starts[j]:starts[j] + m]
-        w = znorm(w) if normalize else list(w)
+        if nd:
+            w = znorm_nd(w) if normalize else list(w)
+        else:
+            w = znorm(w) if normalize else list(w)
         return cascade.distance(w, best_so_far=bound)
 
     return _topk_select(
@@ -300,25 +332,35 @@ def _batched_window_distances(
     step: int,
     normalize: bool,
     rt: Runtime,
+    nd: bool = False,
 ) -> Tuple[List[int], List[float], int]:
     """Exact cDTW of ``q`` against every stream window, batched.
 
     Materialises the (z-normalised) windows and computes each exact
-    distance as one batch-engine job.  Returns the window start
-    offsets, their distances in offset order, and the DP cell total.
+    distance as one batch-engine job (the ``cdtw_d`` measure for
+    multivariate streams).  Returns the window start offsets, their
+    distances in offset order, and the DP cell total.
     """
     from ..batch.engine import batch_distances
 
     m = len(q)
     starts = list(range(0, len(stream) - m + 1, step))
-    windows = [
-        znorm(stream[s:s + m]) if normalize else list(stream[s:s + m])
-        for s in starts
-    ]
+    if nd:
+        windows = [
+            znorm_nd(stream[s:s + m]) if normalize
+            else list(stream[s:s + m])
+            for s in starts
+        ]
+    else:
+        windows = [
+            znorm(stream[s:s + m]) if normalize
+            else list(stream[s:s + m])
+            for s in starts
+        ]
     result = batch_distances(
         [list(q)] + windows,
         pairs=[(0, i + 1) for i in range(len(windows))],
-        measure="cdtw",
+        measure="cdtw_d" if nd else "cdtw",
         band=band,
         runtime=rt,
     )

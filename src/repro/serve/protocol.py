@@ -74,7 +74,9 @@ class QueryRequest:
 
     op: str
     dataset: str
-    query: Optional[Tuple[float, ...]] = None
+    #: flat float tuple, or a tuple of per-sample float tuples for
+    #: multivariate queries
+    query: Optional[Tuple[Any, ...]] = None
     params: Mapping[str, Any] = field(default_factory=dict)
     id: Optional[str] = None
 
@@ -140,14 +142,43 @@ class QueryResponse:
         return out
 
 
-def _as_series(value: Any) -> Tuple[float, ...]:
+def _as_series(value: Any) -> Tuple[Any, ...]:
+    """Canonicalise a query: flat floats, or nested vector samples.
+
+    A multivariate query arrives as a sequence of equal-length number
+    sequences (one ``(length, dims)`` sample per row) and comes back
+    as a tuple of float tuples -- exactly the sample shape registered
+    multivariate datasets hold.
+    """
     try:
-        series = tuple(float(v) for v in value)
-    except (TypeError, ValueError):
-        raise ProtocolError(f"query must be a sequence of numbers")
-    if not series:
+        items = list(value)
+    except TypeError:
+        raise ProtocolError("query must be a sequence of numbers")
+    if not items:
         raise ProtocolError("query must not be empty")
-    return series
+    if isinstance(items[0], (tuple, list)):
+        dims = len(items[0])
+        if dims == 0:
+            raise ProtocolError("query samples must not be empty")
+        samples = []
+        for i, sample in enumerate(items):
+            if not isinstance(sample, (tuple, list)) or len(sample) != dims:
+                raise ProtocolError(
+                    f"query sample {i} does not have {dims} components;"
+                    " a multivariate query is a sequence of equal-"
+                    "length number sequences"
+                )
+            try:
+                samples.append(tuple(float(c) for c in sample))
+            except (TypeError, ValueError):
+                raise ProtocolError(
+                    f"query sample {i} must contain only numbers"
+                )
+        return tuple(samples)
+    try:
+        return tuple(float(v) for v in items)
+    except (TypeError, ValueError):
+        raise ProtocolError("query must be a sequence of numbers")
 
 
 def _positive_int(value: Any, name: str) -> int:

@@ -24,7 +24,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
-from ..batch.shm import pack_dataset
+from ..batch.shm import dataset_dims, pack_dataset
 from ..core.rle import RleSeries
 from ..core.validate import validate_series
 from ..index import DatasetIndex, build_index, build_stream_index
@@ -44,20 +44,33 @@ class RegisteredDataset:
     ``rle_exact`` whether every value sits on the dyadic grid where
     the block DP is provably bit-identical to the dense engine
     (:meth:`repro.core.rle.RleSeries.exactness_grid`).
+
+    Multivariate datasets (rows of ``(length, dims)`` vector samples)
+    record ``dims > 1``; the RLE profile is skipped for them (the
+    compressed-domain engine is scalar), so they never auto-route.
     """
 
     name: str
     kind: str  # "collection" | "stream"
-    series: Tuple[Tuple[float, ...], ...]
+    series: Tuple[Tuple[Any, ...], ...]
     fingerprint: str
     run_counts: Tuple[int, ...] = ()
     compression_ratio: float = 1.0
     rle_exact: bool = False
+    dims: int = 1
 
     @property
     def stream(self) -> Tuple[float, ...]:
         """The stream values (``stream`` kind only)."""
         return self.series[0]
+
+
+def _canonical_row(values) -> Tuple[Any, ...]:
+    """One series as float tuples: flat, or per-sample for nd rows."""
+    items = list(values)
+    if items and isinstance(items[0], (tuple, list)):
+        return tuple(tuple(float(c) for c in v) for v in items)
+    return tuple(float(v) for v in items)
 
 
 def _rle_profile(rows) -> Tuple[Tuple[int, ...], float, bool]:
@@ -84,17 +97,26 @@ class DatasetRegistry:
         """
         if not name:
             raise ProtocolError("dataset name must be non-empty")
-        rows = [tuple(float(v) for v in s) for s in series]
+        rows = [_canonical_row(s) for s in series]
         if not rows:
             raise ProtocolError(f"dataset {name!r} has no series")
         for i, row in enumerate(rows):
             validate_series(row, f"series {i}")
+        try:
+            dims = dataset_dims(rows)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
         _, _, fingerprint = pack_dataset(rows)
-        runs, ratio, exact = _rle_profile(rows)
+        if dims is None:
+            runs, ratio, exact = _rle_profile(rows)
+        else:
+            # the RLE engine is scalar; nd datasets never route
+            runs, ratio, exact = (), 1.0, False
         entry = RegisteredDataset(
             name=name, kind="collection", series=tuple(rows),
             fingerprint=fingerprint, run_counts=runs,
             compression_ratio=ratio, rle_exact=exact,
+            dims=1 if dims is None else dims,
         )
         self._datasets[name] = entry
         return entry
@@ -103,14 +125,22 @@ class DatasetRegistry:
         """Register a single stream under ``name``."""
         if not name:
             raise ProtocolError("dataset name must be non-empty")
-        row = tuple(float(v) for v in values)
+        row = _canonical_row(values)
         validate_series(row, "stream")
+        try:
+            dims = dataset_dims([row])
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
         _, _, fingerprint = pack_dataset([row])
-        runs, ratio, exact = _rle_profile([row])
+        if dims is None:
+            runs, ratio, exact = _rle_profile([row])
+        else:
+            runs, ratio, exact = (), 1.0, False
         entry = RegisteredDataset(
             name=name, kind="stream", series=(row,),
             fingerprint=fingerprint, run_counts=runs,
             compression_ratio=ratio, rle_exact=exact,
+            dims=1 if dims is None else dims,
         )
         self._datasets[name] = entry
         return entry

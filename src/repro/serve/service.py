@@ -345,6 +345,12 @@ class QueryService:
         if forced is False:
             return False
         if forced is True:
+            if dataset.dims != 1:
+                raise ProtocolError(
+                    f"rle=true requested, but dataset {dataset.name!r}"
+                    " is multivariate; the compressed-domain engine is"
+                    " univariate"
+                )
             if not dataset.rle_exact:
                 raise ProtocolError(
                     f"rle=true requested, but dataset {dataset.name!r}"
@@ -424,9 +430,12 @@ class QueryService:
         first = group[0]
         dataset = self.registry.get(first.dataset)
         band = first.param("band")
-        measure = (
-            "rle_cdtw" if self._rle_routed(first, dataset) else "cdtw"
-        )
+        if self._rle_routed(first, dataset):
+            measure = "rle_cdtw"
+        elif dataset.dims != 1:
+            measure = "cdtw_d"
+        else:
+            measure = "cdtw"
         candidates = dataset.series
         count = len(candidates)
         usable: List[Tuple[int, QueryRequest]] = []
@@ -542,6 +551,17 @@ class QueryService:
 
     @staticmethod
     def _length_mismatch(query, candidates) -> Optional[ProtocolError]:
+        def _dims(s):
+            return len(s[0]) if s and hasattr(s[0], "__len__") else 1
+
+        q_dims = _dims(query)
+        bad_dims = [d for c in candidates if (d := _dims(c)) != q_dims]
+        if bad_dims:
+            return ProtocolError(
+                f"query has {q_dims} channel(s) but the dataset's "
+                f"series have {bad_dims[0]}; multivariate search "
+                "needs matching dimensionality"
+            )
         bad = [len(c) for c in candidates if len(c) != len(query)]
         if bad:
             return ProtocolError(
@@ -611,9 +631,12 @@ class QueryService:
             raise ProtocolError(
                 f"k={k} exceeds the {count} registered series"
             )
-        measure = (
-            "rle_cdtw" if self._rle_routed(request, dataset) else "cdtw"
-        )
+        if self._rle_routed(request, dataset):
+            measure = "rle_cdtw"
+        elif dataset.dims != 1:
+            measure = "cdtw_d"
+        else:
+            measure = "cdtw"
         series = list(dataset.series) + [request.query]
         result = batch_distances(
             series, pairs=[(count, j) for j in range(count)],

@@ -19,7 +19,10 @@ result records the check).  ``python -m repro kernels`` runs this and
 writes ``BENCH_kernels.json``; ``python -m repro kernels --warm``
 runs :func:`executor_benchmark` instead -- the warm-vs-cold pool
 comparison for the persistent :class:`repro.batch.executor.
-BatchExecutor` -- and writes ``BENCH_batch.json``.
+BatchExecutor` -- and writes ``BENCH_batch.json``; ``python -m repro
+kernels --nd`` runs :func:`multivariate_benchmark` -- the same
+comparison on a ``dims``-channel DTW_D workload -- and writes
+``BENCH_multivariate.json``.
 """
 
 from __future__ import annotations
@@ -36,6 +39,10 @@ DEFAULT_WINDOW = 0.1
 #: ``--smoke`` overrides: small enough for CI, same code paths.
 SMOKE_LENGTH = 128
 SMOKE_COUNT = 6
+
+#: Channel count for the ``--nd`` multivariate benchmark (a 3-axis
+#: accelerometer-style workload).
+DEFAULT_DIMS = 3
 
 
 def _best_of(repeats: int, fn: Callable[[], object]) -> Tuple[float, object]:
@@ -167,6 +174,140 @@ def kernel_benchmark(
             "pairs": pairs,
             "window": window,
             "measure": "cdtw",
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "timings": timings,
+        "speedups_over_python_serial": speedups,
+        "single_pair": {
+            "python_seconds": py_seconds,
+            "numpy_seconds": np_seconds,
+            "speedup": (
+                py_seconds / np_seconds if np_seconds > 0 else float("inf")
+            ),
+            "identical": single_identical,
+        },
+        "parity": {
+            "distances_identical": distances_identical,
+            "cells_identical": cells_identical,
+        },
+    }
+
+
+def multivariate_benchmark(
+    length: int = DEFAULT_LENGTH,
+    count: int = DEFAULT_COUNT,
+    window: float = DEFAULT_WINDOW,
+    workers: int = 2,
+    repeats: int = 3,
+    seed: int = 0,
+    dims: int = DEFAULT_DIMS,
+) -> Dict:
+    """Time the backends on one all-pairs *multivariate* workload.
+
+    The vector twin of :func:`kernel_benchmark`: ``count`` series of
+    ``length`` samples with ``dims`` channels each (independent
+    random walks interleaved sample-major, the accelerometer shape),
+    all pairs under the dependent measure ``cdtw_d``.  The same rows
+    are timed -- ``python_serial``, ``numpy_serial`` and, with
+    ``workers > 1``, both worker-pool rows -- and the same parity
+    gate applies: distances and DP cell counts must be bit-identical
+    across every backend/worker combination, which is the CI
+    guarantee the ``--nd`` smoke run enforces.
+    """
+    if count < 2:
+        raise ValueError("count must be at least 2")
+    if length < 2:
+        raise ValueError("length must be at least 2")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if dims < 2:
+        raise ValueError("dims must be at least 2")
+    from ..batch.engine import batch_distances
+    from ..core.measures import measure_fn
+    from ..core.multivariate import cdtw_nd, interleave
+    from ..datasets.random_walk import random_walks
+
+    # one deterministic scalar walk per (series, channel), interleaved
+    # into (length, dims) rows
+    channels = random_walks(count * dims, length, seed=seed)
+    series = [
+        interleave(*channels[i * dims:(i + 1) * dims])
+        for i in range(count)
+    ]
+    pairs = count * (count - 1) // 2
+
+    def run_batch(backend: str, n_workers: int):
+        return batch_distances(
+            series, measure="cdtw_d", window=window,
+            backend=backend, workers=n_workers,
+        )
+
+    timings: Dict[str, Dict] = {}
+    results = {}
+    plan = [
+        ("python_serial", "python", 1),
+        ("numpy_serial", "numpy", 1),
+    ]
+    if workers > 1:
+        plan.append(("python_workers", "python", workers))
+        plan.append(("numpy_workers", "numpy", workers))
+    for label, backend, n_workers in plan:
+        seconds, result = _best_of(
+            repeats, lambda b=backend, w=n_workers: run_batch(b, w)
+        )
+        results[label] = result
+        timings[label] = {
+            "backend": backend,
+            "workers": n_workers,
+            "seconds": seconds,
+            "per_pair_seconds": seconds / pairs,
+        }
+
+    reference = results["python_serial"]
+    distances_identical = all(
+        r.distances == reference.distances for r in results.values()
+    )
+    cells_identical = all(
+        r.cells_per_pair == reference.cells_per_pair
+        for r in results.values()
+    )
+
+    # single-pair numbers: pure-python cdtw_nd vs the stacked kernel
+    x, y = series[0], series[1]
+    numpy_fn = measure_fn("cdtw_d", window=window, backend="numpy")
+    py_seconds, py_result = _best_of(
+        repeats, lambda: cdtw_nd(x, y, window=window)
+    )
+    np_seconds, np_result = _best_of(repeats, lambda: numpy_fn(x, y))
+    single_identical = (
+        py_result.distance == np_result.distance
+        and py_result.cells == np_result.cells
+    )
+
+    base = timings["python_serial"]["seconds"]
+    speedups = {
+        label: (base / t["seconds"]) if t["seconds"] > 0 else float("inf")
+        for label, t in timings.items()
+        if label != "python_serial"
+    }
+
+    return {
+        "benchmark": "repro.timing.kernel_bench/multivariate",
+        "note": (
+            "multivariate (DTW_D) backend comparison; the paper's own "
+            "timings are univariate and pinned to backend='python'"
+        ),
+        "workload": {
+            "kind": "interleaved_random_walks",
+            "count": count,
+            "length": length,
+            "dims": dims,
+            "pairs": pairs,
+            "window": window,
+            "measure": "cdtw_d",
             "seed": seed,
             "repeats": repeats,
         },
@@ -401,9 +542,12 @@ def format_executor_report(report: Dict) -> str:
 def format_report(report: Dict) -> str:
     """Human-readable summary of :func:`kernel_benchmark` output."""
     w = report["workload"]
+    shape = f"k={w['count']}, n={w['length']}"
+    if w.get("dims", 1) != 1:
+        shape += f", d={w['dims']}"
     lines = [
-        f"kernels: {w['pairs']} pairs of cdtw "
-        f"(k={w['count']}, n={w['length']}, window={w['window']})",
+        f"kernels: {w['pairs']} pairs of {w['measure']} "
+        f"({shape}, window={w['window']})",
     ]
     for label, t in report["timings"].items():
         speedup = report["speedups_over_python_serial"].get(label)

@@ -16,7 +16,7 @@ import random
 import pytest
 
 from repro.batch import all_pairs, argmin_first, batch_distances
-from repro.core.measures import MEASURES
+from repro.core.measures import MEASURES, ND_MEASURES
 
 WORKER_COUNTS = (1, 2, 4)
 
@@ -29,6 +29,10 @@ MEASURE_CONFIGS = {
     "euclidean": {},
     "rle_dtw": {},
     "rle_cdtw": {"window": 0.2},
+    "dtw_d": {},
+    "cdtw_d": {"window": 0.2},
+    "dtw_i": {},
+    "cdtw_i": {"window": 0.2},
 }
 
 
@@ -41,6 +45,25 @@ def fuzz_series(seed: int, count: int, length: int):
     ]
 
 
+def fuzz_vector_series(seed: int, count: int, length: int, dims: int = 3):
+    """Seeded random multivariate series set, (length, dims) samples."""
+    rng = random.Random(seed)
+    return [
+        [
+            tuple(rng.uniform(-3.0, 3.0) for _ in range(dims))
+            for _ in range(length)
+        ]
+        for _ in range(count)
+    ]
+
+
+def series_for(measure: str, seed: int, count: int, length: int):
+    """Fixture data matched to the measure's dimensionality."""
+    if measure in ND_MEASURES:
+        return fuzz_vector_series(seed, count, length)
+    return fuzz_series(seed, count, length)
+
+
 def test_every_measure_is_configured():
     assert set(MEASURE_CONFIGS) == set(MEASURES)
 
@@ -51,7 +74,7 @@ class TestDistancesAndCells:
     @pytest.mark.parametrize("measure", MEASURES)
     @pytest.mark.parametrize("seed", [0, 1])
     def test_serial_parallel_identical(self, measure, seed):
-        series = fuzz_series(seed, count=7, length=30 + 3 * seed)
+        series = series_for(measure, seed, count=7, length=30 + 3 * seed)
         kwargs = MEASURE_CONFIGS[measure]
         results = [
             batch_distances(series, measure=measure, workers=w, **kwargs)
@@ -120,7 +143,7 @@ class TestStartMethodAndExecutorColumns:
 
     @pytest.mark.parametrize("measure", MEASURES)
     def test_spawn_column_identical(self, measure):
-        series = fuzz_series(21, count=5, length=24)
+        series = series_for(measure, 21, count=5, length=24)
         kwargs = MEASURE_CONFIGS[measure]
         serial = batch_distances(series, measure=measure, **kwargs)
         spawned = batch_distances(
@@ -135,7 +158,7 @@ class TestStartMethodAndExecutorColumns:
     def test_executor_cold_and_warm_identical(self, measure):
         from repro.batch import BatchExecutor
 
-        series = fuzz_series(22, count=6, length=26)
+        series = series_for(measure, 22, count=6, length=26)
         kwargs = MEASURE_CONFIGS[measure]
         serial = batch_distances(series, measure=measure, **kwargs)
         with BatchExecutor(workers=2, cap=None) as exe:
@@ -167,13 +190,20 @@ class TestStartMethodAndExecutorColumns:
 class TestTieBreaking:
     """First-wins tie-breaks survive parallel execution."""
 
-    def tied_series(self, seed: int):
+    def tied_series(self, seed: int, nd: bool = False):
         """A query plus candidates containing exact duplicates."""
         rng = random.Random(seed)
-        query = [rng.uniform(-2, 2) for _ in range(20)]
-        unique = [
-            [rng.uniform(-2, 2) for _ in range(20)] for _ in range(3)
-        ]
+        if nd:
+            def draw():
+                return [
+                    tuple(rng.uniform(-2, 2) for _ in range(3))
+                    for _ in range(20)
+                ]
+        else:
+            def draw():
+                return [rng.uniform(-2, 2) for _ in range(20)]
+        query = draw()
+        unique = [draw() for _ in range(3)]
         # candidates 1 and 3 are identical, as are 2 and 4: every
         # distance value appears at least twice
         candidates = [
@@ -184,7 +214,9 @@ class TestTieBreaking:
     @pytest.mark.parametrize("measure", MEASURES)
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_argmin_prefers_first_duplicate(self, measure, workers):
-        query, candidates = self.tied_series(seed=11)
+        query, candidates = self.tied_series(
+            seed=11, nd=measure in ND_MEASURES
+        )
         kwargs = MEASURE_CONFIGS[measure]
         series = [query] + candidates
         pairs = [(0, i + 1) for i in range(len(candidates))]

@@ -21,9 +21,9 @@ from repro.cluster.dba import dba
 from repro.cluster.kmeans import dtw_kmeans
 from repro.cluster.linkage import linkage, linkage_from_series
 from repro.core.matrix import distance_matrix
-from repro.core.measures import MEASURES
+from repro.core.measures import MEASURES, ND_MEASURES
 from repro.search.nn_search import nearest_neighbor
-from tests.conftest import make_series
+from tests.conftest import make_series, make_vectors
 
 MATRIX_KWARGS = {
     "dtw": {},
@@ -33,6 +33,10 @@ MATRIX_KWARGS = {
     "euclidean": {},
     "rle_dtw": {},
     "rle_cdtw": {"window": 0.2},
+    "dtw_d": {},
+    "cdtw_d": {"window": 0.2},
+    "dtw_i": {},
+    "cdtw_i": {"window": 0.2},
 }
 
 
@@ -45,7 +49,10 @@ def labelled_set(count=8, length=24, seed=100):
 class TestDistanceMatrix:
     @pytest.mark.parametrize("measure", MEASURES)
     def test_workers_invariant(self, measure):
-        series = [make_series(20, seed=s) for s in range(6)]
+        if measure in ND_MEASURES:
+            series = [make_vectors(20, 2, seed=s) for s in range(6)]
+        else:
+            series = [make_series(20, seed=s) for s in range(6)]
         serial = distance_matrix(
             series, measure=measure, **MATRIX_KWARGS[measure]
         )

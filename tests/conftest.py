@@ -13,6 +13,15 @@ def make_series(n: int, seed: int, lo: float = -3.0, hi: float = 3.0):
     return [rng.uniform(lo, hi) for _ in range(n)]
 
 
+def make_vectors(n: int, dim: int, seed: int,
+                 lo: float = -3.0, hi: float = 3.0):
+    """Deterministic random multivariate series: n samples of dim."""
+    rng = random.Random(seed)
+    return [
+        tuple(rng.uniform(lo, hi) for _ in range(dim)) for _ in range(n)
+    ]
+
+
 @pytest.fixture
 def rng():
     """A fresh deterministic RNG per test."""

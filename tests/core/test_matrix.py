@@ -5,12 +5,17 @@ import pytest
 from repro.core.cdtw import cdtw
 from repro.core.dtw import dtw
 from repro.core.matrix import MEASURES, distance_matrix
-from tests.conftest import make_series
+from tests.conftest import make_series, make_vectors
 
 
 @pytest.fixture(scope="module")
 def series():
     return [make_series(16, s) for s in range(5)]
+
+
+@pytest.fixture(scope="module")
+def vector_series():
+    return [make_vectors(16, 3, s) for s in range(5)]
 
 
 class TestDistanceMatrix:
@@ -31,13 +36,16 @@ class TestDistanceMatrix:
                 )
 
     @pytest.mark.parametrize("measure", MEASURES)
-    def test_all_measures_run(self, series, measure):
+    def test_all_measures_run(self, series, vector_series, measure):
+        from repro.core.measures import ND_MEASURES
+
         kwargs = {}
-        if measure in ("cdtw", "rle_cdtw"):
+        if measure in ("cdtw", "rle_cdtw", "cdtw_d", "cdtw_i"):
             kwargs["band"] = 2
         if measure.startswith("fastdtw"):
             kwargs["radius"] = 2
-        m = distance_matrix(series, measure=measure, **kwargs)
+        data = vector_series if measure in ND_MEASURES else series
+        m = distance_matrix(data, measure=measure, **kwargs)
         assert len(m) == 5
 
     def test_cells_accumulated(self, series):

@@ -13,6 +13,7 @@ import random
 import pytest
 
 from repro.core.matrix import MEASURES, distance_matrix
+from repro.core.measures import ND_MEASURES
 
 MEASURE_KWARGS = {
     "dtw": {},
@@ -22,6 +23,10 @@ MEASURE_KWARGS = {
     "euclidean": {},
     "rle_dtw": {},
     "rle_cdtw": {"window": 0.25},
+    "dtw_d": {},
+    "cdtw_d": {"window": 0.25},
+    "dtw_i": {},
+    "cdtw_i": {"window": 0.25},
 }
 
 
@@ -33,11 +38,26 @@ def random_series_set(seed: int, count: int, length: int):
     ]
 
 
+def random_vector_series_set(seed: int, count: int, length: int,
+                             dims: int = 2):
+    rng = random.Random(seed)
+    return [
+        [
+            tuple(rng.uniform(-3.0, 3.0) for _ in range(dims))
+            for _ in range(length)
+        ]
+        for _ in range(count)
+    ]
+
+
 @pytest.mark.parametrize("measure", MEASURES)
 @pytest.mark.parametrize("seed", [0, 7, 42])
 class TestMatrixInvariants:
     def build(self, measure, seed):
-        series = random_series_set(seed, count=5, length=18)
+        if measure in ND_MEASURES:
+            series = random_vector_series_set(seed, count=5, length=18)
+        else:
+            series = random_series_set(seed, count=5, length=18)
         return distance_matrix(
             series, measure=measure, **MEASURE_KWARGS[measure]
         )
@@ -78,11 +98,19 @@ class TestDeterministicTieBreaking:
     @pytest.mark.parametrize("measure", MEASURES)
     def test_duplicate_series_tie_towards_smallest_index(self, measure):
         rng = random.Random(13)
-        a = [rng.uniform(-2, 2) for _ in range(16)]
-        b = [rng.uniform(-2, 2) for _ in range(16)]
+        if measure in ND_MEASURES:
+            a = [tuple(rng.uniform(-2, 2) for _ in range(2))
+                 for _ in range(16)]
+            b = [tuple(rng.uniform(-2, 2) for _ in range(2))
+                 for _ in range(16)]
+            far = [tuple(c + 10.0 for c in v) for v in a]
+        else:
+            a = [rng.uniform(-2, 2) for _ in range(16)]
+            b = [rng.uniform(-2, 2) for _ in range(16)]
+            far = [v + 10.0 for v in a]
         # series 1 and 3 are identical copies of b: from 0's point of
         # view they tie exactly, and nearest_to must pick the smaller
-        series = [a, list(b), [v + 10.0 for v in a], list(b)]
+        series = [a, list(b), far, list(b)]
         matrix = distance_matrix(
             series, measure=measure, **MEASURE_KWARGS[measure]
         )

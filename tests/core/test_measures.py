@@ -34,7 +34,7 @@ class TestRegistryAgreement:
         # the classifier must actually support everything it claims
         for measure in MEASURES:
             kwargs = {}
-            if measure in ("cdtw", "rle_cdtw"):
+            if measure in ("cdtw", "rle_cdtw", "cdtw_d", "cdtw_i"):
                 kwargs["window"] = 0.1
             elif measure in ("fastdtw", "fastdtw_reference"):
                 kwargs["radius"] = 1
@@ -62,9 +62,17 @@ class TestDispatch:
 
     @pytest.mark.parametrize("measure", MEASURES)
     def test_measure_fn_runs_every_measure(self, measure):
-        x = [0.0, 1.0, 2.0, 1.0]
-        y = [0.0, 2.0, 1.0, 1.0]
-        fn = measure_fn(measure, window=0.5, radius=1)
+        from repro.core.measures import ND_MEASURES
+
+        if measure in ND_MEASURES:
+            x = [(0.0, 1.0), (1.0, 0.0), (2.0, 2.0), (1.0, 1.0)]
+            y = [(0.0, 0.0), (2.0, 1.0), (1.0, 2.0), (1.0, 1.0)]
+            kwargs = {"window": 0.5} if measure.startswith("cdtw") else {}
+            fn = measure_fn(measure, **kwargs)
+        else:
+            x = [0.0, 1.0, 2.0, 1.0]
+            y = [0.0, 2.0, 1.0, 1.0]
+            fn = measure_fn(measure, window=0.5, radius=1)
         distance, cells, _path = split_result(fn(x, y))
         assert distance >= 0.0
         if measure in CELL_COUNTED_MEASURES:

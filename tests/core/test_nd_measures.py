@@ -1,0 +1,221 @@
+"""The multivariate measure registry entries (DTW_D / DTW_I).
+
+Covers the ``measure_fn`` dispatch of the four nd measures across
+backends, the dependent/independent ordering ``DTW_I <= DTW_D``, the
+flat-scalar-series refusal, and the ``abandon_above=`` contract of
+the fastdtw measures (scalar and nd).
+"""
+
+from math import inf
+
+import pytest
+
+from repro.core.cdtw import cdtw
+from repro.core.dtw import dtw
+from repro.core.fastdtw import fastdtw
+from repro.core.measures import (
+    MEASURES,
+    ND_BANDED_MEASURES,
+    ND_MEASURES,
+    measure_fn,
+    split_result,
+)
+from repro.core.multivariate import (
+    cdtw_i,
+    cdtw_nd,
+    dtw_i,
+    dtw_nd,
+    fastdtw_nd,
+)
+from tests.conftest import make_vectors
+
+BACKENDS = ("python", "numpy")
+
+
+class TestRegistry:
+    def test_nd_measures_are_registered(self):
+        for m in ND_MEASURES:
+            assert m in MEASURES
+
+    @pytest.mark.parametrize("measure", ND_BANDED_MEASURES)
+    def test_banded_measures_require_one_constraint(self, measure):
+        with pytest.raises(ValueError, match="exactly one"):
+            measure_fn(measure)
+        with pytest.raises(ValueError, match="exactly one"):
+            measure_fn(measure, window=0.1, band=2)
+
+    @pytest.mark.parametrize("measure", ("dtw_d", "dtw_i"))
+    def test_unconstrained_measures_reject_band(self, measure):
+        with pytest.raises(ValueError, match="takes no window"):
+            measure_fn(measure, band=2)
+
+
+class TestDispatch:
+    """measure_fn(nd measure) equals the direct multivariate API."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_dtw_d(self, backend):
+        x, y = make_vectors(20, 3, 1), make_vectors(24, 3, 2)
+        fn = measure_fn("dtw_d", backend=backend)
+        d, cells, _ = split_result(fn(x, y))
+        ref = dtw_nd(x, y)
+        assert d == ref.distance and cells == ref.cells
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_cdtw_d(self, backend):
+        x, y = make_vectors(20, 3, 3), make_vectors(20, 3, 4)
+        fn = measure_fn("cdtw_d", band=4, backend=backend)
+        d, cells, _ = split_result(fn(x, y))
+        ref = cdtw_nd(x, y, band=4)
+        assert d == ref.distance and cells == ref.cells
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_dtw_i(self, backend):
+        x, y = make_vectors(18, 2, 5), make_vectors(22, 2, 6)
+        fn = measure_fn("dtw_i", backend=backend)
+        d, cells, _ = split_result(fn(x, y))
+        ref = dtw_i(x, y)
+        assert d == ref.distance and cells == ref.cells
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_cdtw_i(self, backend):
+        x, y = make_vectors(18, 2, 7), make_vectors(18, 2, 8)
+        fn = measure_fn("cdtw_i", band=3, backend=backend)
+        d, cells, _ = split_result(fn(x, y))
+        ref = cdtw_i(x, y, band=3)
+        assert d == ref.distance and cells == ref.cells
+
+    @pytest.mark.parametrize("measure", ("cdtw_d", "cdtw_i"))
+    def test_window_fraction_accepted(self, measure):
+        x, y = make_vectors(30, 2, 9), make_vectors(30, 2, 10)
+        fn = measure_fn(measure, window=0.2)
+        d, _, _ = split_result(fn(x, y))
+        assert d >= 0.0
+
+    @pytest.mark.parametrize("measure", ND_MEASURES)
+    def test_backends_agree_bit_for_bit(self, measure):
+        x, y = make_vectors(25, 3, 11), make_vectors(25, 3, 12)
+        kwargs = {"band": 5} if measure in ND_BANDED_MEASURES else {}
+        py = split_result(
+            measure_fn(measure, backend="python", **kwargs)(x, y)
+        )
+        np_ = split_result(
+            measure_fn(measure, backend="numpy", **kwargs)(x, y)
+        )
+        assert py == np_
+
+
+class TestOrdering:
+    """DTW_I <= DTW_D for the squared cost, banded or not."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_independent_below_dependent(self, seed):
+        x = make_vectors(30, 3, seed)
+        y = make_vectors(30, 3, seed + 100)
+        assert dtw_i(x, y).distance <= dtw_nd(x, y).distance + 1e-9
+        assert (
+            cdtw_i(x, y, band=4).distance
+            <= cdtw_nd(x, y, band=4).distance + 1e-9
+        )
+
+
+class TestFlatSeriesRefused:
+    """Regression: a flat scalar series must name the fix, not crash
+    with an opaque TypeError deep in the cost function."""
+
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            dtw_nd,
+            lambda x, y: cdtw_nd(x, y, band=2),
+            dtw_i,
+            lambda x, y: cdtw_i(x, y, band=2),
+            fastdtw_nd,
+        ],
+        ids=["dtw_nd", "cdtw_nd", "dtw_i", "cdtw_i", "fastdtw_nd"],
+    )
+    def test_flat_series_raises_value_error(self, fn):
+        flat = [0.0, 1.0, 2.0, 3.0]
+        vec = make_vectors(4, 2, 0)
+        with pytest.raises(ValueError, match="flat scalar series"):
+            fn(flat, vec)
+        with pytest.raises(ValueError, match="flat scalar series"):
+            fn(vec, flat)
+
+    @pytest.mark.parametrize("measure", ND_MEASURES)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_measure_fn_routes_refuse_flat(self, measure, backend):
+        kwargs = {"band": 2} if measure in ND_BANDED_MEASURES else {}
+        fn = measure_fn(measure, backend=backend, **kwargs)
+        with pytest.raises(ValueError, match="flat scalar series"):
+            fn([0.0, 1.0, 2.0], make_vectors(3, 2, 1))
+
+
+class TestFastdtwAbandon:
+    """abandon_above= on fastdtw (scalar) and fastdtw_nd."""
+
+    def test_nd_loose_threshold_is_inert(self):
+        x, y = make_vectors(40, 3, 1), make_vectors(40, 3, 2)
+        plain = fastdtw_nd(x, y, radius=1)
+        kept = fastdtw_nd(
+            x, y, radius=1, abandon_above=plain.distance + 1.0
+        )
+        assert not kept.abandoned
+        assert kept.distance == plain.distance
+        assert kept.path == plain.path
+
+    def test_nd_tight_threshold_abandons(self):
+        x, y = make_vectors(40, 3, 3), make_vectors(40, 3, 4)
+        plain = fastdtw_nd(x, y, radius=1)
+        assert plain.distance > 0
+        dropped = fastdtw_nd(
+            x, y, radius=1, abandon_above=plain.distance / 2.0
+        )
+        assert dropped.abandoned
+        assert dropped.distance == inf
+        assert dropped.path is None
+
+    def test_nd_abandon_saves_cells(self):
+        x, y = make_vectors(60, 2, 5), make_vectors(60, 2, 6)
+        plain = fastdtw_nd(x, y, radius=1)
+        dropped = fastdtw_nd(x, y, radius=1, abandon_above=0.0)
+        assert dropped.abandoned
+        assert dropped.cells < plain.cells
+
+    def test_scalar_loose_threshold_is_inert(self):
+        from tests.conftest import make_series
+
+        x, y = make_series(40, 1), make_series(40, 2)
+        plain = fastdtw(x, y, radius=1)
+        kept = fastdtw(x, y, radius=1, abandon_above=plain.distance + 1.0)
+        assert not kept.abandoned
+        assert kept.distance == plain.distance
+
+    def test_scalar_tight_threshold_abandons(self):
+        from tests.conftest import make_series
+
+        x, y = make_series(40, 3), make_series(40, 4)
+        plain = fastdtw(x, y, radius=1)
+        assert plain.distance > 0
+        dropped = fastdtw(
+            x, y, radius=1, abandon_above=plain.distance / 2.0
+        )
+        assert dropped.abandoned
+        assert dropped.distance == inf
+
+
+class TestDim1Sanity:
+    """Quick dim-1 check here; the exhaustive reduction suite lives in
+    tests/core/test_dim1_reduction.py."""
+
+    def test_dim1_equals_scalar(self):
+        from tests.conftest import make_series
+
+        xs, ys = make_series(16, 1), make_series(16, 2)
+        vx = [(v,) for v in xs]
+        vy = [(v,) for v in ys]
+        assert dtw_nd(vx, vy).distance == dtw(xs, ys).distance
+        assert (
+            cdtw_i(vx, vy, band=3).distance
+            == cdtw(xs, ys, band=3).distance
+        )

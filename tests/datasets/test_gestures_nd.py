@@ -1,0 +1,86 @@
+"""Round trips between the multivariate gesture generator, the
+channel helpers (``interleave`` / ``split_channels``), and the
+``magnitude`` reduction.
+
+UWave-style archives ship one dataset per accelerometer axis; these
+tests pin the lossless conversions between that per-axis layout and
+the ``(length, axes)`` series :func:`multivariate_gestures` emits.
+"""
+
+import math
+
+import pytest
+
+from repro.core.multivariate import interleave, magnitude, split_channels
+from repro.datasets.gestures import multivariate_gestures
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return multivariate_gestures(
+        n_classes=3, per_class=2, length=32, axes=3, seed=7
+    )
+
+
+class TestGeneratorShape:
+    def test_counts_lengths_and_axes(self, dataset):
+        series, labels = dataset
+        assert len(series) == 6
+        assert labels == [0, 0, 1, 1, 2, 2]
+        for s in series:
+            assert len(s) == 32
+            assert all(len(v) == 3 for v in s)
+
+    def test_deterministic_per_seed(self, dataset):
+        again, labels = multivariate_gestures(
+            n_classes=3, per_class=2, length=32, axes=3, seed=7
+        )
+        assert again == dataset[0]
+        assert labels == dataset[1]
+        other, _ = multivariate_gestures(
+            n_classes=3, per_class=2, length=32, axes=3, seed=8
+        )
+        assert other != dataset[0]
+
+
+class TestInterleaveRoundTrip:
+    def test_split_inverts_interleave(self):
+        a, b = [1.0, 2.0, 3.0], [10.0, 20.0, 30.0]
+        assert split_channels(interleave(a, b)) == [a, b]
+
+    def test_interleave_inverts_split(self, dataset):
+        """Splitting a generated gesture into per-axis UWave-style
+        channels and re-interleaving reproduces it exactly."""
+        series, _ = dataset
+        for s in series:
+            xs, ys, zs = split_channels(s)
+            assert interleave(xs, ys, zs) == [tuple(v) for v in s]
+
+    def test_interleave_refuses_ragged_channels(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            interleave([1.0, 2.0], [1.0])
+
+    def test_interleave_refuses_no_channels(self):
+        with pytest.raises(ValueError, match="at least one"):
+            interleave()
+
+
+class TestMagnitude:
+    def test_known_norms(self):
+        assert magnitude([(3.0, 4.0), (0.0, 0.0)]) == [5.0, 0.0]
+
+    def test_equals_per_channel_norm(self, dataset):
+        series, _ = dataset
+        s = series[0]
+        chans = split_channels(s)
+        want = [
+            math.sqrt(sum(c[i] ** 2 for c in chans))
+            for i in range(len(s))
+        ]
+        assert magnitude(s) == want
+
+    def test_magnitude_is_univariate(self, dataset):
+        series, _ = dataset
+        flat = magnitude(series[0])
+        assert all(isinstance(v, float) for v in flat)
+        assert len(flat) == len(series[0])

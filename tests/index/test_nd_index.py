@@ -1,0 +1,226 @@
+"""The ahead-of-time index's multivariate extension.
+
+Covers nd builds (flat sample-major rows, per-channel envelopes,
+2*dims endpoint/moment features), the ``repro.index/v1+nd`` on-disk
+format with its backward-compatibility guarantees (dims-1 files stay
+plain ``repro.index/v1`` byte-for-byte; cross-format confusion is
+refused loudly in both directions), the dims check on queries, and
+indexed-search losslessness against the brute-force nd scan.
+"""
+
+import json
+
+import pytest
+
+from repro.batch.shm import pack_dataset
+from repro.core.multivariate import cdtw_nd
+from repro.index import (
+    FORMAT,
+    IndexMismatchError,
+    build_index,
+    build_stream_index,
+    load_index,
+    save_index,
+)
+from repro.index.storage import FORMAT_ND, _fingerprint
+from repro.lowerbounds.nd import envelopes_nd
+from tests.conftest import make_series, make_vectors
+
+
+def _nd_collection(count=5, n=16, dims=3):
+    return [make_vectors(n, dims, s) for s in range(count)]
+
+
+class TestBuild:
+    def test_collection_build_records_dims(self):
+        series = _nd_collection()
+        index = build_index(series, band=3)
+        assert index.dims == 3
+        assert index.length == 16
+        assert len(index) == 5
+        assert index.describe()["dims"] == 3
+
+    def test_candidate_series_round_trip(self):
+        series = _nd_collection(count=3, n=8, dims=2)
+        index = build_index(series, band=2)
+        back = index.candidate_series()
+        assert len(back) == 3
+        for orig, got in zip(series, back):
+            assert [tuple(v) for v in got] == [tuple(v) for v in orig]
+
+    def test_envelopes_match_per_channel_reference(self):
+        series = _nd_collection(count=3, n=10, dims=3)
+        index = build_index(series, band=2)
+        for i, s in enumerate(series):
+            stored = index.envelope(i)
+            reference = envelopes_nd(s, 2)
+            assert len(stored) == 3
+            for env_s, env_r in zip(stored, reference):
+                assert list(env_s.upper) == list(env_r.upper)
+                assert list(env_s.lower) == list(env_r.lower)
+
+    def test_kim_and_moments_are_two_per_dim(self):
+        series = _nd_collection(count=2, n=8, dims=3)
+        index = build_index(series, band=2)
+        for row in index.kim:
+            assert len(row) == 6
+        for row in index.moments:
+            assert len(row) == 6
+
+    def test_stream_build_records_dims(self):
+        stream = make_vectors(40, 2, 7)
+        index = build_stream_index(stream, window=10, band=2)
+        assert index.dims == 2
+        assert index.window == 10
+
+    def test_require_checks_dims(self):
+        index = build_index(_nd_collection(), band=3)
+        index.require(kind="collection", band=3, dims=3)
+        with pytest.raises(IndexMismatchError, match="dims"):
+            index.require(kind="collection", band=3, dims=1)
+
+
+class TestStorageFormat:
+    def test_nd_file_declares_extended_format(self, tmp_path):
+        index = build_index(_nd_collection(), band=3)
+        path = tmp_path / "nd.idx"
+        header = save_index(index, path)
+        assert header["format"] == FORMAT_ND
+        assert header["dims"] == 3
+
+    def test_dim1_file_stays_plain_v1(self, tmp_path):
+        """No dims key, plain v1 format string: a dims-1 header is
+        byte-identical to what pre-multivariate builds wrote."""
+        series = [make_series(12, s) for s in range(4)]
+        index = build_index(series, band=2)
+        header = save_index(index, tmp_path / "flat.idx")
+        assert header["format"] == FORMAT
+        assert "dims" not in header
+
+    def test_nd_round_trip_is_lossless(self, tmp_path):
+        series = _nd_collection(count=4, n=12, dims=3)
+        index = build_index(series, band=3)
+        path = tmp_path / "nd.idx"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.dims == 3
+        assert loaded.series == index.series
+        assert loaded.upper == index.upper
+        assert loaded.lower == index.lower
+        assert loaded.kim == index.kim
+        assert loaded.moments == index.moments
+        assert loaded.source_fingerprint == index.source_fingerprint
+
+    def test_source_fingerprint_pins_nd_dataset(self, tmp_path):
+        series = _nd_collection(count=3, n=10, dims=2)
+        index = build_index(series, band=2)
+        path = tmp_path / "nd.idx"
+        save_index(index, path)
+        fp = pack_dataset(
+            [[tuple(float(c) for c in v) for v in s] for s in series]
+        )[2]
+        assert load_index(path, expected_fingerprint=fp).dims == 2
+        with pytest.raises(IndexMismatchError, match="different data"):
+            load_index(path, expected_fingerprint="not-that-dataset")
+
+
+def _tamper_header(path, mutate):
+    """Rewrite the header through ``mutate`` and re-sign the file, so
+    the tamper check under test (not the fingerprint) fires."""
+    blob = path.read_bytes()
+    newline = blob.find(b"\n")
+    header = json.loads(blob[:newline].decode("utf-8"))
+    payload = blob[newline + 1:]
+    mutate(header)
+    header["payload_fingerprint"] = _fingerprint(header, payload)
+    path.write_bytes(
+        json.dumps(header, sort_keys=True).encode("utf-8")
+        + b"\n" + payload
+    )
+
+
+class TestFormatRefusals:
+    def test_unknown_format_names_both_supported(self, tmp_path):
+        """What a reader that predates v1+nd would say about an nd
+        file: the format string is unrecognised and the error names
+        what *is* readable -- loud, not silent misparsing."""
+        index = build_index(_nd_collection(), band=3)
+        path = tmp_path / "nd.idx"
+        save_index(index, path)
+        _tamper_header(
+            path, lambda h: h.update(format="repro.index/v2-imaginary")
+        )
+        with pytest.raises(IndexMismatchError) as err:
+            load_index(path)
+        assert "unsupported index format" in str(err.value)
+        assert FORMAT in str(err.value)
+        assert FORMAT_ND in str(err.value)
+
+    def test_v1_header_with_dims_key_rejected(self, tmp_path):
+        series = [make_series(12, s) for s in range(3)]
+        index = build_index(series, band=2)
+        path = tmp_path / "flat.idx"
+        save_index(index, path)
+        _tamper_header(path, lambda h: h.update(dims=1))
+        with pytest.raises(IndexMismatchError, match="must not carry"):
+            load_index(path)
+
+    def test_nd_header_with_dims_below_two_rejected(self, tmp_path):
+        series = [make_series(12, s) for s in range(3)]
+        index = build_index(series, band=2)
+        path = tmp_path / "flat.idx"
+        save_index(index, path)
+        _tamper_header(
+            path, lambda h: h.update(format=FORMAT_ND, dims=1)
+        )
+        with pytest.raises(IndexMismatchError, match="declares dims=1"):
+            load_index(path)
+
+    def test_header_tamper_without_resign_still_caught(self, tmp_path):
+        index = build_index(_nd_collection(), band=3)
+        path = tmp_path / "nd.idx"
+        save_index(index, path)
+        blob = path.read_bytes()
+        newline = blob.find(b"\n")
+        header = json.loads(blob[:newline].decode("utf-8"))
+        header["dims"] = 7
+        path.write_bytes(
+            json.dumps(header, sort_keys=True).encode("utf-8")
+            + b"\n" + blob[newline + 1:]
+        )
+        with pytest.raises(IndexMismatchError, match="fingerprint"):
+            load_index(path)
+
+
+class TestSearch:
+    @pytest.mark.parametrize("backend", ("python", "numpy"))
+    def test_nearest_matches_brute_force(self, backend):
+        from repro.runtime import Runtime
+
+        series = _nd_collection(count=6, n=14, dims=3)
+        index = build_index(series, band=3)
+        query = make_vectors(14, 3, 99)
+        hit = index.searcher(
+            runtime=Runtime(backend=backend)
+        ).nearest(query)
+        brute = [
+            cdtw_nd(query, s, band=3).distance for s in series
+        ]
+        best = min(range(len(brute)), key=lambda i: (brute[i], i))
+        assert hit.index == best
+        assert hit.distance == brute[best]
+
+    def test_query_dims_mismatch_refused(self):
+        index = build_index(_nd_collection(count=3, n=10, dims=3), band=2)
+        searcher = index.searcher()
+        with pytest.raises(IndexMismatchError, match="channel"):
+            searcher.nearest(make_vectors(10, 2, 1))
+        with pytest.raises(IndexMismatchError, match="channel"):
+            searcher.nearest(make_series(10, 1))
+
+    def test_scalar_index_refuses_nd_query(self):
+        series = [make_series(10, s) for s in range(3)]
+        index = build_index(series, band=2)
+        searcher = index.searcher()
+        with pytest.raises(IndexMismatchError, match="channel"):
+            searcher.nearest(make_vectors(10, 2, 1))

@@ -1,0 +1,172 @@
+"""Admissibility of the summed multivariate lower bounds.
+
+The losslessness of every nd pruning path rests on the chain
+
+    bound(x, y)  <=  cDTW_I(x, y)  <=  cDTW_D(x, y)
+
+for each of LB_Kim / LB_Keogh / LB_Improved summed over channels, so
+the chain gets generated (hypothesis) coverage on top of the unit
+tests, plus the dominance ordering LB_Improved >= LB_Keogh and the
+remaining-threshold abandon semantics.
+"""
+
+from math import inf
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.multivariate import cdtw_i, cdtw_nd
+from repro.lowerbounds.nd import (
+    channels,
+    envelopes_nd,
+    lb_improved_nd,
+    lb_keogh_nd,
+    lb_keogh_reversed_nd,
+    lb_kim_nd,
+)
+from tests.conftest import make_vectors
+
+finite = st.floats(
+    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+)
+
+
+def _vector_series(n, dims):
+    sample = st.tuples(*([finite] * dims))
+    return st.lists(sample, min_size=n, max_size=n)
+
+
+nd_pair_and_band = st.tuples(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=1, max_value=3),
+).flatmap(
+    lambda nd: st.tuples(
+        _vector_series(nd[0], nd[1]),
+        _vector_series(nd[0], nd[1]),
+        st.integers(min_value=0, max_value=nd[0]),
+    )
+)
+
+
+@settings(deadline=None, max_examples=60)
+@given(nd_pair_and_band)
+def test_lb_kim_nd_below_both_measures(args):
+    x, y, band = args
+    bound = lb_kim_nd(x, y)
+    ind = cdtw_i(x, y, band=band).distance
+    dep = cdtw_nd(x, y, band=band).distance
+    assert bound <= ind + 1e-9
+    assert ind <= dep + 1e-9
+
+
+@settings(deadline=None, max_examples=60)
+@given(nd_pair_and_band)
+def test_lb_keogh_nd_below_both_measures(args):
+    x, y, band = args
+    bound = lb_keogh_nd(envelopes_nd(x, band), y)
+    assert bound <= cdtw_i(x, y, band=band).distance + 1e-9
+    assert bound <= cdtw_nd(x, y, band=band).distance + 1e-9
+
+
+@settings(deadline=None, max_examples=60)
+@given(nd_pair_and_band)
+def test_lb_keogh_reversed_nd_below_both_measures(args):
+    x, y, band = args
+    bound = lb_keogh_reversed_nd(x, y, band)
+    assert bound <= cdtw_i(x, y, band=band).distance + 1e-9
+    assert bound <= cdtw_nd(x, y, band=band).distance + 1e-9
+
+
+@settings(deadline=None, max_examples=60)
+@given(nd_pair_and_band)
+def test_lb_improved_nd_chain(args):
+    """LB_Improved dominates LB_Keogh and stays admissible."""
+    x, y, band = args
+    envs = envelopes_nd(x, band)
+    keogh = lb_keogh_nd(envs, y)
+    improved = lb_improved_nd(x, y, band, query_envelopes=envs)
+    assert keogh <= improved + 1e-9
+    assert improved <= cdtw_i(x, y, band=band).distance + 1e-9
+    assert improved <= cdtw_nd(x, y, band=band).distance + 1e-9
+
+
+class TestChannels:
+    def test_round_trip(self):
+        x = make_vectors(10, 3, 1)
+        cs = channels(x)
+        assert len(cs) == 3
+        for k in range(3):
+            assert cs[k] == [v[k] for v in x]
+
+    def test_flat_series_rejected(self):
+        with pytest.raises(ValueError, match="flat scalar"):
+            channels([1.0, 2.0, 3.0])
+
+    def test_ragged_samples_rejected(self):
+        with pytest.raises(ValueError, match="components"):
+            channels([(1.0, 2.0), (3.0,)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            channels([])
+
+
+class TestEnvelopesNd:
+    def test_one_envelope_per_channel(self):
+        x = make_vectors(12, 3, 2)
+        envs = envelopes_nd(x, 2)
+        assert len(envs) == 3
+        for env in envs:
+            assert len(env.upper) == 12
+            assert all(
+                lo <= up for lo, up in zip(env.lower, env.upper)
+            )
+
+    def test_dimension_mismatch_rejected(self):
+        x = make_vectors(10, 2, 1)
+        y = make_vectors(10, 3, 2)
+        with pytest.raises(ValueError, match="mismatch"):
+            lb_kim_nd(x, y)
+        with pytest.raises(ValueError, match="channels"):
+            lb_keogh_nd(envelopes_nd(x, 2), y)
+        with pytest.raises(ValueError, match="mismatch"):
+            lb_improved_nd(x, y, 2)
+
+
+class TestAbandon:
+    """abandon_above= returns inf exactly above the threshold and is
+    bit-identical to the plain bound below it."""
+
+    def test_keogh_loose_threshold_inert(self):
+        x, y = make_vectors(20, 3, 1), make_vectors(20, 3, 2)
+        envs = envelopes_nd(x, 3)
+        plain = lb_keogh_nd(envs, y)
+        assert plain > 0
+        assert lb_keogh_nd(envs, y, abandon_above=plain + 1.0) == plain
+
+    def test_keogh_tight_threshold_abandons(self):
+        x, y = make_vectors(20, 3, 3), make_vectors(20, 3, 4)
+        envs = envelopes_nd(x, 3)
+        plain = lb_keogh_nd(envs, y)
+        assert plain > 0
+        assert lb_keogh_nd(envs, y, abandon_above=plain / 2.0) == inf
+
+    def test_improved_thresholds(self):
+        x, y = make_vectors(20, 2, 5), make_vectors(20, 2, 6)
+        plain = lb_improved_nd(x, y, 3)
+        assert plain > 0
+        assert lb_improved_nd(x, y, 3, abandon_above=plain + 1.0) == plain
+        assert lb_improved_nd(x, y, 3, abandon_above=plain / 2.0) == inf
+
+    def test_reversed_thresholds(self):
+        x, y = make_vectors(20, 2, 7), make_vectors(20, 2, 8)
+        plain = lb_keogh_reversed_nd(x, y, 3)
+        assert plain > 0
+        assert (
+            lb_keogh_reversed_nd(x, y, 3, abandon_above=plain + 1.0)
+            == plain
+        )
+        assert (
+            lb_keogh_reversed_nd(x, y, 3, abandon_above=plain / 2.0)
+            == inf
+        )

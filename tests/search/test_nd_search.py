@@ -1,0 +1,193 @@
+"""Multivariate search consumers: 1-NN, discord, motif, subsequence.
+
+The multivariate contract is the same losslessness the scalar stack
+promises: every execution route (serial cascade, parallel batch,
+ahead-of-time index, either backend) of the same nd search returns
+bit-identical answers, and they all equal the brute-force dependent
+measure (``cdtw_d``) scan.
+"""
+
+import random
+
+import pytest
+
+from repro.anomaly import find_discord
+from repro.core.multivariate import cdtw_nd
+from repro.index import build_index, build_stream_index
+from repro.motifs import find_motif
+from repro.preprocess.normalize import znorm_nd
+from repro.runtime import Runtime
+from repro.search import (
+    nearest_neighbor,
+    subsequence_search,
+    subsequence_search_topk,
+)
+from tests.conftest import make_vectors
+
+
+def _nd_stream(n=60, dims=2, seed=0):
+    rng = random.Random(seed)
+    out = []
+    values = [0.0] * dims
+    for _ in range(n):
+        values = [v + rng.uniform(-1.0, 1.0) for v in values]
+        out.append(tuple(values))
+    return out
+
+
+class TestNearestNeighbor:
+    @pytest.fixture
+    def problem(self):
+        query = make_vectors(16, 3, 99)
+        candidates = [make_vectors(16, 3, s) for s in range(6)]
+        return query, candidates
+
+    def _brute(self, query, candidates, band):
+        d = [cdtw_nd(query, c, band=band).distance for c in candidates]
+        best = min(range(len(d)), key=lambda i: (d[i], i))
+        return best, d[best]
+
+    @pytest.mark.parametrize("strategy", ("cdtw", "cdtw+lb"))
+    def test_serial_matches_brute_force(self, problem, strategy):
+        query, candidates = problem
+        res = nearest_neighbor(
+            query, candidates, strategy=strategy, band=3
+        )
+        best, dist = self._brute(query, candidates, 3)
+        assert res.index == best
+        assert res.distance == dist
+
+    @pytest.mark.parametrize("backend", ("python", "numpy"))
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_runtime_grid_bit_identical(self, problem, backend, workers):
+        query, candidates = problem
+        serial = nearest_neighbor(
+            query, candidates, strategy="cdtw", band=3
+        )
+        routed = nearest_neighbor(
+            query, candidates, strategy="cdtw", band=3,
+            runtime=Runtime(backend=backend, workers=workers),
+        )
+        assert routed.index == serial.index
+        assert routed.distance == serial.distance
+
+    def test_indexed_matches_index_free(self, problem):
+        query, candidates = problem
+        index = build_index(list(candidates), band=3)
+        plain = nearest_neighbor(
+            query, candidates, strategy="cdtw+lb", band=3
+        )
+        indexed = nearest_neighbor(
+            query, candidates, strategy="cdtw+lb", band=3, index=index
+        )
+        assert indexed.index == plain.index
+        assert indexed.distance == plain.distance
+
+    def test_fastdtw_strategy_runs_serial_and_parallel(self, problem):
+        query, candidates = problem
+        serial = nearest_neighbor(
+            query, candidates, strategy="fastdtw", radius=1
+        )
+        parallel = nearest_neighbor(
+            query, candidates, strategy="fastdtw", radius=1,
+            runtime=Runtime(workers=2),
+        )
+        assert parallel.index == serial.index
+        assert parallel.distance == serial.distance
+
+    def test_euclidean_strategy_refused_on_nd(self, problem):
+        query, candidates = problem
+        with pytest.raises(ValueError, match="univariate"):
+            nearest_neighbor(query, candidates, strategy="euclidean")
+
+
+class TestDiscordAndMotif:
+    def test_discord_serial_parallel_indexed_agree(self):
+        stream = _nd_stream(n=56, dims=2, seed=3)
+        kwargs = dict(window=12, band=2, step=2)
+        serial = find_discord(stream, **kwargs)
+        parallel = find_discord(
+            stream, runtime=Runtime(workers=2), **kwargs
+        )
+        index = build_stream_index(
+            stream, window=12, band=2, step=2, normalize=True
+        )
+        indexed = find_discord(stream, index=index, **kwargs)
+        for got in (parallel, indexed):
+            assert got.start == serial.start
+            assert got.score == serial.score
+            assert got.neighbor_start == serial.neighbor_start
+
+    def test_motif_serial_parallel_agree(self):
+        stream = _nd_stream(n=56, dims=3, seed=4)
+        kwargs = dict(window=10, band=2, step=2)
+        serial = find_motif(stream, **kwargs)
+        parallel = find_motif(
+            stream, runtime=Runtime(workers=2), **kwargs
+        )
+        assert (parallel.start_a, parallel.start_b) == (
+            serial.start_a, serial.start_b,
+        )
+        assert parallel.distance == serial.distance
+
+
+class TestSubsequence:
+    def test_finds_planted_match(self):
+        rng = random.Random(5)
+        stream = _nd_stream(n=80, dims=2, seed=5)
+        query = [
+            tuple(c + rng.uniform(-1e-6, 1e-6) for c in v)
+            for v in stream[30:42]
+        ]
+        hit = subsequence_search(query, stream, band=2)
+        assert hit.start == 30
+
+    def test_mixed_query_stream_refused(self):
+        stream = _nd_stream(n=30, dims=2, seed=6)
+        with pytest.raises(ValueError, match="univariate or both multivariate"):
+            subsequence_search([0.0, 1.0, 2.0], stream, band=2)
+        with pytest.raises(ValueError, match="univariate or both multivariate"):
+            subsequence_search(
+                make_vectors(5, 2, 1), [0.0] * 30, band=2
+            )
+
+    def test_serial_parallel_indexed_agree(self):
+        stream = _nd_stream(n=60, dims=2, seed=7)
+        query = make_vectors(12, 2, 8)
+        serial = subsequence_search(query, stream, band=2)
+        parallel = subsequence_search(
+            query, stream, band=2, runtime=Runtime(workers=2)
+        )
+        index = build_stream_index(stream, window=12, band=2)
+        indexed = subsequence_search(query, stream, band=2, index=index)
+        for got in (parallel, indexed):
+            assert got.start == serial.start
+            assert got.distance == serial.distance
+
+    def test_topk_routes_agree(self):
+        stream = _nd_stream(n=60, dims=2, seed=9)
+        query = make_vectors(10, 2, 10)
+        serial = subsequence_search_topk(query, stream, band=2, k=3)
+        parallel = subsequence_search_topk(
+            query, stream, band=2, k=3, runtime=Runtime(workers=2)
+        )
+        index = build_stream_index(stream, window=10, band=2)
+        indexed = subsequence_search_topk(
+            query, stream, band=2, k=3, index=index
+        )
+        want = [(m.start, m.distance) for m in serial]
+        assert [(m.start, m.distance) for m in parallel] == want
+        assert [(m.start, m.distance) for m in indexed] == want
+
+    def test_matches_brute_force_distance(self):
+        stream = _nd_stream(n=40, dims=2, seed=11)
+        query = make_vectors(8, 2, 12)
+        hit = subsequence_search(query, stream, band=2)
+        q = znorm_nd(query)
+        brute = [
+            cdtw_nd(q, znorm_nd(stream[s:s + 8]), band=2).distance
+            for s in range(len(stream) - 8 + 1)
+        ]
+        best = min(range(len(brute)), key=lambda i: (brute[i], i))
+        assert hit.start == best
+        assert hit.distance == brute[best]

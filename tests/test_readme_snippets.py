@@ -185,3 +185,25 @@ def test_rle_block():
         )
     assert routed.ok and dense.ok
     assert routed.answer == dense.answer
+
+
+def test_multivariate_block():
+    from repro.batch import batch_distances
+    from repro.core.multivariate import cdtw_i, cdtw_nd, interleave
+    from repro.datasets.gestures import multivariate_gestures
+
+    series, labels = multivariate_gestures(
+        n_classes=3, per_class=4, length=64, axes=3, seed=0
+    )
+
+    dep = cdtw_nd(series[0], series[4], band=6)     # one shared path
+    ind = cdtw_i(series[0], series[4], band=6)      # per-channel paths
+    assert ind.distance <= dep.distance
+
+    result = batch_distances(series, measure="cdtw_d", band=6, workers=2)
+    assert len(result.distances) == 12 * 11 // 2
+    serial = batch_distances(series, measure="cdtw_d", band=6)
+    assert result.distances == serial.distances     # workers change nothing
+
+    xs, ys = [0.0, 1.0, 2.0], [5.0, 6.0, 7.0]
+    assert interleave(xs, ys) == [(0.0, 5.0), (1.0, 6.0), (2.0, 7.0)]

@@ -57,6 +57,23 @@ FORBIDDEN_TOKENS = (
     "RleSeries",
     "rle_dtw",
     "rle_cdtw",
+    # the paper's experiments are univariate; the multivariate stack
+    # (DTW_D/DTW_I measures, the nd kernels and bounds) must never
+    # leak into the harness.  The measure names are scanned in their
+    # string-literal forms because bare "dtw_d" would false-positive
+    # on the long-standing "cdtw_distance"/"fastdtw_distances"
+    # result fields; "_nd" catches every nd function and kernel
+    # (dtw_nd, cdtw_nd, fastdtw_nd, envelope_nd, lb_keogh_nd, ...)
+    "multivariate",
+    "_nd",
+    '"dtw_d"',
+    "'dtw_d'",
+    '"cdtw_d"',
+    "'cdtw_d'",
+    '"dtw_i"',
+    "'dtw_i'",
+    '"cdtw_i"',
+    "'cdtw_i'",
 )
 
 
